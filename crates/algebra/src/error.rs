@@ -1,0 +1,37 @@
+//! Error type shared by the algebra layers.
+
+use std::fmt;
+
+/// Errors raised while building catalogs, parsing SQL, or constructing
+/// plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// An identifier (relation / attribute) was not found in the catalog.
+    UnknownName(String),
+    /// A name was registered twice.
+    DuplicateName(String),
+    /// SQL lexing/parsing failure, with position information.
+    Parse { pos: usize, msg: String },
+    /// A semantically invalid query (e.g. non-aggregate column outside
+    /// GROUP BY).
+    Semantic(String),
+    /// A structurally invalid plan (bad arity, dangling node, …).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            AlgebraError::DuplicateName(n) => write!(f, "duplicate name: {n}"),
+            AlgebraError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            AlgebraError::Semantic(m) => write!(f, "semantic error: {m}"),
+            AlgebraError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

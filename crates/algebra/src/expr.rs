@@ -1,0 +1,691 @@
+//! Scalar and aggregate expressions.
+//!
+//! The paper models predicates abstractly as `a op x` (attribute vs
+//! constant) and `a_i op a_j` (attribute vs attribute). Real queries —
+//! and the TPC-H workload of the paper's evaluation — need richer
+//! predicates (conjunctions, LIKE, BETWEEN, CASE, arithmetic inside
+//! aggregates). [`Expr`] carries the full expression for execution,
+//! while [`Expr::const_compared_attrs`] and [`Expr::attr_pairs`]
+//! project it back onto the paper's abstract view for profile
+//! propagation (Fig. 2).
+
+use crate::ids::AttrId;
+use crate::value::{DataType, Value};
+use crate::AttrSet;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// `true` for `=`; equality predicates can run on deterministically
+    /// encrypted data, the others need order (OPE) or plaintext.
+    pub fn is_equality(self) -> bool {
+        matches!(self, CmpOp::Eq)
+    }
+
+    /// Evaluate against a three-way comparison result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        })
+    }
+}
+
+/// Date fields for `EXTRACT`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DateField {
+    /// `extract(year from …)`
+    Year,
+}
+
+/// A scalar expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Reference to an attribute of the input relation.
+    Col(AttrId),
+    /// Positional reference to the output of the `i`-th aggregate of a
+    /// child group-by node (used by HAVING / ORDER BY / projections
+    /// above a `GroupBy`).
+    AggRef(usize),
+    /// Literal.
+    Lit(Value),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Conjunction (empty ⇒ TRUE).
+    And(Vec<Expr>),
+    /// Disjunction (empty ⇒ FALSE).
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Arithmetic.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// SQL LIKE with `%` and `_` wildcards.
+    Like {
+        /// String operand.
+        expr: Box<Expr>,
+        /// Pattern.
+        pattern: String,
+        /// `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// Tested operand.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr IN (v, …)` over literals.
+    InList {
+        /// Tested operand.
+        expr: Box<Expr>,
+        /// Literal list.
+        list: Vec<Value>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// Searched CASE.
+    Case {
+        /// `WHEN cond THEN value` branches.
+        branches: Vec<(Expr, Expr)>,
+        /// `ELSE` value (NULL if absent).
+        else_: Option<Box<Expr>>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested operand.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `EXTRACT(field FROM expr)`.
+    Extract {
+        /// Field to extract.
+        field: DateField,
+        /// Date operand.
+        expr: Box<Expr>,
+    },
+    /// `SUBSTRING(expr FROM start FOR len)` (1-based).
+    Substring {
+        /// String operand.
+        expr: Box<Expr>,
+        /// 1-based start.
+        start: usize,
+        /// Length.
+        len: usize,
+    },
+}
+
+impl Expr {
+    /// `a op b` convenience constructor.
+    pub fn cmp(a: Expr, op: CmpOp, b: Expr) -> Expr {
+        Expr::Cmp(Box::new(a), op, Box::new(b))
+    }
+
+    /// Column-vs-literal equality.
+    pub fn col_eq(a: AttrId, v: Value) -> Expr {
+        Expr::cmp(Expr::Col(a), CmpOp::Eq, Expr::Lit(v))
+    }
+
+    /// Conjunction of two expressions, flattening nested ANDs.
+    pub fn and(self, other: Expr) -> Expr {
+        match (self, other) {
+            (Expr::And(mut a), Expr::And(b)) => {
+                a.extend(b);
+                Expr::And(a)
+            }
+            (Expr::And(mut a), e) => {
+                a.push(e);
+                Expr::And(a)
+            }
+            (e, Expr::And(mut b)) => {
+                b.insert(0, e);
+                Expr::And(b)
+            }
+            (a, b) => Expr::And(vec![a, b]),
+        }
+    }
+
+    /// Arithmetic convenience constructor.
+    pub fn arith(a: Expr, op: ArithOp, b: Expr) -> Expr {
+        Expr::Arith(Box::new(a), op, Box::new(b))
+    }
+
+    /// All attributes referenced anywhere in the expression.
+    pub fn attrs(&self) -> AttrSet {
+        let mut s = AttrSet::new();
+        self.collect_attrs(&mut s);
+        s
+    }
+
+    fn collect_attrs(&self, out: &mut AttrSet) {
+        match self {
+            Expr::Col(a) => {
+                out.insert(*a);
+            }
+            Expr::AggRef(_) | Expr::Lit(_) => {}
+            Expr::Cmp(a, _, b) | Expr::Arith(a, _, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Expr::And(v) | Expr::Or(v) => {
+                for e in v {
+                    e.collect_attrs(out);
+                }
+            }
+            Expr::Not(e)
+            | Expr::Like { expr: e, .. }
+            | Expr::InList { expr: e, .. }
+            | Expr::IsNull { expr: e, .. }
+            | Expr::Extract { expr: e, .. }
+            | Expr::Substring { expr: e, .. } => e.collect_attrs(out),
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.collect_attrs(out);
+                lo.collect_attrs(out);
+                hi.collect_attrs(out);
+            }
+            Expr::Case { branches, else_ } => {
+                for (c, v) in branches {
+                    c.collect_attrs(out);
+                    v.collect_attrs(out);
+                }
+                if let Some(e) = else_ {
+                    e.collect_attrs(out);
+                }
+            }
+        }
+    }
+
+    /// Attributes compared against constants or otherwise *used* by the
+    /// predicate without being paired to another attribute — the `a` of
+    /// the paper's `σ_{a op x}` rule. These become implicit attributes
+    /// of the selection result.
+    pub fn const_compared_attrs(&self) -> AttrSet {
+        let mut consts = AttrSet::new();
+        let mut pairs = Vec::new();
+        self.classify(&mut consts, &mut pairs);
+        consts
+    }
+
+    /// Attribute-vs-attribute comparisons — the `{a_i, a_j}` pairs of
+    /// the paper's `σ_{a_i op a_j}` rule. These feed the equivalence
+    /// component of the result profile.
+    pub fn attr_pairs(&self) -> Vec<(AttrId, AttrId)> {
+        let mut consts = AttrSet::new();
+        let mut pairs = Vec::new();
+        self.classify(&mut consts, &mut pairs);
+        pairs
+    }
+
+    fn classify(&self, consts: &mut AttrSet, pairs: &mut Vec<(AttrId, AttrId)>) {
+        match self {
+            Expr::Cmp(a, _, b) => {
+                let sa = a.attrs();
+                let sb = b.attrs();
+                match (sa.len(), sb.len()) {
+                    // attribute-to-attribute comparison: only the
+                    // simple `Col op Col` form establishes equivalence;
+                    // anything more complex conservatively marks all
+                    // attributes as condition-involved (implicit).
+                    (1, 1) => {
+                        if let (Expr::Col(x), Expr::Col(y)) = (a.as_ref(), b.as_ref()) {
+                            pairs.push((*x, *y));
+                        } else {
+                            consts.union_with(&sa);
+                            consts.union_with(&sb);
+                        }
+                    }
+                    _ => {
+                        consts.union_with(&sa);
+                        consts.union_with(&sb);
+                    }
+                }
+            }
+            Expr::And(v) | Expr::Or(v) => {
+                for e in v {
+                    e.classify(consts, pairs);
+                }
+            }
+            Expr::Not(e) => e.classify(consts, pairs),
+            Expr::Case { branches, else_ } => {
+                for (c, v) in branches {
+                    c.classify(consts, pairs);
+                    consts.union_with(&v.attrs());
+                }
+                if let Some(e) = else_ {
+                    consts.union_with(&e.attrs());
+                }
+            }
+            // Everything else references attributes against constants
+            // (LIKE/BETWEEN/IN/IS NULL) or computes over them.
+            other => consts.union_with(&other.attrs()),
+        }
+    }
+
+    /// Attributes whose *plaintext* the default capability policy needs
+    /// to evaluate this expression, assuming deterministic encryption
+    /// supports equality, OPE supports ordering, and nothing supports
+    /// string matching, extraction, or scalar arithmetic.
+    ///
+    /// This implements the paper's `A_p` ("attributes that must be in
+    /// plaintext for the execution of `n`") for the common case; the
+    /// optimizer can override it per node.
+    pub fn plaintext_required(&self, allow_ope: bool) -> AttrSet {
+        let mut out = AttrSet::new();
+        self.plaintext_req_inner(allow_ope, &mut out);
+        out
+    }
+
+    fn plaintext_req_inner(&self, allow_ope: bool, out: &mut AttrSet) {
+        match self {
+            Expr::Col(_) | Expr::AggRef(_) | Expr::Lit(_) => {}
+            Expr::Cmp(a, op, b) => {
+                let simple = matches!(
+                    (a.as_ref(), b.as_ref()),
+                    (Expr::Col(_), Expr::Col(_))
+                        | (Expr::Col(_), Expr::Lit(_))
+                        | (Expr::Lit(_), Expr::Col(_))
+                        | (Expr::AggRef(_), Expr::Lit(_))
+                        | (Expr::Lit(_), Expr::AggRef(_))
+                );
+                if simple {
+                    let supported = op.is_equality() || allow_ope;
+                    if !supported {
+                        out.union_with(&a.attrs());
+                        out.union_with(&b.attrs());
+                    }
+                } else {
+                    // Arithmetic inside a comparison needs plaintext.
+                    out.union_with(&a.attrs());
+                    out.union_with(&b.attrs());
+                }
+            }
+            Expr::And(v) | Expr::Or(v) => {
+                for e in v {
+                    e.plaintext_req_inner(allow_ope, out);
+                }
+            }
+            Expr::Not(e) => e.plaintext_req_inner(allow_ope, out),
+            Expr::Between { expr, lo, hi, .. } => {
+                if !allow_ope {
+                    out.union_with(&expr.attrs());
+                }
+                out.union_with(&lo.attrs());
+                out.union_with(&hi.attrs());
+            }
+            Expr::InList { expr, .. } => {
+                // IN over literals is a disjunction of equalities:
+                // deterministic encryption suffices, unless the operand
+                // is computed.
+                if !matches!(expr.as_ref(), Expr::Col(_)) {
+                    out.union_with(&expr.attrs());
+                }
+            }
+            Expr::IsNull { .. } => {}
+            // String matching, date extraction, substring, arithmetic
+            // and CASE all require plaintext operands.
+            other => out.union_with(&other.attrs()),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(a) => write!(f, "{a}"),
+            Expr::AggRef(i) => write!(f, "agg#{i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(a, op, b) => write!(f, "({a} {op} {b})"),
+            Expr::And(v) => {
+                let parts: Vec<String> = v.iter().map(|e| e.to_string()).collect();
+                write!(f, "({})", parts.join(" AND "))
+            }
+            Expr::Or(v) => {
+                let parts: Vec<String> = v.iter().map(|e| e.to_string()).collect();
+                write!(f, "({})", parts.join(" OR "))
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::Arith(a, op, b) => write!(f, "({a} {op} {b})"),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}LIKE '{pattern}'",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {lo} AND {hi}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let items: Vec<String> = list.iter().map(|v| v.to_string()).collect();
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    items.join(", ")
+                )
+            }
+            Expr::Case { branches, else_ } => {
+                write!(f, "CASE")?;
+                for (c, v) in branches {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                if let Some(e) = else_ {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Extract { field, expr } => {
+                let fname = match field {
+                    DateField::Year => "year",
+                };
+                write!(f, "extract({fname} from {expr})")
+            }
+            Expr::Substring { expr, start, len } => {
+                write!(f, "substring({expr} from {start} for {len})")
+            }
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `count(*)` or `count(expr)`.
+    Count,
+    /// `count(distinct expr)`.
+    CountDistinct,
+    /// `sum(expr)`.
+    Sum,
+    /// `avg(expr)`.
+    Avg,
+    /// `min(expr)`.
+    Min,
+    /// `max(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Whether this aggregate can run over ciphertexts of some scheme:
+    /// SUM/AVG via Paillier, MIN/MAX via OPE, COUNT always.
+    pub fn encrypted_capable(self) -> bool {
+        true // every aggregate has an encrypted realization given the right scheme
+    }
+
+    /// Plaintext needed for the aggregate *input* under the default
+    /// capability policy.
+    pub fn input_plaintext_required(self, input_is_simple_col: bool, allow_homomorphic: bool, allow_ope: bool) -> bool {
+        match self {
+            AggFunc::Count | AggFunc::CountDistinct => false,
+            AggFunc::Sum | AggFunc::Avg => !(input_is_simple_col && allow_homomorphic),
+            AggFunc::Min | AggFunc::Max => !(input_is_simple_col && allow_ope),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "count",
+            AggFunc::CountDistinct => "count_distinct",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        })
+    }
+}
+
+/// One aggregate of a group-by node.
+///
+/// Following the paper's simplification ("we consider the attribute
+/// resulting from `f(a)` with the same name as `a`"), the output is
+/// *named after* one of the input attributes: [`AggExpr::output`] must
+/// reference an attribute occurring in [`AggExpr::input`] (or the first
+/// group key for `count(*)`). This keeps the authorization domain equal
+/// to the base attributes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggExpr {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input expression (`Lit(1)` for `count(*)`).
+    pub input: Expr,
+    /// Output attribute name (one of the input attributes).
+    pub output: AttrId,
+}
+
+impl AggExpr {
+    /// Build an aggregate over a single column, output named after it.
+    pub fn over_col(func: AggFunc, col: AttrId) -> AggExpr {
+        AggExpr {
+            func,
+            input: Expr::Col(col),
+            output: col,
+        }
+    }
+
+    /// `count(*)` carried under the given (key) attribute's name.
+    pub fn count_star(output: AttrId) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Count,
+            input: Expr::Lit(Value::Int(1)),
+            output,
+        }
+    }
+
+    /// Output value type given the input type.
+    pub fn output_type(&self, input_ty: DataType) -> DataType {
+        match self.func {
+            AggFunc::Count | AggFunc::CountDistinct => DataType::Int,
+            AggFunc::Sum | AggFunc::Avg => DataType::Num,
+            AggFunc::Min | AggFunc::Max => input_ty,
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})→{}", self.func, self.input, self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn attrs_collects_everything() {
+        let e = Expr::cmp(
+            Expr::arith(Expr::Col(a(0)), ArithOp::Mul, Expr::Col(a(1))),
+            CmpOp::Gt,
+            Expr::Lit(Value::Int(10)),
+        );
+        assert_eq!(e.attrs(), AttrSet::from_iter([a(0), a(1)]));
+    }
+
+    #[test]
+    fn classify_const_vs_pairs() {
+        // D = 'stroke' AND S = C  (the paper's σ and ⋈ conditions)
+        let e = Expr::col_eq(a(2), Value::str("stroke"))
+            .and(Expr::cmp(Expr::Col(a(0)), CmpOp::Eq, Expr::Col(a(4))));
+        assert_eq!(e.const_compared_attrs(), AttrSet::singleton(a(2)));
+        assert_eq!(e.attr_pairs(), vec![(a(0), a(4))]);
+    }
+
+    #[test]
+    fn complex_comparison_is_conservative() {
+        // a0 + a1 > a2: no equivalence, all implicit.
+        let e = Expr::cmp(
+            Expr::arith(Expr::Col(a(0)), ArithOp::Add, Expr::Col(a(1))),
+            CmpOp::Gt,
+            Expr::Col(a(2)),
+        );
+        assert!(e.attr_pairs().is_empty());
+        assert_eq!(
+            e.const_compared_attrs(),
+            AttrSet::from_iter([a(0), a(1), a(2)])
+        );
+    }
+
+    #[test]
+    fn plaintext_required_policy() {
+        // Equality on a column: never needs plaintext.
+        let eq = Expr::col_eq(a(0), Value::Int(1));
+        assert!(eq.plaintext_required(true).is_empty());
+        assert!(eq.plaintext_required(false).is_empty());
+        // Range on a column: OPE-capable, otherwise plaintext.
+        let rng = Expr::cmp(Expr::Col(a(0)), CmpOp::Gt, Expr::Lit(Value::Int(1)));
+        assert!(rng.plaintext_required(true).is_empty());
+        assert_eq!(rng.plaintext_required(false), AttrSet::singleton(a(0)));
+        // LIKE always needs plaintext.
+        let like = Expr::Like {
+            expr: Box::new(Expr::Col(a(3))),
+            pattern: "%BRASS".into(),
+            negated: false,
+        };
+        assert_eq!(like.plaintext_required(true), AttrSet::singleton(a(3)));
+        // BETWEEN is a range.
+        let btw = Expr::Between {
+            expr: Box::new(Expr::Col(a(1))),
+            lo: Box::new(Expr::Lit(Value::Int(0))),
+            hi: Box::new(Expr::Lit(Value::Int(9))),
+            negated: false,
+        };
+        assert!(btw.plaintext_required(true).is_empty());
+        assert_eq!(btw.plaintext_required(false), AttrSet::singleton(a(1)));
+        // IN over a column is equality-like.
+        let inl = Expr::InList {
+            expr: Box::new(Expr::Col(a(2))),
+            list: vec![Value::Int(1), Value::Int(2)],
+            negated: false,
+        };
+        assert!(inl.plaintext_required(false).is_empty());
+    }
+
+    #[test]
+    fn cmp_eval_and_flip() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Le.eval(Less));
+        assert!(!CmpOp::Le.eval(Greater));
+        assert!(CmpOp::Ne.eval(Less));
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn and_flattens() {
+        let e = Expr::col_eq(a(0), Value::Int(1))
+            .and(Expr::col_eq(a(1), Value::Int(2)))
+            .and(Expr::col_eq(a(2), Value::Int(3)));
+        match e {
+            Expr::And(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected flat AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agg_expr_display_and_types() {
+        let ag = AggExpr::over_col(AggFunc::Avg, a(5));
+        assert_eq!(ag.output_type(DataType::Num), DataType::Num);
+        assert_eq!(
+            AggExpr::count_star(a(0)).output_type(DataType::Str),
+            DataType::Int
+        );
+        assert_eq!(format!("{ag}"), "avg(a5)→a5");
+    }
+}

@@ -1,0 +1,764 @@
+//! Logical query plans.
+//!
+//! A [`QueryPlan`] is an arena-allocated operator tree whose leaves are
+//! (projections of) base relations and whose internal nodes are the
+//! operators of the paper's algebra: projection, selection, cartesian
+//! product, join, group-by, user-defined function, and the
+//! encryption/decryption operators injected by the authorization layer
+//! (§5 of the paper). `Sort` and `Limit` are profile-neutral extras
+//! needed to express TPC-H plans.
+//!
+//! The arena representation (rather than `Box`-nested nodes) lets the
+//! authorization layer key per-node data (profiles, candidate sets,
+//! assignments, cost tables) by [`NodeId`] and splice encryption /
+//! decryption nodes onto edges in O(1).
+
+use crate::attrset::AttrSet;
+use crate::catalog::Catalog;
+use crate::error::{AlgebraError, Result};
+use crate::expr::{AggExpr, CmpOp, Expr};
+use crate::ids::{AttrId, NodeId, RelId};
+use std::fmt::Write as _;
+
+/// Join variants. All variants share the paper's profile rule (the
+/// join condition establishes equivalence classes); they differ in the
+/// output schema and execution semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Inner equi-/theta-join.
+    Inner,
+    /// Left outer join (TPC-H Q13).
+    LeftOuter,
+    /// Left semi-join (EXISTS / IN subqueries, Q4).
+    Semi,
+    /// Left anti-join (NOT EXISTS / NOT IN, Q16, Q21, Q22).
+    Anti,
+}
+
+impl JoinKind {
+    /// `true` if the right input's columns appear in the output.
+    pub fn keeps_right(self) -> bool {
+        matches!(self, JoinKind::Inner | JoinKind::LeftOuter)
+    }
+}
+
+/// A plan operator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operator {
+    /// Leaf: the projection of a base relation, held by its data
+    /// authority. The paper represents leaves as "(the projection of) a
+    /// source relation" — projection pushdown is baked into the leaf.
+    Base {
+        /// Base relation.
+        rel: RelId,
+        /// Projected attributes, in output order.
+        attrs: Vec<AttrId>,
+    },
+    /// π — projection onto a subset of the input attributes.
+    Project {
+        /// Retained attributes, in output order.
+        attrs: Vec<AttrId>,
+    },
+    /// σ — selection by an arbitrary predicate. The profile layer
+    /// decomposes the predicate into constant comparisons and
+    /// attribute-attribute comparisons (Fig. 2 rules).
+    Select {
+        /// Predicate.
+        pred: Expr,
+    },
+    /// × — cartesian product.
+    Product,
+    /// ⋈ — join on a conjunction of attribute comparisons, optionally
+    /// with an extra residual predicate over the combined schema.
+    Join {
+        /// Join variant.
+        kind: JoinKind,
+        /// Equi-/theta-conditions `l op r` with `l` from the left input
+        /// and `r` from the right input.
+        on: Vec<(AttrId, CmpOp, AttrId)>,
+        /// Residual predicate evaluated on joined rows.
+        residual: Option<Expr>,
+    },
+    /// γ — group-by with aggregates. With an empty key list this is a
+    /// scalar aggregation (whole input = one group).
+    GroupBy {
+        /// Grouping attributes.
+        keys: Vec<AttrId>,
+        /// Aggregates (outputs named after input attributes, per the
+        /// paper's renaming simplification).
+        aggs: Vec<AggExpr>,
+    },
+    /// Predicate over a `GroupBy` result that may reference aggregate
+    /// outputs positionally via [`Expr::AggRef`] (SQL `HAVING`).
+    Having {
+        /// Predicate; `AggRef(i)` refers to the i-th aggregate of the
+        /// child group-by.
+        pred: Expr,
+    },
+    /// µ — user-defined function elaborating attributes `inputs` and
+    /// emitting an attribute named `output` (∈ `inputs`).
+    Udf {
+        /// Display name.
+        name: String,
+        /// Consumed attributes.
+        inputs: Vec<AttrId>,
+        /// Output attribute (must appear in `inputs`).
+        output: AttrId,
+        /// Optional executable body; opaque udfs are cost-model-only.
+        body: Option<Expr>,
+    },
+    /// On-the-fly encryption of a set of attributes (§5).
+    Encrypt {
+        /// Attributes to encrypt.
+        attrs: Vec<AttrId>,
+    },
+    /// On-the-fly decryption of a set of attributes (§5).
+    Decrypt {
+        /// Attributes to decrypt.
+        attrs: Vec<AttrId>,
+    },
+    /// ORDER BY (profile-neutral).
+    Sort {
+        /// Sort keys with ascending flags; `Expr` so aggregate outputs
+        /// can be referenced.
+        keys: Vec<(Expr, bool)>,
+    },
+    /// LIMIT (profile-neutral).
+    Limit {
+        /// Row cap.
+        n: u64,
+    },
+}
+
+impl Operator {
+    /// Number of children this operator requires.
+    pub fn arity(&self) -> usize {
+        match self {
+            Operator::Base { .. } => 0,
+            Operator::Product | Operator::Join { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Short operator name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Operator::Base { .. } => "Base",
+            Operator::Project { .. } => "π",
+            Operator::Select { .. } => "σ",
+            Operator::Product => "×",
+            Operator::Join { .. } => "⋈",
+            Operator::GroupBy { .. } => "γ",
+            Operator::Having { .. } => "σᵧ",
+            Operator::Udf { .. } => "µ",
+            Operator::Encrypt { .. } => "encrypt",
+            Operator::Decrypt { .. } => "decrypt",
+            Operator::Sort { .. } => "sort",
+            Operator::Limit { .. } => "limit",
+        }
+    }
+}
+
+/// A node of the plan arena.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanNode {
+    /// The operator at this node.
+    pub op: Operator,
+    /// Children (operands), left to right.
+    pub children: Vec<NodeId>,
+}
+
+/// An operator tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryPlan {
+    nodes: Vec<PlanNode>,
+    root: Option<NodeId>,
+}
+
+impl QueryPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; the last node added is the root unless
+    /// [`QueryPlan::set_root`] overrides it.
+    pub fn add(&mut self, op: Operator, children: Vec<NodeId>) -> NodeId {
+        debug_assert_eq!(op.arity(), children.len(), "operator arity mismatch");
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(PlanNode { op, children });
+        self.root = Some(id);
+        id
+    }
+
+    /// Leaf helper.
+    pub fn add_base(&mut self, rel: RelId, attrs: Vec<AttrId>) -> NodeId {
+        self.add(Operator::Base { rel, attrs }, vec![])
+    }
+
+    /// Explicitly set the root.
+    pub fn set_root(&mut self, root: NodeId) {
+        self.root = Some(root);
+    }
+
+    /// Root node id. Panics on an empty plan.
+    pub fn root(&self) -> NodeId {
+        self.root.expect("empty plan")
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &PlanNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node accessor.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut PlanNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Number of nodes (including detached ones after splicing).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no node was added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of nodes reachable from the root in post-order (children
+    /// before parents) — the paper's visit order for candidate
+    /// computation and plan extension.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        // Iterative post-order; (node, child_cursor) stack.
+        let mut stack = vec![(self.root(), 0usize)];
+        while let Some((id, cursor)) = stack.pop() {
+            let kids = &self.nodes[id.index()].children;
+            if cursor < kids.len() {
+                stack.push((id, cursor + 1));
+                stack.push((kids[cursor], 0));
+            } else {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Parent of each reachable node (`None` for the root and for
+    /// detached nodes).
+    pub fn parents(&self) -> Vec<Option<NodeId>> {
+        let mut p = vec![None; self.nodes.len()];
+        for id in self.postorder() {
+            for &c in &self.nodes[id.index()].children {
+                p[c.index()] = Some(id);
+            }
+        }
+        p
+    }
+
+    /// Ancestors of `id` from its parent up to the root.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let parents = self.parents();
+        let mut out = Vec::new();
+        let mut cur = parents[id.index()];
+        while let Some(p) = cur {
+            out.push(p);
+            cur = parents[p.index()];
+        }
+        out
+    }
+
+    /// Splice a new single-child operator onto the edge above `child`:
+    /// the new node adopts `child`, and whatever referenced `child`
+    /// (its parent, or the root slot) now references the new node.
+    pub fn splice_above(&mut self, child: NodeId, op: Operator) -> NodeId {
+        debug_assert_eq!(op.arity(), 1);
+        let parent = self.parents()[child.index()];
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(PlanNode {
+            op,
+            children: vec![child],
+        });
+        match parent {
+            Some(p) => {
+                for c in &mut self.nodes[p.index()].children {
+                    if *c == child {
+                        *c = id;
+                        break; // only the first edge; trees have one edge per child
+                    }
+                }
+            }
+            None => self.root = Some(id),
+        }
+        id
+    }
+
+    /// The *visible* attribute schema of every node (what the paper
+    /// calls `R^vp ∪ R^ve` — the attributes in the relation's schema).
+    /// Indexed by `NodeId`; detached nodes keep their last schema.
+    pub fn schemas(&self) -> Vec<AttrSet> {
+        let mut out = vec![AttrSet::new(); self.nodes.len()];
+        for id in self.postorder() {
+            let node = &self.nodes[id.index()];
+            let schema = match &node.op {
+                Operator::Base { attrs, .. } | Operator::Project { attrs } => {
+                    attrs.iter().copied().collect()
+                }
+                Operator::Select { .. }
+                | Operator::Having { .. }
+                | Operator::Encrypt { .. }
+                | Operator::Decrypt { .. }
+                | Operator::Sort { .. }
+                | Operator::Limit { .. } => out[node.children[0].index()].clone(),
+                Operator::Product => out[node.children[0].index()]
+                    .union(&out[node.children[1].index()]),
+                Operator::Join { kind, .. } => {
+                    if kind.keeps_right() {
+                        out[node.children[0].index()].union(&out[node.children[1].index()])
+                    } else {
+                        out[node.children[0].index()].clone()
+                    }
+                }
+                Operator::GroupBy { keys, aggs } => {
+                    let mut s: AttrSet = keys.iter().copied().collect();
+                    for a in aggs {
+                        s.insert(a.output);
+                    }
+                    s
+                }
+                Operator::Udf { inputs, output, .. } => {
+                    let mut s = out[node.children[0].index()].clone();
+                    for a in inputs {
+                        if a != output {
+                            s.remove(*a);
+                        }
+                    }
+                    s.insert(*output);
+                    s
+                }
+            };
+            out[id.index()] = schema;
+        }
+        out
+    }
+
+    /// Structural validation: arities, tree-ness (every reachable node
+    /// has exactly one parent), attribute scoping (operators only
+    /// reference attributes visible in their operands), and aggregate
+    /// output naming.
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        if self.root.is_none() {
+            return Err(AlgebraError::InvalidPlan("empty plan".into()));
+        }
+        let order = self.postorder();
+        let mut seen = vec![0u32; self.nodes.len()];
+        for &id in &order {
+            for &c in &self.nodes[id.index()].children {
+                seen[c.index()] += 1;
+                if seen[c.index()] > 1 {
+                    return Err(AlgebraError::InvalidPlan(format!(
+                        "node {c} has multiple parents"
+                    )));
+                }
+            }
+        }
+        let schemas = self.schemas();
+        let in_schema = |set: &AttrSet, of: NodeId| set.is_subset(&schemas[of.index()]);
+        for &id in &order {
+            let node = &self.nodes[id.index()];
+            if node.op.arity() != node.children.len() {
+                return Err(AlgebraError::InvalidPlan(format!(
+                    "node {id}: arity mismatch"
+                )));
+            }
+            let child = |i: usize| node.children[i];
+            match &node.op {
+                Operator::Base { rel, attrs } => {
+                    let rel_attrs = catalog.rel(*rel).attr_set();
+                    if !attrs.iter().all(|a| rel_attrs.contains(*a)) {
+                        return Err(AlgebraError::InvalidPlan(format!(
+                            "node {id}: base projection outside relation schema"
+                        )));
+                    }
+                }
+                Operator::Project { attrs } => {
+                    let set: AttrSet = attrs.iter().copied().collect();
+                    if !in_schema(&set, child(0)) {
+                        return Err(AlgebraError::InvalidPlan(format!(
+                            "node {id}: projection of non-visible attributes"
+                        )));
+                    }
+                }
+                Operator::Select { pred } | Operator::Having { pred } => {
+                    if !in_schema(&pred.attrs(), child(0)) {
+                        return Err(AlgebraError::InvalidPlan(format!(
+                            "node {id}: predicate references non-visible attributes"
+                        )));
+                    }
+                    if matches!(node.op, Operator::Having { .. })
+                        && !matches!(
+                            self.nodes[child(0).index()].op,
+                            Operator::GroupBy { .. }
+                        )
+                    {
+                        return Err(AlgebraError::InvalidPlan(format!(
+                            "node {id}: HAVING over a non-GroupBy child"
+                        )));
+                    }
+                }
+                Operator::Product => {}
+                Operator::Join { on, residual, .. } => {
+                    for (l, _, r) in on {
+                        if !schemas[child(0).index()].contains(*l)
+                            || !schemas[child(1).index()].contains(*r)
+                        {
+                            return Err(AlgebraError::InvalidPlan(format!(
+                                "node {id}: join keys not visible in respective operands"
+                            )));
+                        }
+                    }
+                    if let Some(res) = residual {
+                        let combined = schemas[child(0).index()]
+                            .union(&schemas[child(1).index()]);
+                        if !res.attrs().is_subset(&combined) {
+                            return Err(AlgebraError::InvalidPlan(format!(
+                                "node {id}: residual references non-visible attributes"
+                            )));
+                        }
+                    }
+                }
+                Operator::GroupBy { keys, aggs } => {
+                    let key_set: AttrSet = keys.iter().copied().collect();
+                    if !in_schema(&key_set, child(0)) {
+                        return Err(AlgebraError::InvalidPlan(format!(
+                            "node {id}: group keys not visible"
+                        )));
+                    }
+                    for ag in aggs {
+                        if !in_schema(&ag.input.attrs(), child(0)) {
+                            return Err(AlgebraError::InvalidPlan(format!(
+                                "node {id}: aggregate input not visible"
+                            )));
+                        }
+                        let ins = ag.input.attrs();
+                        if !ins.contains(ag.output) && !key_set.contains(ag.output) && !ins.is_empty() {
+                            return Err(AlgebraError::InvalidPlan(format!(
+                                "node {id}: aggregate output {} must be named after an input or key attribute",
+                                ag.output
+                            )));
+                        }
+                        if ins.is_empty() && !schemas[child(0).index()].contains(ag.output) {
+                            return Err(AlgebraError::InvalidPlan(format!(
+                                "node {id}: count(*) output must reuse a visible attribute name"
+                            )));
+                        }
+                    }
+                }
+                Operator::Udf { inputs, output, .. } => {
+                    let set: AttrSet = inputs.iter().copied().collect();
+                    if !in_schema(&set, child(0)) {
+                        return Err(AlgebraError::InvalidPlan(format!(
+                            "node {id}: udf inputs not visible"
+                        )));
+                    }
+                    if !inputs.contains(output) {
+                        return Err(AlgebraError::InvalidPlan(format!(
+                            "node {id}: udf output must be named after an input"
+                        )));
+                    }
+                }
+                Operator::Encrypt { attrs } | Operator::Decrypt { attrs } => {
+                    let set: AttrSet = attrs.iter().copied().collect();
+                    if !in_schema(&set, child(0)) {
+                        return Err(AlgebraError::InvalidPlan(format!(
+                            "node {id}: encrypt/decrypt of non-visible attributes"
+                        )));
+                    }
+                }
+                Operator::Sort { keys } => {
+                    for (e, _) in keys {
+                        if !in_schema(&e.attrs(), child(0)) {
+                            return Err(AlgebraError::InvalidPlan(format!(
+                                "node {id}: sort key references non-visible attributes"
+                            )));
+                        }
+                    }
+                }
+                Operator::Limit { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty-print the plan as an indented tree, paper-style.
+    pub fn display(&self, catalog: &Catalog) -> String {
+        let mut out = String::new();
+        self.fmt_node(self.root(), catalog, 0, &mut out);
+        out
+    }
+
+    fn fmt_node(&self, id: NodeId, catalog: &Catalog, depth: usize, out: &mut String) {
+        let node = &self.nodes[id.index()];
+        let indent = "  ".repeat(depth);
+        let render = |attrs: &[AttrId]| {
+            let set: AttrSet = attrs.iter().copied().collect();
+            catalog.render_attrs(&set)
+        };
+        let label = match &node.op {
+            Operator::Base { rel, attrs } => {
+                format!("{}[{}]", catalog.rel(*rel).name, render(attrs))
+            }
+            Operator::Project { attrs } => format!("π {}", render(attrs)),
+            Operator::Select { pred } => format!("σ {}", pred_display(pred, catalog)),
+            Operator::Having { pred } => format!("σᵧ {}", pred_display(pred, catalog)),
+            Operator::Product => "×".to_string(),
+            Operator::Join { kind, on, .. } => {
+                let conds: Vec<String> = on
+                    .iter()
+                    .map(|(l, op, r)| {
+                        format!("{}{}{}", catalog.attr_name(*l), op, catalog.attr_name(*r))
+                    })
+                    .collect();
+                format!("⋈{:?} {}", kind, conds.join(" AND "))
+            }
+            Operator::GroupBy { keys, aggs } => {
+                let ags: Vec<String> = aggs
+                    .iter()
+                    .map(|a| format!("{}({})", a.func, expr_display(&a.input, catalog)))
+                    .collect();
+                format!("γ {} ; {}", render(keys), ags.join(", "))
+            }
+            Operator::Udf { name, inputs, .. } => {
+                format!("µ {name}({})", render(inputs))
+            }
+            Operator::Encrypt { attrs } => format!("encrypt {}", render(attrs)),
+            Operator::Decrypt { attrs } => format!("decrypt {}", render(attrs)),
+            Operator::Sort { .. } => "sort".to_string(),
+            Operator::Limit { n } => format!("limit {n}"),
+        };
+        let _ = writeln!(out, "{indent}{label}");
+        for &c in &node.children {
+            self.fmt_node(c, catalog, depth + 1, out);
+        }
+    }
+}
+
+fn expr_display(e: &Expr, catalog: &Catalog) -> String {
+    // Substitute attribute ids with names for readability.
+    let s = e.to_string();
+    substitute_attr_names(&s, catalog)
+}
+
+fn pred_display(e: &Expr, catalog: &Catalog) -> String {
+    expr_display(e, catalog)
+}
+
+fn substitute_attr_names(s: &str, catalog: &Catalog) -> String {
+    // Replace occurrences of `aN` tokens with attribute names.
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'a'
+            && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric())
+            && i + 1 < bytes.len()
+            && bytes[i + 1].is_ascii_digit()
+        {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let n: usize = s[i + 1..j].parse().unwrap_or(usize::MAX);
+            if n < catalog.num_attrs() {
+                out.push_str(catalog.attr_name(AttrId::from_index(n)));
+                i = j;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggFunc, CmpOp};
+    use crate::value::Value;
+
+    /// Build the paper's running-example plan (Fig. 1a):
+    /// σ_{avg(P)>100}(γ_{T,avg(P)}(σ_{D='stroke'}(π_{S,D,T}(Hosp)) ⋈_{S=C} Ins)).
+    pub(crate) fn running_example(catalog: &Catalog) -> QueryPlan {
+        let hosp = catalog.relation("Hosp").unwrap().rel;
+        let ins = catalog.relation("Ins").unwrap().rel;
+        let s = catalog.attr("S").unwrap();
+        let d = catalog.attr("D").unwrap();
+        let t = catalog.attr("T").unwrap();
+        let c = catalog.attr("C").unwrap();
+        let p = catalog.attr("P").unwrap();
+
+        let mut plan = QueryPlan::new();
+        let base_h = plan.add_base(hosp, vec![s, d, t]);
+        let sel = plan.add(
+            Operator::Select {
+                pred: Expr::col_eq(d, Value::str("stroke")),
+            },
+            vec![base_h],
+        );
+        let base_i = plan.add_base(ins, vec![c, p]);
+        let join = plan.add(
+            Operator::Join {
+                kind: JoinKind::Inner,
+                on: vec![(s, CmpOp::Eq, c)],
+                residual: None,
+            },
+            vec![sel, base_i],
+        );
+        let gby = plan.add(
+            Operator::GroupBy {
+                keys: vec![t],
+                aggs: vec![AggExpr::over_col(AggFunc::Avg, p)],
+            },
+            vec![join],
+        );
+        plan.add(
+            Operator::Having {
+                pred: Expr::cmp(Expr::AggRef(0), CmpOp::Gt, Expr::Lit(Value::Num(100.0))),
+            },
+            vec![gby],
+        );
+        plan
+    }
+
+    #[test]
+    fn running_example_validates() {
+        let c = Catalog::paper_running_example();
+        let plan = running_example(&c);
+        plan.validate(&c).unwrap();
+        assert_eq!(plan.postorder().len(), 6);
+    }
+
+    #[test]
+    fn schemas_match_paper() {
+        let cat = Catalog::paper_running_example();
+        let plan = running_example(&cat);
+        let schemas = plan.schemas();
+        let order = plan.postorder();
+        // Root schema: T and P (avg output named P).
+        let root_schema = &schemas[plan.root().index()];
+        assert_eq!(cat.render_attrs(root_schema), "TP");
+        // Join schema: SDTCP.
+        let join = order
+            .iter()
+            .find(|&&id| matches!(plan.node(id).op, Operator::Join { .. }))
+            .copied()
+            .unwrap();
+        assert_eq!(schemas[join.index()].len(), 5);
+    }
+
+    #[test]
+    fn postorder_children_first() {
+        let cat = Catalog::paper_running_example();
+        let plan = running_example(&cat);
+        let order = plan.postorder();
+        let pos: Vec<usize> = (0..plan.len())
+            .map(|i| order.iter().position(|n| n.index() == i).unwrap())
+            .collect();
+        for id in order {
+            for &c in &plan.node(id).children {
+                assert!(pos[c.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn splice_above_mid_edge() {
+        let cat = Catalog::paper_running_example();
+        let mut plan = running_example(&cat);
+        let d = cat.attr("D").unwrap();
+        // Find σ D='stroke' and splice an encrypt above it.
+        let sel = plan
+            .postorder()
+            .into_iter()
+            .find(|&id| matches!(plan.node(id).op, Operator::Select { .. }))
+            .unwrap();
+        let parents_before = plan.parents();
+        let old_parent = parents_before[sel.index()].unwrap();
+        let enc = plan.splice_above(sel, Operator::Encrypt { attrs: vec![d] });
+        let parents = plan.parents();
+        assert_eq!(parents[sel.index()], Some(enc));
+        assert_eq!(parents[enc.index()], Some(old_parent));
+        plan.validate(&cat).unwrap();
+    }
+
+    #[test]
+    fn splice_above_root() {
+        let cat = Catalog::paper_running_example();
+        let mut plan = running_example(&cat);
+        let root = plan.root();
+        let p = cat.attr("P").unwrap();
+        let enc = plan.splice_above(root, Operator::Encrypt { attrs: vec![p] });
+        assert_eq!(plan.root(), enc);
+        plan.validate(&cat).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_projection() {
+        let cat = Catalog::paper_running_example();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let s = cat.attr("S").unwrap();
+        let p = cat.attr("P").unwrap(); // belongs to Ins, not Hosp
+        let mut plan = QueryPlan::new();
+        let b = plan.add_base(hosp, vec![s]);
+        plan.add(Operator::Project { attrs: vec![p] }, vec![b]);
+        assert!(plan.validate(&cat).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_shared_node() {
+        let cat = Catalog::paper_running_example();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let s = cat.attr("S").unwrap();
+        let mut plan = QueryPlan::new();
+        let b = plan.add_base(hosp, vec![s]);
+        plan.add(Operator::Product, vec![b, b]);
+        assert!(matches!(
+            plan.validate(&cat),
+            Err(AlgebraError::InvalidPlan(msg)) if msg.contains("multiple parents")
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_fresh_agg_output() {
+        let cat = Catalog::paper_running_example();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let s = cat.attr("S").unwrap();
+        let p = cat.attr("P").unwrap();
+        let mut plan = QueryPlan::new();
+        let b = plan.add_base(hosp, vec![s]);
+        plan.add(
+            Operator::GroupBy {
+                keys: vec![],
+                aggs: vec![AggExpr {
+                    func: AggFunc::Sum,
+                    input: Expr::Col(s),
+                    output: p, // not an input attribute
+                }],
+            },
+            vec![b],
+        );
+        assert!(plan.validate(&cat).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let cat = Catalog::paper_running_example();
+        let plan = running_example(&cat);
+        let text = plan.display(&cat);
+        assert!(text.contains("σ (D = 'stroke')"), "{text}");
+        assert!(text.contains("⋈Inner S=C"), "{text}");
+        assert!(text.contains("Hosp[SDT]"), "{text}");
+    }
+}

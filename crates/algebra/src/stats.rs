@@ -1,0 +1,533 @@
+//! Cardinality and size estimation.
+//!
+//! The paper's tool took "the estimates of the size of the processed
+//! data and the processing time … returned by the PostgreSQL
+//! optimizer". This module is our stand-in: per-column statistics on
+//! base tables (row counts, distinct values, value ranges, average
+//! widths) and a System-R style selectivity model that annotates every
+//! plan node with estimated output rows and per-attribute distinct
+//! counts. `mpq-planner` turns these into bytes, seconds, and USD.
+
+use crate::catalog::Catalog;
+use crate::expr::{CmpOp, Expr};
+use crate::ids::{AttrId, RelId};
+use crate::plan::{JoinKind, Operator, QueryPlan};
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// Default selectivities, PostgreSQL-flavored.
+const DEFAULT_EQ_SEL: f64 = 0.005;
+const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
+const DEFAULT_BETWEEN_SEL: f64 = 0.11;
+const DEFAULT_LIKE_SEL: f64 = 0.1;
+
+/// Statistics for one column of a base table.
+#[derive(Clone, Debug)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub ndv: f64,
+    /// Minimum value, for range selectivity on numeric/date columns.
+    pub min: Option<f64>,
+    /// Maximum value.
+    pub max: Option<f64>,
+    /// Average stored width in bytes.
+    pub avg_width: f64,
+    /// Fraction of NULLs.
+    pub null_frac: f64,
+}
+
+impl ColumnStats {
+    /// Reasonable defaults for a column of the given type in a table of
+    /// `rows` rows.
+    pub fn default_for(ty: DataType, rows: f64) -> ColumnStats {
+        let (ndv, width) = match ty {
+            DataType::Int => (rows.max(1.0), 8.0),
+            DataType::Num => ((rows / 2.0).max(1.0), 8.0),
+            DataType::Str => ((rows / 10.0).max(1.0), 16.0),
+            DataType::Date => (2500.0_f64.min(rows.max(1.0)), 4.0),
+            DataType::Bool => (2.0, 1.0),
+        };
+        ColumnStats {
+            ndv,
+            min: None,
+            max: None,
+            avg_width: width,
+            null_frac: 0.0,
+        }
+    }
+}
+
+/// Statistics for a base table.
+#[derive(Clone, Debug)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: f64,
+    /// Per-column statistics.
+    pub columns: HashMap<AttrId, ColumnStats>,
+}
+
+/// Statistics for all base tables of a catalog.
+#[derive(Clone, Debug, Default)]
+pub struct StatsCatalog {
+    tables: HashMap<RelId, TableStats>,
+}
+
+impl StatsCatalog {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table's statistics.
+    pub fn set_table(&mut self, rel: RelId, stats: TableStats) {
+        self.tables.insert(rel, stats);
+    }
+
+    /// Register default statistics for every relation of the catalog,
+    /// assuming the given uniform row count.
+    pub fn with_defaults(catalog: &Catalog, rows: f64) -> StatsCatalog {
+        let mut sc = StatsCatalog::new();
+        for rel in catalog.relations() {
+            let columns = rel
+                .columns
+                .iter()
+                .map(|c| (c.attr, ColumnStats::default_for(c.ty, rows)))
+                .collect();
+            sc.set_table(rel.rel, TableStats { rows, columns });
+        }
+        sc
+    }
+
+    /// Table statistics, if registered.
+    pub fn table(&self, rel: RelId) -> Option<&TableStats> {
+        self.tables.get(&rel)
+    }
+
+    /// Column statistics, if registered.
+    pub fn column(&self, rel: RelId, attr: AttrId) -> Option<&ColumnStats> {
+        self.tables.get(&rel).and_then(|t| t.columns.get(&attr))
+    }
+
+    /// Average width in bytes of an attribute (falls back to type-based
+    /// defaults when no statistics are registered).
+    pub fn attr_width(&self, catalog: &Catalog, attr: AttrId) -> f64 {
+        let rel = catalog.attr_owner(attr);
+        self.column(rel, attr)
+            .map(|c| c.avg_width)
+            .unwrap_or_else(|| match catalog.attr_type(attr) {
+                DataType::Int | DataType::Num => 8.0,
+                DataType::Str => 16.0,
+                DataType::Date => 4.0,
+                DataType::Bool => 1.0,
+            })
+    }
+}
+
+/// Estimated properties of one plan node's output.
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated distinct counts per visible attribute.
+    pub ndv: HashMap<AttrId, f64>,
+}
+
+impl Estimate {
+    fn clamp(&mut self) {
+        self.rows = self.rows.max(1.0);
+        for v in self.ndv.values_mut() {
+            *v = v.min(self.rows).max(1.0);
+        }
+    }
+}
+
+/// Annotate each reachable node of `plan` with row/NDV estimates.
+/// The result is indexed by `NodeId::index()`; unreachable (detached)
+/// nodes keep a default estimate.
+pub fn estimate_plan(
+    plan: &QueryPlan,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+) -> Vec<Estimate> {
+    let mut out: Vec<Estimate> = (0..plan.len())
+        .map(|_| Estimate {
+            rows: 1.0,
+            ndv: HashMap::new(),
+        })
+        .collect();
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        let est = match &node.op {
+            Operator::Base { rel, attrs } => {
+                let t = stats.table(*rel);
+                let rows = t.map(|t| t.rows).unwrap_or(1000.0);
+                let ndv = attrs
+                    .iter()
+                    .map(|a| {
+                        let n = t
+                            .and_then(|t| t.columns.get(a))
+                            .map(|c| c.ndv)
+                            .unwrap_or(rows / 10.0);
+                        (*a, n)
+                    })
+                    .collect();
+                Estimate { rows, ndv }
+            }
+            Operator::Project { attrs } => {
+                let child = &out[node.children[0].index()];
+                let ndv = attrs
+                    .iter()
+                    .filter_map(|a| child.ndv.get(a).map(|n| (*a, *n)))
+                    .collect();
+                Estimate {
+                    rows: child.rows,
+                    ndv,
+                }
+            }
+            Operator::Select { pred } => {
+                let child = out[node.children[0].index()].clone();
+                let sel = selectivity(pred, &child, catalog, stats);
+                scale(child, sel)
+            }
+            Operator::Having { pred } => {
+                let child = out[node.children[0].index()].clone();
+                // HAVING predicates mostly reference aggregates; use the
+                // range default per comparison.
+                let sel = selectivity(pred, &child, catalog, stats);
+                scale(child, sel)
+            }
+            Operator::Product => {
+                let l = &out[node.children[0].index()];
+                let r = &out[node.children[1].index()];
+                let mut ndv = l.ndv.clone();
+                ndv.extend(r.ndv.iter().map(|(k, v)| (*k, *v)));
+                Estimate {
+                    rows: l.rows * r.rows,
+                    ndv,
+                }
+            }
+            Operator::Join {
+                kind,
+                on,
+                residual,
+            } => {
+                let l = out[node.children[0].index()].clone();
+                let r = out[node.children[1].index()].clone();
+                let mut est = join_estimate(*kind, on, &l, &r);
+                if let Some(resid) = residual {
+                    let sel = selectivity(resid, &est, catalog, stats);
+                    est = scale(est, sel);
+                }
+                est
+            }
+            Operator::GroupBy { keys, aggs } => {
+                let child = &out[node.children[0].index()];
+                let mut groups: f64 = 1.0;
+                for k in keys {
+                    groups *= child.ndv.get(k).copied().unwrap_or(10.0);
+                }
+                let rows = groups.min(child.rows).max(1.0);
+                let mut ndv: HashMap<AttrId, f64> = keys
+                    .iter()
+                    .map(|k| (*k, child.ndv.get(k).copied().unwrap_or(rows).min(rows)))
+                    .collect();
+                for a in aggs {
+                    ndv.insert(a.output, rows);
+                }
+                Estimate { rows, ndv }
+            }
+            Operator::Udf {
+                inputs, output, ..
+            } => {
+                let child = &out[node.children[0].index()];
+                let mut ndv = child.ndv.clone();
+                for a in inputs {
+                    if a != output {
+                        ndv.remove(a);
+                    }
+                }
+                ndv.insert(*output, child.rows);
+                Estimate {
+                    rows: child.rows,
+                    ndv,
+                }
+            }
+            Operator::Encrypt { .. }
+            | Operator::Decrypt { .. }
+            | Operator::Sort { .. } => out[node.children[0].index()].clone(),
+            Operator::Limit { n } => {
+                let child = out[node.children[0].index()].clone();
+                Estimate {
+                    rows: child.rows.min(*n as f64),
+                    ndv: child.ndv,
+                }
+            }
+        };
+        let mut est = est;
+        est.clamp();
+        out[id.index()] = est;
+    }
+    out
+}
+
+fn scale(mut est: Estimate, sel: f64) -> Estimate {
+    let sel = sel.clamp(0.0, 1.0);
+    est.rows *= sel;
+    est
+}
+
+fn join_estimate(
+    kind: JoinKind,
+    on: &[(AttrId, CmpOp, AttrId)],
+    l: &Estimate,
+    r: &Estimate,
+) -> Estimate {
+    let mut sel = 1.0;
+    for (a, op, b) in on {
+        let nl = l.ndv.get(a).copied().unwrap_or(100.0);
+        let nr = r.ndv.get(b).copied().unwrap_or(100.0);
+        sel *= if op.is_equality() {
+            1.0 / nl.max(nr).max(1.0)
+        } else {
+            DEFAULT_RANGE_SEL
+        };
+    }
+    let inner_rows = (l.rows * r.rows * sel).max(1.0);
+    let rows = match kind {
+        JoinKind::Inner => inner_rows,
+        JoinKind::LeftOuter => inner_rows.max(l.rows),
+        JoinKind::Semi => {
+            // Fraction of left rows with at least one match.
+            let frac = (inner_rows / l.rows.max(1.0)).min(1.0);
+            (l.rows * frac.max(0.1)).max(1.0)
+        }
+        JoinKind::Anti => {
+            let frac = (inner_rows / l.rows.max(1.0)).min(1.0);
+            (l.rows * (1.0 - frac).max(0.1)).max(1.0)
+        }
+    };
+    let mut ndv = l.ndv.clone();
+    if kind.keeps_right() {
+        ndv.extend(r.ndv.iter().map(|(k, v)| (*k, *v)));
+    }
+    Estimate { rows, ndv }
+}
+
+/// Estimate the selectivity of a predicate against a node estimate.
+pub fn selectivity(
+    pred: &Expr,
+    input: &Estimate,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+) -> f64 {
+    match pred {
+        Expr::And(v) => v
+            .iter()
+            .map(|e| selectivity(e, input, catalog, stats))
+            .product(),
+        Expr::Or(v) => {
+            let mut s = 0.0;
+            for e in v {
+                let se = selectivity(e, input, catalog, stats);
+                s = s + se - s * se;
+            }
+            s
+        }
+        Expr::Not(e) => 1.0 - selectivity(e, input, catalog, stats),
+        Expr::Cmp(a, op, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c)) => {
+                cmp_col_lit_sel(*c, *op, v, input, catalog, stats)
+            }
+            (Expr::Col(c1), Expr::Col(c2)) => {
+                if op.is_equality() {
+                    let n1 = input.ndv.get(c1).copied().unwrap_or(100.0);
+                    let n2 = input.ndv.get(c2).copied().unwrap_or(100.0);
+                    1.0 / n1.max(n2).max(1.0)
+                } else {
+                    DEFAULT_RANGE_SEL
+                }
+            }
+            _ => {
+                if op.is_equality() {
+                    DEFAULT_EQ_SEL
+                } else {
+                    DEFAULT_RANGE_SEL
+                }
+            }
+        },
+        Expr::Between { .. } => DEFAULT_BETWEEN_SEL,
+        Expr::Like { negated, .. } => {
+            if *negated {
+                1.0 - DEFAULT_LIKE_SEL
+            } else {
+                DEFAULT_LIKE_SEL
+            }
+        }
+        Expr::InList { expr, list, negated } => {
+            let base = if let Expr::Col(c) = expr.as_ref() {
+                let ndv = input.ndv.get(c).copied().unwrap_or(100.0);
+                (list.len() as f64 / ndv.max(1.0)).min(1.0)
+            } else {
+                (list.len() as f64 * DEFAULT_EQ_SEL).min(1.0)
+            };
+            if *negated {
+                1.0 - base
+            } else {
+                base
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let frac = if let Expr::Col(c) = expr.as_ref() {
+                let rel = catalog.attr_owner(*c);
+                stats.column(rel, *c).map(|s| s.null_frac).unwrap_or(0.01)
+            } else {
+                0.01
+            };
+            if *negated {
+                1.0 - frac
+            } else {
+                frac
+            }
+        }
+        // Anything else used as a predicate: neutral default.
+        _ => 0.5,
+    }
+}
+
+fn cmp_col_lit_sel(
+    col: AttrId,
+    op: CmpOp,
+    lit: &Value,
+    input: &Estimate,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+) -> f64 {
+    let ndv = input.ndv.get(&col).copied().unwrap_or(100.0);
+    if op.is_equality() {
+        return (1.0 / ndv.max(1.0)).max(DEFAULT_EQ_SEL.min(1.0 / ndv.max(1.0)));
+    }
+    if op == CmpOp::Ne {
+        return 1.0 - 1.0 / ndv.max(1.0);
+    }
+    // Range: interpolate against min/max when available.
+    let rel = catalog.attr_owner(col);
+    if let (Some(cs), Some(x)) = (stats.column(rel, col), value_as_f64(lit)) {
+        if let (Some(lo), Some(hi)) = (cs.min, cs.max) {
+            if hi > lo {
+                let frac_below = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+                return match op {
+                    CmpOp::Lt | CmpOp::Le => frac_below,
+                    CmpOp::Gt | CmpOp::Ge => 1.0 - frac_below,
+                    _ => DEFAULT_RANGE_SEL,
+                }
+                .clamp(0.001, 1.0);
+            }
+        }
+    }
+    DEFAULT_RANGE_SEL
+}
+
+fn value_as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Num(f) => Some(*f),
+        Value::Date(d) => Some(d.0 as f64),
+        _ => None,
+    }
+}
+
+/// Estimated plaintext row width (bytes) for a set of visible attributes.
+pub fn row_width(catalog: &Catalog, stats: &StatsCatalog, attrs: &crate::AttrSet) -> f64 {
+    attrs.iter().map(|a| stats.attr_width(catalog, a)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::plan_sql;
+    use crate::catalog::Catalog;
+
+    fn setup() -> (Catalog, StatsCatalog) {
+        let cat = Catalog::paper_running_example();
+        let mut stats = StatsCatalog::with_defaults(&cat, 10_000.0);
+        // Refine: 500 distinct diseases, premium range 0..1000.
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let d = cat.attr("D").unwrap();
+        if let Some(t) = stats.tables.get_mut(&hosp) {
+            t.columns.get_mut(&d).unwrap().ndv = 500.0;
+        }
+        (cat, stats)
+    }
+
+    #[test]
+    fn base_estimate_uses_table_rows() {
+        let (cat, stats) = setup();
+        let plan = plan_sql(&cat, "select S, D from Hosp").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let base = plan.postorder()[0];
+        assert_eq!(est[base.index()].rows, 10_000.0);
+    }
+
+    #[test]
+    fn equality_selection_uses_ndv() {
+        let (cat, stats) = setup();
+        let plan = plan_sql(&cat, "select S from Hosp where D='stroke'").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let root = plan.root();
+        // 10000 rows / 500 distinct diseases = 20 rows.
+        assert!((est[root.index()].rows - 20.0).abs() < 1.0, "{}", est[root.index()].rows);
+    }
+
+    #[test]
+    fn join_estimate_divides_by_max_ndv() {
+        let (cat, stats) = setup();
+        let plan = plan_sql(&cat, "select T, P from Hosp, Ins where S=C").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let root = plan.root();
+        // |Hosp|*|Ins| / max(ndv S, ndv C) = 1e8 / 1000 = 1e5.
+        let rows = est[root.index()].rows;
+        assert!(rows > 1e4 && rows < 1e6, "{rows}");
+    }
+
+    #[test]
+    fn group_by_caps_at_key_ndv() {
+        let (cat, stats) = setup();
+        let plan =
+            plan_sql(&cat, "select D, count(*) from Hosp group by D").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let root = plan.root();
+        assert!((est[root.index()].rows - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        let (cat, stats) = setup();
+        let plan = plan_sql(&cat, "select S from Hosp limit 7").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        assert_eq!(est[plan.root().index()].rows, 7.0);
+    }
+
+    #[test]
+    fn or_selectivity_is_inclusion_exclusion() {
+        let (cat, stats) = setup();
+        let plan = plan_sql(
+            &cat,
+            "select S from Hosp where D='a' or D='b'",
+        )
+        .unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let rows = est[plan.root().index()].rows;
+        // ~2 * 20 rows.
+        assert!(rows > 30.0 && rows < 50.0, "{rows}");
+    }
+
+    #[test]
+    fn row_width_sums_attr_widths() {
+        let (cat, stats) = setup();
+        let s = cat.attr("S").unwrap();
+        let p = cat.attr("P").unwrap();
+        let set: crate::AttrSet = [s, p].into_iter().collect();
+        let w = row_width(&cat, &stats, &set);
+        assert_eq!(w, 16.0 + 8.0); // Str default 16 + Num 8
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 10: cumulative cost of the 22 queries per scenario, with the
+//! headline savings the paper reports (UAPenc 54.2%, UAPmix 71.3%).
+
+use mpq_bench::all_costs;
+use mpq_planner::Strategy;
+
+fn main() {
+    let rows = all_costs(Strategy::CostDp);
+    println!("# Figure 10 — cumulative normalized cost");
+    println!("{:>5} {:>9} {:>9} {:>9}", "query", "UA", "UAPenc", "UAPmix");
+    let mut acc = [0.0f64; 3];
+    let unit = rows.iter().map(|r| r[0]).sum::<f64>() / rows.len() as f64;
+    for (i, row) in rows.iter().enumerate() {
+        for k in 0..3 {
+            acc[k] += row[k] / unit;
+        }
+        println!(
+            "{:>5} {:>9.2} {:>9.2} {:>9.2}",
+            i + 1,
+            acc[0],
+            acc[1],
+            acc[2]
+        );
+    }
+    let totals: [f64; 3] = {
+        let mut t = [0.0; 3];
+        for row in &rows {
+            for k in 0..3 {
+                t[k] += row[k];
+            }
+        }
+        t
+    };
+    println!();
+    println!(
+        "UAPenc saving vs UA: {:.1}% (paper: 54.2%)",
+        (1.0 - totals[1] / totals[0]) * 100.0
+    );
+    println!(
+        "UAPmix saving vs UA: {:.1}% (paper: 71.3%)",
+        (1.0 - totals[2] / totals[0]) * 100.0
+    );
+}

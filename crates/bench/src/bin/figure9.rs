@@ -1,0 +1,21 @@
+//! Figure 9: economic cost of evaluating individual queries under the
+//! three authorization scenarios, normalized to UA = 1 per query.
+
+use mpq_bench::all_costs;
+use mpq_planner::Strategy;
+
+fn main() {
+    let rows = all_costs(Strategy::CostDp);
+    println!("# Figure 9 — normalized per-query cost (UA = 1.0)");
+    println!("{:>5} {:>8} {:>8} {:>8}", "query", "UA", "UAPenc", "UAPmix");
+    for (i, row) in rows.iter().enumerate() {
+        let ua = row[0];
+        println!(
+            "{:>5} {:>8.3} {:>8.3} {:>8.3}",
+            i + 1,
+            1.0,
+            row[1] / ua,
+            row[2] / ua
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! # mpq-bench
+//!
+//! Benchmark harness regenerating the paper's evaluation (§7):
+//!
+//! * `cargo run -p mpq-bench --bin figure9 --release` — per-query
+//!   normalized economic cost of the 22 TPC-H queries under the UA /
+//!   UAPenc / UAPmix scenarios (the paper's Figure 9);
+//! * `cargo run -p mpq-bench --bin figure10 --release` — cumulative
+//!   cost and headline savings (Figure 10; paper: 54.2% for UAPenc,
+//!   71.3% for UAPmix);
+//! * `cargo run -p mpq-bench --bin ablation --release` — the §5
+//!   maximize-/minimize-visibility strategies versus the minimal
+//!   extension;
+//! * `cargo bench -p mpq-bench` — criterion microbenchmarks for the
+//!   crypto substrate, candidate computation, minimal extension, and
+//!   the optimizer.
+
+use mpq_core::capability::CapabilityPolicy;
+use mpq_planner::{build_scenario, optimize, Optimized, Scenario, Strategy};
+use mpq_tpch::{query_plan, tpch_catalog, tpch_stats, QUERY_COUNT};
+
+/// Optimize one TPC-H query under one scenario at SF 1 (the paper's
+/// 1 GB configuration) with the evaluation capability policy.
+pub fn run_query(q: usize, scenario: Scenario, strategy: Strategy) -> Optimized {
+    let cat = tpch_catalog();
+    let stats = tpch_stats(&cat, 1.0);
+    let env = build_scenario(&cat, scenario);
+    let plan = query_plan(&cat, q);
+    optimize(
+        &plan,
+        &cat,
+        &stats,
+        &env,
+        &CapabilityPolicy::tpch_evaluation(),
+        strategy,
+    )
+    .unwrap_or_else(|e| panic!("Q{q} {scenario:?}: {e}"))
+}
+
+/// Total cost per scenario for all 22 queries (Figure 10's input),
+/// computed in parallel across queries.
+pub fn all_costs(strategy: Strategy) -> Vec<[f64; 3]> {
+    let qs: Vec<usize> = (1..=QUERY_COUNT).collect();
+    let mut out = vec![[0.0; 3]; QUERY_COUNT];
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for &q in &qs {
+            handles.push(s.spawn(move |_| {
+                let mut row = [0.0; 3];
+                for (i, scen) in Scenario::ALL.iter().enumerate() {
+                    row[i] = run_query(q, *scen, strategy).cost.total();
+                }
+                (q, row)
+            }));
+        }
+        for h in handles {
+            let (q, row) = h.join().expect("worker");
+            out[q - 1] = row;
+        }
+    })
+    .expect("scope");
+    out
+}

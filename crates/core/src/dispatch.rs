@@ -1,0 +1,664 @@
+//! Sub-query dispatch (§6, Fig. 8).
+//!
+//! The extended plan is cut into *regions*: maximal connected groups of
+//! nodes executed by the same subject (leaves belong to the data
+//! authority storing the base relation). Each region becomes a
+//! sub-query; a region referencing another region's output embeds a
+//! `⟦req_S⟧` placeholder, mirroring the paper's `JreqXK` notation. The
+//! communication to each subject carries its sub-query and the keys it
+//! needs, signed by the user and encrypted under the recipient's public
+//! key — `[[q_S, keys]_priU]_pubS`. The actual cryptographic envelope
+//! is realized in `mpq-dist`; this module produces the structure and
+//! the paper-style notation.
+
+use crate::extend::ExtendedPlan;
+use crate::keys::KeyPlan;
+use crate::subjects::Subjects;
+use mpq_algebra::{AttrSet, Catalog, NodeId, Operator, SubjectId};
+use std::collections::HashMap;
+
+/// One sub-query to be executed by one subject.
+#[derive(Clone, Debug)]
+pub struct SubQuery {
+    /// Executing subject.
+    pub subject: SubjectId,
+    /// Region nodes (ids in the extended plan), bottom-up.
+    pub nodes: Vec<NodeId>,
+    /// Topmost node of the region (its output feeds the parent region,
+    /// or the user if this is the root region).
+    pub root: NodeId,
+    /// Indices (into [`Dispatch::requests`]) of the regions whose
+    /// results this sub-query consumes.
+    pub children: Vec<usize>,
+    /// Key ids (into [`KeyPlan::keys`]) communicated with the request.
+    pub keys: Vec<u32>,
+    /// Rendered pseudo-SQL, Fig. 8 style.
+    pub sql: String,
+}
+
+/// A dispatched query: one request per region.
+#[derive(Clone, Debug)]
+pub struct Dispatch {
+    /// All requests; children precede parents.
+    pub requests: Vec<SubQuery>,
+    /// Index of the root request (executed last, returns to the user).
+    pub root_request: usize,
+}
+
+impl Dispatch {
+    /// The paper's envelope notation for request `i`:
+    /// `[[q_S,(attrs,k)]priU]pubS`.
+    pub fn envelope_notation(
+        &self,
+        i: usize,
+        user: SubjectId,
+        subjects: &Subjects,
+        catalog: &Catalog,
+        keys: &KeyPlan,
+    ) -> String {
+        let req = &self.requests[i];
+        let s = subjects.name(req.subject);
+        let key_part: Vec<String> = req
+            .keys
+            .iter()
+            .map(|&k| {
+                let key = &keys.keys[k as usize];
+                format!("({},k{})", catalog.render_attrs(&key.attrs), catalog.render_attrs(&key.attrs))
+            })
+            .collect();
+        let keys_str = if key_part.is_empty() {
+            "-".to_string()
+        } else {
+            key_part.concat()
+        };
+        format!(
+            "[[q{s},{keys_str}]pri{}]pub{s}",
+            subjects.name(user)
+        )
+    }
+}
+
+/// Cut the extended plan into per-subject regions and render each as a
+/// sub-query (Fig. 8).
+pub fn dispatch(
+    ext: &ExtendedPlan,
+    keys: &KeyPlan,
+    catalog: &Catalog,
+    subjects: &Subjects,
+) -> Dispatch {
+    let plan = &ext.plan;
+    let parents = plan.parents();
+    let order = plan.postorder();
+
+    // Region id per node: same as parent when assignees match,
+    // otherwise a fresh region. Compute top-down (reverse post-order).
+    let mut region_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut region_subject: Vec<SubjectId> = Vec::new();
+    let mut region_nodes: Vec<Vec<NodeId>> = Vec::new();
+    for &id in order.iter().rev() {
+        let subject = ext.assignment[&id];
+        let region = match parents[id.index()] {
+            Some(p) if ext.assignment[&p] == subject => region_of[&p],
+            _ => {
+                region_subject.push(subject);
+                region_nodes.push(Vec::new());
+                region_subject.len() - 1
+            }
+        };
+        region_of.insert(id, region);
+        region_nodes[region].push(id);
+    }
+    for nodes in &mut region_nodes {
+        nodes.reverse(); // bottom-up within the region
+    }
+
+    // Region children: regions whose root's parent lies in this region.
+    let mut region_children: Vec<Vec<usize>> = vec![Vec::new(); region_subject.len()];
+    let mut region_root: Vec<NodeId> = vec![plan.root(); region_subject.len()];
+    for (r, nodes) in region_nodes.iter().enumerate() {
+        let top = *nodes.last().expect("regions are non-empty");
+        region_root[r] = top;
+        if let Some(p) = parents[top.index()] {
+            let pr = region_of[&p];
+            region_children[pr].push(r);
+        }
+    }
+
+    // Keys per region: keys whose attributes some encrypt/decrypt node
+    // of the region touches.
+    let mut region_keys: Vec<Vec<u32>> = vec![Vec::new(); region_subject.len()];
+    for (r, nodes) in region_nodes.iter().enumerate() {
+        for &id in nodes {
+            let touched: AttrSet = match &plan.node(id).op {
+                Operator::Encrypt { attrs } | Operator::Decrypt { attrs } => {
+                    attrs.iter().copied().collect()
+                }
+                _ => continue,
+            };
+            for k in &keys.keys {
+                if k.attrs.intersects(&touched) && !region_keys[r].contains(&k.id) {
+                    region_keys[r].push(k.id);
+                }
+            }
+        }
+    }
+
+    // Emit requests children-first.
+    let mut emit_order: Vec<usize> = (0..region_subject.len()).collect();
+    emit_order.sort_by_key(|&r| {
+        // Depth of region root from plan root (children deeper → first).
+        std::cmp::Reverse(depth(plan, &parents, region_root[r]))
+    });
+    let mut index_of: HashMap<usize, usize> = HashMap::new();
+    let mut requests = Vec::with_capacity(emit_order.len());
+    for &r in &emit_order {
+        let sql = render_region(
+            plan,
+            catalog,
+            subjects,
+            keys,
+            &region_of,
+            r,
+            region_root[r],
+        );
+        let children = region_children[r]
+            .iter()
+            .map(|c| index_of[c])
+            .collect();
+        index_of.insert(r, requests.len());
+        requests.push(SubQuery {
+            subject: region_subject[r],
+            nodes: region_nodes[r].clone(),
+            root: region_root[r],
+            children,
+            keys: region_keys[r].clone(),
+            sql,
+        });
+    }
+    let root_region = region_of[&plan.root()];
+    Dispatch {
+        root_request: index_of[&root_region],
+        requests,
+    }
+}
+
+fn depth(
+    plan: &mpq_algebra::QueryPlan,
+    parents: &[Option<NodeId>],
+    mut id: NodeId,
+) -> usize {
+    let _ = plan;
+    let mut d = 0;
+    while let Some(p) = parents[id.index()] {
+        d += 1;
+        id = p;
+    }
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Pseudo-SQL rendering (display only; execution uses the plan directly)
+// ---------------------------------------------------------------------------
+
+struct QueryParts {
+    select: Vec<String>,
+    from: String,
+    wheres: Vec<String>,
+    group_by: Vec<String>,
+    having: Vec<String>,
+    tail: Vec<String>,
+}
+
+impl QueryParts {
+    fn leaf(from: String, cols: Vec<String>) -> QueryParts {
+        QueryParts {
+            select: cols,
+            from,
+            wheres: Vec::new(),
+            group_by: Vec::new(),
+            having: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut s = format!("select {} from {}", self.select.join(", "), self.from);
+        if !self.wheres.is_empty() {
+            s.push_str(&format!(" where {}", self.wheres.join(" and ")));
+        }
+        if !self.group_by.is_empty() {
+            s.push_str(&format!(" group by {}", self.group_by.join(", ")));
+        }
+        if !self.having.is_empty() {
+            s.push_str(&format!(" having {}", self.having.join(" and ")));
+        }
+        for t in &self.tail {
+            s.push(' ');
+            s.push_str(t);
+        }
+        s
+    }
+
+    /// Nest the current parts as a derived table.
+    fn wrap(self) -> QueryParts {
+        let cols = self
+            .select
+            .iter()
+            .map(|c| strip_alias(c))
+            .collect();
+        QueryParts::leaf(format!("({})", self.render()), cols)
+    }
+}
+
+fn strip_alias(item: &str) -> String {
+    match item.rsplit_once(" as ") {
+        Some((_, alias)) => alias.to_string(),
+        None => item.to_string(),
+    }
+}
+
+fn key_name(keys: &KeyPlan, catalog: &Catalog, a: mpq_algebra::AttrId) -> String {
+    match keys.key_for(a) {
+        Some(k) => format!("k{}", catalog.render_attrs(&k.attrs)),
+        None => "k?".to_string(),
+    }
+}
+
+fn render_region(
+    plan: &mpq_algebra::QueryPlan,
+    catalog: &Catalog,
+    subjects: &Subjects,
+    keys: &KeyPlan,
+    region_of: &HashMap<NodeId, usize>,
+    region: usize,
+    node: NodeId,
+) -> String {
+    render_node(plan, catalog, subjects, keys, region_of, region, node).render()
+}
+
+fn render_node(
+    plan: &mpq_algebra::QueryPlan,
+    catalog: &Catalog,
+    subjects: &Subjects,
+    keys: &KeyPlan,
+    region_of: &HashMap<NodeId, usize>,
+    region: usize,
+    id: NodeId,
+) -> QueryParts {
+    // A node outside the region renders as a request placeholder.
+    if region_of[&id] != region {
+        let subject = subjects.name(
+            // region subject of that node: find via region_of → need the
+            // assignment; placeholder uses the executing subject's name.
+            SubjectId::from_index(0),
+        );
+        let _ = subject;
+        let schema_cols: Vec<String> = visible_cols(plan, catalog, id);
+        let owner = region_of[&id];
+        return QueryParts::leaf(format!("⟦req#{owner}⟧"), schema_cols);
+    }
+    let node = plan.node(id);
+    match &node.op {
+        Operator::Base { rel, attrs } => {
+            let cols = attrs.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
+            QueryParts::leaf(catalog.rel(*rel).name.clone(), cols)
+        }
+        Operator::Project { attrs } => {
+            let mut parts =
+                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let keep: Vec<String> = attrs.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
+            parts.select.retain(|c| keep.contains(&strip_alias(c)));
+            parts
+        }
+        Operator::Select { pred } => {
+            let mut parts =
+                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            if !parts.group_by.is_empty() {
+                parts = parts.wrap();
+            }
+            parts.wheres.push(render_expr_names(pred, catalog));
+            parts
+        }
+        Operator::Having { pred } => {
+            let mut parts =
+                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let rendered = match &plan.node(node.children[0]).op {
+                Operator::GroupBy { aggs, .. } => {
+                    render_expr_names(&crate::profile::resolve_agg_refs(pred, aggs), catalog)
+                }
+                _ => render_expr_names(pred, catalog),
+            };
+            if parts.group_by.is_empty() {
+                // Child group-by sits in another region; filter locally.
+                parts.wheres.push(rendered);
+            } else {
+                parts.having.push(rendered);
+            }
+            parts
+        }
+        Operator::Product | Operator::Join { .. } => {
+            let l = render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let r = render_node(plan, catalog, subjects, keys, region_of, region, node.children[1]);
+            let l = if l.group_by.is_empty() { l } else { l.wrap() };
+            let r = if r.group_by.is_empty() { r } else { r.wrap() };
+            let mut select = l.select;
+            select.extend(r.select);
+            let from = match &node.op {
+                Operator::Join { on, .. } => {
+                    let conds: Vec<String> = on
+                        .iter()
+                        .map(|(a, op, b)| {
+                            format!("{}{}{}", catalog.attr_name(*a), op, catalog.attr_name(*b))
+                        })
+                        .collect();
+                    format!("{} join {} on {}", l.from, r.from, conds.join(" and "))
+                }
+                _ => format!("{}, {}", l.from, r.from),
+            };
+            let mut wheres = l.wheres;
+            wheres.extend(r.wheres);
+            QueryParts {
+                select,
+                from,
+                wheres,
+                group_by: Vec::new(),
+                having: Vec::new(),
+                tail: Vec::new(),
+            }
+        }
+        Operator::GroupBy { keys: gk, aggs } => {
+            let mut parts =
+                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            if !parts.group_by.is_empty() {
+                parts = parts.wrap();
+            }
+            let mut select: Vec<String> =
+                gk.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
+            for ag in aggs {
+                let inner = render_expr_names(&ag.input, catalog);
+                select.push(format!(
+                    "{}({inner}) as {}",
+                    ag.func,
+                    catalog.attr_name(ag.output)
+                ));
+            }
+            parts.select = select;
+            parts.group_by = gk.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
+            parts
+        }
+        Operator::Udf {
+            name,
+            inputs,
+            output,
+            ..
+        } => {
+            let mut parts =
+                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let args: Vec<String> = inputs.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
+            let rendered = format!("{name}({}) as {}", args.join(","), catalog.attr_name(*output));
+            let consumed: Vec<String> = inputs
+                .iter()
+                .filter(|a| *a != output)
+                .map(|a| catalog.attr_name(*a).to_string())
+                .collect();
+            parts.select.retain(|c| {
+                let base = strip_alias(c);
+                !consumed.contains(&base) && base != catalog.attr_name(*output)
+            });
+            parts.select.push(rendered);
+            parts
+        }
+        Operator::Encrypt { attrs } => {
+            let mut parts =
+                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            for a in attrs {
+                let name = catalog.attr_name(*a).to_string();
+                let k = key_name(keys, catalog, *a);
+                for item in &mut parts.select {
+                    if strip_alias(item) == name {
+                        *item = format!("encrypt({name},{k}) as {name}");
+                    }
+                }
+            }
+            parts
+        }
+        Operator::Decrypt { attrs } => {
+            let mut parts =
+                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            if !parts.group_by.is_empty() {
+                parts = parts.wrap();
+            }
+            for a in attrs {
+                let name = catalog.attr_name(*a).to_string();
+                let k = key_name(keys, catalog, *a);
+                for item in &mut parts.select {
+                    if strip_alias(item) == name {
+                        *item = format!("decrypt({name},{k}) as {name}");
+                    }
+                }
+            }
+            parts
+        }
+        Operator::Sort { .. } => {
+            let mut parts =
+                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            parts.tail.push("order by …".to_string());
+            parts
+        }
+        Operator::Limit { n } => {
+            let mut parts =
+                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            parts.tail.push(format!("limit {n}"));
+            parts
+        }
+    }
+}
+
+fn visible_cols(
+    plan: &mpq_algebra::QueryPlan,
+    catalog: &Catalog,
+    id: NodeId,
+) -> Vec<String> {
+    plan.schemas()[id.index()]
+        .iter()
+        .map(|a| catalog.attr_name(a).to_string())
+        .collect()
+}
+
+fn render_expr_names(e: &mpq_algebra::Expr, catalog: &Catalog) -> String {
+    // Reuse the id-substituting display of the plan module via Display,
+    // then patch attribute ids into names.
+    let raw = e.to_string();
+    let mut out = String::with_capacity(raw.len());
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'a'
+            && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric())
+            && i + 1 < bytes.len()
+            && bytes[i + 1].is_ascii_digit()
+        {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if let Ok(n) = raw[i + 1..j].parse::<usize>() {
+                if n < catalog.num_attrs() {
+                    out.push_str(catalog.attr_name(mpq_algebra::AttrId::from_index(n)));
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::candidates;
+    use crate::capability::CapabilityPolicy;
+    use crate::extend::{minimally_extend, Assignment};
+    use crate::fixtures::RunningExample;
+    use crate::keys::plan_keys;
+
+    fn fig7a(ex: &RunningExample) -> (ExtendedPlan, KeyPlan) {
+        let cands = candidates(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &CapabilityPolicy::default(),
+            false,
+        );
+        let mut a = Assignment::new();
+        a.set(ex.node("select_d"), ex.subject("H"));
+        a.set(ex.node("join"), ex.subject("X"));
+        a.set(ex.node("group"), ex.subject("X"));
+        a.set(ex.node("having"), ex.subject("Y"));
+        let e = minimally_extend(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &cands,
+            &a,
+            Some(ex.subject("U")),
+        )
+        .unwrap();
+        let k = plan_keys(&e);
+        (e, k)
+    }
+
+    /// Fig. 8: four requests — Y (root), X, H, I.
+    #[test]
+    fn fig8_regions() {
+        let ex = RunningExample::new();
+        let (e, k) = fig7a(&ex);
+        let d = dispatch(&e, &k, &ex.catalog, &ex.subjects);
+        assert_eq!(d.requests.len(), 4);
+        let subjects: Vec<&str> = d
+            .requests
+            .iter()
+            .map(|r| ex.subjects.name(r.subject))
+            .collect();
+        assert!(subjects.contains(&"Y"));
+        assert!(subjects.contains(&"X"));
+        assert!(subjects.contains(&"H"));
+        assert!(subjects.contains(&"I"));
+        // Root request belongs to Y and consumes X's request.
+        let root = &d.requests[d.root_request];
+        assert_eq!(ex.subjects.name(root.subject), "Y");
+        assert_eq!(root.children.len(), 1);
+        let x_req = &d.requests[root.children[0]];
+        assert_eq!(ex.subjects.name(x_req.subject), "X");
+        assert_eq!(x_req.children.len(), 2, "X consumes H's and I's results");
+    }
+
+    /// Fig. 8: keys accompany the right requests — Y gets k_P, H gets
+    /// k_SC, I gets both, X gets none.
+    #[test]
+    fn fig8_key_distribution_in_requests() {
+        let ex = RunningExample::new();
+        let (e, k) = fig7a(&ex);
+        let d = dispatch(&e, &k, &ex.catalog, &ex.subjects);
+        let by_name = |n: &str| {
+            d.requests
+                .iter()
+                .find(|r| ex.subjects.name(r.subject) == n)
+                .unwrap()
+        };
+        let key_attrs = |req: &SubQuery| -> Vec<String> {
+            req.keys
+                .iter()
+                .map(|&i| ex.catalog.render_attrs(&k.keys[i as usize].attrs))
+                .collect()
+        };
+        assert_eq!(key_attrs(by_name("Y")), vec!["P"]);
+        assert_eq!(key_attrs(by_name("H")), vec!["SC"]);
+        let mut i_keys = key_attrs(by_name("I"));
+        i_keys.sort();
+        assert_eq!(i_keys, vec!["P", "SC"]);
+        assert!(key_attrs(by_name("X")).is_empty());
+    }
+
+    /// Fig. 8: the rendered sub-queries carry the encrypt/decrypt calls.
+    #[test]
+    fn fig8_rendered_subqueries() {
+        let ex = RunningExample::new();
+        let (e, k) = fig7a(&ex);
+        let d = dispatch(&e, &k, &ex.catalog, &ex.subjects);
+        let sql_of = |n: &str| {
+            d.requests
+                .iter()
+                .find(|r| ex.subjects.name(r.subject) == n)
+                .unwrap()
+                .sql
+                .clone()
+        };
+        let h = sql_of("H");
+        assert!(h.contains("encrypt(S,kSC)"), "{h}");
+        assert!(h.contains("from Hosp"), "{h}");
+        assert!(h.contains("where (D = 'stroke')"), "{h}");
+        let i = sql_of("I");
+        assert!(i.contains("encrypt(C,kSC)"), "{i}");
+        assert!(i.contains("encrypt(P,kP)"), "{i}");
+        let x = sql_of("X");
+        assert!(x.contains("avg(P)"), "{x}");
+        assert!(x.contains("group by T"), "{x}");
+        assert!(x.contains("join"), "{x}");
+        let y = sql_of("Y");
+        assert!(y.contains("decrypt(P,kP)"), "{y}");
+    }
+
+    /// Envelope notation matches the paper's `[[q_S,(a,k)]priU]pubS`.
+    #[test]
+    fn envelope_notation() {
+        let ex = RunningExample::new();
+        let (e, k) = fig7a(&ex);
+        let d = dispatch(&e, &k, &ex.catalog, &ex.subjects);
+        let notation = d.envelope_notation(
+            d.root_request,
+            ex.subject("U"),
+            &ex.subjects,
+            &ex.catalog,
+            &k,
+        );
+        assert_eq!(notation, "[[qY,(P,kP)]priU]pubY");
+    }
+
+    /// A single-subject assignment yields a single request.
+    #[test]
+    fn single_region_when_one_subject() {
+        let ex = RunningExample::new();
+        let cands = candidates(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &CapabilityPolicy::default(),
+            false,
+        );
+        let mut a = Assignment::new();
+        for n in ex.operations() {
+            a.set(n, ex.subject("U"));
+        }
+        let e = minimally_extend(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &cands,
+            &a,
+            Some(ex.subject("U")),
+        )
+        .unwrap();
+        let k = plan_keys(&e);
+        let d = dispatch(&e, &k, &ex.catalog, &ex.subjects);
+        // Leaves stay with H and I; U executes everything else.
+        assert_eq!(d.requests.len(), 3);
+    }
+}

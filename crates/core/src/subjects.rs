@@ -1,0 +1,152 @@
+//! Subjects: users, data authorities, and cloud providers (§2).
+
+use mpq_algebra::{RelId, SubjectId};
+use std::collections::HashMap;
+
+/// The role a subject plays in a computation. Roles do not change the
+/// authorization semantics (a rule `[P,E] → S` means the same for every
+/// kind of subject); they matter for pricing (§7: user CPU is 10×, data
+/// authority 3× the provider price) and for dispatch (leaves stay with
+/// their authority; the user signs requests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SubjectKind {
+    /// Issues queries; expected to hold plaintext-only authorizations.
+    User,
+    /// Controls one or more base relations.
+    DataAuthority,
+    /// Sells storage/computation; typically holds encrypted visibility.
+    Provider,
+}
+
+/// Registry of the subjects participating in a scenario.
+#[derive(Clone, Debug, Default)]
+pub struct Subjects {
+    names: Vec<String>,
+    kinds: Vec<SubjectKind>,
+    by_name: HashMap<String, SubjectId>,
+    /// Which authority stores each relation.
+    authority_of: HashMap<RelId, SubjectId>,
+}
+
+impl Subjects {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a subject; names are unique (case-sensitive, short
+    /// names like `H`, `I`, `U`, `X` in the paper).
+    pub fn add(&mut self, name: &str, kind: SubjectKind) -> SubjectId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = SubjectId::from_index(self.names.len());
+        self.names.push(name.to_string());
+        self.kinds.push(kind);
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declare `authority` as the data authority storing `rel`.
+    pub fn set_authority(&mut self, rel: RelId, authority: SubjectId) {
+        self.authority_of.insert(rel, authority);
+    }
+
+    /// The authority storing `rel`, if declared.
+    pub fn authority(&self, rel: RelId) -> Option<SubjectId> {
+        self.authority_of.get(&rel).copied()
+    }
+
+    /// Subject id by name.
+    pub fn id(&self, name: &str) -> Option<SubjectId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Subject name.
+    pub fn name(&self, id: SubjectId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Subject kind.
+    pub fn kind(&self, id: SubjectId) -> SubjectKind {
+        self.kinds[id.index()]
+    }
+
+    /// Number of registered subjects.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no subject is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all subject ids.
+    pub fn iter(&self) -> impl Iterator<Item = SubjectId> + '_ {
+        (0..self.names.len()).map(SubjectId::from_index)
+    }
+
+    /// All subjects of a given kind.
+    pub fn of_kind(&self, kind: SubjectKind) -> Vec<SubjectId> {
+        self.iter().filter(|&s| self.kind(s) == kind).collect()
+    }
+
+    /// Render a set of subject ids as concatenated names (paper style:
+    /// `HUXYZ`), sorted by name.
+    pub fn render(&self, ids: &[SubjectId]) -> String {
+        let mut names: Vec<&str> = ids.iter().map(|&s| self.name(s)).collect();
+        names.sort_unstable();
+        names.concat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut s = Subjects::new();
+        let h = s.add("H", SubjectKind::DataAuthority);
+        let u = s.add("U", SubjectKind::User);
+        let x = s.add("X", SubjectKind::Provider);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.id("H"), Some(h));
+        assert_eq!(s.name(u), "U");
+        assert_eq!(s.kind(x), SubjectKind::Provider);
+        // Re-adding returns the same id.
+        assert_eq!(s.add("H", SubjectKind::DataAuthority), h);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn authority_mapping() {
+        let mut s = Subjects::new();
+        let h = s.add("H", SubjectKind::DataAuthority);
+        let rel = RelId::from_index(0);
+        assert_eq!(s.authority(rel), None);
+        s.set_authority(rel, h);
+        assert_eq!(s.authority(rel), Some(h));
+    }
+
+    #[test]
+    fn render_sorts_names() {
+        let mut s = Subjects::new();
+        let x = s.add("X", SubjectKind::Provider);
+        let h = s.add("H", SubjectKind::DataAuthority);
+        let u = s.add("U", SubjectKind::User);
+        assert_eq!(s.render(&[x, u, h]), "HUX");
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut s = Subjects::new();
+        s.add("H", SubjectKind::DataAuthority);
+        s.add("I", SubjectKind::DataAuthority);
+        s.add("U", SubjectKind::User);
+        s.add("X", SubjectKind::Provider);
+        assert_eq!(s.of_kind(SubjectKind::DataAuthority).len(), 2);
+        assert_eq!(s.of_kind(SubjectKind::User).len(), 1);
+    }
+}

@@ -1,0 +1,622 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! A minimal bignum sufficient for Paillier and RSA: little-endian
+//! `u64` limbs, schoolbook multiplication, long division, binary
+//! extended GCD for modular inverses, square-and-multiply modular
+//! exponentiation, and Miller–Rabin primality testing. Performance is
+//! adequate for the 256–1024-bit moduli used in tests and benchmarks;
+//! the microbenchmarks in `mpq-bench` measure the real per-operation
+//! cost that feeds the §7 economic model.
+
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// Little-endian, normalized (no trailing zero limbs) unsigned bignum.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: vec![] }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a primitive.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// From a u128.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = BigUint { limbs: vec![lo, hi] };
+        n.normalize();
+        n
+    }
+
+    /// To u128 (truncating is a bug: panics if the value doesn't fit).
+    pub fn to_u128(&self) -> u128 {
+        assert!(self.limbs.len() <= 2, "BigUint does not fit in u128");
+        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        (hi << 64) | lo
+    }
+
+    /// Big-endian bytes (no leading zeros; empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.split_off(first_nonzero)
+    }
+
+    /// From big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = [0u8; 8];
+            limb[8 - chunk.len()..].copy_from_slice(chunk);
+            limbs.push(u64::from_be_bytes(limb));
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// `true` iff even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Bit length (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Test bit `i` (little-endian numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 64)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (big, small) = if self.limbs.len() >= other.limbs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = Vec::with_capacity(big.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..big.limbs.len() {
+            let a = big.limbs[i];
+            let b = small.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`. Panics on underflow (callers compare first).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Shift left by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Shift right by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let limb_shift = n / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = n % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            for i in limb_shift..self.limbs.len() {
+                let mut l = self.limbs[i] >> bit_shift;
+                if i + 1 < self.limbs.len() {
+                    l |= self.limbs[i + 1] << (64 - bit_shift);
+                }
+                out.push(l);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `(self / other, self % other)` via binary long division.
+    pub fn divmod(&self, other: &BigUint) -> (BigUint, BigUint) {
+        assert!(!other.is_zero(), "division by zero");
+        if self < other {
+            return (BigUint::zero(), self.clone());
+        }
+        let shift = self.bits() - other.bits();
+        let mut quotient = BigUint::zero();
+        let mut rem = self.clone();
+        let mut divisor = other.shl(shift);
+        for i in (0..=shift).rev() {
+            if rem >= divisor {
+                rem = rem.sub(&divisor);
+                quotient = quotient.set_bit(i);
+            }
+            divisor = divisor.shr(1);
+        }
+        (quotient, rem)
+    }
+
+    fn set_bit(mut self, i: usize) -> BigUint {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % 64);
+        self
+    }
+
+    /// `self % m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.divmod(m).1
+    }
+
+    /// `(self * other) % m`.
+    pub fn mulmod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(other).rem(m)
+    }
+
+    /// `self^exp % m` (square-and-multiply).
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero());
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let mut base = self.rem(m);
+        let mut result = BigUint::one();
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mulmod(&base, m);
+            }
+            base = base.mulmod(&base, m);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr(1);
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                break;
+            }
+        }
+        a.shl(shift)
+    }
+
+    /// Modular inverse `self⁻¹ mod m`, if it exists.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        // Extended Euclid over non-negative values, tracking signs.
+        let mut r0 = m.clone();
+        let mut r1 = self.rem(m);
+        // Coefficients of `self` modulo m: (sign, magnitude).
+        let mut t0 = (false, BigUint::zero());
+        let mut t1 = (false, BigUint::one());
+        while !r1.is_zero() {
+            let (q, r2) = r0.divmod(&r1);
+            // t2 = t0 - q * t1 (signed arithmetic on (sign, mag)).
+            let qt1 = q.mul(&t1.1);
+            let t2 = signed_sub(t0.clone(), (t1.0, qt1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        // Map t0 into [0, m).
+        let (neg, mag) = t0;
+        let mag = mag.rem(m);
+        Some(if neg && !mag.is_zero() {
+            m.sub(&mag)
+        } else {
+            mag
+        })
+    }
+
+    /// Uniform random value in `[0, bound)`.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero());
+        let bits = bound.bits();
+        loop {
+            let mut limbs = vec![0u64; bits.div_ceil(64)];
+            for l in &mut limbs {
+                *l = rng.gen();
+            }
+            // Mask the top limb to the right bit count.
+            let extra = limbs.len() * 64 - bits;
+            if extra > 0 {
+                let last = limbs.len() - 1;
+                limbs[last] &= u64::MAX >> extra;
+            }
+            let mut candidate = BigUint { limbs };
+            candidate.normalize();
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Miller–Rabin probabilistic primality test (`rounds` witnesses).
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rng: &mut R, rounds: usize) -> bool {
+        if self.is_zero() || self.is_one() {
+            return false;
+        }
+        for small in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            let p = BigUint::from_u64(small);
+            if self == &p {
+                return true;
+            }
+            if self.rem(&p).is_zero() {
+                return false;
+            }
+        }
+        // self - 1 = d * 2^r.
+        let one = BigUint::one();
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut r = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            r += 1;
+        }
+        let two = BigUint::from_u64(2);
+        'witness: for _ in 0..rounds {
+            let a = loop {
+                let a = BigUint::random_below(rng, self);
+                if a >= two {
+                    break a;
+                }
+            };
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..r - 1 {
+                x = x.mulmod(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generate a random probable prime of exactly `bits` bits.
+    pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+        assert!(bits >= 8, "prime size too small");
+        loop {
+            let mut limbs = vec![0u64; bits.div_ceil(64)];
+            for l in &mut limbs {
+                *l = rng.gen();
+            }
+            let extra = limbs.len() * 64 - bits;
+            let last = limbs.len() - 1;
+            limbs[last] &= u64::MAX >> extra;
+            limbs[last] |= 1 << ((bits - 1) % 64); // exact bit length
+            limbs[0] |= 1; // odd
+            let mut candidate = BigUint { limbs };
+            candidate.normalize();
+            if candidate.is_probable_prime(rng, 20) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// `a - b` on (sign, magnitude) pairs.
+fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - (-b) = a + b ; (-a) - b = -(a + b)
+        (false, true) => (false, a.1.add(&b.1)),
+        (true, false) => (true, a.1.add(&b.1)),
+        // same signs: subtract magnitudes.
+        (sa, _) => {
+            if a.1 >= b.1 {
+                (sa, a.1.sub(&b.1))
+            } else {
+                (!sa, b.1.sub(&a.1))
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn arithmetic_matches_u128_oracle() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let a: u64 = rng.gen();
+            let b: u64 = rng.gen();
+            let (a, b) = (a as u128, b as u128);
+            assert_eq!(big(a).add(&big(b)).to_u128(), a + b);
+            let (hi, lo) = (a.max(b), a.min(b));
+            assert_eq!(big(hi).sub(&big(lo)).to_u128(), hi - lo);
+            assert_eq!(big(a).mul(&big(b)).to_u128(), a * b);
+            if b != 0 {
+                let (q, r) = big(a).divmod(&big(b));
+                assert_eq!(q.to_u128(), a / b);
+                assert_eq!(r.to_u128(), a % b);
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let base: u32 = rng.gen();
+            let exp: u16 = rng.gen_range(0..64);
+            let m: u32 = rng.gen_range(2..u32::MAX);
+            let expected = {
+                let mut acc: u128 = 1;
+                for _ in 0..exp {
+                    acc = acc * base as u128 % m as u128;
+                }
+                acc
+            };
+            let got = big(base as u128)
+                .modpow(&big(exp as u128), &big(m as u128))
+                .to_u128();
+            assert_eq!(got, expected, "{base}^{exp} mod {m}");
+        }
+    }
+
+    #[test]
+    fn shifting() {
+        let x = big(0x1234_5678_9abc_def0);
+        assert_eq!(x.shl(4).to_u128(), 0x1234_5678_9abc_def0u128 << 4);
+        assert_eq!(x.shr(12).to_u128(), 0x1234_5678_9abc_def0u128 >> 12);
+        assert_eq!(x.shl(64).shr(64), x);
+        assert_eq!(big(0).shl(100), BigUint::zero());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let v: u128 = rng.gen();
+            let n = big(v);
+            assert_eq!(BigUint::from_bytes_be(&n.to_bytes_be()), n);
+        }
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+    }
+
+    #[test]
+    fn gcd_and_modinv() {
+        assert_eq!(big(48).gcd(&big(18)).to_u128(), 6);
+        assert_eq!(big(17).gcd(&big(31)).to_u128(), 1);
+        // 3 * 4 = 12 ≡ 1 mod 11.
+        assert_eq!(big(3).modinv(&big(11)).unwrap().to_u128(), 4);
+        // No inverse when not coprime.
+        assert!(big(6).modinv(&big(9)).is_none());
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            let m: u64 = rng.gen_range(3..u64::MAX);
+            let a: u64 = rng.gen_range(1..m);
+            let am = big(a as u128);
+            let mm = big(m as u128);
+            if let Some(inv) = am.modinv(&mm) {
+                assert_eq!(am.mulmod(&inv, &mm).to_u128(), 1, "{a}⁻¹ mod {m}");
+            } else {
+                assert_ne!(am.gcd(&mm).to_u128(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for p in [2u64, 3, 5, 17, 97, 65_537, 2_147_483_647] {
+            assert!(
+                BigUint::from_u64(p).is_probable_prime(&mut rng, 20),
+                "{p} is prime"
+            );
+        }
+        for c in [1u64, 4, 100, 65_535, 2_147_483_646] {
+            assert!(
+                !BigUint::from_u64(c).is_probable_prime(&mut rng, 20),
+                "{c} is composite"
+            );
+        }
+        // Carmichael number 561 = 3·11·17 must be rejected.
+        assert!(!BigUint::from_u64(561).is_probable_prime(&mut rng, 20));
+    }
+
+    #[test]
+    fn prime_generation() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = BigUint::gen_prime(&mut rng, 64);
+        assert_eq!(p.bits(), 64);
+        assert!(p.is_probable_prime(&mut rng, 20));
+    }
+
+    #[test]
+    fn random_below_is_in_range() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let bound = big(1000);
+        for _ in 0..100 {
+            let r = BigUint::random_below(&mut rng, &bound);
+            assert!(r < bound);
+        }
+    }
+
+    #[test]
+    fn comparison_and_bits() {
+        assert!(big(5) < big(6));
+        assert!(big(1 << 70) > big(u64::MAX as u128));
+        assert_eq!(big(0).bits(), 0);
+        assert_eq!(big(1).bits(), 1);
+        assert_eq!(big(255).bits(), 8);
+        assert_eq!(big(256).bits(), 9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Cluster keys and per-subject key rings.
+//!
+//! Definition 6.1 clusters encrypted attributes by the root profile's
+//! equivalence classes and assigns one key per cluster. A
+//! [`ClusterKey`] carries the material for *all four* schemes derived
+//! from one 128-bit master secret (deterministic/randomized/OPE
+//! sub-keys via SipHash key derivation, plus a Paillier keypair), so
+//! the optimizer can pick the scheme per operation, as the paper
+//! prescribes ("each attribute can be encrypted with a different
+//! encryption scheme … the only constraint is that attributes that
+//! belong to the same set in the equivalence set of the root's profile
+//! need to be encrypted with the same key").
+//!
+//! A [`KeyRing`] is the set of cluster keys a subject holds; the
+//! distributed simulator hands each subject exactly the keys Def. 6.1
+//! distributes to it and enforces that decryption without the key
+//! fails.
+
+use crate::paillier::{PaillierKeypair, PaillierPublic};
+use crate::siphash::derive_subkey;
+use parking_lot::RwLock;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key material for one attribute cluster.
+#[derive(Clone)]
+pub struct ClusterKey {
+    /// Key id (matches `mpq_core::keys::PlanKey::id` and the `key_id`
+    /// field of encrypted cells).
+    pub id: u32,
+    /// Master secret.
+    master: [u8; 16],
+    /// Paillier keypair for additively homomorphic aggregation.
+    paillier: Arc<PaillierKeypair>,
+}
+
+impl std::fmt::Debug for ClusterKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "ClusterKey(id={})", self.id)
+    }
+}
+
+impl ClusterKey {
+    /// Generate fresh material. `paillier_bits` sizes the homomorphic
+    /// modulus (256 is plenty for tests; 512+ for benchmarks).
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, id: u32, paillier_bits: usize) -> ClusterKey {
+        let mut master = [0u8; 16];
+        rng.fill(&mut master);
+        ClusterKey {
+            id,
+            master,
+            paillier: Arc::new(PaillierKeypair::generate(rng, paillier_bits)),
+        }
+    }
+
+    /// Deterministic-scheme sub-key.
+    pub fn det_key(&self) -> [u8; 16] {
+        derive_subkey(&self.master, "det")
+    }
+
+    /// Randomized-scheme sub-key.
+    pub fn rnd_key(&self) -> [u8; 16] {
+        derive_subkey(&self.master, "rnd")
+    }
+
+    /// OPE sub-key.
+    pub fn ope_key(&self) -> [u8; 16] {
+        derive_subkey(&self.master, "ope")
+    }
+
+    /// Full Paillier keypair (decryption capability).
+    pub fn paillier(&self) -> &PaillierKeypair {
+        &self.paillier
+    }
+
+    /// Public Paillier half (enough to encrypt and aggregate).
+    pub fn paillier_public(&self) -> PaillierPublic {
+        self.paillier.public.clone()
+    }
+}
+
+/// The keys one subject holds, indexed by key id.
+///
+/// Full [`ClusterKey`]s grant encryption and decryption; *public*
+/// Paillier halves (which any subject may hold — they enable only
+/// homomorphic aggregation, not decryption) are tracked separately so
+/// a provider like the paper's `X` can compute `avg(P^k)` without ever
+/// being able to read `P`.
+#[derive(Default)]
+pub struct KeyRing {
+    keys: RwLock<HashMap<u32, ClusterKey>>,
+    publics: RwLock<HashMap<u32, PaillierPublic>>,
+}
+
+impl KeyRing {
+    /// Empty ring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grant a full key to this ring.
+    pub fn insert(&self, key: ClusterKey) {
+        self.publics
+            .write()
+            .insert(key.id, key.paillier_public());
+        self.keys.write().insert(key.id, key);
+    }
+
+    /// Grant only the public (aggregation) half of a key.
+    pub fn insert_public(&self, id: u32, public: PaillierPublic) {
+        self.publics.write().insert(id, public);
+    }
+
+    /// Fetch a full key by id.
+    pub fn get(&self, id: u32) -> Option<ClusterKey> {
+        self.keys.read().get(&id).cloned()
+    }
+
+    /// Fetch the public Paillier half of a key.
+    pub fn get_public(&self, id: u32) -> Option<PaillierPublic> {
+        self.publics.read().get(&id).cloned()
+    }
+
+    /// `true` if the ring holds the full key `id`.
+    pub fn holds(&self, id: u32) -> bool {
+        self.keys.read().contains_key(&id)
+    }
+
+    /// Number of full keys held.
+    pub fn len(&self) -> usize {
+        self.keys.read().len()
+    }
+
+    /// `true` when the ring holds no full key.
+    pub fn is_empty(&self) -> bool {
+        self.keys.read().is_empty()
+    }
+}
+
+impl Clone for KeyRing {
+    fn clone(&self) -> Self {
+        KeyRing {
+            keys: RwLock::new(self.keys.read().clone()),
+            publics: RwLock::new(self.publics.read().clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for KeyRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ids: Vec<u32> = self.keys.read().keys().copied().collect();
+        write!(f, "KeyRing{ids:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subkeys_are_distinct_and_stable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let k = ClusterKey::generate(&mut rng, 0, 256);
+        assert_ne!(k.det_key(), k.rnd_key());
+        assert_ne!(k.det_key(), k.ope_key());
+        assert_eq!(k.det_key(), k.det_key());
+    }
+
+    #[test]
+    fn ring_membership() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ring = KeyRing::new();
+        assert!(ring.is_empty());
+        let k = ClusterKey::generate(&mut rng, 3, 256);
+        ring.insert(k);
+        assert!(ring.holds(3));
+        assert!(!ring.holds(4));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.get(3).unwrap().id, 3);
+        assert!(ring.get(4).is_none());
+    }
+
+    #[test]
+    fn debug_never_leaks_material() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let k = ClusterKey::generate(&mut rng, 9, 256);
+        let dbg = format!("{k:?}");
+        assert_eq!(dbg, "ClusterKey(id=9)");
+    }
+}

@@ -1,0 +1,56 @@
+//! # mpq-crypto
+//!
+//! Self-contained cryptographic substrate for the multi-provider query
+//! engine. The paper's evaluation (§7) assumes four encryption
+//! techniques — randomized symmetric, deterministic symmetric, the
+//! Paillier cryptosystem, and an order-preserving scheme — plus
+//! public-key signatures/encryption for dispatching sub-queries
+//! (`[[q_S, keys]_priU]_pubS`, Fig. 8).
+//!
+//! Everything here is implemented from scratch with no third-party
+//! crypto dependencies:
+//!
+//! * [`bignum`] — arbitrary-precision unsigned integers with modular
+//!   exponentiation, inverse, and Miller–Rabin primality (substrate for
+//!   Paillier and RSA);
+//! * [`siphash`] — SipHash-2-4 keyed PRF (OPE coin flips, key
+//!   derivation);
+//! * [`xtea`] — the XTEA block cipher; deterministic (ECB over padded
+//!   canonical encodings) and randomized (CTR) symmetric schemes;
+//! * [`ope`] — a Boldyreva-style recursive-interval order-preserving
+//!   encoding;
+//! * [`paillier`] — additively homomorphic encryption enabling SUM/AVG
+//!   over ciphertexts;
+//! * [`sha256`] — SHA-256 for signatures and key fingerprints;
+//! * [`rsa`] — textbook RSA sign/verify and encrypt/decrypt for request
+//!   envelopes;
+//! * [`keyring`] — per-attribute-cluster key material and a registry
+//!   modelling the paper's key distribution (Def. 6.1);
+//! * [`schemes`] — value-level encrypt/decrypt dispatching to the four
+//!   schemes, producing `mpq_algebra::value::EncValue` cells.
+//!
+//! ## Security disclaimer
+//!
+//! These implementations are **educational**: they reproduce the
+//! *functional* behaviour (determinism, order preservation, additive
+//! homomorphism, ciphertext expansion, relative CPU costs) that the
+//! paper's model depends on. They must not be used to protect real
+//! data: XTEA-ECB leaks equality by design (that is what deterministic
+//! encryption does), our OPE leaks order by design, key sizes default
+//! to test-friendly lengths, and the RSA padding is not CCA-secure.
+
+pub mod bignum;
+pub mod keyring;
+pub mod ope;
+pub mod paillier;
+pub mod rsa;
+pub mod schemes;
+pub mod sha256;
+pub mod siphash;
+pub mod xtea;
+
+pub use bignum::BigUint;
+pub use keyring::{ClusterKey, KeyRing};
+pub use paillier::{PaillierCiphertext, PaillierKeypair, PaillierPublic};
+pub use rsa::{RsaKeypair, SignedEnvelope};
+pub use schemes::{decrypt_value, encrypt_value, EncryptError};

@@ -1,0 +1,274 @@
+//! Order-preserving encryption (OPE).
+//!
+//! A simplified Boldyreva-style construction: the 64-bit plaintext
+//! order-code space is mapped into a 96-bit ciphertext space by a
+//! keyed binary descent. At each of the 64 levels the current
+//! ciphertext range is split at a pseudo-random point (SipHash over the
+//! descent path) constrained so both halves stay large enough to embed
+//! the remaining domain; the plaintext bit selects the half. The
+//! mapping is strictly monotone and injective, and decryption runs the
+//! same descent.
+//!
+//! Supported plaintexts are totally ordered fixed-width scalars:
+//! integers, numerics (via the standard IEEE-754 order-preserving bit
+//! trick) and dates. Strings are *not* supported — range predicates on
+//! strings fall back to plaintext evaluation (see
+//! `mpq_core::capability`).
+
+use crate::siphash::siphash24;
+
+/// Ciphertext-space bits. 96 bits leave ≥ 2^32 slack over the 64-bit
+/// domain, so every level can split with both halves non-degenerate.
+const RANGE_BITS: u32 = 96;
+
+/// Type tags carried in ciphertexts so decryption restores the exact
+/// plaintext type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpeType {
+    /// `i64`.
+    Int = 1,
+    /// `f64`.
+    Num = 2,
+    /// Days since epoch (`i32`).
+    Date = 3,
+}
+
+impl OpeType {
+    fn from_tag(t: u8) -> Option<OpeType> {
+        match t {
+            1 => Some(OpeType::Int),
+            2 => Some(OpeType::Num),
+            3 => Some(OpeType::Date),
+            _ => None,
+        }
+    }
+}
+
+/// Map an `i64` to its order-preserving `u64` code.
+pub fn int_to_code(v: i64) -> u64 {
+    (v as u64) ^ (1 << 63)
+}
+
+/// Inverse of [`int_to_code`].
+pub fn code_to_int(c: u64) -> i64 {
+    (c ^ (1 << 63)) as i64
+}
+
+/// Map an `f64` to an order-preserving `u64` code (standard IEEE-754
+/// trick; total order, NaN unsupported).
+pub fn num_to_code(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`num_to_code`].
+pub fn code_to_num(c: u64) -> f64 {
+    let b = if c >> 63 == 1 { c & !(1 << 63) } else { !c };
+    f64::from_bits(b)
+}
+
+/// Encrypt a 64-bit order code into a 96-bit order-preserving code.
+pub fn ope_encrypt_code(key: &[u8; 16], code: u64) -> u128 {
+    let mut lo: u128 = 0;
+    let mut width: u128 = 1 << RANGE_BITS;
+    // Path through the descent, fed to the PRF.
+    let mut path = [0u8; 9]; // level byte + 8 path bytes
+    for level in 0..64u32 {
+        let remaining = 64 - level; // domain bits left (incl. current)
+        let bit = (code >> (63 - level)) & 1;
+        let (l, w) = split(key, &mut path, level, lo, width, remaining, bit == 1);
+        lo = l;
+        width = w;
+    }
+    lo
+}
+
+/// Decrypt a 96-bit order-preserving code back to the 64-bit order
+/// code. Returns `None` if the ciphertext is not on any valid path.
+pub fn ope_decrypt_code(key: &[u8; 16], cipher: u128) -> Option<u64> {
+    let mut lo: u128 = 0;
+    let mut width: u128 = 1 << RANGE_BITS;
+    let mut code: u64 = 0;
+    let mut path = [0u8; 9];
+    for level in 0..64u32 {
+        let remaining = 64 - level;
+        // Probe the split point for bit = 1; if cipher falls left of
+        // it, the plaintext bit was 0.
+        let (split_lo, _) = split_point(key, &mut path, level, lo, width, remaining);
+        let bit = cipher >= split_lo;
+        let (l, w) = split(key, &mut path, level, lo, width, remaining, bit);
+        lo = l;
+        width = w;
+        code = (code << 1) | bit as u64;
+    }
+    if cipher == lo {
+        Some(code)
+    } else {
+        None
+    }
+}
+
+/// The pseudo-random split point of the current range: the right half
+/// starts at the returned value. Both halves keep room for the
+/// remaining `remaining`-bit sub-domain (`2^(remaining-1)` each).
+fn split_point(
+    key: &[u8; 16],
+    path: &mut [u8; 9],
+    level: u32,
+    lo: u128,
+    width: u128,
+    remaining: u32,
+) -> (u128, ()) {
+    let min_half: u128 = 1u128 << (remaining - 1);
+    debug_assert!(width >= min_half * 2, "range too narrow at level {level}");
+    let slack = width - 2 * min_half;
+    path[0] = level as u8;
+    let r = siphash24(key, &path[..1 + (level as usize).min(8)]) as u128;
+    let offset = if slack == 0 { 0 } else { r % (slack + 1) };
+    (lo + min_half + offset, ())
+}
+
+fn split(
+    key: &[u8; 16],
+    path: &mut [u8; 9],
+    level: u32,
+    lo: u128,
+    width: u128,
+    remaining: u32,
+    right: bool,
+) -> (u128, u128) {
+    let (mid, ()) = split_point(key, path, level, lo, width, remaining);
+    // Record the chosen direction into the path for subsequent levels.
+    if (level as usize) < 64 {
+        let byte = (level / 8) as usize;
+        if byte < 8 && right {
+            path[1 + byte] |= 1 << (level % 8);
+        }
+    }
+    if right {
+        (mid, lo + width - mid)
+    } else {
+        (lo, mid - lo)
+    }
+}
+
+/// Encrypt a typed scalar: returns `tag ‖ 16-byte big-endian code`.
+pub fn ope_encrypt(key: &[u8; 16], ty: OpeType, code: u64) -> Vec<u8> {
+    let c = ope_encrypt_code(key, code);
+    let mut out = Vec::with_capacity(17);
+    out.push(ty as u8);
+    out.extend_from_slice(&c.to_be_bytes());
+    out
+}
+
+/// Decrypt a typed scalar produced by [`ope_encrypt`].
+pub fn ope_decrypt(key: &[u8; 16], bytes: &[u8]) -> Option<(OpeType, u64)> {
+    if bytes.len() != 17 {
+        return None;
+    }
+    let ty = OpeType::from_tag(bytes[0])?;
+    let c = u128::from_be_bytes(bytes[1..].try_into().ok()?);
+    let code = ope_decrypt_code(key, c)?;
+    Some((ty, code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn int_code_preserves_order() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 5, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(int_to_code(w[0]) < int_to_code(w[1]));
+            assert_eq!(code_to_int(int_to_code(w[0])), w[0]);
+        }
+    }
+
+    #[test]
+    fn num_code_preserves_order() {
+        let vals = [-1e300, -2.5, -0.0, 0.5, 2.5, 1e300];
+        for w in vals.windows(2) {
+            assert!(num_to_code(w[0]) < num_to_code(w[1]), "{} < {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(code_to_num(num_to_code(v)), v);
+        }
+    }
+
+    #[test]
+    fn ope_is_strictly_monotone() {
+        let key = [42u8; 16];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut codes: Vec<u64> = (0..200).map(|_| rng.gen()).collect();
+        codes.extend([0, 1, u64::MAX - 1, u64::MAX]);
+        codes.sort_unstable();
+        codes.dedup();
+        let encs: Vec<u128> = codes.iter().map(|&c| ope_encrypt_code(&key, c)).collect();
+        for w in encs.windows(2) {
+            assert!(w[0] < w[1], "monotonicity violated");
+        }
+    }
+
+    #[test]
+    fn ope_roundtrip() {
+        let key = [7u8; 16];
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let code: u64 = rng.gen();
+            let c = ope_encrypt_code(&key, code);
+            assert_eq!(ope_decrypt_code(&key, c), Some(code));
+        }
+        // Boundaries.
+        for code in [0u64, 1, u64::MAX] {
+            assert_eq!(ope_decrypt_code(&key, ope_encrypt_code(&key, code)), Some(code));
+        }
+    }
+
+    #[test]
+    fn ope_is_keyed() {
+        let k1 = [1u8; 16];
+        let k2 = [2u8; 16];
+        assert_ne!(ope_encrypt_code(&k1, 12345), ope_encrypt_code(&k2, 12345));
+    }
+
+    #[test]
+    fn decrypt_only_accepts_valid_leaves() {
+        // Invariant: decrypt(c') = Some(x) ⟹ encrypt(x) = c'. Probing
+        // neighbours of a valid ciphertext either fails or lands on the
+        // genuine ciphertext of another plaintext.
+        let key = [3u8; 16];
+        for code in [0u64, 999, u64::MAX / 3] {
+            let c = ope_encrypt_code(&key, code);
+            for probe in [c.wrapping_sub(1), c + 1, c + 12345] {
+                if let Some(x) = ope_decrypt_code(&key, probe) {
+                    assert_eq!(ope_encrypt_code(&key, x), probe);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let key = [9u8; 16];
+        let bytes = ope_encrypt(&key, OpeType::Int, int_to_code(-77));
+        let (ty, code) = ope_decrypt(&key, &bytes).unwrap();
+        assert_eq!(ty, OpeType::Int);
+        assert_eq!(code_to_int(code), -77);
+        assert!(ope_decrypt(&key, &bytes[..5]).is_none());
+    }
+
+    #[test]
+    fn typed_ciphertexts_compare_bytewise() {
+        let key = [4u8; 16];
+        let a = ope_encrypt(&key, OpeType::Num, num_to_code(1.5));
+        let b = ope_encrypt(&key, OpeType::Num, num_to_code(2.5));
+        assert!(a < b, "byte order must follow plaintext order");
+    }
+}

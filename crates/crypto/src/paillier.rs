@@ -1,0 +1,205 @@
+//! The Paillier cryptosystem: additively homomorphic encryption.
+//!
+//! Enables SUM/AVG over encrypted values (§7 lists Paillier among the
+//! four schemes the tool models). With `g = n + 1`, encryption is
+//! `c = (1 + m·n) · rⁿ mod n²` and decryption
+//! `m = L(c^λ mod n²) · µ mod n` with `L(x) = (x-1)/n`.
+//!
+//! Signed 64-bit integers are encoded with a `2^63` offset; the
+//! aggregation layer tracks how many ciphertexts were added so the
+//! offsets can be removed after decryption (see
+//! [`PaillierKeypair::decode_sum`]).
+
+use crate::bignum::BigUint;
+use rand::Rng;
+
+/// Offset added to signed values so they embed into the non-negative
+/// plaintext space.
+pub const ENCODE_OFFSET: i128 = 1 << 63;
+
+/// Public half of a Paillier keypair: enough to encrypt and to add
+/// ciphertexts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaillierPublic {
+    /// Modulus `n = p·q`.
+    pub n: BigUint,
+    /// `n²` (cached).
+    pub n2: BigUint,
+}
+
+/// A Paillier ciphertext (value in `[0, n²)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaillierCiphertext(pub BigUint);
+
+/// Full keypair.
+#[derive(Clone, Debug)]
+pub struct PaillierKeypair {
+    /// Public part.
+    pub public: PaillierPublic,
+    /// `λ = lcm(p-1, q-1)`.
+    lambda: BigUint,
+    /// `µ = λ⁻¹ mod n` (valid for `g = n+1`).
+    mu: BigUint,
+}
+
+impl PaillierPublic {
+    /// Encrypt a non-negative plaintext `m < n`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, rng: &mut R, m: &BigUint) -> PaillierCiphertext {
+        assert!(m < &self.n, "plaintext out of range");
+        // r coprime with n (overwhelmingly likely; retry otherwise).
+        let r = loop {
+            let r = BigUint::random_below(rng, &self.n);
+            if !r.is_zero() && r.gcd(&self.n).is_one() {
+                break r;
+            }
+        };
+        // c = (1 + m·n) · rⁿ mod n².
+        let gm = BigUint::one().add(&m.mul(&self.n)).rem(&self.n2);
+        let rn = r.modpow(&self.n, &self.n2);
+        PaillierCiphertext(gm.mulmod(&rn, &self.n2))
+    }
+
+    /// Homomorphic addition: `Dec(add(c1,c2)) = m1 + m2 (mod n)`.
+    pub fn add(&self, a: &PaillierCiphertext, b: &PaillierCiphertext) -> PaillierCiphertext {
+        PaillierCiphertext(a.0.mulmod(&b.0, &self.n2))
+    }
+
+    /// Homomorphic scalar multiplication: `Dec(mul_scalar(c,k)) = k·m`.
+    pub fn mul_scalar(&self, c: &PaillierCiphertext, k: u64) -> PaillierCiphertext {
+        PaillierCiphertext(c.0.modpow(&BigUint::from_u64(k), &self.n2))
+    }
+
+    /// Neutral element (encryption of 0 with r = 1; fine for use as an
+    /// accumulator seed, not as a fresh ciphertext).
+    pub fn neutral(&self) -> PaillierCiphertext {
+        PaillierCiphertext(BigUint::one())
+    }
+
+    /// Encode a signed value for encryption.
+    pub fn encode_signed(&self, v: i64) -> BigUint {
+        let shifted = (v as i128) + ENCODE_OFFSET;
+        BigUint::from_u128(shifted as u128)
+    }
+}
+
+impl PaillierKeypair {
+    /// Generate a keypair with an `bits`-bit modulus.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> PaillierKeypair {
+        assert!(bits >= 128, "modulus too small even for testing");
+        let (p, q) = loop {
+            let p = BigUint::gen_prime(rng, bits / 2);
+            let q = BigUint::gen_prime(rng, bits / 2);
+            if p != q {
+                break (p, q);
+            }
+        };
+        let n = p.mul(&q);
+        let n2 = n.mul(&n);
+        let one = BigUint::one();
+        let p1 = p.sub(&one);
+        let q1 = q.sub(&one);
+        // λ = lcm(p-1, q-1) = (p-1)(q-1)/gcd(p-1, q-1).
+        let gcd = p1.gcd(&q1);
+        let lambda = p1.mul(&q1).divmod(&gcd).0;
+        // With g = n+1: µ = λ⁻¹ mod n.
+        let mu = lambda
+            .rem(&n)
+            .modinv(&n)
+            .expect("λ is invertible mod n for distinct primes");
+        PaillierKeypair {
+            public: PaillierPublic { n, n2 },
+            lambda,
+            mu,
+        }
+    }
+
+    /// Decrypt to the non-negative plaintext.
+    pub fn decrypt(&self, c: &PaillierCiphertext) -> BigUint {
+        let n = &self.public.n;
+        let n2 = &self.public.n2;
+        let x = c.0.modpow(&self.lambda, n2);
+        // L(x) = (x - 1) / n.
+        let l = x.sub(&BigUint::one()).divmod(n).0;
+        l.mulmod(&self.mu, n)
+    }
+
+    /// Decrypt a sum of `count` encoded signed values, removing the
+    /// per-term offsets.
+    pub fn decode_sum(&self, c: &PaillierCiphertext, count: u64) -> i128 {
+        let total = self.decrypt(c).to_u128() as i128;
+        total - (count as i128) * ENCODE_OFFSET
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> (PaillierKeypair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let kp = PaillierKeypair::generate(&mut rng, 256);
+        (kp, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (kp, mut rng) = keypair();
+        for m in [0u64, 1, 42, 1_000_000, u64::MAX] {
+            let mb = BigUint::from_u64(m);
+            let c = kp.public.encrypt(&mut rng, &mb);
+            assert_eq!(kp.decrypt(&c), mb, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let (kp, mut rng) = keypair();
+        let m = BigUint::from_u64(7);
+        let c1 = kp.public.encrypt(&mut rng, &m);
+        let c2 = kp.public.encrypt(&mut rng, &m);
+        assert_ne!(c1, c2, "same plaintext, fresh randomness");
+        assert_eq!(kp.decrypt(&c1), kp.decrypt(&c2));
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let (kp, mut rng) = keypair();
+        let a = kp.public.encrypt(&mut rng, &BigUint::from_u64(1234));
+        let b = kp.public.encrypt(&mut rng, &BigUint::from_u64(8766));
+        let sum = kp.public.add(&a, &b);
+        assert_eq!(kp.decrypt(&sum).to_u128(), 10_000);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let (kp, mut rng) = keypair();
+        let c = kp.public.encrypt(&mut rng, &BigUint::from_u64(25));
+        let c4 = kp.public.mul_scalar(&c, 4);
+        assert_eq!(kp.decrypt(&c4).to_u128(), 100);
+    }
+
+    #[test]
+    fn signed_sum_with_offsets() {
+        let (kp, mut rng) = keypair();
+        let values: [i64; 4] = [100, -250, 75, -10];
+        let mut acc = kp.public.neutral();
+        for v in values {
+            let enc = kp
+                .public
+                .encrypt(&mut rng, &kp.public.encode_signed(v));
+            acc = kp.public.add(&acc, &enc);
+        }
+        let sum = kp.decode_sum(&acc, values.len() as u64);
+        assert_eq!(sum, -85);
+    }
+
+    #[test]
+    fn neutral_is_additive_identity() {
+        let (kp, mut rng) = keypair();
+        let c = kp.public.encrypt(&mut rng, &BigUint::from_u64(5));
+        let with_neutral = kp.public.add(&c, &kp.public.neutral());
+        assert_eq!(kp.decrypt(&with_neutral).to_u128(), 5);
+    }
+}

@@ -1,0 +1,387 @@
+//! Value-level encryption: `Value` → `EncValue` and back.
+//!
+//! The scheme is chosen by the caller (the planner picks, per
+//! attribute, "the scheme providing highest protection, while
+//! supporting the operations to be executed on the attribute's
+//! encrypted values" — §6):
+//!
+//! * [`EncScheme::Random`] — XTEA-CTR; supports nothing;
+//! * [`EncScheme::Deterministic`] — XTEA-ECB over canonical bytes;
+//!   equality/joins/grouping work byte-wise;
+//! * [`EncScheme::Ope`] — order-preserving code; comparisons work
+//!   byte-wise (numeric/date/int only);
+//! * [`EncScheme::Paillier`] — additively homomorphic; SUM/AVG work via
+//!   ciphertext multiplication. Numerics are fixed-point encoded with
+//!   [`NUM_SCALE`] decimal places.
+
+use crate::bignum::BigUint;
+use crate::keyring::ClusterKey;
+use crate::ope;
+use crate::paillier::PaillierCiphertext;
+use crate::xtea;
+use mpq_algebra::value::{EncScheme, EncValue, Value};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Fixed-point scale for Paillier-encoded numerics (cents at scale 2,
+/// plus two guard digits for intermediate products).
+pub const NUM_SCALE: f64 = 10_000.0;
+
+/// Errors from value encryption/decryption.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncryptError {
+    /// The value type cannot be carried by the requested scheme
+    /// (e.g. OPE over strings, Paillier over strings).
+    UnsupportedType(&'static str),
+    /// Ciphertext malformed or produced under a different key.
+    BadCiphertext,
+    /// The cell is not encrypted / not plaintext as required.
+    WrongForm,
+}
+
+impl std::fmt::Display for EncryptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncryptError::UnsupportedType(what) => {
+                write!(f, "scheme cannot encrypt {what}")
+            }
+            EncryptError::BadCiphertext => write!(f, "malformed ciphertext or wrong key"),
+            EncryptError::WrongForm => write!(f, "value in unexpected form"),
+        }
+    }
+}
+
+impl std::error::Error for EncryptError {}
+
+/// Encrypt a plaintext `Value` under `scheme` with a cluster key.
+/// NULLs pass through unencrypted (SQL semantics: NULL carries no
+/// value; the paper's model operates at the schema level).
+pub fn encrypt_value<R: Rng + ?Sized>(
+    rng: &mut R,
+    value: &Value,
+    scheme: EncScheme,
+    key: &ClusterKey,
+) -> Result<Value, EncryptError> {
+    if value.is_null() {
+        return Ok(Value::Null);
+    }
+    if matches!(value, Value::Enc(_)) {
+        return Err(EncryptError::WrongForm);
+    }
+    let bytes: Vec<u8> = match scheme {
+        EncScheme::Deterministic => xtea::det_encrypt(&key.det_key(), &value.canonical_bytes()),
+        EncScheme::Random => {
+            xtea::rnd_encrypt(&key.rnd_key(), rng.gen(), &value.canonical_bytes())
+        }
+        EncScheme::Ope => {
+            let (ty, code) = match value {
+                Value::Int(i) => (ope::OpeType::Int, ope::int_to_code(*i)),
+                Value::Num(f) => (ope::OpeType::Num, ope::num_to_code(*f)),
+                Value::Date(d) => (ope::OpeType::Date, ope::int_to_code(d.0 as i64)),
+                Value::Bool(_) | Value::Str(_) => {
+                    return Err(EncryptError::UnsupportedType("strings/bools under OPE"))
+                }
+                Value::Null | Value::Enc(_) => unreachable!("handled above"),
+            };
+            ope::ope_encrypt(&key.ope_key(), ty, code)
+        }
+        EncScheme::Paillier => {
+            let (tag, encoded): (u8, i64) = match value {
+                Value::Int(i) => (1, *i),
+                Value::Num(f) => (2, (f * NUM_SCALE).round() as i64),
+                _ => {
+                    return Err(EncryptError::UnsupportedType(
+                        "only numerics under Paillier",
+                    ))
+                }
+            };
+            let pk = key.paillier_public();
+            let c = pk.encrypt(rng, &pk.encode_signed(encoded));
+            encode_paillier_cell(tag, AggKind::Single, 1, &c)
+        }
+    };
+    Ok(Value::Enc(EncValue {
+        scheme,
+        key_id: key.id,
+        bytes: Arc::from(bytes),
+    }))
+}
+
+/// Decrypt an encrypted cell with the cluster key. NULLs pass through.
+pub fn decrypt_value(value: &Value, key: &ClusterKey) -> Result<Value, EncryptError> {
+    let enc = match value {
+        Value::Null => return Ok(Value::Null),
+        Value::Enc(e) => e,
+        _ => return Err(EncryptError::WrongForm),
+    };
+    if enc.key_id != key.id {
+        return Err(EncryptError::BadCiphertext);
+    }
+    match enc.scheme {
+        EncScheme::Deterministic => {
+            let pt = xtea::det_decrypt(&key.det_key(), &enc.bytes)
+                .ok_or(EncryptError::BadCiphertext)?;
+            Value::from_canonical_bytes(&pt).ok_or(EncryptError::BadCiphertext)
+        }
+        EncScheme::Random => {
+            let pt = xtea::rnd_decrypt(&key.rnd_key(), &enc.bytes)
+                .ok_or(EncryptError::BadCiphertext)?;
+            Value::from_canonical_bytes(&pt).ok_or(EncryptError::BadCiphertext)
+        }
+        EncScheme::Ope => {
+            let (ty, code) =
+                ope::ope_decrypt(&key.ope_key(), &enc.bytes).ok_or(EncryptError::BadCiphertext)?;
+            Ok(match ty {
+                ope::OpeType::Int => Value::Int(ope::code_to_int(code)),
+                ope::OpeType::Num => Value::Num(ope::code_to_num(code)),
+                ope::OpeType::Date => {
+                    Value::Date(mpq_algebra::Date(ope::code_to_int(code) as i32))
+                }
+            })
+        }
+        EncScheme::Paillier => {
+            let (tag, kind, count, c) = decode_paillier_cell(&enc.bytes)?;
+            let v = key.paillier().decode_sum(&c, count);
+            let raw = match tag {
+                1 => v as f64,
+                2 => v as f64 / NUM_SCALE,
+                _ => return Err(EncryptError::BadCiphertext),
+            };
+            Ok(match kind {
+                AggKind::Single | AggKind::Sum => {
+                    if tag == 1 {
+                        Value::Int(raw as i64)
+                    } else {
+                        Value::Num(raw)
+                    }
+                }
+                AggKind::Avg => Value::Num(raw / count.max(1) as f64),
+            })
+        }
+    }
+}
+
+/// How a Paillier cell was produced: a single encrypted value, a
+/// homomorphic SUM of `count` values, or an AVG (sum that decrypts to
+/// the mean).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggKind {
+    /// One encrypted value.
+    Single = 0,
+    /// Homomorphic sum of `count` terms.
+    Sum = 1,
+    /// Homomorphic sum of `count` terms, decoded as their mean.
+    Avg = 2,
+}
+
+/// Cell layout: `tag(1) ‖ kind(1) ‖ count(8, BE) ‖ ciphertext`.
+fn encode_paillier_cell(tag: u8, kind: AggKind, count: u64, c: &PaillierCiphertext) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + 64);
+    out.push(tag);
+    out.push(kind as u8);
+    out.extend_from_slice(&count.to_be_bytes());
+    out.extend_from_slice(&c.0.to_bytes_be());
+    out
+}
+
+fn decode_paillier_cell(
+    bytes: &[u8],
+) -> Result<(u8, AggKind, u64, PaillierCiphertext), EncryptError> {
+    if bytes.len() < 10 {
+        return Err(EncryptError::BadCiphertext);
+    }
+    let tag = bytes[0];
+    let kind = match bytes[1] {
+        0 => AggKind::Single,
+        1 => AggKind::Sum,
+        2 => AggKind::Avg,
+        _ => return Err(EncryptError::BadCiphertext),
+    };
+    let count = u64::from_be_bytes(bytes[2..10].try_into().expect("8 bytes"));
+    Ok((
+        tag,
+        kind,
+        count,
+        PaillierCiphertext(BigUint::from_bytes_be(&bytes[10..])),
+    ))
+}
+
+/// Homomorphically add two Paillier cells (same key, same numeric
+/// tag); counts accumulate so the sum can be decoded later. Only the
+/// *public* key half is needed — aggregating providers never hold the
+/// decryption key.
+pub fn paillier_add_cells(
+    a: &EncValue,
+    b: &EncValue,
+    pk: &crate::paillier::PaillierPublic,
+) -> Result<EncValue, EncryptError> {
+    if a.scheme != EncScheme::Paillier
+        || b.scheme != EncScheme::Paillier
+        || a.key_id != b.key_id
+    {
+        return Err(EncryptError::BadCiphertext);
+    }
+    let (ta, _, ca, pa) = decode_paillier_cell(&a.bytes)?;
+    let (tb, _, cb, pb) = decode_paillier_cell(&b.bytes)?;
+    if ta != tb {
+        return Err(EncryptError::BadCiphertext);
+    }
+    let sum = pk.add(&pa, &pb);
+    Ok(EncValue {
+        scheme: EncScheme::Paillier,
+        key_id: a.key_id,
+        bytes: Arc::from(encode_paillier_cell(ta, AggKind::Sum, ca + cb, &sum)),
+    })
+}
+
+/// Re-tag an accumulated Paillier sum as SUM or AVG output.
+pub fn paillier_finish(cell: &EncValue, kind: AggKind) -> Result<EncValue, EncryptError> {
+    if cell.scheme != EncScheme::Paillier {
+        return Err(EncryptError::BadCiphertext);
+    }
+    let (tag, _, count, c) = decode_paillier_cell(&cell.bytes)?;
+    // SUM/AVG results are numerics even over integer inputs (AVG) —
+    // keep the tag so SUM of ints stays integral.
+    Ok(EncValue {
+        scheme: EncScheme::Paillier,
+        key_id: cell.key_id,
+        bytes: Arc::from(encode_paillier_cell(tag, kind, count, &c)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_algebra::Date;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> (ClusterKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let k = ClusterKey::generate(&mut rng, 1, 256);
+        (k, rng)
+    }
+
+    #[test]
+    fn det_roundtrip_all_types() {
+        let (k, mut rng) = key();
+        let values = [
+            Value::Int(-5),
+            Value::Num(123.45),
+            Value::str("stroke"),
+            Value::Date(Date::parse("1994-01-01").unwrap()),
+            Value::Bool(true),
+        ];
+        for v in values {
+            let enc = encrypt_value(&mut rng, &v, EncScheme::Deterministic, &k).unwrap();
+            let dec = decrypt_value(&enc, &k).unwrap();
+            assert!(dec.sql_eq(&v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn det_preserves_equality_hides_value() {
+        let (k, mut rng) = key();
+        let a = encrypt_value(&mut rng, &Value::str("x"), EncScheme::Deterministic, &k).unwrap();
+        let b = encrypt_value(&mut rng, &Value::str("x"), EncScheme::Deterministic, &k).unwrap();
+        let c = encrypt_value(&mut rng, &Value::str("y"), EncScheme::Deterministic, &k).unwrap();
+        assert!(a.sql_eq(&b));
+        assert!(!a.sql_eq(&c));
+    }
+
+    #[test]
+    fn rnd_hides_equality() {
+        let (k, mut rng) = key();
+        let a = encrypt_value(&mut rng, &Value::Int(5), EncScheme::Random, &k).unwrap();
+        let b = encrypt_value(&mut rng, &Value::Int(5), EncScheme::Random, &k).unwrap();
+        assert!(!a.sql_eq(&b), "randomized ciphertexts never compare equal");
+        assert!(decrypt_value(&a, &k).unwrap().sql_eq(&Value::Int(5)));
+    }
+
+    #[test]
+    fn ope_preserves_order() {
+        let (k, mut rng) = key();
+        let enc = |v: f64, rng: &mut StdRng| {
+            encrypt_value(rng, &Value::Num(v), EncScheme::Ope, &k).unwrap()
+        };
+        let a = enc(10.5, &mut rng);
+        let b = enc(100.0, &mut rng);
+        let c = enc(100.0, &mut rng);
+        assert!(a.sql_cmp(&b).unwrap().is_lt());
+        assert!(b.sql_cmp(&c).unwrap().is_eq());
+        assert!(decrypt_value(&a, &k).unwrap().sql_eq(&Value::Num(10.5)));
+    }
+
+    #[test]
+    fn ope_rejects_strings() {
+        let (k, mut rng) = key();
+        assert_eq!(
+            encrypt_value(&mut rng, &Value::str("abc"), EncScheme::Ope, &k).unwrap_err(),
+            EncryptError::UnsupportedType("strings/bools under OPE")
+        );
+    }
+
+    #[test]
+    fn paillier_sum_roundtrip() {
+        let (k, mut rng) = key();
+        let prices = [120.0_f64, 80.5, 99.5];
+        let cells: Vec<EncValue> = prices
+            .iter()
+            .map(|p| {
+                match encrypt_value(&mut rng, &Value::Num(*p), EncScheme::Paillier, &k).unwrap() {
+                    Value::Enc(e) => e,
+                    _ => unreachable!(),
+                }
+            })
+            .collect();
+        let mut acc = cells[0].clone();
+        for c in &cells[1..] {
+            acc = paillier_add_cells(&acc, c, &k.paillier_public()).unwrap();
+        }
+        let sum_cell = paillier_finish(&acc, AggKind::Sum).unwrap();
+        let sum = decrypt_value(&Value::Enc(sum_cell), &k).unwrap();
+        let expected: f64 = prices.iter().sum();
+        match sum {
+            Value::Num(f) => assert!((f - expected).abs() < 1e-9, "{f} vs {expected}"),
+            other => panic!("expected Num, got {other:?}"),
+        }
+        // AVG decoding divides by the term count.
+        let avg_cell = paillier_finish(&acc, AggKind::Avg).unwrap();
+        let avg = decrypt_value(&Value::Enc(avg_cell), &k).unwrap();
+        match avg {
+            Value::Num(f) => {
+                assert!((f - expected / 3.0).abs() < 1e-9, "{f} vs {}", expected / 3.0)
+            }
+            other => panic!("expected Num, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let (k1, mut rng) = key();
+        let k2 = ClusterKey::generate(&mut rng, 2, 256);
+        let enc = encrypt_value(&mut rng, &Value::Int(1), EncScheme::Deterministic, &k1).unwrap();
+        assert_eq!(
+            decrypt_value(&enc, &k2).unwrap_err(),
+            EncryptError::BadCiphertext
+        );
+    }
+
+    #[test]
+    fn null_passes_through() {
+        let (k, mut rng) = key();
+        let enc = encrypt_value(&mut rng, &Value::Null, EncScheme::Random, &k).unwrap();
+        assert!(enc.is_null());
+        assert!(decrypt_value(&Value::Null, &k).unwrap().is_null());
+    }
+
+    #[test]
+    fn double_encryption_rejected() {
+        let (k, mut rng) = key();
+        let enc = encrypt_value(&mut rng, &Value::Int(1), EncScheme::Deterministic, &k).unwrap();
+        assert_eq!(
+            encrypt_value(&mut rng, &enc, EncScheme::Random, &k).unwrap_err(),
+            EncryptError::WrongForm
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! XTEA block cipher and the two symmetric value schemes.
+//!
+//! XTEA (64-bit blocks, 128-bit keys, 64 Feistel rounds) is small
+//! enough to implement from scratch and fast enough that the
+//! deterministic/randomized schemes of the paper's evaluation have the
+//! right *relative* cost against OPE and Paillier.
+//!
+//! * **Deterministic** encryption is XTEA-ECB over the length-prefixed,
+//!   zero-padded canonical encoding of a value: identical plaintexts
+//!   produce identical ciphertexts, enabling equality predicates and
+//!   equi-joins on ciphertexts (as in CryptDB's DET onion layer).
+//! * **Randomized** encryption is XTEA-CTR with a fresh 8-byte nonce:
+//!   no two encryptions collide, nothing can be computed on them.
+
+const ROUNDS: u32 = 32; // 32 cycles = 64 Feistel rounds
+const DELTA: u32 = 0x9e37_79b9;
+
+fn key_words(key: &[u8; 16]) -> [u32; 4] {
+    [
+        u32::from_le_bytes(key[0..4].try_into().expect("4 bytes")),
+        u32::from_le_bytes(key[4..8].try_into().expect("4 bytes")),
+        u32::from_le_bytes(key[8..12].try_into().expect("4 bytes")),
+        u32::from_le_bytes(key[12..16].try_into().expect("4 bytes")),
+    ]
+}
+
+/// Encrypt one 64-bit block.
+pub fn encrypt_block(key: &[u8; 16], block: u64) -> u64 {
+    let k = key_words(key);
+    let mut v0 = block as u32;
+    let mut v1 = (block >> 32) as u32;
+    let mut sum = 0u32;
+    for _ in 0..ROUNDS {
+        v0 = v0.wrapping_add(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+        );
+    }
+    (v0 as u64) | ((v1 as u64) << 32)
+}
+
+/// Decrypt one 64-bit block.
+pub fn decrypt_block(key: &[u8; 16], block: u64) -> u64 {
+    let k = key_words(key);
+    let mut v0 = block as u32;
+    let mut v1 = (block >> 32) as u32;
+    let mut sum = DELTA.wrapping_mul(ROUNDS);
+    for _ in 0..ROUNDS {
+        v1 = v1.wrapping_sub(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+        );
+        sum = sum.wrapping_sub(DELTA);
+        v0 = v0.wrapping_sub(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+        );
+    }
+    (v0 as u64) | ((v1 as u64) << 32)
+}
+
+/// Deterministic encryption: length-prefixed, zero-padded, ECB.
+pub fn det_encrypt(key: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
+    let mut data = Vec::with_capacity(plaintext.len() + 12);
+    data.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
+    data.extend_from_slice(plaintext);
+    while data.len() % 8 != 0 {
+        data.push(0);
+    }
+    let mut out = Vec::with_capacity(data.len());
+    for chunk in data.chunks_exact(8) {
+        let block = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+        out.extend_from_slice(&encrypt_block(key, block).to_be_bytes());
+    }
+    out
+}
+
+/// Inverse of [`det_encrypt`]. Returns `None` on malformed input.
+pub fn det_decrypt(key: &[u8; 16], ciphertext: &[u8]) -> Option<Vec<u8>> {
+    if ciphertext.is_empty() || ciphertext.len() % 8 != 0 {
+        return None;
+    }
+    let mut data = Vec::with_capacity(ciphertext.len());
+    for chunk in ciphertext.chunks_exact(8) {
+        let block = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+        data.extend_from_slice(&decrypt_block(key, block).to_be_bytes());
+    }
+    let len = u32::from_be_bytes(data[..4].try_into().expect("4 bytes")) as usize;
+    if len > data.len() - 4 {
+        return None;
+    }
+    Some(data[4..4 + len].to_vec())
+}
+
+/// Randomized encryption: 8-byte nonce ‖ XTEA-CTR keystream XOR.
+pub fn rnd_encrypt(key: &[u8; 16], nonce: u64, plaintext: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + plaintext.len());
+    out.extend_from_slice(&nonce.to_be_bytes());
+    for (i, chunk) in plaintext.chunks(8).enumerate() {
+        let keystream = encrypt_block(key, nonce.wrapping_add(i as u64 + 1)).to_be_bytes();
+        for (j, &b) in chunk.iter().enumerate() {
+            out.push(b ^ keystream[j]);
+        }
+    }
+    out
+}
+
+/// Inverse of [`rnd_encrypt`].
+pub fn rnd_decrypt(key: &[u8; 16], ciphertext: &[u8]) -> Option<Vec<u8>> {
+    if ciphertext.len() < 8 {
+        return None;
+    }
+    let nonce = u64::from_be_bytes(ciphertext[..8].try_into().expect("8 bytes"));
+    let body = &ciphertext[8..];
+    let mut out = Vec::with_capacity(body.len());
+    for (i, chunk) in body.chunks(8).enumerate() {
+        let keystream = encrypt_block(key, nonce.wrapping_add(i as u64 + 1)).to_be_bytes();
+        for (j, &b) in chunk.iter().enumerate() {
+            out.push(b ^ keystream[j]);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_roundtrip() {
+        let key = [3u8; 16];
+        for v in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(decrypt_block(&key, encrypt_block(&key, v)), v);
+        }
+    }
+
+    #[test]
+    fn block_is_keyed() {
+        let k1 = [0u8; 16];
+        let mut k2 = [0u8; 16];
+        k2[15] = 1;
+        assert_ne!(encrypt_block(&k1, 42), encrypt_block(&k2, 42));
+    }
+
+    #[test]
+    fn det_roundtrip_various_lengths() {
+        let key = [9u8; 16];
+        for len in 0..40 {
+            let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = det_encrypt(&key, &msg);
+            assert_eq!(ct.len() % 8, 0);
+            assert_eq!(det_decrypt(&key, &ct).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn det_is_deterministic_and_injective() {
+        let key = [5u8; 16];
+        assert_eq!(det_encrypt(&key, b"stroke"), det_encrypt(&key, b"stroke"));
+        assert_ne!(det_encrypt(&key, b"stroke"), det_encrypt(&key, b"strokf"));
+        // Padding must not cause collisions between "a" and "a\0".
+        assert_ne!(det_encrypt(&key, b"a"), det_encrypt(&key, b"a\0"));
+    }
+
+    #[test]
+    fn rnd_roundtrip_and_nondeterminism() {
+        let key = [1u8; 16];
+        let msg = b"premium=250".to_vec();
+        let c1 = rnd_encrypt(&key, 1111, &msg);
+        let c2 = rnd_encrypt(&key, 2222, &msg);
+        assert_ne!(c1, c2, "different nonces, different ciphertexts");
+        assert_eq!(rnd_decrypt(&key, &c1).unwrap(), msg);
+        assert_eq!(rnd_decrypt(&key, &c2).unwrap(), msg);
+    }
+
+    #[test]
+    fn decrypt_rejects_malformed() {
+        let key = [1u8; 16];
+        assert!(det_decrypt(&key, &[1, 2, 3]).is_none());
+        assert!(det_decrypt(&key, &[]).is_none());
+        assert!(rnd_decrypt(&key, &[0; 4]).is_none());
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let k1 = [1u8; 16];
+        let k2 = [2u8; 16];
+        let ct = det_encrypt(&k1, b"secret");
+        // Either fails to parse or yields different bytes.
+        match det_decrypt(&k2, &ct) {
+            None => {}
+            Some(pt) => assert_ne!(pt, b"secret"),
+        }
+    }
+}

@@ -1,0 +1,1056 @@
+//! Plan execution.
+//!
+//! [`execute`] interprets a plan bottom-up, materializing one
+//! [`Table`] per node. The engine is deliberately simple (row-at-a-time
+//! over in-memory vectors) but complete: hash joins on equality
+//! conditions (which work unchanged on deterministic ciphertexts),
+//! nested-loop fallback for theta-joins, hash aggregation with
+//! homomorphic SUM/AVG accumulation over Paillier cells, OPE-aware
+//! MIN/MAX and sorting, and the `Encrypt`/`Decrypt` operators spliced
+//! in by `mpq_core::extend`.
+//!
+//! Key enforcement: `Encrypt`/`Decrypt` nodes require the executing
+//! context to *hold* the cluster key ([`ExecError::MissingKey`]
+//! otherwise); homomorphic aggregation only needs the public half.
+
+use crate::eval::{cmp_values, eval, eval_pred, EvalError, RowCtx};
+use crate::scheme::SchemePlan;
+use crate::table::{Database, Table};
+use mpq_algebra::expr::{AggExpr, AggFunc};
+use mpq_algebra::value::{EncScheme, EncValue, GroupKey};
+use mpq_algebra::{AttrId, CmpOp, Expr, JoinKind, NodeId, Operator, QueryPlan, Value};
+use mpq_crypto::keyring::KeyRing;
+use mpq_crypto::schemes::{
+    decrypt_value, encrypt_value, paillier_add_cells, paillier_finish, AggKind,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Execution errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// No table loaded for a base relation.
+    MissingTable(String),
+    /// Expression evaluation failed.
+    Eval(EvalError),
+    /// The executing subject does not hold the key needed by an
+    /// encryption/decryption operator.
+    MissingKey {
+        /// Attribute being processed.
+        attr: AttrId,
+        /// Cluster key id.
+        key_id: u32,
+    },
+    /// No key id registered for an attribute scheduled for encryption.
+    NoKeyForAttr(AttrId),
+    /// Cryptographic failure (wrong key, malformed cell).
+    Crypto(String),
+    /// Structurally unsupported plan shape.
+    Unsupported(String),
+}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingTable(r) => write!(f, "no data loaded for relation {r}"),
+            ExecError::Eval(e) => write!(f, "evaluation error: {e}"),
+            ExecError::MissingKey { attr, key_id } => {
+                write!(f, "executor does not hold key {key_id} for attribute {attr}")
+            }
+            ExecError::NoKeyForAttr(a) => write!(f, "no plan key covers attribute {a}"),
+            ExecError::Crypto(m) => write!(f, "crypto error: {m}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execution context.
+pub struct ExecCtx<'a> {
+    /// Catalog (names for diagnostics).
+    pub catalog: &'a mpq_algebra::Catalog,
+    /// Base-relation data.
+    pub db: &'a Database,
+    /// Keys held by the executing subject.
+    pub keys: &'a KeyRing,
+    /// Scheme per attribute for `Encrypt` nodes.
+    pub schemes: &'a SchemePlan,
+    /// Attribute → plan-key id (Def. 6.1 clusters).
+    pub key_of_attr: &'a HashMap<AttrId, u32>,
+    /// Randomness for randomized/Paillier encryption.
+    pub rng: RefCell<StdRng>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Context with a fixed seed (deterministic tests).
+    pub fn new(
+        catalog: &'a mpq_algebra::Catalog,
+        db: &'a Database,
+        keys: &'a KeyRing,
+        schemes: &'a SchemePlan,
+        key_of_attr: &'a HashMap<AttrId, u32>,
+    ) -> ExecCtx<'a> {
+        ExecCtx {
+            catalog,
+            db,
+            keys,
+            schemes,
+            key_of_attr,
+            rng: RefCell::new(StdRng::seed_from_u64(0x6d70_71)),
+        }
+    }
+}
+
+/// Execute a whole plan, returning the root table.
+pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<Table, ExecError> {
+    let mut results: HashMap<NodeId, Table> = HashMap::new();
+    for id in plan.postorder() {
+        let table = execute_node(plan, id, &mut results, ctx)?;
+        results.insert(id, table);
+    }
+    Ok(results.remove(&plan.root()).expect("root executed"))
+}
+
+fn take_child(
+    results: &mut HashMap<NodeId, Table>,
+    id: NodeId,
+) -> Table {
+    results.remove(&id).expect("child executed before parent")
+}
+
+fn execute_node(
+    plan: &QueryPlan,
+    id: NodeId,
+    results: &mut HashMap<NodeId, Table>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Table, ExecError> {
+    let node = plan.node(id);
+    match &node.op {
+        Operator::Base { rel, attrs } => {
+            let table = ctx
+                .db
+                .table(*rel)
+                .ok_or_else(|| ExecError::MissingTable(ctx.catalog.rel(*rel).name.clone()))?;
+            let indices: Vec<usize> = attrs
+                .iter()
+                .map(|a| {
+                    table
+                        .col_index(*a)
+                        .ok_or_else(|| ExecError::Unsupported(format!("column {a} missing")))
+                })
+                .collect::<Result<_, _>>()?;
+            let rows = table
+                .rows
+                .iter()
+                .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            Ok(Table {
+                cols: attrs.clone(),
+                rows,
+            })
+        }
+        Operator::Project { attrs } => {
+            let child = take_child(results, node.children[0]);
+            let indices: Vec<usize> = attrs
+                .iter()
+                .map(|a| {
+                    child
+                        .col_index(*a)
+                        .ok_or_else(|| ExecError::Unsupported(format!("column {a} missing")))
+                })
+                .collect::<Result<_, _>>()?;
+            let rows = child
+                .rows
+                .iter()
+                .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            Ok(Table {
+                cols: attrs.clone(),
+                rows,
+            })
+        }
+        Operator::Select { pred } => {
+            let mut child = take_child(results, node.children[0]);
+            let cols = child.cols.clone();
+            let mut kept = Vec::with_capacity(child.rows.len());
+            for row in child.rows.drain(..) {
+                let keep = eval_pred(pred, &RowCtx::plain(&cols, &row))? == Some(true);
+                if keep {
+                    kept.push(row);
+                }
+            }
+            child.rows = kept;
+            Ok(child)
+        }
+        Operator::Having { pred } => {
+            let mut child = take_child(results, node.children[0]);
+            let agg_base = match &plan.node(node.children[0]).op {
+                Operator::GroupBy { keys, .. } => keys.len(),
+                _ => {
+                    return Err(ExecError::Unsupported(
+                        "HAVING over a non-GroupBy child".into(),
+                    ))
+                }
+            };
+            let cols = child.cols.clone();
+            let mut kept = Vec::with_capacity(child.rows.len());
+            for row in child.rows.drain(..) {
+                let ctx_row = RowCtx {
+                    cols: &cols,
+                    row: &row,
+                    agg_base: Some(agg_base),
+                };
+                if eval_pred(pred, &ctx_row)? == Some(true) {
+                    kept.push(row);
+                }
+            }
+            child.rows = kept;
+            Ok(child)
+        }
+        Operator::Product => {
+            let left = take_child(results, node.children[0]);
+            let right = take_child(results, node.children[1]);
+            let mut cols = left.cols.clone();
+            cols.extend(right.cols.iter().copied());
+            let mut rows = Vec::with_capacity(left.len() * right.len());
+            for l in &left.rows {
+                for r in &right.rows {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    rows.push(row);
+                }
+            }
+            Ok(Table { cols, rows })
+        }
+        Operator::Join { kind, on, residual } => {
+            let left = take_child(results, node.children[0]);
+            let right = take_child(results, node.children[1]);
+            join(*kind, on, residual.as_ref(), left, right)
+        }
+        Operator::GroupBy { keys, aggs } => {
+            let child = take_child(results, node.children[0]);
+            group_by(keys, aggs, child, ctx)
+        }
+        Operator::Udf {
+            inputs,
+            output,
+            body,
+            ..
+        } => {
+            let child = take_child(results, node.children[0]);
+            let body = body.as_ref().ok_or_else(|| {
+                ExecError::Unsupported("opaque udf cannot be executed".into())
+            })?;
+            udf(inputs, *output, body, child)
+        }
+        Operator::Encrypt { attrs } => {
+            let mut child = take_child(results, node.children[0]);
+            for attr in attrs {
+                let key_id = *ctx
+                    .key_of_attr
+                    .get(attr)
+                    .ok_or(ExecError::NoKeyForAttr(*attr))?;
+                let key = ctx.keys.get(key_id).ok_or(ExecError::MissingKey {
+                    attr: *attr,
+                    key_id,
+                })?;
+                let scheme = ctx.schemes.scheme_of(*attr);
+                // Every column carrying this attribute is encrypted.
+                let col_idxs: Vec<usize> = child
+                    .cols
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c == *attr)
+                    .map(|(i, _)| i)
+                    .collect();
+                for row in &mut child.rows {
+                    for &i in &col_idxs {
+                        let mut rng = ctx.rng.borrow_mut();
+                        row[i] = encrypt_value(&mut *rng, &row[i], scheme, &key)
+                            .map_err(|e| ExecError::Crypto(e.to_string()))?;
+                    }
+                }
+            }
+            Ok(child)
+        }
+        Operator::Decrypt { attrs } => {
+            let mut child = take_child(results, node.children[0]);
+            for attr in attrs {
+                let key_id = *ctx
+                    .key_of_attr
+                    .get(attr)
+                    .ok_or(ExecError::NoKeyForAttr(*attr))?;
+                let key = ctx.keys.get(key_id).ok_or(ExecError::MissingKey {
+                    attr: *attr,
+                    key_id,
+                })?;
+                let col_idxs: Vec<usize> = child
+                    .cols
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c == *attr)
+                    .map(|(i, _)| i)
+                    .collect();
+                for row in &mut child.rows {
+                    for &i in &col_idxs {
+                        row[i] = decrypt_value(&row[i], &key)
+                            .map_err(|e| ExecError::Crypto(e.to_string()))?;
+                    }
+                }
+            }
+            Ok(child)
+        }
+        Operator::Sort { keys } => {
+            let child = take_child(results, node.children[0]);
+            sort(plan, id, keys, child)
+        }
+        Operator::Limit { n } => {
+            let mut child = take_child(results, node.children[0]);
+            child.rows.truncate(*n as usize);
+            Ok(child)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+fn join(
+    kind: JoinKind,
+    on: &[(AttrId, CmpOp, AttrId)],
+    residual: Option<&Expr>,
+    left: Table,
+    right: Table,
+) -> Result<Table, ExecError> {
+    let eq_conds: Vec<(usize, usize)> = on
+        .iter()
+        .filter(|(_, op, _)| op.is_equality())
+        .map(|(l, _, r)| {
+            Ok((
+                left.col_index(*l)
+                    .ok_or_else(|| ExecError::Unsupported(format!("join key {l} missing")))?,
+                right
+                    .col_index(*r)
+                    .ok_or_else(|| ExecError::Unsupported(format!("join key {r} missing")))?,
+            ))
+        })
+        .collect::<Result<_, ExecError>>()?;
+    let other_conds: Vec<(usize, CmpOp, usize)> = on
+        .iter()
+        .filter(|(_, op, _)| !op.is_equality())
+        .map(|(l, op, r)| {
+            Ok((
+                left.col_index(*l)
+                    .ok_or_else(|| ExecError::Unsupported(format!("join key {l} missing")))?,
+                *op,
+                right
+                    .col_index(*r)
+                    .ok_or_else(|| ExecError::Unsupported(format!("join key {r} missing")))?,
+            ))
+        })
+        .collect::<Result<_, ExecError>>()?;
+
+    let mut out_cols = left.cols.clone();
+    if kind.keeps_right() {
+        out_cols.extend(right.cols.iter().copied());
+    }
+    let combined_cols: Vec<AttrId> = left
+        .cols
+        .iter()
+        .chain(right.cols.iter())
+        .copied()
+        .collect();
+    let mut out_rows: Vec<Vec<Value>> = Vec::new();
+
+    // Hash-partition the right side on the equality keys (works for
+    // deterministic ciphertexts: equality is byte-wise).
+    let mut hash: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    for (ri, row) in right.rows.iter().enumerate() {
+        let key: Vec<GroupKey> = eq_conds
+            .iter()
+            .map(|&(_, rc)| GroupKey(row[rc].clone()))
+            .collect();
+        // SQL semantics: NULL join keys never match.
+        if key.iter().any(|k| k.0.is_null()) {
+            continue;
+        }
+        hash.entry(key).or_default().push(ri);
+    }
+
+    for lrow in &left.rows {
+        let mut matched = false;
+        let candidates: Box<dyn Iterator<Item = usize>> = if eq_conds.is_empty() {
+            Box::new(0..right.rows.len())
+        } else {
+            let key: Vec<GroupKey> = eq_conds
+                .iter()
+                .map(|&(lc, _)| GroupKey(lrow[lc].clone()))
+                .collect();
+            if key.iter().any(|k| k.0.is_null()) {
+                Box::new(std::iter::empty())
+            } else {
+                match hash.get(&key) {
+                    Some(v) => Box::new(v.iter().copied()),
+                    None => Box::new(std::iter::empty()),
+                }
+            }
+        };
+        for ri in candidates {
+            let rrow = &right.rows[ri];
+            // Non-equality join conditions.
+            let mut ok = true;
+            for &(lc, op, rc) in &other_conds {
+                if cmp_values(&lrow[lc], op, &rrow[rc])? != Some(true) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                if let Some(resid) = residual {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    ok = eval_pred(resid, &RowCtx::plain(&combined_cols, &combined))?
+                        == Some(true);
+                }
+            }
+            if !ok {
+                continue;
+            }
+            matched = true;
+            match kind {
+                JoinKind::Inner | JoinKind::LeftOuter => {
+                    let mut row = lrow.clone();
+                    row.extend(rrow.iter().cloned());
+                    out_rows.push(row);
+                }
+                JoinKind::Semi => {
+                    out_rows.push(lrow.clone());
+                    break;
+                }
+                JoinKind::Anti => break,
+            }
+        }
+        match kind {
+            JoinKind::LeftOuter if !matched => {
+                let mut row = lrow.clone();
+                row.extend(std::iter::repeat_n(Value::Null, right.cols.len()));
+                out_rows.push(row);
+            }
+            JoinKind::Anti if !matched => out_rows.push(lrow.clone()),
+            _ => {}
+        }
+    }
+    Ok(Table {
+        cols: out_cols,
+        rows: out_rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+enum AggAcc {
+    Count(i64),
+    CountDistinct(std::collections::HashSet<GroupKey>),
+    /// Plaintext sum: integer and float accumulators, plus whether any
+    /// float was seen and how many non-null terms were added.
+    Sum {
+        int: i64,
+        num: f64,
+        saw_num: bool,
+        count: u64,
+    },
+    /// Homomorphic Paillier accumulator.
+    SumEnc { acc: Option<EncValue>, count: u64 },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
+}
+
+impl AggAcc {
+    fn new(func: AggFunc, encrypted: bool) -> AggAcc {
+        match func {
+            AggFunc::Count => AggAcc::Count(0),
+            AggFunc::CountDistinct => AggAcc::CountDistinct(Default::default()),
+            AggFunc::Sum | AggFunc::Avg => {
+                if encrypted {
+                    AggAcc::SumEnc {
+                        acc: None,
+                        count: 0,
+                    }
+                } else {
+                    AggAcc::Sum {
+                        int: 0,
+                        num: 0.0,
+                        saw_num: false,
+                        count: 0,
+                    }
+                }
+            }
+            AggFunc::Min => AggAcc::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => AggAcc::MinMax {
+                best: None,
+                is_min: false,
+            },
+        }
+    }
+
+    fn update(&mut self, v: Value, ctx: &ExecCtx<'_>) -> Result<(), ExecError> {
+        if v.is_null() {
+            return Ok(());
+        }
+        match self {
+            AggAcc::Count(c) => *c += 1,
+            AggAcc::CountDistinct(set) => {
+                set.insert(GroupKey(v));
+            }
+            AggAcc::Sum {
+                int,
+                num,
+                saw_num,
+                count,
+            } => match v {
+                Value::Int(i) => {
+                    *int += i;
+                    *count += 1;
+                }
+                Value::Num(f) => {
+                    *num += f;
+                    *saw_num = true;
+                    *count += 1;
+                }
+                Value::Enc(_) => {
+                    return Err(ExecError::Unsupported(
+                        "mixed plaintext/ciphertext aggregation".into(),
+                    ))
+                }
+                other => {
+                    return Err(ExecError::Eval(EvalError::TypeError(format!(
+                        "SUM over {other:?}"
+                    ))))
+                }
+            },
+            AggAcc::SumEnc { acc, count } => match v {
+                Value::Enc(cell) if cell.scheme == EncScheme::Paillier => {
+                    let pk = ctx
+                        .keys
+                        .get_public(cell.key_id)
+                        .ok_or(ExecError::MissingKey {
+                            attr: AttrId(u32::MAX),
+                            key_id: cell.key_id,
+                        })?;
+                    *acc = Some(match acc.take() {
+                        None => cell,
+                        Some(prev) => paillier_add_cells(&prev, &cell, &pk)
+                            .map_err(|e| ExecError::Crypto(e.to_string()))?,
+                    });
+                    *count += 1;
+                }
+                Value::Enc(_) => {
+                    return Err(ExecError::Eval(EvalError::EncryptedOperation(
+                        "SUM over non-Paillier ciphertext".into(),
+                    )))
+                }
+                other => {
+                    return Err(ExecError::Unsupported(format!(
+                        "mixed plaintext/ciphertext aggregation over {other:?}"
+                    )))
+                }
+            },
+            AggAcc::MinMax { best, is_min } => {
+                let replace = match best {
+                    None => true,
+                    Some(b) => {
+                        let op = if *is_min { CmpOp::Lt } else { CmpOp::Gt };
+                        cmp_values(&v, op, b)? == Some(true)
+                    }
+                };
+                if replace {
+                    *best = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, func: AggFunc) -> Result<Value, ExecError> {
+        Ok(match self {
+            AggAcc::Count(c) => Value::Int(c),
+            AggAcc::CountDistinct(set) => Value::Int(set.len() as i64),
+            AggAcc::Sum {
+                int,
+                num,
+                saw_num,
+                count,
+            } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    match func {
+                        AggFunc::Sum => {
+                            if saw_num {
+                                Value::Num(num + int as f64)
+                            } else {
+                                Value::Int(int)
+                            }
+                        }
+                        AggFunc::Avg => Value::Num((num + int as f64) / count as f64),
+                        _ => unreachable!("Sum accumulator only for SUM/AVG"),
+                    }
+                }
+            }
+            AggAcc::SumEnc { acc, count } => match acc {
+                None => Value::Null,
+                Some(cell) => {
+                    let kind = if func == AggFunc::Avg {
+                        AggKind::Avg
+                    } else {
+                        AggKind::Sum
+                    };
+                    let _ = count;
+                    Value::Enc(
+                        paillier_finish(&cell, kind)
+                            .map_err(|e| ExecError::Crypto(e.to_string()))?,
+                    )
+                }
+            },
+            AggAcc::MinMax { best, .. } => best.unwrap_or(Value::Null),
+        })
+    }
+}
+
+fn group_by(
+    keys: &[AttrId],
+    aggs: &[AggExpr],
+    child: Table,
+    ctx: &ExecCtx<'_>,
+) -> Result<Table, ExecError> {
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| {
+            child
+                .col_index(*k)
+                .ok_or_else(|| ExecError::Unsupported(format!("group key {k} missing")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Stable group ordering: remember first-seen order.
+    let mut order: Vec<Vec<GroupKey>> = Vec::new();
+    let mut groups: HashMap<Vec<GroupKey>, Vec<AggAcc>> = HashMap::new();
+    let cols = child.cols.clone();
+
+    for row in &child.rows {
+        let gk: Vec<GroupKey> = key_idx.iter().map(|&i| GroupKey(row[i].clone())).collect();
+        let accs = match groups.get_mut(&gk) {
+            Some(a) => a,
+            None => {
+                order.push(gk.clone());
+                let accs = aggs
+                    .iter()
+                    .map(|ag| {
+                        // Peek the first input value to pick the
+                        // plaintext vs homomorphic accumulator.
+                        let v = eval(&ag.input, &RowCtx::plain(&cols, row))?;
+                        Ok(AggAcc::new(ag.func, matches!(v, Value::Enc(_))))
+                    })
+                    .collect::<Result<Vec<_>, ExecError>>()?;
+                groups.entry(gk.clone()).or_insert(accs)
+            }
+        };
+        for (ag, acc) in aggs.iter().zip(accs.iter_mut()) {
+            let v = eval(&ag.input, &RowCtx::plain(&cols, row))?;
+            acc.update(v, ctx)?;
+        }
+    }
+
+    // Scalar aggregation over an empty input: one row of defaults.
+    if keys.is_empty() && child.rows.is_empty() {
+        let gk: Vec<GroupKey> = Vec::new();
+        order.push(gk.clone());
+        groups.insert(
+            gk,
+            aggs.iter().map(|ag| AggAcc::new(ag.func, false)).collect(),
+        );
+    }
+
+    let mut out_cols: Vec<AttrId> = keys.to_vec();
+    out_cols.extend(aggs.iter().map(|a| a.output));
+    let mut rows = Vec::with_capacity(order.len());
+    for gk in order {
+        let accs = groups.remove(&gk).expect("group recorded");
+        let mut row: Vec<Value> = gk.into_iter().map(|k| k.0).collect();
+        for (ag, acc) in aggs.iter().zip(accs) {
+            row.push(acc.finish(ag.func)?);
+        }
+        rows.push(row);
+    }
+    Ok(Table {
+        cols: out_cols,
+        rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Udf / sort
+// ---------------------------------------------------------------------------
+
+fn udf(
+    inputs: &[AttrId],
+    output: AttrId,
+    body: &Expr,
+    child: Table,
+) -> Result<Table, ExecError> {
+    let out_idx = child
+        .col_index(output)
+        .ok_or_else(|| ExecError::Unsupported(format!("udf output {output} missing")))?;
+    let drop_idx: Vec<usize> = child
+        .cols
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| inputs.contains(c) && **c != output)
+        .map(|(i, _)| i)
+        .collect();
+    let cols: Vec<AttrId> = child
+        .cols
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !drop_idx.contains(i))
+        .map(|(_, c)| *c)
+        .collect();
+    let src_cols = child.cols.clone();
+    let mut rows = Vec::with_capacity(child.rows.len());
+    for mut row in child.rows {
+        let v = eval(body, &RowCtx::plain(&src_cols, &row))?;
+        row[out_idx] = v;
+        let row: Vec<Value> = row
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !drop_idx.contains(i))
+            .map(|(_, v)| v)
+            .collect();
+        rows.push(row);
+    }
+    Ok(Table { cols, rows })
+}
+
+fn sort(
+    plan: &QueryPlan,
+    id: NodeId,
+    keys: &[(Expr, bool)],
+    child: Table,
+) -> Result<Table, ExecError> {
+    let agg_base = match &plan.node(plan.node(id).children[0]).op {
+        Operator::GroupBy { keys, .. } => Some(keys.len()),
+        Operator::Having { .. } => {
+            // Having preserves the group-by layout.
+            let gchild = plan.node(plan.node(id).children[0]).children[0];
+            match &plan.node(gchild).op {
+                Operator::GroupBy { keys, .. } => Some(keys.len()),
+                _ => None,
+            }
+        }
+        _ => None,
+    };
+    let cols = child.cols.clone();
+    // Precompute sort keys (errors surface before sorting).
+    let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(child.rows.len());
+    for row in child.rows {
+        let ctx_row = RowCtx {
+            cols: &cols,
+            row: &row,
+            agg_base,
+        };
+        let kvals = keys
+            .iter()
+            .map(|(e, _)| eval(e, &ctx_row))
+            .collect::<Result<Vec<_>, _>>()?;
+        keyed.push((kvals, row));
+    }
+    // Validate comparability (OPE vs deterministic ciphertexts) on the
+    // first row pair, then sort with a total order (NULLs last,
+    // incomparables equal).
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for ((va, vb), (_, asc)) in ka.iter().zip(kb).zip(keys) {
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => va.sql_cmp(vb).unwrap_or(std::cmp::Ordering::Equal),
+            };
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Table {
+        cols,
+        rows: keyed.into_iter().map(|(_, r)| r).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_algebra::builder::plan_sql;
+    use mpq_algebra::{Catalog, Date};
+
+    fn hosp_rows() -> Vec<Vec<Value>> {
+        let d = |s: &str| Value::Date(Date::parse(s).unwrap());
+        vec![
+            vec![Value::str("s1"), d("1970-01-01"), Value::str("stroke"), Value::str("t1")],
+            vec![Value::str("s2"), d("1980-02-02"), Value::str("stroke"), Value::str("t1")],
+            vec![Value::str("s3"), d("1990-03-03"), Value::str("flu"), Value::str("t2")],
+            vec![Value::str("s4"), d("1960-04-04"), Value::str("stroke"), Value::str("t2")],
+        ]
+    }
+
+    fn ins_rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::str("s1"), Value::Num(120.0)],
+            vec![Value::str("s2"), Value::Num(220.0)],
+            vec![Value::str("s3"), Value::Num(60.0)],
+            vec![Value::str("s4"), Value::Num(90.0)],
+        ]
+    }
+
+    fn setup() -> (Catalog, Database) {
+        let cat = Catalog::paper_running_example();
+        let mut db = Database::new();
+        db.load(&cat, "Hosp", hosp_rows());
+        db.load(&cat, "Ins", ins_rows());
+        (cat, db)
+    }
+
+    fn run(cat: &Catalog, db: &Database, sql: &str) -> Table {
+        let plan = plan_sql(cat, sql).unwrap();
+        let keys = KeyRing::new();
+        let schemes = SchemePlan::default();
+        let key_of_attr = HashMap::new();
+        let ctx = ExecCtx::new(cat, db, &keys, &schemes, &key_of_attr);
+        execute(&plan, &ctx).unwrap()
+    }
+
+    #[test]
+    fn selection_and_projection() {
+        let (cat, db) = setup();
+        let t = run(&cat, &db, "select S, T from Hosp where D='stroke'");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.cols.len(), 2);
+    }
+
+    #[test]
+    fn running_example_end_to_end() {
+        let (cat, db) = setup();
+        let t = run(
+            &cat,
+            &db,
+            "select T, avg(P) from Hosp join Ins on S=C \
+             where D='stroke' group by T having avg(P)>100",
+        );
+        // t1: avg(120, 220) = 170 > 100 ✓; t2: avg(90) = 90 ✗.
+        assert_eq!(t.len(), 1);
+        assert!(t.rows[0][0].sql_eq(&Value::str("t1")));
+        assert!(t.rows[0][1].sql_eq(&Value::Num(170.0)));
+    }
+
+    #[test]
+    fn group_by_count_and_order() {
+        let (cat, db) = setup();
+        let t = run(
+            &cat,
+            &db,
+            "select D, count(*) from Hosp group by D order by count(*) desc limit 1",
+        );
+        assert_eq!(t.len(), 1);
+        assert!(t.rows[0][0].sql_eq(&Value::str("stroke")));
+        assert!(t.rows[0][1].sql_eq(&Value::Int(3)));
+    }
+
+    #[test]
+    fn cartesian_product_count() {
+        let (cat, db) = setup();
+        let t = run(&cat, &db, "select T, P from Hosp, Ins");
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn join_kinds() {
+        let (cat, db) = setup();
+        // Inner join matches all 4 (every S has a C).
+        let t = run(&cat, &db, "select T, P from Hosp join Ins on S=C");
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn semi_and_anti_join() {
+        let (cat, db) = setup();
+        let cat2 = cat.clone();
+        let s = cat2.attr("S").unwrap();
+        let c = cat2.attr("C").unwrap();
+        let hosp = cat2.relation("Hosp").unwrap().rel;
+        let ins = cat2.relation("Ins").unwrap().rel;
+        let mut plan = QueryPlan::new();
+        let l = plan.add_base(hosp, vec![s]);
+        let r = plan.add_base(ins, vec![c]);
+        plan.add(
+            Operator::Join {
+                kind: JoinKind::Semi,
+                on: vec![(s, CmpOp::Eq, c)],
+                residual: None,
+            },
+            vec![l, r],
+        );
+        let keys = KeyRing::new();
+        let schemes = SchemePlan::default();
+        let koa = HashMap::new();
+        let ctx = ExecCtx::new(&cat2, &db, &keys, &schemes, &koa);
+        let t = execute(&plan, &ctx).unwrap();
+        assert_eq!(t.len(), 4, "all patients are insured");
+        assert_eq!(t.cols.len(), 1, "semi join keeps only the left schema");
+    }
+
+    #[test]
+    fn left_outer_join_pads_nulls() {
+        let (cat, mut db) = setup();
+        // Remove s4 from Ins → s4 unmatched.
+        db.load(
+            &cat,
+            "Ins",
+            vec![
+                vec![Value::str("s1"), Value::Num(120.0)],
+                vec![Value::str("s2"), Value::Num(220.0)],
+                vec![Value::str("s3"), Value::Num(60.0)],
+            ],
+        );
+        let s = cat.attr("S").unwrap();
+        let c = cat.attr("C").unwrap();
+        let p = cat.attr("P").unwrap();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let ins = cat.relation("Ins").unwrap().rel;
+        let mut plan = QueryPlan::new();
+        let l = plan.add_base(hosp, vec![s]);
+        let r = plan.add_base(ins, vec![c, p]);
+        plan.add(
+            Operator::Join {
+                kind: JoinKind::LeftOuter,
+                on: vec![(s, CmpOp::Eq, c)],
+                residual: None,
+            },
+            vec![l, r],
+        );
+        let keys = KeyRing::new();
+        let schemes = SchemePlan::default();
+        let koa = HashMap::new();
+        let ctx = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
+        let t = execute(&plan, &ctx).unwrap();
+        assert_eq!(t.len(), 4);
+        let unmatched = t
+            .rows
+            .iter()
+            .filter(|r| r[1].is_null() && r[2].is_null())
+            .count();
+        assert_eq!(unmatched, 1);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let (cat, mut db) = setup();
+        db.load(
+            &cat,
+            "Ins",
+            vec![vec![Value::Null, Value::Num(1.0)]],
+        );
+        let mut hosp_with_null = hosp_rows();
+        hosp_with_null[0][0] = Value::Null;
+        db.load(&cat, "Hosp", hosp_with_null);
+        let t = run(&cat, &db, "select T, P from Hosp join Ins on S=C");
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_input() {
+        let (cat, db) = setup();
+        let t = run(
+            &cat,
+            &db,
+            "select count(P), sum(P) from Ins where P > 100000",
+        );
+        assert_eq!(t.len(), 1);
+        assert!(t.rows[0][0].sql_eq(&Value::Int(0)));
+        assert!(t.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn min_max_and_avg() {
+        let (cat, db) = setup();
+        let t = run(&cat, &db, "select min(P), max(P), avg(P) from Ins");
+        assert!(t.rows[0][0].sql_eq(&Value::Num(60.0)));
+        assert!(t.rows[0][1].sql_eq(&Value::Num(220.0)));
+        assert!(t.rows[0][2].sql_eq(&Value::Num(122.5)));
+    }
+
+    #[test]
+    fn udf_consumes_inputs() {
+        let (cat, db) = setup();
+        let b = cat.attr("B").unwrap();
+        let s = cat.attr("S").unwrap();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let mut plan = QueryPlan::new();
+        let base = plan.add_base(hosp, vec![s, b]);
+        plan.add(
+            Operator::Udf {
+                name: "birth_year".into(),
+                inputs: vec![b],
+                output: b,
+                body: Some(Expr::Extract {
+                    field: mpq_algebra::expr::DateField::Year,
+                    expr: Box::new(Expr::Col(b)),
+                }),
+            },
+            vec![base],
+        );
+        let keys = KeyRing::new();
+        let schemes = SchemePlan::default();
+        let koa = HashMap::new();
+        let ctx = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
+        let t = execute(&plan, &ctx).unwrap();
+        assert_eq!(t.cols.len(), 2);
+        assert!(t.rows[0][1].sql_eq(&Value::Int(1970)));
+    }
+
+    #[test]
+    fn encrypt_without_key_is_refused() {
+        let (cat, db) = setup();
+        let s = cat.attr("S").unwrap();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let mut plan = QueryPlan::new();
+        let base = plan.add_base(hosp, vec![s]);
+        plan.add(Operator::Encrypt { attrs: vec![s] }, vec![base]);
+        let keys = KeyRing::new(); // holds nothing
+        let schemes = SchemePlan::default();
+        let mut koa = HashMap::new();
+        koa.insert(s, 0u32);
+        let ctx = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
+        assert!(matches!(
+            execute(&plan, &ctx),
+            Err(ExecError::MissingKey { .. })
+        ));
+    }
+}

@@ -1,0 +1,34 @@
+//! # mpq-exec
+//!
+//! A row-oriented, in-memory execution engine for `mpq-algebra` query
+//! plans — including the extended plans produced by `mpq-core` with
+//! on-the-fly encryption and decryption operators.
+//!
+//! The engine evaluates expressions over both plaintext and encrypted
+//! cells: equality works on deterministic ciphertexts (hash joins,
+//! group-by, IN), ordering works on OPE ciphertexts (range predicates,
+//! MIN/MAX, sort), and SUM/AVG accumulate Paillier ciphertexts
+//! homomorphically. Operations a ciphertext cannot support surface as
+//! [`eval::EvalError::EncryptedOperation`] — if that error ever escapes a
+//! plan produced by the authorization pipeline, the capability policy
+//! (`mpq_core::capability`) and the executed plan disagree, which the
+//! integration tests treat as a bug.
+//!
+//! Modules:
+//!
+//! * [`table`] — tables, rows, and the in-memory database;
+//! * [`eval`] — expression evaluation over rows;
+//! * [`scheme`] — per-attribute encryption scheme assignment ("the
+//!   scheme providing highest protection, while supporting the
+//!   operations to be executed", §6) and encrypted-literal rewriting of
+//!   dispatched predicates;
+//! * [`engine`] — the operator implementations.
+
+pub mod engine;
+pub mod eval;
+pub mod scheme;
+pub mod table;
+
+pub use engine::{execute, ExecCtx, ExecError};
+pub use scheme::{assign_schemes, rewrite_literals, SchemePlan};
+pub use table::{Database, Table};

@@ -1,0 +1,641 @@
+//! Encryption-scheme assignment and encrypted-literal rewriting.
+//!
+//! §6: "We propose to adopt, for each attribute, the scheme providing
+//! highest protection, while supporting the operations to be executed
+//! on the attribute's encrypted values. For instance, if for an
+//! attribute no operation needs to be executed on encrypted values,
+//! randomized encryption is used, while if equality conditions need to
+//! be evaluated, deterministic encryption is used."
+//!
+//! [`assign_schemes`] analyzes an (extended) plan: for every attribute
+//! that some operator touches *while encrypted*, it accumulates the
+//! required capability (equality / order / addition) and picks the
+//! weakest-leaking scheme that supports it. Attributes encrypted but
+//! never operated on get randomized encryption.
+//!
+//! [`rewrite_literals`] prepares a plan for execution: constants
+//! compared against encrypted attributes are replaced by their
+//! encryptions ("conditions operating on encrypted values when
+//! demanded by encryption operations in the plan", §6) — in deployment
+//! the data authority holding the key performs this rewriting when the
+//! sub-query is dispatched.
+
+use mpq_algebra::expr::AggFunc;
+use mpq_algebra::value::EncScheme;
+use mpq_algebra::{AttrId, AttrSet, CmpOp, Expr, Operator, QueryPlan, Value};
+use mpq_core::profile::{profile_plan, resolve_agg_refs, Profile};
+use mpq_crypto::keyring::KeyRing;
+use mpq_crypto::schemes::encrypt_value;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Capabilities an attribute's ciphertexts must support.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Caps {
+    eq: bool,
+    ord: bool,
+    add: bool,
+}
+
+/// The per-attribute scheme choice for one plan.
+#[derive(Clone, Debug, Default)]
+pub struct SchemePlan {
+    by_attr: HashMap<AttrId, EncScheme>,
+}
+
+impl SchemePlan {
+    /// Scheme for an attribute (randomized when never operated on).
+    pub fn scheme_of(&self, a: AttrId) -> EncScheme {
+        self.by_attr
+            .get(&a)
+            .copied()
+            .unwrap_or(EncScheme::Random)
+    }
+
+    /// Override the scheme of an attribute.
+    pub fn set(&mut self, a: AttrId, s: EncScheme) {
+        self.by_attr.insert(a, s);
+    }
+
+    /// Iterate over explicit assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, EncScheme)> + '_ {
+        self.by_attr.iter().map(|(a, s)| (*a, *s))
+    }
+}
+
+/// Scheme-assignment failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemeError {
+    /// An attribute needs both homomorphic addition and
+    /// comparisons — no single scheme provides both; the capability
+    /// policy should have required plaintext instead.
+    Conflicting(AttrId),
+}
+
+impl std::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeError::Conflicting(a) => {
+                write!(f, "attribute {a} needs addition and comparison on ciphertexts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// Analyze an (extended) plan and choose a scheme per encrypted
+/// attribute.
+pub fn assign_schemes(plan: &QueryPlan) -> Result<SchemePlan, SchemeError> {
+    let profiles = profile_plan(plan);
+    let mut caps: HashMap<AttrId, Caps> = HashMap::new();
+    let mut touch = |a: AttrId, f: &dyn Fn(&mut Caps)| {
+        f(caps.entry(a).or_default());
+    };
+
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        let enc_at = |child_idx: usize| -> AttrSet {
+            profiles[node.children[child_idx].index()].ve.clone()
+        };
+        match &node.op {
+            Operator::Select { pred } => {
+                expr_caps(pred, &enc_at(0), &mut touch);
+            }
+            Operator::Having { pred } => {
+                let resolved = match &plan.node(node.children[0]).op {
+                    Operator::GroupBy { aggs, .. } => resolve_agg_refs(pred, aggs),
+                    _ => pred.clone(),
+                };
+                expr_caps(&resolved, &enc_at(0), &mut touch);
+            }
+            Operator::Join { on, residual, .. } => {
+                let le = enc_at(0);
+                let re = enc_at(1);
+                for (l, op, r) in on {
+                    if le.contains(*l) || re.contains(*r) {
+                        if op.is_equality() || *op == CmpOp::Ne {
+                            touch(*l, &|c| c.eq = true);
+                            touch(*r, &|c| c.eq = true);
+                        } else {
+                            touch(*l, &|c| c.ord = true);
+                            touch(*r, &|c| c.ord = true);
+                        }
+                    }
+                }
+                if let Some(resid) = residual {
+                    let combined = le.union(&re);
+                    expr_caps(resid, &combined, &mut touch);
+                }
+            }
+            Operator::GroupBy { keys, aggs } => {
+                let enc = enc_at(0);
+                for k in keys {
+                    if enc.contains(*k) {
+                        touch(*k, &|c| c.eq = true);
+                    }
+                }
+                for ag in aggs {
+                    if let Expr::Col(a) = ag.input {
+                        if enc.contains(a) {
+                            match ag.func {
+                                AggFunc::Sum | AggFunc::Avg => touch(a, &|c| c.add = true),
+                                AggFunc::Min | AggFunc::Max => touch(a, &|c| c.ord = true),
+                                AggFunc::CountDistinct => touch(a, &|c| c.eq = true),
+                                AggFunc::Count => {}
+                            }
+                        }
+                    }
+                }
+            }
+            Operator::Sort { keys } => {
+                let enc = enc_at(0);
+                for (e, _) in keys {
+                    for a in e.attrs().iter() {
+                        if enc.contains(a) {
+                            touch(a, &|c| c.ord = true);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Every attribute that is ever encrypted gets an entry; choose the
+    // strongest scheme supporting the needed capabilities.
+    let mut out = SchemePlan::default();
+    let mut all_encrypted = AttrSet::new();
+    for id in plan.postorder() {
+        if let Operator::Encrypt { attrs } = &plan.node(id).op {
+            for a in attrs {
+                all_encrypted.insert(*a);
+            }
+        }
+    }
+    for a in all_encrypted.iter() {
+        let c = caps.get(&a).copied().unwrap_or_default();
+        let scheme = match (c.add, c.ord, c.eq) {
+            (true, false, false) => EncScheme::Paillier,
+            (true, _, _) => return Err(SchemeError::Conflicting(a)),
+            (false, true, _) => EncScheme::Ope,
+            (false, false, true) => EncScheme::Deterministic,
+            (false, false, false) => EncScheme::Random,
+        };
+        out.set(a, scheme);
+    }
+    Ok(out)
+}
+
+fn expr_caps(e: &Expr, enc: &AttrSet, touch: &mut dyn FnMut(AttrId, &dyn Fn(&mut Caps))) {
+    match e {
+        Expr::Cmp(a, op, b) => {
+            let need = |c: &mut Caps| {
+                if op.is_equality() || *op == CmpOp::Ne {
+                    c.eq = true;
+                } else {
+                    c.ord = true;
+                }
+            };
+            for side in [a.as_ref(), b.as_ref()] {
+                if let Expr::Col(x) = side {
+                    if enc.contains(*x) {
+                        touch(*x, &need);
+                    }
+                }
+            }
+        }
+        Expr::Between { expr, .. } => {
+            if let Expr::Col(x) = expr.as_ref() {
+                if enc.contains(*x) {
+                    touch(*x, &|c| c.ord = true);
+                }
+            }
+        }
+        Expr::InList { expr, .. } => {
+            if let Expr::Col(x) = expr.as_ref() {
+                if enc.contains(*x) {
+                    touch(*x, &|c| c.eq = true);
+                }
+            }
+        }
+        Expr::And(v) | Expr::Or(v) => {
+            for x in v {
+                expr_caps(x, enc, touch);
+            }
+        }
+        Expr::Not(x) => expr_caps(x, enc, touch),
+        _ => {}
+    }
+}
+
+/// Replace constants compared against encrypted attributes with their
+/// encryptions, so providers can evaluate dispatched conditions without
+/// holding keys. `key_of_attr` maps attributes to plan keys (Def. 6.1)
+/// and `keys` must hold every referenced key (this rewriting is done
+/// dispatcher-side, conceptually by the key-holding authorities).
+pub fn rewrite_literals<R: Rng + ?Sized>(
+    plan: &QueryPlan,
+    schemes: &SchemePlan,
+    key_of_attr: &HashMap<AttrId, u32>,
+    keys: &KeyRing,
+    rng: &mut R,
+) -> Result<QueryPlan, String> {
+    let profiles = profile_plan(plan);
+    let mut out = plan.clone();
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        let child_profile =
+            |i: usize| -> &Profile { &profiles[node.children[i].index()] };
+        match &node.op {
+            Operator::Select { pred } => {
+                let enc = child_profile(0).ve.clone();
+                let new = rewrite_expr(pred, &enc, schemes, key_of_attr, keys, rng)?;
+                out.node_mut(id).op = Operator::Select { pred: new };
+            }
+            Operator::Having { pred } => {
+                let enc = child_profile(0).ve.clone();
+                // AggRefs resolve to output attributes for deciding
+                // encryption of compared constants.
+                let aggs = match &plan.node(node.children[0]).op {
+                    Operator::GroupBy { aggs, .. } => aggs.clone(),
+                    _ => vec![],
+                };
+                let new =
+                    rewrite_having(pred, &aggs, &enc, schemes, key_of_attr, keys, rng)?;
+                out.node_mut(id).op = Operator::Having { pred: new };
+            }
+            Operator::Join { kind, on, residual } => {
+                if let Some(resid) = residual {
+                    let enc = child_profile(0).ve.union(&child_profile(1).ve);
+                    let new = rewrite_expr(resid, &enc, schemes, key_of_attr, keys, rng)?;
+                    out.node_mut(id).op = Operator::Join {
+                        kind: *kind,
+                        on: on.clone(),
+                        residual: Some(new),
+                    };
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+fn encrypt_lit<R: Rng + ?Sized>(
+    v: &Value,
+    attr: AttrId,
+    schemes: &SchemePlan,
+    key_of_attr: &HashMap<AttrId, u32>,
+    keys: &KeyRing,
+    rng: &mut R,
+) -> Result<Value, String> {
+    let key_id = key_of_attr
+        .get(&attr)
+        .ok_or_else(|| format!("no key for attribute {attr}"))?;
+    let key = keys
+        .get(*key_id)
+        .ok_or_else(|| format!("dispatcher does not hold key {key_id}"))?;
+    let scheme = schemes.scheme_of(attr);
+    encrypt_value(rng, v, scheme, &key).map_err(|e| e.to_string())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite_having<R: Rng + ?Sized>(
+    e: &Expr,
+    aggs: &[mpq_algebra::AggExpr],
+    enc: &AttrSet,
+    schemes: &SchemePlan,
+    key_of_attr: &HashMap<AttrId, u32>,
+    keys: &KeyRing,
+    rng: &mut R,
+) -> Result<Expr, String> {
+    // Map AggRef(i) to its output attribute for literal-encryption
+    // decisions, but keep the AggRef in the rewritten expression.
+    match e {
+        Expr::Cmp(a, op, b) => {
+            let col_of = |x: &Expr| -> Option<AttrId> {
+                match x {
+                    Expr::Col(c) => Some(*c),
+                    Expr::AggRef(i) => aggs.get(*i).map(|ag| ag.output),
+                    _ => None,
+                }
+            };
+            if let (Some(attr), Expr::Lit(v)) = (col_of(a), b.as_ref()) {
+                if enc.contains(attr) && !v.is_null() {
+                    let ev = encrypt_lit(v, attr, schemes, key_of_attr, keys, rng)?;
+                    return Ok(Expr::cmp(a.as_ref().clone(), *op, Expr::Lit(ev)));
+                }
+            }
+            if let (Expr::Lit(v), Some(attr)) = (a.as_ref(), col_of(b)) {
+                if enc.contains(attr) && !v.is_null() {
+                    let ev = encrypt_lit(v, attr, schemes, key_of_attr, keys, rng)?;
+                    return Ok(Expr::cmp(Expr::Lit(ev), *op, b.as_ref().clone()));
+                }
+            }
+            Ok(e.clone())
+        }
+        Expr::And(v) => Ok(Expr::And(
+            v.iter()
+                .map(|x| rewrite_having(x, aggs, enc, schemes, key_of_attr, keys, rng))
+                .collect::<Result<_, _>>()?,
+        )),
+        Expr::Or(v) => Ok(Expr::Or(
+            v.iter()
+                .map(|x| rewrite_having(x, aggs, enc, schemes, key_of_attr, keys, rng))
+                .collect::<Result<_, _>>()?,
+        )),
+        Expr::Not(x) => Ok(Expr::Not(Box::new(rewrite_having(
+            x, aggs, enc, schemes, key_of_attr, keys, rng,
+        )?))),
+        other => rewrite_expr(other, enc, schemes, key_of_attr, keys, rng),
+    }
+}
+
+fn rewrite_expr<R: Rng + ?Sized>(
+    e: &Expr,
+    enc: &AttrSet,
+    schemes: &SchemePlan,
+    key_of_attr: &HashMap<AttrId, u32>,
+    keys: &KeyRing,
+    rng: &mut R,
+) -> Result<Expr, String> {
+    Ok(match e {
+        Expr::Cmp(a, op, b) => {
+            if let (Expr::Col(attr), Expr::Lit(v)) = (a.as_ref(), b.as_ref()) {
+                if enc.contains(*attr) && !v.is_null() && !matches!(v, Value::Enc(_)) {
+                    let ev = encrypt_lit(v, *attr, schemes, key_of_attr, keys, rng)?;
+                    return Ok(Expr::cmp(Expr::Col(*attr), *op, Expr::Lit(ev)));
+                }
+            }
+            if let (Expr::Lit(v), Expr::Col(attr)) = (a.as_ref(), b.as_ref()) {
+                if enc.contains(*attr) && !v.is_null() && !matches!(v, Value::Enc(_)) {
+                    let ev = encrypt_lit(v, *attr, schemes, key_of_attr, keys, rng)?;
+                    return Ok(Expr::cmp(Expr::Lit(ev), *op, Expr::Col(*attr)));
+                }
+            }
+            e.clone()
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            if let Expr::Col(attr) = expr.as_ref() {
+                if enc.contains(*attr) {
+                    let enc_bound = |bound: &Expr,
+                                     rng: &mut R|
+                     -> Result<Expr, String> {
+                        match bound {
+                            Expr::Lit(v) if !v.is_null() && !matches!(v, Value::Enc(_)) => Ok(
+                                Expr::Lit(encrypt_lit(v, *attr, schemes, key_of_attr, keys, rng)?),
+                            ),
+                            other => Ok(other.clone()),
+                        }
+                    };
+                    return Ok(Expr::Between {
+                        expr: expr.clone(),
+                        lo: Box::new(enc_bound(lo, rng)?),
+                        hi: Box::new(enc_bound(hi, rng)?),
+                        negated: *negated,
+                    });
+                }
+            }
+            e.clone()
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            if let Expr::Col(attr) = expr.as_ref() {
+                if enc.contains(*attr) {
+                    let new_list = list
+                        .iter()
+                        .map(|v| {
+                            if v.is_null() || matches!(v, Value::Enc(_)) {
+                                Ok(v.clone())
+                            } else {
+                                encrypt_lit(v, *attr, schemes, key_of_attr, keys, rng)
+                            }
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    return Ok(Expr::InList {
+                        expr: expr.clone(),
+                        list: new_list,
+                        negated: *negated,
+                    });
+                }
+            }
+            e.clone()
+        }
+        Expr::And(v) => Expr::And(
+            v.iter()
+                .map(|x| rewrite_expr(x, enc, schemes, key_of_attr, keys, rng))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Or(v) => Expr::Or(
+            v.iter()
+                .map(|x| rewrite_expr(x, enc, schemes, key_of_attr, keys, rng))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Not(x) => Expr::Not(Box::new(rewrite_expr(
+            x, enc, schemes, key_of_attr, keys, rng,
+        )?)),
+        other => other.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_core::candidates::candidates;
+    use mpq_core::capability::CapabilityPolicy;
+    use mpq_core::extend::{minimally_extend, Assignment};
+    use mpq_core::fixtures::RunningExample;
+
+    fn fig7a_plan(ex: &RunningExample) -> QueryPlan {
+        let cands = candidates(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &CapabilityPolicy::default(),
+            false,
+        );
+        let mut a = Assignment::new();
+        a.set(ex.node("select_d"), ex.subject("H"));
+        a.set(ex.node("join"), ex.subject("X"));
+        a.set(ex.node("group"), ex.subject("X"));
+        a.set(ex.node("having"), ex.subject("Y"));
+        minimally_extend(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &cands,
+            &a,
+            Some(ex.subject("U")),
+        )
+        .unwrap()
+        .plan
+    }
+
+    /// Fig. 7(a): S and C are joined while encrypted → deterministic;
+    /// P is averaged while encrypted → Paillier.
+    #[test]
+    fn fig7a_scheme_choice() {
+        let ex = RunningExample::new();
+        let plan = fig7a_plan(&ex);
+        let schemes = assign_schemes(&plan).unwrap();
+        assert_eq!(
+            schemes.scheme_of(ex.attr("S")),
+            EncScheme::Deterministic
+        );
+        assert_eq!(
+            schemes.scheme_of(ex.attr("C")),
+            EncScheme::Deterministic
+        );
+        assert_eq!(schemes.scheme_of(ex.attr("P")), EncScheme::Paillier);
+        // B is never encrypted: default (randomized).
+        assert_eq!(schemes.scheme_of(ex.attr("B")), EncScheme::Random);
+    }
+
+    /// An attribute encrypted but never operated on gets randomized
+    /// encryption ("the scheme providing highest protection").
+    #[test]
+    fn untouched_encrypted_attr_is_randomized() {
+        let ex = RunningExample::new();
+        // Hand-build: encrypt T above the base, then nothing touches T.
+        let hosp = ex.catalog.relation("Hosp").unwrap().rel;
+        let t = ex.attr("T");
+        let s = ex.attr("S");
+        let mut plan = QueryPlan::new();
+        let b = plan.add_base(hosp, vec![s, t]);
+        plan.add(Operator::Encrypt { attrs: vec![t] }, vec![b]);
+        let schemes = assign_schemes(&plan).unwrap();
+        assert_eq!(schemes.scheme_of(t), EncScheme::Random);
+    }
+
+    /// Range selection over an encrypted attribute demands OPE.
+    #[test]
+    fn range_predicate_demands_ope() {
+        let ex = RunningExample::new();
+        let ins = ex.catalog.relation("Ins").unwrap().rel;
+        let c = ex.attr("C");
+        let p = ex.attr("P");
+        let mut plan = QueryPlan::new();
+        let b = plan.add_base(ins, vec![c, p]);
+        let e = plan.add(Operator::Encrypt { attrs: vec![p] }, vec![b]);
+        plan.add(
+            Operator::Select {
+                pred: Expr::cmp(Expr::Col(p), CmpOp::Gt, Expr::Lit(Value::Num(100.0))),
+            },
+            vec![e],
+        );
+        let schemes = assign_schemes(&plan).unwrap();
+        assert_eq!(schemes.scheme_of(p), EncScheme::Ope);
+    }
+
+    /// Sum + comparison on the same encrypted attribute is a conflict.
+    #[test]
+    fn conflicting_requirements_detected() {
+        use mpq_algebra::expr::{AggExpr, AggFunc};
+        let ex = RunningExample::new();
+        let ins = ex.catalog.relation("Ins").unwrap().rel;
+        let c = ex.attr("C");
+        let p = ex.attr("P");
+        let mut plan = QueryPlan::new();
+        let b = plan.add_base(ins, vec![c, p]);
+        let e = plan.add(Operator::Encrypt { attrs: vec![p] }, vec![b]);
+        let sel = plan.add(
+            Operator::Select {
+                pred: Expr::cmp(Expr::Col(p), CmpOp::Gt, Expr::Lit(Value::Num(1.0))),
+            },
+            vec![e],
+        );
+        plan.add(
+            Operator::GroupBy {
+                keys: vec![c],
+                aggs: vec![AggExpr::over_col(AggFunc::Sum, p)],
+            },
+            vec![sel],
+        );
+        assert_eq!(
+            assign_schemes(&plan).unwrap_err(),
+            SchemeError::Conflicting(p)
+        );
+    }
+
+    /// Literal rewriting replaces compared constants with ciphertexts.
+    #[test]
+    fn literals_rewritten_for_encrypted_attrs() {
+        use mpq_crypto::keyring::{ClusterKey, KeyRing};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ex = RunningExample::new();
+        let hosp = ex.catalog.relation("Hosp").unwrap().rel;
+        let d = ex.attr("D");
+        let s = ex.attr("S");
+        let mut plan = QueryPlan::new();
+        let b = plan.add_base(hosp, vec![s, d]);
+        let e = plan.add(Operator::Encrypt { attrs: vec![d] }, vec![b]);
+        plan.add(
+            Operator::Select {
+                pred: Expr::col_eq(d, Value::str("stroke")),
+            },
+            vec![e],
+        );
+        let schemes = assign_schemes(&plan).unwrap();
+        assert_eq!(schemes.scheme_of(d), EncScheme::Deterministic);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let ring = KeyRing::new();
+        ring.insert(ClusterKey::generate(&mut rng, 0, 256));
+        let mut key_of_attr = HashMap::new();
+        key_of_attr.insert(d, 0u32);
+        let rewritten =
+            rewrite_literals(&plan, &schemes, &key_of_attr, &ring, &mut rng).unwrap();
+        let sel = rewritten
+            .postorder()
+            .into_iter()
+            .find(|&id| matches!(rewritten.node(id).op, Operator::Select { .. }))
+            .unwrap();
+        if let Operator::Select { pred } = &rewritten.node(sel).op {
+            let Expr::Cmp(_, _, rhs) = pred else {
+                panic!("expected comparison")
+            };
+            assert!(
+                matches!(rhs.as_ref(), Expr::Lit(Value::Enc(_))),
+                "literal must be encrypted, got {rhs:?}"
+            );
+        }
+    }
+
+    /// Rewriting fails loudly when the dispatcher lacks a key.
+    #[test]
+    fn rewrite_without_key_fails() {
+        use mpq_crypto::keyring::KeyRing;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ex = RunningExample::new();
+        let hosp = ex.catalog.relation("Hosp").unwrap().rel;
+        let d = ex.attr("D");
+        let mut plan = QueryPlan::new();
+        let b = plan.add_base(hosp, vec![d]);
+        let e = plan.add(Operator::Encrypt { attrs: vec![d] }, vec![b]);
+        plan.add(
+            Operator::Select {
+                pred: Expr::col_eq(d, Value::str("stroke")),
+            },
+            vec![e],
+        );
+        let schemes = assign_schemes(&plan).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ring = KeyRing::new(); // empty
+        let mut key_of_attr = HashMap::new();
+        key_of_attr.insert(d, 0u32);
+        assert!(rewrite_literals(&plan, &schemes, &key_of_attr, &ring, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Tables and the in-memory database.
+
+use mpq_algebra::{AttrId, Catalog, RelId, Value};
+use std::collections::HashMap;
+
+/// A materialized relation: ordered columns (attribute ids, possibly
+/// repeated for multi-aggregate outputs) and rows of values.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Output columns in order.
+    pub cols: Vec<AttrId>,
+    /// Row data; every row has `cols.len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Empty table with the given columns.
+    pub fn new(cols: Vec<AttrId>) -> Table {
+        Table {
+            cols,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Index of the first column carrying `attr`.
+    pub fn col_index(&self, attr: AttrId) -> Option<usize> {
+        self.cols.iter().position(|c| *c == attr)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total payload bytes (drives the network-cost accounting in the
+    /// distributed simulator).
+    pub fn byte_size(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::width).sum::<usize>())
+            .sum()
+    }
+
+    /// Render as an aligned text table (examples and debugging).
+    pub fn display(&self, catalog: &Catalog) -> String {
+        let headers: Vec<String> = self
+            .cols
+            .iter()
+            .map(|a| catalog.attr_name(*a).to_string())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An in-memory database: one table per base relation.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: HashMap<RelId, Table>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a table for `rel`. The table's columns must match the
+    /// relation's declared columns (order included).
+    pub fn insert(&mut self, rel: RelId, table: Table) {
+        self.tables.insert(rel, table);
+    }
+
+    /// Fetch the table of `rel`.
+    pub fn table(&self, rel: RelId) -> Option<&Table> {
+        self.tables.get(&rel)
+    }
+
+    /// Build a table for a relation from value rows, using the
+    /// catalog's column order.
+    pub fn load(&mut self, catalog: &Catalog, rel_name: &str, rows: Vec<Vec<Value>>) {
+        let rel = catalog.relation(rel_name).expect("known relation");
+        let cols = rel.attrs();
+        for r in &rows {
+            assert_eq!(r.len(), cols.len(), "row arity mismatch for {rel_name}");
+        }
+        self.insert(rel.rel, Table { cols, rows });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_algebra::Catalog;
+
+    #[test]
+    fn load_and_lookup() {
+        let cat = Catalog::paper_running_example();
+        let mut db = Database::new();
+        db.load(
+            &cat,
+            "Ins",
+            vec![
+                vec![Value::str("alice"), Value::Num(120.0)],
+                vec![Value::str("bob"), Value::Num(80.0)],
+            ],
+        );
+        let rel = cat.relation("Ins").unwrap().rel;
+        let t = db.table(rel).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.col_index(cat.attr("P").unwrap()), Some(1));
+        assert!(t.byte_size() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let cat = Catalog::paper_running_example();
+        let mut db = Database::new();
+        db.load(&cat, "Ins", vec![vec![Value::Num(1.0)]]);
+    }
+
+    #[test]
+    fn display_renders_headers() {
+        let cat = Catalog::paper_running_example();
+        let mut db = Database::new();
+        db.load(
+            &cat,
+            "Ins",
+            vec![vec![Value::str("alice"), Value::Num(120.0)]],
+        );
+        let rel = cat.relation("Ins").unwrap().rel;
+        let text = db.table(rel).unwrap().display(&cat);
+        assert!(text.contains('C') && text.contains('P'));
+        assert!(text.contains("alice"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Economic costing of (extended) plans.
+//!
+//! `C_q = Σ_{n∈N} C_cpu^n + C_io^n + C_net_io^n` (§7): CPU is
+//! processing time × the assignee's per-second price, I/O is processed
+//! bytes × the unit price, network is transferred bytes × the link
+//! price — charged on every plan edge whose endpoints are assigned to
+//! different subjects, plus the final transfer of the result to the
+//! user. Wall-clock time (CPU + transfer) is tracked alongside for the
+//! paper's optional performance threshold.
+
+use crate::pricing::PriceBook;
+use mpq_algebra::stats::{Estimate, StatsCatalog};
+use mpq_algebra::value::EncScheme;
+use mpq_algebra::{Catalog, Expr, NodeId, Operator, QueryPlan, SubjectId};
+use mpq_core::profile::Profile;
+use mpq_exec::SchemePlan;
+use std::collections::HashMap;
+
+/// Seconds per homomorphic (Paillier) ciphertext addition.
+const PAILLIER_ADD_SECS: f64 = 2.0e-5;
+
+/// Cost components, in USD (plus wall-clock seconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// CPU cost.
+    pub cpu: f64,
+    /// Local I/O cost.
+    pub io: f64,
+    /// Network cost.
+    pub net: f64,
+    /// Estimated wall-clock seconds (sequential execution + transfers).
+    pub time_secs: f64,
+}
+
+impl CostBreakdown {
+    /// Total USD.
+    pub fn total(&self) -> f64 {
+        self.cpu + self.io + self.net
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            cpu: self.cpu + other.cpu,
+            io: self.io + other.io,
+            net: self.net + other.net,
+            time_secs: self.time_secs + other.time_secs,
+        }
+    }
+}
+
+/// Estimated output bytes of one node, accounting for ciphertext
+/// expansion of encrypted attributes.
+pub fn output_bytes(
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+    est: &Estimate,
+    profile: &Profile,
+    schemes: &SchemePlan,
+    book: &PriceBook,
+) -> f64 {
+    let mut width = 0.0;
+    for a in profile.vp.iter() {
+        width += stats.attr_width(catalog, a);
+    }
+    for a in profile.ve.iter() {
+        let plain = stats.attr_width(catalog, a);
+        width += book.ciphertext_width(schemes.scheme_of(a), plain);
+    }
+    est.rows * width.max(1.0)
+}
+
+/// CPU work of one operator in tuple operations (before crypto).
+fn tuple_work(
+    plan: &QueryPlan,
+    id: NodeId,
+    est: &[Estimate],
+    book: &PriceBook,
+) -> f64 {
+    let node = plan.node(id);
+    let rows_in = |i: usize| est[node.children[i].index()].rows;
+    let rows_out = est[id.index()].rows;
+    match &node.op {
+        Operator::Base { .. } => rows_out,
+        Operator::Project { .. } | Operator::Select { .. } | Operator::Having { .. } => {
+            rows_in(0)
+        }
+        Operator::Product => rows_in(0) * rows_in(1),
+        Operator::Join { .. } => rows_in(0) + rows_in(1) + rows_out,
+        Operator::GroupBy { .. } => rows_in(0) + rows_out,
+        Operator::Udf { .. } => rows_in(0) * book.udf_multiplier,
+        // One pass over the rows; the per-value cryptographic work is
+        // priced separately (and far more precisely) in `crypto_secs`.
+        Operator::Encrypt { .. } | Operator::Decrypt { .. } => rows_in(0),
+        Operator::Sort { .. } => {
+            let r = rows_in(0).max(2.0);
+            r * r.log2()
+        }
+        Operator::Limit { .. } => rows_out,
+    }
+}
+
+/// Rows an `Encrypt` node actually has to encrypt. The paper's
+/// footnote 2: a subject that knows the key "can operate on plaintext
+/// values and encrypt D afterwards" — so when the encryption and the
+/// selections directly above it run at the *same subject*, that
+/// subject filters first and encrypts only the surviving rows. The
+/// profile (and hence the authorization semantics) is unchanged; only
+/// the cost accounting benefits.
+fn effective_encrypt_rows(
+    plan: &QueryPlan,
+    id: NodeId,
+    est: &[Estimate],
+    assignment: &HashMap<NodeId, SubjectId>,
+) -> f64 {
+    let parents = plan.parents();
+    let subject = assignment[&id];
+    let mut rows = est[plan.node(id).children[0].index()].rows;
+    let mut cur = parents[id.index()];
+    while let Some(p) = cur {
+        let same = assignment.get(&p) == Some(&subject);
+        let filtering = matches!(
+            plan.node(p).op,
+            Operator::Select { .. } | Operator::Having { .. }
+        );
+        if same && filtering {
+            rows = rows.min(est[p.index()].rows);
+            cur = parents[p.index()];
+        } else {
+            break;
+        }
+    }
+    rows
+}
+
+/// Extra CPU seconds for cryptographic work at a node.
+fn crypto_secs(
+    plan: &QueryPlan,
+    id: NodeId,
+    est: &[Estimate],
+    profiles: &[Profile],
+    schemes: &SchemePlan,
+    book: &PriceBook,
+    assignment: &HashMap<NodeId, SubjectId>,
+) -> f64 {
+    let node = plan.node(id);
+    match &node.op {
+        Operator::Encrypt { attrs } => {
+            let rows = effective_encrypt_rows(plan, id, est, assignment);
+            attrs
+                .iter()
+                .map(|a| rows * book.encrypt_secs(schemes.scheme_of(*a)))
+                .sum()
+        }
+        Operator::Decrypt { attrs } => {
+            let rows = est[node.children[0].index()].rows;
+            attrs
+                .iter()
+                .map(|a| rows * book.decrypt_secs(schemes.scheme_of(*a)))
+                .sum()
+        }
+        Operator::GroupBy { aggs, .. } => {
+            // Homomorphic accumulation over encrypted aggregate inputs.
+            let child = node.children[0];
+            let rows = est[child.index()].rows;
+            let enc = &profiles[child.index()].ve;
+            aggs.iter()
+                .map(|ag| match &ag.input {
+                    Expr::Col(a)
+                        if enc.contains(*a)
+                            && schemes.scheme_of(*a) == EncScheme::Paillier =>
+                    {
+                        rows * PAILLIER_ADD_SECS
+                    }
+                    _ => 0.0,
+                })
+                .sum()
+        }
+        _ => 0.0,
+    }
+}
+
+/// Cost a fully assigned (extended) plan.
+///
+/// `assignment` must cover every node (the output of
+/// `mpq_core::extend::minimally_extend`); `profiles` and `est` must be
+/// computed over the same plan.
+#[allow(clippy::too_many_arguments)]
+pub fn cost_extended_plan(
+    plan: &QueryPlan,
+    assignment: &HashMap<NodeId, SubjectId>,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+    est: &[Estimate],
+    profiles: &[Profile],
+    schemes: &SchemePlan,
+    book: &PriceBook,
+    user: SubjectId,
+) -> CostBreakdown {
+    let mut out = CostBreakdown::default();
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        let subject = assignment[&id];
+        let prices = book.of(subject);
+
+        // CPU.
+        let work = tuple_work(plan, id, est, book);
+        let secs = work * book.tuple_op_secs
+            + crypto_secs(plan, id, est, profiles, schemes, book, assignment);
+        out.cpu += secs * prices.cpu_per_sec;
+        out.time_secs += secs;
+
+        // I/O: bytes read + written locally.
+        let bytes_out = output_bytes(catalog, stats, &est[id.index()], &profiles[id.index()], schemes, book);
+        let bytes_in: f64 = node
+            .children
+            .iter()
+            .map(|c| {
+                output_bytes(
+                    catalog,
+                    stats,
+                    &est[c.index()],
+                    &profiles[c.index()],
+                    schemes,
+                    book,
+                )
+            })
+            .sum();
+        out.io += (bytes_in + bytes_out) / 1e9 * prices.io_per_gb;
+
+        // Network: every edge crossing subjects.
+        for &c in &node.children {
+            let child_subject = assignment[&c];
+            if child_subject != subject {
+                let bytes = output_bytes(
+                    catalog,
+                    stats,
+                    &est[c.index()],
+                    &profiles[c.index()],
+                    schemes,
+                    book,
+                );
+                let sender = book.of(child_subject);
+                out.net += bytes / 1e9 * sender.net_per_gb;
+                let bw = sender.bandwidth_bps.min(prices.bandwidth_bps);
+                out.time_secs += bytes * 8.0 / bw;
+            }
+        }
+    }
+
+    // Final delivery of the result to the user.
+    let root = plan.root();
+    let root_subject = assignment[&root];
+    if root_subject != user {
+        let bytes = output_bytes(
+            catalog,
+            stats,
+            &est[root.index()],
+            &profiles[root.index()],
+            schemes,
+            book,
+        );
+        let sender = book.of(root_subject);
+        let receiver = book.of(user);
+        out.net += bytes / 1e9 * sender.net_per_gb;
+        out.time_secs += bytes * 8.0 / sender.bandwidth_bps.min(receiver.bandwidth_bps);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{build_scenario, Scenario};
+    use mpq_algebra::stats::estimate_plan;
+    use mpq_core::candidates::candidates;
+    use mpq_core::capability::CapabilityPolicy;
+    use mpq_core::extend::{minimally_extend, Assignment};
+    use mpq_core::profile::profile_plan;
+    use mpq_exec::assign_schemes;
+    use mpq_tpch::{query_plan, tpch_catalog, tpch_stats};
+
+    /// Cost Q6 under UA with everything at the user vs everything at
+    /// the storing authority: authority must be cheaper (3× vs 10×
+    /// CPU, no client-link transfer of the scan).
+    #[test]
+    fn authority_cheaper_than_user_on_q6() {
+        let cat = tpch_catalog();
+        let stats = tpch_stats(&cat, 1.0);
+        let env = build_scenario(&cat, Scenario::UA);
+        let plan = query_plan(&cat, 6);
+        let cands = candidates(
+            &plan,
+            &cat,
+            &env.policy,
+            &env.subjects,
+            &CapabilityPolicy::default(),
+            false,
+        );
+        let a1 = env.subjects.id("A1").unwrap();
+        let cost_for = |subject| {
+            let mut a = Assignment::new();
+            for id in plan.postorder() {
+                if !plan.node(id).children.is_empty() {
+                    a.set(id, subject);
+                }
+            }
+            let ext = minimally_extend(
+                &plan,
+                &cat,
+                &env.policy,
+                &env.subjects,
+                &cands,
+                &a,
+                Some(env.user),
+            )
+            .unwrap();
+            let est = estimate_plan(&ext.plan, &cat, &stats);
+            let profiles = profile_plan(&ext.plan);
+            let schemes = assign_schemes(&ext.plan).unwrap();
+            cost_extended_plan(
+                &ext.plan,
+                &ext.assignment,
+                &cat,
+                &stats,
+                &est,
+                &profiles,
+                &schemes,
+                &env.prices,
+                env.user,
+            )
+        };
+        let at_user = cost_for(env.user);
+        let at_authority = cost_for(a1);
+        assert!(
+            at_authority.total() < at_user.total(),
+            "authority {} vs user {}",
+            at_authority.total(),
+            at_user.total()
+        );
+        assert!(at_user.total() > 0.0);
+        assert!(at_user.time_secs > 0.0);
+    }
+
+    #[test]
+    fn breakdown_adds_up() {
+        let c1 = CostBreakdown {
+            cpu: 1.0,
+            io: 2.0,
+            net: 3.0,
+            time_secs: 4.0,
+        };
+        let c2 = CostBreakdown {
+            cpu: 0.5,
+            io: 0.5,
+            net: 0.5,
+            time_secs: 0.5,
+        };
+        let s = c1.add(&c2);
+        assert_eq!(s.total(), 7.5);
+        assert_eq!(s.time_secs, 4.5);
+    }
+}

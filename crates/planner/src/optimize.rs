@@ -1,0 +1,859 @@
+//! Operator-assignment optimization (§6–§7).
+//!
+//! "Our implementation is based on a dynamic programming strategy to
+//! explore the possible assignments of candidates to operators in the
+//! query plan to identify the solution with minimum cost."
+//!
+//! [`optimize`] runs the pipeline of §6:
+//!
+//! 1. compute the candidate sets Λ (Def. 5.3);
+//! 2. choose an assignment λ ∈ Λ — by bottom-up dynamic programming
+//!    over `(node, subject)` with pairwise transfer/encryption
+//!    estimates, or exhaustively for validation;
+//! 3. build the minimally extended authorized plan for λ (Def. 5.4) —
+//!    steps 2–3 are effectively combined, as in the paper's tool,
+//!    because the DP objective already prices the encryption each
+//!    subject choice induces;
+//! 4. derive the plan keys (Def. 6.1) and per-attribute schemes;
+//! 5. cost the concrete extended plan exactly.
+//!
+//! The §5 design alternatives are exposed as [`Strategy`] ablations:
+//! *maximize visibility* (never encrypt; only subjects authorized for
+//! plaintext qualify) and *minimize visibility* (encrypt everything at
+//! the sources; decrypt only where operations demand plaintext).
+
+use crate::cost::{cost_extended_plan, CostBreakdown};
+use crate::scenario::ScenarioEnv;
+use mpq_algebra::stats::{estimate_plan, StatsCatalog};
+use mpq_algebra::{AttrSet, Catalog, NodeId, Operator, QueryPlan, SubjectId};
+use mpq_core::authz::SubjectView;
+use mpq_core::candidates::{candidates, Candidates};
+use mpq_core::capability::CapabilityPolicy;
+use mpq_core::extend::{for_each_assignment, minimally_extend, Assignment, ExtendedPlan};
+use mpq_core::keys::{plan_keys, KeyPlan};
+use mpq_core::profile::{profile_plan, Profile};
+use mpq_exec::{assign_schemes, SchemePlan};
+use std::collections::HashMap;
+
+/// Assignment search strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Dynamic programming over Λ with minimal extension (default).
+    CostDp,
+    /// Exhaustive enumeration of Λ assignments (small plans only).
+    Exhaustive,
+    /// §5 ablation: never encrypt — only plaintext-authorized subjects
+    /// may execute operations.
+    MaximizeVisibility,
+    /// §5 ablation: encrypt everything at the sources, decrypt only on
+    /// operational demand.
+    MinimizeVisibility,
+}
+
+/// Optimization result.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// Chosen assignment (original non-leaf nodes).
+    pub assignment: Assignment,
+    /// The extended plan realizing it.
+    pub extended: ExtendedPlan,
+    /// Per-attribute encryption schemes.
+    pub schemes: SchemePlan,
+    /// Query-plan keys (Def. 6.1).
+    pub keys: KeyPlan,
+    /// Exact cost of the extended plan.
+    pub cost: CostBreakdown,
+}
+
+/// Optimization errors.
+#[derive(Clone, Debug)]
+pub enum OptError {
+    /// Some operation has an empty candidate set: no subject can
+    /// execute it under the scenario's authorizations.
+    NoCandidates(NodeId),
+    /// Extension failed (should not happen for λ ∈ Λ).
+    Extend(String),
+    /// Scheme assignment failed (capability/scheme conflict).
+    Schemes(String),
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::NoCandidates(n) => write!(f, "no authorized candidate for node {n}"),
+            OptError::Extend(m) => write!(f, "extension failed: {m}"),
+            OptError::Schemes(m) => write!(f, "scheme assignment failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// Run the full §6 pipeline and return the cheapest found plan.
+pub fn optimize(
+    plan: &QueryPlan,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+    env: &ScenarioEnv,
+    cap: &CapabilityPolicy,
+    strategy: Strategy,
+) -> Result<Optimized, OptError> {
+    let cands = candidates(plan, catalog, &env.policy, &env.subjects, cap, true);
+    match strategy {
+        Strategy::CostDp => {
+            // The DP edge estimates are approximate (exact ciphertext
+            // expansion and scheme costs only materialize after the
+            // minimal extension), so the DP pick is re-costed exactly
+            // and compared against the always-feasible all-user
+            // assignment — the optimizer never reports a plan worse
+            // than simply shipping everything to the user.
+            let mut best: Option<Optimized> = None;
+            let consider = |opt: Optimized, best: &mut Option<Optimized>| {
+                let better = best
+                    .as_ref()
+                    .map(|b| opt.cost.total() < b.cost.total())
+                    .unwrap_or(true);
+                if better {
+                    *best = Some(opt);
+                }
+            };
+            // (1) DP over the full candidate sets.
+            if let Ok(a) = dp_assignment(plan, catalog, stats, env, &cands, None) {
+                if let Ok(opt) = finish(plan, catalog, stats, env, &cands, a) {
+                    if std::env::var("MPQ_DEBUG_DP").is_ok() {
+                        eprintln!("[dp-full] exact {:?} total {:.6} assignment {:?}", opt.cost, opt.cost.total(), opt.assignment);
+                    }
+                    consider(opt, &mut best);
+                }
+            }
+            // (2) DP restricted to user + authorities: providers can
+            // never make this portfolio entry worse than the scenario
+            // without providers, guaranteeing monotone scenario costs.
+            let no_providers = Candidates {
+                sets: cands
+                    .sets
+                    .iter()
+                    .map(|set| {
+                        set.iter()
+                            .copied()
+                            .filter(|&s| {
+                                env.subjects.kind(s)
+                                    != mpq_core::subjects::SubjectKind::Provider
+                            })
+                            .collect()
+                    })
+                    .collect(),
+                profiles: cands.profiles.clone(),
+                ap: cands.ap.clone(),
+                views: cands.views.clone(),
+            };
+            if let Ok(a) = dp_assignment(plan, catalog, stats, env, &no_providers, None) {
+                if let Ok(opt) = finish(plan, catalog, stats, env, &cands, a) {
+                    consider(opt, &mut best);
+                }
+            }
+            // (3) Everything at the user (always authorized).
+            let mut all_user = Assignment::new();
+            let mut user_feasible = true;
+            for id in plan.postorder() {
+                if !plan.node(id).children.is_empty() {
+                    if cands.is_candidate(id, env.user) {
+                        all_user.set(id, env.user);
+                    } else {
+                        user_feasible = false;
+                        break;
+                    }
+                }
+            }
+            if user_feasible {
+                if let Ok(opt) = finish(plan, catalog, stats, env, &cands, all_user) {
+                    consider(opt, &mut best);
+                }
+            }
+            best.ok_or(OptError::NoCandidates(plan.root()))
+        }
+        Strategy::Exhaustive => {
+            let mut best: Option<Optimized> = None;
+            let mut err: Option<OptError> = None;
+            for_each_assignment(plan, &cands, &mut |a| {
+                match finish(plan, catalog, stats, env, &cands, a.clone()) {
+                    Ok(opt) => {
+                        let better = best
+                            .as_ref()
+                            .map(|b| opt.cost.total() < b.cost.total())
+                            .unwrap_or(true);
+                        if better {
+                            best = Some(opt);
+                        }
+                    }
+                    Err(e) => err = Some(e),
+                }
+                true
+            });
+            best.ok_or_else(|| {
+                err.unwrap_or(OptError::NoCandidates(plan.root()))
+            })
+        }
+        Strategy::MaximizeVisibility => {
+            // Candidates over the *plain* profiles (Def. 4.2 without
+            // any encryption).
+            let plain = plain_assignees(plan, catalog, env);
+            for id in plan.postorder() {
+                if !plan.node(id).children.is_empty() && plain[id.index()].is_empty() {
+                    return Err(OptError::NoCandidates(id));
+                }
+            }
+            let restricted = Candidates {
+                sets: plain,
+                profiles: profile_plan(plan),
+                ap: cands.ap.clone(),
+                views: cands.views.clone(),
+            };
+            let assignment =
+                dp_assignment(plan, catalog, stats, env, &restricted, None)?;
+            finish(plan, catalog, stats, env, &cands, assignment)
+        }
+        Strategy::MinimizeVisibility => {
+            let assignment = dp_assignment(plan, catalog, stats, env, &cands, None)?;
+            finish_min_visibility(plan, catalog, stats, env, &cands, assignment)
+        }
+    }
+}
+
+/// Assignees authorized on the plain (never-encrypted) profiles.
+fn plain_assignees(
+    plan: &QueryPlan,
+    catalog: &Catalog,
+    env: &ScenarioEnv,
+) -> Vec<Vec<SubjectId>> {
+    let profiles = profile_plan(plan);
+    let views: Vec<SubjectView> = env
+        .subjects
+        .iter()
+        .map(|s| env.policy.subject_view(catalog, s))
+        .collect();
+    let mut out = vec![Vec::new(); plan.len()];
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        if node.children.is_empty() {
+            continue;
+        }
+        out[id.index()] = env
+            .subjects
+            .iter()
+            .filter(|s| {
+                let v = &views[s.index()];
+                node.children
+                    .iter()
+                    .all(|c| v.authorized_for(&profiles[c.index()]))
+                    && v.authorized_for(&profiles[id.index()])
+            })
+            .collect();
+    }
+    out
+}
+
+/// Guess the encryption scheme each attribute would get if it had to
+/// be encrypted (the same capability analysis `assign_schemes` performs
+/// on the extended plan, run ahead of time on the original plan so the
+/// DP can price encryption realistically). Attributes whose operations
+/// already demand plaintext (they appear in some node's `A_p`) do not
+/// register capabilities for those operations.
+fn guess_schemes(
+    plan: &QueryPlan,
+    cands: &Candidates,
+) -> HashMap<mpq_algebra::AttrId, mpq_algebra::value::EncScheme> {
+    use mpq_algebra::expr::AggFunc;
+    use mpq_algebra::value::EncScheme;
+    use mpq_algebra::Expr;
+    #[derive(Default, Clone, Copy)]
+    struct Caps {
+        eq: bool,
+        ord: bool,
+        add: bool,
+    }
+    let mut caps: HashMap<mpq_algebra::AttrId, Caps> = HashMap::new();
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        let ap = &cands.ap[id.index()];
+        match &node.op {
+            Operator::Select { pred } | Operator::Having { pred } => {
+                walk_cmp(pred, &mut |a, is_eq| {
+                    if !ap.contains(a) {
+                        let c = caps.entry(a).or_default();
+                        if is_eq {
+                            c.eq = true;
+                        } else {
+                            c.ord = true;
+                        }
+                    }
+                });
+            }
+            Operator::Join { on, residual, .. } => {
+                for (l, op, r) in on {
+                    for x in [*l, *r] {
+                        if !ap.contains(x) {
+                            let c = caps.entry(x).or_default();
+                            if op.is_equality() {
+                                c.eq = true;
+                            } else {
+                                c.ord = true;
+                            }
+                        }
+                    }
+                }
+                if let Some(res) = residual {
+                    for a in res.attrs().difference(ap).iter() {
+                        caps.entry(a).or_default().ord = true;
+                    }
+                }
+            }
+            Operator::GroupBy { keys, aggs } => {
+                for k in keys {
+                    if !ap.contains(*k) {
+                        caps.entry(*k).or_default().eq = true;
+                    }
+                }
+                for ag in aggs {
+                    if let Expr::Col(a) = ag.input {
+                        if !ap.contains(a) {
+                            let c = caps.entry(a).or_default();
+                            match ag.func {
+                                AggFunc::Sum | AggFunc::Avg => c.add = true,
+                                AggFunc::Min | AggFunc::Max => c.ord = true,
+                                AggFunc::CountDistinct => c.eq = true,
+                                AggFunc::Count => {}
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    caps.into_iter()
+        .map(|(a, c)| {
+            let scheme = if c.add {
+                EncScheme::Paillier
+            } else if c.ord {
+                EncScheme::Ope
+            } else if c.eq {
+                EncScheme::Deterministic
+            } else {
+                EncScheme::Random
+            };
+            (a, scheme)
+        })
+        .collect()
+}
+
+/// Visit every comparison an expression performs on column attributes,
+/// reporting whether deterministic equality suffices (`is_eq = true`)
+/// or order is required.
+fn walk_cmp(e: &mpq_algebra::Expr, f: &mut impl FnMut(mpq_algebra::AttrId, bool)) {
+    use mpq_algebra::Expr;
+    match e {
+        Expr::Cmp(a, op, b) => {
+            let is_eq = op.is_equality() || *op == mpq_algebra::CmpOp::Ne;
+            for side in [a.as_ref(), b.as_ref()] {
+                for attr in side.attrs().iter() {
+                    f(attr, is_eq);
+                }
+            }
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            for part in [expr.as_ref(), lo.as_ref(), hi.as_ref()] {
+                for attr in part.attrs().iter() {
+                    f(attr, false);
+                }
+            }
+        }
+        Expr::InList { expr, .. } => {
+            for attr in expr.attrs().iter() {
+                f(attr, true);
+            }
+        }
+        Expr::And(v) | Expr::Or(v) => {
+            for x in v {
+                walk_cmp(x, f);
+            }
+        }
+        Expr::Not(x) => walk_cmp(x, f),
+        Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => {
+            // LIKE/IS NULL over encrypted columns would already be in
+            // A_p; nothing to record.
+            let _ = expr;
+        }
+        _ => {}
+    }
+}
+
+/// Bottom-up DP over `(node, subject)`.
+fn dp_assignment(
+    plan: &QueryPlan,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+    env: &ScenarioEnv,
+    cands: &Candidates,
+    forced: Option<&Assignment>,
+) -> Result<Assignment, OptError> {
+    let est = estimate_plan(plan, catalog, stats);
+    let book = &env.prices;
+    let scheme_guess = guess_schemes(plan, cands);
+    let scheme_of = |a: mpq_algebra::AttrId| {
+        scheme_guess
+            .get(&a)
+            .copied()
+            .unwrap_or(mpq_algebra::value::EncScheme::Random)
+    };
+    // Approximate per-node output bytes on plain widths (exact
+    // ciphertext expansion is settled in the final costing).
+    let bytes: Vec<f64> = (0..plan.len())
+        .map(|i| {
+            let schema = plan.schemas()[i].clone();
+            est[i].rows * mpq_algebra::stats::row_width(catalog, stats, &schema).max(1.0)
+        })
+        .collect();
+
+    // table[node] : subject -> (cost, per-child chosen subject)
+    let mut table: Vec<HashMap<SubjectId, (f64, Vec<SubjectId>)>> =
+        vec![HashMap::new(); plan.len()];
+
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        if node.children.is_empty() {
+            let Operator::Base { rel, .. } = &node.op else {
+                unreachable!("leaves are Base nodes")
+            };
+            let authority = env
+                .subjects
+                .authority(*rel)
+                .ok_or(OptError::NoCandidates(id))?;
+            let prices = book.of(authority);
+            let scan_secs = est[id.index()].rows * book.tuple_op_secs;
+            let cost = scan_secs * prices.cpu_per_sec
+                + bytes[id.index()] / 1e9 * prices.io_per_gb;
+            table[id.index()].insert(authority, (cost, vec![]));
+            continue;
+        }
+        let pool: Vec<SubjectId> = match forced.and_then(|f| f.get(id)) {
+            Some(s) => vec![s],
+            None => cands.of(id).clone(),
+        };
+        if pool.is_empty() {
+            return Err(OptError::NoCandidates(id));
+        }
+        for s in pool {
+            let prices = book.of(s);
+            // Operator CPU at s (rough: rows in+out).
+            let rows_out = est[id.index()].rows;
+            let rows_in: f64 = node
+                .children
+                .iter()
+                .map(|c| est[c.index()].rows)
+                .sum();
+            let work = match &node.op {
+                Operator::Udf { .. } => rows_in * book.udf_multiplier,
+                Operator::Product => node
+                    .children
+                    .iter()
+                    .map(|c| est[c.index()].rows)
+                    .product(),
+                _ => rows_in + rows_out,
+            };
+            let mut cost = work * book.tuple_op_secs * prices.cpu_per_sec;
+            let mut chosen = Vec::with_capacity(node.children.len());
+            let mut feasible = true;
+            for &c in &node.children {
+                let mut best: Option<(f64, SubjectId)> = None;
+                for (&cs, (ccost, _)) in &table[c.index()] {
+                    let mut edge = 0.0;
+                    if cs != s {
+                        let sender = book.of(cs);
+                        // Encryption the receiver forces on the sender:
+                        // attributes s may only see encrypted — priced
+                        // per the scheme those attributes will need
+                        // (det/OPE/Paillier differ by orders of
+                        // magnitude), with ciphertext expansion on the
+                        // transferred bytes.
+                        let view = &cands.views[s.index()];
+                        let schema = &plan.schemas()[c.index()];
+                        let enc_attrs: AttrSet = schema.intersect(&view.enc);
+                        let rows = est[c.index()].rows;
+                        let mut xfer_bytes = bytes[c.index()];
+                        for a in enc_attrs.iter() {
+                            let scheme = scheme_of(a);
+                            edge +=
+                                rows * book.encrypt_secs(scheme) * sender.cpu_per_sec;
+                            let plain_w = stats.attr_width(catalog, a);
+                            xfer_bytes +=
+                                rows * (book.ciphertext_width(scheme, plain_w) - plain_w);
+                        }
+                        edge += xfer_bytes / 1e9 * sender.net_per_gb;
+                    }
+                    let total = ccost + edge;
+                    if best.map(|(b, _)| total < b).unwrap_or(true) {
+                        best = Some((total, cs));
+                    }
+                }
+                match best {
+                    Some((c_cost, cs)) => {
+                        cost += c_cost;
+                        chosen.push(cs);
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if feasible {
+                table[id.index()].insert(s, (cost, chosen));
+            }
+        }
+        if table[id.index()].is_empty() {
+            return Err(OptError::NoCandidates(id));
+        }
+    }
+
+    // Root: add delivery to the user, pick the cheapest subject.
+    let root = plan.root();
+    let user_prices = book.of(env.user);
+    let (best_subject, _) = table[root.index()]
+        .iter()
+        .map(|(&s, (c, _))| {
+            let mut total = *c;
+            if s != env.user {
+                let sender = book.of(s);
+                total += bytes[root.index()] / 1e9 * sender.net_per_gb;
+                let _ = user_prices;
+            }
+            (s, total)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+        .map(|(s, c)| (s, c))
+        .ok_or(OptError::NoCandidates(root))?;
+
+    // Backtrack.
+    let mut assignment = Assignment::new();
+    let mut stack = vec![(root, best_subject)];
+    while let Some((id, s)) = stack.pop() {
+        let node = plan.node(id);
+        if node.children.is_empty() {
+            continue;
+        }
+        assignment.set(id, s);
+        let (_, chosen) = &table[id.index()][&s];
+        for (&c, &cs) in node.children.iter().zip(chosen) {
+            stack.push((c, cs));
+        }
+    }
+    Ok(assignment)
+}
+
+/// Steps 3–5: extend minimally, derive keys/schemes, cost exactly.
+fn finish(
+    plan: &QueryPlan,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+    env: &ScenarioEnv,
+    cands: &Candidates,
+    assignment: Assignment,
+) -> Result<Optimized, OptError> {
+    let extended = minimally_extend(
+        plan,
+        catalog,
+        &env.policy,
+        &env.subjects,
+        cands,
+        &assignment,
+        Some(env.user),
+    )
+    .map_err(|e| OptError::Extend(e.to_string()))?;
+    cost_extension(catalog, stats, env, assignment, extended)
+}
+
+/// §5 "minimize visibility": encrypt everything at the sources except
+/// attributes some ancestor must read in plaintext; decrypt on demand.
+fn finish_min_visibility(
+    plan: &QueryPlan,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+    env: &ScenarioEnv,
+    cands: &Candidates,
+    assignment: Assignment,
+) -> Result<Optimized, OptError> {
+    let mut ext = plan.clone();
+    let parents = plan.parents();
+    let mut top: Vec<NodeId> = (0..plan.len()).map(NodeId::from_index).collect();
+    let mut full: HashMap<NodeId, SubjectId> = HashMap::new();
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        if let Operator::Base { rel, .. } = &node.op {
+            full.insert(
+                id,
+                env.subjects
+                    .authority(*rel)
+                    .ok_or(OptError::NoCandidates(id))?,
+            );
+        } else {
+            full.insert(
+                id,
+                assignment.get(id).ok_or(OptError::NoCandidates(id))?,
+            );
+        }
+    }
+    // Attributes needed in plaintext anywhere above a leaf must stay
+    // plaintext at the source (they would leak implicitly anyway).
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        if !matches!(node.op, Operator::Base { .. }) {
+            continue;
+        }
+        let schema: AttrSet = ext.schemas()[id.index()].clone();
+        let mut plain_needed = AttrSet::new();
+        let mut cur = parents[id.index()];
+        while let Some(p) = cur {
+            plain_needed.union_with(&cands.ap[p.index()]);
+            cur = parents[p.index()];
+        }
+        let to_encrypt = schema.difference(&plain_needed);
+        if !to_encrypt.is_empty() {
+            let e = ext.splice_above(
+                id,
+                Operator::Encrypt {
+                    attrs: to_encrypt.iter().collect(),
+                },
+            );
+            full.insert(e, full[&id]);
+            top[id.index()] = e;
+        }
+    }
+    // Decrypt on demand below each consuming node.
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        if node.children.is_empty() {
+            continue;
+        }
+        let ap = &cands.ap[id.index()];
+        if ap.is_empty() {
+            continue;
+        }
+        for &c in &node.children {
+            let profiles = profile_plan(&ext);
+            let have = &profiles[top[c.index()].index()];
+            let need = ap.intersect(&have.ve);
+            if !need.is_empty() {
+                let d = ext.splice_above(
+                    top[c.index()],
+                    Operator::Decrypt {
+                        attrs: need.iter().collect(),
+                    },
+                );
+                full.insert(d, full[&id]);
+                top[c.index()] = d;
+            }
+        }
+    }
+    let profiles = profile_plan(&ext);
+    let mut encrypted_attrs = AttrSet::new();
+    for id in ext.postorder() {
+        if let Operator::Encrypt { attrs } = &ext.node(id).op {
+            for a in attrs {
+                encrypted_attrs.insert(*a);
+            }
+        }
+    }
+    let extended = ExtendedPlan {
+        plan: ext,
+        assignment: full,
+        profiles,
+        encrypted_attrs,
+    };
+    cost_extension(catalog, stats, env, assignment, extended)
+}
+
+fn cost_extension(
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+    env: &ScenarioEnv,
+    assignment: Assignment,
+    extended: ExtendedPlan,
+) -> Result<Optimized, OptError> {
+    let schemes =
+        assign_schemes(&extended.plan).map_err(|e| OptError::Schemes(e.to_string()))?;
+    let keys = plan_keys(&extended);
+    let est = estimate_plan(&extended.plan, catalog, stats);
+    let cost = cost_extended_plan(
+        &extended.plan,
+        &extended.assignment,
+        catalog,
+        stats,
+        &est,
+        &extended.profiles,
+        &schemes,
+        &env.prices,
+        env.user,
+    );
+    Ok(Optimized {
+        assignment,
+        extended,
+        schemes,
+        keys,
+        cost,
+    })
+}
+
+/// Helper: profiles of a plan under a profile vector already computed.
+#[allow(dead_code)]
+fn profile_of(profiles: &[Profile], id: NodeId) -> &Profile {
+    &profiles[id.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{build_scenario, Scenario};
+    use mpq_tpch::{query_plan, tpch_catalog, tpch_stats};
+
+    fn run(q: usize, scenario: Scenario, strategy: Strategy) -> Optimized {
+        let cat = tpch_catalog();
+        let stats = tpch_stats(&cat, 1.0);
+        let env = build_scenario(&cat, scenario);
+        let plan = query_plan(&cat, q);
+        optimize(
+            &plan,
+            &cat,
+            &stats,
+            &env,
+            &CapabilityPolicy::default(),
+            strategy,
+        )
+        .unwrap_or_else(|e| panic!("Q{q} {scenario:?}: {e}"))
+    }
+
+    #[test]
+    fn q6_ua_assigns_no_providers() {
+        let opt = run(6, Scenario::UA, Strategy::CostDp);
+        let cat = tpch_catalog();
+        let env = build_scenario(&cat, Scenario::UA);
+        let providers: Vec<_> = ["X", "Y", "Z"]
+            .iter()
+            .map(|n| env.subjects.id(n).unwrap())
+            .collect();
+        for (_, s) in opt.assignment.0.iter() {
+            assert!(!providers.contains(s), "UA must not involve providers");
+        }
+    }
+
+    #[test]
+    fn q6_uapenc_is_cheaper_than_ua() {
+        let ua = run(6, Scenario::UA, Strategy::CostDp);
+        let enc = run(6, Scenario::UAPenc, Strategy::CostDp);
+        assert!(
+            enc.cost.total() <= ua.cost.total(),
+            "UAPenc {} vs UA {}",
+            enc.cost.total(),
+            ua.cost.total()
+        );
+    }
+
+    #[test]
+    fn q3_uapmix_cheapest() {
+        let ua = run(3, Scenario::UA, Strategy::CostDp);
+        let enc = run(3, Scenario::UAPenc, Strategy::CostDp);
+        let mix = run(3, Scenario::UAPmix, Strategy::CostDp);
+        assert!(mix.cost.total() <= enc.cost.total() + 1e-12);
+        assert!(enc.cost.total() <= ua.cost.total() + 1e-12);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_running_example() {
+        use mpq_core::fixtures::RunningExample;
+        let ex = RunningExample::new();
+        // Build a scenario env around the fixture's subjects/policy.
+        let env = ScenarioEnv {
+            subjects: ex.subjects.clone(),
+            policy: ex.policy.clone(),
+            prices: crate::pricing::PriceBook::paper_defaults(
+                &ex.subjects,
+                &[1.0, 1.3, 1.7],
+            ),
+            user: ex.subject("U"),
+        };
+        let stats = mpq_algebra::stats::StatsCatalog::with_defaults(&ex.catalog, 10_000.0);
+        let dp = optimize(
+            &ex.plan,
+            &ex.catalog,
+            &stats,
+            &env,
+            &CapabilityPolicy::default(),
+            Strategy::CostDp,
+        )
+        .unwrap();
+        let ex_best = optimize(
+            &ex.plan,
+            &ex.catalog,
+            &stats,
+            &env,
+            &CapabilityPolicy::default(),
+            Strategy::Exhaustive,
+        )
+        .unwrap();
+        // DP uses approximate edge costs, so allow a small gap.
+        let gap = dp.cost.total() / ex_best.cost.total();
+        assert!(
+            gap < 1.25,
+            "DP {} vs exhaustive {} (gap {gap})",
+            dp.cost.total(),
+            ex_best.cost.total()
+        );
+    }
+
+    #[test]
+    fn ablation_strategies_order_as_expected() {
+        // Minimize-visibility performs at least as many encryptions as
+        // the minimal extension.
+        let min_ext = run(3, Scenario::UAPenc, Strategy::CostDp);
+        let min_vis = run(3, Scenario::UAPenc, Strategy::MinimizeVisibility);
+        assert!(
+            min_vis.extended.encryption_ops() >= min_ext.extended.encryption_ops(),
+            "min-vis {} < minimal {}",
+            min_vis.extended.encryption_ops(),
+            min_ext.extended.encryption_ops()
+        );
+    }
+
+    #[test]
+    fn maximize_visibility_restricts_under_uapenc() {
+        // Under UAPenc providers hold only encrypted visibility, so the
+        // never-encrypt ablation cannot use them; it still succeeds via
+        // user/authorities and costs at least as much as the default.
+        let max_vis = run(6, Scenario::UAPenc, Strategy::MaximizeVisibility);
+        let default = run(6, Scenario::UAPenc, Strategy::CostDp);
+        assert!(max_vis.cost.total() >= default.cost.total() * 0.999);
+        assert_eq!(max_vis.extended.encryption_ops(), 0);
+    }
+
+    #[test]
+    fn all_22_optimize_under_all_scenarios() {
+        let cat = tpch_catalog();
+        let stats = tpch_stats(&cat, 1.0);
+        for scenario in Scenario::ALL {
+            let env = build_scenario(&cat, scenario);
+            for q in 1..=mpq_tpch::QUERY_COUNT {
+                let plan = query_plan(&cat, q);
+                let opt = optimize(
+                    &plan,
+                    &cat,
+                    &stats,
+                    &env,
+                    &CapabilityPolicy::default(),
+                    Strategy::CostDp,
+                )
+                .unwrap_or_else(|e| panic!("Q{q} {scenario:?}: {e}"));
+                assert!(opt.cost.total() > 0.0, "Q{q} {scenario:?} zero cost");
+            }
+        }
+    }
+}

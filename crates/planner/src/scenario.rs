@@ -1,0 +1,225 @@
+//! The three authorization scenarios of the evaluation (§7).
+//!
+//! "We considered the execution of the 22 TPC-H queries distributing
+//! the 8 TPC-H tables between two authorities and considering then the
+//! following three scenarios for the authorizations:
+//!
+//! * **UA** — authorizations permit access to different base relations
+//!   only to the user (issuing the query);
+//! * **UAPenc** — cloud providers are authorized to access in encrypted
+//!   form all the attributes of all the base relations;
+//! * **UAPmix** — modifies the previous scenario with authorizations
+//!   allowing cloud providers to access in plaintext half of the
+//!   attributes that were previously only accessible in encrypted
+//!   form."
+//!
+//! Alias relations (second scans) inherit the grants of their base
+//! relation. Table split: authority `A1` stores the customer-facing
+//! tables (customer, orders, lineitem), `A2` the product-facing ones
+//! (part, supplier, partsupp, nation, region).
+
+use crate::pricing::PriceBook;
+use mpq_algebra::{AttrSet, Catalog};
+use mpq_core::authz::{Authorization, Policy};
+use mpq_core::subjects::{SubjectKind, Subjects};
+use mpq_algebra::SubjectId;
+
+/// The three §7 scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Only the user may access other parties' relations.
+    UA,
+    /// Providers get encrypted visibility over everything.
+    UAPenc,
+    /// Providers additionally get plaintext visibility over half the
+    /// attributes.
+    UAPmix,
+}
+
+impl Scenario {
+    /// All scenarios, in the paper's order.
+    pub const ALL: [Scenario; 3] = [Scenario::UA, Scenario::UAPenc, Scenario::UAPmix];
+
+    /// Display name matching the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::UA => "UA",
+            Scenario::UAPenc => "UAPenc",
+            Scenario::UAPmix => "UAPmix",
+        }
+    }
+}
+
+/// A fully built scenario: subjects, policy, prices.
+#[derive(Clone, Debug)]
+pub struct ScenarioEnv {
+    /// Authorities (A1, A2), user U, providers X, Y, Z.
+    pub subjects: Subjects,
+    /// Scenario authorizations.
+    pub policy: Policy,
+    /// §7 price book (provider price spread 1.0 / 1.25 / 1.6).
+    pub prices: PriceBook,
+    /// The querying user.
+    pub user: SubjectId,
+}
+
+/// Tables stored by authority A1 (customer-facing side).
+pub const A1_TABLES: [&str; 5] = ["customer", "orders", "lineitem", "lineitem2", "lineitem3"];
+
+/// Build a scenario over any catalog: relations are split between the
+/// two authorities by [`A1_TABLES`] membership (TPC-H) or
+/// round-robin for non-TPC-H catalogs.
+pub fn build_scenario(catalog: &Catalog, scenario: Scenario) -> ScenarioEnv {
+    let mut subjects = Subjects::new();
+    let a1 = subjects.add("A1", SubjectKind::DataAuthority);
+    let a2 = subjects.add("A2", SubjectKind::DataAuthority);
+    let user = subjects.add("U", SubjectKind::User);
+    let providers = [
+        subjects.add("X", SubjectKind::Provider),
+        subjects.add("Y", SubjectKind::Provider),
+        subjects.add("Z", SubjectKind::Provider),
+    ];
+
+    let mut policy = Policy::new();
+    for rel in catalog.relations() {
+        let name = rel.name.to_ascii_lowercase();
+        let is_a1 = A1_TABLES.contains(&name.as_str())
+            || name.starts_with("customer")
+            || name.starts_with("orders")
+            || name.starts_with("lineitem")
+            || name.starts_with("hosp");
+        let authority = if is_a1 { a1 } else { a2 };
+        subjects.set_authority(rel.rel, authority);
+
+        let all: AttrSet = rel.attr_set();
+        // The storing authority and the user see everything plaintext.
+        policy.grant(
+            rel.rel,
+            authority,
+            Authorization::new(all.clone(), AttrSet::new()).expect("disjoint"),
+        );
+        policy.grant(
+            rel.rel,
+            user,
+            Authorization::new(all.clone(), AttrSet::new()).expect("disjoint"),
+        );
+
+        match scenario {
+            Scenario::UA => {}
+            Scenario::UAPenc => {
+                for &p in &providers {
+                    policy.grant(
+                        rel.rel,
+                        p,
+                        Authorization::new(AttrSet::new(), all.clone()).expect("disjoint"),
+                    );
+                }
+            }
+            Scenario::UAPmix => {
+                // Half the columns become plaintext. Key columns go
+                // into the plaintext half first: splitting a join-key
+                // pair across the two halves would trip the
+                // uniform-visibility condition (Def. 4.1, cond. 3) and
+                // lock providers out of the very joins the scenario is
+                // meant to liberalize.
+                let budget = rel.columns.len().div_ceil(2);
+                let mut plain = AttrSet::new();
+                let mut enc = AttrSet::new();
+                let mut picked = 0usize;
+                for col in &rel.columns {
+                    if picked < budget && col.name.ends_with("key") {
+                        plain.insert(col.attr);
+                        picked += 1;
+                    }
+                }
+                for col in &rel.columns {
+                    if plain.contains(col.attr) {
+                        continue;
+                    }
+                    if picked < budget {
+                        plain.insert(col.attr);
+                        picked += 1;
+                    } else {
+                        enc.insert(col.attr);
+                    }
+                }
+                for &p in &providers {
+                    policy.grant(
+                        rel.rel,
+                        p,
+                        Authorization::new(plain.clone(), enc.clone()).expect("disjoint"),
+                    );
+                }
+            }
+        }
+    }
+
+    let prices = PriceBook::paper_defaults(&subjects, &[1.0, 1.25, 1.6]);
+    ScenarioEnv {
+        subjects,
+        policy,
+        prices,
+        user,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_tpch::tpch_catalog;
+
+    #[test]
+    fn ua_gives_providers_nothing() {
+        let cat = tpch_catalog();
+        let env = build_scenario(&cat, Scenario::UA);
+        let x = env.subjects.id("X").unwrap();
+        let view = env.policy.subject_view(&cat, x);
+        assert!(view.plain.is_empty());
+        assert!(view.enc.is_empty());
+        // The user sees everything plaintext.
+        let u = env.policy.subject_view(&cat, env.user);
+        assert_eq!(u.plain.len(), cat.num_attrs());
+    }
+
+    #[test]
+    fn uapenc_gives_providers_everything_encrypted() {
+        let cat = tpch_catalog();
+        let env = build_scenario(&cat, Scenario::UAPenc);
+        let x = env.subjects.id("X").unwrap();
+        let view = env.policy.subject_view(&cat, x);
+        assert!(view.plain.is_empty());
+        assert_eq!(view.enc.len(), cat.num_attrs());
+    }
+
+    #[test]
+    fn uapmix_splits_half_plaintext() {
+        let cat = tpch_catalog();
+        let env = build_scenario(&cat, Scenario::UAPmix);
+        let x = env.subjects.id("X").unwrap();
+        let view = env.policy.subject_view(&cat, x);
+        assert!(!view.plain.is_empty());
+        assert!(!view.enc.is_empty());
+        assert_eq!(view.plain.len() + view.enc.len(), cat.num_attrs());
+        // Roughly half (rounding per relation).
+        let frac = view.plain.len() as f64 / cat.num_attrs() as f64;
+        assert!(frac > 0.4 && frac < 0.65, "{frac}");
+    }
+
+    #[test]
+    fn authorities_split_tables() {
+        let cat = tpch_catalog();
+        let env = build_scenario(&cat, Scenario::UA);
+        let a1 = env.subjects.id("A1").unwrap();
+        let a2 = env.subjects.id("A2").unwrap();
+        let auth = |t: &str| env.subjects.authority(cat.relation(t).unwrap().rel).unwrap();
+        assert_eq!(auth("lineitem"), a1);
+        assert_eq!(auth("orders"), a1);
+        assert_eq!(auth("lineitem2"), a1, "aliases follow their base");
+        assert_eq!(auth("part"), a2);
+        assert_eq!(auth("nation2"), a2);
+        // Each authority sees its own tables plaintext, not the other's.
+        let v1 = env.policy.subject_view(&cat, a1);
+        assert!(v1.plain.contains(cat.attr("l_orderkey").unwrap()));
+        assert!(!v1.plain.contains(cat.attr("p_partkey").unwrap()));
+    }
+}

@@ -1,0 +1,99 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Reproduces Figures 1, 3, 4, 6, 7(a) and 8 on the console:
+//! the query plan, per-node profiles, subject views, candidate sets,
+//! the minimally extended plan with its keys, and the dispatched
+//! sub-queries.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mpq::core::candidates::candidates;
+use mpq::core::capability::CapabilityPolicy;
+use mpq::core::dispatch::dispatch;
+use mpq::core::extend::{minimally_extend, Assignment};
+use mpq::core::fixtures::RunningExample;
+use mpq::core::keys::plan_keys;
+use mpq::core::profile::profile_plan;
+
+fn main() {
+    let ex = RunningExample::new();
+
+    println!("== Fig. 1(a): query plan ==");
+    println!("{}", ex.plan.display(&ex.catalog));
+
+    println!("== Fig. 4: overall subject views ==");
+    for name in ["H", "I", "U", "X", "Y", "Z"] {
+        let v = ex.policy.subject_view(&ex.catalog, ex.subject(name));
+        println!(
+            "  P_{name} = {:<6} E_{name} = {}",
+            ex.catalog.render_attrs(&v.plain),
+            ex.catalog.render_attrs(&v.enc),
+        );
+    }
+
+    println!("\n== Fig. 3: profiles of the original plan ==");
+    let profiles = profile_plan(&ex.plan);
+    for node in ["select_d", "join", "group", "having"] {
+        let p = &profiles[ex.node(node).index()];
+        println!(
+            "  {node:<9} v: {}|{}  i: {}|{}  ≃: {}",
+            ex.catalog.render_attrs(&p.vp),
+            ex.catalog.render_attrs(&p.ve),
+            ex.catalog.render_attrs(&p.ip),
+            ex.catalog.render_attrs(&p.ie),
+            p.eq
+                .classes()
+                .map(|c| ex.catalog.render_attrs(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+    }
+
+    println!("\n== Fig. 6: candidate sets Λ ==");
+    let cands = candidates(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        &CapabilityPolicy::default(),
+        true,
+    );
+    for node in ["select_d", "join", "group", "having"] {
+        println!(
+            "  Λ({node:<9}) = {}",
+            ex.subjects.render(cands.of(ex.node(node)))
+        );
+    }
+
+    println!("\n== Fig. 7(a): minimally extended plan for σ→H, ⋈→X, γ→X, σᵧ→Y ==");
+    let mut a = Assignment::new();
+    a.set(ex.node("select_d"), ex.subject("H"));
+    a.set(ex.node("join"), ex.subject("X"));
+    a.set(ex.node("group"), ex.subject("X"));
+    a.set(ex.node("having"), ex.subject("Y"));
+    let ext = minimally_extend(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        &cands,
+        &a,
+        Some(ex.subject("U")),
+    )
+    .expect("λ drawn from Λ always extends (Thm. 5.2)");
+    println!("{}", ext.plan.display(&ex.catalog));
+
+    println!("== Def. 6.1: query-plan keys ==");
+    let keys = plan_keys(&ext);
+    print!("{}", keys.display(&ex.catalog, &ex.subjects));
+
+    println!("\n== Fig. 8: dispatched sub-queries ==");
+    let d = dispatch(&ext, &keys, &ex.catalog, &ex.subjects);
+    for (i, req) in d.requests.iter().enumerate() {
+        println!(
+            "  {}  {}",
+            d.envelope_notation(i, ex.subject("U"), &ex.subjects, &ex.catalog, &keys),
+            req.sql
+        );
+    }
+}

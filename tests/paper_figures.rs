@@ -1,0 +1,157 @@
+//! The paper's worked figures as end-to-end oracles, exercised through
+//! the public facade (`mpq::…`). Complements the crate-internal unit
+//! tests with cross-crate versions of the same checks.
+
+use mpq::core::candidates::{candidates, min_required_view};
+use mpq::core::capability::CapabilityPolicy;
+use mpq::core::dispatch::dispatch;
+use mpq::core::extend::{minimally_extend, Assignment};
+use mpq::core::fixtures::RunningExample;
+use mpq::core::keys::plan_keys;
+use mpq::core::profile::{profile_plan, Profile};
+
+/// Fig. 5: extending the plan with source-side encryption (everything
+/// encrypted except `avg(P)` for the final selection) widens the
+/// subjects assignable to each operation to exactly the candidate sets.
+#[test]
+fn fig5_extended_candidates() {
+    let ex = RunningExample::new();
+    let cands = candidates(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        &CapabilityPolicy::default(),
+        false,
+    );
+    let sets: Vec<(&str, &str)> = vec![
+        ("select_d", "HIUXYZ"),
+        ("join", "HUXYZ"),
+        ("group", "HUXYZ"),
+        ("having", "UY"),
+    ];
+    for (node, expected) in sets {
+        assert_eq!(
+            ex.subjects.render(cands.of(ex.node(node))),
+            expected,
+            "candidates of {node}"
+        );
+    }
+    // The Fig. 5 profiles: with encryption at the sources, the join's
+    // operands are fully encrypted.
+    let join_profile = &cands.profiles[ex.node("join").index()];
+    assert!(join_profile.vp.is_empty());
+    assert_eq!(join_profile.ve, ex.attrs("SDTCP"));
+}
+
+/// Fig. 6's dotted boxes: minimum required views encrypt everything the
+/// operation does not need in plaintext.
+#[test]
+fn fig6_minimum_required_views() {
+    let ex = RunningExample::new();
+    // Over πS,D,T(Hosp) for the σ (needs nothing in plaintext):
+    let base = Profile::base(ex.attrs("SDT"));
+    let mv = min_required_view(&base, &ex.attrs(""));
+    assert!(mv.vp.is_empty());
+    assert_eq!(mv.ve, ex.attrs("SDT"));
+    // Over the γ result for the final σ (needs avg(P) plaintext):
+    let gamma = Profile {
+        vp: ex.attrs(""),
+        ve: ex.attrs("TP"),
+        ip: ex.attrs(""),
+        ie: ex.attrs("DT"),
+        eq: Default::default(),
+    };
+    let mv = min_required_view(&gamma, &ex.attrs("P"));
+    assert_eq!(mv.vp, ex.attrs("P"));
+    assert_eq!(mv.ve, ex.attrs("T"));
+}
+
+/// §6 worked end-to-end: Fig. 7(a) assignment → minimal extension →
+/// keys {SC}, {P} → four dispatched requests with the right key routing
+/// — all via the facade.
+#[test]
+fn fig7a_to_fig8_pipeline() {
+    let ex = RunningExample::new();
+    let cands = candidates(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        &CapabilityPolicy::default(),
+        true,
+    );
+    let mut a = Assignment::new();
+    a.set(ex.node("select_d"), ex.subject("H"));
+    a.set(ex.node("join"), ex.subject("X"));
+    a.set(ex.node("group"), ex.subject("X"));
+    a.set(ex.node("having"), ex.subject("Y"));
+    let ext = minimally_extend(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        &cands,
+        &a,
+        Some(ex.subject("U")),
+    )
+    .unwrap();
+    assert_eq!(ext.encrypted_attrs, ex.attrs("SCP"));
+
+    let keys = plan_keys(&ext);
+    assert_eq!(keys.keys.len(), 2);
+    assert_eq!(
+        ex.subjects.render(&keys.key_for(ex.attr("S")).unwrap().holders),
+        "HI"
+    );
+    assert_eq!(
+        ex.subjects.render(&keys.key_for(ex.attr("P")).unwrap().holders),
+        "IY"
+    );
+
+    let d = dispatch(&ext, &keys, &ex.catalog, &ex.subjects);
+    assert_eq!(d.requests.len(), 4);
+    assert_eq!(
+        d.envelope_notation(d.root_request, ex.subject("U"), &ex.subjects, &ex.catalog, &keys),
+        "[[qY,(P,kP)]priU]pubY"
+    );
+
+    // The extended plan still satisfies Theorem 3.1.
+    let profiles = profile_plan(&ext.plan);
+    let parents = ext.plan.parents();
+    for id in ext.plan.postorder() {
+        if let Some(p) = parents[id.index()] {
+            assert!(
+                profiles[id.index()]
+                    .footprint()
+                    .is_subset(&profiles[p.index()].footprint()),
+                "Theorem 3.1 violated at {id}"
+            );
+        }
+    }
+}
+
+/// The §5 narrative: evaluating σ_D on plaintext (assigning everything
+/// visible) rules Z out of the join — but the candidate machinery keeps
+/// Z available because the cascade encrypts D first (the "maximizing
+/// visibility may rule out subjects" discussion).
+#[test]
+fn fig5_narrative_plaintext_evaluation_excludes_z() {
+    let ex = RunningExample::new();
+    // Plain profiles (no encryption anywhere): Z is not an authorized
+    // assignee of the join because its operand exposes D implicitly in
+    // plaintext and S in plaintext.
+    let profiles = profile_plan(&ex.plan);
+    let z = ex.policy.subject_view(&ex.catalog, ex.subject("Z"));
+    assert!(!z.authorized_for(&profiles[ex.node("join").index()]));
+    // Under the minimum-required-view cascade, Z is a candidate.
+    let cands = candidates(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        &CapabilityPolicy::default(),
+        false,
+    );
+    assert!(cands.is_candidate(ex.node("join"), ex.subject("Z")));
+}
