@@ -32,11 +32,7 @@ impl Eq for AttrSet {}
 
 impl std::hash::Hash for AttrSet {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        let last = self
-            .bits
-            .iter()
-            .rposition(|&b| b != 0)
-            .map_or(0, |i| i + 1);
+        let last = self.bits.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
         self.bits[..last].hash(state);
     }
 }
@@ -49,6 +45,7 @@ impl AttrSet {
     }
 
     /// Set containing the given attributes.
+    #[allow(clippy::should_implement_trait)] // convenience alias for the trait impl
     pub fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
         let mut s = Self::new();
         for a in iter {
@@ -163,10 +160,7 @@ impl AttrSet {
 
     /// `self ∩ other ≠ ∅`.
     pub fn intersects(&self, other: &AttrSet) -> bool {
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .any(|(&a, &b)| a & b != 0)
+        self.bits.iter().zip(&other.bits).any(|(&a, &b)| a & b != 0)
     }
 
     /// Iterate over member attributes in increasing id order.
@@ -242,10 +236,7 @@ mod tests {
     fn set_algebra() {
         let x = AttrSet::from_iter([a(1), a(2), a(70)]);
         let y = AttrSet::from_iter([a(2), a(70), a(100)]);
-        assert_eq!(
-            x.union(&y),
-            AttrSet::from_iter([a(1), a(2), a(70), a(100)])
-        );
+        assert_eq!(x.union(&y), AttrSet::from_iter([a(1), a(2), a(70), a(100)]));
         assert_eq!(x.intersect(&y), AttrSet::from_iter([a(2), a(70)]));
         assert_eq!(x.difference(&y), AttrSet::singleton(a(1)));
         assert!(AttrSet::from_iter([a(2)]).is_subset(&x));

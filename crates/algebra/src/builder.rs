@@ -276,9 +276,7 @@ impl<'a> Builder<'a> {
                 cur = plan.add(Operator::Having { pred }, vec![cur]);
             }
         } else if self.stmt.having.is_some() {
-            return Err(AlgebraError::Semantic(
-                "HAVING requires aggregation".into(),
-            ));
+            return Err(AlgebraError::Semantic("HAVING requires aggregation".into()));
         }
 
         // ---- order by / limit / final projection ------------------------
@@ -305,10 +303,7 @@ impl<'a> Builder<'a> {
                         if let Some(&out) = inputs.first() {
                             cur = plan.add(
                                 Operator::Udf {
-                                    name: item
-                                        .alias
-                                        .clone()
-                                        .unwrap_or_else(|| "expr".to_string()),
+                                    name: item.alias.clone().unwrap_or_else(|| "expr".to_string()),
                                     inputs,
                                     output: out,
                                     body: Some(computed),
@@ -402,8 +397,7 @@ impl<'a> Builder<'a> {
                         AstExpr::CountStar => {
                             if let Some(aggs) = aggs {
                                 if let Some(pos) = aggs.iter().position(|a| {
-                                    a.func == AggFunc::Count
-                                        && a.input == Expr::Lit(Value::Int(1))
+                                    a.func == AggFunc::Count && a.input == Expr::Lit(Value::Int(1))
                                 }) {
                                     return Ok(Expr::AggRef(pos));
                                 }
@@ -438,9 +432,10 @@ impl<'a> Builder<'a> {
             AstExpr::Agg(f, inner, distinct) => match aggs {
                 Some(list) => {
                     let target = self.make_agg(f, inner, *distinct, &[])?;
-                    let pos = list.iter().position(|a| *a == target).ok_or_else(|| {
-                        AlgebraError::Semantic("aggregate not registered".into())
-                    })?;
+                    let pos = list
+                        .iter()
+                        .position(|a| *a == target)
+                        .ok_or_else(|| AlgebraError::Semantic("aggregate not registered".into()))?;
                     Expr::AggRef(pos)
                 }
                 None => {
@@ -453,10 +448,10 @@ impl<'a> Builder<'a> {
                 Some(list) => {
                     let pos = list
                         .iter()
-                        .position(|a| a.func == AggFunc::Count && a.input == Expr::Lit(Value::Int(1)))
-                        .ok_or_else(|| {
-                            AlgebraError::Semantic("count(*) not registered".into())
-                        })?;
+                        .position(|a| {
+                            a.func == AggFunc::Count && a.input == Expr::Lit(Value::Int(1))
+                        })
+                        .ok_or_else(|| AlgebraError::Semantic("count(*) not registered".into()))?;
                     Expr::AggRef(pos)
                 }
                 None => {
@@ -536,11 +531,7 @@ impl<'a> Builder<'a> {
         })
     }
 
-    fn lower_interval_side(
-        &self,
-        e: &AstExpr,
-        aggs: Option<&Vec<AggExpr>>,
-    ) -> Result<IntervalOr> {
+    fn lower_interval_side(&self, e: &AstExpr, aggs: Option<&Vec<AggExpr>>) -> Result<IntervalOr> {
         match e {
             AstExpr::Interval(n, u) => Ok(IntervalOr::Interval(*n, *u)),
             other => Ok(IntervalOr::Expr(self.lower(other, aggs)?)),
@@ -560,9 +551,7 @@ impl<'a> Builder<'a> {
             .iter()
             .next()
             .or_else(|| keys.first().copied())
-            .ok_or_else(|| {
-                AlgebraError::Semantic("aggregate references no attribute".into())
-            })?;
+            .ok_or_else(|| AlgebraError::Semantic("aggregate references no attribute".into()))?;
         Ok(AggExpr {
             func: *f,
             input,
@@ -629,15 +618,16 @@ enum IntervalOr {
     Interval(i64, IntervalUnit),
 }
 
-fn apply_interval(d: crate::value::Date, n: i64, u: IntervalUnit, op: ArithOp) -> Result<crate::value::Date> {
+fn apply_interval(
+    d: crate::value::Date,
+    n: i64,
+    u: IntervalUnit,
+    op: ArithOp,
+) -> Result<crate::value::Date> {
     let n = match op {
         ArithOp::Add => n,
         ArithOp::Sub => -n,
-        _ => {
-            return Err(AlgebraError::Semantic(
-                "INTERVAL only supports +/-".into(),
-            ))
-        }
+        _ => return Err(AlgebraError::Semantic("INTERVAL only supports +/-".into())),
     } as i32;
     Ok(match u {
         IntervalUnit::Day => d.add_days(n),
@@ -653,11 +643,7 @@ fn flatten_and(e: Expr) -> Vec<Expr> {
     }
 }
 
-fn split_join_cond(
-    e: &Expr,
-    left: &AttrSet,
-    right: &AttrSet,
-) -> Option<(AttrId, CmpOp, AttrId)> {
+fn split_join_cond(e: &Expr, left: &AttrSet, right: &AttrSet) -> Option<(AttrId, CmpOp, AttrId)> {
     if let Expr::Cmp(a, op, b) = e {
         if let (Expr::Col(l), Expr::Col(r)) = (a.as_ref(), b.as_ref()) {
             if left.contains(*l) && right.contains(*r) {
@@ -719,12 +705,12 @@ fn contains_agg(e: &AstExpr) -> bool {
         | AstExpr::Substring(x, _, _) => contains_agg(x),
         AstExpr::Cmp(a, _, b) | AstExpr::Arith(a, _, b) => contains_agg(a) || contains_agg(b),
         AstExpr::And(v) | AstExpr::Or(v) => v.iter().any(contains_agg),
-        AstExpr::Between(a, lo, hi, _) => {
-            contains_agg(a) || contains_agg(lo) || contains_agg(hi)
-        }
+        AstExpr::Between(a, lo, hi, _) => contains_agg(a) || contains_agg(lo) || contains_agg(hi),
         AstExpr::InList(x, _, _) => contains_agg(x),
         AstExpr::Case(branches, else_) => {
-            branches.iter().any(|(c, v)| contains_agg(c) || contains_agg(v))
+            branches
+                .iter()
+                .any(|(c, v)| contains_agg(c) || contains_agg(v))
                 || else_.as_deref().is_some_and(contains_agg)
         }
     }
@@ -815,7 +801,8 @@ mod tests {
     #[test]
     fn interval_folding() {
         let mut cat = Catalog::new();
-        cat.add_relation("t", &[("d1", crate::DataType::Date)]).unwrap();
+        cat.add_relation("t", &[("d1", crate::DataType::Date)])
+            .unwrap();
         let plan = plan_sql(
             &cat,
             "select d1 from t where d1 < date '1994-01-01' + interval '1' year",

@@ -69,11 +69,7 @@ impl Catalog {
     /// Column names must be globally unique across the catalog (as they
     /// are in the paper's examples and in TPC-H); name lookups are
     /// case-insensitive.
-    pub fn add_relation(
-        &mut self,
-        name: &str,
-        columns: &[(&str, DataType)],
-    ) -> Result<RelId> {
+    pub fn add_relation(&mut self, name: &str, columns: &[(&str, DataType)]) -> Result<RelId> {
         let lname = name.to_ascii_lowercase();
         if self.rel_by_name.contains_key(&lname) {
             return Err(AlgebraError::DuplicateName(name.to_string()));
@@ -176,11 +172,8 @@ impl Catalog {
             ],
         )
         .expect("static schema");
-        c.add_relation(
-            "Ins",
-            &[("C", DataType::Str), ("P", DataType::Num)],
-        )
-        .expect("static schema");
+        c.add_relation("Ins", &[("C", DataType::Str), ("P", DataType::Num)])
+            .expect("static schema");
         c
     }
 }
@@ -227,9 +220,13 @@ mod tests {
     #[test]
     fn render_attrs_paper_style() {
         let c = Catalog::paper_running_example();
-        let set: AttrSet = [c.attr("S").unwrap(), c.attr("D").unwrap(), c.attr("T").unwrap()]
-            .into_iter()
-            .collect();
+        let set: AttrSet = [
+            c.attr("S").unwrap(),
+            c.attr("D").unwrap(),
+            c.attr("T").unwrap(),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(c.render_attrs(&set), "SDT");
     }
 

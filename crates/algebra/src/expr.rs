@@ -504,7 +504,12 @@ impl AggFunc {
 
     /// Plaintext needed for the aggregate *input* under the default
     /// capability policy.
-    pub fn input_plaintext_required(self, input_is_simple_col: bool, allow_homomorphic: bool, allow_ope: bool) -> bool {
+    pub fn input_plaintext_required(
+        self,
+        input_is_simple_col: bool,
+        allow_homomorphic: bool,
+        allow_ope: bool,
+    ) -> bool {
         match self {
             AggFunc::Count | AggFunc::CountDistinct => false,
             AggFunc::Sum | AggFunc::Avg => !(input_is_simple_col && allow_homomorphic),
@@ -600,8 +605,11 @@ mod tests {
     #[test]
     fn classify_const_vs_pairs() {
         // D = 'stroke' AND S = C  (the paper's σ and ⋈ conditions)
-        let e = Expr::col_eq(a(2), Value::str("stroke"))
-            .and(Expr::cmp(Expr::Col(a(0)), CmpOp::Eq, Expr::Col(a(4))));
+        let e = Expr::col_eq(a(2), Value::str("stroke")).and(Expr::cmp(
+            Expr::Col(a(0)),
+            CmpOp::Eq,
+            Expr::Col(a(4)),
+        ));
         assert_eq!(e.const_compared_attrs(), AttrSet::singleton(a(2)));
         assert_eq!(e.attr_pairs(), vec![(a(0), a(4))]);
     }

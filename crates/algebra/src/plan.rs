@@ -245,6 +245,23 @@ impl QueryPlan {
         out
     }
 
+    /// The node feeding `id` after looking through the
+    /// schema-preserving `Encrypt`/`Decrypt` operators that plan
+    /// extension splices in. Consumers that must inspect the producing
+    /// *relational* operator of an operand (e.g. `HAVING` resolving
+    /// aggregate references against its `GROUP BY`) use this so
+    /// extended plans behave exactly like their originals.
+    pub fn through_crypto(&self, mut id: NodeId) -> NodeId {
+        loop {
+            match &self.nodes[id.index()].op {
+                Operator::Encrypt { .. } | Operator::Decrypt { .. } => {
+                    id = self.nodes[id.index()].children[0];
+                }
+                _ => return id,
+            }
+        }
+    }
+
     /// Parent of each reachable node (`None` for the root and for
     /// detached nodes).
     pub fn parents(&self) -> Vec<Option<NodeId>> {
@@ -311,8 +328,9 @@ impl QueryPlan {
                 | Operator::Decrypt { .. }
                 | Operator::Sort { .. }
                 | Operator::Limit { .. } => out[node.children[0].index()].clone(),
-                Operator::Product => out[node.children[0].index()]
-                    .union(&out[node.children[1].index()]),
+                Operator::Product => {
+                    out[node.children[0].index()].union(&out[node.children[1].index()])
+                }
                 Operator::Join { kind, .. } => {
                     if kind.keeps_right() {
                         out[node.children[0].index()].union(&out[node.children[1].index()])
@@ -397,10 +415,7 @@ impl QueryPlan {
                         )));
                     }
                     if matches!(node.op, Operator::Having { .. })
-                        && !matches!(
-                            self.nodes[child(0).index()].op,
-                            Operator::GroupBy { .. }
-                        )
+                        && !matches!(self.nodes[child(0).index()].op, Operator::GroupBy { .. })
                     {
                         return Err(AlgebraError::InvalidPlan(format!(
                             "node {id}: HAVING over a non-GroupBy child"
@@ -419,8 +434,7 @@ impl QueryPlan {
                         }
                     }
                     if let Some(res) = residual {
-                        let combined = schemas[child(0).index()]
-                            .union(&schemas[child(1).index()]);
+                        let combined = schemas[child(0).index()].union(&schemas[child(1).index()]);
                         if !res.attrs().is_subset(&combined) {
                             return Err(AlgebraError::InvalidPlan(format!(
                                 "node {id}: residual references non-visible attributes"
@@ -442,7 +456,10 @@ impl QueryPlan {
                             )));
                         }
                         let ins = ag.input.attrs();
-                        if !ins.contains(ag.output) && !key_set.contains(ag.output) && !ins.is_empty() {
+                        if !ins.contains(ag.output)
+                            && !key_set.contains(ag.output)
+                            && !ins.is_empty()
+                        {
                             return Err(AlgebraError::InvalidPlan(format!(
                                 "node {id}: aggregate output {} must be named after an input or key attribute",
                                 ag.output

@@ -205,8 +205,10 @@ impl<'a> Lexer<'a> {
                     while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
                         j += 1;
                     }
-                    self.toks
-                        .push((Tok::Ident(self.src[self.pos..j].to_ascii_lowercase()), start));
+                    self.toks.push((
+                        Tok::Ident(self.src[self.pos..j].to_ascii_lowercase()),
+                        start,
+                    ));
                     self.pos = j;
                 }
                 _ => {
@@ -772,7 +774,8 @@ mod tests {
 
     #[test]
     fn parses_extract_and_substring() {
-        let q = "select extract(year from B) from Hosp where substring(S from 1 for 2) in ('13','31')";
+        let q =
+            "select extract(year from B) from Hosp where substring(S from 1 for 2) in ('13','31')";
         let stmt = parse_select(q).unwrap();
         assert!(matches!(stmt.items[0].expr, AstExpr::ExtractYear(_)));
     }

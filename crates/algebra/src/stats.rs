@@ -144,11 +144,7 @@ impl Estimate {
 /// Annotate each reachable node of `plan` with row/NDV estimates.
 /// The result is indexed by `NodeId::index()`; unreachable (detached)
 /// nodes keep a default estimate.
-pub fn estimate_plan(
-    plan: &QueryPlan,
-    catalog: &Catalog,
-    stats: &StatsCatalog,
-) -> Vec<Estimate> {
+pub fn estimate_plan(plan: &QueryPlan, catalog: &Catalog, stats: &StatsCatalog) -> Vec<Estimate> {
     let mut out: Vec<Estimate> = (0..plan.len())
         .map(|_| Estimate {
             rows: 1.0,
@@ -206,11 +202,7 @@ pub fn estimate_plan(
                     ndv,
                 }
             }
-            Operator::Join {
-                kind,
-                on,
-                residual,
-            } => {
+            Operator::Join { kind, on, residual } => {
                 let l = out[node.children[0].index()].clone();
                 let r = out[node.children[1].index()].clone();
                 let mut est = join_estimate(*kind, on, &l, &r);
@@ -236,9 +228,7 @@ pub fn estimate_plan(
                 }
                 Estimate { rows, ndv }
             }
-            Operator::Udf {
-                inputs, output, ..
-            } => {
+            Operator::Udf { inputs, output, .. } => {
                 let child = &out[node.children[0].index()];
                 let mut ndv = child.ndv.clone();
                 for a in inputs {
@@ -252,9 +242,9 @@ pub fn estimate_plan(
                     ndv,
                 }
             }
-            Operator::Encrypt { .. }
-            | Operator::Decrypt { .. }
-            | Operator::Sort { .. } => out[node.children[0].index()].clone(),
+            Operator::Encrypt { .. } | Operator::Decrypt { .. } | Operator::Sort { .. } => {
+                out[node.children[0].index()].clone()
+            }
             Operator::Limit { n } => {
                 let child = out[node.children[0].index()].clone();
                 Estimate {
@@ -314,12 +304,7 @@ fn join_estimate(
 }
 
 /// Estimate the selectivity of a predicate against a node estimate.
-pub fn selectivity(
-    pred: &Expr,
-    input: &Estimate,
-    catalog: &Catalog,
-    stats: &StatsCatalog,
-) -> f64 {
+pub fn selectivity(pred: &Expr, input: &Estimate, catalog: &Catalog, stats: &StatsCatalog) -> f64 {
     match pred {
         Expr::And(v) => v
             .iter()
@@ -363,7 +348,11 @@ pub fn selectivity(
                 DEFAULT_LIKE_SEL
             }
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let base = if let Expr::Col(c) = expr.as_ref() {
                 let ndv = input.ndv.get(c).copied().unwrap_or(100.0);
                 (list.len() as f64 / ndv.max(1.0)).min(1.0)
@@ -475,7 +464,11 @@ mod tests {
         let est = estimate_plan(&plan, &cat, &stats);
         let root = plan.root();
         // 10000 rows / 500 distinct diseases = 20 rows.
-        assert!((est[root.index()].rows - 20.0).abs() < 1.0, "{}", est[root.index()].rows);
+        assert!(
+            (est[root.index()].rows - 20.0).abs() < 1.0,
+            "{}",
+            est[root.index()].rows
+        );
     }
 
     #[test]
@@ -492,8 +485,7 @@ mod tests {
     #[test]
     fn group_by_caps_at_key_ndv() {
         let (cat, stats) = setup();
-        let plan =
-            plan_sql(&cat, "select D, count(*) from Hosp group by D").unwrap();
+        let plan = plan_sql(&cat, "select D, count(*) from Hosp group by D").unwrap();
         let est = estimate_plan(&plan, &cat, &stats);
         let root = plan.root();
         assert!((est[root.index()].rows - 500.0).abs() < 1.0);
@@ -510,11 +502,7 @@ mod tests {
     #[test]
     fn or_selectivity_is_inclusion_exclusion() {
         let (cat, stats) = setup();
-        let plan = plan_sql(
-            &cat,
-            "select S from Hosp where D='a' or D='b'",
-        )
-        .unwrap();
+        let plan = plan_sql(&cat, "select S from Hosp where D='a' or D='b'").unwrap();
         let est = estimate_plan(&plan, &cat, &stats);
         let rows = est[plan.root().index()].rows;
         // ~2 * 20 rows.

@@ -11,7 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Logical column types.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer (keys, counts).
     Int,
@@ -30,7 +30,7 @@ pub enum DataType {
 /// Encryption scheme tags, mirroring the four schemes of the paper's
 /// evaluation (§7): randomized and deterministic symmetric encryption,
 /// an order-preserving scheme, and the Paillier cryptosystem.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EncScheme {
     /// Randomized symmetric encryption: no operations supported.
     Random,
@@ -323,7 +323,7 @@ impl fmt::Display for Value {
 }
 
 /// Calendar date stored as days since 1970-01-01 (proleptic Gregorian).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Date(pub i32);
 
 impl Date {
@@ -436,7 +436,10 @@ mod tests {
         assert_eq!(d.add_months(12).to_ymd(), (1996, 1, 31));
         assert_eq!(d.add_years(1).to_ymd(), (1996, 1, 31));
         assert_eq!(d.add_days(1).to_ymd(), (1995, 2, 1));
-        assert_eq!(Date::parse("1996-02-29").unwrap().add_years(1).to_ymd(), (1997, 2, 28));
+        assert_eq!(
+            Date::parse("1996-02-29").unwrap().add_years(1).to_ymd(),
+            (1997, 2, 28)
+        );
     }
 
     #[test]

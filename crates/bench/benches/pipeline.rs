@@ -3,6 +3,8 @@
 //! encryption cost estimates).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mpq_algebra::value::EncScheme;
+use mpq_algebra::Value;
 use mpq_core::candidates::candidates;
 use mpq_core::capability::CapabilityPolicy;
 use mpq_core::extend::{minimally_extend, Assignment};
@@ -10,8 +12,6 @@ use mpq_core::fixtures::RunningExample;
 use mpq_core::profile::profile_plan;
 use mpq_crypto::keyring::ClusterKey;
 use mpq_crypto::schemes::{decrypt_value, encrypt_value};
-use mpq_algebra::value::EncScheme;
-use mpq_algebra::Value;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -42,10 +42,10 @@ pub fn run_query(q: usize, scenario: Scenario, strategy: Strategy) -> Optimized 
 pub fn all_costs(strategy: Strategy) -> Vec<[f64; 3]> {
     let qs: Vec<usize> = (1..=QUERY_COUNT).collect();
     let mut out = vec![[0.0; 3]; QUERY_COUNT];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for &q in &qs {
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut row = [0.0; 3];
                 for (i, scen) in Scenario::ALL.iter().enumerate() {
                     row[i] = run_query(q, *scen, strategy).cost.total();
@@ -57,7 +57,6 @@ pub fn all_costs(strategy: Strategy) -> Vec<[f64; 3]> {
             let (q, row) = h.join().expect("worker");
             out[q - 1] = row;
         }
-    })
-    .expect("scope");
+    });
     out
 }

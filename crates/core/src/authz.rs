@@ -54,12 +54,7 @@ impl Policy {
     /// Add `[P,E] → S` on `rel`. A subject holds at most one rule per
     /// relation (the paper notes multiple rules add no expressivity);
     /// re-granting replaces the previous rule.
-    pub fn grant(
-        &mut self,
-        rel: RelId,
-        subject: SubjectId,
-        auth: Authorization,
-    ) {
+    pub fn grant(&mut self, rel: RelId, subject: SubjectId, auth: Authorization) {
         self.rules.entry(rel).or_default().insert(subject, auth);
     }
 
@@ -88,7 +83,11 @@ impl Policy {
                 enc.union_with(&rule.enc);
             }
         }
-        SubjectView { subject, plain, enc }
+        SubjectView {
+            subject,
+            plain,
+            enc,
+        }
     }
 
     /// Views for every registered subject.
@@ -153,10 +152,7 @@ impl SubjectView {
         if !c1.is_empty() {
             return Err(AuthzViolation::Plaintext(c1));
         }
-        let c2 = profile
-            .ve
-            .union(&profile.ie)
-            .difference(&self.visible());
+        let c2 = profile.ve.union(&profile.ie).difference(&self.visible());
         if !c2.is_empty() {
             return Err(AuthzViolation::Encrypted(c2));
         }

@@ -160,8 +160,7 @@ pub fn candidates_with_overrides(
             .into_iter()
             .filter(|s| {
                 let v = &views[s.index()];
-                minviews.iter().all(|mv| v.authorized_for(mv))
-                    && v.authorized_for(&result)
+                minviews.iter().all(|mv| v.authorized_for(mv)) && v.authorized_for(&result)
             })
             .collect();
         sets[id.index()] = set;

@@ -125,9 +125,7 @@ pub fn plaintext_requirements(
             | Operator::Decrypt { .. }
             | Operator::Limit { .. } => AttrSet::new(),
             Operator::Select { pred } => pred.plaintext_required(policy.allow_ope),
-            Operator::Having { pred } => {
-                having_requirements(plan, id, pred, policy)
-            }
+            Operator::Having { pred } => having_requirements(plan, id, pred, policy),
             Operator::Join { on, residual, .. } => {
                 let mut ap = AttrSet::new();
                 for (l, op, r) in on {
@@ -424,10 +422,7 @@ mod tests {
             ex.attrs("D")
         );
         assert_eq!(implicit_touched(&ex.plan, ex.node("group")), ex.attrs("T"));
-        assert_eq!(
-            implicit_touched(&ex.plan, ex.node("having")),
-            ex.attrs("P")
-        );
+        assert_eq!(implicit_touched(&ex.plan, ex.node("having")), ex.attrs("P"));
         assert!(implicit_touched(&ex.plan, ex.node("join")).is_empty());
     }
 }

@@ -63,7 +63,11 @@ impl Dispatch {
             .iter()
             .map(|&k| {
                 let key = &keys.keys[k as usize];
-                format!("({},k{})", catalog.render_attrs(&key.attrs), catalog.render_attrs(&key.attrs))
+                format!(
+                    "({},k{})",
+                    catalog.render_attrs(&key.attrs),
+                    catalog.render_attrs(&key.attrs)
+                )
             })
             .collect();
         let keys_str = if key_part.is_empty() {
@@ -71,10 +75,7 @@ impl Dispatch {
         } else {
             key_part.concat()
         };
-        format!(
-            "[[q{s},{keys_str}]pri{}]pub{s}",
-            subjects.name(user)
-        )
+        format!("[[q{s},{keys_str}]pri{}]pub{s}", subjects.name(user))
     }
 }
 
@@ -152,19 +153,8 @@ pub fn dispatch(
     let mut index_of: HashMap<usize, usize> = HashMap::new();
     let mut requests = Vec::with_capacity(emit_order.len());
     for &r in &emit_order {
-        let sql = render_region(
-            plan,
-            catalog,
-            subjects,
-            keys,
-            &region_of,
-            r,
-            region_root[r],
-        );
-        let children = region_children[r]
-            .iter()
-            .map(|c| index_of[c])
-            .collect();
+        let sql = render_region(plan, catalog, subjects, keys, &region_of, r, region_root[r]);
+        let children = region_children[r].iter().map(|c| index_of[c]).collect();
         index_of.insert(r, requests.len());
         requests.push(SubQuery {
             subject: region_subject[r],
@@ -182,11 +172,7 @@ pub fn dispatch(
     }
 }
 
-fn depth(
-    plan: &mpq_algebra::QueryPlan,
-    parents: &[Option<NodeId>],
-    mut id: NodeId,
-) -> usize {
+fn depth(plan: &mpq_algebra::QueryPlan, parents: &[Option<NodeId>], mut id: NodeId) -> usize {
     let _ = plan;
     let mut d = 0;
     while let Some(p) = parents[id.index()] {
@@ -241,11 +227,7 @@ impl QueryParts {
 
     /// Nest the current parts as a derived table.
     fn wrap(self) -> QueryParts {
-        let cols = self
-            .select
-            .iter()
-            .map(|c| strip_alias(c))
-            .collect();
+        let cols = self.select.iter().map(|c| strip_alias(c)).collect();
         QueryParts::leaf(format!("({})", self.render()), cols)
     }
 }
@@ -300,19 +282,39 @@ fn render_node(
     let node = plan.node(id);
     match &node.op {
         Operator::Base { rel, attrs } => {
-            let cols = attrs.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
+            let cols = attrs
+                .iter()
+                .map(|a| catalog.attr_name(*a).to_string())
+                .collect();
             QueryParts::leaf(catalog.rel(*rel).name.clone(), cols)
         }
         Operator::Project { attrs } => {
-            let mut parts =
-                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
-            let keep: Vec<String> = attrs.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
+            let mut parts = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
+            let keep: Vec<String> = attrs
+                .iter()
+                .map(|a| catalog.attr_name(*a).to_string())
+                .collect();
             parts.select.retain(|c| keep.contains(&strip_alias(c)));
             parts
         }
         Operator::Select { pred } => {
-            let mut parts =
-                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let mut parts = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
             if !parts.group_by.is_empty() {
                 parts = parts.wrap();
             }
@@ -320,9 +322,19 @@ fn render_node(
             parts
         }
         Operator::Having { pred } => {
-            let mut parts =
-                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
-            let rendered = match &plan.node(node.children[0]).op {
+            let mut parts = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
+            // The GROUP BY may sit below spliced Decrypt/Encrypt nodes
+            // (and possibly in another region); its aggregate list is
+            // still what AggRefs in the predicate refer to.
+            let rendered = match &plan.node(plan.through_crypto(node.children[0])).op {
                 Operator::GroupBy { aggs, .. } => {
                     render_expr_names(&crate::profile::resolve_agg_refs(pred, aggs), catalog)
                 }
@@ -337,8 +349,24 @@ fn render_node(
             parts
         }
         Operator::Product | Operator::Join { .. } => {
-            let l = render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
-            let r = render_node(plan, catalog, subjects, keys, region_of, region, node.children[1]);
+            let l = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
+            let r = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[1],
+            );
             let l = if l.group_by.is_empty() { l } else { l.wrap() };
             let r = if r.group_by.is_empty() { r } else { r.wrap() };
             let mut select = l.select;
@@ -367,13 +395,22 @@ fn render_node(
             }
         }
         Operator::GroupBy { keys: gk, aggs } => {
-            let mut parts =
-                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let mut parts = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
             if !parts.group_by.is_empty() {
                 parts = parts.wrap();
             }
-            let mut select: Vec<String> =
-                gk.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
+            let mut select: Vec<String> = gk
+                .iter()
+                .map(|a| catalog.attr_name(*a).to_string())
+                .collect();
             for ag in aggs {
                 let inner = render_expr_names(&ag.input, catalog);
                 select.push(format!(
@@ -383,7 +420,10 @@ fn render_node(
                 ));
             }
             parts.select = select;
-            parts.group_by = gk.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
+            parts.group_by = gk
+                .iter()
+                .map(|a| catalog.attr_name(*a).to_string())
+                .collect();
             parts
         }
         Operator::Udf {
@@ -392,10 +432,24 @@ fn render_node(
             output,
             ..
         } => {
-            let mut parts =
-                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
-            let args: Vec<String> = inputs.iter().map(|a| catalog.attr_name(*a).to_string()).collect();
-            let rendered = format!("{name}({}) as {}", args.join(","), catalog.attr_name(*output));
+            let mut parts = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
+            let args: Vec<String> = inputs
+                .iter()
+                .map(|a| catalog.attr_name(*a).to_string())
+                .collect();
+            let rendered = format!(
+                "{name}({}) as {}",
+                args.join(","),
+                catalog.attr_name(*output)
+            );
             let consumed: Vec<String> = inputs
                 .iter()
                 .filter(|a| *a != output)
@@ -409,8 +463,15 @@ fn render_node(
             parts
         }
         Operator::Encrypt { attrs } => {
-            let mut parts =
-                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let mut parts = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
             for a in attrs {
                 let name = catalog.attr_name(*a).to_string();
                 let k = key_name(keys, catalog, *a);
@@ -423,8 +484,15 @@ fn render_node(
             parts
         }
         Operator::Decrypt { attrs } => {
-            let mut parts =
-                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let mut parts = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
             if !parts.group_by.is_empty() {
                 parts = parts.wrap();
             }
@@ -440,25 +508,35 @@ fn render_node(
             parts
         }
         Operator::Sort { .. } => {
-            let mut parts =
-                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let mut parts = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
             parts.tail.push("order by …".to_string());
             parts
         }
         Operator::Limit { n } => {
-            let mut parts =
-                render_node(plan, catalog, subjects, keys, region_of, region, node.children[0]);
+            let mut parts = render_node(
+                plan,
+                catalog,
+                subjects,
+                keys,
+                region_of,
+                region,
+                node.children[0],
+            );
             parts.tail.push(format!("limit {n}"));
             parts
         }
     }
 }
 
-fn visible_cols(
-    plan: &mpq_algebra::QueryPlan,
-    catalog: &Catalog,
-    id: NodeId,
-) -> Vec<String> {
+fn visible_cols(plan: &mpq_algebra::QueryPlan, catalog: &Catalog, id: NodeId) -> Vec<String> {
     plan.schemas()[id.index()]
         .iter()
         .map(|a| catalog.attr_name(a).to_string())
@@ -612,6 +690,11 @@ mod tests {
         assert!(x.contains("join"), "{x}");
         let y = sql_of("Y");
         assert!(y.contains("decrypt(P,kP)"), "{y}");
+        // The HAVING's GROUP BY sits below a spliced Decrypt (and in
+        // another region): the AggRef must still resolve to its output
+        // column, never leak as an `agg#N` placeholder.
+        assert!(!y.contains("agg#"), "{y}");
+        assert!(y.contains("(P > 100.00)"), "{y}");
     }
 
     /// Envelope notation matches the paper's `[[q_S,(a,k)]priU]pubS`.

@@ -18,8 +18,7 @@ use crate::authz::{Authorization, Policy};
 use crate::subjects::{SubjectKind, Subjects};
 use mpq_algebra::expr::{AggExpr, AggFunc};
 use mpq_algebra::{
-    AttrId, AttrSet, Catalog, CmpOp, Expr, JoinKind, NodeId, Operator, QueryPlan, SubjectId,
-    Value,
+    AttrId, AttrSet, Catalog, CmpOp, Expr, JoinKind, NodeId, Operator, QueryPlan, SubjectId, Value,
 };
 use std::collections::HashMap;
 
@@ -82,8 +81,14 @@ impl RunningExample {
         grant(ins, y, "P", "C");
         grant(hosp, z, "ST", "D");
         grant(ins, z, "C", "P");
-        policy.grant_any(hosp, Authorization::new(attrs("DT"), AttrSet::new()).expect("disjoint"));
-        policy.grant_any(ins, Authorization::new(AttrSet::new(), attrs("P")).expect("disjoint"));
+        policy.grant_any(
+            hosp,
+            Authorization::new(attrs("DT"), AttrSet::new()).expect("disjoint"),
+        );
+        policy.grant_any(
+            ins,
+            Authorization::new(AttrSet::new(), attrs("P")).expect("disjoint"),
+        );
 
         // Fig. 1(a): the query plan.
         let s = catalog.attr("S").expect("S");
@@ -143,7 +148,11 @@ impl RunningExample {
     pub fn attrs(&self, names: &str) -> AttrSet {
         names
             .chars()
-            .map(|c| self.catalog.attr(&c.to_string()).expect("fixture attribute"))
+            .map(|c| {
+                self.catalog
+                    .attr(&c.to_string())
+                    .expect("fixture attribute")
+            })
             .collect()
     }
 

@@ -40,7 +40,10 @@ impl KeyPlan {
 
     /// The keys a subject holds.
     pub fn held_by(&self, s: SubjectId) -> Vec<&PlanKey> {
-        self.keys.iter().filter(|k| k.holders.contains(&s)).collect()
+        self.keys
+            .iter()
+            .filter(|k| k.holders.contains(&s))
+            .collect()
     }
 
     /// Render as `k{attrs} → holders` lines (paper style).
@@ -120,7 +123,13 @@ mod tests {
     use crate::extend::{minimally_extend, Assignment};
     use crate::fixtures::RunningExample;
 
-    fn extended(ex: &RunningExample, sel: &str, join: &str, group: &str, having: &str) -> ExtendedPlan {
+    fn extended(
+        ex: &RunningExample,
+        sel: &str,
+        join: &str,
+        group: &str,
+        having: &str,
+    ) -> ExtendedPlan {
         let cands = candidates(
             &ex.plan,
             &ex.catalog,

@@ -190,7 +190,11 @@ impl Profile {
     /// Apply a selection-style condition: attributes compared to
     /// constants become implicit (in their current visibility form);
     /// attribute-attribute comparisons extend the equivalence classes.
-    fn apply_condition(&mut self, consts: &AttrSet, pairs: &[(mpq_algebra::AttrId, mpq_algebra::AttrId)]) {
+    fn apply_condition(
+        &mut self,
+        consts: &AttrSet,
+        pairs: &[(mpq_algebra::AttrId, mpq_algebra::AttrId)],
+    ) {
         self.ip.union_with(&self.vp.intersect(consts));
         self.ie.union_with(&self.ve.intersect(consts));
         for (a, b) in pairs {
@@ -206,19 +210,13 @@ pub fn resolve_agg_refs(pred: &Expr, aggs: &[AggExpr]) -> Expr {
     match pred {
         Expr::AggRef(i) => Expr::Col(aggs[*i].output),
         Expr::Col(_) | Expr::Lit(_) => pred.clone(),
-        Expr::Cmp(a, op, b) => Expr::cmp(
-            resolve_agg_refs(a, aggs),
-            *op,
-            resolve_agg_refs(b, aggs),
-        ),
+        Expr::Cmp(a, op, b) => Expr::cmp(resolve_agg_refs(a, aggs), *op, resolve_agg_refs(b, aggs)),
         Expr::And(v) => Expr::And(v.iter().map(|e| resolve_agg_refs(e, aggs)).collect()),
         Expr::Or(v) => Expr::Or(v.iter().map(|e| resolve_agg_refs(e, aggs)).collect()),
         Expr::Not(e) => Expr::Not(Box::new(resolve_agg_refs(e, aggs))),
-        Expr::Arith(a, op, b) => Expr::arith(
-            resolve_agg_refs(a, aggs),
-            *op,
-            resolve_agg_refs(b, aggs),
-        ),
+        Expr::Arith(a, op, b) => {
+            Expr::arith(resolve_agg_refs(a, aggs), *op, resolve_agg_refs(b, aggs))
+        }
         Expr::Like {
             expr,
             pattern,
@@ -253,9 +251,7 @@ pub fn resolve_agg_refs(pred: &Expr, aggs: &[AggExpr]) -> Expr {
                 .iter()
                 .map(|(c, v)| (resolve_agg_refs(c, aggs), resolve_agg_refs(v, aggs)))
                 .collect(),
-            else_: else_
-                .as_ref()
-                .map(|e| Box::new(resolve_agg_refs(e, aggs))),
+            else_: else_.as_ref().map(|e| Box::new(resolve_agg_refs(e, aggs))),
         },
         Expr::IsNull { expr, negated } => Expr::IsNull {
             expr: Box::new(resolve_agg_refs(expr, aggs)),
@@ -279,15 +275,9 @@ pub fn resolve_agg_refs(pred: &Expr, aggs: &[AggExpr]) -> Expr {
 /// `having_aggs` supplies the aggregate list of the child `GroupBy`
 /// when `op` is [`Operator::Having`], so `AggRef`s can be resolved to
 /// output attributes.
-pub fn propagate(
-    op: &Operator,
-    children: &[&Profile],
-    having_aggs: Option<&[AggExpr]>,
-) -> Profile {
+pub fn propagate(op: &Operator, children: &[&Profile], having_aggs: Option<&[AggExpr]>) -> Profile {
     match op {
-        Operator::Base { attrs, .. } => {
-            Profile::base(attrs.iter().copied().collect())
-        }
+        Operator::Base { attrs, .. } => Profile::base(attrs.iter().copied().collect()),
         Operator::Project { attrs } => {
             let child = children[0];
             let keep: AttrSet = attrs.iter().copied().collect();
@@ -366,12 +356,8 @@ pub fn propagate(
             out.eq.insert_class(&class);
             out
         }
-        Operator::Encrypt { attrs } => {
-            children[0].encrypt(&attrs.iter().copied().collect())
-        }
-        Operator::Decrypt { attrs } => {
-            children[0].decrypt(&attrs.iter().copied().collect())
-        }
+        Operator::Encrypt { attrs } => children[0].encrypt(&attrs.iter().copied().collect()),
+        Operator::Decrypt { attrs } => children[0].decrypt(&attrs.iter().copied().collect()),
         Operator::Sort { .. } | Operator::Limit { .. } => children[0].clone(),
     }
 }
@@ -382,13 +368,11 @@ pub fn profile_plan(plan: &QueryPlan) -> Vec<Profile> {
     let mut out = vec![Profile::default(); plan.len()];
     for id in plan.postorder() {
         let node = plan.node(id);
-        let children: Vec<&Profile> = node
-            .children
-            .iter()
-            .map(|c| &out[c.index()])
-            .collect();
+        let children: Vec<&Profile> = node.children.iter().map(|c| &out[c.index()]).collect();
+        // Extended plans may splice Decrypt/Encrypt between the HAVING
+        // and its GROUP BY; look through them to resolve AggRefs.
         let having_aggs = if matches!(node.op, Operator::Having { .. }) {
-            match &plan.node(node.children[0]).op {
+            match &plan.node(plan.through_crypto(node.children[0])).op {
                 Operator::GroupBy { aggs, .. } => Some(aggs.as_slice()),
                 _ => None,
             }
@@ -613,5 +597,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// On an extended plan, the HAVING's aggregate references resolve
+    /// through the spliced Decrypt to the GROUP BY below it: the
+    /// implicit-plaintext record of `avg(P) > 100` must not be lost.
+    #[test]
+    fn having_aggrefs_resolve_through_spliced_crypto() {
+        use crate::candidates::candidates;
+        use crate::capability::CapabilityPolicy;
+        use crate::extend::{minimally_extend, Assignment};
+
+        let ex = RunningExample::new();
+        let cands = candidates(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &CapabilityPolicy::default(),
+            false,
+        );
+        let mut a = Assignment::new();
+        a.set(ex.node("select_d"), ex.subject("H"));
+        a.set(ex.node("join"), ex.subject("X"));
+        a.set(ex.node("group"), ex.subject("X"));
+        a.set(ex.node("having"), ex.subject("Y"));
+        let e = minimally_extend(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &cands,
+            &a,
+            Some(ex.subject("U")),
+        )
+        .unwrap();
+        // Fig. 7(a) splices decrypt(P) between having and group.
+        let having = ex.node("having");
+        assert!(matches!(
+            e.plan.node(e.plan.node(having).children[0]).op,
+            Operator::Decrypt { .. }
+        ));
+        let original = profile_plan(&ex.plan);
+        let extended = profile_plan(&e.plan);
+        assert!(original[having.index()].ip.contains(ex.attr("P")));
+        assert!(
+            extended[having.index()].ip.contains(ex.attr("P")),
+            "extension must not erase the implicit exposure of P"
+        );
     }
 }

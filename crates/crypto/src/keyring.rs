@@ -18,10 +18,9 @@
 
 use crate::paillier::{PaillierKeypair, PaillierPublic};
 use crate::siphash::derive_subkey;
-use parking_lot::RwLock;
 use rand::Rng;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Key material for one attribute cluster.
 #[derive(Clone)]
@@ -104,53 +103,100 @@ impl KeyRing {
     pub fn insert(&self, key: ClusterKey) {
         self.publics
             .write()
+            .expect("keyring lock poisoned")
             .insert(key.id, key.paillier_public());
-        self.keys.write().insert(key.id, key);
+        self.keys
+            .write()
+            .expect("keyring lock poisoned")
+            .insert(key.id, key);
     }
 
     /// Grant only the public (aggregation) half of a key.
     pub fn insert_public(&self, id: u32, public: PaillierPublic) {
-        self.publics.write().insert(id, public);
+        self.publics
+            .write()
+            .expect("keyring lock poisoned")
+            .insert(id, public);
     }
 
     /// Fetch a full key by id.
     pub fn get(&self, id: u32) -> Option<ClusterKey> {
-        self.keys.read().get(&id).cloned()
+        self.keys
+            .read()
+            .expect("keyring lock poisoned")
+            .get(&id)
+            .cloned()
     }
 
     /// Fetch the public Paillier half of a key.
     pub fn get_public(&self, id: u32) -> Option<PaillierPublic> {
-        self.publics.read().get(&id).cloned()
+        self.publics
+            .read()
+            .expect("keyring lock poisoned")
+            .get(&id)
+            .cloned()
     }
 
     /// `true` if the ring holds the full key `id`.
     pub fn holds(&self, id: u32) -> bool {
-        self.keys.read().contains_key(&id)
+        self.keys
+            .read()
+            .expect("keyring lock poisoned")
+            .contains_key(&id)
     }
 
     /// Number of full keys held.
     pub fn len(&self) -> usize {
-        self.keys.read().len()
+        self.keys.read().expect("keyring lock poisoned").len()
     }
 
     /// `true` when the ring holds no full key.
     pub fn is_empty(&self) -> bool {
-        self.keys.read().is_empty()
+        self.keys.read().expect("keyring lock poisoned").is_empty()
+    }
+
+    /// Ids of the full keys held, sorted.
+    pub fn ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .keys
+            .read()
+            .expect("keyring lock poisoned")
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Drop the full key `id`, keeping its public (aggregation) half if
+    /// it was ever granted. Returns `true` if a key was removed.
+    pub fn revoke(&self, id: u32) -> bool {
+        self.keys
+            .write()
+            .expect("keyring lock poisoned")
+            .remove(&id)
+            .is_some()
     }
 }
 
 impl Clone for KeyRing {
     fn clone(&self) -> Self {
         KeyRing {
-            keys: RwLock::new(self.keys.read().clone()),
-            publics: RwLock::new(self.publics.read().clone()),
+            keys: RwLock::new(self.keys.read().expect("keyring lock poisoned").clone()),
+            publics: RwLock::new(self.publics.read().expect("keyring lock poisoned").clone()),
         }
     }
 }
 
 impl std::fmt::Debug for KeyRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let ids: Vec<u32> = self.keys.read().keys().copied().collect();
+        let ids: Vec<u32> = self
+            .keys
+            .read()
+            .expect("keyring lock poisoned")
+            .keys()
+            .copied()
+            .collect();
         write!(f, "KeyRing{ids:?}")
     }
 }

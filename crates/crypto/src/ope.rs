@@ -227,7 +227,10 @@ mod tests {
         }
         // Boundaries.
         for code in [0u64, 1, u64::MAX] {
-            assert_eq!(ope_decrypt_code(&key, ope_encrypt_code(&key, code)), Some(code));
+            assert_eq!(
+                ope_decrypt_code(&key, ope_encrypt_code(&key, code)),
+                Some(code)
+            );
         }
     }
 

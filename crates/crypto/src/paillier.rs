@@ -186,9 +186,7 @@ mod tests {
         let values: [i64; 4] = [100, -250, 75, -10];
         let mut acc = kp.public.neutral();
         for v in values {
-            let enc = kp
-                .public
-                .encrypt(&mut rng, &kp.public.encode_signed(v));
+            let enc = kp.public.encrypt(&mut rng, &kp.public.encode_signed(v));
             acc = kp.public.add(&acc, &enc);
         }
         let sum = kp.decode_sum(&acc, values.len() as u64);

@@ -70,9 +70,7 @@ pub fn encrypt_value<R: Rng + ?Sized>(
     }
     let bytes: Vec<u8> = match scheme {
         EncScheme::Deterministic => xtea::det_encrypt(&key.det_key(), &value.canonical_bytes()),
-        EncScheme::Random => {
-            xtea::rnd_encrypt(&key.rnd_key(), rng.gen(), &value.canonical_bytes())
-        }
+        EncScheme::Random => xtea::rnd_encrypt(&key.rnd_key(), rng.gen(), &value.canonical_bytes()),
         EncScheme::Ope => {
             let (ty, code) = match value {
                 Value::Int(i) => (ope::OpeType::Int, ope::int_to_code(*i)),
@@ -119,13 +117,13 @@ pub fn decrypt_value(value: &Value, key: &ClusterKey) -> Result<Value, EncryptEr
     }
     match enc.scheme {
         EncScheme::Deterministic => {
-            let pt = xtea::det_decrypt(&key.det_key(), &enc.bytes)
-                .ok_or(EncryptError::BadCiphertext)?;
+            let pt =
+                xtea::det_decrypt(&key.det_key(), &enc.bytes).ok_or(EncryptError::BadCiphertext)?;
             Value::from_canonical_bytes(&pt).ok_or(EncryptError::BadCiphertext)
         }
         EncScheme::Random => {
-            let pt = xtea::rnd_decrypt(&key.rnd_key(), &enc.bytes)
-                .ok_or(EncryptError::BadCiphertext)?;
+            let pt =
+                xtea::rnd_decrypt(&key.rnd_key(), &enc.bytes).ok_or(EncryptError::BadCiphertext)?;
             Value::from_canonical_bytes(&pt).ok_or(EncryptError::BadCiphertext)
         }
         EncScheme::Ope => {
@@ -134,9 +132,7 @@ pub fn decrypt_value(value: &Value, key: &ClusterKey) -> Result<Value, EncryptEr
             Ok(match ty {
                 ope::OpeType::Int => Value::Int(ope::code_to_int(code)),
                 ope::OpeType::Num => Value::Num(ope::code_to_num(code)),
-                ope::OpeType::Date => {
-                    Value::Date(mpq_algebra::Date(ope::code_to_int(code) as i32))
-                }
+                ope::OpeType::Date => Value::Date(mpq_algebra::Date(ope::code_to_int(code) as i32)),
             })
         }
         EncScheme::Paillier => {
@@ -215,10 +211,7 @@ pub fn paillier_add_cells(
     b: &EncValue,
     pk: &crate::paillier::PaillierPublic,
 ) -> Result<EncValue, EncryptError> {
-    if a.scheme != EncScheme::Paillier
-        || b.scheme != EncScheme::Paillier
-        || a.key_id != b.key_id
-    {
+    if a.scheme != EncScheme::Paillier || b.scheme != EncScheme::Paillier || a.key_id != b.key_id {
         return Err(EncryptError::BadCiphertext);
     }
     let (ta, _, ca, pa) = decode_paillier_cell(&a.bytes)?;
@@ -350,7 +343,11 @@ mod tests {
         let avg = decrypt_value(&Value::Enc(avg_cell), &k).unwrap();
         match avg {
             Value::Num(f) => {
-                assert!((f - expected / 3.0).abs() < 1e-9, "{f} vs {}", expected / 3.0)
+                assert!(
+                    (f - expected / 3.0).abs() < 1e-9,
+                    "{f} vs {}",
+                    expected / 3.0
+                )
             }
             other => panic!("expected Num, got {other:?}"),
         }

@@ -1,0 +1,155 @@
+//! Cell-level inspection of tables crossing subject boundaries.
+//!
+//! The static checks of `mpq_core` reason over *profiles*; this module
+//! is the belt-and-braces runtime counterpart operating on the actual
+//! rows: before a table is handed to a subject, every cell is checked
+//! against the recipient's overall view `[P_S, E_S]`:
+//!
+//! * an attribute in `P_S` may arrive in any form (plaintext authority
+//!   implies encrypted visibility);
+//! * an attribute in `E_S \ P_S` must arrive as ciphertext — a
+//!   plaintext cell is a [`SimError::LeakedPlaintext`];
+//! * an attribute in neither set must not arrive at all
+//!   ([`SimError::InvisibleAttribute`]).
+//!
+//! NULLs carry no value and pass in either form, matching the
+//! encryption layer (`mpq_crypto::schemes` passes NULL through).
+
+use crate::error::SimError;
+use mpq_algebra::Value;
+use mpq_core::authz::SubjectView;
+use mpq_exec::Table;
+
+/// Check that every cell of `table` is in a form `recipient` is
+/// authorized to see. Called on every table that crosses a
+/// subject-to-subject edge (including the final result handed to the
+/// querying user).
+pub fn audit_transfer(table: &Table, recipient: &SubjectView) -> Result<(), SimError> {
+    // Column-level visibility first: a column the recipient cannot see
+    // in any form is refused outright, rows notwithstanding.
+    for &attr in &table.cols {
+        if !recipient.plain.contains(attr) && !recipient.enc.contains(attr) {
+            return Err(SimError::InvisibleAttribute {
+                attr,
+                subject: recipient.subject,
+            });
+        }
+    }
+    // Cell-level form check for encrypted-only columns.
+    let enc_only: Vec<usize> = table
+        .cols
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !recipient.plain.contains(**a))
+        .map(|(i, _)| i)
+        .collect();
+    if enc_only.is_empty() {
+        return Ok(());
+    }
+    for row in &table.rows {
+        for &i in &enc_only {
+            match &row[i] {
+                Value::Enc(_) | Value::Null => {}
+                _plaintext => {
+                    return Err(SimError::LeakedPlaintext {
+                        attr: table.cols[i],
+                        subject: recipient.subject,
+                    })
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_algebra::value::{EncScheme, EncValue};
+    use mpq_algebra::{AttrId, SubjectId};
+    use mpq_core::authz::SubjectView;
+    use std::sync::Arc;
+
+    fn view(plain: &[u32], enc: &[u32]) -> SubjectView {
+        SubjectView {
+            subject: SubjectId(9),
+            plain: plain.iter().map(|&a| AttrId(a)).collect(),
+            enc: enc.iter().map(|&a| AttrId(a)).collect(),
+        }
+    }
+
+    fn cipher() -> Value {
+        Value::Enc(EncValue {
+            scheme: EncScheme::Deterministic,
+            key_id: 0,
+            bytes: Arc::from(vec![1, 2, 3]),
+        })
+    }
+
+    #[test]
+    fn plaintext_ok_for_plain_view() {
+        let t = Table {
+            cols: vec![AttrId(0)],
+            rows: vec![vec![Value::Int(1)]],
+        };
+        assert!(audit_transfer(&t, &view(&[0], &[])).is_ok());
+    }
+
+    #[test]
+    fn ciphertext_ok_for_enc_only_view() {
+        let t = Table {
+            cols: vec![AttrId(0)],
+            rows: vec![vec![cipher()]],
+        };
+        assert!(audit_transfer(&t, &view(&[], &[0])).is_ok());
+    }
+
+    #[test]
+    fn ciphertext_ok_for_plain_view_too() {
+        // Plaintext authority implies encrypted visibility.
+        let t = Table {
+            cols: vec![AttrId(0)],
+            rows: vec![vec![cipher()]],
+        };
+        assert!(audit_transfer(&t, &view(&[0], &[])).is_ok());
+    }
+
+    #[test]
+    fn plaintext_leak_to_enc_only_view_refused() {
+        let t = Table {
+            cols: vec![AttrId(0)],
+            rows: vec![vec![Value::Int(7)]],
+        };
+        assert_eq!(
+            audit_transfer(&t, &view(&[], &[0])),
+            Err(SimError::LeakedPlaintext {
+                attr: AttrId(0),
+                subject: SubjectId(9)
+            })
+        );
+    }
+
+    #[test]
+    fn invisible_column_refused_even_when_empty() {
+        let t = Table {
+            cols: vec![AttrId(3)],
+            rows: vec![],
+        };
+        assert_eq!(
+            audit_transfer(&t, &view(&[0, 1], &[2])),
+            Err(SimError::InvisibleAttribute {
+                attr: AttrId(3),
+                subject: SubjectId(9)
+            })
+        );
+    }
+
+    #[test]
+    fn nulls_pass_in_any_form() {
+        let t = Table {
+            cols: vec![AttrId(0)],
+            rows: vec![vec![Value::Null]],
+        };
+        assert!(audit_transfer(&t, &view(&[], &[0])).is_ok());
+    }
+}

@@ -1,0 +1,361 @@
+//! # mpq-dist
+//!
+//! The distributed-execution simulator: the runnable counterpart of the
+//! paper's §6 dispatch story — "each subject executes its assigned
+//! sub-query and forwards encrypted results".
+//!
+//! [`Simulator::new`] sets up one *party* per subject: an RSA keypair
+//! for request envelopes, an (initially empty) cluster-key ring, and a
+//! local store holding exactly the base relations the subject is the
+//! data authority of. [`Simulator::run`] then takes a minimally
+//! extended authorized plan (`mpq_core::extend`), its key establishment
+//! (`mpq_core::keys`, Def. 6.1), and the querying user, and:
+//!
+//! 1. **re-verifies the assignment at runtime** — every subject must be
+//!    authorized (Def. 4.1) for the profile of every relation it
+//!    touches, independently of what the static analysis promised
+//!    (Theorems 5.1–5.3 get a second, behavioral check here);
+//! 2. **provisions key rings** — fresh [`ClusterKey`] material per plan
+//!    key, handed to exactly the Def. 6.1 holders; every computing
+//!    subject additionally receives the *public* Paillier halves,
+//!    enabling homomorphic aggregation without decryption capability;
+//! 3. **dispatches signed requests** — the sub-queries of
+//!    `mpq_core::dispatch` travel as `[[q_S, keys]_priU]_pubS`
+//!    envelopes ([`SignedEnvelope`]), opened and verified by each
+//!    recipient;
+//! 4. **executes bottom-up** — each node runs via `mpq-exec` under the
+//!    key ring and base-relation store of *its assigned subject*, over
+//!    real XTEA/OPE/Paillier ciphertexts; every table crossing a
+//!    subject boundary is byte-accounted and [cell-audited](audit)
+//!    against the recipient's view;
+//! 5. returns a [`Report`] with the final (plaintext, for the user)
+//!    result and the bytes-on-the-wire per subject-pair edge.
+//!
+//! A subject receiving data its view does not permit — or attempting
+//! encryption/decryption with a key it does not hold — aborts the run
+//! with a [`SimError`].
+
+pub mod audit;
+pub mod error;
+
+pub use audit::audit_transfer;
+pub use error::SimError;
+
+use mpq_algebra::{AttrId, Catalog, NodeId, Operator, RelId, SubjectId};
+use mpq_core::authz::{Policy, SubjectView};
+use mpq_core::dispatch::dispatch;
+use mpq_core::extend::ExtendedPlan;
+use mpq_core::keys::KeyPlan;
+use mpq_core::subjects::Subjects;
+use mpq_crypto::keyring::{ClusterKey, KeyRing};
+use mpq_crypto::rsa::{RsaKeypair, RsaPublic, SignedEnvelope};
+use mpq_exec::{assign_schemes, execute_step, rewrite_literals, Database, ExecCtx, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Paillier modulus size for simulator-generated cluster keys. Small
+/// enough to keep runs fast, large enough for the fixed-point encodings
+/// the execution layer produces.
+const PAILLIER_BITS: usize = 256;
+
+/// RSA modulus size for request envelopes (demo-grade, like the rest of
+/// `mpq-crypto`).
+const RSA_BITS: usize = 512;
+
+/// The outcome of a distributed run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The final result, as delivered to the querying user.
+    pub result: Table,
+    /// Bytes on the wire per directed subject-pair edge: request
+    /// envelopes (user → executor) and result tables (producer →
+    /// consumer, plus root → user).
+    pub transfers: HashMap<(SubjectId, SubjectId), usize>,
+    /// Number of signed sub-query requests dispatched.
+    pub requests: usize,
+}
+
+impl Report {
+    /// Total bytes moved across all edges.
+    pub fn total_bytes(&self) -> usize {
+        self.transfers.values().sum()
+    }
+
+    /// Render the transfer map as sorted `from → to: bytes` lines.
+    pub fn render_transfers(&self, subjects: &Subjects) -> String {
+        let mut edges: Vec<_> = self.transfers.iter().collect();
+        edges.sort_by_key(|((f, t), _)| (f.index(), t.index()));
+        let mut out = String::new();
+        for ((from, to), bytes) in edges {
+            out.push_str(&format!(
+                "  {} → {}: {bytes} bytes\n",
+                subjects.name(*from),
+                subjects.name(*to)
+            ));
+        }
+        out
+    }
+}
+
+/// One simulated subject: envelope keypair, cluster-key ring, and the
+/// base relations it is the authority of.
+struct Party {
+    rsa: RsaKeypair,
+    ring: KeyRing,
+    store: Database,
+}
+
+/// The distributed-execution simulator. See the crate docs for the
+/// protocol it follows.
+pub struct Simulator<'a> {
+    catalog: &'a Catalog,
+    subjects: &'a Subjects,
+    policy: &'a Policy,
+    parties: Vec<Party>,
+    rng: StdRng,
+}
+
+impl<'a> Simulator<'a> {
+    /// Set up the parties: one per registered subject. Base relations
+    /// of `db` are distributed to their data authorities (a relation
+    /// without a declared authority is held by nobody — executing a
+    /// plan over it fails at that leaf).
+    pub fn new(
+        catalog: &'a Catalog,
+        subjects: &'a Subjects,
+        policy: &'a Policy,
+        db: &Database,
+        seed: u64,
+    ) -> Simulator<'a> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut parties: Vec<Party> = subjects
+            .iter()
+            .map(|_| Party {
+                rsa: RsaKeypair::generate(&mut rng, RSA_BITS),
+                ring: KeyRing::new(),
+                store: Database::new(),
+            })
+            .collect();
+        for rel in catalog.relations() {
+            if let (Some(owner), Some(table)) = (subjects.authority(rel.rel), db.table(rel.rel)) {
+                parties[owner.index()].store.insert(rel.rel, table.clone());
+            }
+        }
+        Simulator {
+            catalog,
+            subjects,
+            policy,
+            parties,
+            rng,
+        }
+    }
+
+    /// Run `ext` across the parties on behalf of `user`, with the
+    /// Def. 6.1 key establishment `keys`.
+    pub fn run(
+        &mut self,
+        ext: &ExtendedPlan,
+        keys: &KeyPlan,
+        user: SubjectId,
+    ) -> Result<Report, SimError> {
+        let views: Vec<SubjectView> = self.policy.all_views(self.catalog, self.subjects);
+        let order = ext.plan.postorder();
+        let assignee_of = |id: NodeId| -> Result<SubjectId, SimError> {
+            ext.assignment
+                .get(&id)
+                .copied()
+                .ok_or(SimError::Unassigned(id))
+        };
+
+        // ---- 1. runtime authorization check (Def. 4.1 per node) -----
+        for &id in &order {
+            let node = ext.plan.node(id);
+            let subject = assignee_of(id)?;
+            if let Operator::Base { rel, .. } = &node.op {
+                // Base relations never leave their authority: the
+                // leaf's executor must be the storing authority, which
+                // sees its own relation by construction.
+                let authority = self
+                    .subjects
+                    .authority(*rel)
+                    .ok_or(SimError::NoAuthority(*rel))?;
+                if subject != authority {
+                    return Err(SimError::NotTheAuthority {
+                        node: id,
+                        subject,
+                        authority,
+                    });
+                }
+                continue;
+            }
+            let view = &views[subject.index()];
+            for &child in &node.children {
+                if let Err(violation) = view.check(&ext.profiles[child.index()]) {
+                    return Err(SimError::Unauthorized {
+                        node: id,
+                        subject,
+                        violation,
+                    });
+                }
+            }
+            if let Err(violation) = view.check(&ext.profiles[id.index()]) {
+                return Err(SimError::Unauthorized {
+                    node: id,
+                    subject,
+                    violation,
+                });
+            }
+        }
+
+        // ---- 2. key provisioning (Def. 6.1) --------------------------
+        let mut key_of_attr: HashMap<AttrId, u32> = HashMap::new();
+        let mut computing: Vec<bool> = vec![false; self.parties.len()];
+        for &id in &order {
+            computing[assignee_of(id)?.index()] = true;
+        }
+        computing[user.index()] = true;
+        for plan_key in &keys.keys {
+            let material = ClusterKey::generate(&mut self.rng, plan_key.id, PAILLIER_BITS);
+            for a in plan_key.attrs.iter() {
+                key_of_attr.insert(a, plan_key.id);
+            }
+            for &holder in &plan_key.holders {
+                self.parties[holder.index()].ring.insert(material.clone());
+            }
+            // Public Paillier halves for every computing non-holder:
+            // enough to aggregate, never to decrypt.
+            for (i, party) in self.parties.iter_mut().enumerate() {
+                if computing[i] && !plan_key.holders.contains(&SubjectId::from_index(i)) {
+                    party
+                        .ring
+                        .insert_public(plan_key.id, material.paillier_public());
+                }
+            }
+        }
+
+        // ---- 3. dispatch: signed, encrypted sub-query requests -------
+        let schemes = assign_schemes(&ext.plan).map_err(|e| SimError::Scheme(e.to_string()))?;
+        // Predicates over encrypted attributes need encrypted literals.
+        // Conceptually the key-holding authorities rewrite their
+        // conditions while preparing the sub-queries (§6); this ring
+        // stands in for them at dispatch time.
+        let dispatcher_ring = KeyRing::new();
+        for plan_key in &keys.keys {
+            if let Some(holder) = plan_key.holders.first() {
+                if let Some(k) = self.parties[holder.index()].ring.get(plan_key.id) {
+                    dispatcher_ring.insert(k);
+                }
+            }
+        }
+        let exec_plan = rewrite_literals(
+            &ext.plan,
+            &schemes,
+            &key_of_attr,
+            &dispatcher_ring,
+            &mut self.rng,
+        )
+        .map_err(SimError::Rewrite)?;
+
+        let mut transfers: HashMap<(SubjectId, SubjectId), usize> = HashMap::new();
+        let d = dispatch(ext, keys, self.catalog, self.subjects);
+        let user_public = self.parties[user.index()].rsa.public.clone();
+        for req in &d.requests {
+            let mut payload = req.sql.clone().into_bytes();
+            for key_id in &req.keys {
+                payload.extend_from_slice(format!("\nkey:{key_id}").as_bytes());
+            }
+            let envelope = SignedEnvelope::seal(
+                &mut self.rng,
+                &payload,
+                &self.parties[user.index()].rsa,
+                &self.parties[req.subject.index()].rsa.public,
+            );
+            let opened = envelope
+                .open(&self.parties[req.subject.index()].rsa, &user_public)
+                .ok_or(SimError::Envelope { to: req.subject })?;
+            if opened != payload {
+                return Err(SimError::Envelope { to: req.subject });
+            }
+            if req.subject != user {
+                *transfers.entry((user, req.subject)).or_default() +=
+                    envelope.wrapped_key.len() + envelope.body.len() + envelope.signature.len();
+            }
+        }
+
+        // ---- 4. bottom-up execution, one subject at a time ----------
+        let mut results: HashMap<NodeId, Table> = HashMap::new();
+        for &id in &order {
+            let executor = assignee_of(id)?;
+            let node = exec_plan.node(id);
+            // Tables produced by another subject cross the wire here:
+            // account the bytes and audit every cell against the
+            // receiving subject's view.
+            for &child in &node.children {
+                let producer = assignee_of(child)?;
+                if producer != executor {
+                    let table = results.get(&child).expect("child executed before parent");
+                    audit_transfer(table, &views[executor.index()])?;
+                    *transfers.entry((producer, executor)).or_default() += table.byte_size();
+                }
+            }
+            let party = &self.parties[executor.index()];
+            let ctx = ExecCtx::new(
+                self.catalog,
+                &party.store,
+                &party.ring,
+                &schemes,
+                &key_of_attr,
+            );
+            let table = execute_step(&exec_plan, id, &mut results, &ctx)?;
+            results.insert(id, table);
+        }
+
+        // ---- 5. deliver the result to the user ----------------------
+        let root = exec_plan.root();
+        let root_subject = assignee_of(root)?;
+        let result = results.remove(&root).expect("root executed");
+        audit_transfer(&result, &views[user.index()])?;
+        if root_subject != user {
+            *transfers.entry((root_subject, user)).or_default() += result.byte_size();
+        }
+
+        Ok(Report {
+            result,
+            transfers,
+            requests: d.requests.len(),
+        })
+    }
+
+    /// The RSA public key of a subject (for tests probing the envelope
+    /// layer).
+    pub fn public_key_of(&self, s: SubjectId) -> RsaPublic {
+        self.parties[s.index()].rsa.public.clone()
+    }
+
+    /// `true` if `s` currently holds the full cluster key `id`
+    /// (as provisioned by the last [`Simulator::run`]).
+    pub fn holds_key(&self, s: SubjectId, id: u32) -> bool {
+        self.parties[s.index()].ring.holds(id)
+    }
+
+    /// Revoke the full cluster key `id` from every party, keeping only
+    /// the public aggregation halves. Used by tests to prove that
+    /// decryption without the key fails behaviorally.
+    pub fn revoke_key(&mut self, id: u32) {
+        for party in &mut self.parties {
+            party.ring.revoke(id);
+        }
+    }
+
+    /// Which base relations a subject stores (the authority
+    /// partitioning computed by [`Simulator::new`]).
+    pub fn stored_relations(&self, s: SubjectId) -> Vec<RelId> {
+        self.catalog
+            .relations()
+            .iter()
+            .map(|r| r.rel)
+            .filter(|&r| self.parties[s.index()].store.table(r).is_some())
+            .collect()
+    }
+}

@@ -63,7 +63,10 @@ impl std::fmt::Display for ExecError {
             ExecError::MissingTable(r) => write!(f, "no data loaded for relation {r}"),
             ExecError::Eval(e) => write!(f, "evaluation error: {e}"),
             ExecError::MissingKey { attr, key_id } => {
-                write!(f, "executor does not hold key {key_id} for attribute {attr}")
+                write!(
+                    f,
+                    "executor does not hold key {key_id} for attribute {attr}"
+                )
             }
             ExecError::NoKeyForAttr(a) => write!(f, "no plan key covers attribute {a}"),
             ExecError::Crypto(m) => write!(f, "crypto error: {m}"),
@@ -105,7 +108,7 @@ impl<'a> ExecCtx<'a> {
             keys,
             schemes,
             key_of_attr,
-            rng: RefCell::new(StdRng::seed_from_u64(0x6d70_71)),
+            rng: RefCell::new(StdRng::seed_from_u64(0x006d_7071)),
         }
     }
 }
@@ -120,10 +123,24 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<Table, ExecError> 
     Ok(results.remove(&plan.root()).expect("root executed"))
 }
 
-fn take_child(
-    results: &mut HashMap<NodeId, Table>,
+/// Execute a single node against already-materialized child results.
+///
+/// This is the stepping API used by the distributed simulator
+/// (`mpq-dist`), which runs every node under the [`ExecCtx`] — key
+/// ring, base-relation store — of the *subject assigned to it* rather
+/// than one global context. Children of `id` are consumed from
+/// `results`; the caller inserts the returned table under `id` before
+/// stepping any parent.
+pub fn execute_step(
+    plan: &QueryPlan,
     id: NodeId,
-) -> Table {
+    results: &mut HashMap<NodeId, Table>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Table, ExecError> {
+    execute_node(plan, id, results, ctx)
+}
+
+fn take_child(results: &mut HashMap<NodeId, Table>, id: NodeId) -> Table {
     results.remove(&id).expect("child executed before parent")
 }
 
@@ -193,7 +210,9 @@ fn execute_node(
         }
         Operator::Having { pred } => {
             let mut child = take_child(results, node.children[0]);
-            let agg_base = match &plan.node(node.children[0]).op {
+            // Extended plans may splice Decrypt/Encrypt between the
+            // HAVING and its GROUP BY; both preserve the row layout.
+            let agg_base = match &plan.node(plan.through_crypto(node.children[0])).op {
                 Operator::GroupBy { keys, .. } => keys.len(),
                 _ => {
                     return Err(ExecError::Unsupported(
@@ -247,9 +266,9 @@ fn execute_node(
             ..
         } => {
             let child = take_child(results, node.children[0]);
-            let body = body.as_ref().ok_or_else(|| {
-                ExecError::Unsupported("opaque udf cannot be executed".into())
-            })?;
+            let body = body
+                .as_ref()
+                .ok_or_else(|| ExecError::Unsupported("opaque udf cannot be executed".into()))?;
             udf(inputs, *output, body, child)
         }
         Operator::Encrypt { attrs } => {
@@ -364,12 +383,7 @@ fn join(
     if kind.keeps_right() {
         out_cols.extend(right.cols.iter().copied());
     }
-    let combined_cols: Vec<AttrId> = left
-        .cols
-        .iter()
-        .chain(right.cols.iter())
-        .copied()
-        .collect();
+    let combined_cols: Vec<AttrId> = left.cols.iter().chain(right.cols.iter()).copied().collect();
     let mut out_rows: Vec<Vec<Value>> = Vec::new();
 
     // Hash-partition the right side on the equality keys (works for
@@ -419,8 +433,7 @@ fn join(
                 if let Some(resid) = residual {
                     let mut combined = lrow.clone();
                     combined.extend(rrow.iter().cloned());
-                    ok = eval_pred(resid, &RowCtx::plain(&combined_cols, &combined))?
-                        == Some(true);
+                    ok = eval_pred(resid, &RowCtx::plain(&combined_cols, &combined))? == Some(true);
                 }
             }
             if !ok {
@@ -472,7 +485,10 @@ enum AggAcc {
         count: u64,
     },
     /// Homomorphic Paillier accumulator.
-    SumEnc { acc: Option<EncValue>, count: u64 },
+    SumEnc {
+        acc: Option<EncValue>,
+        count: u64,
+    },
     MinMax {
         best: Option<Value>,
         is_min: bool,
@@ -709,12 +725,7 @@ fn group_by(
 // Udf / sort
 // ---------------------------------------------------------------------------
 
-fn udf(
-    inputs: &[AttrId],
-    output: AttrId,
-    body: &Expr,
-    child: Table,
-) -> Result<Table, ExecError> {
+fn udf(inputs: &[AttrId], output: AttrId, body: &Expr, child: Table) -> Result<Table, ExecError> {
     let out_idx = child
         .col_index(output)
         .ok_or_else(|| ExecError::Unsupported(format!("udf output {output} missing")))?;
@@ -754,11 +765,13 @@ fn sort(
     keys: &[(Expr, bool)],
     child: Table,
 ) -> Result<Table, ExecError> {
-    let agg_base = match &plan.node(plan.node(id).children[0]).op {
+    let below = plan.through_crypto(plan.node(id).children[0]);
+    let agg_base = match &plan.node(below).op {
         Operator::GroupBy { keys, .. } => Some(keys.len()),
         Operator::Having { .. } => {
-            // Having preserves the group-by layout.
-            let gchild = plan.node(plan.node(id).children[0]).children[0];
+            // Having (and any spliced crypto ops) preserve the
+            // group-by layout.
+            let gchild = plan.through_crypto(plan.node(below).children[0]);
             match &plan.node(gchild).op {
                 Operator::GroupBy { keys, .. } => Some(keys.len()),
                 _ => None,
@@ -814,10 +827,30 @@ mod tests {
     fn hosp_rows() -> Vec<Vec<Value>> {
         let d = |s: &str| Value::Date(Date::parse(s).unwrap());
         vec![
-            vec![Value::str("s1"), d("1970-01-01"), Value::str("stroke"), Value::str("t1")],
-            vec![Value::str("s2"), d("1980-02-02"), Value::str("stroke"), Value::str("t1")],
-            vec![Value::str("s3"), d("1990-03-03"), Value::str("flu"), Value::str("t2")],
-            vec![Value::str("s4"), d("1960-04-04"), Value::str("stroke"), Value::str("t2")],
+            vec![
+                Value::str("s1"),
+                d("1970-01-01"),
+                Value::str("stroke"),
+                Value::str("t1"),
+            ],
+            vec![
+                Value::str("s2"),
+                d("1980-02-02"),
+                Value::str("stroke"),
+                Value::str("t1"),
+            ],
+            vec![
+                Value::str("s3"),
+                d("1990-03-03"),
+                Value::str("flu"),
+                Value::str("t2"),
+            ],
+            vec![
+                Value::str("s4"),
+                d("1960-04-04"),
+                Value::str("stroke"),
+                Value::str("t2"),
+            ],
         ]
     }
 
@@ -972,11 +1005,7 @@ mod tests {
     #[test]
     fn null_join_keys_never_match() {
         let (cat, mut db) = setup();
-        db.load(
-            &cat,
-            "Ins",
-            vec![vec![Value::Null, Value::Num(1.0)]],
-        );
+        db.load(&cat, "Ins", vec![vec![Value::Null, Value::Num(1.0)]]);
         let mut hosp_with_null = hosp_rows();
         hosp_with_null[0][0] = Value::Null;
         db.load(&cat, "Hosp", hosp_with_null);

@@ -143,9 +143,7 @@ pub fn eval(e: &Expr, ctx: &RowCtx<'_>) -> Result<Value, EvalError> {
                     let m = like_match(&s, pattern);
                     Ok(Value::Bool(m != *negated))
                 }
-                Value::Enc(_) => Err(EvalError::EncryptedOperation(
-                    "LIKE over ciphertext".into(),
-                )),
+                Value::Enc(_) => Err(EvalError::EncryptedOperation("LIKE over ciphertext".into())),
                 other => Err(EvalError::TypeError(format!("LIKE over {other:?}"))),
             }
         }
@@ -430,10 +428,18 @@ mod tests {
         let e = Expr::arith(Expr::Col(AttrId(0)), ArithOp::Mul, Expr::Col(AttrId(2)));
         assert!(eval(&e, &ctx).unwrap().sql_eq(&Value::Num(25.0)));
         // Int/Int stays Int for +,-,*.
-        let ii = Expr::arith(Expr::Lit(Value::Int(7)), ArithOp::Add, Expr::Lit(Value::Int(3)));
+        let ii = Expr::arith(
+            Expr::Lit(Value::Int(7)),
+            ArithOp::Add,
+            Expr::Lit(Value::Int(3)),
+        );
         assert!(matches!(eval(&ii, &ctx).unwrap(), Value::Int(10)));
         // Division by zero → NULL.
-        let div0 = Expr::arith(Expr::Lit(Value::Int(1)), ArithOp::Div, Expr::Lit(Value::Int(0)));
+        let div0 = Expr::arith(
+            Expr::Lit(Value::Int(1)),
+            ArithOp::Div,
+            Expr::Lit(Value::Int(0)),
+        );
         assert!(eval(&div0, &ctx).unwrap().is_null());
         // Date + days.
         let d = Expr::arith(

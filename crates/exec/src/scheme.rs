@@ -46,10 +46,7 @@ pub struct SchemePlan {
 impl SchemePlan {
     /// Scheme for an attribute (randomized when never operated on).
     pub fn scheme_of(&self, a: AttrId) -> EncScheme {
-        self.by_attr
-            .get(&a)
-            .copied()
-            .unwrap_or(EncScheme::Random)
+        self.by_attr.get(&a).copied().unwrap_or(EncScheme::Random)
     }
 
     /// Override the scheme of an attribute.
@@ -76,7 +73,10 @@ impl std::fmt::Display for SchemeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SchemeError::Conflicting(a) => {
-                write!(f, "attribute {a} needs addition and comparison on ciphertexts")
+                write!(
+                    f,
+                    "attribute {a} needs addition and comparison on ciphertexts"
+                )
             }
         }
     }
@@ -95,15 +95,14 @@ pub fn assign_schemes(plan: &QueryPlan) -> Result<SchemePlan, SchemeError> {
 
     for id in plan.postorder() {
         let node = plan.node(id);
-        let enc_at = |child_idx: usize| -> AttrSet {
-            profiles[node.children[child_idx].index()].ve.clone()
-        };
+        let enc_at =
+            |child_idx: usize| -> AttrSet { profiles[node.children[child_idx].index()].ve.clone() };
         match &node.op {
             Operator::Select { pred } => {
                 expr_caps(pred, &enc_at(0), &mut touch);
             }
             Operator::Having { pred } => {
-                let resolved = match &plan.node(node.children[0]).op {
+                let resolved = match &plan.node(plan.through_crypto(node.children[0])).op {
                     Operator::GroupBy { aggs, .. } => resolve_agg_refs(pred, aggs),
                     _ => pred.clone(),
                 };
@@ -187,6 +186,7 @@ pub fn assign_schemes(plan: &QueryPlan) -> Result<SchemePlan, SchemeError> {
     Ok(out)
 }
 
+#[allow(clippy::type_complexity)]
 fn expr_caps(e: &Expr, enc: &AttrSet, touch: &mut dyn FnMut(AttrId, &dyn Fn(&mut Caps))) {
     match e {
         Expr::Cmp(a, op, b) => {
@@ -245,8 +245,7 @@ pub fn rewrite_literals<R: Rng + ?Sized>(
     let mut out = plan.clone();
     for id in plan.postorder() {
         let node = plan.node(id);
-        let child_profile =
-            |i: usize| -> &Profile { &profiles[node.children[i].index()] };
+        let child_profile = |i: usize| -> &Profile { &profiles[node.children[i].index()] };
         match &node.op {
             Operator::Select { pred } => {
                 let enc = child_profile(0).ve.clone();
@@ -257,24 +256,25 @@ pub fn rewrite_literals<R: Rng + ?Sized>(
                 let enc = child_profile(0).ve.clone();
                 // AggRefs resolve to output attributes for deciding
                 // encryption of compared constants.
-                let aggs = match &plan.node(node.children[0]).op {
+                let aggs = match &plan.node(plan.through_crypto(node.children[0])).op {
                     Operator::GroupBy { aggs, .. } => aggs.clone(),
                     _ => vec![],
                 };
-                let new =
-                    rewrite_having(pred, &aggs, &enc, schemes, key_of_attr, keys, rng)?;
+                let new = rewrite_having(pred, &aggs, &enc, schemes, key_of_attr, keys, rng)?;
                 out.node_mut(id).op = Operator::Having { pred: new };
             }
-            Operator::Join { kind, on, residual } => {
-                if let Some(resid) = residual {
-                    let enc = child_profile(0).ve.union(&child_profile(1).ve);
-                    let new = rewrite_expr(resid, &enc, schemes, key_of_attr, keys, rng)?;
-                    out.node_mut(id).op = Operator::Join {
-                        kind: *kind,
-                        on: on.clone(),
-                        residual: Some(new),
-                    };
-                }
+            Operator::Join {
+                kind,
+                on,
+                residual: Some(resid),
+            } => {
+                let enc = child_profile(0).ve.union(&child_profile(1).ve);
+                let new = rewrite_expr(resid, &enc, schemes, key_of_attr, keys, rng)?;
+                out.node_mut(id).op = Operator::Join {
+                    kind: *kind,
+                    on: on.clone(),
+                    residual: Some(new),
+                };
             }
             _ => {}
         }
@@ -346,7 +346,13 @@ fn rewrite_having<R: Rng + ?Sized>(
                 .collect::<Result<_, _>>()?,
         )),
         Expr::Not(x) => Ok(Expr::Not(Box::new(rewrite_having(
-            x, aggs, enc, schemes, key_of_attr, keys, rng,
+            x,
+            aggs,
+            enc,
+            schemes,
+            key_of_attr,
+            keys,
+            rng,
         )?))),
         other => rewrite_expr(other, enc, schemes, key_of_attr, keys, rng),
     }
@@ -384,9 +390,7 @@ fn rewrite_expr<R: Rng + ?Sized>(
         } => {
             if let Expr::Col(attr) = expr.as_ref() {
                 if enc.contains(*attr) {
-                    let enc_bound = |bound: &Expr,
-                                     rng: &mut R|
-                     -> Result<Expr, String> {
+                    let enc_bound = |bound: &Expr, rng: &mut R| -> Result<Expr, String> {
                         match bound {
                             Expr::Lit(v) if !v.is_null() && !matches!(v, Value::Enc(_)) => Ok(
                                 Expr::Lit(encrypt_lit(v, *attr, schemes, key_of_attr, keys, rng)?),
@@ -441,7 +445,12 @@ fn rewrite_expr<R: Rng + ?Sized>(
                 .collect::<Result<_, _>>()?,
         ),
         Expr::Not(x) => Expr::Not(Box::new(rewrite_expr(
-            x, enc, schemes, key_of_attr, keys, rng,
+            x,
+            enc,
+            schemes,
+            key_of_attr,
+            keys,
+            rng,
         )?)),
         other => other.clone(),
     })
@@ -489,14 +498,8 @@ mod tests {
         let ex = RunningExample::new();
         let plan = fig7a_plan(&ex);
         let schemes = assign_schemes(&plan).unwrap();
-        assert_eq!(
-            schemes.scheme_of(ex.attr("S")),
-            EncScheme::Deterministic
-        );
-        assert_eq!(
-            schemes.scheme_of(ex.attr("C")),
-            EncScheme::Deterministic
-        );
+        assert_eq!(schemes.scheme_of(ex.attr("S")), EncScheme::Deterministic);
+        assert_eq!(schemes.scheme_of(ex.attr("C")), EncScheme::Deterministic);
         assert_eq!(schemes.scheme_of(ex.attr("P")), EncScheme::Paillier);
         // B is never encrypted: default (randomized).
         assert_eq!(schemes.scheme_of(ex.attr("B")), EncScheme::Random);
@@ -595,8 +598,7 @@ mod tests {
         ring.insert(ClusterKey::generate(&mut rng, 0, 256));
         let mut key_of_attr = HashMap::new();
         key_of_attr.insert(d, 0u32);
-        let rewritten =
-            rewrite_literals(&plan, &schemes, &key_of_attr, &ring, &mut rng).unwrap();
+        let rewritten = rewrite_literals(&plan, &schemes, &key_of_attr, &ring, &mut rng).unwrap();
         let sel = rewritten
             .postorder()
             .into_iter()

@@ -71,20 +71,13 @@ pub fn output_bytes(
 }
 
 /// CPU work of one operator in tuple operations (before crypto).
-fn tuple_work(
-    plan: &QueryPlan,
-    id: NodeId,
-    est: &[Estimate],
-    book: &PriceBook,
-) -> f64 {
+fn tuple_work(plan: &QueryPlan, id: NodeId, est: &[Estimate], book: &PriceBook) -> f64 {
     let node = plan.node(id);
     let rows_in = |i: usize| est[node.children[i].index()].rows;
     let rows_out = est[id.index()].rows;
     match &node.op {
         Operator::Base { .. } => rows_out,
-        Operator::Project { .. } | Operator::Select { .. } | Operator::Having { .. } => {
-            rows_in(0)
-        }
+        Operator::Project { .. } | Operator::Select { .. } | Operator::Having { .. } => rows_in(0),
         Operator::Product => rows_in(0) * rows_in(1),
         Operator::Join { .. } => rows_in(0) + rows_in(1) + rows_out,
         Operator::GroupBy { .. } => rows_in(0) + rows_out,
@@ -167,8 +160,7 @@ fn crypto_secs(
             aggs.iter()
                 .map(|ag| match &ag.input {
                     Expr::Col(a)
-                        if enc.contains(*a)
-                            && schemes.scheme_of(*a) == EncScheme::Paillier =>
+                        if enc.contains(*a) && schemes.scheme_of(*a) == EncScheme::Paillier =>
                     {
                         rows * PAILLIER_ADD_SECS
                     }
@@ -211,7 +203,14 @@ pub fn cost_extended_plan(
         out.time_secs += secs;
 
         // I/O: bytes read + written locally.
-        let bytes_out = output_bytes(catalog, stats, &est[id.index()], &profiles[id.index()], schemes, book);
+        let bytes_out = output_bytes(
+            catalog,
+            stats,
+            &est[id.index()],
+            &profiles[id.index()],
+            schemes,
+            book,
+        );
         let bytes_in: f64 = node
             .children
             .iter()

@@ -121,7 +121,12 @@ pub fn optimize(
             if let Ok(a) = dp_assignment(plan, catalog, stats, env, &cands, None) {
                 if let Ok(opt) = finish(plan, catalog, stats, env, &cands, a) {
                     if std::env::var("MPQ_DEBUG_DP").is_ok() {
-                        eprintln!("[dp-full] exact {:?} total {:.6} assignment {:?}", opt.cost, opt.cost.total(), opt.assignment);
+                        eprintln!(
+                            "[dp-full] exact {:?} total {:.6} assignment {:?}",
+                            opt.cost,
+                            opt.cost.total(),
+                            opt.assignment
+                        );
                     }
                     consider(opt, &mut best);
                 }
@@ -137,8 +142,7 @@ pub fn optimize(
                         set.iter()
                             .copied()
                             .filter(|&s| {
-                                env.subjects.kind(s)
-                                    != mpq_core::subjects::SubjectKind::Provider
+                                env.subjects.kind(s) != mpq_core::subjects::SubjectKind::Provider
                             })
                             .collect()
                     })
@@ -190,9 +194,7 @@ pub fn optimize(
                 }
                 true
             });
-            best.ok_or_else(|| {
-                err.unwrap_or(OptError::NoCandidates(plan.root()))
-            })
+            best.ok_or_else(|| err.unwrap_or(OptError::NoCandidates(plan.root())))
         }
         Strategy::MaximizeVisibility => {
             // Candidates over the *plain* profiles (Def. 4.2 without
@@ -209,8 +211,7 @@ pub fn optimize(
                 ap: cands.ap.clone(),
                 views: cands.views.clone(),
             };
-            let assignment =
-                dp_assignment(plan, catalog, stats, env, &restricted, None)?;
+            let assignment = dp_assignment(plan, catalog, stats, env, &restricted, None)?;
             finish(plan, catalog, stats, env, &cands, assignment)
         }
         Strategy::MinimizeVisibility => {
@@ -221,11 +222,7 @@ pub fn optimize(
 }
 
 /// Assignees authorized on the plain (never-encrypted) profiles.
-fn plain_assignees(
-    plan: &QueryPlan,
-    catalog: &Catalog,
-    env: &ScenarioEnv,
-) -> Vec<Vec<SubjectId>> {
+fn plain_assignees(plan: &QueryPlan, catalog: &Catalog, env: &ScenarioEnv) -> Vec<Vec<SubjectId>> {
     let profiles = profile_plan(plan);
     let views: Vec<SubjectView> = env
         .subjects
@@ -431,8 +428,7 @@ fn dp_assignment(
                 .ok_or(OptError::NoCandidates(id))?;
             let prices = book.of(authority);
             let scan_secs = est[id.index()].rows * book.tuple_op_secs;
-            let cost = scan_secs * prices.cpu_per_sec
-                + bytes[id.index()] / 1e9 * prices.io_per_gb;
+            let cost = scan_secs * prices.cpu_per_sec + bytes[id.index()] / 1e9 * prices.io_per_gb;
             table[id.index()].insert(authority, (cost, vec![]));
             continue;
         }
@@ -447,18 +443,10 @@ fn dp_assignment(
             let prices = book.of(s);
             // Operator CPU at s (rough: rows in+out).
             let rows_out = est[id.index()].rows;
-            let rows_in: f64 = node
-                .children
-                .iter()
-                .map(|c| est[c.index()].rows)
-                .sum();
+            let rows_in: f64 = node.children.iter().map(|c| est[c.index()].rows).sum();
             let work = match &node.op {
                 Operator::Udf { .. } => rows_in * book.udf_multiplier,
-                Operator::Product => node
-                    .children
-                    .iter()
-                    .map(|c| est[c.index()].rows)
-                    .product(),
+                Operator::Product => node.children.iter().map(|c| est[c.index()].rows).product(),
                 _ => rows_in + rows_out,
             };
             let mut cost = work * book.tuple_op_secs * prices.cpu_per_sec;
@@ -483,11 +471,9 @@ fn dp_assignment(
                         let mut xfer_bytes = bytes[c.index()];
                         for a in enc_attrs.iter() {
                             let scheme = scheme_of(a);
-                            edge +=
-                                rows * book.encrypt_secs(scheme) * sender.cpu_per_sec;
+                            edge += rows * book.encrypt_secs(scheme) * sender.cpu_per_sec;
                             let plain_w = stats.attr_width(catalog, a);
-                            xfer_bytes +=
-                                rows * (book.ciphertext_width(scheme, plain_w) - plain_w);
+                            xfer_bytes += rows * (book.ciphertext_width(scheme, plain_w) - plain_w);
                         }
                         edge += xfer_bytes / 1e9 * sender.net_per_gb;
                     }
@@ -531,7 +517,6 @@ fn dp_assignment(
             (s, total)
         })
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
-        .map(|(s, c)| (s, c))
         .ok_or(OptError::NoCandidates(root))?;
 
     // Backtrack.
@@ -597,10 +582,7 @@ fn finish_min_visibility(
                     .ok_or(OptError::NoCandidates(id))?,
             );
         } else {
-            full.insert(
-                id,
-                assignment.get(id).ok_or(OptError::NoCandidates(id))?,
-            );
+            full.insert(id, assignment.get(id).ok_or(OptError::NoCandidates(id))?);
         }
     }
     // Attributes needed in plaintext anywhere above a leaf must stay
@@ -680,8 +662,7 @@ fn cost_extension(
     assignment: Assignment,
     extended: ExtendedPlan,
 ) -> Result<Optimized, OptError> {
-    let schemes =
-        assign_schemes(&extended.plan).map_err(|e| OptError::Schemes(e.to_string()))?;
+    let schemes = assign_schemes(&extended.plan).map_err(|e| OptError::Schemes(e.to_string()))?;
     let keys = plan_keys(&extended);
     let est = estimate_plan(&extended.plan, catalog, stats);
     let cost = cost_extended_plan(
@@ -775,10 +756,7 @@ mod tests {
         let env = ScenarioEnv {
             subjects: ex.subjects.clone(),
             policy: ex.policy.clone(),
-            prices: crate::pricing::PriceBook::paper_defaults(
-                &ex.subjects,
-                &[1.0, 1.3, 1.7],
-            ),
+            prices: crate::pricing::PriceBook::paper_defaults(&ex.subjects, &[1.0, 1.3, 1.7]),
             user: ex.subject("U"),
         };
         let stats = mpq_algebra::stats::StatsCatalog::with_defaults(&ex.catalog, 10_000.0);

@@ -69,10 +69,7 @@ impl PriceBook {
         for s in subjects.iter() {
             let p = match subjects.kind(s) {
                 SubjectKind::Provider => {
-                    let f = provider_factors
-                        .get(provider_idx)
-                        .copied()
-                        .unwrap_or(1.0);
+                    let f = provider_factors.get(provider_idx).copied().unwrap_or(1.0);
                     provider_idx += 1;
                     SubjectPrices {
                         cpu_per_sec: PROVIDER_CPU_PER_SEC * f,

@@ -19,10 +19,10 @@
 //! (part, supplier, partsupp, nation, region).
 
 use crate::pricing::PriceBook;
+use mpq_algebra::SubjectId;
 use mpq_algebra::{AttrSet, Catalog};
 use mpq_core::authz::{Authorization, Policy};
 use mpq_core::subjects::{SubjectKind, Subjects};
-use mpq_algebra::SubjectId;
 
 /// The three §7 scenarios.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -211,7 +211,11 @@ mod tests {
         let env = build_scenario(&cat, Scenario::UA);
         let a1 = env.subjects.id("A1").unwrap();
         let a2 = env.subjects.id("A2").unwrap();
-        let auth = |t: &str| env.subjects.authority(cat.relation(t).unwrap().rel).unwrap();
+        let auth = |t: &str| {
+            env.subjects
+                .authority(cat.relation(t).unwrap().rel)
+                .unwrap()
+        };
         assert_eq!(auth("lineitem"), a1);
         assert_eq!(auth("orders"), a1);
         assert_eq!(auth("lineitem2"), a1, "aliases follow their base");

@@ -50,7 +50,13 @@ pub const NATIONS: [(&str, i64); 25] = [
     ("UNITED STATES", 1),
 ];
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const INSTRUCTIONS: [&str; 4] = [
@@ -65,7 +71,15 @@ const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINER_SYLL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 const CONTAINER_SYLL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const COLORS: [&str; 10] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "green",
     "blue",
 ];
 
@@ -390,7 +404,7 @@ mod tests {
         assert_eq!(table_len(&c, &db, "customer"), 300);
         assert_eq!(table_len(&c, &db, "orders"), 3000);
         let li = table_len(&c, &db, "lineitem");
-        assert!(li >= 3000 && li <= 21_000, "{li}");
+        assert!((3000..=21_000).contains(&li), "{li}");
     }
 
     #[test]
@@ -448,8 +462,9 @@ mod tests {
         let li = db.table(c.relation("lineitem").unwrap().rel).unwrap();
         assert!(li.rows.iter().any(|r| r[14].sql_eq(&Value::str("MAIL"))));
         let part = db.table(c.relation("part").unwrap().rel).unwrap();
-        assert!(part.rows.iter().any(|r| {
-            matches!(&r[4], Value::Str(s) if s.ends_with("BRASS"))
-        }));
+        assert!(part
+            .rows
+            .iter()
+            .any(|r| { matches!(&r[4], Value::Str(s) if s.ends_with("BRASS")) }));
     }
 }

@@ -362,7 +362,10 @@ fn q2(b: &mut QB) {
     let rn2 = b.join_on(region2, nation3, &[("r2_regionkey", "n3_regionkey")]);
     let supplier2 = b.base("supplier2", &["s2_suppkey", "s2_nationkey"]);
     let rns2 = b.join_on(rn2, supplier2, &[("n3_nationkey", "s2_nationkey")]);
-    let partsupp2 = b.base("partsupp2", &["ps2_partkey", "ps2_suppkey", "ps2_supplycost"]);
+    let partsupp2 = b.base(
+        "partsupp2",
+        &["ps2_partkey", "ps2_suppkey", "ps2_supplycost"],
+    );
     let rnsp2 = b.join_on(rns2, partsupp2, &[("s2_suppkey", "ps2_suppkey")]);
     let min_cost = b.group(rnsp2, &["ps2_partkey"], vec![b.min_col("ps2_supplycost")]);
 
@@ -379,7 +382,13 @@ fn q2(b: &mut QB) {
     let proj = b.project(
         joined,
         &[
-            "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone",
+            "s_acctbal",
+            "s_name",
+            "n_name",
+            "p_partkey",
+            "p_mfgr",
+            "s_address",
+            "s_phone",
             "s_comment",
         ],
     );
@@ -411,7 +420,10 @@ fn q3(b: &mut QB) {
         cmp(b.col("o_orderdate"), CmpOp::Lt, lit_date("1995-03-15")),
     );
     let co = b.join_on(customer, orders, &[("c_custkey", "o_custkey")]);
-    let li = b.base("lineitem", &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"]);
+    let li = b.base(
+        "lineitem",
+        &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"],
+    );
     let li = b.select(
         li,
         cmp(b.col("l_shipdate"), CmpOp::Gt, lit_date("1995-03-15")),
@@ -423,7 +435,10 @@ fn q3(b: &mut QB) {
         &["o_orderkey", "o_orderdate", "o_shippriority"],
         vec![b.sum_expr(rev, "l_extendedprice")],
     );
-    let sorted = b.sort(g, vec![(Expr::AggRef(0), false), (b.col("o_orderdate"), true)]);
+    let sorted = b.sort(
+        g,
+        vec![(Expr::AggRef(0), false), (b.col("o_orderdate"), true)],
+    );
     b.limit(sorted, 10);
 }
 
@@ -709,7 +724,12 @@ fn q10(b: &mut QB) {
     let co = b.join_on(customer, orders, &[("c_custkey", "o_custkey")]);
     let li = b.base(
         "lineitem",
-        &["l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"],
+        &[
+            "l_orderkey",
+            "l_returnflag",
+            "l_extendedprice",
+            "l_discount",
+        ],
     );
     let li = b.select(li, cmp(b.col("l_returnflag"), CmpOp::Eq, lit_str("R")));
     let col = b.join_on(co, li, &[("o_orderkey", "l_orderkey")]);
@@ -719,7 +739,13 @@ fn q10(b: &mut QB) {
     let g = b.group(
         all,
         &[
-            "c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment",
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "n_name",
+            "c_address",
+            "c_comment",
         ],
         vec![b.sum_expr(rev, "l_extendedprice")],
     );
@@ -754,7 +780,10 @@ fn q11(b: &mut QB) {
     let supplier2 = b.base("supplier2", &["s2_suppkey", "s2_nationkey"]);
     let ps2 = b.join_on(partsupp2, supplier2, &[("ps2_suppkey", "s2_suppkey")]);
     let nation2 = b.base("nation2", &["n2_nationkey", "n2_name"]);
-    let nation2 = b.select(nation2, cmp(b.col("n2_name"), CmpOp::Eq, lit_str("GERMANY")));
+    let nation2 = b.select(
+        nation2,
+        cmp(b.col("n2_name"), CmpOp::Eq, lit_str("GERMANY")),
+    );
     let ps2n = b.join_on(ps2, nation2, &[("s2_nationkey", "n2_nationkey")]);
     let value2 = Expr::arith(b.col("ps2_supplycost"), ArithOp::Mul, b.col("ps2_availqty"));
     let total = b.group(ps2n, &[], vec![b.sum_expr(value2, "ps2_supplycost")]);
@@ -791,10 +820,22 @@ fn q12(b: &mut QB) {
             b.col("l_shipmode"),
             vec![Value::str("MAIL"), Value::str("SHIP")],
         )
-        .and(cmp(b.col("l_commitdate"), CmpOp::Lt, b.col("l_receiptdate")))
+        .and(cmp(
+            b.col("l_commitdate"),
+            CmpOp::Lt,
+            b.col("l_receiptdate"),
+        ))
         .and(cmp(b.col("l_shipdate"), CmpOp::Lt, b.col("l_commitdate")))
-        .and(cmp(b.col("l_receiptdate"), CmpOp::Ge, lit_date("1994-01-01")))
-        .and(cmp(b.col("l_receiptdate"), CmpOp::Lt, lit_date("1995-01-01"))),
+        .and(cmp(
+            b.col("l_receiptdate"),
+            CmpOp::Ge,
+            lit_date("1994-01-01"),
+        ))
+        .and(cmp(
+            b.col("l_receiptdate"),
+            CmpOp::Lt,
+            lit_date("1995-01-01"),
+        )),
     );
     let ol = b.join_on(orders, li, &[("o_orderkey", "l_orderkey")]);
     let high = Expr::Case {
@@ -847,7 +888,10 @@ fn q13(b: &mut QB) {
         &["o_orderkey"],
         vec![b.count_star("o_orderkey")],
     );
-    b.sort(dist, vec![(Expr::AggRef(0), false), (b.col("o_orderkey"), false)]);
+    b.sort(
+        dist,
+        vec![(Expr::AggRef(0), false), (b.col("o_orderkey"), false)],
+    );
 }
 
 /// Q14 — promotion effect.
@@ -902,7 +946,12 @@ fn q15(b: &mut QB) {
     // MAX branch over a second scan.
     let li2 = b.base(
         "lineitem2",
-        &["l2_suppkey", "l2_shipdate", "l2_extendedprice", "l2_discount"],
+        &[
+            "l2_suppkey",
+            "l2_shipdate",
+            "l2_extendedprice",
+            "l2_discount",
+        ],
     );
     let li2 = b.select(
         li2,
@@ -913,7 +962,11 @@ fn q15(b: &mut QB) {
         )),
     );
     let rev2 = b.revenue("l2_extendedprice", "l2_discount");
-    let view2 = b.group(li2, &["l2_suppkey"], vec![b.sum_expr(rev2, "l2_extendedprice")]);
+    let view2 = b.group(
+        li2,
+        &["l2_suppkey"],
+        vec![b.sum_expr(rev2, "l2_extendedprice")],
+    );
     let max_rev = b.group(view2, &[], vec![b.max_col("l2_extendedprice")]);
 
     let combined = b.product(view, max_rev);
@@ -929,7 +982,13 @@ fn q15(b: &mut QB) {
     let joined = b.join_on(supplier, filtered, &[("s_suppkey", "l_suppkey")]);
     let proj = b.project(
         joined,
-        &["s_suppkey", "s_name", "s_address", "s_phone", "l_extendedprice"],
+        &[
+            "s_suppkey",
+            "s_name",
+            "s_address",
+            "s_phone",
+            "l_extendedprice",
+        ],
     );
     b.sort(proj, vec![(b.col("s_suppkey"), true)]);
 }
@@ -1024,10 +1083,7 @@ fn q17(b: &mut QB) {
 fn q18(b: &mut QB) {
     let li2 = b.base("lineitem2", &["l2_orderkey", "l2_quantity"]);
     let big = b.group(li2, &["l2_orderkey"], vec![b.sum_col("l2_quantity")]);
-    let big = b.having(
-        big,
-        cmp(Expr::AggRef(0), CmpOp::Gt, lit_num(300.0)),
-    );
+    let big = b.having(big, cmp(Expr::AggRef(0), CmpOp::Gt, lit_num(300.0)));
     let customer = b.base("customer", &["c_custkey", "c_name"]);
     let orders = b.base(
         "orders",
@@ -1045,7 +1101,13 @@ fn q18(b: &mut QB) {
     let col = b.join_on(co, li, &[("o_orderkey", "l_orderkey")]);
     let g = b.group(
         col,
-        &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+        &[
+            "c_name",
+            "c_custkey",
+            "o_orderkey",
+            "o_orderdate",
+            "o_totalprice",
+        ],
         vec![b.sum_col("l_quantity")],
     );
     let sorted = b.sort(
@@ -1089,12 +1151,37 @@ fn q19(b: &mut QB) {
                 containers.iter().map(|c| Value::str(c)).collect(),
             ))
             .and(between(b.col("l_quantity"), lit_num(qlo), lit_num(qhi)))
-            .and(between(b.col("p_size"), lit_num(1.0), lit_num(size_hi as f64)))
+            .and(between(
+                b.col("p_size"),
+                lit_num(1.0),
+                lit_num(size_hi as f64),
+            ))
     };
     let residual = Expr::Or(vec![
-        combo(b, "Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5),
-        combo(b, "Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10),
-        combo(b, "Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15),
+        combo(
+            b,
+            "Brand#12",
+            ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+            1.0,
+            11.0,
+            5,
+        ),
+        combo(
+            b,
+            "Brand#23",
+            ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+            10.0,
+            20.0,
+            10,
+        ),
+        combo(
+            b,
+            "Brand#34",
+            ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20.0,
+            30.0,
+            15,
+        ),
     ]);
     let joined = b.join_full(
         li,
@@ -1153,7 +1240,10 @@ fn q20(b: &mut QB) {
         )),
     );
 
-    let supplier = b.base("supplier", &["s_suppkey", "s_name", "s_address", "s_nationkey"]);
+    let supplier = b.base(
+        "supplier",
+        &["s_suppkey", "s_name", "s_address", "s_nationkey"],
+    );
     let nation = b.base("nation", &["n_nationkey", "n_name"]);
     let nation = b.select(nation, cmp(b.col("n_name"), CmpOp::Eq, lit_str("CANADA")));
     let sn = b.join_on(supplier, nation, &[("s_nationkey", "n_nationkey")]);
@@ -1208,7 +1298,12 @@ fn q21(b: &mut QB) {
     // NOT EXISTS: no other supplier was late on the same order.
     let li3 = b.base(
         "lineitem3",
-        &["l3_orderkey", "l3_suppkey", "l3_receiptdate", "l3_commitdate"],
+        &[
+            "l3_orderkey",
+            "l3_suppkey",
+            "l3_receiptdate",
+            "l3_commitdate",
+        ],
     );
     let li3 = b.select(
         li3,
@@ -1320,10 +1415,7 @@ mod tests {
             let plan = query_plan(&cat, q);
             let profiles = profile_plan(&plan);
             let root = &profiles[plan.root().index()];
-            assert!(
-                !root.footprint().is_empty(),
-                "Q{q} root profile is empty"
-            );
+            assert!(!root.footprint().is_empty(), "Q{q} root profile is empty");
         }
     }
 
@@ -1351,12 +1443,7 @@ mod tests {
         let joins = plan
             .postorder()
             .into_iter()
-            .filter(|&id| {
-                matches!(
-                    plan.node(id).op,
-                    Operator::Join { .. } | Operator::Product
-                )
-            })
+            .filter(|&id| matches!(plan.node(id).op, Operator::Join { .. } | Operator::Product))
             .count();
         assert_eq!(joins, 0);
     }

@@ -155,8 +155,7 @@ fn try_catalog() -> Result<Catalog> {
                 (format!("{prefix}{stripped}"), *ty)
             })
             .collect();
-        let refs: Vec<(&str, DataType)> =
-            cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let refs: Vec<(&str, DataType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         c.add_relation(alias, &refs)?;
     }
     Ok(c)
@@ -180,8 +179,7 @@ mod tests {
         assert_eq!(c.relations().len(), 8 + ALIASES.len());
         // The canonical 61 columns across the 8 base tables.
         let base_cols: usize = [
-            "region", "nation", "supplier", "part", "partsupp", "customer", "orders",
-            "lineitem",
+            "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
         ]
         .iter()
         .map(|t| c.relation(t).unwrap().columns.len())

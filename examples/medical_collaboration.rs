@@ -28,11 +28,36 @@ fn load(ex: &RunningExample) -> Database {
         &ex.catalog,
         "Hosp",
         vec![
-            vec![Value::str("alice"), d("1969-03-01"), Value::str("stroke"), Value::str("tPA")],
-            vec![Value::str("bob"), d("1975-07-12"), Value::str("stroke"), Value::str("tPA")],
-            vec![Value::str("carol"), d("1981-11-30"), Value::str("flu"), Value::str("rest")],
-            vec![Value::str("dave"), d("1958-01-21"), Value::str("stroke"), Value::str("surgery")],
-            vec![Value::str("erin"), d("1990-05-05"), Value::str("stroke"), Value::str("tPA")],
+            vec![
+                Value::str("alice"),
+                d("1969-03-01"),
+                Value::str("stroke"),
+                Value::str("tPA"),
+            ],
+            vec![
+                Value::str("bob"),
+                d("1975-07-12"),
+                Value::str("stroke"),
+                Value::str("tPA"),
+            ],
+            vec![
+                Value::str("carol"),
+                d("1981-11-30"),
+                Value::str("flu"),
+                Value::str("rest"),
+            ],
+            vec![
+                Value::str("dave"),
+                d("1958-01-21"),
+                Value::str("stroke"),
+                Value::str("surgery"),
+            ],
+            vec![
+                Value::str("erin"),
+                d("1990-05-05"),
+                Value::str("stroke"),
+                Value::str("tPA"),
+            ],
         ],
     );
     db.load(

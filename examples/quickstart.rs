@@ -41,8 +41,7 @@ fn main() {
             ex.catalog.render_attrs(&p.ve),
             ex.catalog.render_attrs(&p.ip),
             ex.catalog.render_attrs(&p.ie),
-            p.eq
-                .classes()
+            p.eq.classes()
                 .map(|c| ex.catalog.render_attrs(c))
                 .collect::<Vec<_>>()
                 .join(","),

@@ -1,0 +1,158 @@
+//! Minimal in-tree reimplementation of the `criterion` API surface
+//! this workspace uses, so `cargo bench` works with no access to
+//! crates.io.
+//!
+//! Provided: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a plain
+//! calibrate-then-time loop reporting the mean wall-clock time per
+//! iteration — no statistics, outlier analysis, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target wall-clock budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for this phase's iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark a single function and print its mean time/iteration.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks (`group/bench` ids).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark one function within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    // Calibration: one iteration to estimate the per-iter cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    // Measurement.
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    println!("{id:<40} {:>14} /iter  ({iters} iters)", human(mean_ns));
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(String::from("inner"), |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("µs"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+        assert!(human(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -101,18 +101,26 @@ fn fig7a_to_fig8_pipeline() {
     let keys = plan_keys(&ext);
     assert_eq!(keys.keys.len(), 2);
     assert_eq!(
-        ex.subjects.render(&keys.key_for(ex.attr("S")).unwrap().holders),
+        ex.subjects
+            .render(&keys.key_for(ex.attr("S")).unwrap().holders),
         "HI"
     );
     assert_eq!(
-        ex.subjects.render(&keys.key_for(ex.attr("P")).unwrap().holders),
+        ex.subjects
+            .render(&keys.key_for(ex.attr("P")).unwrap().holders),
         "IY"
     );
 
     let d = dispatch(&ext, &keys, &ex.catalog, &ex.subjects);
     assert_eq!(d.requests.len(), 4);
     assert_eq!(
-        d.envelope_notation(d.root_request, ex.subject("U"), &ex.subjects, &ex.catalog, &keys),
+        d.envelope_notation(
+            d.root_request,
+            ex.subject("U"),
+            &ex.subjects,
+            &ex.catalog,
+            &keys
+        ),
         "[[qY,(P,kP)]priU]pubY"
     );
 

@@ -6,9 +6,7 @@
 //! extension), and Theorem 5.3(i) (the extension authorizes λ).
 
 use mpq::algebra::expr::{AggExpr, AggFunc};
-use mpq::algebra::{
-    AttrSet, Catalog, CmpOp, DataType, Expr, JoinKind, Operator, QueryPlan, Value,
-};
+use mpq::algebra::{AttrSet, Catalog, CmpOp, DataType, Expr, JoinKind, Operator, QueryPlan, Value};
 use mpq::core::authz::{Authorization, Policy};
 use mpq::core::candidates::candidates;
 use mpq::core::capability::CapabilityPolicy;
@@ -20,14 +18,12 @@ use proptest::prelude::*;
 /// Two relations with `n1`/`n2` columns.
 fn catalog(n1: usize, n2: usize) -> Catalog {
     let mut c = Catalog::new();
-    let cols1: Vec<(String, DataType)> = (0..n1)
-        .map(|i| (format!("a{i}"), DataType::Int))
-        .collect();
+    let cols1: Vec<(String, DataType)> =
+        (0..n1).map(|i| (format!("a{i}"), DataType::Int)).collect();
     let refs1: Vec<(&str, DataType)> = cols1.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     c.add_relation("R1", &refs1).unwrap();
-    let cols2: Vec<(String, DataType)> = (0..n2)
-        .map(|i| (format!("b{i}"), DataType::Int))
-        .collect();
+    let cols2: Vec<(String, DataType)> =
+        (0..n2).map(|i| (format!("b{i}"), DataType::Int)).collect();
     let refs2: Vec<(&str, DataType)> = cols2.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     c.add_relation("R2", &refs2).unwrap();
     c
@@ -38,11 +34,11 @@ fn catalog(n1: usize, n2: usize) -> Catalog {
 /// selections.
 fn arb_plan() -> impl Strategy<Value = (Catalog, QueryPlan)> {
     (
-        2..5usize,            // columns of R1
-        2..4usize,            // columns of R2
+        2..5usize,                                  // columns of R1
+        2..4usize,                                  // columns of R2
         proptest::collection::vec(0..4usize, 0..3), // selection attrs on R1
-        any::<bool>(),        // group-by?
-        any::<bool>(),        // pair-selection after join?
+        any::<bool>(),                              // group-by?
+        any::<bool>(),                              // pair-selection after join?
     )
         .prop_map(|(n1, n2, sels, group, pair_sel)| {
             let cat = catalog(n1, n2);

@@ -24,11 +24,36 @@ fn hospital() -> (Catalog, Database) {
         &cat,
         "Hosp",
         vec![
-            vec![Value::str("s1"), d("1970-01-01"), Value::str("stroke"), Value::str("t1")],
-            vec![Value::str("s2"), d("1980-02-02"), Value::str("stroke"), Value::str("t1")],
-            vec![Value::str("s3"), d("1990-03-03"), Value::str("flu"), Value::str("t2")],
-            vec![Value::str("s4"), d("1960-04-04"), Value::str("stroke"), Value::str("t2")],
-            vec![Value::str("s5"), d("1955-09-09"), Value::str("asthma"), Value::str("t3")],
+            vec![
+                Value::str("s1"),
+                d("1970-01-01"),
+                Value::str("stroke"),
+                Value::str("t1"),
+            ],
+            vec![
+                Value::str("s2"),
+                d("1980-02-02"),
+                Value::str("stroke"),
+                Value::str("t1"),
+            ],
+            vec![
+                Value::str("s3"),
+                d("1990-03-03"),
+                Value::str("flu"),
+                Value::str("t2"),
+            ],
+            vec![
+                Value::str("s4"),
+                d("1960-04-04"),
+                Value::str("stroke"),
+                Value::str("t2"),
+            ],
+            vec![
+                Value::str("s5"),
+                d("1955-09-09"),
+                Value::str("asthma"),
+                Value::str("t3"),
+            ],
         ],
     );
     db.load(
@@ -61,7 +86,11 @@ fn paper_query_returns_expected_row() {
 #[test]
 fn filters_and_projection() {
     let (cat, db) = hospital();
-    let t = run(&cat, &db, "select S from Hosp where D <> 'stroke' order by S");
+    let t = run(
+        &cat,
+        &db,
+        "select S from Hosp where D <> 'stroke' order by S",
+    );
     assert_eq!(t.len(), 2);
     assert!(t.rows[0][0].sql_eq(&Value::str("s3")));
     assert!(t.rows[1][0].sql_eq(&Value::str("s5")));
@@ -138,7 +167,11 @@ fn tpch_sql_on_generated_data() {
          group by l_returnflag, l_linestatus \
          order by l_returnflag, l_linestatus",
     );
-    assert!(t.len() >= 2 && t.len() <= 4, "{} flag/status groups", t.len());
+    assert!(
+        t.len() >= 2 && t.len() <= 4,
+        "{} flag/status groups",
+        t.len()
+    );
     // A join across authorities.
     let t = run(
         &cat,

@@ -156,14 +156,9 @@ fn optimized_plans_execute_correctly_under_uapenc() {
                 koa.insert(a, k.id);
             }
         }
-        let prepared = mpq::exec::rewrite_literals(
-            &opt.extended.plan,
-            &opt.schemes,
-            &koa,
-            &ring,
-            &mut rng,
-        )
-        .unwrap_or_else(|e| panic!("Q{q} literal rewriting: {e}"));
+        let prepared =
+            mpq::exec::rewrite_literals(&opt.extended.plan, &opt.schemes, &koa, &ring, &mut rng)
+                .unwrap_or_else(|e| panic!("Q{q} literal rewriting: {e}"));
         let ctx = mpq::exec::engine::ExecCtx::new(&cat, &db, &ring, &opt.schemes, &koa);
         let result = mpq::exec::execute(&prepared, &ctx)
             .unwrap_or_else(|e| panic!("Q{q} encrypted execution: {e}"));
