@@ -11,9 +11,17 @@
 //! * `cargo run -p mpq-bench --bin ablation --release` — the §5
 //!   maximize-/minimize-visibility strategies versus the minimal
 //!   extension;
+//! * `cargo run -p mpq-bench --bin throughput --release` — the
+//!   [`throughput`] harness: N concurrent query sessions through the
+//!   `mpq-dist` multi-party runtime (Fig. 7 plans + optimized TPC-H
+//!   queries over generated data), writing latency percentiles,
+//!   queries/sec, and bytes-on-the-wire to `BENCH_dist.json`
+//!   (`--smoke` for the CI gate);
 //! * `cargo bench -p mpq-bench` — criterion microbenchmarks for the
 //!   crypto substrate, candidate computation, minimal extension, and
 //!   the optimizer.
+
+pub mod throughput;
 
 use mpq_core::capability::CapabilityPolicy;
 use mpq_planner::{build_scenario, optimize, Optimized, Scenario, Strategy};

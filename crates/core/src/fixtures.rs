@@ -172,6 +172,57 @@ impl RunningExample {
         *self.named_nodes.get(name).expect("fixture node name")
     }
 
+    /// The five-patient `Hosp` sample used by the examples and the
+    /// throughput harness (rows in catalog column order `S, B, D, T`).
+    /// Three of the four stroke patients are on tPA, giving the
+    /// running example's `HAVING avg(P) > 100` a non-trivial answer.
+    pub fn sample_hosp_rows() -> Vec<Vec<Value>> {
+        let d = |s: &str| Value::Date(mpq_algebra::Date::parse(s).expect("fixture date"));
+        vec![
+            vec![
+                Value::str("alice"),
+                d("1969-03-01"),
+                Value::str("stroke"),
+                Value::str("tPA"),
+            ],
+            vec![
+                Value::str("bob"),
+                d("1975-07-12"),
+                Value::str("stroke"),
+                Value::str("tPA"),
+            ],
+            vec![
+                Value::str("carol"),
+                d("1981-11-30"),
+                Value::str("flu"),
+                Value::str("rest"),
+            ],
+            vec![
+                Value::str("dave"),
+                d("1958-01-21"),
+                Value::str("stroke"),
+                Value::str("surgery"),
+            ],
+            vec![
+                Value::str("erin"),
+                d("1990-05-05"),
+                Value::str("stroke"),
+                Value::str("tPA"),
+            ],
+        ]
+    }
+
+    /// The matching `Ins` sample (rows in catalog column order `C, P`).
+    pub fn sample_ins_rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::str("alice"), Value::Num(150.0)],
+            vec![Value::str("bob"), Value::Num(210.0)],
+            vec![Value::str("carol"), Value::Num(75.0)],
+            vec![Value::str("dave"), Value::Num(95.0)],
+            vec![Value::str("erin"), Value::Num(180.0)],
+        ]
+    }
+
     /// The non-leaf nodes in post-order (the operations that need
     /// assignees): `select_d`, `join`, `group`, `having`.
     pub fn operations(&self) -> Vec<NodeId> {

@@ -1,6 +1,6 @@
 //! # mpq-dist
 //!
-//! The distributed-execution simulator: the runnable counterpart of the
+//! The distributed-execution runtime: the runnable counterpart of the
 //! paper's §6 dispatch story — "each subject executes its assigned
 //! sub-query and forwards encrypted results".
 //!
@@ -21,15 +21,22 @@
 //!    enabling homomorphic aggregation without decryption capability;
 //! 3. **dispatches signed requests** — the sub-queries of
 //!    `mpq_core::dispatch` travel as `[[q_S, keys]_priU]_pubS`
-//!    envelopes ([`SignedEnvelope`]), opened and verified by each
-//!    recipient;
-//! 4. **executes bottom-up** — each node runs via `mpq-exec` under the
-//!    key ring and base-relation store of *its assigned subject*, over
-//!    real XTEA/OPE/Paillier ciphertexts; every table crossing a
-//!    subject boundary is byte-accounted and [cell-audited](audit)
-//!    against the recipient's view;
+//!    envelopes ([`SignedEnvelope`]), batched per subject-pair edge,
+//!    opened and verified by each recipient;
+//! 4. **executes concurrently** — every participating subject runs a
+//!    [party loop](runtime) on its own thread; a node executes as soon
+//!    as its operands' tables have arrived at its assignee, so
+//!    independent subtrees of the extended plan run in parallel at
+//!    different providers, over real XTEA/OPE/Paillier ciphertexts;
+//!    every table crossing a subject boundary is byte-accounted and
+//!    [cell-audited](audit) by the *receiving* party;
 //! 5. returns a [`Report`] with the final (plaintext, for the user)
 //!    result and the bytes-on-the-wire per subject-pair edge.
+//!
+//! [`Simulator::run_sequential`] interprets the same prepared plan
+//! bottom-up on the calling thread. The two paths share all of the
+//! preparation (phases 1–3) and produce bit-identical results and
+//! per-edge byte counts — a property the differential tests lean on.
 //!
 //! A subject receiving data its view does not permit — or attempting
 //! encryption/decryption with a key it does not hold — aborts the run
@@ -37,11 +44,12 @@
 
 pub mod audit;
 pub mod error;
+pub mod runtime;
 
 pub use audit::audit_transfer;
 pub use error::SimError;
 
-use mpq_algebra::{AttrId, Catalog, NodeId, Operator, RelId, SubjectId};
+use mpq_algebra::{AttrId, Catalog, NodeId, Operator, QueryPlan, RelId, SubjectId};
 use mpq_core::authz::{Policy, SubjectView};
 use mpq_core::dispatch::dispatch;
 use mpq_core::extend::ExtendedPlan;
@@ -49,7 +57,9 @@ use mpq_core::keys::KeyPlan;
 use mpq_core::subjects::Subjects;
 use mpq_crypto::keyring::{ClusterKey, KeyRing};
 use mpq_crypto::rsa::{RsaKeypair, RsaPublic, SignedEnvelope};
-use mpq_exec::{assign_schemes, execute_step, rewrite_literals, Database, ExecCtx, Table};
+use mpq_exec::{
+    assign_schemes, execute_step, rewrite_literals, Database, ExecCtx, SchemePlan, Table,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -100,10 +110,31 @@ impl Report {
 
 /// One simulated subject: envelope keypair, cluster-key ring, and the
 /// base relations it is the authority of.
-struct Party {
-    rsa: RsaKeypair,
-    ring: KeyRing,
-    store: Database,
+pub(crate) struct Party {
+    pub(crate) rsa: RsaKeypair,
+    pub(crate) ring: KeyRing,
+    pub(crate) store: Database,
+}
+
+/// Output of the shared preparation phase (runtime authorization,
+/// Def. 6.1 key provisioning, literal rewriting, envelope sealing) —
+/// everything both execution paths consume.
+pub(crate) struct Prepared {
+    /// The extended plan with encrypted literals spliced in.
+    pub(crate) exec_plan: QueryPlan,
+    /// Per-attribute encryption schemes.
+    pub(crate) schemes: SchemePlan,
+    /// Attribute → Def. 6.1 cluster-key id.
+    pub(crate) key_of_attr: HashMap<AttrId, u32>,
+    /// Execution order (postorder of the extended plan).
+    pub(crate) order: Vec<NodeId>,
+    /// Envelope bytes already accounted per user → subject edge.
+    pub(crate) transfers: HashMap<(SubjectId, SubjectId), usize>,
+    /// Batched signed requests: recipient, sealed envelope, and the
+    /// payload the recipient must recover for verification.
+    pub(crate) envelopes: Vec<(SubjectId, SignedEnvelope, Vec<u8>)>,
+    /// Number of dispatched sub-query requests (before batching).
+    pub(crate) requests: usize,
 }
 
 /// The distributed-execution simulator. See the crate docs for the
@@ -151,15 +182,19 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Run `ext` across the parties on behalf of `user`, with the
-    /// Def. 6.1 key establishment `keys`.
-    pub fn run(
+    /// Phases 1–3, shared by [`Simulator::run`] and
+    /// [`Simulator::run_sequential`]: runtime authorization re-check,
+    /// Def. 6.1 key provisioning, scheme assignment, encrypted-literal
+    /// rewriting, and sealing of the signed request envelopes (batched
+    /// per subject-pair edge). Consumes the simulator RNG in a fixed
+    /// order so both execution paths see identical material.
+    fn prepare(
         &mut self,
         ext: &ExtendedPlan,
         keys: &KeyPlan,
         user: SubjectId,
-    ) -> Result<Report, SimError> {
-        let views: Vec<SubjectView> = self.policy.all_views(self.catalog, self.subjects);
+        views: &[SubjectView],
+    ) -> Result<Prepared, SimError> {
         let order = ext.plan.postorder();
         let assignee_of = |id: NodeId| -> Result<SubjectId, SimError> {
             ext.assignment
@@ -257,42 +292,107 @@ impl<'a> Simulator<'a> {
         )
         .map_err(SimError::Rewrite)?;
 
-        let mut transfers: HashMap<(SubjectId, SubjectId), usize> = HashMap::new();
+        // Batch the request payloads per user → subject edge: one
+        // envelope (one signature, one session key) per recipient,
+        // regardless of how many sub-query regions it executes.
         let d = dispatch(ext, keys, self.catalog, self.subjects);
-        let user_public = self.parties[user.index()].rsa.public.clone();
+        let mut batches: Vec<Vec<u8>> = vec![Vec::new(); self.parties.len()];
         for req in &d.requests {
-            let mut payload = req.sql.clone().into_bytes();
-            for key_id in &req.keys {
-                payload.extend_from_slice(format!("\nkey:{key_id}").as_bytes());
+            let batch = &mut batches[req.subject.index()];
+            if !batch.is_empty() {
+                batch.extend_from_slice(b"\n===\n");
             }
+            batch.extend_from_slice(req.sql.as_bytes());
+            for key_id in &req.keys {
+                batch.extend_from_slice(format!("\nkey:{key_id}").as_bytes());
+            }
+        }
+        let mut transfers: HashMap<(SubjectId, SubjectId), usize> = HashMap::new();
+        let mut envelopes: Vec<(SubjectId, SignedEnvelope, Vec<u8>)> = Vec::new();
+        for (i, payload) in batches.into_iter().enumerate() {
+            if payload.is_empty() {
+                continue;
+            }
+            let to = SubjectId::from_index(i);
             let envelope = SignedEnvelope::seal(
                 &mut self.rng,
                 &payload,
                 &self.parties[user.index()].rsa,
-                &self.parties[req.subject.index()].rsa.public,
+                &self.parties[i].rsa.public,
             );
-            let opened = envelope
-                .open(&self.parties[req.subject.index()].rsa, &user_public)
-                .ok_or(SimError::Envelope { to: req.subject })?;
-            if opened != payload {
-                return Err(SimError::Envelope { to: req.subject });
-            }
-            if req.subject != user {
-                *transfers.entry((user, req.subject)).or_default() +=
+            if to != user {
+                *transfers.entry((user, to)).or_default() +=
                     envelope.wrapped_key.len() + envelope.body.len() + envelope.signature.len();
+            }
+            envelopes.push((to, envelope, payload));
+        }
+
+        Ok(Prepared {
+            exec_plan,
+            schemes,
+            key_of_attr,
+            order,
+            transfers,
+            envelopes,
+            requests: d.requests.len(),
+        })
+    }
+
+    /// Run `ext` across the parties on behalf of `user`, with the
+    /// Def. 6.1 key establishment `keys`.
+    ///
+    /// This is the **concurrent** runtime: one thread per participating
+    /// subject, `mpsc` channels carrying the signed request envelopes
+    /// and result tables, every node executing as soon as its operands
+    /// arrive at its assignee (see [`runtime`]). Results and per-edge
+    /// byte counts are bit-identical to [`Simulator::run_sequential`].
+    pub fn run(
+        &mut self,
+        ext: &ExtendedPlan,
+        keys: &KeyPlan,
+        user: SubjectId,
+    ) -> Result<Report, SimError> {
+        let views: Vec<SubjectView> = self.policy.all_views(self.catalog, self.subjects);
+        let prepared = self.prepare(ext, keys, user, &views)?;
+        runtime::run_concurrent(self.catalog, &self.parties, ext, &views, &prepared, user)
+    }
+
+    /// Run `ext` bottom-up on the calling thread — the reference
+    /// interpreter the concurrent runtime is differentially tested
+    /// against. Same preparation, same results, same byte accounting;
+    /// no pipeline parallelism.
+    pub fn run_sequential(
+        &mut self,
+        ext: &ExtendedPlan,
+        keys: &KeyPlan,
+        user: SubjectId,
+    ) -> Result<Report, SimError> {
+        let views: Vec<SubjectView> = self.policy.all_views(self.catalog, self.subjects);
+        let prepared = self.prepare(ext, keys, user, &views)?;
+        let user_public = self.parties[user.index()].rsa.public.clone();
+
+        // Envelopes open and verify at their recipients (here: inline,
+        // since everything runs on one thread).
+        for (to, envelope, expected) in &prepared.envelopes {
+            let opened = envelope
+                .open(&self.parties[to.index()].rsa, &user_public)
+                .ok_or(SimError::Envelope { to: *to })?;
+            if &opened != expected {
+                return Err(SimError::Envelope { to: *to });
             }
         }
 
         // ---- 4. bottom-up execution, one subject at a time ----------
+        let mut transfers = prepared.transfers.clone();
         let mut results: HashMap<NodeId, Table> = HashMap::new();
-        for &id in &order {
-            let executor = assignee_of(id)?;
-            let node = exec_plan.node(id);
+        for &id in &prepared.order {
+            let executor = ext.assignment[&id];
+            let node = prepared.exec_plan.node(id);
             // Tables produced by another subject cross the wire here:
             // account the bytes and audit every cell against the
             // receiving subject's view.
             for &child in &node.children {
-                let producer = assignee_of(child)?;
+                let producer = ext.assignment[&child];
                 if producer != executor {
                     let table = results.get(&child).expect("child executed before parent");
                     audit_transfer(table, &views[executor.index()])?;
@@ -304,16 +404,16 @@ impl<'a> Simulator<'a> {
                 self.catalog,
                 &party.store,
                 &party.ring,
-                &schemes,
-                &key_of_attr,
+                &prepared.schemes,
+                &prepared.key_of_attr,
             );
-            let table = execute_step(&exec_plan, id, &mut results, &ctx)?;
+            let table = execute_step(&prepared.exec_plan, id, &mut results, &ctx)?;
             results.insert(id, table);
         }
 
         // ---- 5. deliver the result to the user ----------------------
-        let root = exec_plan.root();
-        let root_subject = assignee_of(root)?;
+        let root = prepared.exec_plan.root();
+        let root_subject = ext.assignment[&root];
         let result = results.remove(&root).expect("root executed");
         audit_transfer(&result, &views[user.index()])?;
         if root_subject != user {
@@ -323,7 +423,7 @@ impl<'a> Simulator<'a> {
         Ok(Report {
             result,
             transfers,
-            requests: d.requests.len(),
+            requests: prepared.requests,
         })
     }
 

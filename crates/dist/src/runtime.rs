@@ -1,0 +1,387 @@
+//! The concurrent multi-party runtime: one OS thread per subject,
+//! `mpsc` channels for the wire.
+//!
+//! This is the behavioral counterpart of the paper's §6 execution
+//! story: "each subject executes its assigned sub-query and forwards
+//! encrypted results". Every participating subject runs a *party
+//! loop* on its own thread. The loop drains a mailbox of
+//! messages — signed request envelopes from the querying user and
+//! result tables from producing subjects — and steps a node of the
+//! extended plan as soon as all of its operands are materialized
+//! locally, so independent subtrees assigned to different subjects
+//! execute concurrently (pipeline parallelism across providers).
+//!
+//! Guarantees relative to the sequential interpreter
+//! ([`Simulator::run_sequential`](crate::Simulator::run_sequential)):
+//!
+//! * **result equivalence** — every node executes under a fresh
+//!   per-node [`ExecCtx`] exactly as in the sequential path, so the
+//!   produced tables (ciphertexts included) are bit-identical
+//!   regardless of interleaving;
+//! * **identical byte accounting** — tables are accounted on the same
+//!   producer → consumer edges, by the receiving party; request
+//!   envelopes are sealed (batched per subject-pair edge) before any
+//!   thread starts, by the shared preparation phase;
+//! * **audit on receive** — the cell-level
+//!   [`audit_transfer`] check runs at
+//!   the receiving party, on its own thread, before the table is used.
+//!
+//! Failure handling: a party that fails (audit violation, missing key,
+//! envelope tampering) broadcasts an abort message to every peer and
+//! returns its error; peers receiving `Abort` stop without an error of
+//! their own. The coordinator returns the failing party's error,
+//! picking the lowest subject id when several fail independently.
+
+use crate::audit::audit_transfer;
+use crate::error::SimError;
+use crate::{Party, Prepared};
+use mpq_algebra::{Catalog, NodeId, QueryPlan, SubjectId};
+use mpq_core::authz::SubjectView;
+use mpq_core::extend::ExtendedPlan;
+use mpq_crypto::rsa::{RsaPublic, SignedEnvelope};
+use mpq_exec::{execute_step, node_ready, ExecCtx, Table};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// One message on a party's mailbox.
+pub(crate) enum Msg {
+    /// A signed, batched sub-query request from the querying user
+    /// (`[[q_S, keys]_priU]_pubS`), with the payload the recipient
+    /// must recover for the envelope to verify.
+    Request {
+        /// The sealed envelope.
+        envelope: SignedEnvelope,
+        /// Payload the recipient expects after opening.
+        expected: Vec<u8>,
+    },
+    /// The materialized table of `node`, produced by `from` and
+    /// consumed by a node assigned to the receiving subject.
+    Table {
+        /// Node whose result this is.
+        node: NodeId,
+        /// Producing subject.
+        from: SubjectId,
+        /// The result rows.
+        table: Table,
+    },
+    /// The root result, delivered to the querying user.
+    Result {
+        /// Producing subject (the root's assignee).
+        from: SubjectId,
+        /// The final table.
+        table: Table,
+    },
+    /// A peer failed; stop without producing more traffic.
+    Abort,
+}
+
+/// What a party reports back to the coordinator.
+enum Outcome {
+    /// Finished cleanly.
+    Done(PartyOut),
+    /// Failed with a real error (already broadcast `Abort`).
+    Failed(SimError),
+    /// Stopped because a peer aborted.
+    Aborted,
+}
+
+/// A clean party's contribution to the run report.
+struct PartyOut {
+    /// Bytes received per (producer, me) edge.
+    transfers: HashMap<(SubjectId, SubjectId), usize>,
+    /// The final result (only ever `Some` at the user's party).
+    result: Option<Table>,
+}
+
+/// Everything a party loop needs, borrowed from the coordinator.
+struct PartyCtx<'a> {
+    me: SubjectId,
+    user: SubjectId,
+    party: &'a Party,
+    catalog: &'a Catalog,
+    plan: &'a QueryPlan,
+    views: &'a [SubjectView],
+    assignment: &'a HashMap<NodeId, SubjectId>,
+    prepared: &'a Prepared,
+    parents: &'a [Option<NodeId>],
+    /// My assigned nodes, in global postorder.
+    my_nodes: Vec<NodeId>,
+    /// Request envelopes I must open before anything else counts.
+    expected_requests: usize,
+    user_public: &'a RsaPublic,
+}
+
+impl PartyCtx<'_> {
+    /// External tables this party waits for: operands of its nodes
+    /// produced elsewhere, plus the root delivery when it is the user
+    /// and somebody else computes the root.
+    fn expected_tables(&self) -> usize {
+        let mut n = self
+            .my_nodes
+            .iter()
+            .flat_map(|&id| self.plan.node(id).children.iter())
+            .filter(|c| self.assignment[c] != self.me)
+            .count();
+        let root = self.plan.root();
+        if self.me == self.user && self.assignment[&root] != self.me {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Broadcast `Abort` to every peer (ignoring peers that already
+/// exited).
+fn abort_all(senders: &HashMap<SubjectId, Sender<Msg>>) {
+    for tx in senders.values() {
+        let _ = tx.send(Msg::Abort);
+    }
+}
+
+/// The party loop: drain the mailbox, step every ready node, route
+/// outputs to the consuming subjects.
+fn party_loop(
+    ctx: PartyCtx<'_>,
+    rx: Receiver<Msg>,
+    senders: HashMap<SubjectId, Sender<Msg>>,
+) -> Outcome {
+    let mut transfers: HashMap<(SubjectId, SubjectId), usize> = HashMap::new();
+    let mut results: HashMap<NodeId, Table> = HashMap::new();
+    let mut executed: Vec<bool> = vec![false; ctx.my_nodes.len()];
+    let mut result_table: Option<Table> = None;
+    let mut requests_pending = ctx.expected_requests;
+    let mut pending = ctx.expected_requests + ctx.expected_tables();
+    let root = ctx.plan.root();
+    let my_view = &ctx.views[ctx.me.index()];
+
+    loop {
+        // Step every node whose operands have materialized. A finished
+        // node may unblock a later one of ours, so loop to fixpoint.
+        // Nothing executes until every request envelope addressed to
+        // this party has opened and verified: the signed request *is*
+        // the authorization to compute (`[[q_S, keys]_priU]_pubS`),
+        // exactly as the sequential path verifies all envelopes before
+        // stepping any node.
+        let mut progress = requests_pending == 0;
+        while progress {
+            progress = false;
+            for (done, &id) in executed.iter_mut().zip(&ctx.my_nodes) {
+                if *done || !node_ready(ctx.plan, id, &results) {
+                    continue;
+                }
+                // Fresh per-node context, exactly as the sequential
+                // interpreter builds one per step: ciphertexts come out
+                // bit-identical no matter the interleaving.
+                let exec_ctx = ExecCtx::new(
+                    ctx.catalog,
+                    &ctx.party.store,
+                    &ctx.party.ring,
+                    &ctx.prepared.schemes,
+                    &ctx.prepared.key_of_attr,
+                );
+                let table = match execute_step(ctx.plan, id, &mut results, &exec_ctx) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        abort_all(&senders);
+                        return Outcome::Failed(e.into());
+                    }
+                };
+                *done = true;
+                progress = true;
+                if id == root {
+                    if ctx.me == ctx.user {
+                        // Even a user-computed result is audited, as in
+                        // the sequential path.
+                        if let Err(e) = audit_transfer(&table, my_view) {
+                            abort_all(&senders);
+                            return Outcome::Failed(e);
+                        }
+                        result_table = Some(table);
+                    } else {
+                        let _ = senders[&ctx.user].send(Msg::Result {
+                            from: ctx.me,
+                            table,
+                        });
+                    }
+                } else {
+                    let parent = ctx.parents[id.index()].expect("non-root has a parent");
+                    let consumer = ctx.assignment[&parent];
+                    if consumer == ctx.me {
+                        results.insert(id, table);
+                    } else {
+                        let _ = senders[&consumer].send(Msg::Table {
+                            node: id,
+                            from: ctx.me,
+                            table,
+                        });
+                    }
+                }
+            }
+        }
+
+        let all_executed = executed.iter().all(|&d| d);
+        let have_result = ctx.me != ctx.user || result_table.is_some();
+        if all_executed && have_result && pending == 0 {
+            return Outcome::Done(PartyOut {
+                transfers,
+                result: result_table,
+            });
+        }
+
+        match rx.recv() {
+            Ok(Msg::Request { envelope, expected }) => {
+                let opened = envelope.open(&ctx.party.rsa, ctx.user_public);
+                if opened.as_deref() != Some(expected.as_slice()) {
+                    abort_all(&senders);
+                    return Outcome::Failed(SimError::Envelope { to: ctx.me });
+                }
+                requests_pending -= 1;
+                pending -= 1;
+            }
+            Ok(Msg::Table { node, from, table }) => {
+                // Audit on receive: the cell-level check runs at the
+                // receiving party, before the table is usable.
+                if let Err(e) = audit_transfer(&table, my_view) {
+                    abort_all(&senders);
+                    return Outcome::Failed(e);
+                }
+                *transfers.entry((from, ctx.me)).or_default() += table.byte_size();
+                results.insert(node, table);
+                pending -= 1;
+            }
+            Ok(Msg::Result { from, table }) => {
+                if let Err(e) = audit_transfer(&table, my_view) {
+                    abort_all(&senders);
+                    return Outcome::Failed(e);
+                }
+                *transfers.entry((from, ctx.me)).or_default() += table.byte_size();
+                result_table = Some(table);
+                pending -= 1;
+            }
+            Ok(Msg::Abort) | Err(_) => return Outcome::Aborted,
+        }
+    }
+}
+
+/// Run the prepared plan across the parties, one thread per subject.
+///
+/// Called by [`Simulator::run`](crate::Simulator::run) after the
+/// shared preparation phase (authorization re-check, Def. 6.1 key
+/// provisioning, literal rewriting, envelope sealing) has succeeded.
+pub(crate) fn run_concurrent(
+    catalog: &Catalog,
+    parties: &[Party],
+    ext: &ExtendedPlan,
+    views: &[SubjectView],
+    prepared: &Prepared,
+    user: SubjectId,
+) -> Result<crate::Report, SimError> {
+    let plan = &prepared.exec_plan;
+    let parents = plan.parents();
+
+    // Participants: every assignee, plus the querying user (who
+    // receives the result even when assigned nothing).
+    let mut is_participant = vec![false; parties.len()];
+    for id in &prepared.order {
+        is_participant[ext.assignment[id].index()] = true;
+    }
+    is_participant[user.index()] = true;
+    let participants: Vec<SubjectId> = (0..parties.len())
+        .map(SubjectId::from_index)
+        .filter(|s| is_participant[s.index()])
+        .collect();
+
+    // One mailbox per participant.
+    let mut txs: HashMap<SubjectId, Sender<Msg>> = HashMap::new();
+    let mut rxs: HashMap<SubjectId, Receiver<Msg>> = HashMap::new();
+    for &s in &participants {
+        let (tx, rx) = channel();
+        txs.insert(s, tx);
+        rxs.insert(s, rx);
+    }
+
+    // The user's signed requests go on the wire first (batched per
+    // subject-pair edge by the preparation phase).
+    let mut expected_requests: HashMap<SubjectId, usize> = HashMap::new();
+    for (to, envelope, expected) in &prepared.envelopes {
+        txs[to]
+            .send(Msg::Request {
+                envelope: envelope.clone(),
+                expected: expected.clone(),
+            })
+            .expect("recipient mailbox exists");
+        *expected_requests.entry(*to).or_default() += 1;
+    }
+
+    let user_public = parties[user.index()].rsa.public.clone();
+    let mut nodes_of: HashMap<SubjectId, Vec<NodeId>> = HashMap::new();
+    for &id in &prepared.order {
+        nodes_of.entry(ext.assignment[&id]).or_default().push(id);
+    }
+
+    let outcomes: Vec<(SubjectId, Outcome)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(participants.len());
+        for &s in &participants {
+            let rx = rxs.remove(&s).expect("one mailbox per participant");
+            // Peers only — holding a sender to oneself would keep the
+            // mailbox alive forever after a peer panic.
+            let senders: HashMap<SubjectId, Sender<Msg>> = txs
+                .iter()
+                .filter(|(peer, _)| **peer != s)
+                .map(|(peer, tx)| (*peer, tx.clone()))
+                .collect();
+            let ctx = PartyCtx {
+                me: s,
+                user,
+                party: &parties[s.index()],
+                catalog,
+                plan,
+                views,
+                assignment: &ext.assignment,
+                prepared,
+                parents: &parents,
+                my_nodes: nodes_of.remove(&s).unwrap_or_default(),
+                expected_requests: expected_requests.get(&s).copied().unwrap_or(0),
+                user_public: &user_public,
+            };
+            handles.push((s, scope.spawn(move || party_loop(ctx, rx, senders))));
+        }
+        // The coordinator's own senders must drop before the join so a
+        // crashed party disconnects its peers instead of hanging them.
+        drop(txs);
+        handles
+            .into_iter()
+            .map(|(s, h)| (s, h.join().expect("party thread panicked")))
+            .collect()
+    });
+
+    let mut transfers = prepared.transfers.clone();
+    let mut result: Option<Table> = None;
+    let mut first_error: Option<SimError> = None;
+    for (_, outcome) in outcomes {
+        match outcome {
+            Outcome::Done(out) => {
+                for (edge, bytes) in out.transfers {
+                    *transfers.entry(edge).or_default() += bytes;
+                }
+                if let Some(t) = out.result {
+                    result = Some(t);
+                }
+            }
+            Outcome::Failed(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+            Outcome::Aborted => {}
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(crate::Report {
+        result: result.expect("user party delivered the result"),
+        transfers,
+        requests: prepared.requests,
+    })
+}

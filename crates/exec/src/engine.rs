@@ -140,6 +140,17 @@ pub fn execute_step(
     execute_node(plan, id, results, ctx)
 }
 
+/// `true` when every operand of `id` has a materialized table in
+/// `results` — the readiness test a distributed party loop polls
+/// before stepping a node with [`execute_step`]. Leaves are always
+/// ready.
+pub fn node_ready(plan: &QueryPlan, id: NodeId, results: &HashMap<NodeId, Table>) -> bool {
+    plan.node(id)
+        .children
+        .iter()
+        .all(|c| results.contains_key(c))
+}
+
 fn take_child(results: &mut HashMap<NodeId, Table>, id: NodeId) -> Table {
     results.remove(&id).expect("child executed before parent")
 }

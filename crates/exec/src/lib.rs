@@ -29,6 +29,6 @@ pub mod eval;
 pub mod scheme;
 pub mod table;
 
-pub use engine::{execute, execute_step, ExecCtx, ExecError};
+pub use engine::{execute, execute_step, node_ready, ExecCtx, ExecError};
 pub use scheme::{assign_schemes, rewrite_literals, SchemePlan};
 pub use table::{Database, Table};

@@ -10,7 +10,6 @@
 //!
 //! Run with `cargo run --example medical_collaboration`.
 
-use mpq::algebra::{Date, Value};
 use mpq::core::candidates::candidates;
 use mpq::core::capability::CapabilityPolicy;
 use mpq::core::extend::{minimally_extend, Assignment};
@@ -23,54 +22,8 @@ use std::collections::HashMap;
 
 fn load(ex: &RunningExample) -> Database {
     let mut db = Database::new();
-    let d = |s: &str| Value::Date(Date::parse(s).unwrap());
-    db.load(
-        &ex.catalog,
-        "Hosp",
-        vec![
-            vec![
-                Value::str("alice"),
-                d("1969-03-01"),
-                Value::str("stroke"),
-                Value::str("tPA"),
-            ],
-            vec![
-                Value::str("bob"),
-                d("1975-07-12"),
-                Value::str("stroke"),
-                Value::str("tPA"),
-            ],
-            vec![
-                Value::str("carol"),
-                d("1981-11-30"),
-                Value::str("flu"),
-                Value::str("rest"),
-            ],
-            vec![
-                Value::str("dave"),
-                d("1958-01-21"),
-                Value::str("stroke"),
-                Value::str("surgery"),
-            ],
-            vec![
-                Value::str("erin"),
-                d("1990-05-05"),
-                Value::str("stroke"),
-                Value::str("tPA"),
-            ],
-        ],
-    );
-    db.load(
-        &ex.catalog,
-        "Ins",
-        vec![
-            vec![Value::str("alice"), Value::Num(150.0)],
-            vec![Value::str("bob"), Value::Num(210.0)],
-            vec![Value::str("carol"), Value::Num(75.0)],
-            vec![Value::str("dave"), Value::Num(95.0)],
-            vec![Value::str("erin"), Value::Num(180.0)],
-        ],
-    );
+    db.load(&ex.catalog, "Hosp", RunningExample::sample_hosp_rows());
+    db.load(&ex.catalog, "Ins", RunningExample::sample_ins_rows());
     db
 }
 
@@ -115,13 +68,24 @@ fn main() {
     println!("== centralized plaintext reference ==");
     println!("{}", reference.display(&ex.catalog));
 
-    // Distributed encrypted execution.
+    // Distributed encrypted execution on the concurrent multi-party
+    // runtime: H, I, X, Y each run a party loop on their own thread,
+    // exchanging signed envelopes and encrypted tables over channels.
     let mut sim = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, 2026);
     let report = sim
         .run(&ext, &keys, ex.subject("U"))
         .expect("authorized distributed run");
-    println!("== distributed result (via H, I, X, Y) ==");
+    println!("== distributed result (via H, I, X, Y, concurrently) ==");
     println!("{}", report.result.display(&ex.catalog));
+
+    // The sequential reference interpreter must be observationally
+    // identical — same rows, same bytes on every edge.
+    let mut seq_sim = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, 2026);
+    let seq_report = seq_sim
+        .run_sequential(&ext, &keys, ex.subject("U"))
+        .expect("authorized sequential run");
+    assert_eq!(report.transfers, seq_report.transfers);
+    assert_eq!(report.requests, seq_report.requests);
 
     println!("== bytes on the wire ==");
     let mut edges: Vec<_> = report.transfers.iter().collect();
@@ -145,4 +109,5 @@ fn main() {
         }
     }
     println!("✓ distributed encrypted execution matches the plaintext reference");
+    println!("✓ concurrent and sequential runtimes agree edge-for-edge");
 }

@@ -1,0 +1,121 @@
+//! Differential property tests: the concurrent multi-party runtime
+//! (`Simulator::run`) must be indistinguishable from the sequential
+//! reference interpreter (`Simulator::run_sequential`) — same result
+//! rows, same per-edge byte counts, same request count — for random
+//! seeds, random data, and random assignments drawn from Λ (which
+//! produce structurally different extended plans: different crypto
+//! operators, different wire graphs, different key plans).
+
+use mpq::algebra::Value;
+use mpq::core::candidates::{candidates, Candidates};
+use mpq::core::capability::CapabilityPolicy;
+use mpq::core::extend::{minimally_extend, Assignment};
+use mpq::core::fixtures::RunningExample;
+use mpq::core::keys::plan_keys;
+use mpq::dist::Simulator;
+use mpq::exec::Database;
+use proptest::prelude::*;
+
+/// Load `Hosp`/`Ins` with `n` patients whose diagnoses and premiums
+/// are drawn from `picks` (one byte of entropy per patient).
+fn load_random(ex: &RunningExample, picks: &[u8]) -> Database {
+    let diagnoses = ["stroke", "flu", "fracture"];
+    let treatments = ["tPA", "rest", "surgery"];
+    let mut db = Database::new();
+    let mut hosp = Vec::new();
+    let mut ins = Vec::new();
+    for (i, &p) in picks.iter().enumerate() {
+        let name = format!("patient{i}");
+        let birth = mpq::algebra::Date::parse("1970-01-01").unwrap();
+        hosp.push(vec![
+            Value::str(&name),
+            Value::Date(birth),
+            Value::str(diagnoses[(p % 3) as usize]),
+            Value::str(treatments[((p >> 2) % 3) as usize]),
+        ]);
+        ins.push(vec![
+            Value::str(&name),
+            Value::Num(50.0 + f64::from(p) * 1.5),
+        ]);
+    }
+    db.load(&ex.catalog, "Hosp", hosp);
+    db.load(&ex.catalog, "Ins", ins);
+    db
+}
+
+/// Λ for the running example's four operations.
+fn lambda(ex: &RunningExample) -> Candidates {
+    candidates(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        &CapabilityPolicy::default(),
+        true,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorems 5.2/5.3 say every assignment drawn from Λ extends to an
+    /// authorized plan; here we additionally demand that executing that
+    /// plan concurrently and sequentially is observationally identical.
+    #[test]
+    fn concurrent_runtime_matches_sequential(
+        seed in any::<u64>(),
+        picks in proptest::collection::vec(any::<u8>(), 4..9),
+        choice in proptest::collection::vec(any::<u16>(), 4),
+    ) {
+        let ex = RunningExample::new();
+        let db = load_random(&ex, &picks);
+        let cands = lambda(&ex);
+
+        // Draw one candidate per operation — a random point of Λ.
+        let mut assignment = Assignment::new();
+        for (node, c) in ex.operations().into_iter().zip(&choice) {
+            let set = cands.of(node);
+            prop_assert!(!set.is_empty(), "Λ empty for {node}");
+            assignment.set(node, set[*c as usize % set.len()]);
+        }
+        let ext = minimally_extend(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &cands,
+            &assignment,
+            Some(ex.subject("U")),
+        )
+        .expect("assignments drawn from Λ extend (Theorem 5.2)");
+        let keys = plan_keys(&ext);
+        let user = ex.subject("U");
+
+        let concurrent = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, seed)
+            .run(&ext, &keys, user)
+            .expect("authorized concurrent run");
+        let sequential = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, seed)
+            .run_sequential(&ext, &keys, user)
+            .expect("authorized sequential run");
+
+        // Result equivalence: bit-identical tables (both paths build
+        // the same per-node contexts, so even ciphertext-derived floats
+        // agree exactly).
+        prop_assert_eq!(concurrent.result.cols.clone(), sequential.result.cols.clone());
+        prop_assert_eq!(
+            concurrent.result.rows.len(),
+            sequential.result.rows.len(),
+            "row count diverged"
+        );
+        for (a, b) in concurrent.result.rows.iter().zip(&sequential.result.rows) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!(x.sql_eq(y), "cell diverged: {:?} vs {:?}", x, y);
+            }
+        }
+
+        // Identical wire accounting, edge by edge.
+        prop_assert_eq!(&concurrent.transfers, &sequential.transfers);
+        prop_assert_eq!(concurrent.requests, sequential.requests);
+        prop_assert_eq!(concurrent.total_bytes(), sequential.total_bytes());
+    }
+}
