@@ -21,6 +21,143 @@ const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
 const DEFAULT_BETWEEN_SEL: f64 = 0.11;
 const DEFAULT_LIKE_SEL: f64 = 0.1;
 
+/// An equi-depth histogram over a numeric (int/num/date) column.
+///
+/// Buckets hold near-equal row fractions; heavy values may widen a
+/// bucket's share. Bucket `i` covers the closed interval
+/// `[lo[i], hi[i]]`; intervals are disjoint and ascending.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    /// Lower bound of each bucket (inclusive).
+    lo: Vec<f64>,
+    /// Upper bound of each bucket (inclusive).
+    hi: Vec<f64>,
+    /// Fraction of non-null rows in each bucket (sums to 1).
+    frac: Vec<f64>,
+    /// Distinct values in each bucket (≥ 1).
+    ndv: Vec<f64>,
+}
+
+impl Histogram {
+    /// Build from a **sorted** slice of sampled values with the target
+    /// bucket count. Returns `None` on an empty sample.
+    pub fn from_sorted(values: &[f64], buckets: usize) -> Option<Histogram> {
+        if values.is_empty() {
+            return None;
+        }
+        // Run-length encode so a heavy value never straddles buckets.
+        let mut runs: Vec<(f64, usize)> = Vec::new();
+        for &v in values {
+            match runs.last_mut() {
+                Some((rv, n)) if *rv == v => *n += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        let n = values.len() as f64;
+        let buckets = buckets.clamp(1, runs.len());
+        let depth = values.len().div_ceil(buckets);
+        let mut h = Histogram::default();
+        let (mut count, mut ndv, mut lo) = (0usize, 0.0f64, runs[0].0);
+        let mut hi = lo;
+        let mut flush = |lo: f64, hi: f64, count: usize, ndv: f64| {
+            h.lo.push(lo);
+            h.hi.push(hi);
+            h.frac.push(count as f64 / n);
+            h.ndv.push(ndv);
+        };
+        for (i, &(v, c)) in runs.iter().enumerate() {
+            // A value heavy enough to fill a bucket by itself gets a
+            // singleton bucket, so its equality fraction is exact
+            // rather than averaged into its neighbours.
+            if c >= depth {
+                if count > 0 {
+                    flush(lo, hi, count, ndv);
+                    count = 0;
+                    ndv = 0.0;
+                }
+                flush(v, v, c, 1.0);
+                continue;
+            }
+            if count == 0 {
+                lo = v;
+            }
+            count += c;
+            ndv += 1.0;
+            hi = v;
+            if count >= depth || i + 1 == runs.len() {
+                flush(lo, hi, count, ndv);
+                count = 0;
+                ndv = 0.0;
+            }
+        }
+        Some(h)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Scale every per-bucket distinct count by `factor` (used when
+    /// extrapolating sampled statistics to a larger population).
+    /// Singleton buckets (`lo == hi`) hold exactly one distinct value
+    /// by construction — a heavy value's equality fraction is exact
+    /// and must not be diluted by the sample scale-up.
+    pub fn scale_ndv(&mut self, factor: f64) {
+        for i in 0..self.ndv.len() {
+            if self.lo[i] == self.hi[i] {
+                continue;
+            }
+            self.ndv[i] = (self.ndv[i] * factor).max(1.0);
+        }
+    }
+
+    /// Fraction of rows equal to `x` (uniform within the bucket).
+    pub fn eq_fraction(&self, x: f64) -> f64 {
+        for i in 0..self.buckets() {
+            if x >= self.lo[i] && x <= self.hi[i] {
+                return self.frac[i] / self.ndv[i].max(1.0);
+            }
+        }
+        0.0
+    }
+
+    /// Fraction of rows strictly below `x` (linear interpolation inside
+    /// the containing bucket).
+    pub fn lt_fraction(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.buckets() {
+            if x > self.hi[i] {
+                acc += self.frac[i];
+            } else if x >= self.lo[i] {
+                let span = self.hi[i] - self.lo[i];
+                let part = if span > 0.0 {
+                    (x - self.lo[i]) / span
+                } else {
+                    0.0
+                };
+                return acc + self.frac[i] * part;
+            } else {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Fraction of rows at or below `x`.
+    pub fn le_fraction(&self, x: f64) -> f64 {
+        (self.lt_fraction(x) + self.eq_fraction(x)).min(1.0)
+    }
+
+    /// Fraction of rows in the closed interval `[a, b]`.
+    pub fn between_fraction(&self, a: f64, b: f64) -> f64 {
+        if b < a {
+            return 0.0;
+        }
+        (self.le_fraction(b) - self.lt_fraction(a)).clamp(0.0, 1.0)
+    }
+}
+
 /// Statistics for one column of a base table.
 #[derive(Clone, Debug)]
 pub struct ColumnStats {
@@ -34,6 +171,10 @@ pub struct ColumnStats {
     pub avg_width: f64,
     /// Fraction of NULLs.
     pub null_frac: f64,
+    /// Equi-depth histogram on the value distribution, when collected
+    /// (`mpq_planner::stats::collect_stats` samples one per numeric
+    /// column; analytic statistics leave it empty).
+    pub histogram: Option<Histogram>,
 }
 
 impl ColumnStats {
@@ -53,6 +194,7 @@ impl ColumnStats {
             max: None,
             avg_width: width,
             null_frac: 0.0,
+            histogram: None,
         }
     }
 }
@@ -101,6 +243,35 @@ impl StatsCatalog {
     /// Table statistics, if registered.
     pub fn table(&self, rel: RelId) -> Option<&TableStats> {
         self.tables.get(&rel)
+    }
+
+    /// Mutable table statistics, if registered.
+    pub fn table_mut(&mut self, rel: RelId) -> Option<&mut TableStats> {
+        self.tables.get_mut(&rel)
+    }
+
+    /// Extrapolate statistics collected on a sample population to one
+    /// `factor` times larger (TPC-H scale factors: the value domains of
+    /// categorical and range columns are scale-invariant, while key-like
+    /// columns — distinct count proportional to the table — grow with
+    /// it). A column is treated as key-like when its distinct count
+    /// exceeds 10% of the sampled rows, the same convention PostgreSQL
+    /// uses to decide whether `n_distinct` scales with the table.
+    pub fn scale_population(&mut self, factor: f64) {
+        for t in self.tables.values_mut() {
+            let old_rows = t.rows.max(1.0);
+            t.rows = (t.rows * factor).max(1.0);
+            for c in t.columns.values_mut() {
+                let key_like = c.ndv >= 0.1 * old_rows;
+                if key_like {
+                    c.ndv *= factor;
+                    if let Some(h) = &mut c.histogram {
+                        h.scale_ndv(factor);
+                    }
+                }
+                c.ndv = c.ndv.min(t.rows).max(1.0);
+            }
+        }
     }
 
     /// Column statistics, if registered.
@@ -183,7 +354,9 @@ pub fn estimate_plan(plan: &QueryPlan, catalog: &Catalog, stats: &StatsCatalog) 
             Operator::Select { pred } => {
                 let child = out[node.children[0].index()].clone();
                 let sel = selectivity(pred, &child, catalog, stats);
-                scale(child, sel)
+                let mut est = scale(child, sel);
+                refine_ndv(pred, &mut est, catalog, stats);
+                est
             }
             Operator::Having { pred } => {
                 let child = out[node.children[0].index()].clone();
@@ -266,6 +439,90 @@ fn scale(mut est: Estimate, sel: f64) -> Estimate {
     est
 }
 
+/// Tighten per-attribute distinct counts for columns a predicate
+/// constrains directly. Walks top-level conjunctions only: an equality
+/// pins the column to one value; a range keeps the covered fraction of
+/// its distinct values; an IN keeps at most the list's length.
+fn refine_ndv(pred: &Expr, est: &mut Estimate, catalog: &Catalog, stats: &StatsCatalog) {
+    match pred {
+        Expr::And(v) => {
+            for e in v {
+                refine_ndv(e, est, catalog, stats);
+            }
+        }
+        Expr::Cmp(a, op, b) => {
+            // Normalize to column-on-the-left: `lit < col` constrains
+            // the column as `col > lit`.
+            let (col, lit, op) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) => (*c, v, *op),
+                (Expr::Lit(v), Expr::Col(c)) => (*c, v, op.flipped()),
+                _ => return,
+            };
+            if op.is_equality() {
+                est.ndv.insert(col, 1.0);
+            } else if op != CmpOp::Ne {
+                let frac = cmp_col_lit_sel(col, op, lit, est, catalog, stats);
+                if let Some(n) = est.ndv.get_mut(&col) {
+                    *n = (*n * frac).max(1.0);
+                }
+            }
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated: false,
+        } => {
+            if let (Expr::Col(c), Expr::Lit(a), Expr::Lit(b)) =
+                (expr.as_ref(), lo.as_ref(), hi.as_ref())
+            {
+                if let (Some(x), Some(y)) = (value_as_f64(a), value_as_f64(b)) {
+                    let frac =
+                        range_fraction(*c, x, y, catalog, stats).unwrap_or(DEFAULT_BETWEEN_SEL);
+                    if let Some(n) = est.ndv.get_mut(c) {
+                        *n = (*n * frac).max(1.0);
+                    }
+                }
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            if let Expr::Col(c) = expr.as_ref() {
+                if let Some(n) = est.ndv.get_mut(c) {
+                    *n = n.min(list.len() as f64).max(1.0);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Fraction of a column's rows inside `[lo, hi]`, from the histogram
+/// when one is collected, else from min/max interpolation.
+fn range_fraction(
+    col: AttrId,
+    lo: f64,
+    hi: f64,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+) -> Option<f64> {
+    let rel = catalog.attr_owner(col);
+    let cs = stats.column(rel, col)?;
+    if let Some(h) = &cs.histogram {
+        return Some(h.between_fraction(lo, hi));
+    }
+    let (mn, mx) = (cs.min?, cs.max?);
+    if mx <= mn {
+        return None;
+    }
+    let a = lo.max(mn);
+    let b = hi.min(mx);
+    Some(((b - a) / (mx - mn)).clamp(0.0, 1.0))
+}
+
 fn join_estimate(
     kind: JoinKind,
     on: &[(AttrId, CmpOp, AttrId)],
@@ -300,6 +557,19 @@ fn join_estimate(
     if kind.keeps_right() {
         ndv.extend(r.ndv.iter().map(|(k, v)| (*k, *v)));
     }
+    // An equi-join keeps only key values present on both sides: both
+    // key columns end up with (at most) the smaller distinct count.
+    if kind == JoinKind::Inner {
+        for (a, op, b) in on {
+            if op.is_equality() {
+                let nl = l.ndv.get(a).copied().unwrap_or(100.0);
+                let nr = r.ndv.get(b).copied().unwrap_or(100.0);
+                let joint = nl.min(nr);
+                ndv.insert(*a, joint);
+                ndv.insert(*b, joint);
+            }
+        }
+    }
     Estimate { rows, ndv }
 }
 
@@ -320,8 +590,11 @@ pub fn selectivity(pred: &Expr, input: &Estimate, catalog: &Catalog, stats: &Sta
         }
         Expr::Not(e) => 1.0 - selectivity(e, input, catalog, stats),
         Expr::Cmp(a, op, b) => match (a.as_ref(), b.as_ref()) {
-            (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c)) => {
-                cmp_col_lit_sel(*c, *op, v, input, catalog, stats)
+            // `lit op col` constrains the column under the flipped
+            // operator (`100 > price` ⇔ `price < 100`).
+            (Expr::Col(c), Expr::Lit(v)) => cmp_col_lit_sel(*c, *op, v, input, catalog, stats),
+            (Expr::Lit(v), Expr::Col(c)) => {
+                cmp_col_lit_sel(*c, op.flipped(), v, input, catalog, stats)
             }
             (Expr::Col(c1), Expr::Col(c2)) => {
                 if op.is_equality() {
@@ -340,7 +613,36 @@ pub fn selectivity(pred: &Expr, input: &Estimate, catalog: &Catalog, stats: &Sta
                 }
             }
         },
-        Expr::Between { .. } => DEFAULT_BETWEEN_SEL,
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            if let (Expr::Col(c), Expr::Lit(a), Expr::Lit(b)) =
+                (expr.as_ref(), lo.as_ref(), hi.as_ref())
+            {
+                if let (Some(x), Some(y)) = (value_as_f64(a), value_as_f64(b)) {
+                    if let Some(frac) = range_fraction(*c, x, y, catalog, stats) {
+                        // NULLs satisfy neither BETWEEN nor NOT
+                        // BETWEEN, matching the `>=`/`<=` spelling of
+                        // the same predicate.
+                        let nonnull = 1.0
+                            - stats
+                                .column(catalog.attr_owner(*c), *c)
+                                .map(|cs| cs.null_frac)
+                                .unwrap_or(0.0);
+                        let inside = if *negated { 1.0 - frac } else { frac };
+                        return (inside * nonnull).clamp(1e-4, 1.0);
+                    }
+                }
+            }
+            if *negated {
+                1.0 - DEFAULT_BETWEEN_SEL
+            } else {
+                DEFAULT_BETWEEN_SEL
+            }
+        }
         Expr::Like { negated, .. } => {
             if *negated {
                 1.0 - DEFAULT_LIKE_SEL
@@ -392,6 +694,24 @@ fn cmp_col_lit_sel(
     stats: &StatsCatalog,
 ) -> f64 {
     let ndv = input.ndv.get(&col).copied().unwrap_or(100.0);
+    let rel = catalog.attr_owner(col);
+    let cs = stats.column(rel, col);
+    let x = value_as_f64(lit);
+    // Histogram path: the collected value distribution answers
+    // equality and range predicates directly.
+    if let (Some(cs), Some(x)) = (cs, x) {
+        if let Some(h) = &cs.histogram {
+            let nonnull = 1.0 - cs.null_frac;
+            return match op {
+                CmpOp::Eq => (h.eq_fraction(x) * nonnull).max(1e-6),
+                CmpOp::Ne => ((1.0 - h.eq_fraction(x)) * nonnull).clamp(0.0, 1.0),
+                CmpOp::Lt => (h.lt_fraction(x) * nonnull).clamp(1e-4, 1.0),
+                CmpOp::Le => (h.le_fraction(x) * nonnull).clamp(1e-4, 1.0),
+                CmpOp::Gt => ((1.0 - h.le_fraction(x)) * nonnull).clamp(1e-4, 1.0),
+                CmpOp::Ge => ((1.0 - h.lt_fraction(x)) * nonnull).clamp(1e-4, 1.0),
+            };
+        }
+    }
     if op.is_equality() {
         return (1.0 / ndv.max(1.0)).max(DEFAULT_EQ_SEL.min(1.0 / ndv.max(1.0)));
     }
@@ -399,8 +719,7 @@ fn cmp_col_lit_sel(
         return 1.0 - 1.0 / ndv.max(1.0);
     }
     // Range: interpolate against min/max when available.
-    let rel = catalog.attr_owner(col);
-    if let (Some(cs), Some(x)) = (stats.column(rel, col), value_as_f64(lit)) {
+    if let (Some(cs), Some(x)) = (cs, x) {
         if let (Some(lo), Some(hi)) = (cs.min, cs.max) {
             if hi > lo {
                 let frac_below = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
@@ -507,6 +826,139 @@ mod tests {
         let rows = est[plan.root().index()].rows;
         // ~2 * 20 rows.
         assert!(rows > 30.0 && rows < 50.0, "{rows}");
+    }
+
+    #[test]
+    fn histogram_equi_depth_on_uniform_data() {
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::from_sorted(&vals, 10).unwrap();
+        assert_eq!(h.buckets(), 10);
+        // lt(500) ≈ 0.5, between(250, 749) ≈ 0.5.
+        assert!((h.lt_fraction(500.0) - 0.5).abs() < 0.02);
+        assert!((h.between_fraction(250.0, 749.0) - 0.5).abs() < 0.02);
+        // Equality on a 1000-distinct-value column ≈ 1/1000.
+        assert!((h.eq_fraction(123.0) - 0.001).abs() < 0.0005);
+        // Out of range.
+        assert_eq!(h.eq_fraction(-5.0), 0.0);
+        assert_eq!(h.lt_fraction(-5.0), 0.0);
+        assert!((h.lt_fraction(5000.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_isolates_heavy_values() {
+        // 90% of the mass on value 7, the rest uniform on 0..100.
+        let mut vals: Vec<f64> = vec![7.0; 900];
+        vals.extend((0..100).map(|i| i as f64));
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let h = Histogram::from_sorted(&vals, 20).unwrap();
+        // The heavy value's equality fraction must reflect its mass,
+        // not the 1/ndv average (which would be ~1/101).
+        assert!(h.eq_fraction(7.0) > 0.5, "{}", h.eq_fraction(7.0));
+        // A light value stays far below the heavy one.
+        assert!(h.eq_fraction(93.0) < 0.05);
+    }
+
+    #[test]
+    fn histogram_overrides_ndv_guess() {
+        let (cat, mut stats) = setup();
+        // Attach a skewed histogram to the premium column: 90% zeros.
+        let ins = cat.relation("Ins").unwrap().rel;
+        let p = cat.attr("P").unwrap();
+        let mut vals = vec![0.0f64; 9000];
+        vals.extend((0..1000).map(|i| i as f64 + 1.0));
+        let t = stats.tables.get_mut(&ins).unwrap();
+        let c = t.columns.get_mut(&p).unwrap();
+        c.histogram = Histogram::from_sorted(&vals, 16);
+        let plan = plan_sql(&cat, "select C from Ins where P=0").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let rows = est[plan.root().index()].rows;
+        assert!(rows > 7000.0, "heavy value should estimate high: {rows}");
+        let plan = plan_sql(&cat, "select C from Ins where P>500").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let rows = est[plan.root().index()].rows;
+        assert!(rows < 1500.0, "tail range should estimate low: {rows}");
+    }
+
+    #[test]
+    fn not_between_inverts_the_histogram_fraction() {
+        let (cat, mut stats) = setup();
+        let ins = cat.relation("Ins").unwrap().rel;
+        let p = cat.attr("P").unwrap();
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let cs = stats
+            .tables
+            .get_mut(&ins)
+            .unwrap()
+            .columns
+            .get_mut(&p)
+            .unwrap();
+        cs.histogram = Histogram::from_sorted(&vals, 16);
+        let plan = plan_sql(&cat, "select C, P from Ins").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let input = est[plan.root().index()].clone();
+        let between = |negated: bool| Expr::Between {
+            expr: Box::new(Expr::Col(p)),
+            lo: Box::new(Expr::Lit(Value::Num(0.0))),
+            hi: Box::new(Expr::Lit(Value::Num(899.0))),
+            negated,
+        };
+        let inside = selectivity(&between(false), &input, &cat, &stats);
+        let outside = selectivity(&between(true), &input, &cat, &stats);
+        assert!(inside > 0.8, "inside {inside}");
+        assert!(outside < 0.2, "NOT BETWEEN must invert: {outside}");
+        assert!((inside + outside - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn scale_ndv_preserves_singleton_heavy_buckets() {
+        let mut vals: Vec<f64> = vec![7.0; 900];
+        vals.extend((0..100).map(|i| 1000.0 + i as f64));
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut h = Histogram::from_sorted(&vals, 20).unwrap();
+        let before = h.eq_fraction(7.0);
+        h.scale_ndv(10.0);
+        // The heavy value's bucket holds exactly one distinct value;
+        // population scale-up must not dilute its equality fraction.
+        assert_eq!(h.eq_fraction(7.0), before);
+        // Multi-value buckets do scale.
+        assert!(h.eq_fraction(1050.0) < 0.01);
+    }
+
+    #[test]
+    fn literal_on_the_left_flips_the_operator() {
+        let (cat, mut stats) = setup();
+        let ins = cat.relation("Ins").unwrap().rel;
+        let p = cat.attr("P").unwrap();
+        // Give the premium column a real range so < and > differ.
+        let cs = stats
+            .tables
+            .get_mut(&ins)
+            .unwrap()
+            .columns
+            .get_mut(&p)
+            .unwrap();
+        cs.min = Some(0.0);
+        cs.max = Some(1000.0);
+        let plan = plan_sql(&cat, "select C, P from Ins").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let input = est[plan.root().index()].clone();
+        // `100 > P` must estimate like `P < 100`, not like `P > 100`.
+        let lit_left = Expr::cmp(Expr::Lit(Value::Num(100.0)), CmpOp::Gt, Expr::Col(p));
+        let col_left = Expr::cmp(Expr::Col(p), CmpOp::Lt, Expr::Lit(Value::Num(100.0)));
+        let sel = selectivity(&lit_left, &input, &cat, &stats);
+        assert_eq!(sel, selectivity(&col_left, &input, &cat, &stats));
+        assert!(sel < 0.2, "P < 100 over 0..1000 should be selective: {sel}");
+    }
+
+    #[test]
+    fn equality_selection_pins_ndv() {
+        let (cat, stats) = setup();
+        let plan = plan_sql(&cat, "select S, D from Hosp where D='stroke'").unwrap();
+        let est = estimate_plan(&plan, &cat, &stats);
+        let d = cat.attr("D").unwrap();
+        // After D='stroke' the column has one distinct value, so a
+        // group-by over it would estimate a single group.
+        assert_eq!(est[plan.root().index()].ndv.get(&d).copied(), Some(1.0));
     }
 
     #[test]

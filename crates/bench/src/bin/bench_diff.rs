@@ -1,0 +1,83 @@
+//! CI perf-regression gate: diff a fresh `BENCH_dist.json` against the
+//! committed `BENCH_baseline.json`.
+//!
+//! ```text
+//! cargo run -p mpq-bench --bin bench_diff --release -- \
+//!     [--baseline BENCH_baseline.json] [--current BENCH_dist.json] \
+//!     [--latency-tolerance 0.25] [--bytes-tolerance 0.25]
+//! ```
+//!
+//! Prints a Markdown delta table (append it to `$GITHUB_STEP_SUMMARY`
+//! in CI) and exits non-zero when the concurrent p50 latency or the
+//! bytes/requests per query regress beyond tolerance. After a
+//! deliberate protocol or performance change, regenerate the baseline:
+//! `cargo run -p mpq-bench --bin throughput --release -- --smoke
+//! --out BENCH_baseline.json` and commit it with the change.
+
+use mpq_bench::diff::{compare, render_markdown};
+
+fn main() {
+    let mut baseline = String::from("BENCH_baseline.json");
+    let mut current = String::from("BENCH_dist.json");
+    let mut latency_tol = 0.25f64;
+    let mut bytes_tol = 0.25f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--baseline" => baseline = take(&mut i),
+            "--current" => current = take(&mut i),
+            "--latency-tolerance" => {
+                latency_tol = take(&mut i).parse().expect("tolerance is a fraction")
+            }
+            "--bytes-tolerance" => {
+                bytes_tol = take(&mut i).parse().expect("tolerance is a fraction")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "flags: --baseline <path> --current <path> \
+                     --latency-tolerance <frac> --bytes-tolerance <frac>"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let deltas = compare(&read(&baseline), &read(&current), latency_tol, bytes_tol);
+    if deltas.is_empty() {
+        eprintln!("no comparable metrics found — malformed report?");
+        std::process::exit(2);
+    }
+    print!("{}", render_markdown(&deltas));
+    let failed: Vec<_> = deltas.iter().filter(|d| d.regressed()).collect();
+    if !failed.is_empty() {
+        for d in &failed {
+            eprintln!(
+                "REGRESSION: {} {:.3} → {:.3} ({:+.1}%)",
+                d.name,
+                d.baseline,
+                d.current,
+                d.delta * 100.0
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Fit the §7 price book against measured execution.
+//!
+//! ```text
+//! cargo run -p mpq-bench --bin calibrate --release -- [--sf 0.02] \
+//!     [--seed 2026] [--out CALIBRATION.json]
+//! ```
+//!
+//! Replays the Figure 9/10 workloads through `mpq-exec` (tuple-cost
+//! fit) and `mpq-dist` (bytes per edge, plan ranking), times the
+//! crypto substrate value-by-value, prints the fitted constants next
+//! to the committed `mpq_planner::pricing::calibrated` values, and
+//! writes the full measurement record to `CALIBRATION.json`.
+//!
+//! Exits non-zero when the model's plan ranking disagrees with
+//! measured execution on any replayed query — the "cost ranking
+//! matches observed behavior" gate.
+
+use mpq_bench::calibrate::{render, run_calibration, to_json, CalibrateConfig};
+
+fn main() {
+    let mut cfg = CalibrateConfig::default();
+    let mut out = String::from("CALIBRATION.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--sf" => cfg.sf = take(&mut i).parse().expect("--sf takes a float"),
+            "--seed" => cfg.seed = take(&mut i).parse().expect("--seed takes an integer"),
+            "--out" => out = take(&mut i),
+            "--help" | "-h" => {
+                println!("flags: --sf <f64> --seed <u64> --out <path>");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let calibration = run_calibration(&cfg);
+    print!("{}", render(&calibration));
+    std::fs::write(&out, to_json(&calibration)).expect("write calibration json");
+    println!("\nwrote {out}");
+
+    if calibration.rank_agreement() < 1.0 {
+        eprintln!("FAIL: cost-model plan ranking disagrees with measured execution");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Benchmark regression diffing for the CI perf gate.
+//!
+//! Compares a freshly produced `BENCH_dist.json` (the `throughput`
+//! harness report) against the committed `BENCH_baseline.json` and
+//! fails on regressions: by default, >25% on concurrent p50 latency or
+//! on bytes-per-query. Bytes and requests are deterministic per
+//! configuration, so any byte growth is a real protocol change;
+//! latency carries runner noise, which the threshold absorbs.
+//!
+//! The comparison prints as a Markdown table so the CI job can append
+//! it to `$GITHUB_STEP_SUMMARY`.
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub current: f64,
+    /// Relative change, `current/baseline − 1` (positive = grew).
+    pub delta: f64,
+    /// Tolerance for this metric (`None` = informational only).
+    pub tolerance: Option<f64>,
+    /// Whether growth is a regression (latency/bytes) or an
+    /// improvement (qps).
+    pub higher_is_worse: bool,
+}
+
+impl MetricDelta {
+    /// Does this metric fail its gate?
+    pub fn regressed(&self) -> bool {
+        match self.tolerance {
+            None => false,
+            Some(tol) => {
+                if self.higher_is_worse {
+                    self.delta > tol
+                } else {
+                    self.delta < -tol
+                }
+            }
+        }
+    }
+}
+
+/// Extract `"key": <number>` from a JSON object body.
+fn field(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract a nested object's body, e.g. `section = "concurrent"`.
+fn section<'a>(text: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\":");
+    let at = text.find(&pat)? + pat.len();
+    let open = text[at..].find('{')? + at;
+    let close = text[open..].find('}')? + open;
+    Some(&text[open..=close])
+}
+
+/// Compare two `BENCH_dist.json` documents. `latency_tol` and
+/// `bytes_tol` are fractions (0.25 = 25%).
+pub fn compare(
+    baseline: &str,
+    current: &str,
+    latency_tol: f64,
+    bytes_tol: f64,
+) -> Vec<MetricDelta> {
+    let metric = |name: &'static str,
+                  get: &dyn Fn(&str) -> Option<f64>,
+                  tolerance: Option<f64>,
+                  higher_is_worse: bool|
+     -> Option<MetricDelta> {
+        let b = get(baseline)?;
+        let c = get(current)?;
+        let delta = if b.abs() > 1e-12 { c / b - 1.0 } else { 0.0 };
+        Some(MetricDelta {
+            name,
+            baseline: b,
+            current: c,
+            delta,
+            tolerance,
+            higher_is_worse,
+        })
+    };
+    [
+        metric(
+            "concurrent p50 (ms)",
+            &|t| field(section(t, "concurrent")?, "p50_ms"),
+            Some(latency_tol),
+            true,
+        ),
+        metric(
+            "concurrent p95 (ms)",
+            &|t| field(section(t, "concurrent")?, "p95_ms"),
+            None,
+            true,
+        ),
+        metric(
+            "sequential p50 (ms)",
+            &|t| field(section(t, "sequential")?, "p50_ms"),
+            None,
+            true,
+        ),
+        metric(
+            "bytes per query",
+            &|t| field(t, "bytes_per_query"),
+            Some(bytes_tol),
+            true,
+        ),
+        metric(
+            "requests per query",
+            &|t| field(t, "requests_per_query"),
+            Some(bytes_tol),
+            true,
+        ),
+        metric(
+            "concurrent qps",
+            &|t| field(section(t, "concurrent")?, "qps"),
+            None,
+            false,
+        ),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Render the Markdown delta table.
+pub fn render_markdown(deltas: &[MetricDelta]) -> String {
+    let mut s = String::from("## Bench diff vs committed baseline\n\n");
+    s.push_str("| metric | baseline | current | delta | gate |\n");
+    s.push_str("|---|---:|---:|---:|---|\n");
+    for d in deltas {
+        let gate = match d.tolerance {
+            None => "—".to_string(),
+            Some(tol) => {
+                if d.regressed() {
+                    format!("❌ >{:.0}%", tol * 100.0)
+                } else {
+                    format!("✅ ≤{:.0}%", tol * 100.0)
+                }
+            }
+        };
+        s.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:+.1}% | {} |\n",
+            d.name,
+            d.baseline,
+            d.current,
+            d.delta * 100.0,
+            gate
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "config": {"sessions": 2},
+  "concurrent": {"queries": 10, "qps": 4.0, "p50_ms": 100.0, "p95_ms": 200.0, "mean_ms": 120.0},
+  "sequential": {"queries": 10, "qps": 3.5, "p50_ms": 110.0, "p95_ms": 210.0, "mean_ms": 130.0},
+  "bytes_per_query": 1000.0,
+  "requests_per_query": 2.60
+}"#;
+
+    fn with(p50: f64, bytes: f64) -> String {
+        BASE.replace("\"p50_ms\": 100.0", &format!("\"p50_ms\": {p50}"))
+            .replace(
+                "\"bytes_per_query\": 1000.0",
+                &format!("\"bytes_per_query\": {bytes}"),
+            )
+    }
+
+    #[test]
+    fn equal_reports_pass() {
+        let deltas = compare(BASE, BASE, 0.25, 0.25);
+        assert!(deltas.iter().all(|d| !d.regressed()));
+        assert_eq!(deltas.len(), 6);
+    }
+
+    #[test]
+    fn latency_regression_trips_gate() {
+        let current = with(130.0, 1000.0);
+        let deltas = compare(BASE, &current, 0.25, 0.25);
+        let p50 = deltas.iter().find(|d| d.name.contains("p50")).unwrap();
+        assert!(p50.regressed(), "{p50:?}");
+    }
+
+    #[test]
+    fn latency_improvement_passes() {
+        let current = with(60.0, 1000.0);
+        let deltas = compare(BASE, &current, 0.25, 0.25);
+        assert!(deltas.iter().all(|d| !d.regressed()));
+    }
+
+    #[test]
+    fn bytes_regression_trips_gate() {
+        let current = with(100.0, 1400.0);
+        let deltas = compare(BASE, &current, 0.25, 0.25);
+        let b = deltas.iter().find(|d| d.name == "bytes per query").unwrap();
+        assert!(b.regressed());
+    }
+
+    #[test]
+    fn markdown_renders_all_rows() {
+        let md = render_markdown(&compare(BASE, BASE, 0.25, 0.25));
+        assert!(md.contains("| concurrent p50 (ms) |"));
+        assert!(md.contains("| bytes per query |"));
+        assert!(md.contains("✅"));
+    }
+
+    #[test]
+    fn nested_sections_do_not_collide() {
+        // concurrent and sequential both carry p50_ms; section() must
+        // pick the right one.
+        let deltas = compare(BASE, BASE, 0.25, 0.25);
+        let conc = deltas
+            .iter()
+            .find(|d| d.name == "concurrent p50 (ms)")
+            .unwrap();
+        let seq = deltas
+            .iter()
+            .find(|d| d.name == "sequential p50 (ms)")
+            .unwrap();
+        assert_eq!(conc.baseline, 100.0);
+        assert_eq!(seq.baseline, 110.0);
+    }
+}

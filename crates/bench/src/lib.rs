@@ -7,7 +7,14 @@
 //!   UAPenc / UAPmix scenarios (the paper's Figure 9);
 //! * `cargo run -p mpq-bench --bin figure10 --release` — cumulative
 //!   cost and headline savings (Figure 10; paper: 54.2% for UAPenc,
-//!   71.3% for UAPmix);
+//!   71.3% for UAPmix; this reproduction: 53.5% / 88.6%, pinned by
+//!   `tests/figure10_pin.rs`);
+//! * `cargo run -p mpq-bench --bin calibrate --release` — fit the
+//!   price book's execution constants against measured `mpq-exec`/
+//!   `mpq-dist`/`mpq-crypto` behavior (see [`calibrate`]);
+//! * `cargo run -p mpq-bench --bin bench_diff --release` — the CI
+//!   perf gate: diff a fresh `BENCH_dist.json` against the committed
+//!   `BENCH_baseline.json` (see [`diff`]);
 //! * `cargo run -p mpq-bench --bin ablation --release` — the §5
 //!   maximize-/minimize-visibility strategies versus the minimal
 //!   extension;
@@ -21,23 +28,52 @@
 //!   crypto substrate, candidate computation, minimal extension, and
 //!   the optimizer.
 
+pub mod calibrate;
+pub mod diff;
 pub mod throughput;
 
+use mpq_algebra::stats::StatsCatalog;
 use mpq_core::capability::CapabilityPolicy;
+use mpq_planner::stats::{collect_stats, SampleConfig};
 use mpq_planner::{build_scenario, optimize, Optimized, Scenario, Strategy};
-use mpq_tpch::{query_plan, tpch_catalog, tpch_stats, QUERY_COUNT};
+use mpq_tpch::{generate, query_plan, tpch_catalog, QUERY_COUNT};
+use std::sync::OnceLock;
+
+/// Scale factor the evaluation statistics are *sampled* at: TPC-H data
+/// is generated at this size, measured column-by-column, and the
+/// population scaled to SF 1.
+pub const STATS_SAMPLE_SF: f64 = 0.02;
+
+/// Seed for the statistics-collection data generation.
+pub const STATS_SEED: u64 = 2026;
+
+/// Statistics for the SF-1 evaluation, collected once per process by
+/// sampling real generated data at [`STATS_SAMPLE_SF`] and
+/// extrapolating the population to the paper's 1 GB configuration —
+/// the measured stand-in for the PostgreSQL estimates the paper's tool
+/// consumed (row counts, distinct values, min/max, NULL fractions,
+/// equi-depth histograms).
+pub fn evaluation_stats() -> &'static StatsCatalog {
+    static STATS: OnceLock<StatsCatalog> = OnceLock::new();
+    STATS.get_or_init(|| {
+        let (cat, db) = generate(STATS_SAMPLE_SF, STATS_SEED);
+        let mut stats = collect_stats(&cat, &db, &SampleConfig::default());
+        stats.scale_population(1.0 / STATS_SAMPLE_SF);
+        stats
+    })
+}
 
 /// Optimize one TPC-H query under one scenario at SF 1 (the paper's
 /// 1 GB configuration) with the evaluation capability policy.
 pub fn run_query(q: usize, scenario: Scenario, strategy: Strategy) -> Optimized {
     let cat = tpch_catalog();
-    let stats = tpch_stats(&cat, 1.0);
+    let stats = evaluation_stats();
     let env = build_scenario(&cat, scenario);
     let plan = query_plan(&cat, q);
     optimize(
         &plan,
         &cat,
-        &stats,
+        stats,
         &env,
         &CapabilityPolicy::tpch_evaluation(),
         strategy,

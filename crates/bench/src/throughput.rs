@@ -26,8 +26,9 @@ use mpq_core::subjects::Subjects;
 use mpq_crypto::keyring::KeyRing;
 use mpq_dist::Simulator;
 use mpq_exec::{Database, SchemePlan, Table};
+use mpq_planner::stats::{collect_stats, SampleConfig};
 use mpq_planner::{build_scenario, optimize, Scenario, Strategy};
-use mpq_tpch::{generate, query_plan, tpch_stats};
+use mpq_tpch::{generate, query_plan};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -224,7 +225,9 @@ pub fn build_workload(cfg: &ThroughputConfig) -> Workload {
 
     if !cfg.tpch_queries.is_empty() {
         let (cat, db) = generate(cfg.tpch_sf, cfg.seed);
-        let stats = tpch_stats(&cat, cfg.tpch_sf);
+        // Statistics are collected from the data actually executed,
+        // not analytic guesses (`mpq_planner::stats`).
+        let stats = collect_stats(&cat, &db, &SampleConfig::default());
         let env = build_scenario(&cat, Scenario::UAPenc);
         for &q in &cfg.tpch_queries {
             let plan = query_plan(&cat, q);

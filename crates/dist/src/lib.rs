@@ -82,6 +82,11 @@ pub struct Report {
     /// envelopes (user → executor) and result tables (producer →
     /// consumer, plus root → user).
     pub transfers: HashMap<(SubjectId, SubjectId), usize>,
+    /// The request-envelope share of [`Report::transfers`] (user →
+    /// executor dispatch bytes), kept separate so data-flow transfers
+    /// can be compared against the §7 cost model, which prices plan
+    /// edges, not protocol dispatch.
+    pub request_bytes: HashMap<(SubjectId, SubjectId), usize>,
     /// Number of signed sub-query requests dispatched.
     pub requests: usize,
 }
@@ -285,6 +290,7 @@ impl<'a> Simulator<'a> {
         }
         let exec_plan = rewrite_literals(
             &ext.plan,
+            self.catalog,
             &schemes,
             &key_of_attr,
             &dispatcher_ring,
@@ -423,6 +429,7 @@ impl<'a> Simulator<'a> {
         Ok(Report {
             result,
             transfers,
+            request_bytes: prepared.transfers.clone(),
             requests: prepared.requests,
         })
     }

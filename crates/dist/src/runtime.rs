@@ -382,6 +382,7 @@ pub(crate) fn run_concurrent(
     Ok(crate::Report {
         result: result.expect("user party delivered the result"),
         transfers,
+        request_bytes: prepared.transfers.clone(),
         requests: prepared.requests,
     })
 }

@@ -236,6 +236,7 @@ fn expr_caps(e: &Expr, enc: &AttrSet, touch: &mut dyn FnMut(AttrId, &dyn Fn(&mut
 /// dispatcher-side, conceptually by the key-holding authorities).
 pub fn rewrite_literals<R: Rng + ?Sized>(
     plan: &QueryPlan,
+    catalog: &mpq_algebra::Catalog,
     schemes: &SchemePlan,
     key_of_attr: &HashMap<AttrId, u32>,
     keys: &KeyRing,
@@ -249,7 +250,7 @@ pub fn rewrite_literals<R: Rng + ?Sized>(
         match &node.op {
             Operator::Select { pred } => {
                 let enc = child_profile(0).ve.clone();
-                let new = rewrite_expr(pred, &enc, schemes, key_of_attr, keys, rng)?;
+                let new = rewrite_expr(pred, &enc, catalog, schemes, key_of_attr, keys, rng)?;
                 out.node_mut(id).op = Operator::Select { pred: new };
             }
             Operator::Having { pred } => {
@@ -260,7 +261,8 @@ pub fn rewrite_literals<R: Rng + ?Sized>(
                     Operator::GroupBy { aggs, .. } => aggs.clone(),
                     _ => vec![],
                 };
-                let new = rewrite_having(pred, &aggs, &enc, schemes, key_of_attr, keys, rng)?;
+                let new =
+                    rewrite_having(pred, &aggs, &enc, catalog, schemes, key_of_attr, keys, rng)?;
                 out.node_mut(id).op = Operator::Having { pred: new };
             }
             Operator::Join {
@@ -269,7 +271,7 @@ pub fn rewrite_literals<R: Rng + ?Sized>(
                 residual: Some(resid),
             } => {
                 let enc = child_profile(0).ve.union(&child_profile(1).ve);
-                let new = rewrite_expr(resid, &enc, schemes, key_of_attr, keys, rng)?;
+                let new = rewrite_expr(resid, &enc, catalog, schemes, key_of_attr, keys, rng)?;
                 out.node_mut(id).op = Operator::Join {
                     kind: *kind,
                     on: on.clone(),
@@ -282,9 +284,45 @@ pub fn rewrite_literals<R: Rng + ?Sized>(
     Ok(out)
 }
 
+/// Coerce a literal to the declared type of the column it is compared
+/// against. Deterministic and OPE encodings are type-tagged (an
+/// integer and the numerically equal float produce different
+/// ciphertexts), so an uncoerced literal would silently compare
+/// unequal against every encrypted cell.
+fn coerce_lit(v: &Value, ty: mpq_algebra::DataType) -> Value {
+    use mpq_algebra::DataType;
+    match (ty, v) {
+        (DataType::Int, Value::Num(f)) if f.fract() == 0.0 => Value::Int(*f as i64),
+        (DataType::Num, Value::Int(i)) => Value::Num(*i as f64),
+        _ => v.clone(),
+    }
+}
+
+/// Align an inequality's fractional literal with an Int column before
+/// encryption: `4.5` has no Int representation, so the predicate is
+/// rewritten to its integer equivalent (`col < 4.5` ⇔ `col <= 4`,
+/// `col > 4.5` ⇔ `col >= 5`). Equality against a fractional literal
+/// is left alone — the type-tagged ciphertext compares unequal to
+/// every Int cell, which is exactly the plaintext semantics.
+fn align_int_cmp(op: CmpOp, v: &Value, ty: mpq_algebra::DataType) -> (CmpOp, Value) {
+    if ty == mpq_algebra::DataType::Int {
+        if let Value::Num(f) = v {
+            if f.fract() != 0.0 {
+                return match op {
+                    CmpOp::Lt | CmpOp::Le => (CmpOp::Le, Value::Int(f.floor() as i64)),
+                    CmpOp::Gt | CmpOp::Ge => (CmpOp::Ge, Value::Int(f.ceil() as i64)),
+                    other => (other, v.clone()),
+                };
+            }
+        }
+    }
+    (op, v.clone())
+}
+
 fn encrypt_lit<R: Rng + ?Sized>(
     v: &Value,
     attr: AttrId,
+    catalog: &mpq_algebra::Catalog,
     schemes: &SchemePlan,
     key_of_attr: &HashMap<AttrId, u32>,
     keys: &KeyRing,
@@ -297,7 +335,8 @@ fn encrypt_lit<R: Rng + ?Sized>(
         .get(*key_id)
         .ok_or_else(|| format!("dispatcher does not hold key {key_id}"))?;
     let scheme = schemes.scheme_of(attr);
-    encrypt_value(rng, v, scheme, &key).map_err(|e| e.to_string())
+    let v = coerce_lit(v, catalog.attr_type(attr));
+    encrypt_value(rng, &v, scheme, &key).map_err(|e| e.to_string())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -305,6 +344,7 @@ fn rewrite_having<R: Rng + ?Sized>(
     e: &Expr,
     aggs: &[mpq_algebra::AggExpr],
     enc: &AttrSet,
+    catalog: &mpq_algebra::Catalog,
     schemes: &SchemePlan,
     key_of_attr: &HashMap<AttrId, u32>,
     keys: &KeyRing,
@@ -323,44 +363,48 @@ fn rewrite_having<R: Rng + ?Sized>(
             };
             if let (Some(attr), Expr::Lit(v)) = (col_of(a), b.as_ref()) {
                 if enc.contains(attr) && !v.is_null() {
-                    let ev = encrypt_lit(v, attr, schemes, key_of_attr, keys, rng)?;
-                    return Ok(Expr::cmp(a.as_ref().clone(), *op, Expr::Lit(ev)));
+                    let (op, v) = align_int_cmp(*op, v, catalog.attr_type(attr));
+                    let ev = encrypt_lit(&v, attr, catalog, schemes, key_of_attr, keys, rng)?;
+                    return Ok(Expr::cmp(a.as_ref().clone(), op, Expr::Lit(ev)));
                 }
             }
             if let (Expr::Lit(v), Some(attr)) = (a.as_ref(), col_of(b)) {
                 if enc.contains(attr) && !v.is_null() {
-                    let ev = encrypt_lit(v, attr, schemes, key_of_attr, keys, rng)?;
-                    return Ok(Expr::cmp(Expr::Lit(ev), *op, b.as_ref().clone()));
+                    let (op, v) = align_int_cmp(op.flipped(), v, catalog.attr_type(attr));
+                    let ev = encrypt_lit(&v, attr, catalog, schemes, key_of_attr, keys, rng)?;
+                    return Ok(Expr::cmp(Expr::Lit(ev), op.flipped(), b.as_ref().clone()));
                 }
             }
             Ok(e.clone())
         }
         Expr::And(v) => Ok(Expr::And(
             v.iter()
-                .map(|x| rewrite_having(x, aggs, enc, schemes, key_of_attr, keys, rng))
+                .map(|x| rewrite_having(x, aggs, enc, catalog, schemes, key_of_attr, keys, rng))
                 .collect::<Result<_, _>>()?,
         )),
         Expr::Or(v) => Ok(Expr::Or(
             v.iter()
-                .map(|x| rewrite_having(x, aggs, enc, schemes, key_of_attr, keys, rng))
+                .map(|x| rewrite_having(x, aggs, enc, catalog, schemes, key_of_attr, keys, rng))
                 .collect::<Result<_, _>>()?,
         )),
         Expr::Not(x) => Ok(Expr::Not(Box::new(rewrite_having(
             x,
             aggs,
             enc,
+            catalog,
             schemes,
             key_of_attr,
             keys,
             rng,
         )?))),
-        other => rewrite_expr(other, enc, schemes, key_of_attr, keys, rng),
+        other => rewrite_expr(other, enc, catalog, schemes, key_of_attr, keys, rng),
     }
 }
 
 fn rewrite_expr<R: Rng + ?Sized>(
     e: &Expr,
     enc: &AttrSet,
+    catalog: &mpq_algebra::Catalog,
     schemes: &SchemePlan,
     key_of_attr: &HashMap<AttrId, u32>,
     keys: &KeyRing,
@@ -370,14 +414,18 @@ fn rewrite_expr<R: Rng + ?Sized>(
         Expr::Cmp(a, op, b) => {
             if let (Expr::Col(attr), Expr::Lit(v)) = (a.as_ref(), b.as_ref()) {
                 if enc.contains(*attr) && !v.is_null() && !matches!(v, Value::Enc(_)) {
-                    let ev = encrypt_lit(v, *attr, schemes, key_of_attr, keys, rng)?;
-                    return Ok(Expr::cmp(Expr::Col(*attr), *op, Expr::Lit(ev)));
+                    let (op, v) = align_int_cmp(*op, v, catalog.attr_type(*attr));
+                    let ev = encrypt_lit(&v, *attr, catalog, schemes, key_of_attr, keys, rng)?;
+                    return Ok(Expr::cmp(Expr::Col(*attr), op, Expr::Lit(ev)));
                 }
             }
             if let (Expr::Lit(v), Expr::Col(attr)) = (a.as_ref(), b.as_ref()) {
                 if enc.contains(*attr) && !v.is_null() && !matches!(v, Value::Enc(_)) {
-                    let ev = encrypt_lit(v, *attr, schemes, key_of_attr, keys, rng)?;
-                    return Ok(Expr::cmp(Expr::Lit(ev), *op, Expr::Col(*attr)));
+                    // `lit op col` constrains the column under the
+                    // flipped operator; align there and flip back.
+                    let (op, v) = align_int_cmp(op.flipped(), v, catalog.attr_type(*attr));
+                    let ev = encrypt_lit(&v, *attr, catalog, schemes, key_of_attr, keys, rng)?;
+                    return Ok(Expr::cmp(Expr::Lit(ev), op.flipped(), Expr::Col(*attr)));
                 }
             }
             e.clone()
@@ -390,18 +438,30 @@ fn rewrite_expr<R: Rng + ?Sized>(
         } => {
             if let Expr::Col(attr) = expr.as_ref() {
                 if enc.contains(*attr) {
-                    let enc_bound = |bound: &Expr, rng: &mut R| -> Result<Expr, String> {
-                        match bound {
-                            Expr::Lit(v) if !v.is_null() && !matches!(v, Value::Enc(_)) => Ok(
-                                Expr::Lit(encrypt_lit(v, *attr, schemes, key_of_attr, keys, rng)?),
-                            ),
-                            other => Ok(other.clone()),
-                        }
-                    };
+                    // Inclusive bounds round inward on Int columns:
+                    // `col BETWEEN 1.5 AND 4.5` ⇔ `col BETWEEN 2 AND 4`.
+                    let enc_bound =
+                        |bound: &Expr, ge: CmpOp, rng: &mut R| -> Result<Expr, String> {
+                            match bound {
+                                Expr::Lit(v) if !v.is_null() && !matches!(v, Value::Enc(_)) => {
+                                    let (_, v) = align_int_cmp(ge, v, catalog.attr_type(*attr));
+                                    Ok(Expr::Lit(encrypt_lit(
+                                        &v,
+                                        *attr,
+                                        catalog,
+                                        schemes,
+                                        key_of_attr,
+                                        keys,
+                                        rng,
+                                    )?))
+                                }
+                                other => Ok(other.clone()),
+                            }
+                        };
                     return Ok(Expr::Between {
                         expr: expr.clone(),
-                        lo: Box::new(enc_bound(lo, rng)?),
-                        hi: Box::new(enc_bound(hi, rng)?),
+                        lo: Box::new(enc_bound(lo, CmpOp::Ge, rng)?),
+                        hi: Box::new(enc_bound(hi, CmpOp::Le, rng)?),
                         negated: *negated,
                     });
                 }
@@ -421,7 +481,7 @@ fn rewrite_expr<R: Rng + ?Sized>(
                             if v.is_null() || matches!(v, Value::Enc(_)) {
                                 Ok(v.clone())
                             } else {
-                                encrypt_lit(v, *attr, schemes, key_of_attr, keys, rng)
+                                encrypt_lit(v, *attr, catalog, schemes, key_of_attr, keys, rng)
                             }
                         })
                         .collect::<Result<Vec<_>, _>>()?;
@@ -436,17 +496,18 @@ fn rewrite_expr<R: Rng + ?Sized>(
         }
         Expr::And(v) => Expr::And(
             v.iter()
-                .map(|x| rewrite_expr(x, enc, schemes, key_of_attr, keys, rng))
+                .map(|x| rewrite_expr(x, enc, catalog, schemes, key_of_attr, keys, rng))
                 .collect::<Result<_, _>>()?,
         ),
         Expr::Or(v) => Expr::Or(
             v.iter()
-                .map(|x| rewrite_expr(x, enc, schemes, key_of_attr, keys, rng))
+                .map(|x| rewrite_expr(x, enc, catalog, schemes, key_of_attr, keys, rng))
                 .collect::<Result<_, _>>()?,
         ),
         Expr::Not(x) => Expr::Not(Box::new(rewrite_expr(
             x,
             enc,
+            catalog,
             schemes,
             key_of_attr,
             keys,
@@ -598,7 +659,8 @@ mod tests {
         ring.insert(ClusterKey::generate(&mut rng, 0, 256));
         let mut key_of_attr = HashMap::new();
         key_of_attr.insert(d, 0u32);
-        let rewritten = rewrite_literals(&plan, &schemes, &key_of_attr, &ring, &mut rng).unwrap();
+        let rewritten =
+            rewrite_literals(&plan, &ex.catalog, &schemes, &key_of_attr, &ring, &mut rng).unwrap();
         let sel = rewritten
             .postorder()
             .into_iter()
@@ -613,6 +675,64 @@ mod tests {
                 "literal must be encrypted, got {rhs:?}"
             );
         }
+    }
+
+    /// Literals are coerced to the compared column's declared type
+    /// before encryption: det/OPE encodings are type-tagged, so an
+    /// Int column filtered with a fractional Num bound must rewrite
+    /// into the integer-equivalent predicate (`a < 4.5` ⇔ `a <= 4`) —
+    /// and the rewritten plan must *execute* correctly over
+    /// ciphertexts.
+    #[test]
+    fn fractional_bounds_on_int_columns_rewrite_and_execute() {
+        use crate::engine::{execute, ExecCtx};
+        use crate::table::Database;
+        use mpq_algebra::{Catalog, CmpOp, DataType};
+        use mpq_crypto::keyring::{ClusterKey, KeyRing};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut cat = Catalog::new();
+        cat.add_relation("R", &[("a", DataType::Int)]).unwrap();
+        let rel = cat.relation("R").unwrap().rel;
+        let a = cat.attr("a").unwrap();
+        let mut db = Database::new();
+        db.load(&cat, "R", (0..10).map(|i| vec![Value::Int(i)]).collect());
+
+        let run = |pred: Expr| -> usize {
+            let mut plan = QueryPlan::new();
+            let b = plan.add_base(rel, vec![a]);
+            let e = plan.add(Operator::Encrypt { attrs: vec![a] }, vec![b]);
+            plan.add(Operator::Select { pred }, vec![e]);
+            let schemes = assign_schemes(&plan).unwrap();
+            assert_eq!(schemes.scheme_of(a), EncScheme::Ope);
+            let mut rng = StdRng::seed_from_u64(7);
+            let ring = KeyRing::new();
+            ring.insert(ClusterKey::generate(&mut rng, 0, 256));
+            let mut koa = HashMap::new();
+            koa.insert(a, 0u32);
+            let rewritten = rewrite_literals(&plan, &cat, &schemes, &koa, &ring, &mut rng).unwrap();
+            let ctx = ExecCtx::new(&cat, &db, &ring, &schemes, &koa);
+            execute(&rewritten, &ctx).unwrap().len()
+        };
+
+        // a < 4.5 over 0..10 → {0,1,2,3,4}.
+        let lt = Expr::cmp(Expr::Col(a), CmpOp::Lt, Expr::Lit(Value::Num(4.5)));
+        assert_eq!(run(lt), 5);
+        // 4.5 < a → {5..9}.
+        let lit_left = Expr::cmp(Expr::Lit(Value::Num(4.5)), CmpOp::Lt, Expr::Col(a));
+        assert_eq!(run(lit_left), 5);
+        // a BETWEEN 1.5 AND 4.5 → {2,3,4}.
+        let between = Expr::Between {
+            expr: Box::new(Expr::Col(a)),
+            lo: Box::new(Expr::Lit(Value::Num(1.5))),
+            hi: Box::new(Expr::Lit(Value::Num(4.5))),
+            negated: false,
+        };
+        assert_eq!(run(between), 3);
+        // Integral Num literal still coerces exactly: a <= 4.0 → 5 rows.
+        let le = Expr::cmp(Expr::Col(a), CmpOp::Le, Expr::Lit(Value::Num(4.0)));
+        assert_eq!(run(le), 5);
     }
 
     /// Rewriting fails loudly when the dispatcher lacks a key.
@@ -638,6 +758,8 @@ mod tests {
         let ring = KeyRing::new(); // empty
         let mut key_of_attr = HashMap::new();
         key_of_attr.insert(d, 0u32);
-        assert!(rewrite_literals(&plan, &schemes, &key_of_attr, &ring, &mut rng).is_err());
+        assert!(
+            rewrite_literals(&plan, &ex.catalog, &schemes, &key_of_attr, &ring, &mut rng).is_err()
+        );
     }
 }

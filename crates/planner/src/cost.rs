@@ -16,9 +16,6 @@ use mpq_core::profile::Profile;
 use mpq_exec::SchemePlan;
 use std::collections::HashMap;
 
-/// Seconds per homomorphic (Paillier) ciphertext addition.
-const PAILLIER_ADD_SECS: f64 = 2.0e-5;
-
 /// Cost components, in USD (plus wall-clock seconds).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CostBreakdown {
@@ -30,6 +27,11 @@ pub struct CostBreakdown {
     pub net: f64,
     /// Estimated wall-clock seconds (sequential execution + transfers).
     pub time_secs: f64,
+    /// The pure computation share of [`CostBreakdown::time_secs`]
+    /// (no link time) — the quantity the `calibrate` replay can
+    /// observe directly, since the simulator executes real work but
+    /// does not delay transfers.
+    pub cpu_secs: f64,
 }
 
 impl CostBreakdown {
@@ -45,6 +47,7 @@ impl CostBreakdown {
             io: self.io + other.io,
             net: self.net + other.net,
             time_secs: self.time_secs + other.time_secs,
+            cpu_secs: self.cpu_secs + other.cpu_secs,
         }
     }
 }
@@ -70,6 +73,23 @@ pub fn output_bytes(
     est.rows * width.max(1.0)
 }
 
+/// Attributes an `Encrypt` node re-encrypts straight out of a
+/// `Decrypt` child under the same (per-attribute, hence identical)
+/// scheme. The pair is a no-op re-encryption edge: the plan's profile
+/// needs it, but a single pass performs both halves, so charging each
+/// node independently double-counts the work. The overlap is charged
+/// once, at the `Decrypt`.
+fn noop_reencrypt_attrs(plan: &QueryPlan, id: NodeId) -> Vec<mpq_algebra::AttrId> {
+    let node = plan.node(id);
+    let Operator::Encrypt { attrs } = &node.op else {
+        return Vec::new();
+    };
+    let Operator::Decrypt { attrs: dec } = &plan.node(node.children[0]).op else {
+        return Vec::new();
+    };
+    attrs.iter().filter(|a| dec.contains(a)).copied().collect()
+}
+
 /// CPU work of one operator in tuple operations (before crypto).
 fn tuple_work(plan: &QueryPlan, id: NodeId, est: &[Estimate], book: &PriceBook) -> f64 {
     let node = plan.node(id);
@@ -84,7 +104,17 @@ fn tuple_work(plan: &QueryPlan, id: NodeId, est: &[Estimate], book: &PriceBook) 
         Operator::Udf { .. } => rows_in(0) * book.udf_multiplier,
         // One pass over the rows; the per-value cryptographic work is
         // priced separately (and far more precisely) in `crypto_secs`.
-        Operator::Encrypt { .. } | Operator::Decrypt { .. } => rows_in(0),
+        // An Encrypt whose attributes all come straight out of a
+        // Decrypt below it shares that Decrypt's pass instead of
+        // running its own.
+        Operator::Encrypt { attrs } => {
+            if noop_reencrypt_attrs(plan, id).len() == attrs.len() {
+                0.0
+            } else {
+                rows_in(0)
+            }
+        }
+        Operator::Decrypt { .. } => rows_in(0),
         Operator::Sort { .. } => {
             let r = rows_in(0).max(2.0);
             r * r.log2()
@@ -140,8 +170,10 @@ fn crypto_secs(
     match &node.op {
         Operator::Encrypt { attrs } => {
             let rows = effective_encrypt_rows(plan, id, est, assignment);
+            let noop = noop_reencrypt_attrs(plan, id);
             attrs
                 .iter()
+                .filter(|a| !noop.contains(a))
                 .map(|a| rows * book.encrypt_secs(schemes.scheme_of(*a)))
                 .sum()
         }
@@ -162,7 +194,7 @@ fn crypto_secs(
                     Expr::Col(a)
                         if enc.contains(*a) && schemes.scheme_of(*a) == EncScheme::Paillier =>
                     {
-                        rows * PAILLIER_ADD_SECS
+                        rows * book.paillier_add_secs
                     }
                     _ => 0.0,
                 })
@@ -170,6 +202,60 @@ fn crypto_secs(
         }
         _ => 0.0,
     }
+}
+
+/// Total modeled tuple operations of a plan — the quantity the
+/// `calibrate` binary regresses measured execution seconds against to
+/// fit [`PriceBook::tuple_op_secs`].
+pub fn plan_tuple_ops(plan: &QueryPlan, est: &[Estimate], book: &PriceBook) -> f64 {
+    plan.postorder()
+        .into_iter()
+        .map(|id| tuple_work(plan, id, est, book))
+        .sum()
+}
+
+/// Modeled bytes for every cross-subject edge of an assigned plan,
+/// final delivery to the user included — the per-edge counterpart of
+/// the network term in [`cost_extended_plan`], compared by `calibrate`
+/// against the bytes `mpq-dist` actually puts on the wire.
+#[allow(clippy::too_many_arguments)]
+pub fn edge_bytes_model(
+    plan: &QueryPlan,
+    assignment: &HashMap<NodeId, SubjectId>,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+    est: &[Estimate],
+    profiles: &[Profile],
+    schemes: &SchemePlan,
+    book: &PriceBook,
+    user: SubjectId,
+) -> HashMap<(SubjectId, SubjectId), f64> {
+    let mut out: HashMap<(SubjectId, SubjectId), f64> = HashMap::new();
+    let bytes_of = |id: NodeId| {
+        output_bytes(
+            catalog,
+            stats,
+            &est[id.index()],
+            &profiles[id.index()],
+            schemes,
+            book,
+        )
+    };
+    for id in plan.postorder() {
+        let subject = assignment[&id];
+        for &c in &plan.node(id).children {
+            let child_subject = assignment[&c];
+            if child_subject != subject {
+                *out.entry((child_subject, subject)).or_default() += bytes_of(c);
+            }
+        }
+    }
+    let root = plan.root();
+    let root_subject = assignment[&root];
+    if root_subject != user {
+        *out.entry((root_subject, user)).or_default() += bytes_of(root);
+    }
+    out
 }
 
 /// Cost a fully assigned (extended) plan.
@@ -201,6 +287,7 @@ pub fn cost_extended_plan(
             + crypto_secs(plan, id, est, profiles, schemes, book, assignment);
         out.cpu += secs * prices.cpu_per_sec;
         out.time_secs += secs;
+        out.cpu_secs += secs;
 
         // I/O: bytes read + written locally.
         let bytes_out = output_bytes(
@@ -240,7 +327,7 @@ pub fn cost_extended_plan(
                     book,
                 );
                 let sender = book.of(child_subject);
-                out.net += bytes / 1e9 * sender.net_per_gb;
+                out.net += bytes / 1e9 * book.net_price(child_subject, subject);
                 let bw = sender.bandwidth_bps.min(prices.bandwidth_bps);
                 out.time_secs += bytes * 8.0 / bw;
             }
@@ -261,7 +348,7 @@ pub fn cost_extended_plan(
         );
         let sender = book.of(root_subject);
         let receiver = book.of(user);
-        out.net += bytes / 1e9 * sender.net_per_gb;
+        out.net += bytes / 1e9 * book.net_price(root_subject, user);
         out.time_secs += bytes * 8.0 / sender.bandwidth_bps.min(receiver.bandwidth_bps);
     }
     out
@@ -341,6 +428,66 @@ mod tests {
         assert!(at_user.time_secs > 0.0);
     }
 
+    /// An `Encrypt` directly wrapping a `Decrypt` of the same scheme is
+    /// a no-op re-encryption edge: the pair must be charged once, not
+    /// twice (regression: both nodes used to bill full crypto work and
+    /// a tuple pass each).
+    #[test]
+    fn noop_reencryption_not_double_counted() {
+        use mpq_algebra::QueryPlan;
+        use mpq_core::fixtures::RunningExample;
+
+        let ex = RunningExample::new();
+        let hosp = ex.catalog.relation("Hosp").unwrap().rel;
+        let s = ex.catalog.attr("S").unwrap();
+        let d = ex.catalog.attr("D").unwrap();
+        let user = ex.subject("U");
+
+        // Base → Encrypt{d} → Decrypt{d} → (Encrypt{d})? → Project.
+        let build = |reencrypt: bool| {
+            let mut plan = QueryPlan::new();
+            let b = plan.add_base(hosp, vec![s, d]);
+            let e1 = plan.add(Operator::Encrypt { attrs: vec![d] }, vec![b]);
+            let dec = plan.add(Operator::Decrypt { attrs: vec![d] }, vec![e1]);
+            let mut top = dec;
+            if reencrypt {
+                top = plan.add(Operator::Encrypt { attrs: vec![d] }, vec![top]);
+            }
+            plan.add(Operator::Project { attrs: vec![s, d] }, vec![top]);
+            plan
+        };
+        let cost_of = |plan: &QueryPlan| {
+            let stats = StatsCatalog::with_defaults(&ex.catalog, 10_000.0);
+            let est = crate::stats::estimates_for(plan, &ex.catalog, &stats);
+            let profiles = mpq_core::profile::profile_plan(plan);
+            let schemes = mpq_exec::assign_schemes(plan).unwrap();
+            let book = crate::pricing::PriceBook::paper_defaults(&ex.subjects, &[1.0]);
+            let assignment: HashMap<NodeId, SubjectId> =
+                plan.postorder().into_iter().map(|id| (id, user)).collect();
+            cost_extended_plan(
+                plan,
+                &assignment,
+                &ex.catalog,
+                &stats,
+                &est,
+                &profiles,
+                &schemes,
+                &book,
+                user,
+            )
+        };
+        let with_pair = cost_of(&build(true));
+        let without = cost_of(&build(false));
+        // The re-encryption edge adds no CPU: no crypto work and no
+        // extra tuple pass beyond the Decrypt already charged.
+        assert!(
+            (with_pair.cpu - without.cpu).abs() < 1e-12,
+            "no-op re-encryption billed extra CPU: {} vs {}",
+            with_pair.cpu,
+            without.cpu
+        );
+    }
+
     #[test]
     fn breakdown_adds_up() {
         let c1 = CostBreakdown {
@@ -348,15 +495,18 @@ mod tests {
             io: 2.0,
             net: 3.0,
             time_secs: 4.0,
+            cpu_secs: 3.5,
         };
         let c2 = CostBreakdown {
             cpu: 0.5,
             io: 0.5,
             net: 0.5,
             time_secs: 0.5,
+            cpu_secs: 0.25,
         };
         let s = c1.add(&c2);
         assert_eq!(s.total(), 7.5);
         assert_eq!(s.time_secs, 4.5);
+        assert_eq!(s.cpu_secs, 3.75);
     }
 }

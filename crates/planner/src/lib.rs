@@ -15,6 +15,10 @@
 //!   relations), **UAPenc** (providers get encrypted visibility over
 //!   everything), **UAPmix** (providers additionally get plaintext
 //!   visibility over half the attributes);
+//! * [`stats`] — measured statistics: sampling collection over live
+//!   `mpq-exec` data (row counts, distinct values, min/max, equi-depth
+//!   histograms), population scaling, the estimation entry point the
+//!   cost model consumes, and executed-vs-estimated validation;
 //! * [`cost`] — costing of (extended) plans against cardinality
 //!   estimates: CPU, I/O, network, and wall-clock time;
 //! * [`optimize`](mod@optimize) — the dynamic-programming assignment search over the
@@ -27,8 +31,10 @@ pub mod cost;
 pub mod optimize;
 pub mod pricing;
 pub mod scenario;
+pub mod stats;
 
 pub use cost::{cost_extended_plan, CostBreakdown};
 pub use optimize::{optimize, Optimized, Strategy};
 pub use pricing::{PriceBook, SubjectPrices};
 pub use scenario::{build_scenario, Scenario, ScenarioEnv};
+pub use stats::{collect_stats, estimates_for, SampleConfig};

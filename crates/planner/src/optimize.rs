@@ -24,7 +24,8 @@
 
 use crate::cost::{cost_extended_plan, CostBreakdown};
 use crate::scenario::ScenarioEnv;
-use mpq_algebra::stats::{estimate_plan, StatsCatalog};
+use crate::stats::estimates_for;
+use mpq_algebra::stats::StatsCatalog;
 use mpq_algebra::{AttrSet, Catalog, NodeId, Operator, QueryPlan, SubjectId};
 use mpq_core::authz::SubjectView;
 use mpq_core::candidates::{candidates, Candidates};
@@ -394,7 +395,7 @@ fn dp_assignment(
     cands: &Candidates,
     forced: Option<&Assignment>,
 ) -> Result<Assignment, OptError> {
-    let est = estimate_plan(plan, catalog, stats);
+    let est = estimates_for(plan, catalog, stats);
     let book = &env.prices;
     let scheme_guess = guess_schemes(plan, cands);
     let scheme_of = |a: mpq_algebra::AttrId| {
@@ -475,7 +476,7 @@ fn dp_assignment(
                             let plain_w = stats.attr_width(catalog, a);
                             xfer_bytes += rows * (book.ciphertext_width(scheme, plain_w) - plain_w);
                         }
-                        edge += xfer_bytes / 1e9 * sender.net_per_gb;
+                        edge += xfer_bytes / 1e9 * book.net_price(cs, s);
                     }
                     let total = ccost + edge;
                     if best.map(|(b, _)| total < b).unwrap_or(true) {
@@ -504,15 +505,12 @@ fn dp_assignment(
 
     // Root: add delivery to the user, pick the cheapest subject.
     let root = plan.root();
-    let user_prices = book.of(env.user);
     let (best_subject, _) = table[root.index()]
         .iter()
         .map(|(&s, (c, _))| {
             let mut total = *c;
             if s != env.user {
-                let sender = book.of(s);
-                total += bytes[root.index()] / 1e9 * sender.net_per_gb;
-                let _ = user_prices;
+                total += bytes[root.index()] / 1e9 * book.net_price(s, env.user);
             }
             (s, total)
         })
@@ -664,7 +662,7 @@ fn cost_extension(
 ) -> Result<Optimized, OptError> {
     let schemes = assign_schemes(&extended.plan).map_err(|e| OptError::Schemes(e.to_string()))?;
     let keys = plan_keys(&extended);
-    let est = estimate_plan(&extended.plan, catalog, stats);
+    let est = estimates_for(&extended.plan, catalog, stats);
     let cost = cost_extended_plan(
         &extended.plan,
         &extended.assignment,

@@ -11,27 +11,41 @@
 //! connections; the client was assumed to be connected to both with a
 //! lower-bandwidth (100Mbps) connection."
 //!
-//! # Calibration status (known discrepancy)
+//! # Calibration status
 //!
-//! With this price book the reproduction's Figure 10 reports **14.0%
-//! (UAPenc)** and **39.7% (UAPmix)** cumulative savings versus UA; the
-//! paper reports **54.2%** and **71.3%**. The paper does not publish
-//! its exact price list or the PostgreSQL cardinality estimates its
-//! tool consumed, so the constants below are reconstructed from the
-//! quoted ratios (user 10×, authority 3× provider CPU; 10 Gbps
-//! backbone vs 100 Mbps client link) plus public cloud listings — the
-//! absolute CPU/network price balance and our analytic cardinalities
-//! both differ from the original setup, which shifts how much of UA's
-//! cost the optimizer can move to cheap providers. The current values
-//! are **pinned** by `mpq-bench`'s `figure10_pin` test: any change
-//! here (or in the cost/cardinality path) that moves the headline
-//! savings must update that pin in the same change, so calibration
-//! drift is always deliberate and visible in review.
+//! The execution-dependent constants below are **fitted against
+//! measured execution** by `mpq-bench --bin calibrate`, which replays
+//! the Figure 9/10 workloads through `mpq-exec`/`mpq-dist` and times
+//! the crypto substrate value-by-value (see `CALIBRATION.json` and the
+//! README's calibration section). The paper's quoted ratios are held
+//! fixed as exact constraints: user CPU = 10× and authority CPU = 3×
+//! the provider price, 10 Gbps backbone, 100 Mbps client link.
+//! Network transfer is priced **per edge**: any edge with the user as
+//! an endpoint rides the client link and pays the internet-egress rate
+//! ([`CLIENT_NET_PER_GB`]); edges between authorities and providers
+//! ride the backbone at [`PROVIDER_NET_PER_GB`]. (The pre-calibration
+//! book priced every edge at the sender's backbone rate, which made
+//! shipping intermediates to the user essentially free and was the
+//! single largest source of the Figure 10 gap.)
+//!
+//! With the calibrated book the reproduction's Figure 10 reports
+//! cumulative savings versus UA of **≈53% (UAPenc)** and **≈89%
+//! (UAPmix)**, against the paper's 54.2% and 71.3% (exact pinned
+//! values in `mpq-bench`'s `figure10_pin` test). Residual gap: UAPenc
+//! is within ~1 point of the paper; UAPmix *overshoots* because our
+//! reconstructed mix scenario puts every join key in the providers'
+//! plaintext half (required for Def. 4.1 uniform visibility under our
+//! per-relation split, see `scenario.rs`), so providers execute almost
+//! the whole workload crypto-free, while the paper's attribute split —
+//! not published — evidently left more work encrypted. The pin exists
+//! so any further drift is deliberate: recalibrate with
+//! `cargo run -p mpq-bench --bin calibrate --release` and update the
+//! pin in the same change.
 
 use mpq_algebra::value::EncScheme;
 use mpq_algebra::SubjectId;
 use mpq_core::subjects::{SubjectKind, Subjects};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Prices for one subject.
 #[derive(Clone, Copy, Debug)]
@@ -40,7 +54,8 @@ pub struct SubjectPrices {
     pub cpu_per_sec: f64,
     /// USD per GB of local I/O.
     pub io_per_gb: f64,
-    /// USD per GB sent over the network.
+    /// USD per GB sent over the network (backbone rate; user edges are
+    /// priced by [`PriceBook::net_price`]).
     pub net_per_gb: f64,
     /// Link bandwidth in bits per second.
     pub bandwidth_bps: f64,
@@ -50,9 +65,10 @@ pub struct SubjectPrices {
 pub const PROVIDER_CPU_PER_SEC: f64 = 1.4e-5; // ≈ $0.05 per CPU-hour
 /// Provider local I/O price.
 pub const PROVIDER_IO_PER_GB: f64 = 4.0e-4;
-/// Inter-provider/authority network price per GB.
+/// Inter-provider/authority network price per GB (backbone edges).
 pub const PROVIDER_NET_PER_GB: f64 = 0.0005;
-/// Client egress price per GB.
+/// Internet-egress price per GB: any transfer with the user as an
+/// endpoint (the 100 Mbps client link) is billed at this rate.
 pub const CLIENT_NET_PER_GB: f64 = 0.09;
 /// High-bandwidth links between authorities and providers (10 Gbps).
 pub const BACKBONE_BPS: f64 = 10e9;
@@ -64,12 +80,44 @@ pub const USER_CPU_MULTIPLIER: f64 = 10.0;
 /// Data-authority CPU multiplier (government-backed price lists).
 pub const AUTHORITY_CPU_MULTIPLIER: f64 = 3.0;
 
+/// Calibrated execution constants (fitted by `mpq-bench --bin
+/// calibrate` on the reproduction's own engine and crypto substrate;
+/// see `CALIBRATION.json`).
+pub mod calibrated {
+    /// Seconds of CPU per basic tuple operation (scan/probe/emit),
+    /// fitted by least squares over `mpq-exec` replays of the TPC-H
+    /// workload (modeled tuple ops vs measured seconds).
+    pub const TUPLE_OP_SECS: f64 = 1.5e-7;
+    /// Symmetric (XTEA det/rnd) per-value encryption seconds.
+    pub const SYM_ENC_SECS: f64 = 5.3e-7;
+    /// Symmetric per-value decryption seconds.
+    pub const SYM_DEC_SECS: f64 = 3.4e-7;
+    /// OPE per-value encryption seconds.
+    pub const OPE_ENC_SECS: f64 = 2.4e-6;
+    /// OPE per-value decryption seconds (bit-by-bit inverse walk).
+    pub const OPE_DEC_SECS: f64 = 4.0e-6;
+    /// Paillier-512 per-value encryption seconds on the in-tree bignum
+    /// (a modular exponentiation; production libraries are orders of
+    /// magnitude faster, which would only widen the savings the
+    /// optimizer finds).
+    pub const PAILLIER_ENC_SECS: f64 = 6.3e-2;
+    /// Paillier-512 per-value decryption seconds.
+    pub const PAILLIER_DEC_SECS: f64 = 6.6e-2;
+    /// Seconds per homomorphic (Paillier) ciphertext addition.
+    pub const PAILLIER_ADD_SECS: f64 = 8.0e-5;
+}
+
 /// The full price book: per-subject prices plus crypto constants.
 #[derive(Clone, Debug)]
 pub struct PriceBook {
     prices: HashMap<SubjectId, SubjectPrices>,
+    /// Subjects on the client side of the network (their edges ride
+    /// the 100 Mbps link and pay internet egress).
+    users: HashSet<SubjectId>,
     /// Seconds of CPU per basic tuple operation (scan/probe/emit).
     pub tuple_op_secs: f64,
+    /// Seconds per homomorphic (Paillier) ciphertext addition.
+    pub paillier_add_secs: f64,
     /// Multiplier on tuple cost for user-defined functions (the paper:
     /// "udfs are typically computationally-intensive").
     pub udf_multiplier: f64,
@@ -82,6 +130,7 @@ impl PriceBook {
     /// user at 10×, client behind a 100 Mbps link.
     pub fn paper_defaults(subjects: &Subjects, provider_factors: &[f64]) -> PriceBook {
         let mut prices = HashMap::new();
+        let mut users = HashSet::new();
         let mut provider_idx = 0usize;
         for s in subjects.iter() {
             let p = match subjects.kind(s) {
@@ -101,18 +150,23 @@ impl PriceBook {
                     net_per_gb: PROVIDER_NET_PER_GB,
                     bandwidth_bps: BACKBONE_BPS,
                 },
-                SubjectKind::User => SubjectPrices {
-                    cpu_per_sec: PROVIDER_CPU_PER_SEC * USER_CPU_MULTIPLIER,
-                    io_per_gb: PROVIDER_IO_PER_GB,
-                    net_per_gb: CLIENT_NET_PER_GB,
-                    bandwidth_bps: CLIENT_BPS,
-                },
+                SubjectKind::User => {
+                    users.insert(s);
+                    SubjectPrices {
+                        cpu_per_sec: PROVIDER_CPU_PER_SEC * USER_CPU_MULTIPLIER,
+                        io_per_gb: PROVIDER_IO_PER_GB,
+                        net_per_gb: CLIENT_NET_PER_GB,
+                        bandwidth_bps: CLIENT_BPS,
+                    }
+                }
             };
             prices.insert(s, p);
         }
         PriceBook {
             prices,
-            tuple_op_secs: 5.0e-6,
+            users,
+            tuple_op_secs: calibrated::TUPLE_OP_SECS,
+            paillier_add_secs: calibrated::PAILLIER_ADD_SECS,
             udf_multiplier: 100.0,
         }
     }
@@ -125,34 +179,43 @@ impl PriceBook {
             .expect("every subject has prices")
     }
 
-    /// CPU seconds to encrypt one value under a scheme (measured
-    /// magnitudes from `mpq-crypto`'s microbenchmarks: symmetric ≈ sub-
-    /// microsecond, OPE tens of PRF calls, Paillier a modular
-    /// exponentiation).
+    /// USD per GB for a transfer from `sender` to `receiver`, priced
+    /// by the edge it rides: any edge touching the user crosses the
+    /// client link and pays internet egress; authority/provider edges
+    /// stay on the backbone at the sender's rate.
+    pub fn net_price(&self, sender: SubjectId, receiver: SubjectId) -> f64 {
+        if self.users.contains(&sender) || self.users.contains(&receiver) {
+            CLIENT_NET_PER_GB
+        } else {
+            self.of(sender).net_per_gb
+        }
+    }
+
+    /// CPU seconds to encrypt one value under a scheme (measured on the
+    /// in-tree substrate by `calibrate`: XTEA symmetric, OPE's PRF
+    /// walk, a Paillier-512 modular exponentiation).
     pub fn encrypt_secs(&self, scheme: EncScheme) -> f64 {
         match scheme {
-            // The paper: "encryption and decryption … have negligible
-            // impact on query costs/performance (e.g., if AES is
-            // used)" — hardware AES runs at tens of nanoseconds per
-            // value.
-            EncScheme::Deterministic | EncScheme::Random => 2.0e-8,
-            EncScheme::Ope => 1.0e-6,
-            EncScheme::Paillier => 1.0e-3,
+            EncScheme::Deterministic | EncScheme::Random => calibrated::SYM_ENC_SECS,
+            EncScheme::Ope => calibrated::OPE_ENC_SECS,
+            EncScheme::Paillier => calibrated::PAILLIER_ENC_SECS,
         }
     }
 
     /// CPU seconds to decrypt one value.
     pub fn decrypt_secs(&self, scheme: EncScheme) -> f64 {
         match scheme {
-            EncScheme::Deterministic | EncScheme::Random => 2.0e-8,
-            EncScheme::Ope => 1.0e-6,
-            EncScheme::Paillier => 1.0e-3,
+            EncScheme::Deterministic | EncScheme::Random => calibrated::SYM_DEC_SECS,
+            EncScheme::Ope => calibrated::OPE_DEC_SECS,
+            EncScheme::Paillier => calibrated::PAILLIER_DEC_SECS,
         }
     }
 
     /// Ciphertext width in bytes for a plaintext of `plain_width`
     /// bytes ("our implementation also considered the increase in size
-    /// that may derive from the application of encryption").
+    /// that may derive from the application of encryption"). The
+    /// formulas reproduce the measured widths of the in-tree cell
+    /// encodings (`calibrate` cross-checks them).
     pub fn ciphertext_width(&self, scheme: EncScheme, plain_width: f64) -> f64 {
         match scheme {
             // Length prefix + block padding.
@@ -194,6 +257,21 @@ mod tests {
         assert!((y.cpu_per_sec / x.cpu_per_sec - 1.5).abs() < 1e-9);
         assert_eq!(u.bandwidth_bps, CLIENT_BPS);
         assert_eq!(x.bandwidth_bps, BACKBONE_BPS);
+    }
+
+    #[test]
+    fn user_edges_pay_internet_egress() {
+        let subs = subjects();
+        let book = PriceBook::paper_defaults(&subs, &[1.0]);
+        let u = subs.id("U").unwrap();
+        let a = subs.id("A1").unwrap();
+        let x = subs.id("X").unwrap();
+        // Either direction over the client link is egress-priced.
+        assert_eq!(book.net_price(a, u), CLIENT_NET_PER_GB);
+        assert_eq!(book.net_price(u, a), CLIENT_NET_PER_GB);
+        // Backbone edges stay at the cheap rate.
+        assert_eq!(book.net_price(a, x), PROVIDER_NET_PER_GB);
+        assert_eq!(book.net_price(x, a), PROVIDER_NET_PER_GB);
     }
 
     #[test]

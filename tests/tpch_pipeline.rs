@@ -156,9 +156,15 @@ fn optimized_plans_execute_correctly_under_uapenc() {
                 koa.insert(a, k.id);
             }
         }
-        let prepared =
-            mpq::exec::rewrite_literals(&opt.extended.plan, &opt.schemes, &koa, &ring, &mut rng)
-                .unwrap_or_else(|e| panic!("Q{q} literal rewriting: {e}"));
+        let prepared = mpq::exec::rewrite_literals(
+            &opt.extended.plan,
+            &cat,
+            &opt.schemes,
+            &koa,
+            &ring,
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("Q{q} literal rewriting: {e}"));
         let ctx = mpq::exec::engine::ExecCtx::new(&cat, &db, &ring, &opt.schemes, &koa);
         let result = mpq::exec::execute(&prepared, &ctx)
             .unwrap_or_else(|e| panic!("Q{q} encrypted execution: {e}"));
@@ -211,16 +217,17 @@ fn ablation_minimal_extension_encrypts_least() {
         // encrypted-attribute sets are not directly comparable;
         // Def. 5.4 minimality under a *fixed* assignment is verified in
         // mpq-core. Here we assert both produce working plans and that
-        // the default (minimal-extension DP) never costs more than the
-        // encrypt-everything extreme.
-        // The two can differ in either direction by modest margins
-        // (min-visibility skips transit encryption of plaintext-needed
-        // attributes entirely; minimal extension may choose different
-        // assignments), but they should land in the same ballpark.
+        // the default (minimal-extension DP) never costs meaningfully
+        // more than the encrypt-everything extreme (the DP edge costs
+        // are approximate, so strict dominance is not guaranteed).
+        // Under the calibrated price book (measured per-value crypto
+        // costs) minimal extension is often *several times* cheaper —
+        // that is the point of the strategy — so only the upper bound
+        // is asserted.
         assert!(minimal.cost.total() > 0.0 && min_vis.cost.total() > 0.0);
         let ratio = minimal.cost.total() / min_vis.cost.total();
         assert!(
-            (0.5..=2.0).contains(&ratio),
+            ratio <= 2.0,
             "Q{q}: minimal {} vs min-visibility {} (ratio {ratio})",
             minimal.cost.total(),
             min_vis.cost.total()
