@@ -39,7 +39,7 @@ use mpq_algebra::{Catalog, SubjectId};
 use mpq_core::capability::CapabilityPolicy;
 use mpq_core::profile::profile_plan;
 use mpq_crypto::keyring::ClusterKey;
-use mpq_crypto::schemes::{decrypt_value, encrypt_value, paillier_add_cells};
+use mpq_crypto::schemes::{decrypt_batch, encrypt_batch, encrypt_value, paillier_add_cells};
 use mpq_exec::{assign_schemes, Database, ExecCtx, SchemePlan};
 use mpq_planner::cost::{edge_bytes_model, plan_tuple_ops};
 use mpq_planner::pricing::calibrated;
@@ -115,29 +115,56 @@ pub struct EdgeBytes {
     pub measured: f64,
 }
 
-/// Model-vs-measured ordering for one query.
+/// Model-vs-measured ordering for one pair of candidate plans of one
+/// query. Beyond the two extremes (everything-at-providers,
+/// everything-at-the-user), the candidate set includes the
+/// *intermediate* plans the optimizer actually picks (cost-based DP
+/// under UAPenc and UAPmix), so the ranking check covers the region of
+/// plan space the §7 economics select from.
 #[derive(Clone, Debug)]
 pub struct RankPoint {
     /// Query label.
     pub query: String,
-    /// Model computation-seconds estimate of the provider-heavy plan
-    /// (no link time — the simulator executes real work on one
-    /// machine but does not delay transfers).
-    pub model_opt_secs: f64,
-    /// Model computation-seconds estimate of the all-at-the-user plan.
-    pub model_user_secs: f64,
-    /// Measured seconds of the provider-heavy plan (distributed
-    /// replay).
-    pub measured_opt_secs: f64,
-    /// Measured seconds of the all-at-the-user plan.
-    pub measured_user_secs: f64,
+    /// First candidate's label (e.g. `enc/dp`, `enc/providers`,
+    /// `mix/user`).
+    pub plan_a: String,
+    /// Second candidate's label.
+    pub plan_b: String,
+    /// Model computation-seconds estimate of candidate A (no link
+    /// time — the simulator executes real work on one machine but does
+    /// not delay transfers).
+    pub model_a_secs: f64,
+    /// Model computation-seconds estimate of candidate B.
+    pub model_b_secs: f64,
+    /// Measured seconds of candidate A (distributed replay).
+    pub measured_a_secs: f64,
+    /// Measured seconds of candidate B.
+    pub measured_b_secs: f64,
 }
 
 impl RankPoint {
+    /// Minimum relative gap between the two model estimates for the
+    /// pair to count as a *ranking claim*. Below this the model calls
+    /// the plans a tie (the DP optimizer is indifferent between them),
+    /// so no measured ordering can contradict it.
+    pub const DECISIVE_GAP: f64 = 0.25;
+
+    /// Does the model separate the two candidates enough to claim an
+    /// ordering?
+    pub fn decisive(&self) -> bool {
+        let hi = self.model_a_secs.max(self.model_b_secs);
+        let lo = self.model_a_secs.min(self.model_b_secs);
+        hi > 0.0 && (hi - lo) / hi >= Self::DECISIVE_GAP
+    }
+
     /// Does the model order the two plans the way measurement does?
+    /// Indecisive pairs (model ties) vacuously agree — they are
+    /// recorded for visibility, not scored.
     pub fn agrees(&self) -> bool {
-        (self.model_opt_secs <= self.model_user_secs)
-            == (self.measured_opt_secs <= self.measured_user_secs)
+        if !self.decisive() {
+            return true;
+        }
+        (self.model_a_secs <= self.model_b_secs) == (self.measured_a_secs <= self.measured_b_secs)
     }
 }
 
@@ -166,31 +193,34 @@ pub struct Calibration {
 }
 
 impl Calibration {
-    /// Fraction of replayed queries where the model's plan ordering
-    /// matches the measured one.
+    /// Fraction of *decisive* plan pairs (model gap ≥
+    /// [`RankPoint::DECISIVE_GAP`]) where the model's ordering matches
+    /// the measured one. Model ties carry no ordering claim and are
+    /// reported but not scored.
     pub fn rank_agreement(&self) -> f64 {
-        if self.ranking.is_empty() {
+        let decisive: Vec<&RankPoint> = self.ranking.iter().filter(|r| r.decisive()).collect();
+        if decisive.is_empty() {
             return 1.0;
         }
-        self.ranking.iter().filter(|r| r.agrees()).count() as f64 / self.ranking.len() as f64
+        decisive.iter().filter(|r| r.agrees()).count() as f64 / decisive.len() as f64
     }
 }
 
-/// Time one scheme's encrypt/decrypt over `n` numeric values.
+/// Time one scheme's encrypt/decrypt over `n` numeric values, through
+/// the batch path the execution engine actually uses
+/// (`mpq_crypto::encrypt_batch`/`decrypt_batch`: key schedules and
+/// Montgomery contexts set up once per column, then per-value work) —
+/// the model prices the engine's marginal per-value cost, not the
+/// one-shot setup.
 fn time_scheme(scheme: EncScheme, n: usize, model: &PriceBook) -> CryptoTiming {
     let key = ClusterKey::generate(&mut StdRng::seed_from_u64(7), 1, 512);
     let mut rng = StdRng::seed_from_u64(9);
     let vals: Vec<Value> = (0..n).map(|i| Value::Num(i as f64 * 1.25)).collect();
     let t0 = Instant::now();
-    let encs: Vec<Value> = vals
-        .iter()
-        .map(|v| encrypt_value(&mut rng, v, scheme, &key).expect("encrypt"))
-        .collect();
+    let encs = encrypt_batch(&mut rng, &vals, scheme, &key).expect("encrypt");
     let enc_secs = t0.elapsed().as_secs_f64() / n as f64;
     let t0 = Instant::now();
-    for e in &encs {
-        decrypt_value(e, &key).expect("decrypt");
-    }
+    decrypt_batch(&encs, &key).expect("decrypt");
     let dec_secs = t0.elapsed().as_secs_f64() / n as f64;
     let width = encs.iter().map(Value::width).sum::<usize>() as f64 / n as f64;
     CryptoTiming {
@@ -254,7 +284,7 @@ pub fn run_calibration(cfg: &CalibrateConfig) -> Calibration {
         time_scheme(EncScheme::Deterministic, 200_000, book),
         time_scheme(EncScheme::Random, 200_000, book),
         time_scheme(EncScheme::Ope, 50_000, book),
-        time_scheme(EncScheme::Paillier, 200, book),
+        time_scheme(EncScheme::Paillier, 2_000, book),
     ];
     let paillier_add_secs = time_paillier_add();
 
@@ -310,9 +340,11 @@ pub fn run_calibration(cfg: &CalibrateConfig) -> Calibration {
             book,
             env.user,
         );
+        let t0 = Instant::now();
         let report = sim
             .run_sequential(&opt.extended, &opt.keys, env.user)
             .unwrap_or_else(|e| panic!("Q{q} distributed replay: {e}"));
+        let dp_replay_secs = t0.elapsed().as_secs_f64();
         request_bytes += report.request_bytes.values().sum::<usize>() as f64;
         // Data-flow bytes = total transfers minus the dispatch
         // envelopes, per edge.
@@ -343,30 +375,95 @@ pub fn run_calibration(cfg: &CalibrateConfig) -> Calibration {
             });
         }
 
-        // Ranking: a provider-heavy plan (real encryption and
-        // ciphertext-side execution) against everything-at-the-user.
-        // Queries whose fully-pinned provider plan is not executable
-        // over ciphertexts (e.g. an ORDER BY on an encrypted string —
-        // no scheme supports it) contribute bytes above but no ranking
-        // point.
+        // Ranking candidates under UAPenc: the optimizer's own
+        // cost-based DP plan (the intermediate point — already replayed
+        // above for the byte check, reusing that timing), a fully
+        // provider-pinned plan (real encryption and ciphertext-side
+        // execution), and everything-at-the-user. Candidates whose plan
+        // is not executable over ciphertexts (e.g. an ORDER BY on an
+        // encrypted string — no scheme supports it) contribute no
+        // measurement.
+        let mut measured: Vec<(String, f64, f64)> =
+            vec![("enc/dp".into(), opt.cost.cpu_secs, dp_replay_secs)];
         let provider_opt = pinned_plan(&plan, &cat, &stats, &env, true);
         let t0 = Instant::now();
-        let replay = sim.run_sequential(&provider_opt.extended, &provider_opt.keys, env.user);
-        if replay.is_err() {
-            continue;
+        if sim
+            .run_sequential(&provider_opt.extended, &provider_opt.keys, env.user)
+            .is_ok()
+        {
+            measured.push((
+                "enc/providers".into(),
+                provider_opt.cost.cpu_secs,
+                t0.elapsed().as_secs_f64(),
+            ));
         }
-        let measured_provider_secs = t0.elapsed().as_secs_f64();
         let user_opt = pinned_plan(&plan, &cat, &stats, &env, false);
         let t0 = Instant::now();
         sim.run_sequential(&user_opt.extended, &user_opt.keys, env.user)
             .unwrap_or_else(|e| panic!("Q{q} all-user replay: {e}"));
-        let measured_user_secs = t0.elapsed().as_secs_f64();
+        measured.push((
+            "enc/user".into(),
+            user_opt.cost.cpu_secs,
+            t0.elapsed().as_secs_f64(),
+        ));
+        for i in 0..measured.len() {
+            for j in i + 1..measured.len() {
+                ranking.push(RankPoint {
+                    query: format!("q{q}"),
+                    plan_a: measured[i].0.clone(),
+                    plan_b: measured[j].0.clone(),
+                    model_a_secs: measured[i].1,
+                    model_b_secs: measured[j].1,
+                    measured_a_secs: measured[i].2,
+                    measured_b_secs: measured[j].2,
+                });
+            }
+        }
+    }
+
+    // The UAPmix intermediate candidates: the optimizer's DP plan under
+    // the half-plaintext scenario against that scenario's all-at-user
+    // plan. Queries the UAPmix pipeline cannot optimize or execute are
+    // skipped (no ranking point), mirroring the provider-pinned logic.
+    let env_mix = build_scenario(&cat, Scenario::UAPmix);
+    let mut sim_mix =
+        mpq_dist::Simulator::new(&cat, &env_mix.subjects, &env_mix.policy, &db, cfg.seed);
+    for &q in &cfg.dist_queries {
+        let plan = query_plan(&cat, q);
+        let Ok(opt) = optimize(
+            &plan,
+            &cat,
+            &stats,
+            &env_mix,
+            &CapabilityPolicy::tpch_evaluation(),
+            Strategy::CostDp,
+        ) else {
+            continue;
+        };
+        let t0 = Instant::now();
+        if sim_mix
+            .run_sequential(&opt.extended, &opt.keys, env_mix.user)
+            .is_err()
+        {
+            continue;
+        }
+        let dp_secs = t0.elapsed().as_secs_f64();
+        let user_opt = pinned_plan(&plan, &cat, &stats, &env_mix, false);
+        let t0 = Instant::now();
+        if sim_mix
+            .run_sequential(&user_opt.extended, &user_opt.keys, env_mix.user)
+            .is_err()
+        {
+            continue;
+        }
         ranking.push(RankPoint {
             query: format!("q{q}"),
-            model_opt_secs: provider_opt.cost.cpu_secs,
-            model_user_secs: user_opt.cost.cpu_secs,
-            measured_opt_secs: measured_provider_secs,
-            measured_user_secs,
+            plan_a: "mix/dp".into(),
+            plan_b: "mix/user".into(),
+            model_a_secs: opt.cost.cpu_secs,
+            model_b_secs: user_opt.cost.cpu_secs,
+            measured_a_secs: dp_secs,
+            measured_b_secs: t0.elapsed().as_secs_f64(),
         });
     }
     let bytes_ratio = {
@@ -541,23 +638,36 @@ pub fn render(c: &Calibration) -> String {
     let _ = writeln!(s, "## Plan-ranking check (model vs measured wall time)");
     let _ = writeln!(
         s,
-        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>7}",
-        "query", "model opt s", "model user s", "meas opt s", "meas user s", "agree"
+        "{:>6} {:>24} {:>12} {:>12} {:>12} {:>12} {:>7}",
+        "query", "pair", "model A s", "model B s", "meas A s", "meas B s", "agree"
     );
     // Model columns are computation seconds (no link time), measured
     // columns are simulator wall seconds on one machine.
     for r in &c.ranking {
+        let verdict = if !r.decisive() {
+            "tie"
+        } else if r.agrees() {
+            "true"
+        } else {
+            "false"
+        };
         let _ = writeln!(
             s,
-            "{:>6} {:>14.4} {:>14.4} {:>14.4} {:>14.4} {:>7}",
+            "{:>6} {:>24} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>7}",
             r.query,
-            r.model_opt_secs,
-            r.model_user_secs,
-            r.measured_opt_secs,
-            r.measured_user_secs,
-            r.agrees()
+            format!("{} vs {}", r.plan_a, r.plan_b),
+            r.model_a_secs,
+            r.model_b_secs,
+            r.measured_a_secs,
+            r.measured_b_secs,
+            verdict
         );
     }
+    let _ = writeln!(
+        s,
+        "(ties: model gap < {:.0}% — no ordering claim, not scored)",
+        RankPoint::DECISIVE_GAP * 100.0
+    );
     let _ = writeln!(s, "rank agreement = {:.0}%", c.rank_agreement() * 100.0);
     s
 }
@@ -601,13 +711,17 @@ pub fn to_json(c: &Calibration) -> String {
         .iter()
         .map(|r| {
             format!(
-                "{{\"query\": \"{}\", \"model_opt_secs\": {:.6}, \"model_user_secs\": {:.6}, \
-                 \"measured_opt_secs\": {:.6}, \"measured_user_secs\": {:.6}, \"agrees\": {}}}",
+                "{{\"query\": \"{}\", \"plan_a\": \"{}\", \"plan_b\": \"{}\", \
+                 \"model_a_secs\": {:.6}, \"model_b_secs\": {:.6}, \
+                 \"measured_a_secs\": {:.6}, \"measured_b_secs\": {:.6}, \"decisive\": {}, \"agrees\": {}}}",
                 r.query,
-                r.model_opt_secs,
-                r.model_user_secs,
-                r.measured_opt_secs,
-                r.measured_user_secs,
+                r.plan_a,
+                r.plan_b,
+                r.model_a_secs,
+                r.model_b_secs,
+                r.measured_a_secs,
+                r.measured_b_secs,
+                r.decisive(),
                 r.agrees()
             )
         })

@@ -1,4 +1,5 @@
-//! Benchmark regression diffing for the CI perf gate.
+//! Benchmark regression diffing for the CI perf gate — and the
+//! *ratchet* keeping the committed baseline honest in both directions.
 //!
 //! Compares a freshly produced `BENCH_dist.json` (the `throughput`
 //! harness report) against the committed `BENCH_baseline.json` and
@@ -6,6 +7,18 @@
 //! on bytes-per-query. Bytes and requests are deterministic per
 //! configuration, so any byte growth is a real protocol change;
 //! latency carries runner noise, which the threshold absorbs.
+//!
+//! The ratchet direction: a gated metric that *improves* beyond the
+//! same tolerance also fails ([`MetricDelta::improved_beyond`]) —
+//! an unclaimed improvement means the committed baseline no longer
+//! describes the code, so regressions up to the stale baseline would
+//! pass silently. Re-pin (`throughput --smoke --out
+//! BENCH_baseline.json`) and commit the new floor with the change that
+//! earned it.
+//!
+//! Additionally, [`speedup_p50`] extracts the report's
+//! concurrent-vs-sequential ratio so CI can enforce that concurrency
+//! is never a pessimization (`bench_diff --min-speedup 1.0`).
 //!
 //! The comparison prints as a Markdown table so the CI job can append
 //! it to `$GITHUB_STEP_SUMMARY`.
@@ -42,6 +55,28 @@ impl MetricDelta {
             }
         }
     }
+
+    /// Did this gated metric *improve* beyond its tolerance? Such a win
+    /// is unclaimed until the baseline is re-pinned — the ratchet
+    /// refuses to leave the floor that far below the code.
+    pub fn improved_beyond(&self) -> bool {
+        match self.tolerance {
+            None => false,
+            Some(tol) => {
+                if self.higher_is_worse {
+                    self.delta < -tol
+                } else {
+                    self.delta > tol
+                }
+            }
+        }
+    }
+}
+
+/// Extract the `speedup_p50` (sequential p50 / concurrent p50) a
+/// throughput report recorded.
+pub fn speedup_p50(report: &str) -> Option<f64> {
+    field(report, "speedup_p50")
 }
 
 /// Extract `"key": <number>` from a JSON object body.
@@ -143,6 +178,8 @@ pub fn render_markdown(deltas: &[MetricDelta]) -> String {
             Some(tol) => {
                 if d.regressed() {
                     format!("❌ >{:.0}%", tol * 100.0)
+                } else if d.improved_beyond() {
+                    format!("🔁 improved >{:.0}% — re-pin baseline", tol * 100.0)
                 } else {
                     format!("✅ ≤{:.0}%", tol * 100.0)
                 }
@@ -196,10 +233,34 @@ mod tests {
     }
 
     #[test]
-    fn latency_improvement_passes() {
+    fn small_latency_improvement_passes_quietly() {
+        let current = with(90.0, 1000.0);
+        let deltas = compare(BASE, &current, 0.25, 0.25);
+        assert!(deltas.iter().all(|d| !d.regressed()));
+        assert!(deltas.iter().all(|d| !d.improved_beyond()));
+    }
+
+    #[test]
+    fn large_improvement_trips_the_ratchet() {
+        // 100 ms → 60 ms is a 40% improvement: beyond the 25% gate, the
+        // baseline is stale and must be re-pinned.
         let current = with(60.0, 1000.0);
         let deltas = compare(BASE, &current, 0.25, 0.25);
         assert!(deltas.iter().all(|d| !d.regressed()));
+        let p50 = deltas
+            .iter()
+            .find(|d| d.name == "concurrent p50 (ms)")
+            .unwrap();
+        assert!(p50.improved_beyond(), "{p50:?}");
+        let md = render_markdown(&deltas);
+        assert!(md.contains("re-pin baseline"));
+    }
+
+    #[test]
+    fn speedup_extraction() {
+        let report = r#"{"concurrent": {"p50_ms": 10.0}, "speedup_p50": 1.375, "x": 1}"#;
+        assert_eq!(speedup_p50(report), Some(1.375));
+        assert_eq!(speedup_p50("{}"), None);
     }
 
     #[test]

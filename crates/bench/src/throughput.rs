@@ -50,12 +50,16 @@ pub struct ThroughputConfig {
 }
 
 impl ThroughputConfig {
-    /// The CI smoke configuration: small but complete.
+    /// The CI smoke configuration: small but complete. SF 0.01 keeps
+    /// every query doing real engine work — with the batched
+    /// Montgomery crypto, SF 0.002 queries finished in ~10 ms and the
+    /// benchmark degenerated into measuring per-query protocol fixed
+    /// costs (key provisioning, envelope sealing, thread spawns).
     pub fn smoke() -> ThroughputConfig {
         ThroughputConfig {
             sessions: 2,
-            iters: 1,
-            tpch_sf: 0.002,
+            iters: 2,
+            tpch_sf: 0.01,
             tpch_queries: vec![1, 6],
             seed: 2026,
             smoke: true,
@@ -427,6 +431,16 @@ fn run_phase(wl: &Workload, cfg: &ThroughputConfig, sequential: bool) -> (ModeSt
 /// verify every result.
 pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     let wl = build_workload(cfg);
+    // One unmeasured pass through each path first: page-cache warmup,
+    // allocator growth, and first-touch of the generated data
+    // otherwise land entirely in whichever phase runs first and bias
+    // the concurrent-vs-sequential comparison.
+    let warm = ThroughputConfig {
+        iters: 1,
+        ..cfg.clone()
+    };
+    run_phase(&wl, &warm, false);
+    run_phase(&wl, &warm, true);
     let (concurrent, conc_out) = run_phase(&wl, cfg, false);
     let (sequential, seq_out) = run_phase(&wl, cfg, true);
 

@@ -1,0 +1,98 @@
+//! Microbenchmarks for the crypto primitives under the §7 cost model.
+//!
+//! `cargo bench -p mpq-crypto --bench primitives` (CI runs this in the
+//! `bench-smoke` job so the Montgomery/fixed-window win stays visible
+//! in the job summary). The headline numbers:
+//!
+//! * `modpow/*` — the modular exponentiation every RSA envelope and
+//!   Paillier cell sits on, with and without a reused
+//!   [`Montgomery`] context;
+//! * `paillier/*` — per-value encrypt/decrypt/add at the benchmark
+//!   modulus size (512 bits);
+//! * `xtea/*` — one block and a full deterministic value;
+//! * `ope/encode` — the 64-level keyed binary descent.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpq_algebra::value::{EncScheme, Value};
+use mpq_crypto::bignum::{BigUint, Montgomery};
+use mpq_crypto::keyring::ClusterKey;
+use mpq_crypto::schemes::{decrypt_value, encrypt_batch, paillier_add_cells};
+use mpq_crypto::xtea::XteaSchedule;
+use mpq_crypto::{ope, xtea};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let p = BigUint::gen_prime(&mut rng, 256);
+    let q = BigUint::gen_prime(&mut rng, 256);
+    let n = p.mul(&q); // 512-bit odd modulus
+    let base = BigUint::random_below(&mut rng, &n);
+    let exp = BigUint::random_below(&mut rng, &n);
+    let mut g = c.benchmark_group("modpow");
+    g.bench_function("512bit_one_shot", |b| {
+        b.iter(|| black_box(&base).modpow(black_box(&exp), black_box(&n)))
+    });
+    let ctx = Montgomery::new(&n).expect("odd");
+    g.bench_function("512bit_reused_ctx", |b| {
+        b.iter(|| ctx.pow(black_box(&base), black_box(&exp)))
+    });
+    g.finish();
+}
+
+fn bench_paillier(c: &mut Criterion) {
+    let key = ClusterKey::generate(&mut StdRng::seed_from_u64(7), 1, 512);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut g = c.benchmark_group("paillier");
+    g.bench_function("encrypt_512", |b| {
+        b.iter(|| {
+            encrypt_batch(&mut rng, &[Value::Int(12_345)], EncScheme::Paillier, &key).unwrap()
+        })
+    });
+    let cells = encrypt_batch(
+        &mut rng,
+        &[Value::Int(1), Value::Int(2)],
+        EncScheme::Paillier,
+        &key,
+    )
+    .unwrap();
+    g.bench_function("decrypt_512", |b| {
+        b.iter(|| decrypt_value(black_box(&cells[0]), &key).unwrap())
+    });
+    let (a, b_cell) = match (&cells[0], &cells[1]) {
+        (Value::Enc(a), Value::Enc(b)) => (a.clone(), b.clone()),
+        _ => unreachable!("encrypted above"),
+    };
+    let pk = key.paillier_public();
+    g.bench_function("add_512", |b| {
+        b.iter(|| paillier_add_cells(black_box(&a), black_box(&b_cell), &pk).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_xtea(c: &mut Criterion) {
+    let key = [7u8; 16];
+    let schedule = XteaSchedule::new(&key);
+    let mut g = c.benchmark_group("xtea");
+    g.bench_function("block", |b| {
+        b.iter(|| schedule.encrypt_block(black_box(0xdead_beef_cafe_f00d)))
+    });
+    let value = Value::str("a-typical-string-cell").canonical_bytes();
+    g.bench_function("det_value", |b| {
+        b.iter(|| schedule.det_encrypt(black_box(&value)))
+    });
+    g.bench_function("det_value_one_shot_key", |b| {
+        b.iter(|| xtea::det_encrypt(black_box(&key), black_box(&value)))
+    });
+    g.finish();
+}
+
+fn bench_ope(c: &mut Criterion) {
+    let key = [9u8; 16];
+    c.bench_function("ope/encode", |b| {
+        b.iter(|| ope::ope_encrypt_code(black_box(&key), black_box(0x1234_5678_9abc_def0)))
+    });
+}
+
+criterion_group!(benches, bench_modpow, bench_paillier, bench_xtea, bench_ope);
+criterion_main!(benches);

@@ -1,11 +1,16 @@
 //! Arbitrary-precision unsigned integers.
 //!
 //! A minimal bignum sufficient for Paillier and RSA: little-endian
-//! `u64` limbs, schoolbook multiplication, long division, binary
-//! extended GCD for modular inverses, square-and-multiply modular
-//! exponentiation, and Miller–Rabin primality testing. Performance is
-//! adequate for the 256–1024-bit moduli used in tests and benchmarks;
-//! the microbenchmarks in `mpq-bench` measure the real per-operation
+//! `u64` limbs, schoolbook multiplication, long division (with a
+//! single-limb fast path), binary extended GCD for modular inverses,
+//! Miller–Rabin primality testing, and modular exponentiation. For odd
+//! moduli — every RSA/Paillier modulus — [`BigUint::modpow`] runs on a
+//! [`Montgomery`] context (CIOS multiplication, fixed 4-bit-window
+//! exponentiation), which avoids the per-step long division that made
+//! the original square-and-multiply the single hottest loop in the
+//! whole system. Callers exponentiating repeatedly under one modulus
+//! should build the [`Montgomery`] context once and reuse it; the
+//! microbenchmarks in `crates/crypto/benches` track the per-operation
 //! cost that feeds the §7 economic model.
 
 use rand::Rng;
@@ -233,11 +238,26 @@ impl BigUint {
         r
     }
 
-    /// `(self / other, self % other)` via binary long division.
+    /// `(self / other, self % other)`: limb-wise short division for
+    /// single-limb divisors (small primes, `u64` moduli), binary long
+    /// division otherwise.
     pub fn divmod(&self, other: &BigUint) -> (BigUint, BigUint) {
         assert!(!other.is_zero(), "division by zero");
         if self < other {
             return (BigUint::zero(), self.clone());
+        }
+        if other.limbs.len() == 1 {
+            let d = other.limbs[0] as u128;
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut r: u128 = 0;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (r << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d) as u64;
+                r = cur % d;
+            }
+            let mut quotient = BigUint { limbs: q };
+            quotient.normalize();
+            return (quotient, BigUint::from_u128(r));
         }
         let shift = self.bits() - other.bits();
         let mut quotient = BigUint::zero();
@@ -272,11 +292,20 @@ impl BigUint {
         self.mul(other).rem(m)
     }
 
-    /// `self^exp % m` (square-and-multiply).
+    /// `self^exp % m`: Montgomery fixed-window exponentiation for odd
+    /// moduli, square-and-multiply with per-step division otherwise.
+    ///
+    /// Callers looping over one modulus should build a [`Montgomery`]
+    /// context once and call [`Montgomery::pow`] directly — this entry
+    /// point pays the context setup (one long division for `R² mod m`)
+    /// on every call.
     pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
         assert!(!m.is_zero());
         if m.is_one() {
             return BigUint::zero();
+        }
+        if let Some(ctx) = Montgomery::new(m) {
+            return ctx.pow(self, exp);
         }
         let mut base = self.rem(m);
         let mut result = BigUint::one();
@@ -445,6 +474,193 @@ impl BigUint {
     }
 }
 
+/// Montgomery arithmetic over a fixed odd modulus.
+///
+/// Construction costs one long division (`R² mod m`); after that,
+/// modular multiplication is a CIOS pass with no division at all, and
+/// [`Montgomery::pow`] runs a fixed 4-bit-window exponentiation —
+/// roughly `1.25` Montgomery multiplications per exponent bit instead
+/// of up to two multiply-then-long-divide steps. This is the engine
+/// under every RSA envelope, Paillier cell, and prime-generation
+/// Miller–Rabin round.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    /// Modulus limbs (little-endian, length `n`, top limb non-zero).
+    m: Vec<u64>,
+    /// `-m⁻¹ mod 2⁶⁴`.
+    m0_inv: u64,
+    /// `R² mod m` padded to `n` limbs, with `R = 2^(64n)`.
+    r2: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Context for an odd modulus `> 1`; `None` for even, zero, or one.
+    pub fn new(m: &BigUint) -> Option<Montgomery> {
+        if m.is_zero() || m.is_one() || m.is_even() {
+            return None;
+        }
+        let limbs = m.limbs.clone();
+        let n = limbs.len();
+        // Newton's iteration doubles correct low bits each round:
+        // m0 is its own inverse mod 2³ for odd m0, so 5 rounds reach 2⁶⁴.
+        let m0 = limbs[0];
+        let mut inv = m0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let m0_inv = inv.wrapping_neg();
+        let mut r2 = BigUint::one().shl(2 * n * 64).rem(m).limbs;
+        r2.resize(n, 0);
+        Some(Montgomery {
+            m: limbs,
+            m0_inv,
+            r2,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> BigUint {
+        let mut m = BigUint {
+            limbs: self.m.clone(),
+        };
+        m.normalize();
+        m
+    }
+
+    /// CIOS Montgomery product: `a·b·R⁻¹ mod m` for `n`-limb inputs
+    /// `< m`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = self.m.len();
+        let mut t = vec![0u64; n + 2];
+        for &ai in a.iter().take(n) {
+            // t += ai · b
+            let mut carry = 0u64;
+            for (tj, &bj) in t[..n].iter_mut().zip(&b[..n]) {
+                let cur = *tj as u128 + (ai as u128) * (bj as u128) + carry as u128;
+                *tj = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = t[n] as u128 + carry as u128;
+            t[n] = cur as u64;
+            t[n + 1] = (cur >> 64) as u64;
+            // t = (t + u·m) / 2⁶⁴ with u chosen so the low limb cancels.
+            let u = t[0].wrapping_mul(self.m0_inv);
+            let cur = t[0] as u128 + (u as u128) * (self.m[0] as u128);
+            let mut carry = (cur >> 64) as u64;
+            for j in 1..n {
+                let cur = t[j] as u128 + (u as u128) * (self.m[j] as u128) + carry as u128;
+                t[j - 1] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = t[n] as u128 + carry as u128;
+            t[n - 1] = cur as u64;
+            t[n] = t[n + 1] + ((cur >> 64) as u64);
+            t[n + 1] = 0;
+        }
+        // Conditional final subtraction brings t into [0, m).
+        let over = t[n] > 0 || cmp_limbs(&t[..n], &self.m) != Ordering::Less;
+        let mut out = Vec::with_capacity(n);
+        if over {
+            let mut borrow = 0u64;
+            for (&tj, &mj) in t[..n].iter().zip(&self.m[..n]) {
+                let (d1, b1) = tj.overflowing_sub(mj);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out.push(d2);
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        } else {
+            out.extend_from_slice(&t[..n]);
+        }
+        out
+    }
+
+    /// Pad a reduced value to `n` limbs. The common already-reduced
+    /// case compares limbs in place — no modulus clone on the hot path.
+    fn to_limbs(&self, a: &BigUint) -> Vec<u64> {
+        let n = self.m.len();
+        let needs_reduction = a.limbs.len() > n
+            || (a.limbs.len() == n && cmp_limbs(&a.limbs, &self.m) != Ordering::Less);
+        let mut limbs = if needs_reduction {
+            a.rem(&self.modulus()).limbs
+        } else {
+            a.limbs.clone()
+        };
+        limbs.resize(n, 0);
+        limbs
+    }
+
+    /// `1` in Montgomery form (`R mod m`).
+    fn one_mont(&self) -> Vec<u64> {
+        let mut one = vec![0u64; self.m.len()];
+        one[0] = 1;
+        self.mont_mul(&one, &self.r2)
+    }
+
+    /// `(a · b) mod m` — one domain conversion plus one product, no
+    /// long division.
+    pub fn mulmod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let a_mont = self.mont_mul(&self.to_limbs(a), &self.r2);
+        let mut out = BigUint {
+            limbs: self.mont_mul(&a_mont, &self.to_limbs(b)),
+        };
+        out.normalize();
+        out
+    }
+
+    /// `base^exp mod m` via fixed 4-bit windows.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let bits = exp.bits();
+        if bits == 0 {
+            return BigUint::one().rem(&self.modulus());
+        }
+        let base_m = self.mont_mul(&self.to_limbs(base), &self.r2);
+        // table[k] = baseᵏ in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one_mont());
+        table.push(base_m.clone());
+        for k in 2..16 {
+            table.push(self.mont_mul(&table[k - 1], &base_m));
+        }
+        let windows = bits.div_ceil(4);
+        let mut acc = table[0].clone();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut win = 0usize;
+            for b in (0..4).rev() {
+                win = (win << 1) | exp.bit(w * 4 + b) as usize;
+            }
+            if win != 0 {
+                acc = self.mont_mul(&acc, &table[win]);
+                started = true;
+            }
+        }
+        // Leave the Montgomery domain: multiply by 1.
+        let mut one = vec![0u64; self.m.len()];
+        one[0] = 1;
+        let mut out = BigUint {
+            limbs: self.mont_mul(&acc, &one),
+        };
+        out.normalize();
+        out
+    }
+}
+
+/// Compare two equal-length limb slices (little-endian).
+fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
 /// `a - b` on (sign, magnitude) pairs.
 fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
     match (a.0, b.0) {
@@ -609,6 +825,60 @@ mod tests {
         for _ in 0..100 {
             let r = BigUint::random_below(&mut rng, &bound);
             assert!(r < bound);
+        }
+    }
+
+    #[test]
+    fn montgomery_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..50 {
+            // Random odd multi-limb modulus.
+            let mut m = BigUint::gen_prime(&mut rng, 96);
+            if m.is_even() {
+                m = m.add(&BigUint::one());
+            }
+            let ctx = Montgomery::new(&m).expect("odd modulus");
+            let a = BigUint::random_below(&mut rng, &m);
+            let b = BigUint::random_below(&mut rng, &m);
+            assert_eq!(ctx.mulmod(&a, &b), a.mul(&b).rem(&m));
+            let e = BigUint::from_u64(rng.gen_range(0..10_000));
+            // Oracle: the plain square-and-multiply loop.
+            let mut base = a.rem(&m);
+            let mut expect = BigUint::one();
+            for i in 0..e.bits() {
+                if e.bit(i) {
+                    expect = expect.mulmod(&base, &m);
+                }
+                base = base.mulmod(&base, &m);
+            }
+            assert_eq!(ctx.pow(&a, &e), expect);
+        }
+    }
+
+    #[test]
+    fn montgomery_edge_cases() {
+        let m = big(1_000_003);
+        let ctx = Montgomery::new(&m).unwrap();
+        assert_eq!(ctx.pow(&big(5), &BigUint::zero()).to_u128(), 1);
+        assert_eq!(ctx.pow(&BigUint::zero(), &big(7)).to_u128(), 0);
+        assert_eq!(ctx.pow(&big(2), &big(20)).to_u128(), (1 << 20) % 1_000_003);
+        // Unreduced base.
+        assert_eq!(ctx.mulmod(&big(2_000_007), &big(3)).to_u128(), 3);
+        // Even / degenerate moduli have no context.
+        assert!(Montgomery::new(&big(10)).is_none());
+        assert!(Montgomery::new(&BigUint::one()).is_none());
+        assert!(Montgomery::new(&BigUint::zero()).is_none());
+    }
+
+    #[test]
+    fn single_limb_division_fast_path() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..200 {
+            let a = BigUint::random_below(&mut rng, &BigUint::one().shl(200));
+            let d: u64 = rng.gen_range(1..u64::MAX);
+            let (q, r) = a.divmod(&BigUint::from_u64(d));
+            assert_eq!(q.mul(&BigUint::from_u64(d)).add(&r), a);
+            assert!(r < BigUint::from_u64(d));
         }
     }
 

@@ -23,13 +23,22 @@ use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 /// Key material for one attribute cluster.
+///
+/// Scheme sub-keys are derived from the master secret once, at
+/// generation time — encrypting a column no longer re-runs the SipHash
+/// derivation per cell, and clones share the Paillier keypair (and its
+/// cached Montgomery context) through an `Arc`.
 #[derive(Clone)]
 pub struct ClusterKey {
     /// Key id (matches `mpq_core::keys::PlanKey::id` and the `key_id`
     /// field of encrypted cells).
     pub id: u32,
-    /// Master secret.
-    master: [u8; 16],
+    /// Deterministic-scheme sub-key.
+    det: [u8; 16],
+    /// Randomized-scheme sub-key.
+    rnd: [u8; 16],
+    /// OPE sub-key.
+    ope: [u8; 16],
     /// Paillier keypair for additively homomorphic aggregation.
     paillier: Arc<PaillierKeypair>,
 }
@@ -49,24 +58,26 @@ impl ClusterKey {
         rng.fill(&mut master);
         ClusterKey {
             id,
-            master,
+            det: derive_subkey(&master, "det"),
+            rnd: derive_subkey(&master, "rnd"),
+            ope: derive_subkey(&master, "ope"),
             paillier: Arc::new(PaillierKeypair::generate(rng, paillier_bits)),
         }
     }
 
     /// Deterministic-scheme sub-key.
     pub fn det_key(&self) -> [u8; 16] {
-        derive_subkey(&self.master, "det")
+        self.det
     }
 
     /// Randomized-scheme sub-key.
     pub fn rnd_key(&self) -> [u8; 16] {
-        derive_subkey(&self.master, "rnd")
+        self.rnd
     }
 
     /// OPE sub-key.
     pub fn ope_key(&self) -> [u8; 16] {
-        derive_subkey(&self.master, "ope")
+        self.ope
     }
 
     /// Full Paillier keypair (decryption capability).
@@ -90,7 +101,7 @@ impl ClusterKey {
 #[derive(Default)]
 pub struct KeyRing {
     keys: RwLock<HashMap<u32, ClusterKey>>,
-    publics: RwLock<HashMap<u32, PaillierPublic>>,
+    publics: RwLock<HashMap<u32, Arc<PaillierPublic>>>,
 }
 
 impl KeyRing {
@@ -104,7 +115,7 @@ impl KeyRing {
         self.publics
             .write()
             .expect("keyring lock poisoned")
-            .insert(key.id, key.paillier_public());
+            .insert(key.id, Arc::new(key.paillier_public()));
         self.keys
             .write()
             .expect("keyring lock poisoned")
@@ -116,7 +127,7 @@ impl KeyRing {
         self.publics
             .write()
             .expect("keyring lock poisoned")
-            .insert(id, public);
+            .insert(id, Arc::new(public));
     }
 
     /// Fetch a full key by id.
@@ -128,8 +139,10 @@ impl KeyRing {
             .cloned()
     }
 
-    /// Fetch the public Paillier half of a key.
-    pub fn get_public(&self, id: u32) -> Option<PaillierPublic> {
+    /// Fetch the public Paillier half of a key. The returned handle is
+    /// shared: its cached Montgomery context is built once per ring
+    /// entry, not per caller.
+    pub fn get_public(&self, id: u32) -> Option<Arc<PaillierPublic>> {
         self.publics
             .read()
             .expect("keyring lock poisoned")

@@ -49,8 +49,10 @@ pub mod sha256;
 pub mod siphash;
 pub mod xtea;
 
-pub use bignum::BigUint;
+pub use bignum::{BigUint, Montgomery};
 pub use keyring::{ClusterKey, KeyRing};
 pub use paillier::{PaillierCiphertext, PaillierKeypair, PaillierPublic};
 pub use rsa::{RsaKeypair, SignedEnvelope};
-pub use schemes::{decrypt_value, encrypt_value, EncryptError};
+pub use schemes::{
+    decrypt_batch, decrypt_value, encrypt_batch, encrypt_value, ColumnCipher, EncryptError,
+};

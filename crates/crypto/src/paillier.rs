@@ -10,8 +10,9 @@
 //! offsets can be removed after decryption (see
 //! [`PaillierKeypair::decode_sum`]).
 
-use crate::bignum::BigUint;
+use crate::bignum::{BigUint, Montgomery};
 use rand::Rng;
+use std::sync::OnceLock;
 
 /// Offset added to signed values so they embed into the non-negative
 /// plaintext space.
@@ -19,13 +20,43 @@ pub const ENCODE_OFFSET: i128 = 1 << 63;
 
 /// Public half of a Paillier keypair: enough to encrypt and to add
 /// ciphertexts.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Carries a lazily built, shared [`Montgomery`] context for `n²` so
+/// repeated encryptions/additions under one key pay the reduction
+/// setup once — the context rides along in the `Arc`'d keypair that
+/// [`crate::keyring::ClusterKey`] clones share.
+#[derive(Debug)]
 pub struct PaillierPublic {
     /// Modulus `n = p·q`.
     pub n: BigUint,
     /// `n²` (cached).
     pub n2: BigUint,
+    /// Montgomery context for `n²`, built on first use.
+    mont2: OnceLock<Montgomery>,
 }
+
+impl Clone for PaillierPublic {
+    fn clone(&self) -> Self {
+        let mont2 = OnceLock::new();
+        if let Some(ctx) = self.mont2.get() {
+            let _ = mont2.set(ctx.clone());
+        }
+        PaillierPublic {
+            n: self.n.clone(),
+            n2: self.n2.clone(),
+            mont2,
+        }
+    }
+}
+
+impl PartialEq for PaillierPublic {
+    fn eq(&self, other: &Self) -> bool {
+        // The Montgomery cache is derived state, not identity.
+        self.n == other.n
+    }
+}
+
+impl Eq for PaillierPublic {}
 
 /// A Paillier ciphertext (value in `[0, n²)`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,6 +74,22 @@ pub struct PaillierKeypair {
 }
 
 impl PaillierPublic {
+    /// Build a public key from `n` (computes and caches `n²`).
+    pub fn from_modulus(n: BigUint) -> PaillierPublic {
+        let n2 = n.mul(&n);
+        PaillierPublic {
+            n,
+            n2,
+            mont2: OnceLock::new(),
+        }
+    }
+
+    /// The shared Montgomery context for `n²` (built on first use).
+    pub(crate) fn mont2(&self) -> &Montgomery {
+        self.mont2
+            .get_or_init(|| Montgomery::new(&self.n2).expect("n² is odd and > 1"))
+    }
+
     /// Encrypt a non-negative plaintext `m < n`.
     pub fn encrypt<R: Rng + ?Sized>(&self, rng: &mut R, m: &BigUint) -> PaillierCiphertext {
         assert!(m < &self.n, "plaintext out of range");
@@ -53,20 +100,21 @@ impl PaillierPublic {
                 break r;
             }
         };
-        // c = (1 + m·n) · rⁿ mod n².
-        let gm = BigUint::one().add(&m.mul(&self.n)).rem(&self.n2);
-        let rn = r.modpow(&self.n, &self.n2);
-        PaillierCiphertext(gm.mulmod(&rn, &self.n2))
+        // c = (1 + m·n) · rⁿ mod n²; m < n makes 1 + m·n < n² already.
+        let ctx = self.mont2();
+        let gm = BigUint::one().add(&m.mul(&self.n));
+        let rn = ctx.pow(&r, &self.n);
+        PaillierCiphertext(ctx.mulmod(&gm, &rn))
     }
 
     /// Homomorphic addition: `Dec(add(c1,c2)) = m1 + m2 (mod n)`.
     pub fn add(&self, a: &PaillierCiphertext, b: &PaillierCiphertext) -> PaillierCiphertext {
-        PaillierCiphertext(a.0.mulmod(&b.0, &self.n2))
+        PaillierCiphertext(self.mont2().mulmod(&a.0, &b.0))
     }
 
     /// Homomorphic scalar multiplication: `Dec(mul_scalar(c,k)) = k·m`.
     pub fn mul_scalar(&self, c: &PaillierCiphertext, k: u64) -> PaillierCiphertext {
-        PaillierCiphertext(c.0.modpow(&BigUint::from_u64(k), &self.n2))
+        PaillierCiphertext(self.mont2().pow(&c.0, &BigUint::from_u64(k)))
     }
 
     /// Neutral element (encryption of 0 with r = 1; fine for use as an
@@ -94,7 +142,6 @@ impl PaillierKeypair {
             }
         };
         let n = p.mul(&q);
-        let n2 = n.mul(&n);
         let one = BigUint::one();
         let p1 = p.sub(&one);
         let q1 = q.sub(&one);
@@ -107,7 +154,7 @@ impl PaillierKeypair {
             .modinv(&n)
             .expect("λ is invertible mod n for distinct primes");
         PaillierKeypair {
-            public: PaillierPublic { n, n2 },
+            public: PaillierPublic::from_modulus(n),
             lambda,
             mu,
         }
@@ -116,8 +163,7 @@ impl PaillierKeypair {
     /// Decrypt to the non-negative plaintext.
     pub fn decrypt(&self, c: &PaillierCiphertext) -> BigUint {
         let n = &self.public.n;
-        let n2 = &self.public.n2;
-        let x = c.0.modpow(&self.lambda, n2);
+        let x = self.public.mont2().pow(&c.0, &self.lambda);
         // L(x) = (x - 1) / n.
         let l = x.sub(&BigUint::one()).divmod(n).0;
         l.mulmod(&self.mu, n)

@@ -18,7 +18,7 @@ use crate::bignum::BigUint;
 use crate::keyring::ClusterKey;
 use crate::ope;
 use crate::paillier::PaillierCiphertext;
-use crate::xtea;
+use crate::xtea::XteaSchedule;
 use mpq_algebra::value::{EncScheme, EncValue, Value};
 use rand::Rng;
 use std::sync::Arc;
@@ -53,108 +53,185 @@ impl std::fmt::Display for EncryptError {
 
 impl std::error::Error for EncryptError {}
 
+/// A cluster key prepared for repeated use on one column: XTEA key
+/// schedules expanded, sub-keys and the Paillier public half resolved
+/// once. This is the batch entry the execution engine uses — the
+/// per-value setup (`SipHash` sub-key derivation, key-schedule
+/// expansion, Paillier `n²` Montgomery context) is paid once per
+/// column instead of once per cell.
+pub struct ColumnCipher {
+    scheme: EncScheme,
+    key: ClusterKey,
+    det: XteaSchedule,
+    rnd: XteaSchedule,
+    ope: [u8; 16],
+}
+
+impl ColumnCipher {
+    /// Prepare `key` for encrypting/decrypting a column under `scheme`.
+    pub fn new(scheme: EncScheme, key: &ClusterKey) -> ColumnCipher {
+        ColumnCipher {
+            scheme,
+            det: XteaSchedule::new(&key.det_key()),
+            rnd: XteaSchedule::new(&key.rnd_key()),
+            ope: key.ope_key(),
+            key: key.clone(),
+        }
+    }
+
+    /// The key id ciphertexts will carry.
+    pub fn key_id(&self) -> u32 {
+        self.key.id
+    }
+
+    /// Encrypt one plaintext cell under the prepared scheme. NULLs pass
+    /// through unencrypted (SQL semantics: NULL carries no value; the
+    /// paper's model operates at the schema level).
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        value: &Value,
+    ) -> Result<Value, EncryptError> {
+        if value.is_null() {
+            return Ok(Value::Null);
+        }
+        if matches!(value, Value::Enc(_)) {
+            return Err(EncryptError::WrongForm);
+        }
+        let bytes: Vec<u8> = match self.scheme {
+            EncScheme::Deterministic => self.det.det_encrypt(&value.canonical_bytes()),
+            EncScheme::Random => self.rnd.rnd_encrypt(rng.gen(), &value.canonical_bytes()),
+            EncScheme::Ope => {
+                let (ty, code) = match value {
+                    Value::Int(i) => (ope::OpeType::Int, ope::int_to_code(*i)),
+                    Value::Num(f) => (ope::OpeType::Num, ope::num_to_code(*f)),
+                    Value::Date(d) => (ope::OpeType::Date, ope::int_to_code(d.0 as i64)),
+                    Value::Bool(_) | Value::Str(_) => {
+                        return Err(EncryptError::UnsupportedType("strings/bools under OPE"))
+                    }
+                    Value::Null | Value::Enc(_) => unreachable!("handled above"),
+                };
+                ope::ope_encrypt(&self.ope, ty, code)
+            }
+            EncScheme::Paillier => {
+                let (tag, encoded): (u8, i64) = match value {
+                    Value::Int(i) => (1, *i),
+                    Value::Num(f) => (2, (f * NUM_SCALE).round() as i64),
+                    _ => {
+                        return Err(EncryptError::UnsupportedType(
+                            "only numerics under Paillier",
+                        ))
+                    }
+                };
+                let pk = &self.key.paillier().public;
+                let c = pk.encrypt(rng, &pk.encode_signed(encoded));
+                encode_paillier_cell(tag, AggKind::Single, 1, &c)
+            }
+        };
+        Ok(Value::Enc(EncValue {
+            scheme: self.scheme,
+            key_id: self.key.id,
+            bytes: Arc::from(bytes),
+        }))
+    }
+
+    /// Decrypt one cell (any scheme — the cell is self-describing).
+    /// NULLs pass through.
+    pub fn decrypt(&self, value: &Value) -> Result<Value, EncryptError> {
+        let enc = match value {
+            Value::Null => return Ok(Value::Null),
+            Value::Enc(e) => e,
+            _ => return Err(EncryptError::WrongForm),
+        };
+        if enc.key_id != self.key.id {
+            return Err(EncryptError::BadCiphertext);
+        }
+        match enc.scheme {
+            EncScheme::Deterministic => {
+                let pt = self
+                    .det
+                    .det_decrypt(&enc.bytes)
+                    .ok_or(EncryptError::BadCiphertext)?;
+                Value::from_canonical_bytes(&pt).ok_or(EncryptError::BadCiphertext)
+            }
+            EncScheme::Random => {
+                let pt = self
+                    .rnd
+                    .rnd_decrypt(&enc.bytes)
+                    .ok_or(EncryptError::BadCiphertext)?;
+                Value::from_canonical_bytes(&pt).ok_or(EncryptError::BadCiphertext)
+            }
+            EncScheme::Ope => {
+                let (ty, code) =
+                    ope::ope_decrypt(&self.ope, &enc.bytes).ok_or(EncryptError::BadCiphertext)?;
+                Ok(match ty {
+                    ope::OpeType::Int => Value::Int(ope::code_to_int(code)),
+                    ope::OpeType::Num => Value::Num(ope::code_to_num(code)),
+                    ope::OpeType::Date => {
+                        Value::Date(mpq_algebra::Date(ope::code_to_int(code) as i32))
+                    }
+                })
+            }
+            EncScheme::Paillier => {
+                let (tag, kind, count, c) = decode_paillier_cell(&enc.bytes)?;
+                let v = self.key.paillier().decode_sum(&c, count);
+                if tag != 1 && tag != 2 {
+                    return Err(EncryptError::BadCiphertext);
+                }
+                Ok(match kind {
+                    // Integer SUMs decode exactly (the old f64 detour
+                    // rounded values above 2⁵³); a sum escaping the
+                    // i64 range clamps, like the previous saturating
+                    // float-to-int cast.
+                    AggKind::Single | AggKind::Sum if tag == 1 => {
+                        Value::Int(v.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+                    }
+                    AggKind::Single | AggKind::Sum => Value::Num(v as f64 / NUM_SCALE),
+                    AggKind::Avg if tag == 1 => Value::Num(v as f64 / count.max(1) as f64),
+                    AggKind::Avg => Value::Num(v as f64 / NUM_SCALE / count.max(1) as f64),
+                })
+            }
+        }
+    }
+}
+
 /// Encrypt a plaintext `Value` under `scheme` with a cluster key.
-/// NULLs pass through unencrypted (SQL semantics: NULL carries no
-/// value; the paper's model operates at the schema level).
+/// One-shot; batch callers should use [`ColumnCipher`] /
+/// [`encrypt_batch`] so the key setup is paid once per column.
 pub fn encrypt_value<R: Rng + ?Sized>(
     rng: &mut R,
     value: &Value,
     scheme: EncScheme,
     key: &ClusterKey,
 ) -> Result<Value, EncryptError> {
-    if value.is_null() {
-        return Ok(Value::Null);
-    }
-    if matches!(value, Value::Enc(_)) {
-        return Err(EncryptError::WrongForm);
-    }
-    let bytes: Vec<u8> = match scheme {
-        EncScheme::Deterministic => xtea::det_encrypt(&key.det_key(), &value.canonical_bytes()),
-        EncScheme::Random => xtea::rnd_encrypt(&key.rnd_key(), rng.gen(), &value.canonical_bytes()),
-        EncScheme::Ope => {
-            let (ty, code) = match value {
-                Value::Int(i) => (ope::OpeType::Int, ope::int_to_code(*i)),
-                Value::Num(f) => (ope::OpeType::Num, ope::num_to_code(*f)),
-                Value::Date(d) => (ope::OpeType::Date, ope::int_to_code(d.0 as i64)),
-                Value::Bool(_) | Value::Str(_) => {
-                    return Err(EncryptError::UnsupportedType("strings/bools under OPE"))
-                }
-                Value::Null | Value::Enc(_) => unreachable!("handled above"),
-            };
-            ope::ope_encrypt(&key.ope_key(), ty, code)
-        }
-        EncScheme::Paillier => {
-            let (tag, encoded): (u8, i64) = match value {
-                Value::Int(i) => (1, *i),
-                Value::Num(f) => (2, (f * NUM_SCALE).round() as i64),
-                _ => {
-                    return Err(EncryptError::UnsupportedType(
-                        "only numerics under Paillier",
-                    ))
-                }
-            };
-            let pk = key.paillier_public();
-            let c = pk.encrypt(rng, &pk.encode_signed(encoded));
-            encode_paillier_cell(tag, AggKind::Single, 1, &c)
-        }
-    };
-    Ok(Value::Enc(EncValue {
-        scheme,
-        key_id: key.id,
-        bytes: Arc::from(bytes),
-    }))
+    ColumnCipher::new(scheme, key).encrypt(rng, value)
 }
 
 /// Decrypt an encrypted cell with the cluster key. NULLs pass through.
+/// One-shot; batch callers should use [`ColumnCipher`] /
+/// [`decrypt_batch`].
 pub fn decrypt_value(value: &Value, key: &ClusterKey) -> Result<Value, EncryptError> {
-    let enc = match value {
-        Value::Null => return Ok(Value::Null),
-        Value::Enc(e) => e,
-        _ => return Err(EncryptError::WrongForm),
-    };
-    if enc.key_id != key.id {
-        return Err(EncryptError::BadCiphertext);
-    }
-    match enc.scheme {
-        EncScheme::Deterministic => {
-            let pt =
-                xtea::det_decrypt(&key.det_key(), &enc.bytes).ok_or(EncryptError::BadCiphertext)?;
-            Value::from_canonical_bytes(&pt).ok_or(EncryptError::BadCiphertext)
-        }
-        EncScheme::Random => {
-            let pt =
-                xtea::rnd_decrypt(&key.rnd_key(), &enc.bytes).ok_or(EncryptError::BadCiphertext)?;
-            Value::from_canonical_bytes(&pt).ok_or(EncryptError::BadCiphertext)
-        }
-        EncScheme::Ope => {
-            let (ty, code) =
-                ope::ope_decrypt(&key.ope_key(), &enc.bytes).ok_or(EncryptError::BadCiphertext)?;
-            Ok(match ty {
-                ope::OpeType::Int => Value::Int(ope::code_to_int(code)),
-                ope::OpeType::Num => Value::Num(ope::code_to_num(code)),
-                ope::OpeType::Date => Value::Date(mpq_algebra::Date(ope::code_to_int(code) as i32)),
-            })
-        }
-        EncScheme::Paillier => {
-            let (tag, kind, count, c) = decode_paillier_cell(&enc.bytes)?;
-            let v = key.paillier().decode_sum(&c, count);
-            let raw = match tag {
-                1 => v as f64,
-                2 => v as f64 / NUM_SCALE,
-                _ => return Err(EncryptError::BadCiphertext),
-            };
-            Ok(match kind {
-                AggKind::Single | AggKind::Sum => {
-                    if tag == 1 {
-                        Value::Int(raw as i64)
-                    } else {
-                        Value::Num(raw)
-                    }
-                }
-                AggKind::Avg => Value::Num(raw / count.max(1) as f64),
-            })
-        }
-    }
+    // The cell is self-describing, so the prepared scheme is irrelevant
+    // for decryption.
+    ColumnCipher::new(EncScheme::Deterministic, key).decrypt(value)
+}
+
+/// Encrypt a column slice under one scheme/key, paying the key setup
+/// once. Randomness is drawn from `rng` value-by-value in slice order.
+pub fn encrypt_batch<R: Rng + ?Sized>(
+    rng: &mut R,
+    values: &[Value],
+    scheme: EncScheme,
+    key: &ClusterKey,
+) -> Result<Vec<Value>, EncryptError> {
+    let cipher = ColumnCipher::new(scheme, key);
+    values.iter().map(|v| cipher.encrypt(rng, v)).collect()
+}
+
+/// Decrypt a column slice with one key, paying the key setup once.
+pub fn decrypt_batch(values: &[Value], key: &ClusterKey) -> Result<Vec<Value>, EncryptError> {
+    let cipher = ColumnCipher::new(EncScheme::Deterministic, key);
+    values.iter().map(|v| cipher.decrypt(v)).collect()
 }
 
 /// How a Paillier cell was produced: a single encrypted value, a
@@ -350,6 +427,47 @@ mod tests {
                 )
             }
             other => panic!("expected Num, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paillier_int_roundtrip_is_exact_above_2_pow_53() {
+        let (k, mut rng) = key();
+        // 2⁵³ + 1 is not representable in f64; the decode path must not
+        // round-trip through floats.
+        for v in [
+            (1i64 << 53) + 1,
+            -(1i64 << 53) - 1,
+            i64::MAX - 7,
+            i64::MIN + 7,
+        ] {
+            let enc = encrypt_value(&mut rng, &Value::Int(v), EncScheme::Paillier, &k).unwrap();
+            assert_eq!(decrypt_value(&enc, &k).unwrap(), Value::Int(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_one_shot() {
+        let (k, _) = key();
+        let values: Vec<Value> = vec![Value::Int(7), Value::Null, Value::Num(1.25), Value::Int(-3)];
+        for scheme in [
+            EncScheme::Deterministic,
+            EncScheme::Random,
+            EncScheme::Ope,
+            EncScheme::Paillier,
+        ] {
+            // Identical RNG stream → identical ciphertext bytes.
+            let batch = encrypt_batch(&mut StdRng::seed_from_u64(5), &values, scheme, &k).unwrap();
+            let mut rng = StdRng::seed_from_u64(5);
+            let single: Vec<Value> = values
+                .iter()
+                .map(|v| encrypt_value(&mut rng, v, scheme, &k).unwrap())
+                .collect();
+            assert_eq!(batch, single, "{scheme:?}");
+            let dec = decrypt_batch(&batch, &k).unwrap();
+            for (d, v) in dec.iter().zip(&values) {
+                assert!(d.sql_eq(v) || (d.is_null() && v.is_null()), "{scheme:?}");
+            }
         }
     }
 

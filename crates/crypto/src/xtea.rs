@@ -15,114 +15,167 @@
 const ROUNDS: u32 = 32; // 32 cycles = 64 Feistel rounds
 const DELTA: u32 = 0x9e37_79b9;
 
-fn key_words(key: &[u8; 16]) -> [u32; 4] {
-    [
-        u32::from_le_bytes(key[0..4].try_into().expect("4 bytes")),
-        u32::from_le_bytes(key[4..8].try_into().expect("4 bytes")),
-        u32::from_le_bytes(key[8..12].try_into().expect("4 bytes")),
-        u32::from_le_bytes(key[12..16].try_into().expect("4 bytes")),
-    ]
+/// Expanded XTEA key: the four 32-bit words the round function indexes.
+///
+/// The expansion itself is just an endianness transform, but the byte
+/// slicing sat inside every block call — batch encryption of a column
+/// now expands the key once and reuses the schedule for every cell.
+#[derive(Clone, Copy, Debug)]
+pub struct XteaSchedule {
+    k: [u32; 4],
 }
 
-/// Encrypt one 64-bit block.
+impl XteaSchedule {
+    /// Expand a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> XteaSchedule {
+        XteaSchedule {
+            k: [
+                u32::from_le_bytes(key[0..4].try_into().expect("4 bytes")),
+                u32::from_le_bytes(key[4..8].try_into().expect("4 bytes")),
+                u32::from_le_bytes(key[8..12].try_into().expect("4 bytes")),
+                u32::from_le_bytes(key[12..16].try_into().expect("4 bytes")),
+            ],
+        }
+    }
+
+    /// Encrypt one 64-bit block.
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        let k = &self.k;
+        let mut v0 = block as u32;
+        let mut v1 = (block >> 32) as u32;
+        let mut sum = 0u32;
+        for _ in 0..ROUNDS {
+            v0 = v0.wrapping_add(
+                (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                    ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+            );
+            sum = sum.wrapping_add(DELTA);
+            v1 = v1.wrapping_add(
+                (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                    ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+            );
+        }
+        (v0 as u64) | ((v1 as u64) << 32)
+    }
+
+    /// Decrypt one 64-bit block.
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        let k = &self.k;
+        let mut v0 = block as u32;
+        let mut v1 = (block >> 32) as u32;
+        let mut sum = DELTA.wrapping_mul(ROUNDS);
+        for _ in 0..ROUNDS {
+            v1 = v1.wrapping_sub(
+                (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                    ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+            );
+            sum = sum.wrapping_sub(DELTA);
+            v0 = v0.wrapping_sub(
+                (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                    ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+            );
+        }
+        (v0 as u64) | ((v1 as u64) << 32)
+    }
+
+    /// Deterministic encryption: length-prefixed, zero-padded, ECB.
+    pub fn det_encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
+        let mut data = Vec::with_capacity((plaintext.len() + 4).next_multiple_of(8));
+        data.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
+        data.extend_from_slice(plaintext);
+        while data.len() % 8 != 0 {
+            data.push(0);
+        }
+        for chunk in data.chunks_exact_mut(8) {
+            let block = u64::from_be_bytes((&*chunk).try_into().expect("8 bytes"));
+            chunk.copy_from_slice(&self.encrypt_block(block).to_be_bytes());
+        }
+        data
+    }
+
+    /// Inverse of [`XteaSchedule::det_encrypt`]. `None` on malformed
+    /// input.
+    pub fn det_decrypt(&self, ciphertext: &[u8]) -> Option<Vec<u8>> {
+        if ciphertext.is_empty() || ciphertext.len() % 8 != 0 {
+            return None;
+        }
+        let mut data = Vec::with_capacity(ciphertext.len());
+        for chunk in ciphertext.chunks_exact(8) {
+            let block = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+            data.extend_from_slice(&self.decrypt_block(block).to_be_bytes());
+        }
+        let len = u32::from_be_bytes(data[..4].try_into().expect("4 bytes")) as usize;
+        if len > data.len() - 4 {
+            return None;
+        }
+        data.truncate(4 + len);
+        data.drain(..4);
+        Some(data)
+    }
+
+    /// Randomized encryption: 8-byte nonce ‖ XTEA-CTR keystream XOR.
+    pub fn rnd_encrypt(&self, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + plaintext.len());
+        out.extend_from_slice(&nonce.to_be_bytes());
+        for (i, chunk) in plaintext.chunks(8).enumerate() {
+            let keystream = self
+                .encrypt_block(nonce.wrapping_add(i as u64 + 1))
+                .to_be_bytes();
+            for (j, &b) in chunk.iter().enumerate() {
+                out.push(b ^ keystream[j]);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`XteaSchedule::rnd_encrypt`].
+    pub fn rnd_decrypt(&self, ciphertext: &[u8]) -> Option<Vec<u8>> {
+        if ciphertext.len() < 8 {
+            return None;
+        }
+        let nonce = u64::from_be_bytes(ciphertext[..8].try_into().expect("8 bytes"));
+        let body = &ciphertext[8..];
+        let mut out = Vec::with_capacity(body.len());
+        for (i, chunk) in body.chunks(8).enumerate() {
+            let keystream = self
+                .encrypt_block(nonce.wrapping_add(i as u64 + 1))
+                .to_be_bytes();
+            for (j, &b) in chunk.iter().enumerate() {
+                out.push(b ^ keystream[j]);
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Encrypt one 64-bit block (one-shot key expansion).
 pub fn encrypt_block(key: &[u8; 16], block: u64) -> u64 {
-    let k = key_words(key);
-    let mut v0 = block as u32;
-    let mut v1 = (block >> 32) as u32;
-    let mut sum = 0u32;
-    for _ in 0..ROUNDS {
-        v0 = v0.wrapping_add(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
-        );
-        sum = sum.wrapping_add(DELTA);
-        v1 = v1.wrapping_add(
-            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
-                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
-        );
-    }
-    (v0 as u64) | ((v1 as u64) << 32)
+    XteaSchedule::new(key).encrypt_block(block)
 }
 
-/// Decrypt one 64-bit block.
+/// Decrypt one 64-bit block (one-shot key expansion).
 pub fn decrypt_block(key: &[u8; 16], block: u64) -> u64 {
-    let k = key_words(key);
-    let mut v0 = block as u32;
-    let mut v1 = (block >> 32) as u32;
-    let mut sum = DELTA.wrapping_mul(ROUNDS);
-    for _ in 0..ROUNDS {
-        v1 = v1.wrapping_sub(
-            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
-                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
-        );
-        sum = sum.wrapping_sub(DELTA);
-        v0 = v0.wrapping_sub(
-            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
-        );
-    }
-    (v0 as u64) | ((v1 as u64) << 32)
+    XteaSchedule::new(key).decrypt_block(block)
 }
 
 /// Deterministic encryption: length-prefixed, zero-padded, ECB.
 pub fn det_encrypt(key: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
-    let mut data = Vec::with_capacity(plaintext.len() + 12);
-    data.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
-    data.extend_from_slice(plaintext);
-    while data.len() % 8 != 0 {
-        data.push(0);
-    }
-    let mut out = Vec::with_capacity(data.len());
-    for chunk in data.chunks_exact(8) {
-        let block = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
-        out.extend_from_slice(&encrypt_block(key, block).to_be_bytes());
-    }
-    out
+    XteaSchedule::new(key).det_encrypt(plaintext)
 }
 
 /// Inverse of [`det_encrypt`]. Returns `None` on malformed input.
 pub fn det_decrypt(key: &[u8; 16], ciphertext: &[u8]) -> Option<Vec<u8>> {
-    if ciphertext.is_empty() || ciphertext.len() % 8 != 0 {
-        return None;
-    }
-    let mut data = Vec::with_capacity(ciphertext.len());
-    for chunk in ciphertext.chunks_exact(8) {
-        let block = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
-        data.extend_from_slice(&decrypt_block(key, block).to_be_bytes());
-    }
-    let len = u32::from_be_bytes(data[..4].try_into().expect("4 bytes")) as usize;
-    if len > data.len() - 4 {
-        return None;
-    }
-    Some(data[4..4 + len].to_vec())
+    XteaSchedule::new(key).det_decrypt(ciphertext)
 }
 
 /// Randomized encryption: 8-byte nonce ‖ XTEA-CTR keystream XOR.
 pub fn rnd_encrypt(key: &[u8; 16], nonce: u64, plaintext: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + plaintext.len());
-    out.extend_from_slice(&nonce.to_be_bytes());
-    for (i, chunk) in plaintext.chunks(8).enumerate() {
-        let keystream = encrypt_block(key, nonce.wrapping_add(i as u64 + 1)).to_be_bytes();
-        for (j, &b) in chunk.iter().enumerate() {
-            out.push(b ^ keystream[j]);
-        }
-    }
-    out
+    XteaSchedule::new(key).rnd_encrypt(nonce, plaintext)
 }
 
 /// Inverse of [`rnd_encrypt`].
 pub fn rnd_decrypt(key: &[u8; 16], ciphertext: &[u8]) -> Option<Vec<u8>> {
-    if ciphertext.len() < 8 {
-        return None;
-    }
-    let nonce = u64::from_be_bytes(ciphertext[..8].try_into().expect("8 bytes"));
-    let body = &ciphertext[8..];
-    let mut out = Vec::with_capacity(body.len());
-    for (i, chunk) in body.chunks(8).enumerate() {
-        let keystream = encrypt_block(key, nonce.wrapping_add(i as u64 + 1)).to_be_bytes();
-        for (j, &b) in chunk.iter().enumerate() {
-            out.push(b ^ keystream[j]);
-        }
-    }
-    Some(out)
+    XteaSchedule::new(key).rnd_decrypt(ciphertext)
 }
 
 #[cfg(test)]

@@ -18,13 +18,34 @@
 use crate::error::SimError;
 use mpq_algebra::Value;
 use mpq_core::authz::SubjectView;
-use mpq_exec::Table;
+use mpq_exec::{Table, WorkerPool};
+
+/// Minimum rows per chunk before the cell scan splits across workers.
+const MIN_CHUNK_ROWS: usize = 512;
 
 /// Check that every cell of `table` is in a form `recipient` is
-/// authorized to see. Called on every table that crosses a
-/// subject-to-subject edge (including the final result handed to the
-/// querying user).
+/// authorized to see, scanning row chunks on the shared global worker
+/// pool. Called on every table that crosses a subject-to-subject edge
+/// (including the final result handed to the querying user).
 pub fn audit_transfer(table: &Table, recipient: &SubjectView) -> Result<(), SimError> {
+    audit_transfer_with(table, recipient, &WorkerPool::global())
+}
+
+/// [`audit_transfer`] on an explicit worker pool (the simulator's party
+/// loops pass theirs so audits share the same thread budget as
+/// execution).
+///
+/// Column-major fast path: each column's *required form* is resolved
+/// once against the view — plaintext-visible columns are skipped
+/// entirely, invisible columns are refused before any row is read —
+/// and only the encrypted-only column indices are scanned, in parallel
+/// chunks of rows. The reported violation is the first one in row
+/// order, identical to a sequential scan.
+pub fn audit_transfer_with(
+    table: &Table,
+    recipient: &SubjectView,
+    pool: &WorkerPool,
+) -> Result<(), SimError> {
     // Column-level visibility first: a column the recipient cannot see
     // in any form is refused outright, rows notwithstanding.
     for &attr in &table.cols {
@@ -46,20 +67,23 @@ pub fn audit_transfer(table: &Table, recipient: &SubjectView) -> Result<(), SimE
     if enc_only.is_empty() {
         return Ok(());
     }
-    for row in &table.rows {
-        for &i in &enc_only {
-            match &row[i] {
-                Value::Enc(_) | Value::Null => {}
-                _plaintext => {
-                    return Err(SimError::LeakedPlaintext {
-                        attr: table.cols[i],
-                        subject: recipient.subject,
-                    })
+    let rows = &table.rows;
+    pool.for_each_chunk(rows.len(), MIN_CHUNK_ROWS, |range| {
+        for row in &rows[range] {
+            for &i in &enc_only {
+                match &row[i] {
+                    Value::Enc(_) | Value::Null => {}
+                    _plaintext => {
+                        return Err(SimError::LeakedPlaintext {
+                            attr: table.cols[i],
+                            subject: recipient.subject,
+                        })
+                    }
                 }
             }
         }
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 #[cfg(test)]

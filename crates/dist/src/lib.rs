@@ -59,6 +59,7 @@ use mpq_crypto::keyring::{ClusterKey, KeyRing};
 use mpq_crypto::rsa::{RsaKeypair, RsaPublic, SignedEnvelope};
 use mpq_exec::{
     assign_schemes, execute_step, rewrite_literals, Database, ExecCtx, SchemePlan, Table,
+    WorkerPool,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -140,6 +141,10 @@ pub(crate) struct Prepared {
     pub(crate) envelopes: Vec<(SubjectId, SignedEnvelope, Vec<u8>)>,
     /// Number of dispatched sub-query requests (before batching).
     pub(crate) requests: usize,
+    /// Base seed for per-(node, column, row) encryption randomness,
+    /// derived from the simulator seed so distinct simulators produce
+    /// distinct ciphertext nonces; identical for both execution paths.
+    pub(crate) exec_seed: u64,
 }
 
 /// The distributed-execution simulator. See the crate docs for the
@@ -150,6 +155,13 @@ pub struct Simulator<'a> {
     policy: &'a Policy,
     parties: Vec<Party>,
     rng: StdRng,
+    /// Derived once from the constructor seed; see `Prepared::exec_seed`.
+    exec_seed: u64,
+    /// Worker pool for intra-operator data parallelism; shared by every
+    /// party loop (and the sequential interpreter), so concurrently
+    /// executing parties draw threads from one budget instead of
+    /// oversubscribing the machine.
+    pool: WorkerPool,
 }
 
 impl<'a> Simulator<'a> {
@@ -184,7 +196,17 @@ impl<'a> Simulator<'a> {
             policy,
             parties,
             rng,
+            exec_seed: seed ^ 0x6d70_715f_6578_6563, // "mpq_exec"
+            pool: WorkerPool::global(),
         }
+    }
+
+    /// Replace the shared worker pool with a private one of `workers`
+    /// threads (differential tests sweep worker counts; results are
+    /// identical by construction).
+    pub fn with_workers(mut self, workers: usize) -> Simulator<'a> {
+        self.pool = WorkerPool::new(workers);
+        self
     }
 
     /// Phases 1–3, shared by [`Simulator::run`] and
@@ -341,6 +363,7 @@ impl<'a> Simulator<'a> {
             transfers,
             envelopes,
             requests: d.requests.len(),
+            exec_seed: self.exec_seed,
         })
     }
 
@@ -360,7 +383,15 @@ impl<'a> Simulator<'a> {
     ) -> Result<Report, SimError> {
         let views: Vec<SubjectView> = self.policy.all_views(self.catalog, self.subjects);
         let prepared = self.prepare(ext, keys, user, &views)?;
-        runtime::run_concurrent(self.catalog, &self.parties, ext, &views, &prepared, user)
+        runtime::run_concurrent(
+            self.catalog,
+            &self.parties,
+            ext,
+            &views,
+            &prepared,
+            user,
+            &self.pool,
+        )
     }
 
     /// Run `ext` bottom-up on the calling thread — the reference
@@ -401,18 +432,20 @@ impl<'a> Simulator<'a> {
                 let producer = ext.assignment[&child];
                 if producer != executor {
                     let table = results.get(&child).expect("child executed before parent");
-                    audit_transfer(table, &views[executor.index()])?;
+                    audit::audit_transfer_with(table, &views[executor.index()], &self.pool)?;
                     *transfers.entry((producer, executor)).or_default() += table.byte_size();
                 }
             }
             let party = &self.parties[executor.index()];
-            let ctx = ExecCtx::new(
+            let mut ctx = ExecCtx::new(
                 self.catalog,
                 &party.store,
                 &party.ring,
                 &prepared.schemes,
                 &prepared.key_of_attr,
-            );
+            )
+            .with_pool(self.pool.clone());
+            ctx.seed = prepared.exec_seed;
             let table = execute_step(&prepared.exec_plan, id, &mut results, &ctx)?;
             results.insert(id, table);
         }
@@ -421,7 +454,7 @@ impl<'a> Simulator<'a> {
         let root = prepared.exec_plan.root();
         let root_subject = ext.assignment[&root];
         let result = results.remove(&root).expect("root executed");
-        audit_transfer(&result, &views[user.index()])?;
+        audit::audit_transfer_with(&result, &views[user.index()], &self.pool)?;
         if root_subject != user {
             *transfers.entry((root_subject, user)).or_default() += result.byte_size();
         }

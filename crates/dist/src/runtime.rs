@@ -23,7 +23,7 @@
 //!   envelopes are sealed (batched per subject-pair edge) before any
 //!   thread starts, by the shared preparation phase;
 //! * **audit on receive** — the cell-level
-//!   [`audit_transfer`] check runs at
+//!   [`audit_transfer_with`] check runs at
 //!   the receiving party, on its own thread, before the table is used.
 //!
 //! Failure handling: a party that fails (audit violation, missing key,
@@ -32,14 +32,14 @@
 //! their own. The coordinator returns the failing party's error,
 //! picking the lowest subject id when several fail independently.
 
-use crate::audit::audit_transfer;
+use crate::audit::audit_transfer_with;
 use crate::error::SimError;
 use crate::{Party, Prepared};
 use mpq_algebra::{Catalog, NodeId, QueryPlan, SubjectId};
 use mpq_core::authz::SubjectView;
 use mpq_core::extend::ExtendedPlan;
 use mpq_crypto::rsa::{RsaPublic, SignedEnvelope};
-use mpq_exec::{execute_step, node_ready, ExecCtx, Table};
+use mpq_exec::{execute_step, node_ready, ExecCtx, Table, WorkerPool};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
@@ -109,6 +109,10 @@ struct PartyCtx<'a> {
     /// Request envelopes I must open before anything else counts.
     expected_requests: usize,
     user_public: &'a RsaPublic,
+    /// Worker pool shared by every party loop: intra-operator data
+    /// parallelism draws from one thread budget, so concurrent parties
+    /// do not oversubscribe the machine.
+    pool: &'a WorkerPool,
 }
 
 impl PartyCtx<'_> {
@@ -172,13 +176,15 @@ fn party_loop(
                 // Fresh per-node context, exactly as the sequential
                 // interpreter builds one per step: ciphertexts come out
                 // bit-identical no matter the interleaving.
-                let exec_ctx = ExecCtx::new(
+                let mut exec_ctx = ExecCtx::new(
                     ctx.catalog,
                     &ctx.party.store,
                     &ctx.party.ring,
                     &ctx.prepared.schemes,
                     &ctx.prepared.key_of_attr,
-                );
+                )
+                .with_pool(ctx.pool.clone());
+                exec_ctx.seed = ctx.prepared.exec_seed;
                 let table = match execute_step(ctx.plan, id, &mut results, &exec_ctx) {
                     Ok(t) => t,
                     Err(e) => {
@@ -192,7 +198,7 @@ fn party_loop(
                     if ctx.me == ctx.user {
                         // Even a user-computed result is audited, as in
                         // the sequential path.
-                        if let Err(e) = audit_transfer(&table, my_view) {
+                        if let Err(e) = audit_transfer_with(&table, my_view, ctx.pool) {
                             abort_all(&senders);
                             return Outcome::Failed(e);
                         }
@@ -241,7 +247,7 @@ fn party_loop(
             Ok(Msg::Table { node, from, table }) => {
                 // Audit on receive: the cell-level check runs at the
                 // receiving party, before the table is usable.
-                if let Err(e) = audit_transfer(&table, my_view) {
+                if let Err(e) = audit_transfer_with(&table, my_view, ctx.pool) {
                     abort_all(&senders);
                     return Outcome::Failed(e);
                 }
@@ -250,7 +256,7 @@ fn party_loop(
                 pending -= 1;
             }
             Ok(Msg::Result { from, table }) => {
-                if let Err(e) = audit_transfer(&table, my_view) {
+                if let Err(e) = audit_transfer_with(&table, my_view, ctx.pool) {
                     abort_all(&senders);
                     return Outcome::Failed(e);
                 }
@@ -268,6 +274,10 @@ fn party_loop(
 /// Called by [`Simulator::run`](crate::Simulator::run) after the
 /// shared preparation phase (authorization re-check, Def. 6.1 key
 /// provisioning, literal rewriting, envelope sealing) has succeeded.
+#[allow(
+    clippy::too_many_arguments,
+    reason = "internal entry mirroring Simulator state"
+)]
 pub(crate) fn run_concurrent(
     catalog: &Catalog,
     parties: &[Party],
@@ -275,6 +285,7 @@ pub(crate) fn run_concurrent(
     views: &[SubjectView],
     prepared: &Prepared,
     user: SubjectId,
+    pool: &WorkerPool,
 ) -> Result<crate::Report, SimError> {
     let plan = &prepared.exec_plan;
     let parents = plan.parents();
@@ -343,6 +354,7 @@ pub(crate) fn run_concurrent(
                 my_nodes: nodes_of.remove(&s).unwrap_or_default(),
                 expected_requests: expected_requests.get(&s).copied().unwrap_or(0),
                 user_public: &user_public,
+                pool,
             };
             handles.push((s, scope.spawn(move || party_loop(ctx, rx, senders))));
         }

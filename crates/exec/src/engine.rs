@@ -14,18 +14,17 @@
 //! otherwise); homomorphic aggregation only needs the public half.
 
 use crate::eval::{cmp_values, eval, eval_pred, EvalError, RowCtx};
+use crate::pool::WorkerPool;
 use crate::scheme::SchemePlan;
 use crate::table::{Database, Table};
 use mpq_algebra::expr::{AggExpr, AggFunc};
 use mpq_algebra::value::{EncScheme, EncValue, GroupKey};
 use mpq_algebra::{AttrId, CmpOp, Expr, JoinKind, NodeId, Operator, QueryPlan, Value};
 use mpq_crypto::keyring::KeyRing;
-use mpq_crypto::schemes::{
-    decrypt_value, encrypt_value, paillier_add_cells, paillier_finish, AggKind,
-};
+use mpq_crypto::paillier::PaillierPublic;
+use mpq_crypto::schemes::{paillier_add_cells, paillier_finish, AggKind, ColumnCipher};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Execution errors.
@@ -77,6 +76,28 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Default base seed for encryption randomness (`"mpq"`).
+const DEFAULT_SEED: u64 = 0x006d_7071;
+
+/// Minimum rows per chunk before a parallel region splits: cheap
+/// row-at-a-time work (predicates, projections, probes).
+const MIN_CHUNK_ROWS: usize = 256;
+
+/// Minimum rows per chunk for symmetric crypto columns.
+const MIN_CHUNK_SYM: usize = 64;
+
+/// splitmix64-style seed mixing: derive an independent stream for `v`
+/// under stream-id `h`. Used to give every (node, column, row) its own
+/// RNG so ciphertexts are identical no matter how rows are chunked
+/// across workers.
+pub(crate) fn mix_seed(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Execution context.
 pub struct ExecCtx<'a> {
     /// Catalog (names for diagnostics).
@@ -89,12 +110,17 @@ pub struct ExecCtx<'a> {
     pub schemes: &'a SchemePlan,
     /// Attribute → plan-key id (Def. 6.1 clusters).
     pub key_of_attr: &'a HashMap<AttrId, u32>,
-    /// Randomness for randomized/Paillier encryption.
-    pub rng: RefCell<StdRng>,
+    /// Base seed for encryption randomness. Every `Encrypt` cell draws
+    /// from an RNG seeded by `(seed, node, column, row)`, so execution
+    /// order, chunking, and worker count cannot change ciphertexts.
+    pub seed: u64,
+    /// Worker pool for intra-operator data parallelism.
+    pub pool: WorkerPool,
 }
 
 impl<'a> ExecCtx<'a> {
-    /// Context with a fixed seed (deterministic tests).
+    /// Context with a fixed seed (deterministic tests) and the shared
+    /// global worker pool.
     pub fn new(
         catalog: &'a mpq_algebra::Catalog,
         db: &'a Database,
@@ -108,8 +134,15 @@ impl<'a> ExecCtx<'a> {
             keys,
             schemes,
             key_of_attr,
-            rng: RefCell::new(StdRng::seed_from_u64(0x006d_7071)),
+            seed: DEFAULT_SEED,
+            pool: WorkerPool::global(),
         }
+    }
+
+    /// Replace the worker pool (party loops share their simulator's).
+    pub fn with_pool(mut self, pool: WorkerPool) -> ExecCtx<'a> {
+        self.pool = pool;
+        self
     }
 }
 
@@ -196,11 +229,33 @@ fn execute_node(
                         .ok_or_else(|| ExecError::Unsupported(format!("column {a} missing")))
                 })
                 .collect::<Result<_, _>>()?;
-            let rows = child
-                .rows
-                .iter()
-                .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
-                .collect();
+            // The child is consumed: when no source column is emitted
+            // twice, values move out of the old rows instead of being
+            // cloned (strings and ciphertexts are the wide cells).
+            let unique = {
+                let mut seen = indices.clone();
+                seen.sort_unstable();
+                seen.windows(2).all(|w| w[0] != w[1])
+            };
+            let rows = ctx
+                .pool
+                .map_chunks(child.rows, MIN_CHUNK_ROWS, |_, chunk| {
+                    Ok::<_, ExecError>(
+                        chunk
+                            .into_iter()
+                            .map(|mut row| {
+                                if unique {
+                                    indices
+                                        .iter()
+                                        .map(|&i| std::mem::replace(&mut row[i], Value::Null))
+                                        .collect()
+                                } else {
+                                    indices.iter().map(|&i| row[i].clone()).collect()
+                                }
+                            })
+                            .collect(),
+                    )
+                })?;
             Ok(Table {
                 cols: attrs.clone(),
                 rows,
@@ -208,15 +263,18 @@ fn execute_node(
         }
         Operator::Select { pred } => {
             let mut child = take_child(results, node.children[0]);
-            let cols = child.cols.clone();
-            let mut kept = Vec::with_capacity(child.rows.len());
-            for row in child.rows.drain(..) {
-                let keep = eval_pred(pred, &RowCtx::plain(&cols, &row))? == Some(true);
-                if keep {
-                    kept.push(row);
+            let cols = std::mem::take(&mut child.cols);
+            let rows = std::mem::take(&mut child.rows);
+            child.rows = ctx.pool.map_chunks(rows, MIN_CHUNK_ROWS, |_, chunk| {
+                let mut kept = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    if eval_pred(pred, &RowCtx::plain(&cols, &row))? == Some(true) {
+                        kept.push(row);
+                    }
                 }
-            }
-            child.rows = kept;
+                Ok::<_, ExecError>(kept)
+            })?;
+            child.cols = cols;
             Ok(child)
         }
         Operator::Having { pred } => {
@@ -264,7 +322,7 @@ fn execute_node(
         Operator::Join { kind, on, residual } => {
             let left = take_child(results, node.children[0]);
             let right = take_child(results, node.children[1]);
-            join(*kind, on, residual.as_ref(), left, right)
+            join(*kind, on, residual.as_ref(), left, right, &ctx.pool)
         }
         Operator::GroupBy { keys, aggs } => {
             let child = take_child(results, node.children[0]);
@@ -302,13 +360,30 @@ fn execute_node(
                     .filter(|(_, c)| **c == *attr)
                     .map(|(i, _)| i)
                     .collect();
-                for row in &mut child.rows {
-                    for &i in &col_idxs {
-                        let mut rng = ctx.rng.borrow_mut();
-                        row[i] = encrypt_value(&mut *rng, &row[i], scheme, &key)
-                            .map_err(|e| ExecError::Crypto(e.to_string()))?;
-                    }
-                }
+                // Key setup once per column (schedules, sub-keys,
+                // Paillier context), then chunked rows. Each row's RNG
+                // is derived from (seed, node, attr, row index), so the
+                // ciphertext stream is independent of chunking.
+                let cipher = ColumnCipher::new(scheme, &key);
+                let attr_seed = mix_seed(mix_seed(ctx.seed, id.index() as u64), attr.0 as u64);
+                let min_chunk = if scheme == EncScheme::Paillier {
+                    1
+                } else {
+                    MIN_CHUNK_SYM
+                };
+                ctx.pool
+                    .for_each_chunk_mut(&mut child.rows, min_chunk, |start, chunk| {
+                        for (off, row) in chunk.iter_mut().enumerate() {
+                            let mut rng =
+                                StdRng::seed_from_u64(mix_seed(attr_seed, (start + off) as u64));
+                            for &i in &col_idxs {
+                                row[i] = cipher
+                                    .encrypt(&mut rng, &row[i])
+                                    .map_err(|e| ExecError::Crypto(e.to_string()))?;
+                            }
+                        }
+                        Ok::<(), ExecError>(())
+                    })?;
             }
             Ok(child)
         }
@@ -330,12 +405,24 @@ fn execute_node(
                     .filter(|(_, c)| **c == *attr)
                     .map(|(i, _)| i)
                     .collect();
-                for row in &mut child.rows {
-                    for &i in &col_idxs {
-                        row[i] = decrypt_value(&row[i], &key)
-                            .map_err(|e| ExecError::Crypto(e.to_string()))?;
-                    }
-                }
+                let scheme = ctx.schemes.scheme_of(*attr);
+                let cipher = ColumnCipher::new(scheme, &key);
+                let min_chunk = if scheme == EncScheme::Paillier {
+                    1
+                } else {
+                    MIN_CHUNK_SYM
+                };
+                ctx.pool
+                    .for_each_chunk_mut(&mut child.rows, min_chunk, |_, chunk| {
+                        for row in chunk.iter_mut() {
+                            for &i in &col_idxs {
+                                row[i] = cipher
+                                    .decrypt(&row[i])
+                                    .map_err(|e| ExecError::Crypto(e.to_string()))?;
+                            }
+                        }
+                        Ok::<(), ExecError>(())
+                    })?;
             }
             Ok(child)
         }
@@ -361,6 +448,7 @@ fn join(
     residual: Option<&Expr>,
     left: Table,
     right: Table,
+    pool: &WorkerPool,
 ) -> Result<Table, ExecError> {
     let eq_conds: Vec<(usize, usize)> = on
         .iter()
@@ -395,85 +483,121 @@ fn join(
         out_cols.extend(right.cols.iter().copied());
     }
     let combined_cols: Vec<AttrId> = left.cols.iter().chain(right.cols.iter()).copied().collect();
-    let mut out_rows: Vec<Vec<Value>> = Vec::new();
 
-    // Hash-partition the right side on the equality keys (works for
-    // deterministic ciphertexts: equality is byte-wise).
+    // Build phase: extract the right side's equality keys in parallel
+    // chunks (cloning cells into `GroupKey`s is the expensive part),
+    // then insert sequentially — chunk outputs concatenate in row
+    // order, so every key's candidate list stays sorted by row index
+    // exactly as a sequential build produces it. Hashing works for
+    // deterministic ciphertexts: equality is byte-wise.
     let mut hash: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-    for (ri, row) in right.rows.iter().enumerate() {
-        let key: Vec<GroupKey> = eq_conds
-            .iter()
-            .map(|&(_, rc)| GroupKey(row[rc].clone()))
-            .collect();
-        // SQL semantics: NULL join keys never match.
-        if key.iter().any(|k| k.0.is_null()) {
-            continue;
+    if !eq_conds.is_empty() {
+        let keys: Vec<Option<Vec<GroupKey>>> = pool.map_chunks(
+            (0..right.rows.len()).collect(),
+            MIN_CHUNK_ROWS,
+            |_, chunk| {
+                Ok::<_, ExecError>(
+                    chunk
+                        .into_iter()
+                        .map(|ri| {
+                            let key: Vec<GroupKey> = eq_conds
+                                .iter()
+                                .map(|&(_, rc)| GroupKey(right.rows[ri][rc].clone()))
+                                .collect();
+                            // SQL semantics: NULL join keys never match.
+                            if key.iter().any(|k| k.0.is_null()) {
+                                None
+                            } else {
+                                Some(key)
+                            }
+                        })
+                        .collect(),
+                )
+            },
+        )?;
+        for (ri, key) in keys.into_iter().enumerate() {
+            if let Some(key) = key {
+                hash.entry(key).or_default().push(ri);
+            }
         }
-        hash.entry(key).or_default().push(ri);
     }
 
-    for lrow in &left.rows {
-        let mut matched = false;
-        let candidates: Box<dyn Iterator<Item = usize>> = if eq_conds.is_empty() {
-            Box::new(0..right.rows.len())
-        } else {
-            let key: Vec<GroupKey> = eq_conds
-                .iter()
-                .map(|&(lc, _)| GroupKey(lrow[lc].clone()))
-                .collect();
-            if key.iter().any(|k| k.0.is_null()) {
-                Box::new(std::iter::empty())
+    // Probe phase: left rows in parallel chunks; per-chunk outputs
+    // concatenate in chunk order, so the result row order is identical
+    // to the sequential left-to-right probe.
+    let right_rows = &right.rows;
+    let hash = &hash;
+    let eq_conds = &eq_conds;
+    let other_conds = &other_conds;
+    let combined_cols = &combined_cols;
+    let right_width = right.cols.len();
+    let out_rows = pool.map_chunks(left.rows, MIN_CHUNK_ROWS, |_, chunk| {
+        let mut out: Vec<Vec<Value>> = Vec::with_capacity(chunk.len());
+        for lrow in &chunk {
+            let mut matched = false;
+            let candidates: Box<dyn Iterator<Item = usize>> = if eq_conds.is_empty() {
+                Box::new(0..right_rows.len())
             } else {
-                match hash.get(&key) {
-                    Some(v) => Box::new(v.iter().copied()),
-                    None => Box::new(std::iter::empty()),
+                let key: Vec<GroupKey> = eq_conds
+                    .iter()
+                    .map(|&(lc, _)| GroupKey(lrow[lc].clone()))
+                    .collect();
+                if key.iter().any(|k| k.0.is_null()) {
+                    Box::new(std::iter::empty())
+                } else {
+                    match hash.get(&key) {
+                        Some(v) => Box::new(v.iter().copied()),
+                        None => Box::new(std::iter::empty()),
+                    }
+                }
+            };
+            for ri in candidates {
+                let rrow = &right_rows[ri];
+                // Non-equality join conditions.
+                let mut ok = true;
+                for &(lc, op, rc) in other_conds {
+                    if cmp_values(&lrow[lc], op, &rrow[rc])? != Some(true) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    if let Some(resid) = residual {
+                        let mut combined = lrow.clone();
+                        combined.extend(rrow.iter().cloned());
+                        ok = eval_pred(resid, &RowCtx::plain(combined_cols, &combined))?
+                            == Some(true);
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                matched = true;
+                match kind {
+                    JoinKind::Inner | JoinKind::LeftOuter => {
+                        let mut row = lrow.clone();
+                        row.extend(rrow.iter().cloned());
+                        out.push(row);
+                    }
+                    JoinKind::Semi => {
+                        out.push(lrow.clone());
+                        break;
+                    }
+                    JoinKind::Anti => break,
                 }
             }
-        };
-        for ri in candidates {
-            let rrow = &right.rows[ri];
-            // Non-equality join conditions.
-            let mut ok = true;
-            for &(lc, op, rc) in &other_conds {
-                if cmp_values(&lrow[lc], op, &rrow[rc])? != Some(true) {
-                    ok = false;
-                    break;
-                }
-            }
-            if ok {
-                if let Some(resid) = residual {
-                    let mut combined = lrow.clone();
-                    combined.extend(rrow.iter().cloned());
-                    ok = eval_pred(resid, &RowCtx::plain(&combined_cols, &combined))? == Some(true);
-                }
-            }
-            if !ok {
-                continue;
-            }
-            matched = true;
             match kind {
-                JoinKind::Inner | JoinKind::LeftOuter => {
+                JoinKind::LeftOuter if !matched => {
                     let mut row = lrow.clone();
-                    row.extend(rrow.iter().cloned());
-                    out_rows.push(row);
+                    row.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(row);
                 }
-                JoinKind::Semi => {
-                    out_rows.push(lrow.clone());
-                    break;
-                }
-                JoinKind::Anti => break,
+                JoinKind::Anti if !matched => out.push(lrow.clone()),
+                _ => {}
             }
         }
-        match kind {
-            JoinKind::LeftOuter if !matched => {
-                let mut row = lrow.clone();
-                row.extend(std::iter::repeat_n(Value::Null, right.cols.len()));
-                out_rows.push(row);
-            }
-            JoinKind::Anti if !matched => out_rows.push(lrow.clone()),
-            _ => {}
-        }
-    }
+        Ok::<_, ExecError>(out)
+    })?;
     Ok(Table {
         cols: out_cols,
         rows: out_rows,
@@ -495,10 +619,13 @@ enum AggAcc {
         saw_num: bool,
         count: u64,
     },
-    /// Homomorphic Paillier accumulator.
+    /// Homomorphic Paillier accumulator. The public key is resolved
+    /// from the ring once, on the first cell, and reused for every
+    /// addition (it carries the cached Montgomery context for `n²`).
     SumEnc {
         acc: Option<EncValue>,
         count: u64,
+        pk: Option<std::sync::Arc<PaillierPublic>>,
     },
     MinMax {
         best: Option<Value>,
@@ -516,6 +643,7 @@ impl AggAcc {
                     AggAcc::SumEnc {
                         acc: None,
                         count: 0,
+                        pk: None,
                     }
                 } else {
                     AggAcc::Sum {
@@ -572,18 +700,20 @@ impl AggAcc {
                     ))))
                 }
             },
-            AggAcc::SumEnc { acc, count } => match v {
+            AggAcc::SumEnc { acc, count, pk } => match v {
                 Value::Enc(cell) if cell.scheme == EncScheme::Paillier => {
-                    let pk = ctx
-                        .keys
-                        .get_public(cell.key_id)
-                        .ok_or(ExecError::MissingKey {
-                            attr: AttrId(u32::MAX),
-                            key_id: cell.key_id,
-                        })?;
+                    if pk.is_none() {
+                        *pk = Some(ctx.keys.get_public(cell.key_id).ok_or(
+                            ExecError::MissingKey {
+                                attr: AttrId(u32::MAX),
+                                key_id: cell.key_id,
+                            },
+                        )?);
+                    }
+                    let pk = pk.as_ref().expect("resolved above");
                     *acc = Some(match acc.take() {
                         None => cell,
-                        Some(prev) => paillier_add_cells(&prev, &cell, &pk)
+                        Some(prev) => paillier_add_cells(&prev, &cell, pk)
                             .map_err(|e| ExecError::Crypto(e.to_string()))?,
                     });
                     *count += 1;
@@ -641,7 +771,7 @@ impl AggAcc {
                     }
                 }
             }
-            AggAcc::SumEnc { acc, count } => match acc {
+            AggAcc::SumEnc { acc, count, .. } => match acc {
                 None => Value::Null,
                 Some(cell) => {
                     let kind = if func == AggFunc::Avg {

@@ -26,9 +26,11 @@
 
 pub mod engine;
 pub mod eval;
+pub mod pool;
 pub mod scheme;
 pub mod table;
 
 pub use engine::{execute, execute_step, node_ready, ExecCtx, ExecError};
+pub use pool::WorkerPool;
 pub use scheme::{assign_schemes, rewrite_literals, SchemePlan};
 pub use table::{Database, Table};

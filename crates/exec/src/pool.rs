@@ -1,0 +1,434 @@
+//! Intra-operator data parallelism: a small scoped-thread worker pool.
+//!
+//! The engine's embarrassingly parallel operators — `Encrypt`/`Decrypt`
+//! columns, `Select` predicate evaluation, `Project` rebuilds, hash-join
+//! build/probe — split their rows into contiguous chunks and run the
+//! chunks on scoped threads ([`std::thread::scope`], no external
+//! dependencies). Three properties matter:
+//!
+//! * **Determinism** — chunks are contiguous row ranges processed in
+//!   row order and re-assembled in chunk order, and every source of
+//!   randomness is derived from the *row index*, never from the chunk
+//!   layout (the `Encrypt` operator seeds each row's RNG via
+//!   `engine::mix_seed` over (seed, node, column, row)). Output —
+//!   ciphertext bytes included — is bit-identical for every worker
+//!   count, which the differential proptests assert.
+//! * **No oversubscription** — all pool handles cloned from one pool
+//!   (and everything using [`WorkerPool::global`]) share a single
+//!   atomic permit counter. A parallel region takes only the extra
+//!   threads currently available and otherwise runs on the calling
+//!   thread, so ten concurrent party loops on an eight-core box do not
+//!   spawn eighty workers.
+//! * **Bounded setup cost** — a region only splits when every thread
+//!   would get at least `min_chunk` rows, so cheap operators over small
+//!   tables never pay a spawn.
+//!
+//! The worker count comes from the `MPQ_WORKERS` environment variable
+//! when set (the `throughput` binary's `--workers` flag sets it
+//! programmatically via [`WorkerPool::init_global`]), defaulting to
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// A handle on a shared budget of worker threads. Cloning is cheap and
+/// shares the budget; independent budgets come from [`WorkerPool::new`].
+#[derive(Clone, Debug)]
+pub struct WorkerPool {
+    /// Extra threads (beyond the callers) the pool may run, shared
+    /// across clones.
+    permits: Arc<AtomicUsize>,
+    /// Total worker target (callers + extras), for chunk sizing.
+    target: usize,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::global()
+    }
+}
+
+impl WorkerPool {
+    /// A pool running at most `workers` threads in total (the calling
+    /// thread counts as one; `workers - 1` extras may be spawned).
+    pub fn new(workers: usize) -> WorkerPool {
+        let w = workers.max(1);
+        WorkerPool {
+            permits: Arc::new(AtomicUsize::new(w - 1)),
+            target: w,
+        }
+    }
+
+    /// A pool that never spawns: everything runs on the caller.
+    pub fn serial() -> WorkerPool {
+        WorkerPool::new(1)
+    }
+
+    /// The process-wide shared pool (`MPQ_WORKERS` env override,
+    /// default [`std::thread::available_parallelism`]).
+    pub fn global() -> WorkerPool {
+        GLOBAL
+            .get_or_init(|| {
+                let n = std::env::var("MPQ_WORKERS")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1)
+                    });
+                WorkerPool::new(n)
+            })
+            .clone()
+    }
+
+    /// Fix the global pool's worker count before first use. Returns
+    /// `false` (and changes nothing) if the global pool already exists.
+    pub fn init_global(workers: usize) -> bool {
+        GLOBAL.set(WorkerPool::new(workers)).is_ok()
+    }
+
+    /// The pool's total worker target.
+    pub fn workers(&self) -> usize {
+        self.target
+    }
+
+    /// Take up to `want` extra-thread permits without blocking.
+    fn acquire(&self, want: usize) -> usize {
+        let mut avail = self.permits.load(Ordering::Relaxed);
+        loop {
+            let take = want.min(avail);
+            if take == 0 {
+                return 0;
+            }
+            match self.permits.compare_exchange_weak(
+                avail,
+                avail - take,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(cur) => avail = cur,
+            }
+        }
+    }
+
+    fn release(&self, n: usize) {
+        if n > 0 {
+            self.permits.fetch_add(n, Ordering::Release);
+        }
+    }
+
+    /// Acquire up to `want` permits, returned on drop — including
+    /// during a panic unwind, so a panicking chunk closure cannot
+    /// permanently shrink the shared budget (proptest and other
+    /// `catch_unwind` users keep the process alive afterwards).
+    fn acquire_guard(&self, want: usize) -> PermitGuard<'_> {
+        PermitGuard {
+            pool: self,
+            n: if want > 0 { self.acquire(want) } else { 0 },
+        }
+    }
+
+    /// How many threads (caller included) a region over `len` items
+    /// may use, honoring `min_chunk`.
+    fn plan_threads(&self, len: usize, min_chunk: usize) -> usize {
+        let max_by_size = len / min_chunk.max(1);
+        self.target.min(max_by_size).max(1)
+    }
+
+    /// Run `f` over contiguous index ranges covering `0..len` — the
+    /// read-only counterpart of [`WorkerPool::for_each_chunk_mut`] for
+    /// scans over shared data. Chunk order and error selection match
+    /// a sequential left-to-right scan.
+    pub fn for_each_chunk<E, F>(&self, len: usize, min_chunk: usize, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(std::ops::Range<usize>) -> Result<(), E> + Sync,
+    {
+        let threads = self.plan_threads(len, min_chunk);
+        let guard = self.acquire_guard(threads.saturating_sub(1));
+        if guard.n == 0 {
+            return f(0..len);
+        }
+        let threads = guard.n + 1;
+        let base = len / threads;
+        let rem = len % threads;
+        let mut bounds = Vec::with_capacity(threads);
+        let mut start = 0;
+        for t in 0..threads {
+            let size = base + usize::from(t < rem);
+            bounds.push(start..start + size);
+            start += size;
+        }
+        let results: Vec<Result<(), E>> = std::thread::scope(|scope| {
+            let f = &f;
+            let mut iter = bounds.into_iter();
+            let mine_range = iter.next().expect("at least one chunk");
+            let handles: Vec<_> = iter.map(|r| scope.spawn(move || f(r))).collect();
+            let mine = f(mine_range);
+            let mut out = Vec::with_capacity(threads);
+            out.push(mine);
+            out.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked")),
+            );
+            out
+        });
+        drop(guard);
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Map contiguous chunks of an owned row vector, re-assembling the
+    /// chunk outputs in order. `f` receives the chunk's starting index
+    /// in the original vector (for index-derived seeding) and returns
+    /// the chunk's output rows; the first erroring chunk — in *chunk
+    /// order*, not completion order — determines the returned error,
+    /// matching what a sequential scan would report.
+    pub fn map_chunks<T, R, E, F>(&self, items: Vec<T>, min_chunk: usize, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, Vec<T>) -> Result<Vec<R>, E> + Sync,
+    {
+        let len = items.len();
+        let threads = self.plan_threads(len, min_chunk);
+        let guard = self.acquire_guard(threads.saturating_sub(1));
+        if guard.n == 0 {
+            return f(0, items);
+        }
+        let threads = guard.n + 1;
+        // Split into `threads` nearly equal chunks, largest first.
+        let base = len / threads;
+        let rem = len % threads;
+        let mut rest = items;
+        let mut tail_chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(threads - 1);
+        let mut end = len;
+        for t in (1..threads).rev() {
+            let size = base + usize::from(t < rem);
+            let start = end - size;
+            tail_chunks.push((start, rest.split_off(start)));
+            end = start;
+        }
+        let results: Vec<Result<Vec<R>, E>> = std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = tail_chunks
+                .into_iter()
+                .map(|(start, chunk)| scope.spawn(move || f(start, chunk)))
+                .collect();
+            let mine = f(0, rest);
+            let mut out = Vec::with_capacity(handles.len() + 1);
+            // Spawned chunks were peeled off back-to-front; reverse to
+            // recover ascending chunk order after the caller's chunk 0.
+            let mut spawned: Vec<Result<Vec<R>, E>> = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect();
+            spawned.reverse();
+            out.push(mine);
+            out.extend(spawned);
+            out
+        });
+        drop(guard);
+        let mut merged = Vec::with_capacity(len);
+        for r in results {
+            merged.extend(r?);
+        }
+        Ok(merged)
+    }
+
+    /// Run `f` over contiguous mutable chunks of `items`. Chunk
+    /// assembly and error selection follow [`WorkerPool::map_chunks`].
+    pub fn for_each_chunk_mut<T, E, F>(
+        &self,
+        items: &mut [T],
+        min_chunk: usize,
+        f: F,
+    ) -> Result<(), E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize, &mut [T]) -> Result<(), E> + Sync,
+    {
+        let len = items.len();
+        let threads = self.plan_threads(len, min_chunk);
+        let guard = self.acquire_guard(threads.saturating_sub(1));
+        if guard.n == 0 {
+            return f(0, items);
+        }
+        let threads = guard.n + 1;
+        let base = len / threads;
+        let rem = len % threads;
+        let results: Vec<Result<(), E>> = std::thread::scope(|scope| {
+            let f = &f;
+            let mut handles = Vec::with_capacity(threads - 1);
+            let first_size = base + usize::from(rem > 0);
+            let (first, mut tail) = items.split_at_mut(first_size);
+            let mut start = first_size;
+            for t in 1..threads {
+                let size = base + usize::from(t < rem);
+                let (chunk, rest) = std::mem::take(&mut tail).split_at_mut(size);
+                tail = rest;
+                let chunk_start = start;
+                handles.push(scope.spawn(move || f(chunk_start, chunk)));
+                start += size;
+            }
+            let mine = f(0, first);
+            let mut out = Vec::with_capacity(threads);
+            out.push(mine);
+            out.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked")),
+            );
+            out
+        });
+        drop(guard);
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+}
+
+/// Extra-thread permits held by one parallel region, returned to the
+/// shared budget on drop (normal exit and panic unwind alike).
+struct PermitGuard<'a> {
+    pool: &'a WorkerPool,
+    n: usize,
+}
+
+impl Drop for PermitGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.release(self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_preserves_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 3, 7] {
+            let pool = WorkerPool::new(workers);
+            let out: Result<Vec<u64>, ()> = pool.map_chunks(items.clone(), 1, |start, chunk| {
+                // The chunk's starting offset must line up with the
+                // items it received.
+                assert_eq!(chunk.first().copied(), Some(start as u64));
+                Ok(chunk.into_iter().map(|x| x * 3).collect())
+            });
+            assert_eq!(out.unwrap(), expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_filters_and_errors_deterministically() {
+        let items: Vec<u64> = (0..500).collect();
+        let pool = WorkerPool::new(4);
+        // Filtering chunk-locally concatenates in order.
+        let evens: Vec<u64> = pool
+            .map_chunks(items.clone(), 1, |_, chunk| {
+                Ok::<_, ()>(chunk.into_iter().filter(|x| x % 2 == 0).collect())
+            })
+            .unwrap();
+        assert_eq!(evens, (0..500).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        // The lowest erroring row wins regardless of which worker hits
+        // it first.
+        let err = pool
+            .map_chunks(items, 1, |_, chunk| {
+                for x in &chunk {
+                    if x % 100 == 99 {
+                        return Err(*x);
+                    }
+                }
+                Ok::<Vec<u64>, u64>(chunk)
+            })
+            .unwrap_err();
+        assert_eq!(err, 99);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_every_item_once() {
+        let mut items: Vec<u64> = vec![0; 777];
+        let pool = WorkerPool::new(3);
+        pool.for_each_chunk_mut(&mut items, 1, |start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x += (start + i) as u64 + 1;
+            }
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        assert!(items.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn min_chunk_prevents_spawning_for_small_inputs() {
+        let pool = WorkerPool::new(8);
+        // 10 items with min_chunk 32 → single caller-thread chunk.
+        let out: Result<Vec<usize>, ()> = pool.map_chunks((0..10).collect(), 32, |start, chunk| {
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 10);
+            Ok(chunk)
+        });
+        assert_eq!(out.unwrap().len(), 10);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_exact_ranges() {
+        for workers in [1, 2, 5] {
+            let pool = WorkerPool::new(workers);
+            let seen = std::sync::Mutex::new(vec![false; 1003]);
+            pool.for_each_chunk(1003, 1, |range| {
+                let mut seen = seen.lock().unwrap();
+                for i in range {
+                    assert!(!seen[i], "index {i} covered twice");
+                    seen[i] = true;
+                }
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+            assert!(seen.into_inner().unwrap().iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn panicking_chunk_returns_its_permits() {
+        let pool = WorkerPool::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<(), ()> = pool.for_each_chunk(100, 1, |range| {
+                if range.start == 0 {
+                    panic!("chunk died");
+                }
+                Ok(())
+            });
+        }));
+        assert!(caught.is_err());
+        // All 3 extra permits must be back in the budget.
+        assert_eq!(pool.acquire(10), 3);
+        pool.release(3);
+    }
+
+    #[test]
+    fn permits_are_shared_and_returned() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.acquire(10), 3);
+        // Budget exhausted: a clone sees no extras and runs serial.
+        let clone = pool.clone();
+        let out: Result<Vec<u64>, ()> = clone.map_chunks((0..100).collect(), 1, |_, c| Ok(c));
+        assert_eq!(out.unwrap().len(), 100);
+        pool.release(3);
+        assert_eq!(pool.acquire(1), 1);
+        pool.release(1);
+    }
+}

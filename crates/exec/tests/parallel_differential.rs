@@ -1,0 +1,195 @@
+//! Parallel execution ≡ sequential execution, bit for bit.
+//!
+//! The worker pool splits operator input into contiguous chunks; these
+//! properties pin down that the chunking is unobservable: for random
+//! data, seeds, and worker counts, the produced tables — **ciphertext
+//! bytes included** (structural `Value` equality compares the encrypted
+//! cell bytes) — are identical to a serial run. This is the guarantee
+//! that lets `mpq-dist` keep its "concurrent ≡ sequential, same bytes
+//! on every edge" contract while operators run data-parallel.
+
+use mpq_algebra::value::EncScheme;
+use mpq_algebra::{Catalog, CmpOp, Date, Expr, JoinKind, Operator, QueryPlan, Value};
+use mpq_crypto::keyring::{ClusterKey, KeyRing};
+use mpq_exec::pool::WorkerPool;
+use mpq_exec::{execute, Database, ExecCtx, SchemePlan, Table};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn load(cat: &Catalog, n: usize, seed: u64) -> Database {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let diagnoses = ["stroke", "flu", "fracture"];
+    let mut db = Database::new();
+    let mut hosp = Vec::with_capacity(n);
+    let mut ins = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = format!("patient{i}");
+        hosp.push(vec![
+            Value::str(&name),
+            Value::Date(Date(rng.gen_range(0..20_000))),
+            Value::str(diagnoses[rng.gen_range(0..3)]),
+            Value::str("t"),
+        ]);
+        ins.push(vec![
+            Value::str(&name),
+            Value::Num(rng.gen_range(10.0..300.0)),
+        ]);
+    }
+    db.load(cat, "Hosp", hosp);
+    db.load(cat, "Ins", ins);
+    db
+}
+
+/// Join → select → project → encrypt (all four schemes) → partial
+/// decrypt, leaving two columns as ciphertext in the output.
+fn crypto_plan(cat: &Catalog) -> (QueryPlan, SchemePlan, HashMap<mpq_algebra::AttrId, u32>) {
+    let s = cat.attr("S").unwrap();
+    let b = cat.attr("B").unwrap();
+    let d = cat.attr("D").unwrap();
+    let c = cat.attr("C").unwrap();
+    let p = cat.attr("P").unwrap();
+    let hosp = cat.relation("Hosp").unwrap().rel;
+    let ins = cat.relation("Ins").unwrap().rel;
+    let mut plan = QueryPlan::new();
+    let h = plan.add_base(hosp, vec![s, b, d]);
+    let i = plan.add_base(ins, vec![c, p]);
+    let j = plan.add(
+        Operator::Join {
+            kind: JoinKind::Inner,
+            on: vec![(s, CmpOp::Eq, c)],
+            residual: None,
+        },
+        vec![h, i],
+    );
+    let sel = plan.add(
+        Operator::Select {
+            pred: Expr::Cmp(
+                Box::new(Expr::Col(p)),
+                CmpOp::Gt,
+                Box::new(Expr::Lit(Value::Num(60.0))),
+            ),
+        },
+        vec![j],
+    );
+    let proj = plan.add(
+        Operator::Project {
+            attrs: vec![s, b, d, p],
+        },
+        vec![sel],
+    );
+    let enc = plan.add(
+        Operator::Encrypt {
+            attrs: vec![s, b, d, p],
+        },
+        vec![proj],
+    );
+    plan.add(Operator::Decrypt { attrs: vec![b, p] }, vec![enc]);
+
+    let mut schemes = SchemePlan::default();
+    schemes.set(s, EncScheme::Deterministic);
+    schemes.set(b, EncScheme::Ope);
+    schemes.set(d, EncScheme::Random);
+    schemes.set(p, EncScheme::Paillier);
+    let mut koa = HashMap::new();
+    for a in [s, b, d, p] {
+        koa.insert(a, 1u32);
+    }
+    (plan, schemes, koa)
+}
+
+#[allow(
+    clippy::too_many_arguments,
+    reason = "test helper mirroring ExecCtx fields"
+)]
+fn run(
+    cat: &Catalog,
+    db: &Database,
+    plan: &QueryPlan,
+    schemes: &SchemePlan,
+    koa: &HashMap<mpq_algebra::AttrId, u32>,
+    ring: &KeyRing,
+    seed: u64,
+    pool: WorkerPool,
+) -> Table {
+    let mut ctx = ExecCtx::new(cat, db, ring, schemes, koa).with_pool(pool);
+    ctx.seed = seed;
+    execute(plan, &ctx).expect("plan executes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Ciphertext-producing operators: chunked parallel execution must
+    /// emit byte-identical tables for every worker count.
+    #[test]
+    fn parallel_crypto_is_bit_identical(
+        rows in 65usize..200,
+        data_seed in any::<u64>(),
+        enc_seed in any::<u64>(),
+        workers in 2usize..6,
+    ) {
+        let cat = Catalog::paper_running_example();
+        let db = load(&cat, rows, data_seed);
+        let (plan, schemes, koa) = crypto_plan(&cat);
+        let ring = KeyRing::new();
+        ring.insert(ClusterKey::generate(&mut StdRng::seed_from_u64(99), 1, 256));
+
+        let serial = run(&cat, &db, &plan, &schemes, &koa, &ring, enc_seed, WorkerPool::serial());
+        let parallel = run(&cat, &db, &plan, &schemes, &koa, &ring, enc_seed, WorkerPool::new(workers));
+        prop_assert_eq!(serial.cols.clone(), parallel.cols.clone());
+        // Structural equality: encrypted cells compare by their exact
+        // ciphertext bytes.
+        prop_assert_eq!(&serial.rows, &parallel.rows);
+    }
+
+    /// Plain row-parallel operators (select/project/join) over inputs
+    /// large enough to actually split.
+    #[test]
+    fn parallel_row_ops_match_serial(
+        rows in 600usize..900,
+        data_seed in any::<u64>(),
+        workers in 2usize..6,
+    ) {
+        let cat = Catalog::paper_running_example();
+        let db = load(&cat, rows, data_seed);
+        let s = cat.attr("S").unwrap();
+        let d = cat.attr("D").unwrap();
+        let c = cat.attr("C").unwrap();
+        let p = cat.attr("P").unwrap();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let ins = cat.relation("Ins").unwrap().rel;
+        let mut plan = QueryPlan::new();
+        let h = plan.add_base(hosp, vec![s, d]);
+        let i = plan.add_base(ins, vec![c, p]);
+        let j = plan.add(
+            Operator::Join {
+                kind: JoinKind::Inner,
+                on: vec![(s, CmpOp::Eq, c)],
+                residual: None,
+            },
+            vec![h, i],
+        );
+        let sel = plan.add(
+            Operator::Select {
+                pred: Expr::Cmp(
+                    Box::new(Expr::Col(p)),
+                    CmpOp::Lt,
+                    Box::new(Expr::Lit(Value::Num(200.0))),
+                ),
+            },
+            vec![j],
+        );
+        plan.add(Operator::Project { attrs: vec![d, p] }, vec![sel]);
+
+        let schemes = SchemePlan::default();
+        let koa = HashMap::new();
+        let ring = KeyRing::new();
+        let serial = run(&cat, &db, &plan, &schemes, &koa, &ring, 7, WorkerPool::serial());
+        let parallel = run(&cat, &db, &plan, &schemes, &koa, &ring, 7, WorkerPool::new(workers));
+        prop_assert_eq!(serial.cols.clone(), parallel.cols.clone());
+        prop_assert_eq!(&serial.rows, &parallel.rows);
+    }
+}

@@ -87,24 +87,27 @@ pub mod calibrated {
     /// Seconds of CPU per basic tuple operation (scan/probe/emit),
     /// fitted by least squares over `mpq-exec` replays of the TPC-H
     /// workload (modeled tuple ops vs measured seconds).
-    pub const TUPLE_OP_SECS: f64 = 1.5e-7;
-    /// Symmetric (XTEA det/rnd) per-value encryption seconds.
-    pub const SYM_ENC_SECS: f64 = 5.3e-7;
+    pub const TUPLE_OP_SECS: f64 = 2.1e-7;
+    /// Symmetric (XTEA det/rnd) per-value encryption seconds, via the
+    /// batch path the engine uses (key schedules set up per column).
+    pub const SYM_ENC_SECS: f64 = 5.2e-7;
     /// Symmetric per-value decryption seconds.
-    pub const SYM_DEC_SECS: f64 = 3.4e-7;
+    pub const SYM_DEC_SECS: f64 = 3.9e-7;
     /// OPE per-value encryption seconds.
-    pub const OPE_ENC_SECS: f64 = 2.4e-6;
+    pub const OPE_ENC_SECS: f64 = 2.1e-6;
     /// OPE per-value decryption seconds (bit-by-bit inverse walk).
-    pub const OPE_DEC_SECS: f64 = 4.0e-6;
+    pub const OPE_DEC_SECS: f64 = 3.8e-6;
     /// Paillier-512 per-value encryption seconds on the in-tree bignum
-    /// (a modular exponentiation; production libraries are orders of
-    /// magnitude faster, which would only widen the savings the
-    /// optimizer finds).
-    pub const PAILLIER_ENC_SECS: f64 = 6.3e-2;
+    /// with Montgomery fixed-window exponentiation and a per-key reused
+    /// context (a ~150× drop from the pre-Montgomery 6.3e-2; production
+    /// libraries are faster still, which would only widen the savings
+    /// the optimizer finds).
+    pub const PAILLIER_ENC_SECS: f64 = 3.9e-4;
     /// Paillier-512 per-value decryption seconds.
-    pub const PAILLIER_DEC_SECS: f64 = 6.6e-2;
-    /// Seconds per homomorphic (Paillier) ciphertext addition.
-    pub const PAILLIER_ADD_SECS: f64 = 8.0e-5;
+    pub const PAILLIER_DEC_SECS: f64 = 4.4e-4;
+    /// Seconds per homomorphic (Paillier) ciphertext addition (one
+    /// Montgomery product under the cached `n²` context).
+    pub const PAILLIER_ADD_SECS: f64 = 2.0e-6;
 }
 
 /// The full price book: per-subject prices plus crypto constants.

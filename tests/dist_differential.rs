@@ -2,9 +2,16 @@
 //! (`Simulator::run`) must be indistinguishable from the sequential
 //! reference interpreter (`Simulator::run_sequential`) — same result
 //! rows, same per-edge byte counts, same request count — for random
-//! seeds, random data, and random assignments drawn from Λ (which
-//! produce structurally different extended plans: different crypto
-//! operators, different wire graphs, different key plans).
+//! seeds, random data, random assignments drawn from Λ (which produce
+//! structurally different extended plans: different crypto operators,
+//! different wire graphs, different key plans), **and random worker
+//! counts**: the intra-operator data parallelism chunks rows across a
+//! pool, and per-(node, column, row)-derived encryption randomness
+//! makes the chunking unobservable. Byte equality per edge is the
+//! ciphertext-sensitive check — encrypted cell widths depend on the
+//! exact ciphertext bytes produced (Paillier cells shed leading zero
+//! bytes), so a single diverging ciphertext shows up in the byte
+//! accounting.
 
 use mpq::algebra::Value;
 use mpq::core::candidates::{candidates, Candidates};
@@ -66,6 +73,8 @@ proptest! {
         seed in any::<u64>(),
         picks in proptest::collection::vec(any::<u8>(), 4..9),
         choice in proptest::collection::vec(any::<u16>(), 4),
+        conc_workers in 1usize..6,
+        seq_workers in 1usize..6,
     ) {
         let ex = RunningExample::new();
         let db = load_random(&ex, &picks);
@@ -91,10 +100,14 @@ proptest! {
         let keys = plan_keys(&ext);
         let user = ex.subject("U");
 
+        // Independently drawn worker counts on the two sides: thread
+        // pools of any size must produce the same bytes.
         let concurrent = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, seed)
+            .with_workers(conc_workers)
             .run(&ext, &keys, user)
             .expect("authorized concurrent run");
         let sequential = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, seed)
+            .with_workers(seq_workers)
             .run_sequential(&ext, &keys, user)
             .expect("authorized sequential run");
 
