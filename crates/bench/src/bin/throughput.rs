@@ -9,7 +9,10 @@
 //! ```text
 //! cargo run -p mpq-bench --bin throughput --release -- [flags]
 //!
-//!   --smoke             CI-sized run (2 sessions × 1 iter, Q1+Q6)
+//!   --smoke             CI-sized run (2 sessions × 2 iters, Q1+Q6)
+//!   --session           also measure the persistent-Session path
+//!                       (one long-lived mpq_dist::Session per client;
+//!                       Def. 6.1 provisioning amortizes across iters)
 //!   --sessions N        concurrent client sessions    [default 8]
 //!   --iters N           workload repetitions/session  [default 3]
 //!   --sf F              TPC-H scale factor            [default 0.002]
@@ -43,6 +46,7 @@ fn main() {
         };
         match arg.as_str() {
             "--smoke" => {}
+            "--session" => cfg.session_mode = true,
             "--sessions" => cfg.sessions = value("--sessions").parse().expect("--sessions N"),
             "--iters" => cfg.iters = value("--iters").parse().expect("--iters N"),
             "--sf" => cfg.tpch_sf = value("--sf").parse().expect("--sf F"),
@@ -82,6 +86,16 @@ fn main() {
         report.sequential.qps,
         report.sequential.p50_ms,
     );
+    if let Some(session) = &report.session {
+        eprintln!(
+            "# session:    {:.1} q/s (p50 {:.1} ms, p95 {:.1} ms) — amortization \
+             {:.2}× vs fresh provisioning",
+            session.qps,
+            session.p50_ms,
+            session.p95_ms,
+            report.session_speedup_p50().expect("session stats present"),
+        );
+    }
     if report.concurrent.queries == 0 || report.sequential.queries == 0 {
         eprintln!(
             "# nothing executed (sessions/iters/workload empty) — refusing to pass vacuously"

@@ -491,8 +491,10 @@ pub fn run_calibration(cfg: &CalibrateConfig) -> Calibration {
 /// Cost and key-provision a plan with every operation pinned: to the
 /// first authorized provider when `providers` is set (falling back to
 /// the user where no provider qualifies), or entirely to the user —
-/// the two extremes the ranking check compares.
-fn pinned_plan(
+/// the two extremes the ranking check compares. Public so the
+/// decisive-pair regression test can rebuild the ranking candidates
+/// without re-measuring.
+pub fn pinned_plan(
     plan: &mpq_algebra::QueryPlan,
     cat: &Catalog,
     stats: &mpq_algebra::stats::StatsCatalog,

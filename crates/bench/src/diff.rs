@@ -12,7 +12,7 @@
 //! same tolerance also fails ([`MetricDelta::improved_beyond`]) —
 //! an unclaimed improvement means the committed baseline no longer
 //! describes the code, so regressions up to the stale baseline would
-//! pass silently. Re-pin (`throughput --smoke --out
+//! pass silently. Re-pin (`throughput --smoke --session --out
 //! BENCH_baseline.json`) and commit the new floor with the change that
 //! earned it.
 //!
@@ -79,6 +79,13 @@ pub fn speedup_p50(report: &str) -> Option<f64> {
     field(report, "speedup_p50")
 }
 
+/// Extract the `session_speedup_p50` (fresh-simulator p50 /
+/// persistent-session p50) a `--session` throughput report recorded —
+/// the Def. 6.1 amortization win the session runtime must keep.
+pub fn session_speedup_p50(report: &str) -> Option<f64> {
+    field(report, "session_speedup_p50")
+}
+
 /// Extract `"key": <number>` from a JSON object body.
 fn field(text: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -142,6 +149,21 @@ pub fn compare(
             &|t| field(section(t, "sequential")?, "p50_ms"),
             None,
             true,
+        ),
+        // Present only when both reports ran with --session (metrics
+        // missing on either side are skipped, keeping old baselines
+        // comparable).
+        metric(
+            "session p50 (ms)",
+            &|t| field(section(t, "session")?, "p50_ms"),
+            Some(latency_tol),
+            true,
+        ),
+        metric(
+            "session amortization (×)",
+            &|t| session_speedup_p50(t),
+            None,
+            false,
         ),
         metric(
             "bytes per query",
@@ -261,6 +283,42 @@ mod tests {
         let report = r#"{"concurrent": {"p50_ms": 10.0}, "speedup_p50": 1.375, "x": 1}"#;
         assert_eq!(speedup_p50(report), Some(1.375));
         assert_eq!(speedup_p50("{}"), None);
+    }
+
+    #[test]
+    fn session_metrics_appear_only_when_both_reports_have_them() {
+        // Old baselines (no --session) stay comparable: the session
+        // rows are skipped, not zero-filled.
+        let deltas = compare(BASE, BASE, 0.25, 0.25);
+        assert!(deltas.iter().all(|d| !d.name.contains("session ")));
+
+        let with_session = BASE.replace(
+            "\"bytes_per_query\": 1000.0",
+            "\"session\": {\"queries\": 10, \"qps\": 8.0, \"p50_ms\": 50.0, \"p95_ms\": 90.0, \
+             \"mean_ms\": 55.0},\n  \"session_speedup_p50\": 2.0,\n  \"bytes_per_query\": 1000.0",
+        );
+        let deltas = compare(&with_session, &with_session, 0.25, 0.25);
+        let p50 = deltas
+            .iter()
+            .find(|d| d.name == "session p50 (ms)")
+            .unwrap();
+        assert_eq!(p50.baseline, 50.0);
+        assert!(p50.tolerance.is_some(), "session p50 must be gated");
+        let amort = deltas
+            .iter()
+            .find(|d| d.name == "session amortization (×)")
+            .unwrap();
+        assert_eq!(amort.current, 2.0);
+        assert_eq!(session_speedup_p50(&with_session), Some(2.0));
+
+        // A session-p50 regression trips the gate like any latency.
+        let worse = with_session.replace("\"p50_ms\": 50.0", "\"p50_ms\": 70.0");
+        let deltas = compare(&with_session, &worse, 0.25, 0.25);
+        assert!(deltas
+            .iter()
+            .find(|d| d.name == "session p50 (ms)")
+            .unwrap()
+            .regressed());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!   UAPenc / UAPmix scenarios (the paper's Figure 9);
 //! * `cargo run -p mpq-bench --bin figure10 --release` — cumulative
 //!   cost and headline savings (Figure 10; paper: 54.2% for UAPenc,
-//!   71.3% for UAPmix; this reproduction: 53.5% / 88.6%, pinned by
+//!   71.3% for UAPmix; this reproduction: 52.4% / 86.9%, pinned by
 //!   `tests/figure10_pin.rs`);
 //! * `cargo run -p mpq-bench --bin calibrate --release` — fit the
 //!   price book's execution constants against measured `mpq-exec`/
@@ -23,7 +23,9 @@
 //!   `mpq-dist` multi-party runtime (Fig. 7 plans + optimized TPC-H
 //!   queries over generated data), writing latency percentiles,
 //!   queries/sec, and bytes-on-the-wire to `BENCH_dist.json`
-//!   (`--smoke` for the CI gate);
+//!   (`--smoke` for the CI gate; `--session` additionally measures
+//!   the persistent-`Session` path and records the Def. 6.1
+//!   amortization win);
 //! * `cargo bench -p mpq-bench` — criterion microbenchmarks for the
 //!   crypto substrate, candidate computation, minimal extension, and
 //!   the optimizer.

@@ -223,6 +223,42 @@ impl RunningExample {
         ]
     }
 
+    /// The Fig. 7(a) minimally extended plan: selection at `H`, join
+    /// and group-by at provider `X`, having at provider `Y`, result to
+    /// the user — the assignment the paper walks through in §5–§6.
+    ///
+    /// Ready to feed to `mpq_core::keys::plan_keys` and the `mpq-dist`
+    /// runtimes; used by doc-examples and the session-reuse tests.
+    pub fn fig7a_extended(&self) -> crate::extend::ExtendedPlan {
+        let cands = crate::candidates::candidates(
+            &self.plan,
+            &self.catalog,
+            &self.policy,
+            &self.subjects,
+            &crate::capability::CapabilityPolicy::default(),
+            true,
+        );
+        let mut a = crate::extend::Assignment::new();
+        for (node, s) in [
+            ("select_d", "H"),
+            ("join", "X"),
+            ("group", "X"),
+            ("having", "Y"),
+        ] {
+            a.set(self.node(node), self.subject(s));
+        }
+        crate::extend::minimally_extend(
+            &self.plan,
+            &self.catalog,
+            &self.policy,
+            &self.subjects,
+            &cands,
+            &a,
+            Some(self.subject("U")),
+        )
+        .expect("the fig7a assignment is drawn from Λ")
+    }
+
     /// The non-leaf nodes in post-order (the operations that need
     /// assignees): `select_d`, `join`, `group`, `having`.
     pub fn operations(&self) -> Vec<NodeId> {

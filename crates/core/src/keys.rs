@@ -24,6 +24,36 @@ pub struct PlanKey {
     pub holders: Vec<SubjectId>,
 }
 
+/// Canonical identity of one Def. 6.1 cluster: its attribute set and
+/// its holder set, both sorted.
+///
+/// Two plan keys with equal signatures describe the *same* trust
+/// relationship — the same attributes compared under the same key,
+/// decryptable by the same subjects — even when they come from
+/// different queries (where [`PlanKey::id`] is merely the position in
+/// that plan's [`KeyPlan`]). This is what makes key provisioning
+/// *incremental* across the queries of a session: a session caches
+/// generated key material by signature and re-provisions only clusters
+/// whose signature it has not seen (`mpq-dist`'s `Session`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterSig {
+    /// Attributes of the cluster, ascending.
+    pub attrs: Vec<mpq_algebra::AttrId>,
+    /// Subjects holding the full key, ascending.
+    pub holders: Vec<SubjectId>,
+}
+
+impl PlanKey {
+    /// The cluster's canonical signature (see [`ClusterSig`]).
+    pub fn cluster_sig(&self) -> ClusterSig {
+        let mut attrs: Vec<mpq_algebra::AttrId> = self.attrs.iter().collect();
+        attrs.sort_unstable();
+        let mut holders = self.holders.clone();
+        holders.sort_unstable();
+        ClusterSig { attrs, holders }
+    }
+}
+
 /// The key establishment for one extended plan (Def. 6.1).
 #[derive(Clone, Debug, Default)]
 pub struct KeyPlan {
@@ -218,6 +248,31 @@ mod tests {
         let e = extended(&ex, "U", "U", "U", "U");
         let kp = plan_keys(&e);
         assert!(kp.keys.is_empty());
+    }
+
+    /// Cluster signatures identify the *trust relationship*, not the
+    /// plan: equal across queries with the same clusters and holders,
+    /// different as soon as either set changes — the property the
+    /// session-level key cache keys on.
+    #[test]
+    fn cluster_sig_is_stable_across_queries_and_sensitive_to_holders() {
+        let ex = RunningExample::new();
+        let a = plan_keys(&extended(&ex, "H", "X", "X", "Y"));
+        let b = plan_keys(&extended(&ex, "H", "X", "X", "Y"));
+        assert_eq!(a.keys[0].cluster_sig(), b.keys[0].cluster_sig());
+        assert_eq!(a.keys[1].cluster_sig(), b.keys[1].cluster_sig());
+        assert_ne!(a.keys[0].cluster_sig(), a.keys[1].cluster_sig());
+        // Fig. 7(b) clusters D (held by H alone) instead of SC (held
+        // by H and I): both the attribute set and the holder set of
+        // the first cluster change.
+        let c = plan_keys(&extended(&ex, "H", "Z", "Z", "Y"));
+        assert_ne!(a.keys[0].cluster_sig(), c.keys[0].cluster_sig());
+        // k_P survives the reassignment with identical holders {I, Y}:
+        // same signature, so a session would re-use its material.
+        assert_eq!(
+            a.key_for(ex.attr("P")).unwrap().cluster_sig(),
+            c.key_for(ex.attr("P")).unwrap().cluster_sig()
+        );
     }
 
     #[test]

@@ -4,75 +4,86 @@
 //! paper's §6 dispatch story — "each subject executes its assigned
 //! sub-query and forwards encrypted results".
 //!
-//! [`Simulator::new`] sets up one *party* per subject: an RSA keypair
-//! for request envelopes, an (initially empty) cluster-key ring, and a
-//! local store holding exactly the base relations the subject is the
-//! data authority of. [`Simulator::run`] then takes a minimally
-//! extended authorized plan (`mpq_core::extend`), its key establishment
-//! (`mpq_core::keys`, Def. 6.1), and the querying user, and:
+//! Two entry points share one machinery:
 //!
-//! 1. **re-verifies the assignment at runtime** — every subject must be
+//! * [`Session`] — the persistent, multi-query runtime. `open` sets up
+//!   one *party* per subject (RSA envelope keypair, cluster-key ring,
+//!   a local store holding exactly the base relations the subject is
+//!   the data authority of) and spawns one long-lived party loop per
+//!   subject; `execute` then runs any number of queries over those
+//!   parties, provisioning Def. 6.1 cluster keys *incrementally*
+//!   through a per-session cache (only clusters the session has never
+//!   seen are generated and shipped — see [`session`]).
+//! * [`Simulator`] — the protocol-faithful one-query view: each `run`
+//!   behaves as its own session, re-provisioning every cluster key
+//!   exactly as Def. 6.1 prescribes for a standalone query. This is
+//!   the entry the paper-fidelity tests drive.
+//!
+//! Every query, through either entry, follows the §6 protocol:
+//!
+//! 1. **re-verify the assignment at runtime** — every subject must be
 //!    authorized (Def. 4.1) for the profile of every relation it
 //!    touches, independently of what the static analysis promised
 //!    (Theorems 5.1–5.3 get a second, behavioral check here);
-//! 2. **provisions key rings** — fresh [`ClusterKey`] material per plan
-//!    key, handed to exactly the Def. 6.1 holders; every computing
-//!    subject additionally receives the *public* Paillier halves,
-//!    enabling homomorphic aggregation without decryption capability;
-//! 3. **dispatches signed requests** — the sub-queries of
+//! 2. **provision key rings** — [`ClusterKey`](mpq_crypto::keyring::ClusterKey)
+//!    material per Def. 6.1 cluster, handed to exactly the holders;
+//!    every computing subject additionally receives the *public*
+//!    Paillier halves, enabling homomorphic aggregation without
+//!    decryption capability;
+//! 3. **dispatch signed requests** — the sub-queries of
 //!    `mpq_core::dispatch` travel as `[[q_S, keys]_priU]_pubS`
-//!    envelopes ([`SignedEnvelope`]), batched per subject-pair edge,
-//!    opened and verified by each recipient;
-//! 4. **executes concurrently** — every participating subject runs a
-//!    [party loop](runtime) on its own thread; a node executes as soon
-//!    as its operands' tables have arrived at its assignee, so
-//!    independent subtrees of the extended plan run in parallel at
-//!    different providers, over real XTEA/OPE/Paillier ciphertexts;
-//!    every table crossing a subject boundary is byte-accounted and
-//!    [cell-audited](audit) by the *receiving* party;
-//! 5. returns a [`Report`] with the final (plaintext, for the user)
+//!    envelopes ([`SignedEnvelope`](mpq_crypto::rsa::SignedEnvelope)),
+//!    batched per subject-pair edge, opened and verified by each
+//!    recipient;
+//! 4. **execute concurrently** — the participating subjects' [party
+//!    loops](runtime) wake; a node executes as soon as its operands'
+//!    tables have arrived at its assignee, so independent subtrees of
+//!    the extended plan run in parallel at different providers, over
+//!    real XTEA/OPE/Paillier ciphertexts; every table crossing a
+//!    subject boundary is byte-accounted and [cell-audited](audit) by
+//!    the *receiving* party;
+//! 5. return a [`Report`] with the final (plaintext, for the user)
 //!    result and the bytes-on-the-wire per subject-pair edge.
 //!
-//! [`Simulator::run_sequential`] interprets the same prepared plan
-//! bottom-up on the calling thread. The two paths share all of the
-//! preparation (phases 1–3) and produce bit-identical results and
-//! per-edge byte counts — a property the differential tests lean on.
+//! [`Session::execute_sequential`] / [`Simulator::run_sequential`]
+//! interpret the same prepared plan bottom-up on the calling thread.
+//! The two paths share all of the preparation (phases 1–3) and produce
+//! bit-identical results and per-edge byte counts — a property the
+//! differential tests lean on.
 //!
 //! A subject receiving data its view does not permit — or attempting
-//! encryption/decryption with a key it does not hold — aborts the run
-//! with a [`SimError`].
+//! encryption/decryption with a key it does not hold — aborts the
+//! query with a [`SimError`] (the session survives; see
+//! [`runtime`] for how an aborted query drains).
 
 pub mod audit;
 pub mod error;
 pub mod runtime;
+pub mod session;
 
 pub use audit::audit_transfer;
 pub use error::SimError;
+pub use session::{Session, SessionStats};
 
-use mpq_algebra::{AttrId, Catalog, NodeId, Operator, QueryPlan, RelId, SubjectId};
-use mpq_core::authz::{Policy, SubjectView};
-use mpq_core::dispatch::dispatch;
+use mpq_algebra::{Catalog, RelId, SubjectId};
+use mpq_core::authz::Policy;
 use mpq_core::extend::ExtendedPlan;
 use mpq_core::keys::KeyPlan;
 use mpq_core::subjects::Subjects;
-use mpq_crypto::keyring::{ClusterKey, KeyRing};
-use mpq_crypto::rsa::{RsaKeypair, RsaPublic, SignedEnvelope};
-use mpq_exec::{
-    assign_schemes, execute_step, rewrite_literals, Database, ExecCtx, SchemePlan, Table,
-    WorkerPool,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mpq_crypto::keyring::KeyRing;
+use mpq_crypto::rsa::{RsaKeypair, RsaPublic};
+use mpq_exec::{Database, Table};
 use std::collections::HashMap;
+use std::marker::PhantomData;
 
 /// Paillier modulus size for simulator-generated cluster keys. Small
 /// enough to keep runs fast, large enough for the fixed-point encodings
 /// the execution layer produces.
-const PAILLIER_BITS: usize = 256;
+pub(crate) const PAILLIER_BITS: usize = 256;
 
 /// RSA modulus size for request envelopes (demo-grade, like the rest of
 /// `mpq-crypto`).
-const RSA_BITS: usize = 512;
+pub(crate) const RSA_BITS: usize = 512;
 
 /// The outcome of a distributed run.
 #[derive(Clone, Debug)]
@@ -96,6 +107,25 @@ impl Report {
     /// Total bytes moved across all edges.
     pub fn total_bytes(&self) -> usize {
         self.transfers.values().sum()
+    }
+
+    /// Bytes of result tables per directed edge — [`Report::transfers`]
+    /// with the request-envelope share subtracted. Unlike envelope
+    /// bytes (whose hybrid-encryption session keys are drawn fresh per
+    /// query), data-flow bytes are a deterministic function of the key
+    /// material and the execution seed, which makes them the
+    /// ciphertext-sensitive quantity the differential tests compare.
+    pub fn data_bytes(&self) -> HashMap<(SubjectId, SubjectId), usize> {
+        let mut out = self.transfers.clone();
+        for (edge, bytes) in &self.request_bytes {
+            match out.get_mut(edge) {
+                Some(total) if *total > *bytes => *total -= bytes,
+                _ => {
+                    out.remove(edge);
+                }
+            }
+        }
+        out
     }
 
     /// Render the transfer map as sorted `from → to: bytes` lines.
@@ -122,46 +152,45 @@ pub(crate) struct Party {
     pub(crate) store: Database,
 }
 
-/// Output of the shared preparation phase (runtime authorization,
-/// Def. 6.1 key provisioning, literal rewriting, envelope sealing) —
-/// everything both execution paths consume.
-pub(crate) struct Prepared {
-    /// The extended plan with encrypted literals spliced in.
-    pub(crate) exec_plan: QueryPlan,
-    /// Per-attribute encryption schemes.
-    pub(crate) schemes: SchemePlan,
-    /// Attribute → Def. 6.1 cluster-key id.
-    pub(crate) key_of_attr: HashMap<AttrId, u32>,
-    /// Execution order (postorder of the extended plan).
-    pub(crate) order: Vec<NodeId>,
-    /// Envelope bytes already accounted per user → subject edge.
-    pub(crate) transfers: HashMap<(SubjectId, SubjectId), usize>,
-    /// Batched signed requests: recipient, sealed envelope, and the
-    /// payload the recipient must recover for verification.
-    pub(crate) envelopes: Vec<(SubjectId, SignedEnvelope, Vec<u8>)>,
-    /// Number of dispatched sub-query requests (before batching).
-    pub(crate) requests: usize,
-    /// Base seed for per-(node, column, row) encryption randomness,
-    /// derived from the simulator seed so distinct simulators produce
-    /// distinct ciphertext nonces; identical for both execution paths.
-    pub(crate) exec_seed: u64,
-}
-
-/// The distributed-execution simulator. See the crate docs for the
-/// protocol it follows.
+/// The one-query-at-a-time view of the distributed runtime.
+///
+/// A `Simulator` is a thin wrapper over a [`Session`] that resets the
+/// session's provisioning cache before every run: each
+/// [`Simulator::run`] provisions fresh Def. 6.1 cluster keys and
+/// re-ships every Paillier public half, exactly as the protocol
+/// prescribes for a standalone query. Party identities (RSA keypairs)
+/// and the party threads persist across runs — they model the
+/// subjects, not the query.
+///
+/// Use a [`Session`] directly when consecutive queries should
+/// *amortize* provisioning instead.
+///
+/// # Example
+///
+/// ```
+/// use mpq_core::fixtures::RunningExample;
+/// use mpq_core::keys::plan_keys;
+/// use mpq_dist::Simulator;
+/// use mpq_exec::Database;
+///
+/// let ex = RunningExample::new();
+/// let mut db = Database::new();
+/// db.load(&ex.catalog, "Hosp", RunningExample::sample_hosp_rows());
+/// db.load(&ex.catalog, "Ins", RunningExample::sample_ins_rows());
+/// let ext = ex.fig7a_extended();
+/// let keys = plan_keys(&ext);
+///
+/// let mut sim = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, 2026);
+/// let report = sim.run(&ext, &keys, ex.subject("U")).unwrap();
+/// assert!(!report.result.rows.is_empty());
+/// assert!(report.total_bytes() > 0);
+/// ```
 pub struct Simulator<'a> {
-    catalog: &'a Catalog,
-    subjects: &'a Subjects,
-    policy: &'a Policy,
-    parties: Vec<Party>,
-    rng: StdRng,
-    /// Derived once from the constructor seed; see `Prepared::exec_seed`.
-    exec_seed: u64,
-    /// Worker pool for intra-operator data parallelism; shared by every
-    /// party loop (and the sequential interpreter), so concurrently
-    /// executing parties draw threads from one budget instead of
-    /// oversubscribing the machine.
-    pool: WorkerPool,
+    session: Session,
+    /// The constructor's borrows are cloned into the session (whose
+    /// party threads need `'static` data); the lifetime parameter is
+    /// kept for API stability.
+    _env: PhantomData<&'a ()>,
 }
 
 impl<'a> Simulator<'a> {
@@ -176,28 +205,9 @@ impl<'a> Simulator<'a> {
         db: &Database,
         seed: u64,
     ) -> Simulator<'a> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut parties: Vec<Party> = subjects
-            .iter()
-            .map(|_| Party {
-                rsa: RsaKeypair::generate(&mut rng, RSA_BITS),
-                ring: KeyRing::new(),
-                store: Database::new(),
-            })
-            .collect();
-        for rel in catalog.relations() {
-            if let (Some(owner), Some(table)) = (subjects.authority(rel.rel), db.table(rel.rel)) {
-                parties[owner.index()].store.insert(rel.rel, table.clone());
-            }
-        }
         Simulator {
-            catalog,
-            subjects,
-            policy,
-            parties,
-            rng,
-            exec_seed: seed ^ 0x6d70_715f_6578_6563, // "mpq_exec"
-            pool: WorkerPool::global(),
+            session: Session::open(catalog, subjects, policy, db, seed),
+            _env: PhantomData,
         }
     }
 
@@ -205,193 +215,28 @@ impl<'a> Simulator<'a> {
     /// threads (differential tests sweep worker counts; results are
     /// identical by construction).
     pub fn with_workers(mut self, workers: usize) -> Simulator<'a> {
-        self.pool = WorkerPool::new(workers);
+        self.session = self.session.with_workers(workers);
         self
     }
 
-    /// Phases 1–3, shared by [`Simulator::run`] and
-    /// [`Simulator::run_sequential`]: runtime authorization re-check,
-    /// Def. 6.1 key provisioning, scheme assignment, encrypted-literal
-    /// rewriting, and sealing of the signed request envelopes (batched
-    /// per subject-pair edge). Consumes the simulator RNG in a fixed
-    /// order so both execution paths see identical material.
-    fn prepare(
-        &mut self,
-        ext: &ExtendedPlan,
-        keys: &KeyPlan,
-        user: SubjectId,
-        views: &[SubjectView],
-    ) -> Result<Prepared, SimError> {
-        let order = ext.plan.postorder();
-        let assignee_of = |id: NodeId| -> Result<SubjectId, SimError> {
-            ext.assignment
-                .get(&id)
-                .copied()
-                .ok_or(SimError::Unassigned(id))
-        };
-
-        // ---- 1. runtime authorization check (Def. 4.1 per node) -----
-        for &id in &order {
-            let node = ext.plan.node(id);
-            let subject = assignee_of(id)?;
-            if let Operator::Base { rel, .. } = &node.op {
-                // Base relations never leave their authority: the
-                // leaf's executor must be the storing authority, which
-                // sees its own relation by construction.
-                let authority = self
-                    .subjects
-                    .authority(*rel)
-                    .ok_or(SimError::NoAuthority(*rel))?;
-                if subject != authority {
-                    return Err(SimError::NotTheAuthority {
-                        node: id,
-                        subject,
-                        authority,
-                    });
-                }
-                continue;
-            }
-            let view = &views[subject.index()];
-            for &child in &node.children {
-                if let Err(violation) = view.check(&ext.profiles[child.index()]) {
-                    return Err(SimError::Unauthorized {
-                        node: id,
-                        subject,
-                        violation,
-                    });
-                }
-            }
-            if let Err(violation) = view.check(&ext.profiles[id.index()]) {
-                return Err(SimError::Unauthorized {
-                    node: id,
-                    subject,
-                    violation,
-                });
-            }
-        }
-
-        // ---- 2. key provisioning (Def. 6.1) --------------------------
-        let mut key_of_attr: HashMap<AttrId, u32> = HashMap::new();
-        let mut computing: Vec<bool> = vec![false; self.parties.len()];
-        for &id in &order {
-            computing[assignee_of(id)?.index()] = true;
-        }
-        computing[user.index()] = true;
-        for plan_key in &keys.keys {
-            let material = ClusterKey::generate(&mut self.rng, plan_key.id, PAILLIER_BITS);
-            for a in plan_key.attrs.iter() {
-                key_of_attr.insert(a, plan_key.id);
-            }
-            for &holder in &plan_key.holders {
-                self.parties[holder.index()].ring.insert(material.clone());
-            }
-            // Public Paillier halves for every computing non-holder:
-            // enough to aggregate, never to decrypt.
-            for (i, party) in self.parties.iter_mut().enumerate() {
-                if computing[i] && !plan_key.holders.contains(&SubjectId::from_index(i)) {
-                    party
-                        .ring
-                        .insert_public(plan_key.id, material.paillier_public());
-                }
-            }
-        }
-
-        // ---- 3. dispatch: signed, encrypted sub-query requests -------
-        let schemes = assign_schemes(&ext.plan).map_err(|e| SimError::Scheme(e.to_string()))?;
-        // Predicates over encrypted attributes need encrypted literals.
-        // Conceptually the key-holding authorities rewrite their
-        // conditions while preparing the sub-queries (§6); this ring
-        // stands in for them at dispatch time.
-        let dispatcher_ring = KeyRing::new();
-        for plan_key in &keys.keys {
-            if let Some(holder) = plan_key.holders.first() {
-                if let Some(k) = self.parties[holder.index()].ring.get(plan_key.id) {
-                    dispatcher_ring.insert(k);
-                }
-            }
-        }
-        let exec_plan = rewrite_literals(
-            &ext.plan,
-            self.catalog,
-            &schemes,
-            &key_of_attr,
-            &dispatcher_ring,
-            &mut self.rng,
-        )
-        .map_err(SimError::Rewrite)?;
-
-        // Batch the request payloads per user → subject edge: one
-        // envelope (one signature, one session key) per recipient,
-        // regardless of how many sub-query regions it executes.
-        let d = dispatch(ext, keys, self.catalog, self.subjects);
-        let mut batches: Vec<Vec<u8>> = vec![Vec::new(); self.parties.len()];
-        for req in &d.requests {
-            let batch = &mut batches[req.subject.index()];
-            if !batch.is_empty() {
-                batch.extend_from_slice(b"\n===\n");
-            }
-            batch.extend_from_slice(req.sql.as_bytes());
-            for key_id in &req.keys {
-                batch.extend_from_slice(format!("\nkey:{key_id}").as_bytes());
-            }
-        }
-        let mut transfers: HashMap<(SubjectId, SubjectId), usize> = HashMap::new();
-        let mut envelopes: Vec<(SubjectId, SignedEnvelope, Vec<u8>)> = Vec::new();
-        for (i, payload) in batches.into_iter().enumerate() {
-            if payload.is_empty() {
-                continue;
-            }
-            let to = SubjectId::from_index(i);
-            let envelope = SignedEnvelope::seal(
-                &mut self.rng,
-                &payload,
-                &self.parties[user.index()].rsa,
-                &self.parties[i].rsa.public,
-            );
-            if to != user {
-                *transfers.entry((user, to)).or_default() +=
-                    envelope.wrapped_key.len() + envelope.body.len() + envelope.signature.len();
-            }
-            envelopes.push((to, envelope, payload));
-        }
-
-        Ok(Prepared {
-            exec_plan,
-            schemes,
-            key_of_attr,
-            order,
-            transfers,
-            envelopes,
-            requests: d.requests.len(),
-            exec_seed: self.exec_seed,
-        })
-    }
-
     /// Run `ext` across the parties on behalf of `user`, with the
-    /// Def. 6.1 key establishment `keys`.
+    /// Def. 6.1 key establishment `keys`, as an independent one-query
+    /// session (full key provisioning, fresh material).
     ///
-    /// This is the **concurrent** runtime: one thread per participating
-    /// subject, `mpsc` channels carrying the signed request envelopes
-    /// and result tables, every node executing as soon as its operands
-    /// arrive at its assignee (see [`runtime`]). Results and per-edge
-    /// byte counts are bit-identical to [`Simulator::run_sequential`].
+    /// This is the **concurrent** runtime: one party loop per
+    /// participating subject, mailboxes carrying the signed request
+    /// envelopes and result tables, every node executing as soon as its
+    /// operands arrive at its assignee (see [`runtime`]). Results and
+    /// per-edge byte counts are bit-identical to
+    /// [`Simulator::run_sequential`].
     pub fn run(
         &mut self,
         ext: &ExtendedPlan,
         keys: &KeyPlan,
         user: SubjectId,
     ) -> Result<Report, SimError> {
-        let views: Vec<SubjectView> = self.policy.all_views(self.catalog, self.subjects);
-        let prepared = self.prepare(ext, keys, user, &views)?;
-        runtime::run_concurrent(
-            self.catalog,
-            &self.parties,
-            ext,
-            &views,
-            &prepared,
-            user,
-            &self.pool,
-        )
+        self.session.reset_provisioning();
+        self.session.execute(ext, keys, user)
     }
 
     /// Run `ext` bottom-up on the calling thread — the reference
@@ -404,98 +249,32 @@ impl<'a> Simulator<'a> {
         keys: &KeyPlan,
         user: SubjectId,
     ) -> Result<Report, SimError> {
-        let views: Vec<SubjectView> = self.policy.all_views(self.catalog, self.subjects);
-        let prepared = self.prepare(ext, keys, user, &views)?;
-        let user_public = self.parties[user.index()].rsa.public.clone();
-
-        // Envelopes open and verify at their recipients (here: inline,
-        // since everything runs on one thread).
-        for (to, envelope, expected) in &prepared.envelopes {
-            let opened = envelope
-                .open(&self.parties[to.index()].rsa, &user_public)
-                .ok_or(SimError::Envelope { to: *to })?;
-            if &opened != expected {
-                return Err(SimError::Envelope { to: *to });
-            }
-        }
-
-        // ---- 4. bottom-up execution, one subject at a time ----------
-        let mut transfers = prepared.transfers.clone();
-        let mut results: HashMap<NodeId, Table> = HashMap::new();
-        for &id in &prepared.order {
-            let executor = ext.assignment[&id];
-            let node = prepared.exec_plan.node(id);
-            // Tables produced by another subject cross the wire here:
-            // account the bytes and audit every cell against the
-            // receiving subject's view.
-            for &child in &node.children {
-                let producer = ext.assignment[&child];
-                if producer != executor {
-                    let table = results.get(&child).expect("child executed before parent");
-                    audit::audit_transfer_with(table, &views[executor.index()], &self.pool)?;
-                    *transfers.entry((producer, executor)).or_default() += table.byte_size();
-                }
-            }
-            let party = &self.parties[executor.index()];
-            let mut ctx = ExecCtx::new(
-                self.catalog,
-                &party.store,
-                &party.ring,
-                &prepared.schemes,
-                &prepared.key_of_attr,
-            )
-            .with_pool(self.pool.clone());
-            ctx.seed = prepared.exec_seed;
-            let table = execute_step(&prepared.exec_plan, id, &mut results, &ctx)?;
-            results.insert(id, table);
-        }
-
-        // ---- 5. deliver the result to the user ----------------------
-        let root = prepared.exec_plan.root();
-        let root_subject = ext.assignment[&root];
-        let result = results.remove(&root).expect("root executed");
-        audit::audit_transfer_with(&result, &views[user.index()], &self.pool)?;
-        if root_subject != user {
-            *transfers.entry((root_subject, user)).or_default() += result.byte_size();
-        }
-
-        Ok(Report {
-            result,
-            transfers,
-            request_bytes: prepared.transfers.clone(),
-            requests: prepared.requests,
-        })
+        self.session.reset_provisioning();
+        self.session.execute_sequential(ext, keys, user)
     }
 
     /// The RSA public key of a subject (for tests probing the envelope
     /// layer).
     pub fn public_key_of(&self, s: SubjectId) -> RsaPublic {
-        self.parties[s.index()].rsa.public.clone()
+        self.session.public_key_of(s)
     }
 
     /// `true` if `s` currently holds the full cluster key `id`
     /// (as provisioned by the last [`Simulator::run`]).
     pub fn holds_key(&self, s: SubjectId, id: u32) -> bool {
-        self.parties[s.index()].ring.holds(id)
+        self.session.holds_key(s, id)
     }
 
     /// Revoke the full cluster key `id` from every party, keeping only
     /// the public aggregation halves. Used by tests to prove that
     /// decryption without the key fails behaviorally.
     pub fn revoke_key(&mut self, id: u32) {
-        for party in &mut self.parties {
-            party.ring.revoke(id);
-        }
+        self.session.revoke_key(id);
     }
 
     /// Which base relations a subject stores (the authority
     /// partitioning computed by [`Simulator::new`]).
     pub fn stored_relations(&self, s: SubjectId) -> Vec<RelId> {
-        self.catalog
-            .relations()
-            .iter()
-            .map(|r| r.rel)
-            .filter(|&r| self.parties[s.index()].store.table(r).is_some())
-            .collect()
+        self.session.stored_relations(s)
     }
 }

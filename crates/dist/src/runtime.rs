@@ -1,18 +1,21 @@
-//! The concurrent multi-party runtime: one OS thread per subject,
-//! `mpsc` channels for the wire.
+//! The concurrent multi-party runtime: one long-lived OS thread per
+//! subject, `mpsc` channels for the wire.
 //!
 //! This is the behavioral counterpart of the paper's §6 execution
 //! story: "each subject executes its assigned sub-query and forwards
-//! encrypted results". Every participating subject runs a *party
-//! loop* on its own thread. The loop drains a mailbox of
-//! messages — signed request envelopes from the querying user and
-//! result tables from producing subjects — and steps a node of the
-//! extended plan as soon as all of its operands are materialized
+//! encrypted results". Every subject runs a *party loop* on its own
+//! thread, spawned **once** when a [`Session`](crate::Session) opens
+//! and reused for every query the session executes (re-spawning per
+//! query was one of the fixed per-run costs the session layer exists
+//! to amortize). Between queries a party sits idle on its mailbox;
+//! each query (a `QueryJob`, the output of the session's preparation
+//! phase) wakes the participating parties, and each steps a node of
+//! the extended plan as soon as all of its operands are materialized
 //! locally, so independent subtrees assigned to different subjects
 //! execute concurrently (pipeline parallelism across providers).
 //!
 //! Guarantees relative to the sequential interpreter
-//! ([`Simulator::run_sequential`](crate::Simulator::run_sequential)):
+//! ([`Session::execute_sequential`](crate::Session::execute_sequential)):
 //!
 //! * **result equivalence** — every node executes under a fresh
 //!   per-node [`ExecCtx`] exactly as in the sequential path, so the
@@ -21,39 +24,43 @@
 //! * **identical byte accounting** — tables are accounted on the same
 //!   producer → consumer edges, by the receiving party; request
 //!   envelopes are sealed (batched per subject-pair edge) before any
-//!   thread starts, by the shared preparation phase;
+//!   party wakes, by the shared preparation phase;
 //! * **audit on receive** — the cell-level
 //!   [`audit_transfer_with`] check runs at
 //!   the receiving party, on its own thread, before the table is used.
 //!
 //! Failure handling: a party that fails (audit violation, missing key,
-//! envelope tampering) broadcasts an abort message to every peer and
-//! returns its error; peers receiving `Abort` stop without an error of
-//! their own. The coordinator returns the failing party's error,
-//! picking the lowest subject id when several fail independently.
+//! envelope tampering) broadcasts an abort message to the query's
+//! other participants and reports its error; peers receiving `Abort`
+//! stop without an error of their own. The coordinator returns the
+//! failing party's error, picking the lowest subject id when several
+//! fail independently — and the session remains usable: the party
+//! threads return to their mailboxes and the next query runs normally.
+//!
+//! Because mailboxes outlive queries, every data message carries the
+//! query *epoch* it belongs to. A message that arrives after its query
+//! already ended (e.g. a table sent concurrently with an abort) is
+//! dropped when a later epoch begins; a message that arrives *before*
+//! its recipient has been woken for that epoch is stashed and replayed
+//! once the matching wake-up arrives. Epochs are what make an aborted
+//! query leave no residue for the next one.
 
 use crate::audit::audit_transfer_with;
 use crate::error::SimError;
-use crate::{Party, Prepared};
-use mpq_algebra::{Catalog, NodeId, QueryPlan, SubjectId};
+use crate::session::Prepared;
+use crate::{Party, Report};
+use mpq_algebra::{Catalog, NodeId, SubjectId};
 use mpq_core::authz::SubjectView;
-use mpq_core::extend::ExtendedPlan;
-use mpq_crypto::rsa::{RsaPublic, SignedEnvelope};
+use mpq_crypto::rsa::RsaPublic;
 use mpq_exec::{execute_step, node_ready, ExecCtx, Table, WorkerPool};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
-/// One message on a party's mailbox.
+/// One data message exchanged between parties while a query runs.
 pub(crate) enum Msg {
-    /// A signed, batched sub-query request from the querying user
-    /// (`[[q_S, keys]_priU]_pubS`), with the payload the recipient
-    /// must recover for the envelope to verify.
-    Request {
-        /// The sealed envelope.
-        envelope: SignedEnvelope,
-        /// Payload the recipient expects after opening.
-        expected: Vec<u8>,
-    },
     /// The materialized table of `node`, produced by `from` and
     /// consumed by a node assigned to the receiving subject.
     Table {
@@ -75,14 +82,62 @@ pub(crate) enum Msg {
     Abort,
 }
 
-/// What a party reports back to the coordinator.
+/// Everything on a party's persistent mailbox.
+enum PartyMsg {
+    /// Wake up and execute your share of a query.
+    Run {
+        /// Query epoch (strictly increasing per session).
+        epoch: u64,
+        /// The shared, immutable description of the query.
+        job: Arc<QueryJob>,
+    },
+    /// A data message belonging to query `epoch`.
+    Data {
+        /// Query epoch the message belongs to.
+        epoch: u64,
+        /// The payload.
+        msg: Msg,
+    },
+    /// The session is closing; exit the thread.
+    Shutdown,
+}
+
+/// Everything the parties need to execute one query — built by the
+/// session's preparation phase (runtime authorization, incremental
+/// Def. 6.1 provisioning, literal rewriting, envelope sealing) and
+/// shared immutably by all participants.
+pub(crate) struct QueryJob {
+    /// Output of the shared preparation phase.
+    pub(crate) prepared: Prepared,
+    /// Node → executing subject.
+    pub(crate) assignment: HashMap<NodeId, SubjectId>,
+    /// Parent of each node of the executed plan (by node index).
+    pub(crate) parents: Vec<Option<NodeId>>,
+    /// Participating subjects (every assignee plus the querying user),
+    /// ascending by subject id.
+    pub(crate) participants: Vec<SubjectId>,
+    /// The querying user.
+    pub(crate) user: SubjectId,
+    /// The user's RSA public key (envelope verification).
+    pub(crate) user_public: RsaPublic,
+    /// Worker pool for intra-operator data parallelism; all parties
+    /// draw from this one budget, so concurrently executing parties do
+    /// not oversubscribe the machine.
+    pub(crate) pool: WorkerPool,
+}
+
+/// What a party reports back to the coordinator for one epoch.
 enum Outcome {
     /// Finished cleanly.
     Done(PartyOut),
     /// Failed with a real error (already broadcast `Abort`).
     Failed(SimError),
-    /// Stopped because a peer aborted.
+    /// Stopped because a peer aborted (or the session is closing).
     Aborted,
+    /// The party loop panicked (a bug, not a protocol failure); the
+    /// panic was caught so the session's other threads could finish,
+    /// and is re-raised by the coordinator.
+    Panicked(String),
 }
 
 /// A clean party's contribution to the run report.
@@ -93,132 +148,344 @@ struct PartyOut {
     result: Option<Table>,
 }
 
-/// Everything a party loop needs, borrowed from the coordinator.
-struct PartyCtx<'a> {
+/// Session-static context a party thread owns for its whole life.
+struct PartyStatic {
     me: SubjectId,
-    user: SubjectId,
-    party: &'a Party,
-    catalog: &'a Catalog,
-    plan: &'a QueryPlan,
-    views: &'a [SubjectView],
-    assignment: &'a HashMap<NodeId, SubjectId>,
-    prepared: &'a Prepared,
-    parents: &'a [Option<NodeId>],
-    /// My assigned nodes, in global postorder.
-    my_nodes: Vec<NodeId>,
-    /// Request envelopes I must open before anything else counts.
-    expected_requests: usize,
-    user_public: &'a RsaPublic,
-    /// Worker pool shared by every party loop: intra-operator data
-    /// parallelism draws from one thread budget, so concurrent parties
-    /// do not oversubscribe the machine.
-    pool: &'a WorkerPool,
+    catalog: Arc<Catalog>,
+    views: Arc<Vec<SubjectView>>,
+    parties: Arc<Vec<Party>>,
 }
 
-impl PartyCtx<'_> {
-    /// External tables this party waits for: operands of its nodes
-    /// produced elsewhere, plus the root delivery when it is the user
-    /// and somebody else computes the root.
-    fn expected_tables(&self) -> usize {
-        let mut n = self
-            .my_nodes
-            .iter()
-            .flat_map(|&id| self.plan.node(id).children.iter())
-            .filter(|c| self.assignment[c] != self.me)
-            .count();
-        let root = self.plan.root();
-        if self.me == self.user && self.assignment[&root] != self.me {
-            n += 1;
+/// The long-lived party threads of one session: a mailbox sender per
+/// subject, a shared completion channel, and the join handles used for
+/// clean teardown on drop.
+pub(crate) struct PartyThreads {
+    txs: Vec<Sender<PartyMsg>>,
+    done_rx: Receiver<(SubjectId, u64, Outcome)>,
+    handles: Vec<JoinHandle<()>>,
+    epoch: u64,
+}
+
+impl PartyThreads {
+    /// Spawn one party loop per subject. Threads idle on their
+    /// mailboxes until [`PartyThreads::run`] wakes them with a query.
+    pub(crate) fn spawn(
+        catalog: &Arc<Catalog>,
+        views: &Arc<Vec<SubjectView>>,
+        parties: &Arc<Vec<Party>>,
+    ) -> PartyThreads {
+        let n = parties.len();
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            txs.push(tx);
+            rxs.push(rx);
         }
-        n
+        let (done_tx, done_rx) = channel();
+        let mut handles = Vec::with_capacity(n);
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let senders: HashMap<SubjectId, Sender<PartyMsg>> = txs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(j, tx)| (SubjectId::from_index(j), tx.clone()))
+                .collect();
+            let st = PartyStatic {
+                me: SubjectId::from_index(i),
+                catalog: Arc::clone(catalog),
+                views: Arc::clone(views),
+                parties: Arc::clone(parties),
+            };
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                party_main(st, rx, senders, done)
+            }));
+        }
+        PartyThreads {
+            txs,
+            done_rx,
+            handles,
+            epoch: 0,
+        }
+    }
+
+    /// Run one prepared query across the persistent party threads and
+    /// assemble the [`Report`]. Blocks until every participant reported
+    /// an outcome for this epoch, so a failed query is fully drained
+    /// before the next one starts.
+    pub(crate) fn run(&mut self, job: QueryJob) -> Result<Report, SimError> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let participants = job.participants.clone();
+        let request_bytes = job.prepared.transfers.clone();
+        let requests = job.prepared.requests;
+        let job = Arc::new(job);
+        for &s in &participants {
+            self.txs[s.index()]
+                .send(PartyMsg::Run {
+                    epoch,
+                    job: Arc::clone(&job),
+                })
+                .expect("party thread alive for the session's lifetime");
+        }
+
+        let mut outcomes: HashMap<SubjectId, Outcome> = HashMap::new();
+        while outcomes.len() < participants.len() {
+            let (s, e, outcome) = self
+                .done_rx
+                .recv()
+                .expect("party threads alive for the session's lifetime");
+            if e == epoch {
+                outcomes.insert(s, outcome);
+            }
+        }
+
+        let mut transfers = request_bytes.clone();
+        let mut result: Option<Table> = None;
+        let mut first_error: Option<SimError> = None;
+        let mut panic_msg: Option<String> = None;
+        // Participant order (ascending subject id) keeps the reported
+        // error deterministic when several parties fail independently.
+        for s in &participants {
+            match outcomes.remove(s).expect("one outcome per participant") {
+                Outcome::Done(out) => {
+                    for (edge, bytes) in out.transfers {
+                        *transfers.entry(edge).or_default() += bytes;
+                    }
+                    if let Some(t) = out.result {
+                        result = Some(t);
+                    }
+                }
+                Outcome::Failed(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Outcome::Aborted => {}
+                Outcome::Panicked(m) => {
+                    if panic_msg.is_none() {
+                        panic_msg = Some(m);
+                    }
+                }
+            }
+        }
+        if let Some(m) = panic_msg {
+            panic!("party thread panicked: {m}");
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(Report {
+            result: result.expect("user party delivered the result"),
+            transfers,
+            request_bytes,
+            requests,
+        })
     }
 }
 
-/// Broadcast `Abort` to every peer (ignoring peers that already
-/// exited).
-fn abort_all(senders: &HashMap<SubjectId, Sender<Msg>>) {
-    for tx in senders.values() {
-        let _ = tx.send(Msg::Abort);
+impl Drop for PartyThreads {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(PartyMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
-/// The party loop: drain the mailbox, step every ready node, route
-/// outputs to the consuming subjects.
-fn party_loop(
-    ctx: PartyCtx<'_>,
-    rx: Receiver<Msg>,
-    senders: HashMap<SubjectId, Sender<Msg>>,
+/// Broadcast `Abort` for `epoch` to every other participant of the
+/// query (ignoring peers that already exited).
+fn broadcast_abort(
+    senders: &HashMap<SubjectId, Sender<PartyMsg>>,
+    epoch: u64,
+    participants: &[SubjectId],
+    me: SubjectId,
+) {
+    for &p in participants {
+        if p != me {
+            let _ = senders[&p].send(PartyMsg::Data {
+                epoch,
+                msg: Msg::Abort,
+            });
+        }
+    }
+}
+
+/// Render a caught panic payload for re-raising at the coordinator.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The persistent per-subject loop: idle on the mailbox, run a query
+/// when woken, stash early data messages for epochs not yet begun.
+fn party_main(
+    st: PartyStatic,
+    rx: Receiver<PartyMsg>,
+    senders: HashMap<SubjectId, Sender<PartyMsg>>,
+    done: Sender<(SubjectId, u64, Outcome)>,
+) {
+    // Data that arrived while idle: either residue of an aborted query
+    // (dropped when a later epoch begins) or messages racing ahead of
+    // our own wake-up for their epoch (replayed when it begins).
+    let mut stash: Vec<(u64, Msg)> = Vec::new();
+    loop {
+        match rx.recv() {
+            Ok(PartyMsg::Run { epoch, job }) => {
+                stash.retain(|(e, _)| *e >= epoch);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_query(&st, &job, epoch, &rx, &senders, &mut stash)
+                }))
+                .unwrap_or_else(|payload| {
+                    broadcast_abort(&senders, epoch, &job.participants, st.me);
+                    Outcome::Panicked(panic_text(payload))
+                });
+                if done.send((st.me, epoch, outcome)).is_err() {
+                    return;
+                }
+            }
+            Ok(PartyMsg::Data { epoch, msg }) => stash.push((epoch, msg)),
+            Ok(PartyMsg::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+/// Execute this party's share of one query epoch: verify the signed
+/// request envelopes addressed to us, then step every assigned node as
+/// its operands materialize, routing outputs to their consumers.
+fn run_query(
+    st: &PartyStatic,
+    job: &QueryJob,
+    epoch: u64,
+    rx: &Receiver<PartyMsg>,
+    senders: &HashMap<SubjectId, Sender<PartyMsg>>,
+    stash: &mut Vec<(u64, Msg)>,
 ) -> Outcome {
+    let me = st.me;
+    let plan = &job.prepared.exec_plan;
+    let party = &st.parties[me.index()];
+    let my_view = &st.views[me.index()];
+    let root = plan.root();
+
+    // Nothing executes until every request envelope addressed to this
+    // party has opened and verified: the signed request *is* the
+    // authorization to compute (`[[q_S, keys]_priU]_pubS`), exactly as
+    // the sequential path verifies all envelopes before stepping any
+    // node.
+    for (to, envelope, expected) in &job.prepared.envelopes {
+        if *to != me {
+            continue;
+        }
+        let opened = envelope.open(&party.rsa, &job.user_public);
+        if opened.as_deref() != Some(expected.as_slice()) {
+            broadcast_abort(senders, epoch, &job.participants, me);
+            return Outcome::Failed(SimError::Envelope { to: me });
+        }
+    }
+
+    // My assigned nodes, in global postorder.
+    let my_nodes: Vec<NodeId> = job
+        .prepared
+        .order
+        .iter()
+        .copied()
+        .filter(|id| job.assignment[id] == me)
+        .collect();
+    // External tables this party waits for: operands of its nodes
+    // produced elsewhere, plus the root delivery when it is the user
+    // and somebody else computes the root.
+    let mut pending = my_nodes
+        .iter()
+        .flat_map(|&id| plan.node(id).children.iter())
+        .filter(|c| job.assignment[c] != me)
+        .count();
+    if me == job.user && job.assignment[&root] != me {
+        pending += 1;
+    }
+
     let mut transfers: HashMap<(SubjectId, SubjectId), usize> = HashMap::new();
     let mut results: HashMap<NodeId, Table> = HashMap::new();
-    let mut executed: Vec<bool> = vec![false; ctx.my_nodes.len()];
+    let mut executed: Vec<bool> = vec![false; my_nodes.len()];
     let mut result_table: Option<Table> = None;
-    let mut requests_pending = ctx.expected_requests;
-    let mut pending = ctx.expected_requests + ctx.expected_tables();
-    let root = ctx.plan.root();
-    let my_view = &ctx.views[ctx.me.index()];
+
+    // Data messages for this epoch that arrived before our wake-up.
+    let mut inbox: Vec<Msg> = Vec::new();
+    for (e, m) in std::mem::take(stash) {
+        match e.cmp(&epoch) {
+            std::cmp::Ordering::Equal => inbox.push(m),
+            std::cmp::Ordering::Greater => stash.push((e, m)),
+            std::cmp::Ordering::Less => {}
+        }
+    }
+    let mut inbox = inbox.into_iter();
 
     loop {
         // Step every node whose operands have materialized. A finished
         // node may unblock a later one of ours, so loop to fixpoint.
-        // Nothing executes until every request envelope addressed to
-        // this party has opened and verified: the signed request *is*
-        // the authorization to compute (`[[q_S, keys]_priU]_pubS`),
-        // exactly as the sequential path verifies all envelopes before
-        // stepping any node.
-        let mut progress = requests_pending == 0;
+        let mut progress = true;
         while progress {
             progress = false;
-            for (done, &id) in executed.iter_mut().zip(&ctx.my_nodes) {
-                if *done || !node_ready(ctx.plan, id, &results) {
+            for (done, &id) in executed.iter_mut().zip(&my_nodes) {
+                if *done || !node_ready(plan, id, &results) {
                     continue;
                 }
                 // Fresh per-node context, exactly as the sequential
                 // interpreter builds one per step: ciphertexts come out
                 // bit-identical no matter the interleaving.
                 let mut exec_ctx = ExecCtx::new(
-                    ctx.catalog,
-                    &ctx.party.store,
-                    &ctx.party.ring,
-                    &ctx.prepared.schemes,
-                    &ctx.prepared.key_of_attr,
+                    &st.catalog,
+                    &party.store,
+                    &party.ring,
+                    &job.prepared.schemes,
+                    &job.prepared.key_of_attr,
                 )
-                .with_pool(ctx.pool.clone());
-                exec_ctx.seed = ctx.prepared.exec_seed;
-                let table = match execute_step(ctx.plan, id, &mut results, &exec_ctx) {
+                .with_pool(job.pool.clone());
+                exec_ctx.seed = job.prepared.exec_seed;
+                let table = match execute_step(plan, id, &mut results, &exec_ctx) {
                     Ok(t) => t,
                     Err(e) => {
-                        abort_all(&senders);
+                        broadcast_abort(senders, epoch, &job.participants, me);
                         return Outcome::Failed(e.into());
                     }
                 };
                 *done = true;
                 progress = true;
                 if id == root {
-                    if ctx.me == ctx.user {
+                    if me == job.user {
                         // Even a user-computed result is audited, as in
                         // the sequential path.
-                        if let Err(e) = audit_transfer_with(&table, my_view, ctx.pool) {
-                            abort_all(&senders);
+                        if let Err(e) = audit_transfer_with(&table, my_view, &job.pool) {
+                            broadcast_abort(senders, epoch, &job.participants, me);
                             return Outcome::Failed(e);
                         }
                         result_table = Some(table);
                     } else {
-                        let _ = senders[&ctx.user].send(Msg::Result {
-                            from: ctx.me,
-                            table,
+                        let _ = senders[&job.user].send(PartyMsg::Data {
+                            epoch,
+                            msg: Msg::Result { from: me, table },
                         });
                     }
                 } else {
-                    let parent = ctx.parents[id.index()].expect("non-root has a parent");
-                    let consumer = ctx.assignment[&parent];
-                    if consumer == ctx.me {
+                    let parent = job.parents[id.index()].expect("non-root has a parent");
+                    let consumer = job.assignment[&parent];
+                    if consumer == me {
                         results.insert(id, table);
                     } else {
-                        let _ = senders[&consumer].send(Msg::Table {
-                            node: id,
-                            from: ctx.me,
-                            table,
+                        let _ = senders[&consumer].send(PartyMsg::Data {
+                            epoch,
+                            msg: Msg::Table {
+                                node: id,
+                                from: me,
+                                table,
+                            },
                         });
                     }
                 }
@@ -226,7 +493,7 @@ fn party_loop(
         }
 
         let all_executed = executed.iter().all(|&d| d);
-        let have_result = ctx.me != ctx.user || result_table.is_some();
+        let have_result = me != job.user || result_table.is_some();
         if all_executed && have_result && pending == 0 {
             return Outcome::Done(PartyOut {
                 transfers,
@@ -234,167 +501,53 @@ fn party_loop(
             });
         }
 
-        match rx.recv() {
-            Ok(Msg::Request { envelope, expected }) => {
-                let opened = envelope.open(&ctx.party.rsa, ctx.user_public);
-                if opened.as_deref() != Some(expected.as_slice()) {
-                    abort_all(&senders);
-                    return Outcome::Failed(SimError::Envelope { to: ctx.me });
+        // Next data message: replayed from the stash first, then live.
+        let msg = if let Some(m) = inbox.next() {
+            m
+        } else {
+            match rx.recv() {
+                Ok(PartyMsg::Data { epoch: e, msg }) => match e.cmp(&epoch) {
+                    std::cmp::Ordering::Equal => msg,
+                    // Residue of an earlier (aborted) query: drop.
+                    std::cmp::Ordering::Less => continue,
+                    // Racing ahead of the next epoch — impossible while
+                    // we still owe an outcome for this one, but stashing
+                    // is the safe response.
+                    std::cmp::Ordering::Greater => {
+                        stash.push((e, msg));
+                        continue;
+                    }
+                },
+                // The coordinator never overlaps queries; a Run here
+                // would be a session-layer bug.
+                Ok(PartyMsg::Run { .. }) => {
+                    unreachable!("Run received while an epoch is still in flight")
                 }
-                requests_pending -= 1;
-                pending -= 1;
+                Ok(PartyMsg::Shutdown) | Err(_) => return Outcome::Aborted,
             }
-            Ok(Msg::Table { node, from, table }) => {
+        };
+        match msg {
+            Msg::Table { node, from, table } => {
                 // Audit on receive: the cell-level check runs at the
                 // receiving party, before the table is usable.
-                if let Err(e) = audit_transfer_with(&table, my_view, ctx.pool) {
-                    abort_all(&senders);
+                if let Err(e) = audit_transfer_with(&table, my_view, &job.pool) {
+                    broadcast_abort(senders, epoch, &job.participants, me);
                     return Outcome::Failed(e);
                 }
-                *transfers.entry((from, ctx.me)).or_default() += table.byte_size();
+                *transfers.entry((from, me)).or_default() += table.byte_size();
                 results.insert(node, table);
                 pending -= 1;
             }
-            Ok(Msg::Result { from, table }) => {
-                if let Err(e) = audit_transfer_with(&table, my_view, ctx.pool) {
-                    abort_all(&senders);
+            Msg::Result { from, table } => {
+                if let Err(e) = audit_transfer_with(&table, my_view, &job.pool) {
+                    broadcast_abort(senders, epoch, &job.participants, me);
                     return Outcome::Failed(e);
                 }
-                *transfers.entry((from, ctx.me)).or_default() += table.byte_size();
+                *transfers.entry((from, me)).or_default() += table.byte_size();
                 result_table = Some(table);
                 pending -= 1;
             }
-            Ok(Msg::Abort) | Err(_) => return Outcome::Aborted,
+            Msg::Abort => return Outcome::Aborted,
         }
     }
-}
-
-/// Run the prepared plan across the parties, one thread per subject.
-///
-/// Called by [`Simulator::run`](crate::Simulator::run) after the
-/// shared preparation phase (authorization re-check, Def. 6.1 key
-/// provisioning, literal rewriting, envelope sealing) has succeeded.
-#[allow(
-    clippy::too_many_arguments,
-    reason = "internal entry mirroring Simulator state"
-)]
-pub(crate) fn run_concurrent(
-    catalog: &Catalog,
-    parties: &[Party],
-    ext: &ExtendedPlan,
-    views: &[SubjectView],
-    prepared: &Prepared,
-    user: SubjectId,
-    pool: &WorkerPool,
-) -> Result<crate::Report, SimError> {
-    let plan = &prepared.exec_plan;
-    let parents = plan.parents();
-
-    // Participants: every assignee, plus the querying user (who
-    // receives the result even when assigned nothing).
-    let mut is_participant = vec![false; parties.len()];
-    for id in &prepared.order {
-        is_participant[ext.assignment[id].index()] = true;
-    }
-    is_participant[user.index()] = true;
-    let participants: Vec<SubjectId> = (0..parties.len())
-        .map(SubjectId::from_index)
-        .filter(|s| is_participant[s.index()])
-        .collect();
-
-    // One mailbox per participant.
-    let mut txs: HashMap<SubjectId, Sender<Msg>> = HashMap::new();
-    let mut rxs: HashMap<SubjectId, Receiver<Msg>> = HashMap::new();
-    for &s in &participants {
-        let (tx, rx) = channel();
-        txs.insert(s, tx);
-        rxs.insert(s, rx);
-    }
-
-    // The user's signed requests go on the wire first (batched per
-    // subject-pair edge by the preparation phase).
-    let mut expected_requests: HashMap<SubjectId, usize> = HashMap::new();
-    for (to, envelope, expected) in &prepared.envelopes {
-        txs[to]
-            .send(Msg::Request {
-                envelope: envelope.clone(),
-                expected: expected.clone(),
-            })
-            .expect("recipient mailbox exists");
-        *expected_requests.entry(*to).or_default() += 1;
-    }
-
-    let user_public = parties[user.index()].rsa.public.clone();
-    let mut nodes_of: HashMap<SubjectId, Vec<NodeId>> = HashMap::new();
-    for &id in &prepared.order {
-        nodes_of.entry(ext.assignment[&id]).or_default().push(id);
-    }
-
-    let outcomes: Vec<(SubjectId, Outcome)> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(participants.len());
-        for &s in &participants {
-            let rx = rxs.remove(&s).expect("one mailbox per participant");
-            // Peers only — holding a sender to oneself would keep the
-            // mailbox alive forever after a peer panic.
-            let senders: HashMap<SubjectId, Sender<Msg>> = txs
-                .iter()
-                .filter(|(peer, _)| **peer != s)
-                .map(|(peer, tx)| (*peer, tx.clone()))
-                .collect();
-            let ctx = PartyCtx {
-                me: s,
-                user,
-                party: &parties[s.index()],
-                catalog,
-                plan,
-                views,
-                assignment: &ext.assignment,
-                prepared,
-                parents: &parents,
-                my_nodes: nodes_of.remove(&s).unwrap_or_default(),
-                expected_requests: expected_requests.get(&s).copied().unwrap_or(0),
-                user_public: &user_public,
-                pool,
-            };
-            handles.push((s, scope.spawn(move || party_loop(ctx, rx, senders))));
-        }
-        // The coordinator's own senders must drop before the join so a
-        // crashed party disconnects its peers instead of hanging them.
-        drop(txs);
-        handles
-            .into_iter()
-            .map(|(s, h)| (s, h.join().expect("party thread panicked")))
-            .collect()
-    });
-
-    let mut transfers = prepared.transfers.clone();
-    let mut result: Option<Table> = None;
-    let mut first_error: Option<SimError> = None;
-    for (_, outcome) in outcomes {
-        match outcome {
-            Outcome::Done(out) => {
-                for (edge, bytes) in out.transfers {
-                    *transfers.entry(edge).or_default() += bytes;
-                }
-                if let Some(t) = out.result {
-                    result = Some(t);
-                }
-            }
-            Outcome::Failed(e) => {
-                if first_error.is_none() {
-                    first_error = Some(e);
-                }
-            }
-            Outcome::Aborted => {}
-        }
-    }
-    if let Some(e) = first_error {
-        return Err(e);
-    }
-    Ok(crate::Report {
-        result: result.expect("user party delivered the result"),
-        transfers,
-        request_bytes: prepared.transfers.clone(),
-        requests: prepared.requests,
-    })
 }

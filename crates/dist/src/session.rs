@@ -1,0 +1,574 @@
+//! Persistent multi-query sessions: amortize trust establishment
+//! across queries.
+//!
+//! [`Simulator::run`](crate::Simulator::run) is protocol-faithful to a
+//! fault: every run provisions fresh Def. 6.1 cluster keys, re-ships
+//! the Paillier public halves, and (before this layer existed)
+//! re-spawned every party thread. After the crypto hot path got cheap,
+//! those *per-run fixed costs* dominate short queries. A production
+//! multi-provider deployment — like SMCQL's federated honest-broker
+//! sessions — holds long-lived connections to each provider and runs
+//! many queries per trust establishment; a [`Session`] is that model:
+//!
+//! * **party threads spawn once**, at [`Session::open`], and idle on
+//!   long-lived mailboxes between queries ([`runtime`](crate::runtime));
+//! * **key provisioning is incremental** — generated [`ClusterKey`]
+//!   material is cached per [`ClusterSig`] (cluster attribute set +
+//!   holder set), so a repeated query re-uses already-provisioned keys
+//!   and already-delivered Paillier public halves, and only *new*
+//!   clusters are generated and shipped;
+//! * **authorization stays per-query** — every [`Session::execute`]
+//!   re-checks Def. 4.1 for every node and re-seals the signed request
+//!   envelopes (`[[q_S, keys]_priU]_pubS`); only trust, transport and
+//!   key material amortize;
+//! * **errors abort the query, not the session** — a failed query
+//!   drains cleanly (see the epoch protocol in
+//!   [`runtime`](crate::runtime)) and the session keeps serving;
+//! * [`Session::revoke_key`] models policy change: it drops the key
+//!   from every ring *and* invalidates the cache entry, so the next
+//!   query that needs the cluster provisions fresh material.
+
+use crate::error::SimError;
+use crate::runtime::{PartyThreads, QueryJob};
+use crate::{audit, Party, Report, PAILLIER_BITS, RSA_BITS};
+use mpq_algebra::{AttrId, Catalog, NodeId, Operator, QueryPlan, RelId, SubjectId};
+use mpq_core::authz::{Policy, SubjectView};
+use mpq_core::dispatch::dispatch;
+use mpq_core::extend::ExtendedPlan;
+use mpq_core::keys::{ClusterSig, KeyPlan};
+use mpq_core::subjects::Subjects;
+use mpq_crypto::keyring::{ClusterKey, KeyRing};
+use mpq_crypto::rsa::{RsaKeypair, RsaPublic, SignedEnvelope};
+use mpq_exec::{
+    assign_schemes, execute_step, rewrite_literals, Database, ExecCtx, SchemePlan, Table,
+    WorkerPool,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Output of the shared preparation phase (runtime authorization,
+/// incremental Def. 6.1 key provisioning, literal rewriting, envelope
+/// sealing) — everything both execution paths consume.
+pub(crate) struct Prepared {
+    /// The extended plan with encrypted literals spliced in.
+    pub(crate) exec_plan: QueryPlan,
+    /// Per-attribute encryption schemes.
+    pub(crate) schemes: SchemePlan,
+    /// Attribute → session-wide cluster-key id.
+    pub(crate) key_of_attr: HashMap<AttrId, u32>,
+    /// Execution order (postorder of the extended plan).
+    pub(crate) order: Vec<NodeId>,
+    /// Envelope bytes already accounted per user → subject edge.
+    pub(crate) transfers: HashMap<(SubjectId, SubjectId), usize>,
+    /// Batched signed requests: recipient, sealed envelope, and the
+    /// payload the recipient must recover for verification.
+    pub(crate) envelopes: Vec<(SubjectId, SignedEnvelope, Vec<u8>)>,
+    /// Number of dispatched sub-query requests (before batching).
+    pub(crate) requests: usize,
+    /// Base seed for per-(node, column, row) encryption randomness,
+    /// derived from the session seed; identical for both execution
+    /// paths and for every query of the session.
+    pub(crate) exec_seed: u64,
+}
+
+/// One cached Def. 6.1 cluster: the generated material (already in the
+/// holders' rings) and the subjects that already received the Paillier
+/// public half.
+struct CachedCluster {
+    material: ClusterKey,
+    /// Subject indices holding at least the public (aggregation) half —
+    /// holders included, since a full key implies the public half.
+    publics: HashSet<usize>,
+}
+
+/// Amortization counters of one [`Session`] — how much Def. 6.1 work
+/// the cluster-key cache saved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries executed (either path), failures included.
+    pub queries: usize,
+    /// Clusters generated, sealed, and shipped to their holders.
+    pub clusters_provisioned: usize,
+    /// Cluster cache hits: queries needed the key, the session already
+    /// held it.
+    pub clusters_reused: usize,
+    /// Paillier public halves delivered to computing non-holders
+    /// (deliveries, not re-sends: a subject that already has the half
+    /// is never re-shipped it).
+    pub publics_delivered: usize,
+}
+
+/// A persistent multi-query execution context over one set of parties.
+///
+/// See the [module docs](self) for what amortizes across queries and
+/// what is re-checked per query. [`Simulator`](crate::Simulator) is a
+/// thin protocol-faithful wrapper that resets the provisioning cache
+/// before every run.
+///
+/// # Example
+///
+/// ```
+/// use mpq_core::fixtures::RunningExample;
+/// use mpq_core::keys::plan_keys;
+/// use mpq_dist::Session;
+/// use mpq_exec::Database;
+///
+/// let ex = RunningExample::new();
+/// let mut db = Database::new();
+/// db.load(&ex.catalog, "Hosp", RunningExample::sample_hosp_rows());
+/// db.load(&ex.catalog, "Ins", RunningExample::sample_ins_rows());
+/// let ext = ex.fig7a_extended();
+/// let keys = plan_keys(&ext);
+///
+/// let mut session = Session::open(&ex.catalog, &ex.subjects, &ex.policy, &db, 7);
+/// let first = session.execute(&ext, &keys, ex.subject("U")).unwrap();
+/// let second = session.execute(&ext, &keys, ex.subject("U")).unwrap();
+/// assert_eq!(first.result.rows, second.result.rows);
+/// // The second query re-used every cluster the first one provisioned.
+/// assert_eq!(session.stats().clusters_provisioned, keys.keys.len());
+/// assert_eq!(session.stats().clusters_reused, keys.keys.len());
+/// ```
+pub struct Session {
+    catalog: Arc<Catalog>,
+    subjects: Arc<Subjects>,
+    /// Per-subject overall views, fixed for the session's lifetime
+    /// (the policy itself is immutable; key *revocation* is modeled by
+    /// [`Session::revoke_key`]).
+    views: Arc<Vec<SubjectView>>,
+    parties: Arc<Vec<Party>>,
+    rng: StdRng,
+    /// Derived once from the constructor seed; see `Prepared::exec_seed`.
+    exec_seed: u64,
+    /// Worker pool for intra-operator data parallelism; shared by every
+    /// party loop (and the sequential interpreter), so concurrently
+    /// executing parties draw threads from one budget instead of
+    /// oversubscribing the machine.
+    pool: WorkerPool,
+    /// The cluster-key cache: Def. 6.1 material by cluster signature.
+    cache: HashMap<ClusterSig, CachedCluster>,
+    /// Next session-wide cluster-key id. Plan-local key ids (positions
+    /// in a `KeyPlan`) are remapped onto these so material cached from
+    /// one query is addressable from every later one.
+    next_key_id: u32,
+    /// The long-lived party threads.
+    threads: PartyThreads,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Open a session: set up one party per registered subject (RSA
+    /// envelope keypair, empty key ring, the base relations it is the
+    /// data authority of) and spawn the long-lived party loops.
+    ///
+    /// A relation without a declared authority is held by nobody —
+    /// executing a plan over it fails at that leaf.
+    pub fn open(
+        catalog: &Catalog,
+        subjects: &Subjects,
+        policy: &Policy,
+        db: &Database,
+        seed: u64,
+    ) -> Session {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut parties: Vec<Party> = subjects
+            .iter()
+            .map(|_| Party {
+                rsa: RsaKeypair::generate(&mut rng, RSA_BITS),
+                ring: KeyRing::new(),
+                store: Database::new(),
+            })
+            .collect();
+        for rel in catalog.relations() {
+            if let (Some(owner), Some(table)) = (subjects.authority(rel.rel), db.table(rel.rel)) {
+                parties[owner.index()].store.insert(rel.rel, table.clone());
+            }
+        }
+        let catalog = Arc::new(catalog.clone());
+        let subjects = Arc::new(subjects.clone());
+        let views = Arc::new(policy.all_views(&catalog, &subjects));
+        let parties = Arc::new(parties);
+        let threads = PartyThreads::spawn(&catalog, &views, &parties);
+        Session {
+            catalog,
+            subjects,
+            views,
+            parties,
+            rng,
+            exec_seed: seed ^ 0x6d70_715f_6578_6563, // "mpq_exec"
+            pool: WorkerPool::global(),
+            cache: HashMap::new(),
+            next_key_id: 0,
+            threads,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Replace the shared worker pool with a private one of `workers`
+    /// threads (differential tests sweep worker counts; results are
+    /// identical by construction). Takes effect from the next query —
+    /// the pool travels with each query's job, not with the threads.
+    pub fn with_workers(mut self, workers: usize) -> Session {
+        self.pool = WorkerPool::new(workers);
+        self
+    }
+
+    /// Shared preparation, both execution paths: runtime authorization
+    /// re-check (Def. 4.1 per node), *incremental* Def. 6.1 key
+    /// provisioning through the cluster cache, scheme assignment,
+    /// encrypted-literal rewriting, and sealing of the signed request
+    /// envelopes (batched per subject-pair edge). Consumes the session
+    /// RNG in a fixed order so a fresh session's first query is
+    /// bit-identical to a fresh `Simulator` run with the same seed.
+    fn prepare(
+        &mut self,
+        ext: &ExtendedPlan,
+        keys: &KeyPlan,
+        user: SubjectId,
+    ) -> Result<Prepared, SimError> {
+        let order = ext.plan.postorder();
+        let assignee_of = |id: NodeId| -> Result<SubjectId, SimError> {
+            ext.assignment
+                .get(&id)
+                .copied()
+                .ok_or(SimError::Unassigned(id))
+        };
+
+        // ---- 1. runtime authorization check (Def. 4.1 per node) -----
+        // Authorization never amortizes: the signed request is a
+        // per-query grant, so every execute re-verifies every node.
+        for &id in &order {
+            let node = ext.plan.node(id);
+            let subject = assignee_of(id)?;
+            if let Operator::Base { rel, .. } = &node.op {
+                // Base relations never leave their authority: the
+                // leaf's executor must be the storing authority, which
+                // sees its own relation by construction.
+                let authority = self
+                    .subjects
+                    .authority(*rel)
+                    .ok_or(SimError::NoAuthority(*rel))?;
+                if subject != authority {
+                    return Err(SimError::NotTheAuthority {
+                        node: id,
+                        subject,
+                        authority,
+                    });
+                }
+                continue;
+            }
+            let view = &self.views[subject.index()];
+            for &child in &node.children {
+                if let Err(violation) = view.check(&ext.profiles[child.index()]) {
+                    return Err(SimError::Unauthorized {
+                        node: id,
+                        subject,
+                        violation,
+                    });
+                }
+            }
+            if let Err(violation) = view.check(&ext.profiles[id.index()]) {
+                return Err(SimError::Unauthorized {
+                    node: id,
+                    subject,
+                    violation,
+                });
+            }
+        }
+
+        // ---- 2. incremental key provisioning (Def. 6.1) --------------
+        let mut key_of_attr: HashMap<AttrId, u32> = HashMap::new();
+        let mut computing: Vec<bool> = vec![false; self.parties.len()];
+        for &id in &order {
+            computing[assignee_of(id)?.index()] = true;
+        }
+        computing[user.index()] = true;
+        // Predicates over encrypted attributes need encrypted literals.
+        // Conceptually the key-holding authorities rewrite their
+        // conditions while preparing the sub-queries (§6); this ring
+        // stands in for them at dispatch time.
+        let dispatcher_ring = KeyRing::new();
+        for plan_key in &keys.keys {
+            let sig = plan_key.cluster_sig();
+            if !self.cache.contains_key(&sig) {
+                // A cluster this session has never provisioned: generate
+                // under a fresh session-wide id and ship the full key to
+                // every Def. 6.1 holder.
+                let id = self.next_key_id;
+                self.next_key_id += 1;
+                let material = ClusterKey::generate(&mut self.rng, id, PAILLIER_BITS);
+                for holder in &plan_key.holders {
+                    self.parties[holder.index()].ring.insert(material.clone());
+                }
+                let publics: HashSet<usize> = plan_key.holders.iter().map(|s| s.index()).collect();
+                self.cache
+                    .insert(sig.clone(), CachedCluster { material, publics });
+                self.stats.clusters_provisioned += 1;
+            } else {
+                self.stats.clusters_reused += 1;
+            }
+            let cached = self.cache.get_mut(&sig).expect("just inserted or present");
+            for a in plan_key.attrs.iter() {
+                key_of_attr.insert(a, cached.material.id);
+            }
+            // Public Paillier halves for every computing non-holder not
+            // yet served: enough to aggregate, never to decrypt.
+            for (i, party) in self.parties.iter().enumerate() {
+                if computing[i] && !cached.publics.contains(&i) {
+                    party
+                        .ring
+                        .insert_public(cached.material.id, cached.material.paillier_public());
+                    cached.publics.insert(i);
+                    self.stats.publics_delivered += 1;
+                }
+            }
+            if !plan_key.holders.is_empty() {
+                dispatcher_ring.insert(cached.material.clone());
+            }
+        }
+
+        // ---- 3. dispatch: signed, encrypted sub-query requests -------
+        let schemes = assign_schemes(&ext.plan).map_err(|e| SimError::Scheme(e.to_string()))?;
+        let exec_plan = rewrite_literals(
+            &ext.plan,
+            &self.catalog,
+            &schemes,
+            &key_of_attr,
+            &dispatcher_ring,
+            &mut self.rng,
+        )
+        .map_err(SimError::Rewrite)?;
+
+        // Batch the request payloads per user → subject edge: one
+        // envelope (one signature, one session key) per recipient,
+        // regardless of how many sub-query regions it executes.
+        let d = dispatch(ext, keys, &self.catalog, &self.subjects);
+        let mut batches: Vec<Vec<u8>> = vec![Vec::new(); self.parties.len()];
+        for req in &d.requests {
+            let batch = &mut batches[req.subject.index()];
+            if !batch.is_empty() {
+                batch.extend_from_slice(b"\n===\n");
+            }
+            batch.extend_from_slice(req.sql.as_bytes());
+            for key_id in &req.keys {
+                batch.extend_from_slice(format!("\nkey:{key_id}").as_bytes());
+            }
+        }
+        let mut transfers: HashMap<(SubjectId, SubjectId), usize> = HashMap::new();
+        let mut envelopes: Vec<(SubjectId, SignedEnvelope, Vec<u8>)> = Vec::new();
+        for (i, payload) in batches.into_iter().enumerate() {
+            if payload.is_empty() {
+                continue;
+            }
+            let to = SubjectId::from_index(i);
+            let envelope = SignedEnvelope::seal(
+                &mut self.rng,
+                &payload,
+                &self.parties[user.index()].rsa,
+                &self.parties[i].rsa.public,
+            );
+            if to != user {
+                *transfers.entry((user, to)).or_default() +=
+                    envelope.wrapped_key.len() + envelope.body.len() + envelope.signature.len();
+            }
+            envelopes.push((to, envelope, payload));
+        }
+
+        Ok(Prepared {
+            exec_plan,
+            schemes,
+            key_of_attr,
+            order,
+            transfers,
+            envelopes,
+            requests: d.requests.len(),
+            exec_seed: self.exec_seed,
+        })
+    }
+
+    /// Package a prepared query for the party threads.
+    fn job(&self, prepared: Prepared, ext: &ExtendedPlan, user: SubjectId) -> QueryJob {
+        let parents = prepared.exec_plan.parents();
+        let mut is_participant = vec![false; self.parties.len()];
+        for id in &prepared.order {
+            is_participant[ext.assignment[id].index()] = true;
+        }
+        is_participant[user.index()] = true;
+        let participants: Vec<SubjectId> = (0..self.parties.len())
+            .map(SubjectId::from_index)
+            .filter(|s| is_participant[s.index()])
+            .collect();
+        QueryJob {
+            prepared,
+            assignment: ext.assignment.clone(),
+            parents,
+            participants,
+            user,
+            user_public: self.parties[user.index()].rsa.public.clone(),
+            pool: self.pool.clone(),
+        }
+    }
+
+    /// Run one query over the session's persistent parties, on behalf
+    /// of `user`, with the Def. 6.1 key establishment `keys`.
+    ///
+    /// This is the **concurrent** runtime: the long-lived party threads
+    /// wake, exchange result tables over their mailboxes, and every
+    /// node executes as soon as its operands arrive at its assignee
+    /// (see [`runtime`](crate::runtime)). Results and per-edge byte
+    /// counts are bit-identical to [`Session::execute_sequential`].
+    ///
+    /// An `Err` aborts this query only; the session remains usable.
+    pub fn execute(
+        &mut self,
+        ext: &ExtendedPlan,
+        keys: &KeyPlan,
+        user: SubjectId,
+    ) -> Result<Report, SimError> {
+        self.stats.queries += 1;
+        let prepared = self.prepare(ext, keys, user)?;
+        let job = self.job(prepared, ext, user);
+        self.threads.run(job)
+    }
+
+    /// Run one query bottom-up on the calling thread — the reference
+    /// interpreter the concurrent runtime is differentially tested
+    /// against. Same preparation (and the same key cache), same
+    /// results, same byte accounting; no pipeline parallelism.
+    pub fn execute_sequential(
+        &mut self,
+        ext: &ExtendedPlan,
+        keys: &KeyPlan,
+        user: SubjectId,
+    ) -> Result<Report, SimError> {
+        self.stats.queries += 1;
+        let prepared = self.prepare(ext, keys, user)?;
+        let user_public = self.parties[user.index()].rsa.public.clone();
+
+        // Envelopes open and verify at their recipients (here: inline,
+        // since everything runs on one thread).
+        for (to, envelope, expected) in &prepared.envelopes {
+            let opened = envelope
+                .open(&self.parties[to.index()].rsa, &user_public)
+                .ok_or(SimError::Envelope { to: *to })?;
+            if &opened != expected {
+                return Err(SimError::Envelope { to: *to });
+            }
+        }
+
+        // ---- 4. bottom-up execution, one subject at a time ----------
+        let mut transfers = prepared.transfers.clone();
+        let mut results: HashMap<NodeId, Table> = HashMap::new();
+        for &id in &prepared.order {
+            let executor = ext.assignment[&id];
+            let node = prepared.exec_plan.node(id);
+            // Tables produced by another subject cross the wire here:
+            // account the bytes and audit every cell against the
+            // receiving subject's view.
+            for &child in &node.children {
+                let producer = ext.assignment[&child];
+                if producer != executor {
+                    let table = results.get(&child).expect("child executed before parent");
+                    audit::audit_transfer_with(table, &self.views[executor.index()], &self.pool)?;
+                    *transfers.entry((producer, executor)).or_default() += table.byte_size();
+                }
+            }
+            let party = &self.parties[executor.index()];
+            let mut ctx = ExecCtx::new(
+                &self.catalog,
+                &party.store,
+                &party.ring,
+                &prepared.schemes,
+                &prepared.key_of_attr,
+            )
+            .with_pool(self.pool.clone());
+            ctx.seed = prepared.exec_seed;
+            let table = execute_step(&prepared.exec_plan, id, &mut results, &ctx)?;
+            results.insert(id, table);
+        }
+
+        // ---- 5. deliver the result to the user ----------------------
+        let root = prepared.exec_plan.root();
+        let root_subject = ext.assignment[&root];
+        let result = results.remove(&root).expect("root executed");
+        audit::audit_transfer_with(&result, &self.views[user.index()], &self.pool)?;
+        if root_subject != user {
+            *transfers.entry((root_subject, user)).or_default() += result.byte_size();
+        }
+
+        Ok(Report {
+            result,
+            transfers,
+            request_bytes: prepared.transfers.clone(),
+            requests: prepared.requests,
+        })
+    }
+
+    /// Amortization counters: clusters provisioned vs re-used, public
+    /// halves delivered, queries served.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Number of cluster keys currently cached (provisioned and not
+    /// revoked).
+    pub fn cached_clusters(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Forget every provisioned cluster (the material is also dropped
+    /// from the holders' rings) without touching the party threads.
+    /// The next query provisions from scratch, with session-wide key
+    /// ids restarting at 0 — which is exactly how
+    /// [`Simulator`](crate::Simulator) turns each `run` into an
+    /// independent one-query session.
+    pub fn reset_provisioning(&mut self) {
+        for cached in self.cache.values() {
+            for party in self.parties.iter() {
+                party.ring.revoke(cached.material.id);
+            }
+        }
+        self.cache.clear();
+        self.next_key_id = 0;
+    }
+
+    /// Revoke the full cluster key `id` from every party, keeping only
+    /// the public aggregation halves, and invalidate the session's
+    /// cache entry for its cluster: the next query needing that cluster
+    /// re-provisions *fresh* material under a new id (a revoked key
+    /// must never come back from a cache).
+    pub fn revoke_key(&mut self, id: u32) {
+        for party in self.parties.iter() {
+            party.ring.revoke(id);
+        }
+        self.cache.retain(|_, c| c.material.id != id);
+    }
+
+    /// The RSA public key of a subject (for tests probing the envelope
+    /// layer).
+    pub fn public_key_of(&self, s: SubjectId) -> RsaPublic {
+        self.parties[s.index()].rsa.public.clone()
+    }
+
+    /// `true` if `s` currently holds the full cluster key `id`.
+    pub fn holds_key(&self, s: SubjectId, id: u32) -> bool {
+        self.parties[s.index()].ring.holds(id)
+    }
+
+    /// Which base relations a subject stores (the authority
+    /// partitioning computed by [`Session::open`]).
+    pub fn stored_relations(&self, s: SubjectId) -> Vec<RelId> {
+        self.catalog
+            .relations()
+            .iter()
+            .map(|r| r.rel)
+            .filter(|&r| self.parties[s.index()].store.table(r).is_some())
+            .collect()
+    }
+
+    /// Tear the session down: the party threads receive a shutdown
+    /// message and are joined. Dropping the session does the same;
+    /// `close` exists to make the teardown point explicit.
+    pub fn close(self) {}
+}

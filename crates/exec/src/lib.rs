@@ -22,7 +22,12 @@
 //!   scheme providing highest protection, while supporting the
 //!   operations to be executed", §6) and encrypted-literal rewriting of
 //!   dispatched predicates;
-//! * [`engine`] — the operator implementations.
+//! * [`engine`] — the operator implementations;
+//! * [`pool`] — intra-operator data parallelism: a shared-budget
+//!   worker pool whose handles outlive any single query, so the
+//!   long-lived party loops of an `mpq-dist` session draw from one
+//!   thread budget for their whole lifetime (chunked work stays
+//!   bit-deterministic for every worker count).
 
 pub mod engine;
 pub mod eval;

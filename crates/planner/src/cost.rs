@@ -123,37 +123,25 @@ fn tuple_work(plan: &QueryPlan, id: NodeId, est: &[Estimate], book: &PriceBook) 
     }
 }
 
-/// Rows an `Encrypt` node actually has to encrypt. The paper's
-/// footnote 2: a subject that knows the key "can operate on plaintext
-/// values and encrypt D afterwards" — so when the encryption and the
-/// selections directly above it run at the *same subject*, that
-/// subject filters first and encrypts only the surviving rows. The
-/// profile (and hence the authorization semantics) is unchanged; only
-/// the cost accounting benefits.
-fn effective_encrypt_rows(
-    plan: &QueryPlan,
-    id: NodeId,
-    est: &[Estimate],
-    assignment: &HashMap<NodeId, SubjectId>,
-) -> f64 {
-    let parents = plan.parents();
-    let subject = assignment[&id];
-    let mut rows = est[plan.node(id).children[0].index()].rows;
-    let mut cur = parents[id.index()];
-    while let Some(p) = cur {
-        let same = assignment.get(&p) == Some(&subject);
-        let filtering = matches!(
-            plan.node(p).op,
-            Operator::Select { .. } | Operator::Having { .. }
-        );
-        if same && filtering {
-            rows = rows.min(est[p.index()].rows);
-            cur = parents[p.index()];
-        } else {
-            break;
-        }
-    }
-    rows
+/// Rows an `Encrypt` node actually has to encrypt: every row of its
+/// input, exactly as the engine executes it.
+///
+/// This used to credit an `Encrypt` sitting below same-subject
+/// selections with the *post*-selection cardinality, invoking the
+/// paper's footnote 2 ("a subject that knows the key can operate on
+/// plaintext values and encrypt D afterwards"). But `mpq-exec`
+/// evaluates the extended plan bottom-up and performs no such
+/// reordering — the `Encrypt` runs first, over every input row, and
+/// the selection then filters ciphertexts. Charging the hypothetical
+/// filtered cardinality made every crypto-bearing provider-side plan
+/// look exactly as cheap as the all-at-user plan that avoids the
+/// encrypted selection, collapsing the q3/q6/q12 CostDp-vs-all-at-user
+/// pairs into model ties (`"decisive": false` in `CALIBRATION.json`)
+/// while measurement separated them by up to 3×. The model now prices
+/// the plan the engine runs; footnote 2 would be an *engine*
+/// optimization first, and only then a pricing rule.
+fn effective_encrypt_rows(plan: &QueryPlan, id: NodeId, est: &[Estimate]) -> f64 {
+    est[plan.node(id).children[0].index()].rows
 }
 
 /// Extra CPU seconds for cryptographic work at a node.
@@ -164,12 +152,11 @@ fn crypto_secs(
     profiles: &[Profile],
     schemes: &SchemePlan,
     book: &PriceBook,
-    assignment: &HashMap<NodeId, SubjectId>,
 ) -> f64 {
     let node = plan.node(id);
     match &node.op {
         Operator::Encrypt { attrs } => {
-            let rows = effective_encrypt_rows(plan, id, est, assignment);
+            let rows = effective_encrypt_rows(plan, id, est);
             let noop = noop_reencrypt_attrs(plan, id);
             attrs
                 .iter()
@@ -178,6 +165,10 @@ fn crypto_secs(
                 .sum()
         }
         Operator::Decrypt { attrs } => {
+            // Audited against the engine: `Decrypt` walks every input
+            // row once per listed attribute — input cardinality, not
+            // output (they coincide: decryption is row-preserving) and
+            // no filtering credit, mirroring `effective_encrypt_rows`.
             let rows = est[node.children[0].index()].rows;
             attrs
                 .iter()
@@ -283,8 +274,7 @@ pub fn cost_extended_plan(
 
         // CPU.
         let work = tuple_work(plan, id, est, book);
-        let secs = work * book.tuple_op_secs
-            + crypto_secs(plan, id, est, profiles, schemes, book, assignment);
+        let secs = work * book.tuple_op_secs + crypto_secs(plan, id, est, profiles, schemes, book);
         out.cpu += secs * prices.cpu_per_sec;
         out.time_secs += secs;
         out.cpu_secs += secs;
@@ -485,6 +475,83 @@ mod tests {
             "no-op re-encryption billed extra CPU: {} vs {}",
             with_pair.cpu,
             without.cpu
+        );
+    }
+
+    /// An `Encrypt` below a selection is priced at its *input*
+    /// cardinality — the rows the engine actually encrypts — whether or
+    /// not the selection above it runs at the same subject (regression:
+    /// same-subject selections used to credit the encryption with the
+    /// post-selection cardinality, underpricing every crypto-bearing
+    /// provider-side plan).
+    #[test]
+    fn encrypt_priced_at_pre_selection_rows() {
+        use mpq_algebra::QueryPlan;
+        use mpq_core::fixtures::RunningExample;
+
+        let ex = RunningExample::new();
+        let hosp = ex.catalog.relation("Hosp").unwrap().rel;
+        let s = ex.catalog.attr("S").unwrap();
+        let d = ex.catalog.attr("D").unwrap();
+        let user = ex.subject("U");
+        let h = ex.subject("H");
+
+        // Base → Encrypt{s} → Select(d = 'stroke') → Project.
+        let mut plan = QueryPlan::new();
+        let b = plan.add_base(hosp, vec![s, d]);
+        let e = plan.add(Operator::Encrypt { attrs: vec![s] }, vec![b]);
+        let sel = plan.add(
+            Operator::Select {
+                pred: Expr::col_eq(d, mpq_algebra::Value::str("stroke")),
+            },
+            vec![e],
+        );
+        plan.add(Operator::Project { attrs: vec![s, d] }, vec![sel]);
+
+        let stats = StatsCatalog::with_defaults(&ex.catalog, 10_000.0);
+        let est = crate::stats::estimates_for(&plan, &ex.catalog, &stats);
+        let base_rows = est[b.index()].rows;
+        let kept_rows = est[sel.index()].rows;
+        assert!(
+            kept_rows < base_rows,
+            "fixture must actually filter: {kept_rows} vs {base_rows}"
+        );
+        let profiles = mpq_core::profile::profile_plan(&plan);
+        let schemes = mpq_exec::assign_schemes(&plan).unwrap();
+        let book = crate::pricing::PriceBook::paper_defaults(&ex.subjects, &[1.0]);
+        let cost_with_select_at = |select_subject: SubjectId| {
+            let mut assignment: HashMap<NodeId, SubjectId> =
+                plan.postorder().into_iter().map(|id| (id, h)).collect();
+            assignment.insert(sel, select_subject);
+            cost_extended_plan(
+                &plan,
+                &assignment,
+                &ex.catalog,
+                &stats,
+                &est,
+                &profiles,
+                &schemes,
+                &book,
+                user,
+            )
+        };
+        // Crypto seconds must not depend on who runs the selection.
+        let same_subject = cost_with_select_at(h);
+        let cross_subject = cost_with_select_at(user);
+        assert!(
+            (same_subject.cpu_secs - cross_subject.cpu_secs).abs() < 1e-12,
+            "same-subject selection changed modeled compute: {} vs {}",
+            same_subject.cpu_secs,
+            cross_subject.cpu_secs
+        );
+        // And the encryption itself is priced at the full base input.
+        let scheme = schemes.scheme_of(s);
+        let encrypt_secs = base_rows * book.encrypt_secs(scheme);
+        let tuple_secs = plan_tuple_ops(&plan, &est, &book) * book.tuple_op_secs;
+        assert!(
+            (same_subject.cpu_secs - (tuple_secs + encrypt_secs)).abs() < 1e-9,
+            "expected {tuple_secs} + {encrypt_secs}, got {}",
+            same_subject.cpu_secs
         );
     }
 

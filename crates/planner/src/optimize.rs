@@ -91,6 +91,32 @@ impl std::fmt::Display for OptError {
 impl std::error::Error for OptError {}
 
 /// Run the full §6 pipeline and return the cheapest found plan.
+///
+/// # Example
+///
+/// Optimize TPC-H Q6 under the UAPenc scenario — the output carries
+/// the minimally extended plan, its Def. 6.1 key establishment, and
+/// the exact cost breakdown, ready for `mpq-dist` to execute:
+///
+/// ```
+/// use mpq_core::capability::CapabilityPolicy;
+/// use mpq_planner::{build_scenario, optimize, Scenario, Strategy};
+/// use mpq_planner::stats::{collect_stats, SampleConfig};
+/// use mpq_tpch::{generate, query_plan};
+///
+/// let (catalog, db) = generate(0.001, 42);
+/// let stats = collect_stats(&catalog, &db, &SampleConfig::default());
+/// let env = build_scenario(&catalog, Scenario::UAPenc);
+/// let plan = query_plan(&catalog, 6);
+///
+/// let opt = optimize(
+///     &plan, &catalog, &stats, &env,
+///     &CapabilityPolicy::tpch_evaluation(), Strategy::CostDp,
+/// ).unwrap();
+/// assert!(opt.cost.total() > 0.0);
+/// // Every node of the extended plan has an authorized assignee.
+/// assert_eq!(opt.extended.assignment.len(), opt.extended.plan.postorder().len());
+/// ```
 pub fn optimize(
     plan: &QueryPlan,
     catalog: &Catalog,

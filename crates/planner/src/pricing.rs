@@ -29,10 +29,10 @@
 //! single largest source of the Figure 10 gap.)
 //!
 //! With the calibrated book the reproduction's Figure 10 reports
-//! cumulative savings versus UA of **≈53% (UAPenc)** and **≈89%
+//! cumulative savings versus UA of **≈52% (UAPenc)** and **≈87%
 //! (UAPmix)**, against the paper's 54.2% and 71.3% (exact pinned
 //! values in `mpq-bench`'s `figure10_pin` test). Residual gap: UAPenc
-//! is within ~1 point of the paper; UAPmix *overshoots* because our
+//! is within ~2 points of the paper; UAPmix *overshoots* because our
 //! reconstructed mix scenario puts every join key in the providers'
 //! plaintext half (required for Def. 4.1 uniform visibility under our
 //! per-relation split, see `scenario.rs`), so providers execute almost

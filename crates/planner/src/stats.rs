@@ -64,6 +64,26 @@ impl Default for SampleConfig {
 /// Collect statistics for every relation of `catalog` that has a table
 /// loaded in `db`. Relations without data are left unregistered (the
 /// estimator falls back to its type-based defaults for them).
+///
+/// # Example
+///
+/// Sample generated TPC-H data and scale the population up, as the
+/// Figure 9/10 pipeline does:
+///
+/// ```
+/// use mpq_planner::stats::{collect_stats, SampleConfig};
+/// use mpq_tpch::generate;
+///
+/// let (catalog, db) = generate(0.001, 42);
+/// let mut stats = collect_stats(&catalog, &db, &SampleConfig::default());
+/// let lineitem = catalog.relation("lineitem").unwrap().rel;
+/// let sampled = stats.table(lineitem).unwrap().rows;
+/// assert!(sampled > 0.0);
+/// // Extrapolate the sampled catalog to SF 1 (PostgreSQL's
+/// // ndv-scaling convention): row counts grow by the ratio.
+/// stats.scale_population(1000.0);
+/// assert!(stats.table(lineitem).unwrap().rows > sampled);
+/// ```
 pub fn collect_stats(catalog: &Catalog, db: &Database, cfg: &SampleConfig) -> StatsCatalog {
     let mut out = StatsCatalog::new();
     for rel in catalog.relations() {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Fail on broken *relative* links in the repo's top-level Markdown docs.
+#
+# Extracts every inline Markdown link target from the files passed as
+# arguments (default: README.md ARCHITECTURE.md), skips absolute URLs
+# (http/https/mailto) and pure in-page anchors (#…), strips any
+# trailing anchor from relative targets, and checks the referenced file
+# or directory exists relative to the repo root. Exits non-zero listing
+# every broken link. Deliberately grep/sed only — no extra tooling in
+# CI or locally.
+set -u
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+    files=(README.md ARCHITECTURE.md)
+fi
+
+status=0
+for f in "${files[@]}"; do
+    if [ ! -f "$f" ]; then
+        echo "MISSING DOC: $f"
+        status=1
+        continue
+    fi
+    # Inline links: [text](target). The capture stops at ')' or a
+    # space (titles like [t](x "title") keep only x).
+    targets=$(grep -o '\](\([^) ]*\)[^)]*)' "$f" | sed 's/^](//; s/[") ]*$//; s/ .*$//')
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+            '#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$path" ]; then
+            echo "BROKEN LINK in $f: ($target) → $path does not exist"
+            status=1
+        fi
+    done <<< "$targets"
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "all relative links resolve (${files[*]})"
+fi
+exit "$status"

@@ -24,8 +24,11 @@
 //! authorizations, candidates, minimal extension, keys, dispatch),
 //! [`crypto`] (the four encryption schemes + envelopes), [`exec`]
 //! (plaintext/encrypted execution), [`tpch`] (the §7 workload),
-//! [`planner`] (economic optimization), and [`dist`] (the
-//! distributed-execution simulator).
+//! [`planner`] (economic optimization), and [`dist`] (the distributed
+//! runtime: persistent multi-query [`dist::Session`]s and the
+//! one-query [`dist::Simulator`]). The repository-level
+//! `ARCHITECTURE.md` maps the crates, the life of a query, and every
+//! paper definition to its module and test.
 
 pub use mpq_algebra as algebra;
 pub use mpq_core as core;

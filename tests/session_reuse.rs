@@ -1,0 +1,282 @@
+//! Session-reuse differential tests: a persistent `Session` executing
+//! N queries must be observationally equivalent to N fresh
+//! `Simulator::run`s — same decrypted results, same data-flow bytes on
+//! every edge, same signed-request accounting — while provisioning each
+//! Def. 6.1 cluster exactly once.
+//!
+//! The byte comparison is deliberately split: *data-flow* bytes
+//! ([`Report::data_bytes`]) are a deterministic function of the key
+//! material and the execution seed, so when the session provisions its
+//! clusters at the same RNG position a fresh simulator would (its first
+//! query), every later query's ciphertexts — and hence per-edge byte
+//! counts — are bit-identical to a fresh run's. Request-*envelope*
+//! bytes draw fresh hybrid session keys per query and are compared as
+//! edge sets and request counts, not byte-for-byte.
+
+use mpq::algebra::Value;
+use mpq::core::candidates::{candidates, Candidates};
+use mpq::core::capability::CapabilityPolicy;
+use mpq::core::extend::{minimally_extend, Assignment, ExtendedPlan};
+use mpq::core::fixtures::RunningExample;
+use mpq::core::keys::{plan_keys, KeyPlan};
+use mpq::dist::{Report, Session, SimError, Simulator};
+use mpq::exec::Database;
+use proptest::prelude::*;
+
+fn sample_db(ex: &RunningExample) -> Database {
+    let mut db = Database::new();
+    db.load(&ex.catalog, "Hosp", RunningExample::sample_hosp_rows());
+    db.load(&ex.catalog, "Ins", RunningExample::sample_ins_rows());
+    db
+}
+
+/// Load `Hosp`/`Ins` with patients drawn from `picks` (one byte of
+/// entropy per patient), as in the runtime differential tests.
+fn load_random(ex: &RunningExample, picks: &[u8]) -> Database {
+    let diagnoses = ["stroke", "flu", "fracture"];
+    let treatments = ["tPA", "rest", "surgery"];
+    let mut db = Database::new();
+    let mut hosp = Vec::new();
+    let mut ins = Vec::new();
+    for (i, &p) in picks.iter().enumerate() {
+        let name = format!("patient{i}");
+        let birth = mpq::algebra::Date::parse("1970-01-01").unwrap();
+        hosp.push(vec![
+            Value::str(&name),
+            Value::Date(birth),
+            Value::str(diagnoses[(p % 3) as usize]),
+            Value::str(treatments[((p >> 2) % 3) as usize]),
+        ]);
+        ins.push(vec![
+            Value::str(&name),
+            Value::Num(50.0 + f64::from(p) * 1.5),
+        ]);
+    }
+    db.load(&ex.catalog, "Hosp", hosp);
+    db.load(&ex.catalog, "Ins", ins);
+    db
+}
+
+fn lambda(ex: &RunningExample) -> Candidates {
+    candidates(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        &CapabilityPolicy::default(),
+        true,
+    )
+}
+
+/// Draw one assignment from Λ and minimally extend it.
+fn extend_choice(
+    ex: &RunningExample,
+    cands: &Candidates,
+    choice: &[u16],
+) -> (ExtendedPlan, KeyPlan) {
+    let mut assignment = Assignment::new();
+    for (node, c) in ex.operations().into_iter().zip(choice) {
+        let set = cands.of(node);
+        assignment.set(node, set[*c as usize % set.len()]);
+    }
+    let ext = minimally_extend(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        cands,
+        &assignment,
+        Some(ex.subject("U")),
+    )
+    .expect("assignments drawn from Λ extend (Theorem 5.2)");
+    let keys = plan_keys(&ext);
+    (ext, keys)
+}
+
+fn assert_rows_match(a: &Report, b: &Report, what: &str) {
+    assert_eq!(a.result.cols, b.result.cols, "{what}: column mismatch");
+    assert_eq!(
+        a.result.rows.len(),
+        b.result.rows.len(),
+        "{what}: row count"
+    );
+    for (ra, rb) in a.result.rows.iter().zip(&b.result.rows) {
+        for (x, y) in ra.iter().zip(rb) {
+            assert!(x.sql_eq(y), "{what}: cell {x:?} vs {y:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// N repetitions of one query through a single `Session` are
+    /// bit-equivalent (results *and* data-flow bytes per edge) to N
+    /// fresh `Simulator::run`s, with every cluster provisioned once.
+    #[test]
+    fn session_queries_match_fresh_simulator_runs(
+        seed in any::<u64>(),
+        picks in proptest::collection::vec(any::<u8>(), 4..9),
+        choice in proptest::collection::vec(any::<u16>(), 4),
+        n in 2usize..5,
+    ) {
+        let ex = RunningExample::new();
+        let db = load_random(&ex, &picks);
+        let cands = lambda(&ex);
+        let (ext, keys) = extend_choice(&ex, &cands, &choice);
+        let user = ex.subject("U");
+
+        let mut session = Session::open(&ex.catalog, &ex.subjects, &ex.policy, &db, seed);
+        for i in 0..n {
+            let via_session = session
+                .execute(&ext, &keys, user)
+                .expect("authorized session query");
+            let fresh = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, seed)
+                .run(&ext, &keys, user)
+                .expect("authorized fresh run");
+            assert_rows_match(&via_session, &fresh, &format!("query {i}"));
+            // Ciphertext-sensitive probe: the session reuses the very
+            // material a fresh simulator would generate (same RNG
+            // position), so data bytes agree edge by edge, bit for bit.
+            prop_assert_eq!(via_session.data_bytes(), fresh.data_bytes(), "query {}", i);
+            prop_assert_eq!(via_session.requests, fresh.requests);
+            // Envelope session keys are fresh per query; the *edges*
+            // (who is asked to compute) must still be identical.
+            let mut se: Vec<_> = via_session.request_bytes.keys().copied().collect();
+            let mut fe: Vec<_> = fresh.request_bytes.keys().copied().collect();
+            se.sort_unstable();
+            fe.sort_unstable();
+            prop_assert_eq!(se, fe);
+        }
+
+        // Amortization actually happened: each cluster was generated
+        // once, then served from the cache for the n-1 repeats.
+        let stats = session.stats();
+        prop_assert_eq!(stats.clusters_provisioned, keys.keys.len());
+        prop_assert_eq!(stats.clusters_reused, (n - 1) * keys.keys.len());
+        prop_assert_eq!(session.cached_clusters(), keys.keys.len());
+    }
+
+    /// A mixed workload (two assignments alternating) through one
+    /// session still matches fresh runs query-for-query on results and
+    /// request accounting. Clusters provisioned after the first query
+    /// draw from a different RNG position than a fresh simulator's, so
+    /// ciphertext bytes are not comparable here — decrypted results and
+    /// the wire graph are.
+    #[test]
+    fn mixed_workload_matches_fresh_runs(
+        seed in any::<u64>(),
+        picks in proptest::collection::vec(any::<u8>(), 4..9),
+        choice_a in proptest::collection::vec(any::<u16>(), 4),
+        choice_b in proptest::collection::vec(any::<u16>(), 4),
+    ) {
+        let ex = RunningExample::new();
+        let db = load_random(&ex, &picks);
+        let cands = lambda(&ex);
+        let items = [
+            extend_choice(&ex, &cands, &choice_a),
+            extend_choice(&ex, &cands, &choice_b),
+        ];
+        let user = ex.subject("U");
+
+        let mut session = Session::open(&ex.catalog, &ex.subjects, &ex.policy, &db, seed);
+        for round in 0..2 {
+            for (i, (ext, keys)) in items.iter().enumerate() {
+                let via_session = session
+                    .execute(ext, keys, user)
+                    .expect("authorized session query");
+                let fresh = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, seed)
+                    .run(ext, keys, user)
+                    .expect("authorized fresh run");
+                assert_rows_match(&via_session, &fresh, &format!("round {round} item {i}"));
+                prop_assert_eq!(via_session.requests, fresh.requests);
+                let mut st: Vec<_> = via_session.transfers.keys().copied().collect();
+                let mut ft: Vec<_> = fresh.transfers.keys().copied().collect();
+                st.sort_unstable();
+                ft.sort_unstable();
+                prop_assert_eq!(st, ft, "wire graph diverged");
+            }
+        }
+        // Round 2 provisioned nothing new.
+        let stats = session.stats();
+        let total: usize = items.iter().map(|(_, k)| k.keys.len()).sum();
+        prop_assert!(stats.clusters_provisioned <= total);
+        prop_assert!(stats.clusters_reused >= total);
+    }
+}
+
+/// Revocation punches through the cache: the next query needing the
+/// cluster must re-provision fresh material under a new id — a revoked
+/// key never comes back from the cache.
+#[test]
+fn revoke_forces_reprovisioning() {
+    let ex = RunningExample::new();
+    let db = sample_db(&ex);
+    let ext = ex.fig7a_extended();
+    let keys = plan_keys(&ext);
+    let user = ex.subject("U");
+    let y = ex.subject("Y");
+
+    let mut session = Session::open(&ex.catalog, &ex.subjects, &ex.policy, &db, 41);
+    session.execute(&ext, &keys, user).expect("first query");
+    session.execute(&ext, &keys, user).expect("second query");
+    assert_eq!(session.stats().clusters_provisioned, 2);
+    assert_eq!(session.stats().clusters_reused, 2);
+
+    // k_P (held by I and Y) got session id 1 on first provisioning
+    // (session ids follow KeyPlan order for a fresh session).
+    let k_p = keys.key_for(ex.attr("P")).unwrap().id;
+    assert!(session.holds_key(y, k_p));
+    session.revoke_key(k_p);
+    assert!(!session.holds_key(y, k_p), "revoked key still held");
+    assert_eq!(session.cached_clusters(), 1, "cache entry must go too");
+
+    // The next query is *not* served the revoked material: the cluster
+    // is regenerated under a fresh session id, and the query succeeds.
+    let report = session
+        .execute(&ext, &keys, user)
+        .expect("post-revoke query");
+    assert!(!report.result.rows.is_empty());
+    assert_eq!(session.stats().clusters_provisioned, 3);
+    assert!(!session.holds_key(y, k_p), "old id must not be re-used");
+    assert!(session.holds_key(y, 2), "fresh material under a new id");
+}
+
+/// A failed query aborts cleanly and leaves the session serving.
+#[test]
+fn errors_abort_the_query_not_the_session() {
+    let ex = RunningExample::new();
+    let db = sample_db(&ex);
+    let ext = ex.fig7a_extended();
+    let keys = plan_keys(&ext);
+    let user = ex.subject("U");
+
+    let mut session = Session::open(&ex.catalog, &ex.subjects, &ex.policy, &db, 43);
+    session.execute(&ext, &keys, user).expect("healthy query");
+
+    // Tamper: reassign the final plaintext having to provider X, which
+    // is not authorized for it — refused at the runtime re-check.
+    let mut bad = ext.clone();
+    bad.assignment.insert(ex.node("having"), ex.subject("X"));
+    match session.execute(&bad, &keys, user) {
+        Err(SimError::Unauthorized { subject, .. }) => assert_eq!(subject, ex.subject("X")),
+        other => panic!("expected Unauthorized, got {other:?}"),
+    }
+
+    // Strip a holder so decryption fails *mid-execution* (behavioral
+    // abort, exercising the runtime's abort/drain protocol)…
+    let mut weak_keys = keys.clone();
+    for key in &mut weak_keys.keys {
+        key.holders.retain(|&s| s != ex.subject("Y"));
+    }
+    let mut weak_session = Session::open(&ex.catalog, &ex.subjects, &ex.policy, &db, 47);
+    match weak_session.execute(&ext, &weak_keys, user) {
+        Err(SimError::Exec(mpq::exec::ExecError::MissingKey { .. })) => {}
+        other => panic!("expected MissingKey, got {other:?}"),
+    }
+    // …and the session still serves the next (healthy) query.
+    let report = weak_session
+        .execute(&ext, &keys, user)
+        .expect("session survives a failed query");
+    assert!(!report.result.rows.is_empty());
+}
