@@ -414,8 +414,14 @@ impl QueryPlan {
                             "node {id}: predicate references non-visible attributes"
                         )));
                     }
+                    // Look through spliced crypto operators: an
+                    // extended plan may interpose Encrypt/Decrypt
+                    // between HAVING and its GROUP BY.
                     if matches!(node.op, Operator::Having { .. })
-                        && !matches!(self.nodes[child(0).index()].op, Operator::GroupBy { .. })
+                        && !matches!(
+                            self.nodes[self.through_crypto(child(0)).index()].op,
+                            Operator::GroupBy { .. }
+                        )
                     {
                         return Err(AlgebraError::InvalidPlan(format!(
                             "node {id}: HAVING over a non-GroupBy child"

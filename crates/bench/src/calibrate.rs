@@ -238,7 +238,10 @@ fn time_paillier_add() -> f64 {
     let mut rng = StdRng::seed_from_u64(9);
     let pk = key.paillier_public();
     let cells: Vec<Value> = (0..64)
-        .map(|i| encrypt_value(&mut rng, &Value::Int(i), EncScheme::Paillier, &key).unwrap())
+        .map(|i| {
+            encrypt_value(&mut rng, &Value::Int(i), EncScheme::Paillier, &key)
+                .expect("Paillier encryption of a small integer cannot fail")
+        })
         .collect();
     let enc = |v: &Value| match v {
         Value::Enc(e) => e.clone(),

@@ -163,6 +163,30 @@ impl SubjectView {
         }
         Ok(())
     }
+
+    /// Like [`SubjectView::check`] but exhaustive: *every* violated
+    /// Def. 4.1 condition, one [`AuthzViolation::NonUniform`] per
+    /// offending equivalence class. Empty exactly when
+    /// [`SubjectView::authorized_for`] holds — the static verifier uses
+    /// this so one diagnostic run names the complete repair surface
+    /// instead of the first obstacle.
+    pub fn explain_failure(&self, profile: &Profile) -> Vec<AuthzViolation> {
+        let mut out = Vec::new();
+        let c1 = profile.vp.union(&profile.ip).difference(&self.plain);
+        if !c1.is_empty() {
+            out.push(AuthzViolation::Plaintext(c1));
+        }
+        let c2 = profile.ve.union(&profile.ie).difference(&self.visible());
+        if !c2.is_empty() {
+            out.push(AuthzViolation::Encrypted(c2));
+        }
+        for class in profile.eq.classes() {
+            if !(class.is_subset(&self.plain) || class.is_subset(&self.enc)) {
+                out.push(AuthzViolation::NonUniform(class.clone()));
+            }
+        }
+        out
+    }
 }
 
 /// Why an authorization check failed (the three conditions of Def. 4.1).
@@ -306,5 +330,56 @@ mod tests {
             .policy
             .subject_view(&ex.catalog, ex.subjects.id("U").unwrap());
         assert!(u.authorized_for(&profile));
+    }
+
+    /// [`SubjectView::check`] stops at the first obstacle;
+    /// [`SubjectView::explain_failure`] must return *every* violated
+    /// condition so a single verifier run names the full repair
+    /// surface.
+    #[test]
+    fn explain_failure_reports_all_conditions() {
+        let ex = RunningExample::new();
+        // Against H's view (plaintext over Hosp only): plaintext P
+        // violates cond. 1, encrypted C violates cond. 2 (H has no
+        // visibility over Ins.C in any form? — H *can* see C encrypted
+        // via the any-subject rule, so use two eq classes instead),
+        // and the class {S, C} plus the class {B, P} are each
+        // non-uniform.
+        let mut eq = EqClasses::new();
+        eq.insert_class(&ex.attrs("SC"));
+        eq.insert_class(&ex.attrs("BP"));
+        let profile = Profile {
+            vp: ex.attrs("P"),
+            ve: ex.attrs("BSC"),
+            ip: AttrSet::new(),
+            ie: AttrSet::new(),
+            eq,
+        };
+        let h = ex
+            .policy
+            .subject_view(&ex.catalog, ex.subjects.id("H").unwrap());
+        let all = h.explain_failure(&profile);
+        let plaintext = all
+            .iter()
+            .filter(|v| matches!(v, AuthzViolation::Plaintext(_)))
+            .count();
+        let non_uniform = all
+            .iter()
+            .filter(|v| matches!(v, AuthzViolation::NonUniform(_)))
+            .count();
+        assert_eq!(plaintext, 1, "{all:?}");
+        assert!(non_uniform >= 1, "{all:?}");
+        assert!(all.len() >= 2, "multiple conditions reported: {all:?}");
+        // The first entry agrees with `check`'s single verdict.
+        assert_eq!(h.check(&profile).unwrap_err(), all[0].clone());
+        // And an authorized profile explains to nothing.
+        let clean = Profile {
+            vp: ex.attrs("SBDT"),
+            ve: AttrSet::new(),
+            ip: AttrSet::new(),
+            ie: AttrSet::new(),
+            eq: EqClasses::new(),
+        };
+        assert!(h.explain_failure(&clean).is_empty());
     }
 }

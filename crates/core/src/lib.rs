@@ -24,6 +24,9 @@
 //!   equivalence classes (Def. 6.1);
 //! * [`dispatch`] — sub-query generation and signed/encrypted request
 //!   envelopes (§6, Fig. 8);
+//! * [`verify`] — the static multi-pass verifier: typed `MPQ0xx`
+//!   diagnostics proving an extended plan authorized, leak-free,
+//!   key-complete and scheme/type-sound before execution;
 //! * [`fixtures`] — the paper's running example (Hosp ⋈ Ins), reused by
 //!   tests, examples and benchmarks.
 
@@ -36,6 +39,7 @@ pub mod fixtures;
 pub mod keys;
 pub mod profile;
 pub mod subjects;
+pub mod verify;
 
 pub use authz::{Authorization, Policy, SubjectView};
 pub use candidates::{candidates, CandidateSet, Candidates};
@@ -44,3 +48,4 @@ pub use extend::{minimally_extend, Assignment, ExtendedPlan};
 pub use keys::{plan_keys, KeyPlan};
 pub use profile::{profile_plan, propagate, EqClasses, Profile};
 pub use subjects::{SubjectKind, Subjects};
+pub use verify::{verify_extended, verify_with_policy, Code, Diagnostic, Severity, VerifyReport};

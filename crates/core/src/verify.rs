@@ -1,0 +1,1546 @@
+//! `mpq-verify` — static authorization & information-flow verification
+//! of extended query plans.
+//!
+//! The simulator enforces the paper's security model *dynamically*:
+//! Def. 4.1 is re-checked per node before execution, every transferred
+//! table is cell-audited at its receiver, and a missing Def. 6.1 key
+//! aborts mid-query. Both bug classes shipped so far (the through-crypto
+//! `GROUP BY` profile loss, the OPE literal-type miscoding) were
+//! *statically decidable* defects of the plan itself — no data needed.
+//! This module is the execution-free oracle: a multi-pass analyzer over
+//! an [`ExtendedPlan`] + [`KeyPlan`] that emits typed, coded
+//! diagnostics before a single ciphertext is produced.
+//!
+//! The passes, and the runtime checks they twin:
+//!
+//! | code | pass | dynamic counterpart |
+//! |------|------|---------------------|
+//! | [`Code::UnauthorizedAssignee`] | Def. 4.1 closure over every node's operand and result profiles | `SimError::Unauthorized` |
+//! | [`Code::PlaintextLeak`] | per subject-pair edge: visible plaintext ⊆ receiver's `P_S` | the wire audit's `SimError::LeakedPlaintext` / `InvisibleAttribute` |
+//! | [`Code::KeyUnavailable`] | every crypto op's assignee holds a covering Def. 6.1 cluster | `ExecError::MissingKey` |
+//! | [`Code::SchemeConflict`] | capability conflict (homomorphic + comparison) per encrypted attribute | `SchemeError::Conflicting` |
+//! | [`Code::TypeMismatch`] | literal/column type agreement in predicates | silent empty results (the PR 3 bug class) |
+//! | [`Code::Malformed`] | structural validity, crypto-op coherence, `HAVING`-through-crypto | planner panics / wrong profiles (the PR 1 bug class) |
+//! | [`Code::FlowDivergence`] | N-version cross-check of profile propagation | — (meta: catches bugs in the analyses themselves) |
+//! | [`Code::BadAssignment`] | completeness of λ and leaf/authority agreement | `SimError::Unassigned` / `NotTheAuthority` |
+//!
+//! **Flow soundness is N-versioned**: this module re-derives the Fig. 2
+//! profile propagation from the paper with an independent
+//! representation (per-attribute form sets + an edge-list equivalence
+//! closure, instead of `profile.rs`'s `AttrSet` quintuples and
+//! class-vector merging) and cross-checks the two derivations node by
+//! node, as well as against the profile annotations the plan carries.
+//! A divergence means one of the implementations — or the annotation
+//! the runtime would trust — is wrong, and is itself a diagnostic.
+
+use crate::authz::{Policy, SubjectView};
+use crate::extend::ExtendedPlan;
+use crate::keys::KeyPlan;
+use crate::profile::{profile_plan, resolve_agg_refs, EqClasses, Profile};
+use crate::subjects::Subjects;
+use mpq_algebra::{
+    AggFunc, AttrId, AttrSet, Catalog, CmpOp, DataType, Expr, NodeId, Operator, QueryPlan,
+    SubjectId, Value,
+};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// diagnostics
+// ---------------------------------------------------------------------
+
+/// Diagnostic severity. Every pass currently reports at
+/// [`Severity::Error`]: each finding names a plan the runtime would
+/// refuse or execute unsafely. The distinction exists so future
+/// advisory passes (cost smells, redundant crypto) can ride the same
+/// reporting pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: the plan executes, but something is suspicious.
+    Warning,
+    /// The plan is unsafe or unexecutable.
+    Error,
+}
+
+/// Typed diagnostic codes, one per verification pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// MPQ001 — a node's assignee fails Def. 4.1 for a profile it
+    /// touches (operand or result).
+    UnauthorizedAssignee,
+    /// MPQ002 — a subject-pair edge carries a plaintext (or invisible)
+    /// attribute the receiver's view does not permit.
+    PlaintextLeak,
+    /// MPQ003 — a crypto operation's assignee holds no covering
+    /// Def. 6.1 cluster key, or an encrypted attribute has no key at
+    /// all.
+    KeyUnavailable,
+    /// MPQ004 — an encrypted attribute needs both homomorphic addition
+    /// and comparison: no single scheme supports the plan.
+    SchemeConflict,
+    /// MPQ005 — a predicate compares a column against a literal of an
+    /// incompatible type.
+    TypeMismatch,
+    /// MPQ006 — the plan is structurally ill-formed (validation error,
+    /// crypto op over the wrong form, `HAVING` detached from its
+    /// `GROUP BY`).
+    Malformed,
+    /// MPQ007 — the N-version profile derivations (or the plan's
+    /// carried profile annotations) disagree.
+    FlowDivergence,
+    /// MPQ008 — a node is unassigned, or a leaf is assigned away from
+    /// its data authority.
+    BadAssignment,
+}
+
+impl Code {
+    /// The stable `MPQ0xx` identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnauthorizedAssignee => "MPQ001",
+            Code::PlaintextLeak => "MPQ002",
+            Code::KeyUnavailable => "MPQ003",
+            Code::SchemeConflict => "MPQ004",
+            Code::TypeMismatch => "MPQ005",
+            Code::Malformed => "MPQ006",
+            Code::FlowDivergence => "MPQ007",
+            Code::BadAssignment => "MPQ008",
+        }
+    }
+
+    /// Short human title of the pass.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::UnauthorizedAssignee => "assignee fails Def. 4.1",
+            Code::PlaintextLeak => "plaintext reaches unauthorized subject",
+            Code::KeyUnavailable => "Def. 6.1 key not available to assignee",
+            Code::SchemeConflict => "no encryption scheme supports the plan",
+            Code::TypeMismatch => "literal/column type mismatch",
+            Code::Malformed => "ill-formed plan",
+            Code::FlowDivergence => "profile derivations disagree",
+            Code::BadAssignment => "incomplete or misassigned λ",
+        }
+    }
+
+    /// All codes, in numeric order (for docs and reports).
+    pub const ALL: [Code; 8] = [
+        Code::UnauthorizedAssignee,
+        Code::PlaintextLeak,
+        Code::KeyUnavailable,
+        Code::SchemeConflict,
+        Code::TypeMismatch,
+        Code::Malformed,
+        Code::FlowDivergence,
+        Code::BadAssignment,
+    ];
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: code, severity, the offending node (with its root-path
+/// rendered span-style), and a human message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which pass fired.
+    pub code: Code,
+    /// How bad it is.
+    pub severity: Severity,
+    /// The offending node, when the finding is node-local.
+    pub node: Option<NodeId>,
+    /// Root-to-node operator path (`γ[n4] ▸ decrypt[n7] ▸ σᵧ[n5]`),
+    /// empty for plan-global findings.
+    pub path: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{}]", self.code)?;
+        if !self.path.is_empty() {
+            write!(f, " at {}", self.path)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of a verification run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// `true` when no pass found anything.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The distinct codes that fired, in numeric order.
+    pub fn codes(&self) -> Vec<Code> {
+        let mut set: Vec<Code> = self.diagnostics.iter().map(|d| d.code).collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// `true` if some diagnostic carries `code`.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Findings per code, in numeric order (for report tables).
+    pub fn counts(&self) -> Vec<(Code, usize)> {
+        Code::ALL
+            .iter()
+            .filter_map(|&c| {
+                let n = self.diagnostics.iter().filter(|d| d.code == c).count();
+                (n > 0).then_some((c, n))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "verify: clean (0 diagnostics)");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// entry points
+// ---------------------------------------------------------------------
+
+/// Statically verify an extended plan against its key establishment.
+///
+/// `views` are the per-subject overall views, indexed by
+/// `SubjectId::index()` (as produced by [`Policy::all_views`]);
+/// `deliver_to` names the subject receiving the final result, if any —
+/// the root → user delivery is then checked like any other edge.
+///
+/// The report is empty exactly when every pass is satisfied; see the
+/// [module docs](self) for what each pass proves.
+pub fn verify_extended(
+    ext: &ExtendedPlan,
+    keys: &KeyPlan,
+    catalog: &Catalog,
+    subjects: &Subjects,
+    views: &[SubjectView],
+    deliver_to: Option<SubjectId>,
+) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    let plan = &ext.plan;
+    let order = plan.postorder();
+    let parents = plan.parents();
+
+    // `fresh` is profile.rs's derivation; `shadow` is this module's
+    // independent one. They must agree with each other and with the
+    // annotations carried by the extended plan.
+    let fresh = profile_plan(plan);
+    let shadow = shadow_plan(plan);
+
+    // ---- pass 0: well-formedness (everything else assumes it) -------
+    pass_wellformed(ext, catalog, &shadow, &order, &parents, &mut report);
+
+    // ---- pass 1: flow soundness, N-versioned ------------------------
+    pass_flow_divergence(ext, &order, &parents, &fresh, &shadow, catalog, &mut report);
+
+    // ---- pass 2: assignment completeness ----------------------------
+    pass_assignment(ext, subjects, &order, &parents, &mut report);
+
+    // ---- pass 3: Def. 4.1 closure -----------------------------------
+    pass_authorization(
+        ext,
+        subjects,
+        views,
+        &fresh,
+        &order,
+        &parents,
+        catalog,
+        &mut report,
+    );
+
+    // ---- pass 4: per-edge plaintext leaks (shadow-derived) ----------
+    pass_edges(
+        ext,
+        subjects,
+        views,
+        &shadow,
+        deliver_to,
+        &order,
+        &parents,
+        catalog,
+        &mut report,
+    );
+
+    // ---- pass 5: key availability -----------------------------------
+    pass_keys(
+        ext,
+        keys,
+        subjects,
+        &shadow,
+        &order,
+        &parents,
+        catalog,
+        &mut report,
+    );
+
+    // ---- pass 6: scheme & literal-type soundness --------------------
+    pass_schemes(ext, &shadow, &order, &parents, catalog, &mut report);
+    pass_literal_types(ext, &order, &parents, catalog, &mut report);
+
+    report
+}
+
+/// [`verify_extended`] with the views derived from a [`Policy`] — the
+/// convenient form for callers holding the policy rather than
+/// materialized views.
+pub fn verify_with_policy(
+    ext: &ExtendedPlan,
+    keys: &KeyPlan,
+    catalog: &Catalog,
+    subjects: &Subjects,
+    policy: &Policy,
+    deliver_to: Option<SubjectId>,
+) -> VerifyReport {
+    let views = policy.all_views(catalog, subjects);
+    verify_extended(ext, keys, catalog, subjects, &views, deliver_to)
+}
+
+// ---------------------------------------------------------------------
+// shadow propagation: the independent Fig. 2 re-derivation
+// ---------------------------------------------------------------------
+
+/// The shadow flow state of one relation: which attributes are visible
+/// in which form, which leaked implicitly, and which became mutually
+/// derivable. Deliberately *not* [`Profile`]: plain `BTreeSet`s of raw
+/// ids and an edge list whose transitive closure is the equivalence
+/// relation, so the derivation shares no set algebra with
+/// `profile.rs`.
+#[derive(Clone, Debug, Default)]
+struct Shadow {
+    /// Attributes visible in plaintext (`R^vp`).
+    plain: BTreeSet<u32>,
+    /// Attributes visible encrypted (`R^ve`).
+    cipher: BTreeSet<u32>,
+    /// Implicit plaintext exposure (`R^ip`).
+    hinted_plain: BTreeSet<u32>,
+    /// Implicit encrypted exposure (`R^ie`).
+    hinted_cipher: BTreeSet<u32>,
+    /// Derivability edges; connected components = `R^≃`.
+    links: Vec<(u32, u32)>,
+}
+
+impl Shadow {
+    fn base(attrs: &[AttrId]) -> Shadow {
+        Shadow {
+            plain: attrs.iter().map(|a| a.0).collect(),
+            ..Shadow::default()
+        }
+    }
+
+    /// Fig. 2 σ rule: attributes compared to constants leak implicitly
+    /// in their current form; attribute pairs become derivable.
+    fn condition(&mut self, consts: &AttrSet, pairs: &[(AttrId, AttrId)]) {
+        for a in consts.iter() {
+            if self.plain.contains(&a.0) {
+                self.hinted_plain.insert(a.0);
+            }
+            if self.cipher.contains(&a.0) {
+                self.hinted_cipher.insert(a.0);
+            }
+        }
+        for (a, b) in pairs {
+            self.links.push((a.0, b.0));
+        }
+    }
+
+    /// Fig. 2 ×/⋈ rule: componentwise union.
+    fn merge(&self, other: &Shadow) -> Shadow {
+        let mut out = self.clone();
+        out.plain.extend(&other.plain);
+        out.cipher.extend(&other.cipher);
+        out.hinted_plain.extend(&other.hinted_plain);
+        out.hinted_cipher.extend(&other.hinted_cipher);
+        out.links.extend_from_slice(&other.links);
+        out
+    }
+
+    /// The paper's encryption operation: visible attributes change
+    /// form; everything else (including non-visible `attrs`) is
+    /// untouched.
+    fn encrypt(&mut self, attrs: &[AttrId]) {
+        for a in attrs {
+            if self.plain.remove(&a.0) || self.cipher.contains(&a.0) {
+                self.cipher.insert(a.0);
+            }
+        }
+    }
+
+    /// The paper's decryption operation, symmetric to
+    /// [`Shadow::encrypt`].
+    fn decrypt(&mut self, attrs: &[AttrId]) {
+        for a in attrs {
+            if self.cipher.remove(&a.0) || self.plain.contains(&a.0) {
+                self.plain.insert(a.0);
+            }
+        }
+    }
+
+    /// Connected components (≥ 2 members) of the derivability edges.
+    fn components(&self) -> Vec<BTreeSet<u32>> {
+        let mut comps: Vec<BTreeSet<u32>> = Vec::new();
+        for &(a, b) in &self.links {
+            let ia = comps.iter().position(|c| c.contains(&a));
+            let ib = comps.iter().position(|c| c.contains(&b));
+            match (ia, ib) {
+                (None, None) => comps.push([a, b].into_iter().collect()),
+                (Some(i), None) => {
+                    comps[i].insert(b);
+                }
+                (None, Some(j)) => {
+                    comps[j].insert(a);
+                }
+                (Some(i), Some(j)) if i != j => {
+                    let merged = comps.swap_remove(j.max(i));
+                    comps[i.min(j)].extend(merged);
+                }
+                _ => {}
+            }
+        }
+        comps
+    }
+
+    /// Convert to a [`Profile`] for the cross-check against
+    /// `profile.rs`.
+    fn to_profile(&self) -> Profile {
+        let set = |s: &BTreeSet<u32>| -> AttrSet { s.iter().map(|&i| AttrId(i)).collect() };
+        let mut eq = EqClasses::new();
+        for comp in self.components() {
+            eq.insert_class(&set(&comp));
+        }
+        Profile {
+            vp: set(&self.plain),
+            ve: set(&self.cipher),
+            ip: set(&self.hinted_plain),
+            ie: set(&self.hinted_cipher),
+            eq,
+        }
+    }
+}
+
+/// The aggregate list a `HAVING` predicate resolves against: the
+/// `GROUP BY` below it, looking through spliced crypto operators.
+fn having_aggs(plan: &QueryPlan, id: NodeId) -> Option<Vec<mpq_algebra::AggExpr>> {
+    let child = plan.node(id).children.first().copied()?;
+    match &plan.node(plan.through_crypto(child)).op {
+        Operator::GroupBy { aggs, .. } => Some(aggs.clone()),
+        _ => None,
+    }
+}
+
+/// Independent re-derivation of the whole plan's flow (every Fig. 2
+/// rule), indexed like [`profile_plan`].
+fn shadow_plan(plan: &QueryPlan) -> Vec<Shadow> {
+    let mut out = vec![Shadow::default(); plan.len()];
+    for id in plan.postorder() {
+        let node = plan.node(id);
+        let child = |i: usize| -> &Shadow { &out[node.children[i].index()] };
+        let s = match &node.op {
+            Operator::Base { attrs, .. } => Shadow::base(attrs),
+            Operator::Project { attrs } => {
+                let keep: BTreeSet<u32> = attrs.iter().map(|a| a.0).collect();
+                let mut s = child(0).clone();
+                s.plain.retain(|a| keep.contains(a));
+                s.cipher.retain(|a| keep.contains(a));
+                s
+            }
+            Operator::Select { pred } => {
+                let mut s = child(0).clone();
+                s.condition(&pred.const_compared_attrs(), &pred.attr_pairs());
+                s
+            }
+            Operator::Having { pred } => {
+                let mut s = child(0).clone();
+                let resolved = match having_aggs(plan, id) {
+                    Some(aggs) => resolve_agg_refs(pred, &aggs),
+                    None => pred.clone(),
+                };
+                s.condition(&resolved.const_compared_attrs(), &resolved.attr_pairs());
+                s
+            }
+            Operator::Product => child(0).merge(child(1)),
+            Operator::Join { on, residual, .. } => {
+                let mut s = child(0).merge(child(1));
+                for (l, _, r) in on {
+                    s.links.push((l.0, r.0));
+                }
+                if let Some(res) = residual {
+                    s.condition(&res.const_compared_attrs(), &res.attr_pairs());
+                }
+                s
+            }
+            Operator::GroupBy { keys, aggs } => {
+                let c = child(0);
+                let mut kept: BTreeSet<u32> = keys.iter().map(|k| k.0).collect();
+                for ag in aggs {
+                    kept.insert(ag.output.0);
+                }
+                let mut s = c.clone();
+                for k in keys {
+                    if c.plain.contains(&k.0) {
+                        s.hinted_plain.insert(k.0);
+                    }
+                    if c.cipher.contains(&k.0) {
+                        s.hinted_cipher.insert(k.0);
+                    }
+                }
+                s.plain.retain(|a| kept.contains(a));
+                s.cipher.retain(|a| kept.contains(a));
+                // Compound aggregate inputs become derivable from the
+                // output (µ composed with γ).
+                for ag in aggs {
+                    let ins = ag.input.attrs();
+                    if ins.len() > 1 {
+                        for a in ins.iter() {
+                            s.links.push((a.0, ag.output.0));
+                        }
+                    }
+                }
+                s
+            }
+            Operator::Udf { inputs, output, .. } => {
+                let mut s = child(0).clone();
+                for a in inputs {
+                    if *a != *output {
+                        s.plain.remove(&a.0);
+                        s.cipher.remove(&a.0);
+                    }
+                }
+                if inputs.len() > 1 {
+                    for a in inputs {
+                        s.links.push((a.0, output.0));
+                    }
+                }
+                s
+            }
+            Operator::Encrypt { attrs } => {
+                let mut s = child(0).clone();
+                s.encrypt(attrs);
+                s
+            }
+            Operator::Decrypt { attrs } => {
+                let mut s = child(0).clone();
+                s.decrypt(attrs);
+                s
+            }
+            Operator::Sort { .. } | Operator::Limit { .. } => child(0).clone(),
+        };
+        out[id.index()] = s;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// passes
+// ---------------------------------------------------------------------
+
+/// Root-to-node operator path, span-style.
+fn node_path(plan: &QueryPlan, parents: &[Option<NodeId>], id: NodeId) -> String {
+    let mut chain = vec![id];
+    let mut cur = id;
+    while let Some(p) = parents[cur.index()] {
+        chain.push(p);
+        cur = p;
+    }
+    chain
+        .iter()
+        .rev()
+        .map(|n| format!("{}[{n}]", plan.node(*n).op.name()))
+        .collect::<Vec<_>>()
+        .join(" ▸ ")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn diag(
+    report: &mut VerifyReport,
+    code: Code,
+    plan: &QueryPlan,
+    parents: &[Option<NodeId>],
+    node: Option<NodeId>,
+    message: String,
+) {
+    report.diagnostics.push(Diagnostic {
+        code,
+        severity: Severity::Error,
+        node,
+        path: node
+            .map(|n| node_path(plan, parents, n))
+            .unwrap_or_default(),
+        message,
+    });
+}
+
+/// MPQ006: structural validity, crypto-operator coherence, and the
+/// PR 1 bug class (`HAVING` matching only a *direct* `GROUP BY` child
+/// and thereby missing spliced crypto).
+fn pass_wellformed(
+    ext: &ExtendedPlan,
+    catalog: &Catalog,
+    shadow: &[Shadow],
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    if let Err(e) = plan.validate(catalog) {
+        diag(report, Code::Malformed, plan, parents, None, format!("{e}"));
+    }
+    for &id in order {
+        let node = plan.node(id);
+        match &node.op {
+            Operator::Having { .. } => {
+                let below = plan.through_crypto(node.children[0]);
+                if !matches!(plan.node(below).op, Operator::GroupBy { .. }) {
+                    diag(
+                        report,
+                        Code::Malformed,
+                        plan,
+                        parents,
+                        Some(id),
+                        "HAVING has no GROUP BY below it (even through crypto operators)"
+                            .to_string(),
+                    );
+                }
+            }
+            Operator::Encrypt { attrs } => {
+                let c = &shadow[node.children[0].index()];
+                let bad: Vec<&str> = attrs
+                    .iter()
+                    .filter(|a| !c.plain.contains(&a.0))
+                    .map(|a| catalog.attr_name(*a))
+                    .collect();
+                if !bad.is_empty() {
+                    diag(
+                        report,
+                        Code::Malformed,
+                        plan,
+                        parents,
+                        Some(id),
+                        format!(
+                            "encrypting {}, which is not plaintext-visible here",
+                            bad.join(", ")
+                        ),
+                    );
+                }
+            }
+            Operator::Decrypt { attrs } => {
+                let c = &shadow[node.children[0].index()];
+                let bad: Vec<&str> = attrs
+                    .iter()
+                    .filter(|a| !c.cipher.contains(&a.0))
+                    .map(|a| catalog.attr_name(*a))
+                    .collect();
+                if !bad.is_empty() {
+                    diag(
+                        report,
+                        Code::Malformed,
+                        plan,
+                        parents,
+                        Some(id),
+                        format!("decrypting {}, which is not encrypted here", bad.join(", ")),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// MPQ007: the two independent derivations, and the annotations the
+/// runtime trusts, must agree profile-for-profile.
+fn pass_flow_divergence(
+    ext: &ExtendedPlan,
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    fresh: &[Profile],
+    shadow: &[Shadow],
+    catalog: &Catalog,
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    for &id in order {
+        let reference = &fresh[id.index()];
+        let independent = shadow[id.index()].to_profile();
+        if &independent != reference {
+            diag(
+                report,
+                Code::FlowDivergence,
+                plan,
+                parents,
+                Some(id),
+                format!(
+                    "independent Fig. 2 re-derivation disagrees with profile.rs \
+                     (shadow vp {} / ve {} vs reference vp {} / ve {})",
+                    catalog.render_attrs(&independent.vp),
+                    catalog.render_attrs(&independent.ve),
+                    catalog.render_attrs(&reference.vp),
+                    catalog.render_attrs(&reference.ve),
+                ),
+            );
+        }
+        match ext.profiles.get(id.index()) {
+            Some(annotated) if annotated == reference => {}
+            Some(annotated) => diag(
+                report,
+                Code::FlowDivergence,
+                plan,
+                parents,
+                Some(id),
+                format!(
+                    "the plan's carried profile annotation is stale \
+                     (annotated vp {} / ve {} vs derived vp {} / ve {})",
+                    catalog.render_attrs(&annotated.vp),
+                    catalog.render_attrs(&annotated.ve),
+                    catalog.render_attrs(&reference.vp),
+                    catalog.render_attrs(&reference.ve),
+                ),
+            ),
+            None => diag(
+                report,
+                Code::FlowDivergence,
+                plan,
+                parents,
+                Some(id),
+                "the plan carries no profile annotation for this node".to_string(),
+            ),
+        }
+    }
+}
+
+/// MPQ008: every node assigned; leaves assigned to the storing
+/// authority.
+fn pass_assignment(
+    ext: &ExtendedPlan,
+    subjects: &Subjects,
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    for &id in order {
+        let Some(&s) = ext.assignment.get(&id) else {
+            diag(
+                report,
+                Code::BadAssignment,
+                plan,
+                parents,
+                Some(id),
+                "node has no assigned subject".to_string(),
+            );
+            continue;
+        };
+        if let Operator::Base { rel, .. } = &plan.node(id).op {
+            match subjects.authority(*rel) {
+                None => diag(
+                    report,
+                    Code::BadAssignment,
+                    plan,
+                    parents,
+                    Some(id),
+                    "base relation has no declared data authority".to_string(),
+                ),
+                Some(auth) if auth != s => diag(
+                    report,
+                    Code::BadAssignment,
+                    plan,
+                    parents,
+                    Some(id),
+                    format!(
+                        "leaf assigned to {}, but its relation is stored by {}",
+                        subjects.name(s),
+                        subjects.name(auth)
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// MPQ001: Def. 4.1 closure — every assignee authorized for every
+/// profile it touches (operands and result), with *all* failing
+/// conditions named via [`SubjectView::explain_failure`].
+#[allow(clippy::too_many_arguments)]
+fn pass_authorization(
+    ext: &ExtendedPlan,
+    subjects: &Subjects,
+    views: &[SubjectView],
+    fresh: &[Profile],
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    catalog: &Catalog,
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    for &id in order {
+        let node = plan.node(id);
+        if node.children.is_empty() {
+            continue; // leaves: authority agreement is MPQ008's job
+        }
+        let Some(&s) = ext.assignment.get(&id) else {
+            continue; // already MPQ008
+        };
+        let Some(view) = views.get(s.index()) else {
+            continue;
+        };
+        let mut touched: Vec<NodeId> = node.children.clone();
+        touched.push(id);
+        for t in touched {
+            for violation in view.explain_failure(&fresh[t.index()]) {
+                diag(
+                    report,
+                    Code::UnauthorizedAssignee,
+                    plan,
+                    parents,
+                    Some(id),
+                    format!(
+                        "{} touches {}{} but is {}",
+                        subjects.name(s),
+                        plan.node(t).op.name(),
+                        if t == id { " (its own result)" } else { "" },
+                        render_violation(&violation, catalog),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Render an [`AuthzViolation`] with attribute names instead of raw
+/// ids.
+fn render_violation(v: &crate::authz::AuthzViolation, catalog: &Catalog) -> String {
+    use crate::authz::AuthzViolation;
+    match v {
+        AuthzViolation::Plaintext(s) => format!(
+            "not plaintext-authorized for {} (Def. 4.1 cond. 1)",
+            catalog.render_attrs(s)
+        ),
+        AuthzViolation::Encrypted(s) => format!(
+            "without visibility over {} (Def. 4.1 cond. 2)",
+            catalog.render_attrs(s)
+        ),
+        AuthzViolation::NonUniform(s) => format!(
+            "non-uniformly authorized over the equivalence class {} (Def. 4.1 cond. 3)",
+            catalog.render_attrs(s)
+        ),
+    }
+}
+
+/// MPQ002: per subject-pair edge, the *shadow-derived* visible
+/// plaintext must be inside the receiver's `P_S`, and the visible
+/// ciphertext inside `P_S ∪ E_S` — the static twin of the wire audit,
+/// including the final root → user delivery.
+#[allow(clippy::too_many_arguments)]
+fn pass_edges(
+    ext: &ExtendedPlan,
+    subjects: &Subjects,
+    views: &[SubjectView],
+    shadow: &[Shadow],
+    deliver_to: Option<SubjectId>,
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    catalog: &Catalog,
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    let check_edge =
+        |producer_node: NodeId, receiver: SubjectId, at: NodeId, report: &mut VerifyReport| {
+            let Some(view) = views.get(receiver.index()) else {
+                return;
+            };
+            let s = &shadow[producer_node.index()];
+            let leaked: Vec<&str> = s
+                .plain
+                .iter()
+                .filter(|&&a| !view.plain.contains(AttrId(a)))
+                .map(|&a| catalog.attr_name(AttrId(a)))
+                .collect();
+            if !leaked.is_empty() {
+                diag(
+                    report,
+                    Code::PlaintextLeak,
+                    plan,
+                    parents,
+                    Some(at),
+                    format!(
+                        "plaintext {} would reach {}, whose view does not permit it",
+                        leaked.join(", "),
+                        subjects.name(receiver)
+                    ),
+                );
+            }
+            let visible = view.visible();
+            let invisible: Vec<&str> = s
+                .cipher
+                .iter()
+                .filter(|&&a| !visible.contains(AttrId(a)))
+                .map(|&a| catalog.attr_name(AttrId(a)))
+                .collect();
+            if !invisible.is_empty() {
+                diag(
+                    report,
+                    Code::PlaintextLeak,
+                    plan,
+                    parents,
+                    Some(at),
+                    format!(
+                    "attribute(s) {} would reach {}, who has no visibility over them in any form",
+                    invisible.join(", "),
+                    subjects.name(receiver)
+                ),
+                );
+            }
+        };
+    for &id in order {
+        let node = plan.node(id);
+        let Some(&executor) = ext.assignment.get(&id) else {
+            continue;
+        };
+        for &child in &node.children {
+            let Some(&producer) = ext.assignment.get(&child) else {
+                continue;
+            };
+            if producer != executor {
+                check_edge(child, executor, id, report);
+            }
+        }
+    }
+    // The delivery edge: the querying user receives the root's table
+    // and audits it like any other receiver.
+    if let Some(user) = deliver_to {
+        check_edge(plan.root(), user, plan.root(), report);
+    }
+}
+
+/// MPQ003: every crypto operation's assignee must hold a Def. 6.1 key
+/// covering each attribute it transforms; every Paillier-aggregated
+/// encrypted attribute must be covered by *some* cluster (the
+/// aggregator only needs the public half, which provisioning delivers
+/// to every computing subject).
+#[allow(clippy::too_many_arguments)]
+fn pass_keys(
+    ext: &ExtendedPlan,
+    keys: &KeyPlan,
+    subjects: &Subjects,
+    shadow: &[Shadow],
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    catalog: &Catalog,
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    for &id in order {
+        let node = plan.node(id);
+        match &node.op {
+            Operator::Encrypt { attrs } | Operator::Decrypt { attrs } => {
+                let Some(&s) = ext.assignment.get(&id) else {
+                    continue;
+                };
+                for a in attrs {
+                    match keys.key_for(*a) {
+                        None => diag(
+                            report,
+                            Code::KeyUnavailable,
+                            plan,
+                            parents,
+                            Some(id),
+                            format!(
+                                "no Def. 6.1 cluster covers attribute {}",
+                                catalog.attr_name(*a)
+                            ),
+                        ),
+                        Some(k) if !k.holders.contains(&s) => diag(
+                            report,
+                            Code::KeyUnavailable,
+                            plan,
+                            parents,
+                            Some(id),
+                            format!(
+                                "{} must {} {} but holds no key for its cluster \
+                                 (k{} goes to {})",
+                                subjects.name(s),
+                                node.op.name(),
+                                catalog.attr_name(*a),
+                                catalog.render_attrs(&k.attrs),
+                                subjects.render(&k.holders),
+                            ),
+                        ),
+                        Some(_) => {}
+                    }
+                }
+            }
+            Operator::GroupBy { aggs, .. } => {
+                // Homomorphic aggregation over an encrypted attribute
+                // needs that attribute's public Paillier half — which
+                // exists only if some cluster covers the attribute.
+                let c = &shadow[node.children[0].index()];
+                for ag in aggs {
+                    if !matches!(ag.func, AggFunc::Sum | AggFunc::Avg) {
+                        continue;
+                    }
+                    if let Expr::Col(a) = ag.input {
+                        if c.cipher.contains(&a.0) && keys.key_for(a).is_none() {
+                            diag(
+                                report,
+                                Code::KeyUnavailable,
+                                plan,
+                                parents,
+                                Some(id),
+                                format!(
+                                    "homomorphic {} over encrypted {} has no covering \
+                                     Def. 6.1 cluster (no public half to aggregate under)",
+                                    ag.func,
+                                    catalog.attr_name(a)
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Ciphertext capabilities one attribute must support (the independent
+/// twin of `mpq_exec::assign_schemes`' analysis).
+#[derive(Clone, Copy, Default)]
+struct NeededCaps {
+    eq: bool,
+    ord: bool,
+    add: bool,
+    /// A node where the homomorphic demand arises (for the diagnostic).
+    add_at: Option<NodeId>,
+    /// A node where a comparison demand arises.
+    cmp_at: Option<NodeId>,
+}
+
+/// MPQ004: re-derive, independently of `assign_schemes`, the ciphertext
+/// capabilities each encrypted attribute must support, and flag
+/// attributes demanding both homomorphic addition and comparison — no
+/// single scheme in the §7 suite supports that combination.
+fn pass_schemes(
+    ext: &ExtendedPlan,
+    shadow: &[Shadow],
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    catalog: &Catalog,
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    let mut caps: HashMap<AttrId, NeededCaps> = HashMap::new();
+    let need = |caps: &mut HashMap<AttrId, NeededCaps>, a: AttrId, id: NodeId, what: u8| {
+        let c = caps.entry(a).or_default();
+        match what {
+            0 => {
+                c.eq = true;
+                c.cmp_at.get_or_insert(id);
+            }
+            1 => {
+                c.ord = true;
+                c.cmp_at.get_or_insert(id);
+            }
+            _ => {
+                c.add = true;
+                c.add_at.get_or_insert(id);
+            }
+        }
+    };
+    for &id in order {
+        let node = plan.node(id);
+        let enc_at = |i: usize| -> &BTreeSet<u32> { &shadow[node.children[i].index()].cipher };
+        match &node.op {
+            Operator::Select { pred } => {
+                cmp_demands(pred, enc_at(0), &mut |a, eq| {
+                    need(&mut caps, a, id, if eq { 0 } else { 1 })
+                });
+            }
+            Operator::Having { pred } => {
+                let resolved = match having_aggs(plan, id) {
+                    Some(aggs) => resolve_agg_refs(pred, &aggs),
+                    None => pred.clone(),
+                };
+                cmp_demands(&resolved, enc_at(0), &mut |a, eq| {
+                    need(&mut caps, a, id, if eq { 0 } else { 1 })
+                });
+            }
+            Operator::Join { on, residual, .. } => {
+                let (le, re) = (enc_at(0), enc_at(1));
+                for (l, op, r) in on {
+                    if le.contains(&l.0) || re.contains(&r.0) {
+                        let what = if op.is_equality() || *op == CmpOp::Ne {
+                            0
+                        } else {
+                            1
+                        };
+                        need(&mut caps, *l, id, what);
+                        need(&mut caps, *r, id, what);
+                    }
+                }
+                if let Some(res) = residual {
+                    let combined: BTreeSet<u32> = le.union(re).copied().collect();
+                    cmp_demands(res, &combined, &mut |a, eq| {
+                        need(&mut caps, a, id, if eq { 0 } else { 1 })
+                    });
+                }
+            }
+            Operator::GroupBy { keys, aggs } => {
+                let enc = enc_at(0);
+                for k in keys {
+                    if enc.contains(&k.0) {
+                        need(&mut caps, *k, id, 0);
+                    }
+                }
+                for ag in aggs {
+                    if let Expr::Col(a) = ag.input {
+                        if enc.contains(&a.0) {
+                            match ag.func {
+                                AggFunc::Sum | AggFunc::Avg => need(&mut caps, a, id, 2),
+                                AggFunc::Min | AggFunc::Max => need(&mut caps, a, id, 1),
+                                AggFunc::CountDistinct => need(&mut caps, a, id, 0),
+                                AggFunc::Count => {}
+                            }
+                        }
+                    }
+                }
+            }
+            Operator::Sort { keys } => {
+                let enc = enc_at(0);
+                for (e, _) in keys {
+                    for a in e.attrs().iter() {
+                        if enc.contains(&a.0) {
+                            need(&mut caps, a, id, 1);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut conflicted: Vec<(AttrId, NeededCaps)> = caps
+        .into_iter()
+        .filter(|(_, c)| c.add && (c.eq || c.ord))
+        .collect();
+    conflicted.sort_by_key(|(a, _)| a.0);
+    for (a, c) in conflicted {
+        diag(
+            report,
+            Code::SchemeConflict,
+            plan,
+            parents,
+            c.add_at.or(c.cmp_at),
+            format!(
+                "encrypted attribute {} needs homomorphic addition and {} comparison: \
+                 no scheme supports both",
+                catalog.attr_name(a),
+                if c.ord { "order" } else { "equality" },
+            ),
+        );
+    }
+}
+
+/// Walk the comparisons a predicate performs on encrypted columns,
+/// reporting `(attr, is_equality)` per demand.
+fn cmp_demands(e: &Expr, enc: &BTreeSet<u32>, f: &mut impl FnMut(AttrId, bool)) {
+    match e {
+        Expr::Cmp(a, op, b) => {
+            let is_eq = op.is_equality() || *op == CmpOp::Ne;
+            for side in [a.as_ref(), b.as_ref()] {
+                if let Expr::Col(x) = side {
+                    if enc.contains(&x.0) {
+                        f(*x, is_eq);
+                    }
+                }
+            }
+        }
+        Expr::Between { expr, .. } => {
+            if let Expr::Col(x) = expr.as_ref() {
+                if enc.contains(&x.0) {
+                    f(*x, false);
+                }
+            }
+        }
+        Expr::InList { expr, .. } => {
+            if let Expr::Col(x) = expr.as_ref() {
+                if enc.contains(&x.0) {
+                    f(*x, true);
+                }
+            }
+        }
+        Expr::And(v) | Expr::Or(v) => {
+            for x in v {
+                cmp_demands(x, enc, f);
+            }
+        }
+        Expr::Not(x) => cmp_demands(x, enc, f),
+        _ => {}
+    }
+}
+
+/// MPQ005: literal/column type agreement — the static form of the PR 3
+/// bug class (an OPE-encrypted integer column compared against a
+/// fractional literal silently matches nothing once encoded).
+fn pass_literal_types(
+    ext: &ExtendedPlan,
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    catalog: &Catalog,
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    for &id in order {
+        let node = plan.node(id);
+        let check = |pred: &Expr, report: &mut VerifyReport| {
+            literal_comparisons(pred, &mut |a, op, v| {
+                let Some(lit_ty) = v.data_type() else {
+                    return; // NULL compares with anything
+                };
+                let col_ty = catalog.attr_type(a);
+                if let Some(msg) = literal_mismatch(col_ty, lit_ty, op, v) {
+                    diag(
+                        report,
+                        Code::TypeMismatch,
+                        plan,
+                        parents,
+                        Some(id),
+                        format!("{} {msg}", catalog.attr_name(a)),
+                    );
+                }
+            });
+        };
+        match &node.op {
+            Operator::Select { pred } | Operator::Having { pred } => check(pred, report),
+            Operator::Join {
+                residual: Some(res),
+                ..
+            } => check(res, report),
+            _ => {}
+        }
+    }
+}
+
+/// Why a column/literal pairing cannot be satisfied, if it cannot.
+fn literal_mismatch(col: DataType, lit: DataType, op: CmpOp, v: &Value) -> Option<String> {
+    let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Num);
+    if col == lit {
+        return None;
+    }
+    if numeric(col) && numeric(lit) {
+        // Int/Num coercion exists, except an *equality* against a
+        // fractional literal on an integer column can never hold.
+        if col == DataType::Int && op.is_equality() {
+            if let Value::Num(x) = v {
+                if x.fract() != 0.0 {
+                    return Some(format!(
+                        "is an integer column compared for equality against the \
+                         fractional literal {x}"
+                    ));
+                }
+            }
+        }
+        return None;
+    }
+    Some(format!(
+        "has type {col:?} but is compared against a {lit:?} literal"
+    ))
+}
+
+/// Visit every `column op literal` comparison of a predicate
+/// (including BETWEEN bounds and IN lists).
+fn literal_comparisons(e: &Expr, f: &mut impl FnMut(AttrId, CmpOp, &Value)) {
+    match e {
+        Expr::Cmp(a, op, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Col(x), Expr::Lit(v)) => f(*x, *op, v),
+            (Expr::Lit(v), Expr::Col(x)) => f(*x, op.flipped(), v),
+            _ => {
+                literal_comparisons(a, f);
+                literal_comparisons(b, f);
+            }
+        },
+        Expr::Between { expr, lo, hi, .. } => {
+            if let Expr::Col(x) = expr.as_ref() {
+                if let Expr::Lit(v) = lo.as_ref() {
+                    f(*x, CmpOp::Ge, v);
+                }
+                if let Expr::Lit(v) = hi.as_ref() {
+                    f(*x, CmpOp::Le, v);
+                }
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            if let Expr::Col(x) = expr.as_ref() {
+                for v in list {
+                    f(*x, CmpOp::Eq, v);
+                }
+            }
+        }
+        Expr::And(v) | Expr::Or(v) => {
+            for x in v {
+                literal_comparisons(x, f);
+            }
+        }
+        Expr::Not(x) => literal_comparisons(x, f),
+        Expr::Case { branches, else_ } => {
+            for (c, val) in branches {
+                literal_comparisons(c, f);
+                literal_comparisons(val, f);
+            }
+            if let Some(x) = else_ {
+                literal_comparisons(x, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// tests
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::candidates;
+    use crate::capability::CapabilityPolicy;
+    use crate::extend::{minimally_extend, Assignment};
+    use crate::fixtures::RunningExample;
+    use crate::keys::plan_keys;
+
+    fn verify(ex: &RunningExample, ext: &ExtendedPlan) -> VerifyReport {
+        let keys = plan_keys(ext);
+        verify_with_policy(
+            ext,
+            &keys,
+            &ex.catalog,
+            &ex.subjects,
+            &ex.policy,
+            Some(ex.subject("U")),
+        )
+    }
+
+    /// Fig. 7(b)'s assignment (σ→H, ⋈→Z, γ→Z, σᵧ→Y), minimally
+    /// extended.
+    fn fig7b(ex: &RunningExample) -> ExtendedPlan {
+        let cands = candidates(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &CapabilityPolicy::default(),
+            true,
+        );
+        let mut a = Assignment::new();
+        for (node, s) in [
+            ("select_d", "H"),
+            ("join", "Z"),
+            ("group", "Z"),
+            ("having", "Y"),
+        ] {
+            a.set(ex.node(node), ex.subject(s));
+        }
+        minimally_extend(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &cands,
+            &a,
+            Some(ex.subject("U")),
+        )
+        .expect("fig7b assignment is drawn from Λ")
+    }
+
+    #[test]
+    fn fig7_plans_verify_clean() {
+        let ex = RunningExample::new();
+        let a = verify(&ex, &ex.fig7a_extended());
+        assert!(a.is_clean(), "fig7a should be clean:\n{a}");
+        let b = verify(&ex, &fig7b(&ex));
+        assert!(b.is_clean(), "fig7b should be clean:\n{b}");
+    }
+
+    #[test]
+    fn unassigned_node_fires_mpq008() {
+        let ex = RunningExample::new();
+        let mut ext = ex.fig7a_extended();
+        ext.assignment.remove(&ex.node("join"));
+        let r = verify(&ex, &ext);
+        assert!(r.has(Code::BadAssignment), "{r}");
+    }
+
+    #[test]
+    fn leaf_away_from_authority_fires_mpq008() {
+        let ex = RunningExample::new();
+        let mut ext = ex.fig7a_extended();
+        ext.assignment.insert(ex.node("base_hosp"), ex.subject("I"));
+        let r = verify(&ex, &ext);
+        assert!(r.has(Code::BadAssignment), "{r}");
+    }
+
+    #[test]
+    fn stale_profile_annotation_fires_mpq007() {
+        let ex = RunningExample::new();
+        let mut ext = ex.fig7a_extended();
+        let root = ext.plan.root();
+        ext.profiles[root.index()].vp = AttrSet::new();
+        let r = verify(&ex, &ext);
+        assert!(r.has(Code::FlowDivergence), "{r}");
+    }
+
+    #[test]
+    fn unauthorized_reassignment_fires_mpq001_and_mpq002() {
+        let ex = RunningExample::new();
+        let mut ext = ex.fig7a_extended();
+        // σᵧ consumes decrypted (plaintext) premiums; provider X is
+        // only encrypted-authorized for P. Statically: X fails
+        // Def. 4.1 on the operand profile (MPQ001) and the Y → X edge
+        // carries plaintext P (MPQ002) — the twin of the runtime wire
+        // audit's LeakedPlaintext.
+        ext.assignment.insert(ex.node("having"), ex.subject("X"));
+        let r = verify(&ex, &ext);
+        assert!(r.has(Code::UnauthorizedAssignee), "{r}");
+        assert!(r.has(Code::PlaintextLeak), "{r}");
+    }
+
+    #[test]
+    fn stripped_key_holders_fire_mpq003() {
+        let ex = RunningExample::new();
+        let ext = ex.fig7a_extended();
+        let mut keys = plan_keys(&ext);
+        for k in &mut keys.keys {
+            k.holders.clear();
+        }
+        let r = verify_with_policy(
+            &ext,
+            &keys,
+            &ex.catalog,
+            &ex.subjects,
+            &ex.policy,
+            Some(ex.subject("U")),
+        );
+        assert!(r.has(Code::KeyUnavailable), "{r}");
+    }
+
+    #[test]
+    fn empty_key_plan_fires_mpq003() {
+        let ex = RunningExample::new();
+        let ext = ex.fig7a_extended();
+        let keys = KeyPlan { keys: Vec::new() };
+        let r = verify_with_policy(
+            &ext,
+            &keys,
+            &ex.catalog,
+            &ex.subjects,
+            &ex.policy,
+            Some(ex.subject("U")),
+        );
+        assert!(r.has(Code::KeyUnavailable), "{r}");
+    }
+
+    #[test]
+    fn bogus_decrypt_fires_mpq006() {
+        let ex = RunningExample::new();
+        let mut ext = ex.fig7a_extended();
+        let decrypt = ext
+            .plan
+            .postorder()
+            .into_iter()
+            .find(|&id| matches!(ext.plan.node(id).op, Operator::Decrypt { .. }))
+            .expect("fig7a decrypts P");
+        ext.plan.node_mut(decrypt).op = Operator::Decrypt {
+            attrs: vec![ex.attr("B")],
+        };
+        let r = verify(&ex, &ext);
+        assert!(r.has(Code::Malformed), "{r}");
+    }
+
+    #[test]
+    fn fractional_equality_on_str_column_fires_mpq005() {
+        let ex = RunningExample::new();
+        let mut ext = ex.fig7a_extended();
+        // D (diagnosis) is a string column; comparing it against a
+        // numeric literal can never match — the PR 3 bug class.
+        ext.plan.node_mut(ex.node("select_d")).op = Operator::Select {
+            pred: Expr::Cmp(
+                Box::new(Expr::Col(ex.attr("D"))),
+                CmpOp::Eq,
+                Box::new(Expr::Lit(Value::Num(1.5))),
+            ),
+        };
+        let r = verify(&ex, &ext);
+        assert!(r.has(Code::TypeMismatch), "{r}");
+    }
+
+    #[test]
+    fn homomorphic_plus_comparison_fires_mpq004() {
+        let ex = RunningExample::new();
+        let mut ext = ex.fig7a_extended();
+        // In Fig. 7(a) P is Paillier-aggregated (needs homomorphic
+        // addition). A residual range predicate over encrypted P at
+        // the join adds an order demand: no scheme supports both.
+        if let Operator::Join { residual, .. } = &mut ext.plan.node_mut(ex.node("join")).op {
+            *residual = Some(Expr::Cmp(
+                Box::new(Expr::Col(ex.attr("P"))),
+                CmpOp::Lt,
+                Box::new(Expr::Lit(Value::Num(500.0))),
+            ));
+        } else {
+            panic!("fixture join node");
+        }
+        let r = verify(&ex, &ext);
+        assert!(r.has(Code::SchemeConflict), "{r}");
+    }
+
+    #[test]
+    fn report_renders_codes_and_paths() {
+        let ex = RunningExample::new();
+        let mut ext = ex.fig7a_extended();
+        ext.assignment.insert(ex.node("having"), ex.subject("X"));
+        let r = verify(&ex, &ext);
+        let text = r.to_string();
+        assert!(text.contains("MPQ001"), "{text}");
+        assert!(!r.codes().is_empty());
+        assert!(!r.counts().is_empty());
+        for d in &r.diagnostics {
+            assert!(d.node.is_some());
+            assert!(!d.path.is_empty(), "node-local findings carry a path");
+        }
+        // A diagnostic below the root renders the full operator chain.
+        let mut ext = ex.fig7a_extended();
+        let decrypt = ext
+            .plan
+            .postorder()
+            .into_iter()
+            .find(|&id| matches!(ext.plan.node(id).op, Operator::Decrypt { .. }))
+            .expect("fig7a decrypts P");
+        ext.assignment.insert(decrypt, ex.subject("X"));
+        let r = verify(&ex, &ext);
+        assert!(r.to_string().contains("▸"), "deep paths use ▸: {r}");
+    }
+}

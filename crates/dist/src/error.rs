@@ -70,6 +70,12 @@ pub enum SimError {
     /// [`ExecError::MissingKey`] when a subject attempts encryption or
     /// decryption with a key Def. 6.1 never distributed to it.
     Exec(ExecError),
+    /// The static pre-flight verifier (`mpq_core::verify`) rejected the
+    /// plan before any key material was generated; the report carries
+    /// every coded diagnostic. Sessions opened with
+    /// `Session::without_preflight` skip this layer and rely on the
+    /// dynamic checks above.
+    Verify(mpq_core::verify::VerifyReport),
 }
 
 impl From<ExecError> for SimError {
@@ -117,6 +123,7 @@ impl std::fmt::Display for SimError {
             SimError::Scheme(m) => write!(f, "scheme assignment failed: {m}"),
             SimError::Rewrite(m) => write!(f, "literal rewriting failed: {m}"),
             SimError::Exec(e) => write!(f, "subject-local execution failed: {e}"),
+            SimError::Verify(r) => write!(f, "static pre-flight verification failed:\n{r}"),
         }
     }
 }

@@ -219,6 +219,13 @@ impl<'a> Simulator<'a> {
         self
     }
 
+    /// Disable the static pre-flight verifier, leaving only the dynamic
+    /// defenses. See [`Session::without_preflight`].
+    pub fn without_preflight(mut self) -> Simulator<'a> {
+        self.session = self.session.without_preflight();
+        self
+    }
+
     /// Run `ext` across the parties on behalf of `user`, with the
     /// Def. 6.1 key establishment `keys`, as an independent one-query
     /// session (full key provisioning, fresh material).

@@ -155,6 +155,11 @@ pub struct Session {
     /// The long-lived party threads.
     threads: PartyThreads,
     stats: SessionStats,
+    /// Run the static verifier (`mpq_core::verify`) before spending any
+    /// crypto work on a query. On by default; the runtime-enforcement
+    /// tests opt out to exercise the dynamic checks the verifier
+    /// subsumes.
+    preflight: bool,
 }
 
 impl Session {
@@ -202,6 +207,7 @@ impl Session {
             next_key_id: 0,
             threads,
             stats: SessionStats::default(),
+            preflight: true,
         }
     }
 
@@ -211,6 +217,17 @@ impl Session {
     /// the pool travels with each query's job, not with the threads.
     pub fn with_workers(mut self, workers: usize) -> Session {
         self.pool = WorkerPool::new(workers);
+        self
+    }
+
+    /// Disable the static pre-flight verifier for this session's
+    /// queries, leaving only the dynamic defenses (per-node Def. 4.1
+    /// re-check, wire audit, key-ring enforcement). Exists for the
+    /// runtime-enforcement tests, which deliberately execute plans the
+    /// verifier would reject in order to prove the dynamic layer
+    /// catches them too.
+    pub fn without_preflight(mut self) -> Session {
+        self.preflight = false;
         self
     }
 
@@ -274,6 +291,26 @@ impl Session {
                     subject,
                     violation,
                 });
+            }
+        }
+
+        // ---- 1b. static pre-flight (mpq_core::verify) ----------------
+        // The full multi-pass verifier, after the per-node checks above
+        // (preserving their error precedence) and before any key
+        // material is generated: a plan that would leak on some edge,
+        // miss a Def. 6.1 key, or hit a scheme conflict is refused
+        // without spending a single modexp.
+        if self.preflight {
+            let report = mpq_core::verify::verify_extended(
+                ext,
+                keys,
+                &self.catalog,
+                &self.subjects,
+                &self.views,
+                Some(user),
+            );
+            if !report.is_clean() {
+                return Err(SimError::Verify(report));
             }
         }
 

@@ -1,0 +1,449 @@
+//! `mpq-lint` — dependency-free, token-scan enforcement of the repo
+//! invariants CI gates on. Three rules:
+//!
+//! * **no-unwrap** — no `.unwrap()` in non-test library code of the
+//!   execution hot paths (`crates/exec/src`, `crates/dist/src`): a
+//!   panic inside a party thread poisons the whole runtime, so
+//!   fallibility must surface as typed errors (or a documented
+//!   `expect` naming the invariant).
+//! * **thread-discipline** — no `std::thread` spawning in engine code
+//!   outside the two sanctioned homes (`exec/src/pool.rs` for the scoped data-parallel
+//!   pool, `dist/src/runtime.rs` for the long-lived party loops): every
+//!   thread must be owned by one of the two lifecycle managers.
+//! * **determinism** — no wall-clock reads and no unseeded randomness
+//!   in engine code (everything but the bench harness): the
+//!   differential suites rely on runs being bit-reproducible from the
+//!   seed alone.
+//!
+//! The scan strips comments and string literals and skips
+//! `#[cfg(test)]` modules, so documentation and tests may freely
+//! `unwrap()`. No dependencies: the linter must never be the thing
+//! that breaks the build.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// `.unwrap()` is banned in the non-test library code of these trees.
+const UNWRAP_SCOPE: [&str; 2] = ["crates/exec/src", "crates/dist/src"];
+
+/// Thread spawning in engine code is banned everywhere except here.
+/// (The bench harness is out of scope: it drives load threads and reads
+/// the clock by design.)
+const SPAWN_ALLOWED: [&str; 2] = ["crates/exec/src/pool.rs", "crates/dist/src/runtime.rs"];
+
+/// Engine code: thread-discipline and determinism rules apply here.
+const ENGINE_SCOPE: [&str; 8] = [
+    "crates/algebra/src",
+    "crates/core/src",
+    "crates/crypto/src",
+    "crates/exec/src",
+    "crates/dist/src",
+    "crates/planner/src",
+    "crates/tpch/src",
+    "src",
+];
+
+/// Tokens that create threads.
+const SPAWN_TOKENS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// Tokens that break run-to-run determinism.
+const DETERMINISM_TOKENS: [&str; 5] = [
+    "Instant::now",
+    "SystemTime::now",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Strip `//` and nested `/* */` comments, string literals (including
+/// raw strings), and char literals, preserving line structure so
+/// findings keep real line numbers.
+fn clean_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '/' if b.get(i + 1).copied() == Some('/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1).copied() == Some('*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1).copied() == Some('*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1).copied() == Some('/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            out.push('\n');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Ordinary string literal with escapes.
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '"' {
+                        i += 1;
+                        break;
+                    } else {
+                        if b[i] == '\n' {
+                            out.push('\n');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            'r' if matches!(b.get(i + 1).copied(), Some('"' | '#')) => {
+                // Raw string r"..." / r#"..."# / r##"..."## …
+                let mut hashes = 0;
+                let mut j = i + 1;
+                while b.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&'"') {
+                    i = j + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if b[i] == '\n' {
+                            out.push('\n');
+                        }
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: a char literal closes with
+                // a `'` one or two positions later (escapes included).
+                if b.get(i + 1).copied() == Some('\\') {
+                    i += 2; // skip the escape introducer
+                    while i < b.len() && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if b.get(i + 2).copied() == Some('\'') {
+                    i += 3;
+                } else {
+                    out.push(c);
+                    i += 1; // lifetime — keep scanning normally
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Line classification of cleaned source: which lines belong to
+/// `#[cfg(test)]` items (modules or functions).
+fn test_lines(cleaned: &str) -> Vec<bool> {
+    let lines: Vec<&str> = cleaned.lines().collect();
+    let mut skip = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut armed = false; // saw #[cfg(test)], waiting for the item
+    let mut skipping_from: Option<i64> = None;
+    for (n, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if let Some(from) = skipping_from {
+            skip[n] = true;
+            depth += brace_delta(line);
+            if depth <= from {
+                skipping_from = None;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") {
+            armed = true;
+            depth += brace_delta(line);
+            continue;
+        }
+        if armed {
+            skip[n] = true;
+            let opens = line.contains('{');
+            let before = depth;
+            depth += brace_delta(line);
+            if opens {
+                armed = false;
+                if depth > before {
+                    skipping_from = Some(before);
+                } // else: one-line item, already closed
+            } else if !trimmed.starts_with('#') && trimmed.ends_with(';') {
+                armed = false; // e.g. `mod tests;` — out-of-line test file
+            }
+            continue;
+        }
+        depth += brace_delta(line);
+    }
+    skip
+}
+
+fn brace_delta(line: &str) -> i64 {
+    line.chars()
+        .map(|c| match c {
+            '{' => 1,
+            '}' => -1,
+            _ => 0,
+        })
+        .sum()
+}
+
+fn in_scope(rel: &Path, scopes: &[&str]) -> bool {
+    scopes.iter().any(|s| rel.starts_with(s))
+}
+
+fn visit(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            visit(&path, files);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+fn lint_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let Ok(src) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let cleaned = clean_source(&src);
+    let skip = test_lines(&cleaned);
+    let unwrap_scoped = in_scope(rel, &UNWRAP_SCOPE);
+    let engine_scoped = in_scope(rel, &ENGINE_SCOPE);
+    let spawn_allowed = SPAWN_ALLOWED.iter().any(|a| rel == Path::new(a));
+    for (n, line) in cleaned.lines().enumerate() {
+        if skip.get(n).copied().unwrap_or(false) {
+            continue;
+        }
+        let record = |findings: &mut Vec<Finding>, rule, message| {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: n + 1,
+                rule,
+                message,
+            });
+        };
+        if unwrap_scoped && line.contains(".unwrap()") {
+            record(
+                findings,
+                "no-unwrap",
+                "`.unwrap()` in hot-path library code — return a typed error \
+                 or use `.expect(\"<invariant>\")`"
+                    .to_string(),
+            );
+        }
+        if engine_scoped && !spawn_allowed {
+            for t in SPAWN_TOKENS {
+                if line.contains(t) {
+                    record(
+                        findings,
+                        "thread-discipline",
+                        format!("`{t}` outside pool.rs/runtime.rs — threads must be owned by the pool or the party runtime"),
+                    );
+                }
+            }
+        }
+        if engine_scoped {
+            for t in DETERMINISM_TOKENS {
+                if line.contains(t) {
+                    record(
+                        findings,
+                        "determinism",
+                        format!(
+                            "`{t}` in engine code — runs must be reproducible from the seed alone"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    // Run from the workspace root (CI does; locally `cargo run -p
+    // mpq-lint` sets cwd to the invocation dir, so fall back to the
+    // manifest's grandparent when `crates/` is not beside us).
+    let root = if Path::new("crates").is_dir() {
+        PathBuf::from(".")
+    } else {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."))
+    };
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        eprintln!("mpq-lint: no crates/ directory under {}", root.display());
+        std::process::exit(2);
+    };
+    let mut members: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    members.sort();
+    for member in members {
+        visit(&member.join("src"), &mut files);
+    }
+    visit(&root.join("src"), &mut files);
+
+    let mut findings = Vec::new();
+    for f in &files {
+        // The linter does not lint itself: its scopes never include
+        // crates/lint, and the token tables would self-match.
+        if f.components().any(|c| c.as_os_str() == "lint") {
+            continue;
+        }
+        lint_file(&root, f, &mut findings);
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "mpq-lint: {} file(s) scanned, {} finding(s)",
+        files.len(),
+        findings.len()
+    );
+    if !findings.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+let a = "x.unwrap()"; // .unwrap() here too
+/* thread::spawn */
+let msg = r#"Instant::now"#;
+let real = value.unwrap();
+"##;
+        let cleaned = clean_source(src);
+        assert_eq!(cleaned.matches(".unwrap()").count(), 1);
+        assert!(!cleaned.contains("thread::spawn"));
+        assert!(!cleaned.contains("Instant::now"));
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "
+fn lib() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn lib2() { z.unwrap(); }
+";
+        let cleaned = clean_source(src);
+        let skip = test_lines(&cleaned);
+        let lines: Vec<&str> = cleaned.lines().collect();
+        let flagged: Vec<&str> = lines
+            .iter()
+            .zip(&skip)
+            .filter(|(l, &s)| !s && l.contains(".unwrap()"))
+            .map(|(l, _)| *l)
+            .collect();
+        assert_eq!(flagged.len(), 2, "{flagged:?}");
+        assert!(flagged.iter().all(|l| l.contains("lib")));
+    }
+
+    #[test]
+    fn char_literals_do_not_break_the_scanner() {
+        let src = "let c = '\"'; let d = '\\n'; let e: &'static str = x; y.unwrap();";
+        let cleaned = clean_source(src);
+        assert!(cleaned.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn the_repo_passes_its_own_lint() {
+        // The gate CI enforces, as a unit test: zero findings over the
+        // whole workspace.
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .expect("crates/lint sits two levels below the root");
+        let mut files = Vec::new();
+        let mut members: Vec<_> = std::fs::read_dir(root.join("crates"))
+            .expect("crates/ exists")
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            visit(&member.join("src"), &mut files);
+        }
+        visit(&root.join("src"), &mut files);
+        let mut findings = Vec::new();
+        for f in &files {
+            if f.components().any(|c| c.as_os_str() == "lint") {
+                continue;
+            }
+            lint_file(&root, f, &mut findings);
+        }
+        assert!(
+            findings.is_empty(),
+            "repo invariants violated:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -76,6 +76,10 @@ pub enum OptError {
     Extend(String),
     /// Scheme assignment failed (capability/scheme conflict).
     Schemes(String),
+    /// The static verifier rejected the produced plan — the optimizer's
+    /// post-condition failed (an internal bug, never a user error: every
+    /// minimally extended plan must verify clean).
+    Verify(mpq_core::verify::VerifyReport),
 }
 
 impl std::fmt::Display for OptError {
@@ -84,6 +88,7 @@ impl std::fmt::Display for OptError {
             OptError::NoCandidates(n) => write!(f, "no authorized candidate for node {n}"),
             OptError::Extend(m) => write!(f, "extension failed: {m}"),
             OptError::Schemes(m) => write!(f, "scheme assignment failed: {m}"),
+            OptError::Verify(r) => write!(f, "optimized plan failed static verification:\n{r}"),
         }
     }
 }
@@ -579,7 +584,23 @@ fn finish(
         Some(env.user),
     )
     .map_err(|e| OptError::Extend(e.to_string()))?;
-    cost_extension(catalog, stats, env, assignment, extended)
+    let opt = cost_extension(catalog, stats, env, assignment, extended)?;
+    // Post-condition: every plan the optimizer emits must pass the
+    // static verifier — authorized (Def. 4.1), leak-free per edge,
+    // key-complete (Def. 6.1) and scheme/type-sound. A finding here is
+    // an optimizer bug surfaced before any execution.
+    let report = mpq_core::verify::verify_with_policy(
+        &opt.extended,
+        &opt.keys,
+        catalog,
+        &env.subjects,
+        &env.policy,
+        Some(env.user),
+    );
+    if !report.is_clean() {
+        return Err(OptError::Verify(report));
+    }
+    Ok(opt)
 }
 
 /// §5 "minimize visibility": encrypt everything at the sources except

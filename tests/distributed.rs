@@ -246,7 +246,9 @@ fn unauthorized_assignment_is_rejected_at_runtime() {
 
 /// Runtime enforcement, behavioral case: strip Y from the holders of
 /// k_P (so Def. 6.1 never hands it the key). The static profile checks
-/// still pass — but Y's decryption fails for want of the key.
+/// still pass — but Y's decryption fails for want of the key. The
+/// pre-flight verifier would refuse this plan up front (`MPQ003`,
+/// asserted below), so the dynamic half runs with pre-flight disabled.
 #[test]
 fn decryption_without_the_key_fails() {
     let ex = RunningExample::new();
@@ -256,7 +258,23 @@ fn decryption_without_the_key_fails() {
     for key in &mut keys.keys {
         key.holders.retain(|&s| s != y);
     }
-    let mut sim = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, 13);
+    // Static twin: the verifier names the missing holder before any
+    // execution.
+    let report = mpq::core::verify_with_policy(
+        &ext,
+        &keys,
+        &ex.catalog,
+        &ex.subjects,
+        &ex.policy,
+        Some(ex.subject("U")),
+    );
+    assert!(
+        report.has(mpq::core::verify::Code::KeyUnavailable),
+        "{report}"
+    );
+    // Dynamic twin: with pre-flight off, the key ring itself refuses.
+    let mut sim =
+        Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, 13).without_preflight();
     match sim.run(&ext, &keys, ex.subject("U")) {
         Err(SimError::Exec(mpq::exec::ExecError::MissingKey { .. })) => {}
         other => panic!("expected MissingKey, got {other:?}"),
@@ -265,8 +283,10 @@ fn decryption_without_the_key_fails() {
 
 /// Runtime enforcement, cell-level case: weaken an Encrypt node so the
 /// actual rows leak plaintext S while the (stale) profiles still claim
-/// it is encrypted — the transfer audit catches what the static check
-/// cannot.
+/// it is encrypted — the transfer audit catches it. The pre-flight
+/// verifier also catches it up front, via a different route: the stale
+/// annotation trips the N-version flow cross-check (`MPQ007`) and the
+/// re-derived flow shows plaintext S reaching X (`MPQ002`).
 #[test]
 fn leaked_plaintext_cells_are_refused_at_the_wire() {
     let ex = RunningExample::new();
@@ -282,7 +302,28 @@ fn leaked_plaintext_cells_are_refused_at_the_wire() {
         })
         .expect("fig7a encrypts S above the selection");
     ext.plan.node_mut(enc_s).op = Operator::Encrypt { attrs: vec![] };
-    let mut sim = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, 17);
+    // Static twin: both the stale annotation and the re-derived leak
+    // are reported.
+    let report = mpq::core::verify_with_policy(
+        &ext,
+        &keys,
+        &ex.catalog,
+        &ex.subjects,
+        &ex.policy,
+        Some(ex.subject("U")),
+    );
+    assert!(
+        report.has(mpq::core::verify::Code::FlowDivergence),
+        "{report}"
+    );
+    assert!(
+        report.has(mpq::core::verify::Code::PlaintextLeak),
+        "{report}"
+    );
+    // Dynamic twin: with pre-flight off, the wire audit refuses the
+    // actual cells.
+    let mut sim =
+        Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, 17).without_preflight();
     match sim.run(&ext, &keys, ex.subject("U")) {
         Err(SimError::LeakedPlaintext { attr, subject }) => {
             assert_eq!(attr, s_attr);

@@ -264,12 +264,15 @@ fn errors_abort_the_query_not_the_session() {
     }
 
     // Strip a holder so decryption fails *mid-execution* (behavioral
-    // abort, exercising the runtime's abort/drain protocol)…
+    // abort, exercising the runtime's abort/drain protocol). The static
+    // pre-flight would refuse this plan up front (MPQ003) — disable it
+    // so the failure happens inside the party threads.
     let mut weak_keys = keys.clone();
     for key in &mut weak_keys.keys {
         key.holders.retain(|&s| s != ex.subject("Y"));
     }
-    let mut weak_session = Session::open(&ex.catalog, &ex.subjects, &ex.policy, &db, 47);
+    let mut weak_session =
+        Session::open(&ex.catalog, &ex.subjects, &ex.policy, &db, 47).without_preflight();
     match weak_session.execute(&ext, &weak_keys, user) {
         Err(SimError::Exec(mpq::exec::ExecError::MissingKey { .. })) => {}
         other => panic!("expected MissingKey, got {other:?}"),
