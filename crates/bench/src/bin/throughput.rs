@@ -13,6 +13,10 @@
 //!   --session           also measure the persistent-Session path
 //!                       (one long-lived mpq_dist::Session per client;
 //!                       Def. 6.1 provisioning amortizes across iters)
+//!   --transport tcp     also measure the loopback-TCP transport (the
+//!                       persistent-session workload with every
+//!                       data-plane frame on a real socket; reported,
+//!                       never ratcheted)
 //!   --sessions N        concurrent client sessions    [default 8]
 //!   --iters N           workload repetitions/session  [default 3]
 //!   --sf F              TPC-H scale factor            [default 0.002]
@@ -47,6 +51,11 @@ fn main() {
         match arg.as_str() {
             "--smoke" => {}
             "--session" => cfg.session_mode = true,
+            "--transport" => match value("--transport").as_str() {
+                "tcp" => cfg.tcp_mode = true,
+                "inproc" => cfg.tcp_mode = false,
+                other => panic!("unknown transport `{other}` (expected tcp or inproc)"),
+            },
             "--sessions" => cfg.sessions = value("--sessions").parse().expect("--sessions N"),
             "--iters" => cfg.iters = value("--iters").parse().expect("--iters N"),
             "--sf" => cfg.tpch_sf = value("--sf").parse().expect("--sf F"),
@@ -94,6 +103,20 @@ fn main() {
             session.p50_ms,
             session.p95_ms,
             report.session_speedup_p50().expect("session stats present"),
+        );
+    }
+    if let Some(tcp) = &report.tcp {
+        eprintln!(
+            "# tcp:        {:.1} q/s (p50 {:.1} ms, p95 {:.1} ms) — loopback sockets, \
+             wire tax vs in-proc p50 {:.2}×",
+            tcp.qps,
+            tcp.p50_ms,
+            tcp.p95_ms,
+            if report.concurrent.p50_ms > 0.0 {
+                tcp.p50_ms / report.concurrent.p50_ms
+            } else {
+                0.0
+            },
         );
     }
     if report.concurrent.queries == 0 || report.sequential.queries == 0 {

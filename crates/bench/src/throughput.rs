@@ -29,7 +29,7 @@ use mpq_core::fixtures::RunningExample;
 use mpq_core::keys::{plan_keys, KeyPlan};
 use mpq_core::subjects::Subjects;
 use mpq_crypto::keyring::KeyRing;
-use mpq_dist::{Session, Simulator};
+use mpq_dist::{Session, SessionConfig, Simulator, TransportKind};
 use mpq_exec::{Database, SchemePlan, Table};
 use mpq_planner::stats::{collect_stats, SampleConfig};
 use mpq_planner::{build_scenario, optimize, Scenario, Strategy};
@@ -59,6 +59,12 @@ pub struct ThroughputConfig {
     /// fresh-simulator vs session p50 so the amortization win is
     /// ratchetable.
     pub session_mode: bool,
+    /// Additionally measure the loopback-TCP transport
+    /// (`--transport tcp`): the identical persistent-session workload,
+    /// but every data-plane frame crosses a real socket. Reported as
+    /// the `tcp` field next to the in-process modes — a measurement of
+    /// the wire tax, never ratcheted.
+    pub tcp_mode: bool,
 }
 
 impl ThroughputConfig {
@@ -76,6 +82,7 @@ impl ThroughputConfig {
             seed: 2026,
             smoke: true,
             session_mode: false,
+            tcp_mode: false,
         }
     }
 
@@ -89,6 +96,7 @@ impl ThroughputConfig {
             seed: 2026,
             smoke: false,
             session_mode: false,
+            tcp_mode: false,
         }
     }
 }
@@ -152,6 +160,11 @@ pub struct ThroughputReport {
     /// long-lived session per client and environment, so Def. 6.1
     /// provisioning runs once per cluster instead of once per query.
     pub session: Option<ModeStats>,
+    /// Stats for the loopback-TCP transport (`--transport tcp` only):
+    /// the persistent-session workload with every data-plane frame on
+    /// a real socket. A measurement of the wire tax relative to the
+    /// in-process modes; `bench_diff` never ratchets it.
+    pub tcp: Option<ModeStats>,
     /// Total bytes on the wire per executed query (identical across
     /// the fresh modes by construction; asserted, not assumed —
     /// session-mode bytes are excluded: its envelope session keys and
@@ -362,6 +375,9 @@ enum Phase {
     /// `Session::execute` — one persistent session per client and
     /// environment, provisioning amortized across the iterations.
     Session,
+    /// `Session::execute` over the loopback-TCP transport — the same
+    /// persistent sessions, but the data plane crosses real sockets.
+    Tcp,
 }
 
 /// Per-client driver state: either fresh-per-run simulators or
@@ -409,12 +425,22 @@ fn run_phase(wl: &Workload, cfg: &ThroughputConfig, phase: Phase) -> (ModeStats,
                 scope.spawn(move || {
                     let mut out = SessionOut::default();
                     let seed = cfg.seed ^ (session as u64).wrapping_mul(0x9E37_79B9);
-                    let mut driver = if phase == Phase::Session {
+                    let mut driver = if matches!(phase, Phase::Session | Phase::Tcp) {
+                        let config = match phase {
+                            Phase::Tcp => SessionConfig::new(seed).transport(TransportKind::Tcp),
+                            _ => SessionConfig::new(seed),
+                        };
                         Driver::Sessions(
                             wl.envs
                                 .iter()
                                 .map(|e| {
-                                    Session::open(&e.catalog, &e.subjects, &e.policy, &e.db, seed)
+                                    Session::open_with(
+                                        &e.catalog,
+                                        &e.subjects,
+                                        &e.policy,
+                                        &e.db,
+                                        config.clone(),
+                                    )
                                 })
                                 .collect(),
                         )
@@ -527,6 +553,9 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     let session_phase = cfg
         .session_mode
         .then(|| run_phase(&wl, cfg, Phase::Session));
+    // Same rationale for TCP: its first iteration pays socket setup
+    // and provisioning, which is part of the wire tax being measured.
+    let tcp_phase = cfg.tcp_mode.then(|| run_phase(&wl, cfg, Phase::Tcp));
 
     let mut mismatches = conc_out.mismatches;
     mismatches.extend(seq_out.mismatches);
@@ -541,6 +570,22 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         if out.requests != conc_out.requests {
             mismatches.push(format!(
                 "request accounting diverged: session {} requests vs fresh {}",
+                out.requests, conc_out.requests
+            ));
+        }
+        stats
+    });
+    let tcp = tcp_phase.map(|(stats, out)| {
+        mismatches.extend(out.mismatches);
+        if out.queries != conc_out.queries {
+            mismatches.push(format!(
+                "tcp phase executed {} queries vs {} fresh",
+                out.queries, conc_out.queries
+            ));
+        }
+        if out.requests != conc_out.requests {
+            mismatches.push(format!(
+                "request accounting diverged: tcp {} requests vs fresh {}",
                 out.requests, conc_out.requests
             ));
         }
@@ -575,6 +620,7 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         concurrent,
         sequential,
         session,
+        tcp,
         mismatches,
     }
 }
@@ -612,10 +658,15 @@ pub fn to_json(r: &ThroughputReport) -> String {
             )
         })
         .unwrap_or_default();
+    let tcp_part = r
+        .tcp
+        .as_ref()
+        .map(|s| format!("  \"tcp\": {},\n", mode(s)))
+        .unwrap_or_default();
     format!(
         "{{\n  \"bench\": \"mpq-dist throughput\",\n  \"mode\": \"{}\",\n  \"config\": \
          {{\"sessions\": {}, \"iters\": {}, \"tpch_sf\": {}, \"tpch_queries\": [{}], \"seed\": {}}},\n  \
-         \"workload\": [{}],\n  \"concurrent\": {},\n  \"sequential\": {},\n{}  \
+         \"workload\": [{}],\n  \"concurrent\": {},\n  \"sequential\": {},\n{}{}  \
          \"speedup_p50\": {:.3},\n  \"bytes_per_query\": {:.1},\n  \"requests_per_query\": {:.2},\n  \
          \"verified\": {},\n  \"mismatches\": [{}]\n}}\n",
         if r.config.smoke { "smoke" } else { "full" },
@@ -633,6 +684,7 @@ pub fn to_json(r: &ThroughputReport) -> String {
         mode(&r.concurrent),
         mode(&r.sequential),
         session_part,
+        tcp_part,
         speedup,
         r.bytes_per_query,
         r.requests_per_query,

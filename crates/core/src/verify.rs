@@ -23,6 +23,7 @@
 //! | [`Code::Malformed`] | structural validity, crypto-op coherence, `HAVING`-through-crypto | planner panics / wrong profiles (the PR 1 bug class) |
 //! | [`Code::FlowDivergence`] | N-version cross-check of profile propagation | — (meta: catches bugs in the analyses themselves) |
 //! | [`Code::BadAssignment`] | completeness of λ and leaf/authority agreement | `SimError::Unassigned` / `NotTheAuthority` |
+//! | [`Code::MixedForm`] | every mixed-form join comparison reconcilable by its assignee | `ExecError::MixedForm` |
 //!
 //! **Flow soundness is N-versioned**: this module re-derives the Fig. 2
 //! profile propagation from the paper with an independent
@@ -91,6 +92,12 @@ pub enum Code {
     /// MPQ008 — a node is unassigned, or a leaf is assigned away from
     /// its data authority.
     BadAssignment,
+    /// MPQ009 — a join condition compares a ciphertext side against a
+    /// plaintext side, and the join's assignee cannot reconcile the
+    /// forms (it holds no key for the covering Def. 6.1 cluster, or no
+    /// cluster covers the encrypted attribute). The runtime would
+    /// refuse with a typed error rather than silently match zero rows.
+    MixedForm,
 }
 
 impl Code {
@@ -105,6 +112,7 @@ impl Code {
             Code::Malformed => "MPQ006",
             Code::FlowDivergence => "MPQ007",
             Code::BadAssignment => "MPQ008",
+            Code::MixedForm => "MPQ009",
         }
     }
 
@@ -119,11 +127,12 @@ impl Code {
             Code::Malformed => "ill-formed plan",
             Code::FlowDivergence => "profile derivations disagree",
             Code::BadAssignment => "incomplete or misassigned λ",
+            Code::MixedForm => "mixed-form comparison",
         }
     }
 
     /// All codes, in numeric order (for docs and reports).
-    pub const ALL: [Code; 8] = [
+    pub const ALL: [Code; 9] = [
         Code::UnauthorizedAssignee,
         Code::PlaintextLeak,
         Code::KeyUnavailable,
@@ -132,6 +141,7 @@ impl Code {
         Code::Malformed,
         Code::FlowDivergence,
         Code::BadAssignment,
+        Code::MixedForm,
     ];
 }
 
@@ -303,6 +313,18 @@ pub fn verify_extended(
     // ---- pass 6: scheme & literal-type soundness --------------------
     pass_schemes(ext, &shadow, &order, &parents, catalog, &mut report);
     pass_literal_types(ext, &order, &parents, catalog, &mut report);
+
+    // ---- pass 7: mixed-form join comparisons ------------------------
+    pass_mixed_form(
+        ext,
+        keys,
+        subjects,
+        &shadow,
+        &order,
+        &parents,
+        catalog,
+        &mut report,
+    );
 
     report
 }
@@ -1319,6 +1341,81 @@ fn literal_comparisons(e: &Expr, f: &mut impl FnMut(AttrId, CmpOp, &Value)) {
     }
 }
 
+/// MPQ009: mixed-form join comparisons (ROADMAP item 6). A minimal
+/// extension may encrypt a join attribute *above* the join on one side
+/// while the other side arrives encrypted from below — the executor
+/// then compares `Enc(a)` against plaintext `b`. The engine reconciles
+/// this by encrypting the plaintext side on the fly, but only if its
+/// assignee holds the covering Def. 6.1 cluster key ([`plan_keys`]
+/// provisions exactly that, per Def. 4.1 condition 3). This pass fires
+/// when a mixed-form comparison is *not* reconcilable — no cluster
+/// covers the encrypted attribute, or the assignee is not among its
+/// holders — i.e. exactly when the runtime would refuse with
+/// `ExecError::MixedForm` instead of silently matching zero rows.
+///
+/// [`plan_keys`]: crate::keys::plan_keys
+#[allow(clippy::too_many_arguments)]
+fn pass_mixed_form(
+    ext: &ExtendedPlan,
+    keys: &KeyPlan,
+    subjects: &Subjects,
+    shadow: &[Shadow],
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    catalog: &Catalog,
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    for &id in order {
+        let node = plan.node(id);
+        let Operator::Join { on, .. } = &node.op else {
+            continue;
+        };
+        let ls = &shadow[node.children[0].index()];
+        let rs = &shadow[node.children[1].index()];
+        for &(l, op, r) in on {
+            // Which side arrives encrypted? Mixed means exactly one.
+            let enc_attr = match (ls.cipher.contains(&l.0), rs.cipher.contains(&r.0)) {
+                (true, false) if rs.plain.contains(&r.0) => l,
+                (false, true) if ls.plain.contains(&l.0) => r,
+                _ => continue,
+            };
+            let assignee = ext.assignment.get(&id).copied();
+            let fixable = keys
+                .key_for(enc_attr)
+                .is_some_and(|k| assignee.is_some_and(|s| k.holders.contains(&s)));
+            if fixable {
+                continue;
+            }
+            let who = assignee
+                .map(|s| subjects.name(s).to_string())
+                .unwrap_or_else(|| "<unassigned>".into());
+            let why = if keys.key_for(enc_attr).is_none() {
+                format!("no Def. 6.1 cluster covers {}", catalog.attr_name(enc_attr))
+            } else {
+                format!(
+                    "assignee {who} holds no key for the cluster covering {}",
+                    catalog.attr_name(enc_attr)
+                )
+            };
+            diag(
+                report,
+                Code::MixedForm,
+                plan,
+                parents,
+                Some(id),
+                format!(
+                    "join condition {} {op} {} compares ciphertext against \
+                     plaintext and cannot be reconciled: {why}; the runtime \
+                     would abort with a mixed-form error",
+                    catalog.attr_name(l),
+                    catalog.attr_name(r),
+                ),
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // tests
 // ---------------------------------------------------------------------
@@ -1515,6 +1612,82 @@ mod tests {
         }
         let r = verify(&ex, &ext);
         assert!(r.has(Code::SchemeConflict), "{r}");
+    }
+
+    /// A Λ-drawn assignment whose minimal extension leaves the join
+    /// comparing encrypted `S` against plaintext `C` (one side is
+    /// encrypted above the join, the other arrives plaintext).
+    fn mixed_form_plan(ex: &RunningExample) -> ExtendedPlan {
+        let cands = candidates(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &CapabilityPolicy::default(),
+            true,
+        );
+        let mut a = Assignment::new();
+        for (node, s) in [
+            ("select_d", "Y"),
+            ("join", "Z"),
+            ("group", "X"),
+            ("having", "U"),
+        ] {
+            a.set(ex.node(node), ex.subject(s));
+        }
+        minimally_extend(
+            &ex.plan,
+            &ex.catalog,
+            &ex.policy,
+            &ex.subjects,
+            &cands,
+            &a,
+            Some(ex.subject("U")),
+        )
+        .expect("assignment is drawn from Λ")
+    }
+
+    #[test]
+    fn mixed_form_join_with_provisioned_key_is_clean() {
+        let ex = RunningExample::new();
+        let ext = mixed_form_plan(&ex);
+        // Sanity: the fixture really is mixed-form at the join.
+        let join = ex.node("join");
+        let node = ext.plan.node(join);
+        let lp = &ext.profiles[node.children[0].index()];
+        let rp = &ext.profiles[node.children[1].index()];
+        assert_ne!(
+            lp.ve.contains(ex.attr("S")),
+            rp.ve.contains(ex.attr("C")),
+            "fixture should compare mixed forms at the join"
+        );
+        // plan_keys widens the cluster's holders to the join assignee,
+        // so the runtime can encrypt the plaintext side on the fly and
+        // the verifier stays quiet.
+        let r = verify(&ex, &ext);
+        assert!(r.is_clean(), "provisioned mixed-form plan is clean:\n{r}");
+    }
+
+    #[test]
+    fn unprovisioned_mixed_form_join_fires_mpq009() {
+        let ex = RunningExample::new();
+        let ext = mixed_form_plan(&ex);
+        let join_assignee = ext.assignment[&ex.node("join")];
+        let mut keys = plan_keys(&ext);
+        for k in &mut keys.keys {
+            k.holders.retain(|&s| s != join_assignee);
+        }
+        let r = verify_with_policy(
+            &ext,
+            &keys,
+            &ex.catalog,
+            &ex.subjects,
+            &ex.policy,
+            Some(ex.subject("U")),
+        );
+        assert!(r.has(Code::MixedForm), "{r}");
+        let text = r.to_string();
+        assert!(text.contains("MPQ009"), "{text}");
     }
 
     #[test]

@@ -89,6 +89,37 @@ impl ClusterKey {
     pub fn paillier_public(&self) -> PaillierPublic {
         self.paillier.public.clone()
     }
+
+    /// Serialize the full key material for Def. 6.1 provisioning over a
+    /// wire: id, the three derived sub-keys, and the Paillier keypair.
+    /// Secret material — must only travel inside a sealed
+    /// [`SignedEnvelope`](crate::rsa::SignedEnvelope).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 48);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        out.extend_from_slice(&self.det);
+        out.extend_from_slice(&self.rnd);
+        out.extend_from_slice(&self.ope);
+        out.extend_from_slice(&self.paillier.to_bytes());
+        out
+    }
+
+    /// Reconstruct a key from [`ClusterKey::to_bytes`] output (`None`
+    /// on malformed input).
+    pub fn from_bytes(bytes: &[u8]) -> Option<ClusterKey> {
+        if bytes.len() < 4 + 48 {
+            return None;
+        }
+        let id = u32::from_be_bytes(bytes[0..4].try_into().ok()?);
+        let sub = |at: usize| -> Option<[u8; 16]> { bytes[at..at + 16].try_into().ok() };
+        Some(ClusterKey {
+            id,
+            det: sub(4)?,
+            rnd: sub(20)?,
+            ope: sub(36)?,
+            paillier: Arc::new(PaillierKeypair::from_bytes(&bytes[52..])?),
+        })
+    }
 }
 
 /// The keys one subject holds, indexed by key id.

@@ -175,6 +175,45 @@ impl PaillierKeypair {
         let total = self.decrypt(c).to_u128() as i128;
         total - (count as i128) * ENCODE_OFFSET
     }
+
+    /// Serialize the keypair (`n`, `λ`, `µ`) for Def. 6.1 key
+    /// provisioning over a wire. The bytes are secret material — they
+    /// must only ever travel inside a sealed
+    /// [`SignedEnvelope`](crate::rsa::SignedEnvelope).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for part in [&self.public.n, &self.lambda, &self.mu] {
+            let b = part.to_bytes_be();
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(&b);
+        }
+        out
+    }
+
+    /// Reconstruct a keypair from [`PaillierKeypair::to_bytes`] output
+    /// (`None` on malformed input). `n²` and the Montgomery context are
+    /// recomputed locally.
+    pub fn from_bytes(bytes: &[u8]) -> Option<PaillierKeypair> {
+        let mut at = 0usize;
+        let mut next = || -> Option<BigUint> {
+            let len = u32::from_be_bytes(bytes.get(at..at + 4)?.try_into().ok()?) as usize;
+            at += 4;
+            let b = bytes.get(at..at + len)?;
+            at += len;
+            Some(BigUint::from_bytes_be(b))
+        };
+        let n = next()?;
+        let lambda = next()?;
+        let mu = next()?;
+        if at != bytes.len() {
+            return None;
+        }
+        Some(PaillierKeypair {
+            public: PaillierPublic::from_modulus(n),
+            lambda,
+            mu,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -76,11 +76,22 @@ pub enum SimError {
     /// `Session::without_preflight` skip this layer and rely on the
     /// dynamic checks above.
     Verify(mpq_core::verify::VerifyReport),
+    /// The wire failed mid-query: a peer became unreachable, a frame
+    /// was malformed, or an expected message never arrived within the
+    /// configured timeout. The epoch is aborted cleanly (peers receive
+    /// a best-effort `Abort`) and the session/coordinator stays usable.
+    Transport(crate::transport::TransportError),
 }
 
 impl From<ExecError> for SimError {
     fn from(e: ExecError) -> Self {
         SimError::Exec(e)
+    }
+}
+
+impl From<crate::transport::TransportError> for SimError {
+    fn from(e: crate::transport::TransportError) -> Self {
+        SimError::Transport(e)
     }
 }
 
@@ -124,6 +135,7 @@ impl std::fmt::Display for SimError {
             SimError::Rewrite(m) => write!(f, "literal rewriting failed: {m}"),
             SimError::Exec(e) => write!(f, "subject-local execution failed: {e}"),
             SimError::Verify(r) => write!(f, "static pre-flight verification failed:\n{r}"),
+            SimError::Transport(e) => write!(f, "transport failure aborted the query: {e}"),
         }
     }
 }

@@ -57,13 +57,18 @@
 //! [`runtime`] for how an aborted query drains).
 
 pub mod audit;
+pub(crate) mod codec;
 pub mod error;
+pub mod remote;
 pub mod runtime;
 pub mod session;
+pub mod transport;
 
 pub use audit::audit_transfer;
 pub use error::SimError;
-pub use session::{Session, SessionStats};
+pub use remote::{Coordinator, Server, ServerConfig};
+pub use session::{Session, SessionConfig, SessionStats};
+pub use transport::{TransportError, TransportKind};
 
 use mpq_algebra::{Catalog, RelId, SubjectId};
 use mpq_core::authz::Policy;
@@ -198,6 +203,10 @@ impl<'a> Simulator<'a> {
     /// of `db` are distributed to their data authorities (a relation
     /// without a declared authority is held by nobody — executing a
     /// plan over it fails at that leaf).
+    ///
+    /// Convenience shim over [`Simulator::with_config`] with the
+    /// default configuration (in-proc transport, shared pool,
+    /// pre-flight on).
     pub fn new(
         catalog: &'a Catalog,
         subjects: &'a Subjects,
@@ -205,22 +214,37 @@ impl<'a> Simulator<'a> {
         db: &Database,
         seed: u64,
     ) -> Simulator<'a> {
+        Simulator::with_config(catalog, subjects, policy, db, SessionConfig::new(seed))
+    }
+
+    /// Set up the parties with an explicit [`SessionConfig`] — the one
+    /// place all runtime knobs (seed, worker pool, pre-flight,
+    /// transport, receive timeout) live.
+    pub fn with_config(
+        catalog: &'a Catalog,
+        subjects: &'a Subjects,
+        policy: &'a Policy,
+        db: &Database,
+        config: SessionConfig,
+    ) -> Simulator<'a> {
         Simulator {
-            session: Session::open(catalog, subjects, policy, db, seed),
+            session: Session::open_with(catalog, subjects, policy, db, config),
             _env: PhantomData,
         }
     }
 
-    /// Replace the shared worker pool with a private one of `workers`
-    /// threads (differential tests sweep worker counts; results are
-    /// identical by construction).
+    /// Deprecated: use [`Simulator::with_config`] with
+    /// [`SessionConfig::with_workers`]. Replaces the shared worker pool
+    /// with a private one of `workers` threads (differential tests
+    /// sweep worker counts; results are identical by construction).
     pub fn with_workers(mut self, workers: usize) -> Simulator<'a> {
         self.session = self.session.with_workers(workers);
         self
     }
 
-    /// Disable the static pre-flight verifier, leaving only the dynamic
-    /// defenses. See [`Session::without_preflight`].
+    /// Deprecated: use [`Simulator::with_config`] with
+    /// [`SessionConfig::without_preflight`]. Disables the static
+    /// pre-flight verifier, leaving only the dynamic defenses.
     pub fn without_preflight(mut self) -> Simulator<'a> {
         self.session = self.session.without_preflight();
         self

@@ -1,0 +1,778 @@
+//! The federated client/server deployment: one OS **process** per
+//! subject.
+//!
+//! [`Session`](crate::Session) realizes the paper's §6 protocol with
+//! one *thread* per subject inside a single process. This module
+//! promotes that topology to the architecture Fig. 8 actually draws:
+//! every subject is its own [`Server`] process holding **only its own
+//! material** — its partition of the base relations, its RSA keypair,
+//! and the cluster keys Def. 6.1 provisions to it — while a
+//! [`Coordinator`] embedded in the querying user's process drives the
+//! protocol over real TCP:
+//!
+//! 1. **hello** — the coordinator connects to every server's control
+//!    port, announces the querying user and its RSA public key, and
+//!    learns each server's subject id and public key
+//!    (`Frame::Hello`/`Frame::HelloAck`);
+//! 2. **provision** — Def. 6.1 cluster keys are generated client-side
+//!    and shipped to their holders as sealed
+//!    `[[key]_priU]_pubS` envelopes (`Frame::Provision`); computing
+//!    non-holders receive only the public Paillier modulus
+//!    (`Frame::ProvisionPublic`) — enough to aggregate, never to
+//!    decrypt. Private RSA keys never cross the wire in any direction;
+//! 3. **execute** — each participant receives the wire projection of
+//!    the query job plus its signed sub-query request
+//!    (`Frame::Execute`); the signed request *is* the authorization
+//!    to compute, and a server that cannot open and verify its
+//!    envelope refuses the epoch;
+//! 4. **data plane** — result tables flow *directly* between the
+//!    subject processes (true peer-to-peer, not through the
+//!    coordinator) as framed `Msg` records; the
+//!    receiving party audits every cell against its own view and
+//!    accounts the bytes, exactly as in-process;
+//! 5. **done** — every participant reports
+//!    `Frame::Done`/`Frame::Failed` on its control connection and
+//!    the coordinator assembles the [`Report`].
+//!
+//! The executing machinery is byte-for-byte the session runtime:
+//! `run_query` — the same function the in-process party threads run
+//! — executes each server's share, so every guarantee (receive audit,
+//! epoch isolation, typed transport aborts) carries over. What a
+//! server *cannot* check is the batch-payload equality the simulator's
+//! parties verify (they share the coordinator's memory); opening the
+//! sealed envelope and verifying the user's signature is the honest
+//! remote counterpart.
+
+use crate::codec::{Frame, RemoteJob};
+use crate::error::SimError;
+use crate::runtime::{broadcast_abort, run_query, Msg, Outcome, PartyMsg, PartyStatic, QueryJob};
+use crate::session::{Prepared, SessionConfig};
+use crate::transport::{Control, TcpHub, TcpTransport, Transport, TransportError};
+use crate::{Party, Report, PAILLIER_BITS, RSA_BITS};
+use mpq_algebra::{Catalog, NodeId, Operator, SubjectId};
+use mpq_core::authz::{Policy, SubjectView};
+use mpq_core::dispatch::dispatch;
+use mpq_core::extend::ExtendedPlan;
+use mpq_core::keys::KeyPlan;
+use mpq_core::subjects::Subjects;
+use mpq_crypto::bignum::BigUint;
+use mpq_crypto::keyring::{ClusterKey, KeyRing};
+use mpq_crypto::paillier::PaillierPublic;
+use mpq_crypto::rsa::{RsaKeypair, RsaPublic, SignedEnvelope};
+use mpq_exec::{assign_schemes, rewrite_literals, Database, WorkerPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long control-plane connects wait before failing typed.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Extra slack the coordinator grants servers past the data-plane
+/// receive timeout before declaring their control connection dead: a
+/// server that hits its own timeout still needs a moment to report
+/// `Failed`.
+const DONE_SLACK: Duration = Duration::from_secs(5);
+
+/// Everything one `mpq-server` process needs to host a subject.
+///
+/// The deliberate *absence* here is the point: no other subject's
+/// store, no other subject's keys, no policy-wide state beyond this
+/// subject's own view (needed for the receive audit). Catalog, view,
+/// and the store partition are derived from a shared fixture on both
+/// sides of the wire (see the `mpq-server` binary).
+pub struct ServerConfig {
+    /// The subject this process hosts.
+    pub me: SubjectId,
+    /// Listen address (`host:port`; port 0 for OS-assigned).
+    pub listen: String,
+    /// Data-plane addresses of the *other* parties, including the
+    /// coordinator's user.
+    pub peers: HashMap<SubjectId, String>,
+    /// Seed for this server's RSA keypair.
+    pub seed: u64,
+    /// The shared schema.
+    pub catalog: Catalog,
+    /// This subject's overall view (receive audits).
+    pub view: SubjectView,
+    /// This subject's partition of the base relations.
+    pub store: Database,
+}
+
+/// A bound subject process: one listener serving both the data plane
+/// (peer connections) and the control plane (the coordinator).
+pub struct Server {
+    st: PartyStatic,
+    peers: HashMap<SubjectId, String>,
+    rx: Receiver<PartyMsg>,
+    ctl_rx: Receiver<Control>,
+    hub: TcpHub,
+}
+
+impl Server {
+    /// Bind the listener and generate this subject's keypair. The
+    /// process serves coordinators until one sends
+    /// `Frame::Shutdown`.
+    pub fn bind(config: ServerConfig) -> Result<Server, TransportError> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let party = Arc::new(Party {
+            rsa: RsaKeypair::generate(&mut rng, RSA_BITS),
+            ring: KeyRing::new(),
+            store: config.store,
+        });
+        let (tx, rx) = channel();
+        let (ctl_tx, ctl_rx) = channel();
+        let hub = TcpHub::bind(&config.listen, tx, Some(ctl_tx))?;
+        Ok(Server {
+            st: PartyStatic {
+                me: config.me,
+                catalog: Arc::new(config.catalog),
+                view: config.view,
+                party,
+            },
+            peers: config.peers,
+            rx,
+            ctl_rx,
+            hub,
+        })
+    }
+
+    /// The actually-bound `host:port` (resolves port 0).
+    pub fn addr(&self) -> &str {
+        self.hub.addr()
+    }
+
+    /// The subject this server hosts.
+    pub fn subject(&self) -> SubjectId {
+        self.st.me
+    }
+
+    /// Serve coordinators until one sends `Frame::Shutdown`. A
+    /// coordinator dropping its connection returns the server to
+    /// accepting the next one; provisioned keys persist across
+    /// coordinator connections (they are this subject's material).
+    pub fn run(mut self) -> Result<(), TransportError> {
+        let wire: Arc<dyn Transport> = Arc::new(TcpTransport::new(
+            self.st.me,
+            self.peers.clone(),
+            CONNECT_TIMEOUT,
+        ));
+        let mut stash: Vec<(u64, Msg)> = Vec::new();
+        loop {
+            let Ok(mut ctl) = self.ctl_rx.recv() else {
+                return Ok(());
+            };
+            if self.serve_conn(&mut ctl, wire.as_ref(), &mut stash)? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serve one coordinator connection. `Ok(true)` means shutdown was
+    /// requested; `Ok(false)` means the coordinator went away.
+    fn serve_conn(
+        &mut self,
+        ctl: &mut Control,
+        wire: &dyn Transport,
+        stash: &mut Vec<(u64, Msg)>,
+    ) -> Result<bool, TransportError> {
+        // The handshake fixes who we are talking *for*: every envelope
+        // of this connection must verify against this user key.
+        let mut user_public: Option<RsaPublic> = None;
+        loop {
+            let frame = match ctl.recv(None) {
+                Ok(f) => f,
+                Err(TransportError::Closed) => return Ok(false),
+                Err(e) => return Err(e),
+            };
+            match frame {
+                Frame::Hello { user: _, public } => {
+                    user_public = Some(public);
+                    ctl.send(&Frame::HelloAck {
+                        me: self.st.me,
+                        public: self.st.party.rsa.public.clone(),
+                    })?;
+                }
+                Frame::Provision { envelope } => {
+                    // Def. 6.1 delivery: sealed to us, signed by the
+                    // user. A key that fails to open is simply not
+                    // granted — the query that needed it will fail with
+                    // a typed MissingKey at execution.
+                    if let Some(pk) = &user_public {
+                        if let Some(key) = envelope
+                            .open(&self.st.party.rsa, pk)
+                            .and_then(|bytes| ClusterKey::from_bytes(&bytes))
+                        {
+                            self.st.party.ring.insert(key);
+                        }
+                    }
+                }
+                Frame::ProvisionPublic { id, n } => {
+                    self.st.party.ring.insert_public(
+                        id,
+                        PaillierPublic::from_modulus(BigUint::from_bytes_be(&n)),
+                    );
+                }
+                Frame::Execute {
+                    epoch,
+                    job,
+                    envelope,
+                } => {
+                    let Some(pk) = user_public.clone() else {
+                        ctl.send(&Frame::Failed {
+                            epoch,
+                            message: "Execute before Hello".to_string(),
+                        })?;
+                        continue;
+                    };
+                    let outcome = self.execute(epoch, job, envelope, &pk, wire, stash);
+                    match outcome {
+                        Outcome::Done(out) => {
+                            let mut transfers: Vec<(SubjectId, SubjectId, u64)> = out
+                                .transfers
+                                .into_iter()
+                                .map(|((f, t), b)| (f, t, b as u64))
+                                .collect();
+                            transfers.sort_by_key(|(f, t, _)| (f.index(), t.index()));
+                            ctl.send(&Frame::Done { epoch, transfers })?;
+                        }
+                        Outcome::Failed(e) => ctl.send(&Frame::Failed {
+                            epoch,
+                            message: e.to_string(),
+                        })?,
+                        Outcome::Aborted => ctl.send(&Frame::Failed {
+                            epoch,
+                            message: ABORTED_MARK.to_string(),
+                        })?,
+                        Outcome::Panicked(m) => ctl.send(&Frame::Failed {
+                            epoch,
+                            message: format!("party panicked: {m}"),
+                        })?,
+                    }
+                }
+                Frame::Shutdown => return Ok(true),
+                // Data-plane or coordinator-bound frames on a control
+                // connection: a confused peer. Drop the connection.
+                _ => return Ok(false),
+            }
+        }
+    }
+
+    /// Execute this server's share of one epoch with the session
+    /// runtime's own `run_query`.
+    fn execute(
+        &self,
+        epoch: u64,
+        job: RemoteJob,
+        envelope: Option<SignedEnvelope>,
+        user_public: &RsaPublic,
+        wire: &dyn Transport,
+        stash: &mut Vec<(u64, Msg)>,
+    ) -> Outcome {
+        // The signed request is the authorization to compute: it must
+        // open (sealed to us) and verify (signed by the user). The
+        // in-process simulator additionally compares the payload to
+        // the expected batch — a shared-memory artifact a real server
+        // cannot reproduce; signature verification is the honest
+        // remote equivalent.
+        match &envelope {
+            Some(env) => {
+                if env.open(&self.st.party.rsa, user_public).is_none() {
+                    broadcast_abort(wire, epoch, &job.participants, self.st.me);
+                    return Outcome::Failed(SimError::Envelope { to: self.st.me });
+                }
+            }
+            None => {
+                broadcast_abort(wire, epoch, &job.participants, self.st.me);
+                return Outcome::Failed(SimError::Envelope { to: self.st.me });
+            }
+        }
+        let order = job.plan.postorder();
+        let parents = job.plan.parents();
+        let qj = QueryJob {
+            prepared: Prepared {
+                exec_plan: job.plan,
+                schemes: job.schemes,
+                key_of_attr: job.key_of_attr,
+                order,
+                transfers: HashMap::new(),
+                // Envelope verification happened above; run_query's
+                // own envelope loop has nothing left to check.
+                envelopes: Vec::new(),
+                requests: 0,
+                exec_seed: job.exec_seed,
+            },
+            assignment: job.assignment,
+            parents,
+            participants: job.participants,
+            user: job.user,
+            user_public: user_public.clone(),
+            pool: WorkerPool::global(),
+            timeout: (job.timeout_ms > 0).then(|| Duration::from_millis(job.timeout_ms)),
+        };
+        catch_unwind(AssertUnwindSafe(|| {
+            run_query(&self.st, &qj, epoch, &self.rx, wire, stash)
+        }))
+        .unwrap_or_else(|payload| {
+            broadcast_abort(wire, epoch, &qj.participants, self.st.me);
+            let m = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Outcome::Panicked(m)
+        })
+    }
+}
+
+/// Marker a server reports when it stopped because a *peer* failed —
+/// the coordinator prefers the actual failure over this echo.
+const ABORTED_MARK: &str = "aborted: a peer failed first";
+
+/// The querying user's end of the federated deployment: holds the
+/// user's own party (keys, store partition, data-plane hub), a control
+/// connection to every server, and drives the full §6 protocol per
+/// query.
+pub struct Coordinator {
+    user: SubjectId,
+    catalog: Arc<Catalog>,
+    subjects: Arc<Subjects>,
+    views: Vec<SubjectView>,
+    st: PartyStatic,
+    controls: HashMap<SubjectId, Control>,
+    server_publics: HashMap<SubjectId, RsaPublic>,
+    wire: Arc<TcpTransport>,
+    rx: Receiver<PartyMsg>,
+    stash: Vec<(u64, Msg)>,
+    _hub: TcpHub,
+    rng: StdRng,
+    exec_seed: u64,
+    epoch: u64,
+    pool: WorkerPool,
+    preflight: bool,
+    timeout: Duration,
+}
+
+impl Coordinator {
+    /// Connect to every server, run the hello handshake, and set up
+    /// the user's own party (data-plane hub on `listen`, store holding
+    /// the relations the user is the authority of).
+    ///
+    /// `servers` maps each remote subject to its `host:port`; the
+    /// servers' own `peers` maps must point back at `listen` for the
+    /// user's subject, since result tables flow peer-to-peer. `db` is
+    /// the full fixture database — only the user-authority partition
+    /// stays in this process. The [`SessionConfig`] contributes seed,
+    /// pre-flight, and timeout (its transport field is moot: a
+    /// coordinator is TCP by definition).
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        catalog: &Catalog,
+        subjects: &Subjects,
+        policy: &Policy,
+        db: &Database,
+        user: SubjectId,
+        listen: &str,
+        servers: &HashMap<SubjectId, String>,
+        config: SessionConfig,
+    ) -> Result<Coordinator, SimError> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let rsa = RsaKeypair::generate(&mut rng, RSA_BITS);
+        let mut store = Database::new();
+        for rel in catalog.relations() {
+            if subjects.authority(rel.rel) == Some(user) {
+                if let Some(table) = db.table(rel.rel) {
+                    store.insert(rel.rel, table.clone());
+                }
+            }
+        }
+        let catalog = Arc::new(catalog.clone());
+        let subjects = Arc::new(subjects.clone());
+        let views = policy.all_views(&catalog, &subjects);
+        let (tx, rx) = channel();
+        let hub = TcpHub::bind(listen, tx, None).map_err(SimError::Transport)?;
+
+        let mut controls = HashMap::new();
+        let mut server_publics = HashMap::new();
+        for (&s, addr) in servers {
+            let mut ctl = Control::connect(addr, CONNECT_TIMEOUT).map_err(SimError::Transport)?;
+            ctl.send(&Frame::Hello {
+                user,
+                public: rsa.public.clone(),
+            })
+            .map_err(SimError::Transport)?;
+            match ctl
+                .recv(Some(CONNECT_TIMEOUT))
+                .map_err(SimError::Transport)?
+            {
+                Frame::HelloAck { me, public } if me == s => {
+                    server_publics.insert(s, public);
+                }
+                Frame::HelloAck { me, .. } => {
+                    return Err(SimError::Transport(TransportError::Frame {
+                        detail: format!("server at {addr} hosts {me}, expected {s}"),
+                    }))
+                }
+                _ => {
+                    return Err(SimError::Transport(TransportError::Frame {
+                        detail: "expected HelloAck".to_string(),
+                    }))
+                }
+            }
+            controls.insert(s, ctl);
+        }
+
+        let st = PartyStatic {
+            me: user,
+            catalog: Arc::clone(&catalog),
+            view: views[user.index()].clone(),
+            party: Arc::new(Party {
+                rsa,
+                ring: KeyRing::new(),
+                store,
+            }),
+        };
+        Ok(Coordinator {
+            user,
+            catalog,
+            subjects,
+            views,
+            st,
+            controls,
+            server_publics,
+            wire: Arc::new(TcpTransport::new(user, servers.clone(), CONNECT_TIMEOUT)),
+            rx,
+            stash: Vec::new(),
+            _hub: hub,
+            rng,
+            exec_seed: config.seed ^ 0x6d70_715f_6578_6563, // "mpq_exec"
+            epoch: 0,
+            pool: match config.workers {
+                Some(n) => WorkerPool::new(n),
+                None => WorkerPool::global(),
+            },
+            preflight: config.preflight,
+            timeout: config
+                .effective_timeout()
+                .unwrap_or(Duration::from_secs(10)),
+        })
+    }
+
+    /// Run one query across the server processes: re-verify the
+    /// assignment (Def. 4.1 per node), optional static pre-flight,
+    /// full Def. 6.1 provisioning over the wire, signed request
+    /// dispatch, peer-to-peer execution, and report assembly. Each
+    /// query provisions fresh cluster keys, like
+    /// [`Simulator::run`](crate::Simulator::run).
+    pub fn execute(&mut self, ext: &ExtendedPlan, keys: &KeyPlan) -> Result<Report, SimError> {
+        let order = ext.plan.postorder();
+        let assignee_of = |id: NodeId| -> Result<SubjectId, SimError> {
+            ext.assignment
+                .get(&id)
+                .copied()
+                .ok_or(SimError::Unassigned(id))
+        };
+
+        // ---- 1. runtime authorization check (Def. 4.1 per node) ----
+        for &id in &order {
+            let node = ext.plan.node(id);
+            let subject = assignee_of(id)?;
+            if let Operator::Base { rel, .. } = &node.op {
+                let authority = self
+                    .subjects
+                    .authority(*rel)
+                    .ok_or(SimError::NoAuthority(*rel))?;
+                if subject != authority {
+                    return Err(SimError::NotTheAuthority {
+                        node: id,
+                        subject,
+                        authority,
+                    });
+                }
+                continue;
+            }
+            let view = &self.views[subject.index()];
+            for &child in &node.children {
+                if let Err(violation) = view.check(&ext.profiles[child.index()]) {
+                    return Err(SimError::Unauthorized {
+                        node: id,
+                        subject,
+                        violation,
+                    });
+                }
+            }
+            if let Err(violation) = view.check(&ext.profiles[id.index()]) {
+                return Err(SimError::Unauthorized {
+                    node: id,
+                    subject,
+                    violation,
+                });
+            }
+        }
+
+        // ---- 1b. static pre-flight (mpq_core::verify) --------------
+        if self.preflight {
+            let report = mpq_core::verify::verify_extended(
+                ext,
+                keys,
+                &self.catalog,
+                &self.subjects,
+                &self.views,
+                Some(self.user),
+            );
+            if !report.is_clean() {
+                return Err(SimError::Verify(report));
+            }
+        }
+
+        // ---- 2. Def. 6.1 key provisioning over the wire ------------
+        let mut computing = vec![false; self.views.len()];
+        for &id in &order {
+            computing[assignee_of(id)?.index()] = true;
+        }
+        computing[self.user.index()] = true;
+        let mut key_of_attr: HashMap<mpq_algebra::AttrId, u32> = HashMap::new();
+        let dispatcher_ring = KeyRing::new();
+        for (i, plan_key) in keys.keys.iter().enumerate() {
+            let material = ClusterKey::generate(&mut self.rng, i as u32, PAILLIER_BITS);
+            for a in plan_key.attrs.iter() {
+                key_of_attr.insert(a, material.id);
+            }
+            for &holder in &plan_key.holders {
+                if holder == self.user {
+                    self.st.party.ring.insert(material.clone());
+                } else {
+                    let envelope = SignedEnvelope::seal(
+                        &mut self.rng,
+                        &material.to_bytes(),
+                        &self.st.party.rsa,
+                        self.server_publics
+                            .get(&holder)
+                            .ok_or(SimError::Envelope { to: holder })?,
+                    );
+                    self.control(holder)?
+                        .send(&Frame::Provision { envelope })
+                        .map_err(SimError::Transport)?;
+                }
+            }
+            let public_n = material.paillier_public().n.to_bytes_be();
+            for (idx, &computes) in computing.iter().enumerate() {
+                let s = SubjectId::from_index(idx);
+                if !computes || plan_key.holders.contains(&s) {
+                    continue;
+                }
+                if s == self.user {
+                    self.st
+                        .party
+                        .ring
+                        .insert_public(material.id, material.paillier_public());
+                } else {
+                    self.control(s)?
+                        .send(&Frame::ProvisionPublic {
+                            id: material.id,
+                            n: public_n.clone(),
+                        })
+                        .map_err(SimError::Transport)?;
+                }
+            }
+            if !plan_key.holders.is_empty() {
+                dispatcher_ring.insert(material.clone());
+            }
+        }
+
+        // ---- 3. dispatch: signed, encrypted sub-query requests -----
+        let schemes = assign_schemes(&ext.plan).map_err(|e| SimError::Scheme(e.to_string()))?;
+        let exec_plan = rewrite_literals(
+            &ext.plan,
+            &self.catalog,
+            &schemes,
+            &key_of_attr,
+            &dispatcher_ring,
+            &mut self.rng,
+        )
+        .map_err(SimError::Rewrite)?;
+
+        let d = dispatch(ext, keys, &self.catalog, &self.subjects);
+        let mut batches: Vec<Vec<u8>> = vec![Vec::new(); self.views.len()];
+        for req in &d.requests {
+            let batch = &mut batches[req.subject.index()];
+            if !batch.is_empty() {
+                batch.extend_from_slice(b"\n===\n");
+            }
+            batch.extend_from_slice(req.sql.as_bytes());
+            for key_id in &req.keys {
+                batch.extend_from_slice(format!("\nkey:{key_id}").as_bytes());
+            }
+        }
+        let mut request_bytes: HashMap<(SubjectId, SubjectId), usize> = HashMap::new();
+        let mut envelopes: HashMap<SubjectId, SignedEnvelope> = HashMap::new();
+        for (i, payload) in batches.into_iter().enumerate() {
+            let to = SubjectId::from_index(i);
+            if payload.is_empty() || to == self.user {
+                continue;
+            }
+            let envelope = SignedEnvelope::seal(
+                &mut self.rng,
+                &payload,
+                &self.st.party.rsa,
+                self.server_publics
+                    .get(&to)
+                    .ok_or(SimError::Envelope { to })?,
+            );
+            *request_bytes.entry((self.user, to)).or_default() +=
+                envelope.wrapped_key.len() + envelope.body.len() + envelope.signature.len();
+            envelopes.insert(to, envelope);
+        }
+
+        // ---- 4. Execute frames + the user's own share --------------
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut is_participant = vec![false; self.views.len()];
+        for id in &order {
+            is_participant[ext.assignment[id].index()] = true;
+        }
+        is_participant[self.user.index()] = true;
+        let participants: Vec<SubjectId> = (0..self.views.len())
+            .map(SubjectId::from_index)
+            .filter(|s| is_participant[s.index()])
+            .collect();
+        let job = RemoteJob {
+            plan: exec_plan,
+            schemes,
+            key_of_attr,
+            assignment: ext.assignment.clone(),
+            participants: participants.clone(),
+            user: self.user,
+            exec_seed: self.exec_seed,
+            timeout_ms: self.timeout.as_millis() as u64,
+        };
+        for &s in &participants {
+            if s == self.user {
+                continue;
+            }
+            let frame = Frame::Execute {
+                epoch,
+                job: job.clone(),
+                envelope: Some(envelopes.remove(&s).ok_or(SimError::Envelope { to: s })?),
+            };
+            self.control(s)?.send(&frame).map_err(SimError::Transport)?;
+        }
+
+        // The user's own share runs inline: the coordinator process
+        // *is* the user's party (Fig. 8 — the user participates in the
+        // data plane like any provider).
+        let parents = job.plan.parents();
+        let qj = QueryJob {
+            prepared: Prepared {
+                exec_plan: job.plan,
+                schemes: job.schemes,
+                key_of_attr: job.key_of_attr,
+                order,
+                transfers: HashMap::new(),
+                envelopes: Vec::new(),
+                requests: 0,
+                exec_seed: self.exec_seed,
+            },
+            assignment: job.assignment,
+            parents,
+            participants: participants.clone(),
+            user: self.user,
+            user_public: self.st.party.rsa.public.clone(),
+            pool: self.pool.clone(),
+            timeout: Some(self.timeout),
+        };
+        let own = run_query(
+            &self.st,
+            &qj,
+            epoch,
+            &self.rx,
+            self.wire.as_ref(),
+            &mut self.stash,
+        );
+
+        // ---- 5. collect outcomes, assemble the report --------------
+        let mut transfers = request_bytes.clone();
+        let mut failures: Vec<(SubjectId, String)> = Vec::new();
+        let mut result = None;
+        match own {
+            Outcome::Done(out) => {
+                for (edge, bytes) in out.transfers {
+                    *transfers.entry(edge).or_default() += bytes;
+                }
+                result = out.result;
+            }
+            Outcome::Failed(e) => return Err(e),
+            Outcome::Aborted => failures.push((self.user, ABORTED_MARK.to_string())),
+            Outcome::Panicked(m) => panic!("coordinator party panicked: {m}"),
+        }
+        let wait = self.timeout + DONE_SLACK;
+        for &s in &participants {
+            if s == self.user {
+                continue;
+            }
+            loop {
+                let frame = self
+                    .controls
+                    .get_mut(&s)
+                    .expect("control per participant")
+                    .recv(Some(wait))
+                    .map_err(SimError::Transport)?;
+                match frame {
+                    Frame::Done {
+                        epoch: e,
+                        transfers: t,
+                    } if e == epoch => {
+                        for (f, to, bytes) in t {
+                            *transfers.entry((f, to)).or_default() += bytes as usize;
+                        }
+                        break;
+                    }
+                    Frame::Failed { epoch: e, message } if e == epoch => {
+                        failures.push((s, message));
+                        break;
+                    }
+                    // Residue of an earlier epoch: drain and keep
+                    // waiting for this one.
+                    Frame::Done { .. } | Frame::Failed { .. } => continue,
+                    _ => {
+                        return Err(SimError::Transport(TransportError::Frame {
+                            detail: "expected Done/Failed".to_string(),
+                        }))
+                    }
+                }
+            }
+        }
+        if !failures.is_empty() {
+            // Prefer the actual failure over "a peer failed" echoes,
+            // then lowest subject id, mirroring the session's
+            // deterministic error precedence.
+            failures.sort_by_key(|(s, m)| (m == ABORTED_MARK, s.index()));
+            let (from, message) = failures.remove(0);
+            return Err(SimError::Transport(TransportError::Peer { from, message }));
+        }
+        Ok(Report {
+            result: result.ok_or(SimError::Transport(TransportError::Frame {
+                detail: "no result delivered to the user".to_string(),
+            }))?,
+            transfers,
+            request_bytes,
+            requests: d.requests.len(),
+        })
+    }
+
+    /// Ask every server to exit, then drop the connections.
+    pub fn shutdown(mut self) {
+        for (_, ctl) in self.controls.iter_mut() {
+            let _ = ctl.send(&Frame::Shutdown);
+        }
+    }
+
+    fn control(&mut self, s: SubjectId) -> Result<&mut Control, SimError> {
+        self.controls
+            .get_mut(&s)
+            .ok_or(SimError::Transport(TransportError::Closed))
+    }
+}

@@ -48,18 +48,21 @@
 use crate::audit::audit_transfer_with;
 use crate::error::SimError;
 use crate::session::Prepared;
-use crate::{Party, Report};
+use crate::transport::{InProcTransport, TcpHub, TcpTransport, Transport, TransportError};
+use crate::{Party, Report, TransportKind};
 use mpq_algebra::{Catalog, NodeId, SubjectId};
 use mpq_core::authz::SubjectView;
 use mpq_crypto::rsa::RsaPublic;
 use mpq_exec::{execute_step, node_ready, ExecCtx, Table, WorkerPool};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// One data message exchanged between parties while a query runs.
+#[derive(Debug)]
 pub(crate) enum Msg {
     /// The materialized table of `node`, produced by `from` and
     /// consumed by a node assigned to the receiving subject.
@@ -83,7 +86,7 @@ pub(crate) enum Msg {
 }
 
 /// Everything on a party's persistent mailbox.
-enum PartyMsg {
+pub(crate) enum PartyMsg {
     /// Wake up and execute your share of a query.
     Run {
         /// Query epoch (strictly increasing per session).
@@ -124,10 +127,16 @@ pub(crate) struct QueryJob {
     /// draw from this one budget, so concurrently executing parties do
     /// not oversubscribe the machine.
     pub(crate) pool: WorkerPool,
+    /// How long a party waits for an expected data message before
+    /// aborting the epoch with a typed
+    /// [`TransportError::Timeout`] — `None` waits forever (the in-proc
+    /// default, where a peer cannot die without the whole process
+    /// dying).
+    pub(crate) timeout: Option<Duration>,
 }
 
 /// What a party reports back to the coordinator for one epoch.
-enum Outcome {
+pub(crate) enum Outcome {
     /// Finished cleanly.
     Done(PartyOut),
     /// Failed with a real error (already broadcast `Abort`).
@@ -141,29 +150,43 @@ enum Outcome {
 }
 
 /// A clean party's contribution to the run report.
-struct PartyOut {
+pub(crate) struct PartyOut {
     /// Bytes received per (producer, me) edge.
-    transfers: HashMap<(SubjectId, SubjectId), usize>,
+    pub(crate) transfers: HashMap<(SubjectId, SubjectId), usize>,
     /// The final result (only ever `Some` at the user's party).
-    result: Option<Table>,
+    pub(crate) result: Option<Table>,
 }
 
-/// Session-static context a party thread owns for its whole life.
-struct PartyStatic {
-    me: SubjectId,
-    catalog: Arc<Catalog>,
-    views: Arc<Vec<SubjectView>>,
-    parties: Arc<Vec<Party>>,
+/// Session-static context one party loop owns for its whole life.
+/// Deliberately holds only *this* subject's material — an
+/// [`mpq-server`](crate::remote) process builds one of these for the
+/// single subject it hosts, with no other party's keys or store in
+/// its address space.
+pub(crate) struct PartyStatic {
+    pub(crate) me: SubjectId,
+    pub(crate) catalog: Arc<Catalog>,
+    /// This subject's overall view (receive audits).
+    pub(crate) view: SubjectView,
+    /// This subject's keys and store.
+    pub(crate) party: Arc<Party>,
 }
 
 /// The long-lived party threads of one session: a mailbox sender per
 /// subject, a shared completion channel, and the join handles used for
-/// clean teardown on drop.
+/// clean teardown on drop. With [`TransportKind::Tcp`] every party
+/// additionally owns a [`TcpHub`] (loopback listener) and data-plane
+/// messages travel as framed records through real sockets; the control
+/// plane (run/shutdown/outcomes) stays on in-process channels either
+/// way.
 pub(crate) struct PartyThreads {
     txs: Vec<Sender<PartyMsg>>,
     done_rx: Receiver<(SubjectId, u64, Outcome)>,
     handles: Vec<JoinHandle<()>>,
     epoch: u64,
+    /// Keeps the TCP listeners alive for the threads' lifetime; dropped
+    /// (and joined) after the party threads exit, so every in-flight
+    /// frame either lands or sees a clean EOF.
+    _hubs: Vec<TcpHub>,
 }
 
 impl PartyThreads {
@@ -172,7 +195,8 @@ impl PartyThreads {
     pub(crate) fn spawn(
         catalog: &Arc<Catalog>,
         views: &Arc<Vec<SubjectView>>,
-        parties: &Arc<Vec<Party>>,
+        parties: &[Arc<Party>],
+        transport: TransportKind,
     ) -> PartyThreads {
         let n = parties.len();
         let mut txs = Vec::with_capacity(n);
@@ -182,31 +206,57 @@ impl PartyThreads {
             txs.push(tx);
             rxs.push(rx);
         }
+        // One wire per party. In-proc: clones of everyone's mailbox
+        // sender. TCP: every party binds a loopback hub feeding its own
+        // mailbox, and sends connect to the peers' hubs.
+        let mut hubs = Vec::new();
+        let wires: Vec<Arc<dyn Transport>> = match transport {
+            TransportKind::InProc => (0..n)
+                .map(|_| Arc::new(InProcTransport::new(txs.clone())) as Arc<dyn Transport>)
+                .collect(),
+            TransportKind::Tcp => {
+                for tx in &txs {
+                    hubs.push(
+                        TcpHub::bind("127.0.0.1:0", tx.clone(), None)
+                            .expect("bind a loopback listener for the TCP transport"),
+                    );
+                }
+                let peers: HashMap<SubjectId, String> = hubs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, hub)| (SubjectId::from_index(j), hub.addr().to_string()))
+                    .collect();
+                (0..n)
+                    .map(|i| {
+                        let mut peers = peers.clone();
+                        peers.remove(&SubjectId::from_index(i));
+                        Arc::new(TcpTransport::new(
+                            SubjectId::from_index(i),
+                            peers,
+                            Duration::from_secs(5),
+                        )) as Arc<dyn Transport>
+                    })
+                    .collect()
+            }
+        };
         let (done_tx, done_rx) = channel();
         let mut handles = Vec::with_capacity(n);
-        for (i, rx) in rxs.into_iter().enumerate() {
-            let senders: HashMap<SubjectId, Sender<PartyMsg>> = txs
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i)
-                .map(|(j, tx)| (SubjectId::from_index(j), tx.clone()))
-                .collect();
+        for ((i, rx), wire) in rxs.into_iter().enumerate().zip(wires) {
             let st = PartyStatic {
                 me: SubjectId::from_index(i),
                 catalog: Arc::clone(catalog),
-                views: Arc::clone(views),
-                parties: Arc::clone(parties),
+                view: views[i].clone(),
+                party: Arc::clone(&parties[i]),
             };
             let done = done_tx.clone();
-            handles.push(std::thread::spawn(move || {
-                party_main(st, rx, senders, done)
-            }));
+            handles.push(std::thread::spawn(move || party_main(st, rx, wire, done)));
         }
         PartyThreads {
             txs,
             done_rx,
             handles,
             epoch: 0,
+            _hubs: hubs,
         }
     }
 
@@ -297,19 +347,17 @@ impl Drop for PartyThreads {
 }
 
 /// Broadcast `Abort` for `epoch` to every other participant of the
-/// query (ignoring peers that already exited).
-fn broadcast_abort(
-    senders: &HashMap<SubjectId, Sender<PartyMsg>>,
+/// query (ignoring peers that already exited or are unreachable — the
+/// abort is best-effort; unreachable peers time out on their own).
+pub(crate) fn broadcast_abort(
+    wire: &dyn Transport,
     epoch: u64,
     participants: &[SubjectId],
     me: SubjectId,
 ) {
     for &p in participants {
         if p != me {
-            let _ = senders[&p].send(PartyMsg::Data {
-                epoch,
-                msg: Msg::Abort,
-            });
+            let _ = wire.send(p, epoch, Msg::Abort);
         }
     }
 }
@@ -330,7 +378,7 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 fn party_main(
     st: PartyStatic,
     rx: Receiver<PartyMsg>,
-    senders: HashMap<SubjectId, Sender<PartyMsg>>,
+    wire: Arc<dyn Transport>,
     done: Sender<(SubjectId, u64, Outcome)>,
 ) {
     // Data that arrived while idle: either residue of an aborted query
@@ -342,10 +390,10 @@ fn party_main(
             Ok(PartyMsg::Run { epoch, job }) => {
                 stash.retain(|(e, _)| *e >= epoch);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_query(&st, &job, epoch, &rx, &senders, &mut stash)
+                    run_query(&st, &job, epoch, &rx, wire.as_ref(), &mut stash)
                 }))
                 .unwrap_or_else(|payload| {
-                    broadcast_abort(&senders, epoch, &job.participants, st.me);
+                    broadcast_abort(wire.as_ref(), epoch, &job.participants, st.me);
                     Outcome::Panicked(panic_text(payload))
                 });
                 if done.send((st.me, epoch, outcome)).is_err() {
@@ -361,18 +409,24 @@ fn party_main(
 /// Execute this party's share of one query epoch: verify the signed
 /// request envelopes addressed to us, then step every assigned node as
 /// its operands materialize, routing outputs to their consumers.
-fn run_query(
+///
+/// Transport-agnostic: outputs leave through `wire` (in-proc mailbox
+/// senders or framed TCP), inputs arrive on the party's own mailbox
+/// `rx` whichever way they traveled. A send failure or a receive
+/// timeout aborts the epoch with a typed
+/// [`SimError::Transport`] instead of hanging.
+pub(crate) fn run_query(
     st: &PartyStatic,
     job: &QueryJob,
     epoch: u64,
     rx: &Receiver<PartyMsg>,
-    senders: &HashMap<SubjectId, Sender<PartyMsg>>,
+    wire: &dyn Transport,
     stash: &mut Vec<(u64, Msg)>,
 ) -> Outcome {
     let me = st.me;
     let plan = &job.prepared.exec_plan;
-    let party = &st.parties[me.index()];
-    let my_view = &st.views[me.index()];
+    let party = st.party.as_ref();
+    let my_view = &st.view;
     let root = plan.root();
 
     // Nothing executes until every request envelope addressed to this
@@ -386,7 +440,7 @@ fn run_query(
         }
         let opened = envelope.open(&party.rsa, &job.user_public);
         if opened.as_deref() != Some(expected.as_slice()) {
-            broadcast_abort(senders, epoch, &job.participants, me);
+            broadcast_abort(wire, epoch, &job.participants, me);
             return Outcome::Failed(SimError::Envelope { to: me });
         }
     }
@@ -452,7 +506,7 @@ fn run_query(
                 let table = match execute_step(plan, id, &mut results, &exec_ctx) {
                     Ok(t) => t,
                     Err(e) => {
-                        broadcast_abort(senders, epoch, &job.participants, me);
+                        broadcast_abort(wire, epoch, &job.participants, me);
                         return Outcome::Failed(e.into());
                     }
                 };
@@ -463,30 +517,32 @@ fn run_query(
                         // Even a user-computed result is audited, as in
                         // the sequential path.
                         if let Err(e) = audit_transfer_with(&table, my_view, &job.pool) {
-                            broadcast_abort(senders, epoch, &job.participants, me);
+                            broadcast_abort(wire, epoch, &job.participants, me);
                             return Outcome::Failed(e);
                         }
                         result_table = Some(table);
-                    } else {
-                        let _ = senders[&job.user].send(PartyMsg::Data {
-                            epoch,
-                            msg: Msg::Result { from: me, table },
-                        });
+                    } else if let Err(e) =
+                        wire.send(job.user, epoch, Msg::Result { from: me, table })
+                    {
+                        broadcast_abort(wire, epoch, &job.participants, me);
+                        return Outcome::Failed(SimError::Transport(e));
                     }
                 } else {
                     let parent = job.parents[id.index()].expect("non-root has a parent");
                     let consumer = job.assignment[&parent];
                     if consumer == me {
                         results.insert(id, table);
-                    } else {
-                        let _ = senders[&consumer].send(PartyMsg::Data {
-                            epoch,
-                            msg: Msg::Table {
-                                node: id,
-                                from: me,
-                                table,
-                            },
-                        });
+                    } else if let Err(e) = wire.send(
+                        consumer,
+                        epoch,
+                        Msg::Table {
+                            node: id,
+                            from: me,
+                            table,
+                        },
+                    ) {
+                        broadcast_abort(wire, epoch, &job.participants, me);
+                        return Outcome::Failed(SimError::Transport(e));
                     }
                 }
             }
@@ -502,10 +558,25 @@ fn run_query(
         }
 
         // Next data message: replayed from the stash first, then live.
+        // A configured timeout bounds the wait, so a dead peer aborts
+        // the epoch with a typed error instead of hanging the session.
         let msg = if let Some(m) = inbox.next() {
             m
         } else {
-            match rx.recv() {
+            let received = match job.timeout {
+                Some(d) => match rx.recv_timeout(d) {
+                    Ok(m) => Ok(m),
+                    Err(RecvTimeoutError::Timeout) => {
+                        broadcast_abort(wire, epoch, &job.participants, me);
+                        return Outcome::Failed(SimError::Transport(TransportError::Timeout {
+                            millis: d.as_millis() as u64,
+                        }));
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Err(()),
+                },
+                None => rx.recv().map_err(|_| ()),
+            };
+            match received {
                 Ok(PartyMsg::Data { epoch: e, msg }) => match e.cmp(&epoch) {
                     std::cmp::Ordering::Equal => msg,
                     // Residue of an earlier (aborted) query: drop.
@@ -523,7 +594,7 @@ fn run_query(
                 Ok(PartyMsg::Run { .. }) => {
                     unreachable!("Run received while an epoch is still in flight")
                 }
-                Ok(PartyMsg::Shutdown) | Err(_) => return Outcome::Aborted,
+                Ok(PartyMsg::Shutdown) | Err(()) => return Outcome::Aborted,
             }
         };
         match msg {
@@ -531,7 +602,7 @@ fn run_query(
                 // Audit on receive: the cell-level check runs at the
                 // receiving party, before the table is usable.
                 if let Err(e) = audit_transfer_with(&table, my_view, &job.pool) {
-                    broadcast_abort(senders, epoch, &job.participants, me);
+                    broadcast_abort(wire, epoch, &job.participants, me);
                     return Outcome::Failed(e);
                 }
                 *transfers.entry((from, me)).or_default() += table.byte_size();
@@ -540,7 +611,7 @@ fn run_query(
             }
             Msg::Result { from, table } => {
                 if let Err(e) = audit_transfer_with(&table, my_view, &job.pool) {
-                    broadcast_abort(senders, epoch, &job.participants, me);
+                    broadcast_abort(wire, epoch, &job.participants, me);
                     return Outcome::Failed(e);
                 }
                 *transfers.entry((from, me)).or_default() += table.byte_size();

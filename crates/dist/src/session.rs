@@ -30,6 +30,7 @@
 
 use crate::error::SimError;
 use crate::runtime::{PartyThreads, QueryJob};
+use crate::transport::TransportKind;
 use crate::{audit, Party, Report, PAILLIER_BITS, RSA_BITS};
 use mpq_algebra::{AttrId, Catalog, NodeId, Operator, QueryPlan, RelId, SubjectId};
 use mpq_core::authz::{Policy, SubjectView};
@@ -47,6 +48,94 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Every runtime knob of a [`Session`] (and, through
+/// [`Simulator::with_config`](crate::Simulator::with_config), of a
+/// simulator) in one builder: seed, worker pool, static pre-flight,
+/// transport, and receive timeout. The legacy knob methods
+/// (`Session::with_workers`, `Session::without_preflight`) remain as
+/// thin shims over this.
+///
+/// # Example
+///
+/// ```
+/// use mpq_dist::{SessionConfig, TransportKind};
+///
+/// let config = SessionConfig::new(7)
+///     .with_workers(2)
+///     .transport(TransportKind::Tcp)
+///     .timeout(std::time::Duration::from_secs(3));
+/// assert_eq!(config.seed, 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Master seed: RSA keypairs, cluster-key material, envelope
+    /// session keys, and the derived execution seed all flow from it.
+    pub seed: u64,
+    /// `Some(n)`: a private worker pool of `n` threads; `None`: the
+    /// process-global pool.
+    pub workers: Option<usize>,
+    /// Run the static verifier (`mpq_core::verify`) before spending
+    /// crypto work on a query (on by default).
+    pub preflight: bool,
+    /// How data-plane messages travel between parties.
+    pub transport: TransportKind,
+    /// How long a party waits for an expected data message before
+    /// aborting with a typed [`TransportError`](crate::TransportError).
+    /// `None` defers to the transport default: wait forever in-proc
+    /// (peers share our fate), 10 s over TCP (a dead peer must abort
+    /// the query, not hang it).
+    pub timeout: Option<Duration>,
+}
+
+impl SessionConfig {
+    /// Defaults: in-proc transport, shared global pool, pre-flight on,
+    /// transport-default timeout.
+    pub fn new(seed: u64) -> SessionConfig {
+        SessionConfig {
+            seed,
+            workers: None,
+            preflight: true,
+            transport: TransportKind::InProc,
+            timeout: None,
+        }
+    }
+
+    /// Use a private worker pool of `workers` threads.
+    pub fn with_workers(mut self, workers: usize) -> SessionConfig {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Disable the static pre-flight verifier, leaving only the dynamic
+    /// defenses.
+    pub fn without_preflight(mut self) -> SessionConfig {
+        self.preflight = false;
+        self
+    }
+
+    /// Select the data-plane transport.
+    pub fn transport(mut self, transport: TransportKind) -> SessionConfig {
+        self.transport = transport;
+        self
+    }
+
+    /// Bound the wait for any expected data message.
+    pub fn timeout(mut self, timeout: Duration) -> SessionConfig {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// The effective receive timeout: the explicit setting, or the
+    /// transport default (`None` in-proc, 10 s over TCP).
+    pub fn effective_timeout(&self) -> Option<Duration> {
+        self.timeout.or(match self.transport {
+            TransportKind::InProc => None,
+            TransportKind::Tcp => Some(Duration::from_secs(10)),
+        })
+    }
+}
 
 /// Output of the shared preparation phase (runtime authorization,
 /// incremental Def. 6.1 key provisioning, literal rewriting, envelope
@@ -137,7 +226,7 @@ pub struct Session {
     /// (the policy itself is immutable; key *revocation* is modeled by
     /// [`Session::revoke_key`]).
     views: Arc<Vec<SubjectView>>,
-    parties: Arc<Vec<Party>>,
+    parties: Vec<Arc<Party>>,
     rng: StdRng,
     /// Derived once from the constructor seed; see `Prepared::exec_seed`.
     exec_seed: u64,
@@ -160,6 +249,9 @@ pub struct Session {
     /// tests opt out to exercise the dynamic checks the verifier
     /// subsumes.
     preflight: bool,
+    /// Receive timeout handed to every query's job (see
+    /// [`SessionConfig::effective_timeout`]).
+    timeout: Option<Duration>,
 }
 
 impl Session {
@@ -169,6 +261,10 @@ impl Session {
     ///
     /// A relation without a declared authority is held by nobody —
     /// executing a plan over it fails at that leaf.
+    ///
+    /// Convenience shim over [`Session::open_with`] with the default
+    /// [`SessionConfig`] (in-proc transport, shared pool, pre-flight
+    /// on).
     pub fn open(
         catalog: &Catalog,
         subjects: &Subjects,
@@ -176,7 +272,23 @@ impl Session {
         db: &Database,
         seed: u64,
     ) -> Session {
-        let mut rng = StdRng::seed_from_u64(seed);
+        Session::open_with(catalog, subjects, policy, db, SessionConfig::new(seed))
+    }
+
+    /// Open a session with an explicit [`SessionConfig`] — the one
+    /// place all runtime knobs live. With
+    /// [`TransportKind::Tcp`] the parties exchange data-plane messages
+    /// as length-prefixed frames over loopback sockets instead of
+    /// in-process channels (identical results and byte accounting; the
+    /// differential tests compare the two).
+    pub fn open_with(
+        catalog: &Catalog,
+        subjects: &Subjects,
+        policy: &Policy,
+        db: &Database,
+        config: SessionConfig,
+    ) -> Session {
+        let mut rng = StdRng::seed_from_u64(config.seed);
         let mut parties: Vec<Party> = subjects
             .iter()
             .map(|_| Party {
@@ -193,39 +305,46 @@ impl Session {
         let catalog = Arc::new(catalog.clone());
         let subjects = Arc::new(subjects.clone());
         let views = Arc::new(policy.all_views(&catalog, &subjects));
-        let parties = Arc::new(parties);
-        let threads = PartyThreads::spawn(&catalog, &views, &parties);
+        let parties: Vec<Arc<Party>> = parties.into_iter().map(Arc::new).collect();
+        let threads = PartyThreads::spawn(&catalog, &views, &parties, config.transport);
         Session {
             catalog,
             subjects,
             views,
             parties,
             rng,
-            exec_seed: seed ^ 0x6d70_715f_6578_6563, // "mpq_exec"
-            pool: WorkerPool::global(),
+            exec_seed: config.seed ^ 0x6d70_715f_6578_6563, // "mpq_exec"
+            pool: match config.workers {
+                Some(n) => WorkerPool::new(n),
+                None => WorkerPool::global(),
+            },
             cache: HashMap::new(),
             next_key_id: 0,
             threads,
             stats: SessionStats::default(),
-            preflight: true,
+            preflight: config.preflight,
+            timeout: config.effective_timeout(),
         }
     }
 
-    /// Replace the shared worker pool with a private one of `workers`
-    /// threads (differential tests sweep worker counts; results are
-    /// identical by construction). Takes effect from the next query —
-    /// the pool travels with each query's job, not with the threads.
+    /// Deprecated: use [`Session::open_with`] with
+    /// [`SessionConfig::with_workers`]. Replaces the shared worker pool
+    /// with a private one of `workers` threads (differential tests
+    /// sweep worker counts; results are identical by construction).
+    /// Takes effect from the next query — the pool travels with each
+    /// query's job, not with the threads.
     pub fn with_workers(mut self, workers: usize) -> Session {
         self.pool = WorkerPool::new(workers);
         self
     }
 
-    /// Disable the static pre-flight verifier for this session's
-    /// queries, leaving only the dynamic defenses (per-node Def. 4.1
-    /// re-check, wire audit, key-ring enforcement). Exists for the
-    /// runtime-enforcement tests, which deliberately execute plans the
-    /// verifier would reject in order to prove the dynamic layer
-    /// catches them too.
+    /// Deprecated: use [`Session::open_with`] with
+    /// [`SessionConfig::without_preflight`]. Disables the static
+    /// pre-flight verifier for this session's queries, leaving only the
+    /// dynamic defenses (per-node Def. 4.1 re-check, wire audit,
+    /// key-ring enforcement). Exists for the runtime-enforcement tests,
+    /// which deliberately execute plans the verifier would reject in
+    /// order to prove the dynamic layer catches them too.
     pub fn without_preflight(mut self) -> Session {
         self.preflight = false;
         self
@@ -444,6 +563,7 @@ impl Session {
             user,
             user_public: self.parties[user.index()].rsa.public.clone(),
             pool: self.pool.clone(),
+            timeout: self.timeout,
         }
     }
 

@@ -1,0 +1,556 @@
+//! The wire: how data-plane messages travel between parties.
+//!
+//! The paper's §2/Fig. 8 architecture is a set of *autonomous
+//! providers* exchanging signed sub-queries and audited result tables
+//! over a network. This module abstracts that wire behind the
+//! `Transport` trait — sending one `Msg` to one subject for one
+//! query epoch — with two implementations:
+//!
+//! * `InProcTransport` — the original in-process mailboxes: a
+//!   `send` is an `mpsc` enqueue onto the destination party's
+//!   persistent mailbox. Zero serialization, zero sockets.
+//! * `TcpTransport` + `TcpHub` — real length-prefixed TCP over
+//!   `std::net`. Every party binds a `TcpHub` (listener + accept
+//!   loop); a `send` lazily connects to the destination's hub, then
+//!   writes `[u32 len][frame]` records encoded by `crate::codec`.
+//!   The receiving hub decodes frames and injects them into the same
+//!   mailbox the in-proc transport would have used, so the party loop
+//!   in [`crate::runtime`] is transport-agnostic.
+//!
+//! Per-edge byte accounting is **logical** (the receiver accounts
+//! `table.byte_size()` of every table that crosses a subject
+//! boundary), so the two transports report bit-identical transfer
+//! maps — the property the TCP differential test pins.
+//!
+//! The `Control` type carries the `mpq-server` *control plane*
+//! (hello/provision/execute/done frames between a coordinator and a
+//! server process) over the same framed codec; see
+//! [`crate::remote`].
+//!
+//! All socket use in this crate is confined to this module
+//! (`mpq-lint` enforces it), as are the connect/read timeouts that
+//! turn a dead peer into a typed [`TransportError`] instead of a
+//! hang.
+
+use crate::codec::{decode_frame, encode_frame, Frame};
+use crate::runtime::{Msg, PartyMsg};
+use mpq_algebra::SubjectId;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Which wire a session runs its data plane over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process `mpsc` mailboxes (the default; fastest, no sockets).
+    #[default]
+    InProc,
+    /// Loopback TCP: every party binds a real listener and messages
+    /// travel as length-prefixed frames through the OS socket stack.
+    Tcp,
+}
+
+/// Why a wire operation failed. Carries rendered details (not
+/// `io::Error`) so it stays `Clone + PartialEq + Eq` like every other
+/// [`SimError`](crate::SimError) cause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// Binding a listener failed.
+    Bind {
+        /// Requested address.
+        addr: String,
+        /// OS error rendering.
+        detail: String,
+    },
+    /// Connecting to a peer failed (refused, unreachable, or timed
+    /// out).
+    Connect {
+        /// Peer address.
+        addr: String,
+        /// OS error rendering.
+        detail: String,
+    },
+    /// Writing to an established connection failed (peer died
+    /// mid-query).
+    Send {
+        /// Destination subject.
+        to: SubjectId,
+        /// OS error rendering.
+        detail: String,
+    },
+    /// Reading from a connection failed.
+    Recv {
+        /// OS error rendering.
+        detail: String,
+    },
+    /// A frame arrived but did not decode (truncation, bad tag,
+    /// trailing bytes) or was not valid in its protocol state.
+    Frame {
+        /// What was malformed.
+        detail: String,
+    },
+    /// Nothing arrived within the configured receive window — a peer
+    /// died (or stalled) mid-query and the epoch is aborted instead of
+    /// hanging.
+    Timeout {
+        /// The expired window, in milliseconds.
+        millis: u64,
+    },
+    /// A remote party reported failing its share of the query; the
+    /// message is the Display rendering of its error.
+    Peer {
+        /// The failing subject.
+        from: SubjectId,
+        /// Its rendered error.
+        message: String,
+    },
+    /// The channel or connection closed before the operation.
+    Closed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Bind { addr, detail } => write!(f, "bind {addr} failed: {detail}"),
+            TransportError::Connect { addr, detail } => {
+                write!(f, "connect to {addr} failed: {detail}")
+            }
+            TransportError::Send { to, detail } => write!(f, "send to {to} failed: {detail}"),
+            TransportError::Recv { detail } => write!(f, "receive failed: {detail}"),
+            TransportError::Frame { detail } => write!(f, "malformed frame: {detail}"),
+            TransportError::Timeout { millis } => {
+                write!(f, "no message within {millis} ms — peer dead or stalled")
+            }
+            TransportError::Peer { from, message } => {
+                write!(f, "party {from} failed its share: {message}")
+            }
+            TransportError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Sending half of the wire, as seen by one party's loop: deliver one
+/// data-plane message to one subject for one query epoch. Receiving
+/// stays the party's mailbox (`Receiver<PartyMsg>`) regardless of
+/// transport — TCP hubs feed the same mailbox the in-proc transport
+/// enqueues to.
+pub(crate) trait Transport: Send + Sync {
+    /// Deliver `msg` to `to` for query `epoch`.
+    fn send(&self, to: SubjectId, epoch: u64, msg: Msg) -> Result<(), TransportError>;
+}
+
+/// The in-process wire: a clone of every party's mailbox sender.
+pub(crate) struct InProcTransport {
+    txs: Vec<Sender<PartyMsg>>,
+}
+
+impl InProcTransport {
+    pub(crate) fn new(txs: Vec<Sender<PartyMsg>>) -> InProcTransport {
+        InProcTransport { txs }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&self, to: SubjectId, epoch: u64, msg: Msg) -> Result<(), TransportError> {
+        self.txs
+            .get(to.index())
+            .ok_or(TransportError::Closed)?
+            .send(PartyMsg::Data { epoch, msg })
+            .map_err(|_| TransportError::Closed)
+    }
+}
+
+/// Frames larger than this are rejected as malformed before
+/// allocation: no legitimate table in this repo approaches it, and a
+/// corrupt length prefix must not look like a 4 GiB allocation
+/// request.
+const MAX_FRAME: usize = 1 << 30;
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    let body = encode_frame(frame);
+    stream.write_all(&(body.len() as u32).to_be_bytes())?;
+    stream.write_all(&body)?;
+    stream.flush()
+}
+
+/// Read one `[u32 len][frame]` record. `Ok(None)` is clean EOF.
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Frame>, TransportError> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Err(TransportError::Timeout { millis: 0 })
+        }
+        Err(e) => {
+            return Err(TransportError::Recv {
+                detail: e.to_string(),
+            })
+        }
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(TransportError::Frame {
+            detail: format!("{len}-byte frame exceeds the {MAX_FRAME}-byte cap"),
+        });
+    }
+    let mut body = vec![0u8; len];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| TransportError::Recv {
+            detail: e.to_string(),
+        })?;
+    decode_frame(&body)
+        .ok_or(TransportError::Frame {
+            detail: format!("{len}-byte frame did not decode"),
+        })
+        .map(Some)
+}
+
+/// The TCP sending half for one party: lazily-established, cached
+/// connections to every peer's `TcpHub`. The first frame on a fresh
+/// connection is `Peer { from }` so the receiving hub knows which
+/// mailbox edge the traffic belongs to (asserted identity — transport
+/// authentication is out of scope; the protocol's integrity rests on
+/// the signed request envelopes and the cell-level receive audit, not
+/// on the socket).
+pub(crate) struct TcpTransport {
+    me: SubjectId,
+    /// Peer subject → `host:port` of its hub.
+    peers: HashMap<SubjectId, String>,
+    conns: Mutex<HashMap<SubjectId, TcpStream>>,
+    connect_timeout: Duration,
+}
+
+impl TcpTransport {
+    pub(crate) fn new(
+        me: SubjectId,
+        peers: HashMap<SubjectId, String>,
+        connect_timeout: Duration,
+    ) -> TcpTransport {
+        TcpTransport {
+            me,
+            peers,
+            conns: Mutex::new(HashMap::new()),
+            connect_timeout,
+        }
+    }
+
+    fn connect(&self, to: SubjectId) -> Result<TcpStream, TransportError> {
+        let addr = self.peers.get(&to).ok_or(TransportError::Closed)?;
+        let parsed: Vec<std::net::SocketAddr> =
+            std::net::ToSocketAddrs::to_socket_addrs(addr.as_str())
+                .map_err(|e| TransportError::Connect {
+                    addr: addr.clone(),
+                    detail: e.to_string(),
+                })?
+                .collect();
+        let target = parsed.first().ok_or(TransportError::Connect {
+            addr: addr.clone(),
+            detail: "address resolved to nothing".to_string(),
+        })?;
+        let mut stream = TcpStream::connect_timeout(target, self.connect_timeout).map_err(|e| {
+            TransportError::Connect {
+                addr: addr.clone(),
+                detail: e.to_string(),
+            }
+        })?;
+        stream.set_nodelay(true).ok();
+        write_frame(&mut stream, &Frame::Peer { from: self.me }).map_err(|e| {
+            TransportError::Send {
+                to,
+                detail: e.to_string(),
+            }
+        })?;
+        Ok(stream)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, to: SubjectId, epoch: u64, msg: Msg) -> Result<(), TransportError> {
+        let mut conns = self.conns.lock().expect("transport lock poisoned");
+        if let std::collections::hash_map::Entry::Vacant(slot) = conns.entry(to) {
+            slot.insert(self.connect(to)?);
+        }
+        let stream = conns.get_mut(&to).expect("just inserted");
+        let r = write_frame(stream, &Frame::Data { epoch, msg });
+        if let Err(e) = r {
+            // A dead connection never comes back; drop it so a later
+            // send (e.g. the next query) can re-establish.
+            conns.remove(&to);
+            return Err(TransportError::Send {
+                to,
+                detail: e.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The receiving half of the TCP wire for one party: a bound listener
+/// plus an accept loop that turns incoming framed records into
+/// [`PartyMsg::Data`] on the party's mailbox. Control connections
+/// (first frame `Hello`) are handed to the `control` channel instead —
+/// that is how an `mpq-server` process receives its coordinator.
+pub(crate) struct TcpHub {
+    addr: String,
+    closing: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpHub {
+    /// Bind `addr` (use port 0 for an OS-assigned port) and start the
+    /// accept loop.
+    pub(crate) fn bind(
+        addr: &str,
+        inbox: Sender<PartyMsg>,
+        control: Option<Sender<Control>>,
+    ) -> Result<TcpHub, TransportError> {
+        let listener = TcpListener::bind(addr).map_err(|e| TransportError::Bind {
+            addr: addr.to_string(),
+            detail: e.to_string(),
+        })?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| TransportError::Bind {
+                addr: addr.to_string(),
+                detail: e.to_string(),
+            })?
+            .to_string();
+        let closing = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&closing);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(stream) = conn else { continue };
+                stream.set_nodelay(true).ok();
+                let inbox = inbox.clone();
+                let control = control.clone();
+                // Pump threads are detached: they exit on EOF when the
+                // sending peer drops its connection cache, which the
+                // teardown ordering guarantees happens before the hub
+                // itself is considered gone.
+                std::thread::spawn(move || pump(stream, inbox, control));
+            }
+        });
+        Ok(TcpHub {
+            addr: local,
+            closing,
+            accept: Some(accept),
+        })
+    }
+
+    /// The actually-bound `host:port` (resolves port 0).
+    pub(crate) fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Drop for TcpHub {
+    fn drop(&mut self) {
+        self.closing.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        if let Ok(addr) = self.addr.parse::<std::net::SocketAddr>() {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-connection receive loop: route data frames to the mailbox,
+/// control connections to the control channel, drop anything else.
+fn pump(mut stream: TcpStream, inbox: Sender<PartyMsg>, control: Option<Sender<Control>>) {
+    match read_frame(&mut stream) {
+        Ok(Some(Frame::Peer { .. })) => loop {
+            match read_frame(&mut stream) {
+                Ok(Some(Frame::Data { epoch, msg })) => {
+                    if inbox.send(PartyMsg::Data { epoch, msg }).is_err() {
+                        return;
+                    }
+                }
+                // Clean EOF, a dead peer, or a non-data frame: either
+                // way this connection is done. The *absence* of an
+                // expected message is handled where it is observable —
+                // the party loop's receive timeout.
+                _ => return,
+            }
+        },
+        Ok(Some(hello @ Frame::Hello { .. })) => {
+            if let Some(control) = control {
+                let _ = control.send(Control {
+                    stream,
+                    pending: Some(hello),
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One framed control connection (coordinator ↔ server), used by
+/// [`crate::remote`]. Keeps all socket handling inside this module:
+/// callers see only [`Frame`] values and typed errors.
+pub(crate) struct Control {
+    stream: TcpStream,
+    /// A frame already consumed by the hub's dispatcher (the `Hello`),
+    /// replayed on the first `recv`.
+    pending: Option<Frame>,
+}
+
+impl Control {
+    /// Connect to a server's hub with a connect timeout.
+    pub(crate) fn connect(addr: &str, timeout: Duration) -> Result<Control, TransportError> {
+        let parsed: Vec<std::net::SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(addr)
+            .map_err(|e| TransportError::Connect {
+                addr: addr.to_string(),
+                detail: e.to_string(),
+            })?
+            .collect();
+        let target = parsed.first().ok_or(TransportError::Connect {
+            addr: addr.to_string(),
+            detail: "address resolved to nothing".to_string(),
+        })?;
+        let stream =
+            TcpStream::connect_timeout(target, timeout).map_err(|e| TransportError::Connect {
+                addr: addr.to_string(),
+                detail: e.to_string(),
+            })?;
+        stream.set_nodelay(true).ok();
+        Ok(Control {
+            stream,
+            pending: None,
+        })
+    }
+
+    /// Send one control frame.
+    pub(crate) fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        write_frame(&mut self.stream, frame).map_err(|e| TransportError::Recv {
+            detail: e.to_string(),
+        })
+    }
+
+    /// Receive one control frame, waiting at most `timeout` (or
+    /// indefinitely when `None`). EOF surfaces as
+    /// [`TransportError::Closed`].
+    pub(crate) fn recv(&mut self, timeout: Option<Duration>) -> Result<Frame, TransportError> {
+        if let Some(f) = self.pending.take() {
+            return Ok(f);
+        }
+        self.stream.set_read_timeout(timeout).ok();
+        let r = read_frame(&mut self.stream);
+        self.stream.set_read_timeout(None).ok();
+        match r {
+            Ok(Some(f)) => Ok(f),
+            Ok(None) => Err(TransportError::Closed),
+            Err(TransportError::Timeout { .. }) => Err(TransportError::Timeout {
+                millis: timeout.map(|d| d.as_millis() as u64).unwrap_or(0),
+            }),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_exec::Table;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn tcp_hub_delivers_data_frames_to_the_mailbox() {
+        let (tx, rx) = channel();
+        let hub = TcpHub::bind("127.0.0.1:0", tx, None).expect("bind loopback");
+        let me = SubjectId(1);
+        let peers: HashMap<SubjectId, String> = [(SubjectId(0), hub.addr().to_string())]
+            .into_iter()
+            .collect();
+        let wire = TcpTransport::new(me, peers, Duration::from_secs(2));
+        let mut table = Table::new(vec![mpq_algebra::AttrId(0)]);
+        table.rows.push(vec![mpq_algebra::Value::Int(7)]);
+        wire.send(
+            SubjectId(0),
+            3,
+            Msg::Result {
+                from: me,
+                table: table.clone(),
+            },
+        )
+        .expect("loopback send");
+        match rx.recv_timeout(Duration::from_secs(5)).expect("delivered") {
+            PartyMsg::Data {
+                epoch: 3,
+                msg: Msg::Result { from, table: t },
+            } => {
+                assert_eq!(from, me);
+                assert_eq!(t.rows, table.rows);
+            }
+            _ => panic!("wrong delivery"),
+        }
+    }
+
+    #[test]
+    fn connecting_to_a_dead_peer_is_a_typed_error() {
+        // Bind-then-drop guarantees a port with no listener.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let peers: HashMap<SubjectId, String> = [(SubjectId(0), dead)].into_iter().collect();
+        let wire = TcpTransport::new(SubjectId(1), peers, Duration::from_millis(500));
+        let err = wire
+            .send(SubjectId(0), 1, Msg::Abort)
+            .expect_err("no listener");
+        assert!(matches!(err, TransportError::Connect { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn control_roundtrip_and_timeout() {
+        let (tx, _rx) = channel();
+        let (ctl_tx, ctl_rx) = channel();
+        let hub = TcpHub::bind("127.0.0.1:0", tx, Some(ctl_tx)).expect("bind loopback");
+        let mut client = Control::connect(hub.addr(), Duration::from_secs(2)).expect("connect");
+        let public = {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(1);
+            mpq_crypto::rsa::RsaKeypair::generate(&mut rng, 512).public
+        };
+        client
+            .send(&Frame::Hello {
+                user: SubjectId(0),
+                public: public.clone(),
+            })
+            .expect("send hello");
+        let mut server = ctl_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("control conn surfaced");
+        match server.recv(Some(Duration::from_secs(2))).expect("hello") {
+            Frame::Hello { user, public: p } => {
+                assert_eq!(user, SubjectId(0));
+                assert_eq!(p.n, public.n);
+            }
+            _ => panic!("expected hello"),
+        }
+        // Nothing else was sent: a bounded recv times out, typed.
+        let err = server
+            .recv(Some(Duration::from_millis(200)))
+            .expect_err("no frame pending");
+        assert!(matches!(err, TransportError::Timeout { .. }), "got {err:?}");
+    }
+}

@@ -44,6 +44,19 @@ pub enum ExecError {
     },
     /// No key id registered for an attribute scheduled for encryption.
     NoKeyForAttr(AttrId),
+    /// A join condition compares ciphertext against plaintext and the
+    /// executing subject cannot reconcile the forms: either the
+    /// ciphertext's scheme supports no comparisons at all, or the
+    /// subject does not hold the cluster key needed to encrypt the
+    /// plaintext side on the fly. Without this refusal the comparison
+    /// would silently match zero rows (the MPQ009 hazard, behavioral
+    /// edition).
+    MixedForm {
+        /// Attribute on the plaintext side of the comparison.
+        attr: AttrId,
+        /// Cluster key id carried by the ciphertext side.
+        key_id: u32,
+    },
     /// Cryptographic failure (wrong key, malformed cell).
     Crypto(String),
     /// Structurally unsupported plan shape.
@@ -68,6 +81,11 @@ impl std::fmt::Display for ExecError {
                 )
             }
             ExecError::NoKeyForAttr(a) => write!(f, "no plan key covers attribute {a}"),
+            ExecError::MixedForm { attr, key_id } => write!(
+                f,
+                "mixed-form join comparison on attribute {attr}: cannot encrypt \
+                 the plaintext side under cluster key {key_id}"
+            ),
             ExecError::Crypto(m) => write!(f, "crypto error: {m}"),
             ExecError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
         }
@@ -322,7 +340,7 @@ fn execute_node(
         Operator::Join { kind, on, residual } => {
             let left = take_child(results, node.children[0]);
             let right = take_child(results, node.children[1]);
-            join(*kind, on, residual.as_ref(), left, right, &ctx.pool)
+            join(*kind, on, residual.as_ref(), left, right, ctx)
         }
         Operator::GroupBy { keys, aggs } => {
             let child = take_child(results, node.children[0]);
@@ -442,14 +460,103 @@ fn execute_node(
 // Joins
 // ---------------------------------------------------------------------------
 
+/// The cipher pair reconciling one mixed-form join condition: at most
+/// one side carries a cipher, which re-encrypts that side's plaintext
+/// cells *at comparison time* (the materialized rows are left in the
+/// form the plan prescribes).
+type FormFix = (Option<ColumnCipher>, Option<ColumnCipher>);
+
+/// The dominant form of a join-key column: its first non-NULL cell.
+/// Columns are form-uniform (the engine encrypts and decrypts whole
+/// columns), so one sample decides.
+fn column_form(rows: &[Vec<Value>], col: usize) -> Option<EncValue> {
+    match rows.iter().map(|r| &r[col]).find(|v| !v.is_null()) {
+        Some(Value::Enc(e)) => Some(e.clone()),
+        _ => None,
+    }
+}
+
+/// Mixed-form reconciliation for one join condition (ROADMAP item 6 /
+/// MPQ009): minimal extension may encrypt a join attribute *above* the
+/// join while the other side arrives encrypted from below, so the
+/// executor would compare ciphertext against plaintext — silently
+/// matching zero rows under hash equality. When the executing subject
+/// holds the Def. 6.1 cluster key (provisioning counts it as a holder
+/// exactly for this), the plaintext side is encrypted on the fly:
+/// Deterministic and OPE draw no randomness, so the comparison-time
+/// ciphertexts are byte-identical to what an Encrypt operator produces.
+/// A non-comparable scheme or a missing key is a typed refusal, never a
+/// silent empty result.
+fn mixed_form_fix(
+    left: &Table,
+    lc: usize,
+    right: &Table,
+    rc: usize,
+    needs_order: bool,
+    ctx: &ExecCtx<'_>,
+) -> Result<FormFix, ExecError> {
+    let (enc, fix_left) = match (column_form(&left.rows, lc), column_form(&right.rows, rc)) {
+        (Some(e), None) if right.rows.iter().any(|r| !r[rc].is_null()) => (e, false),
+        (None, Some(e)) if left.rows.iter().any(|r| !r[lc].is_null()) => (e, true),
+        _ => return Ok((None, None)),
+    };
+    let (attr, key_id) = (
+        if fix_left {
+            left.cols[lc]
+        } else {
+            right.cols[rc]
+        },
+        enc.key_id,
+    );
+    let comparable = if needs_order {
+        enc.scheme.supports_order()
+    } else {
+        enc.scheme.supports_equality()
+    };
+    if !comparable {
+        return Err(ExecError::MixedForm { attr, key_id });
+    }
+    let key = ctx
+        .keys
+        .get(key_id)
+        .ok_or(ExecError::MixedForm { attr, key_id })?;
+    let cipher = ColumnCipher::new(enc.scheme, &key);
+    Ok(if fix_left {
+        (Some(cipher), None)
+    } else {
+        (None, Some(cipher))
+    })
+}
+
+/// Apply a [`FormFix`] side to one cell: plaintext non-NULLs are
+/// encrypted for the comparison, everything else passes through
+/// untouched. The RNG is a formality — the fix only ever carries
+/// RNG-free schemes (Deterministic, OPE).
+fn fixed_cell<'v>(
+    cell: &'v Value,
+    fix: &Option<ColumnCipher>,
+    rng: &mut StdRng,
+) -> Result<std::borrow::Cow<'v, Value>, ExecError> {
+    use std::borrow::Cow;
+    match fix {
+        Some(cipher) if !cell.is_null() && !matches!(cell, Value::Enc(_)) => Ok(Cow::Owned(
+            cipher
+                .encrypt(rng, cell)
+                .map_err(|e| ExecError::Crypto(e.to_string()))?,
+        )),
+        _ => Ok(Cow::Borrowed(cell)),
+    }
+}
+
 fn join(
     kind: JoinKind,
     on: &[(AttrId, CmpOp, AttrId)],
     residual: Option<&Expr>,
     left: Table,
     right: Table,
-    pool: &WorkerPool,
+    ctx: &ExecCtx<'_>,
 ) -> Result<Table, ExecError> {
+    let pool = &ctx.pool;
     let eq_conds: Vec<(usize, usize)> = on
         .iter()
         .filter(|(_, op, _)| op.is_equality())
@@ -477,6 +584,14 @@ fn join(
             ))
         })
         .collect::<Result<_, ExecError>>()?;
+    let eq_fix: Vec<FormFix> = eq_conds
+        .iter()
+        .map(|&(lc, rc)| mixed_form_fix(&left, lc, &right, rc, false, ctx))
+        .collect::<Result<_, ExecError>>()?;
+    let other_fix: Vec<FormFix> = other_conds
+        .iter()
+        .map(|&(lc, op, rc)| mixed_form_fix(&left, lc, &right, rc, op != CmpOp::Ne, ctx))
+        .collect::<Result<_, ExecError>>()?;
 
     let mut out_cols = left.cols.clone();
     if kind.keeps_right() {
@@ -492,27 +607,32 @@ fn join(
     // deterministic ciphertexts: equality is byte-wise.
     let mut hash: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
     if !eq_conds.is_empty() {
+        let eq_fix = &eq_fix;
         let keys: Vec<Option<Vec<GroupKey>>> = pool.map_chunks(
             (0..right.rows.len()).collect(),
             MIN_CHUNK_ROWS,
             |_, chunk| {
-                Ok::<_, ExecError>(
-                    chunk
-                        .into_iter()
-                        .map(|ri| {
-                            let key: Vec<GroupKey> = eq_conds
-                                .iter()
-                                .map(|&(_, rc)| GroupKey(right.rows[ri][rc].clone()))
-                                .collect();
-                            // SQL semantics: NULL join keys never match.
-                            if key.iter().any(|k| k.0.is_null()) {
-                                None
-                            } else {
-                                Some(key)
-                            }
+                let mut rng = StdRng::seed_from_u64(0);
+                chunk
+                    .into_iter()
+                    .map(|ri| {
+                        let key: Vec<GroupKey> = eq_conds
+                            .iter()
+                            .zip(eq_fix)
+                            .map(|(&(_, rc), (_, rfix))| {
+                                Ok(GroupKey(
+                                    fixed_cell(&right.rows[ri][rc], rfix, &mut rng)?.into_owned(),
+                                ))
+                            })
+                            .collect::<Result<_, ExecError>>()?;
+                        // SQL semantics: NULL join keys never match.
+                        Ok(if key.iter().any(|k| k.0.is_null()) {
+                            None
+                        } else {
+                            Some(key)
                         })
-                        .collect(),
-                )
+                    })
+                    .collect::<Result<_, ExecError>>()
             },
         )?;
         for (ri, key) in keys.into_iter().enumerate() {
@@ -528,10 +648,13 @@ fn join(
     let right_rows = &right.rows;
     let hash = &hash;
     let eq_conds = &eq_conds;
+    let eq_fix = &eq_fix;
     let other_conds = &other_conds;
+    let other_fix = &other_fix;
     let combined_cols = &combined_cols;
     let right_width = right.cols.len();
     let out_rows = pool.map_chunks(left.rows, MIN_CHUNK_ROWS, |_, chunk| {
+        let mut rng = StdRng::seed_from_u64(0);
         let mut out: Vec<Vec<Value>> = Vec::with_capacity(chunk.len());
         for lrow in &chunk {
             let mut matched = false;
@@ -540,8 +663,13 @@ fn join(
             } else {
                 let key: Vec<GroupKey> = eq_conds
                     .iter()
-                    .map(|&(lc, _)| GroupKey(lrow[lc].clone()))
-                    .collect();
+                    .zip(eq_fix)
+                    .map(|(&(lc, _), (lfix, _))| {
+                        Ok(GroupKey(
+                            fixed_cell(&lrow[lc], lfix, &mut rng)?.into_owned(),
+                        ))
+                    })
+                    .collect::<Result<_, ExecError>>()?;
                 if key.iter().any(|k| k.0.is_null()) {
                     Box::new(std::iter::empty())
                 } else {
@@ -555,8 +683,10 @@ fn join(
                 let rrow = &right_rows[ri];
                 // Non-equality join conditions.
                 let mut ok = true;
-                for &(lc, op, rc) in other_conds {
-                    if cmp_values(&lrow[lc], op, &rrow[rc])? != Some(true) {
+                for (&(lc, op, rc), (lfix, rfix)) in other_conds.iter().zip(other_fix) {
+                    let lv = fixed_cell(&lrow[lc], lfix, &mut rng)?;
+                    let rv = fixed_cell(&rrow[rc], rfix, &mut rng)?;
+                    if cmp_values(&lv, op, &rv)? != Some(true) {
                         ok = false;
                         break;
                     }
@@ -1221,6 +1351,104 @@ mod tests {
         assert!(matches!(
             execute(&plan, &ctx),
             Err(ExecError::MissingKey { .. })
+        ));
+    }
+
+    /// `Encrypt(S)` below the join on one side only: the join compares
+    /// `Enc(S)` against plaintext `C` (the ROADMAP item 6 hazard).
+    fn mixed_form_plan(cat: &Catalog) -> QueryPlan {
+        let s = cat.attr("S").unwrap();
+        let d = cat.attr("D").unwrap();
+        let t = cat.attr("T").unwrap();
+        let c = cat.attr("C").unwrap();
+        let p = cat.attr("P").unwrap();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let ins = cat.relation("Ins").unwrap().rel;
+        let mut plan = QueryPlan::new();
+        let base_h = plan.add_base(hosp, vec![s, d, t]);
+        let enc = plan.add(Operator::Encrypt { attrs: vec![s] }, vec![base_h]);
+        let base_i = plan.add_base(ins, vec![c, p]);
+        plan.add(
+            Operator::Join {
+                kind: mpq_algebra::JoinKind::Inner,
+                on: vec![(s, mpq_algebra::CmpOp::Eq, c)],
+                residual: None,
+            },
+            vec![enc, base_i],
+        );
+        plan
+    }
+
+    #[test]
+    fn mixed_form_join_encrypts_plain_side_on_the_fly() {
+        let (cat, db) = setup();
+        let s = cat.attr("S").unwrap();
+        let keys = KeyRing::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        keys.insert(mpq_crypto::ClusterKey::generate(&mut rng, 0, 256));
+        let mut schemes = SchemePlan::default();
+        schemes.set(s, EncScheme::Deterministic);
+        let mut koa = HashMap::new();
+        koa.insert(s, 0u32);
+        let ctx = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
+        let t = execute(&mixed_form_plan(&cat), &ctx).unwrap();
+        // Every Hosp row pairs with exactly one Ins row.
+        assert_eq!(t.len(), 4);
+        // Compare-time only: the output S column is still ciphertext,
+        // the C column still plaintext — no materialized re-forming.
+        for row in &t.rows {
+            assert!(matches!(row[0], Value::Enc(_)), "S stays encrypted");
+            assert!(matches!(row[3], Value::Str(_)), "C stays plaintext");
+        }
+    }
+
+    #[test]
+    fn mixed_form_join_without_key_is_refused() {
+        let (cat, db) = setup();
+        let s = cat.attr("S").unwrap();
+        let plan = mixed_form_plan(&cat);
+        let keys = KeyRing::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        keys.insert(mpq_crypto::ClusterKey::generate(&mut rng, 0, 256));
+        let mut schemes = SchemePlan::default();
+        schemes.set(s, EncScheme::Deterministic);
+        let mut koa = HashMap::new();
+        koa.insert(s, 0u32);
+        // Encrypt under a key-holding context, then step the join under
+        // a context whose ring lacks the cluster key — the distributed
+        // shape where the join's assignee was never provisioned.
+        let holder = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
+        let bare_ring = KeyRing::new();
+        let stranger = ExecCtx::new(&cat, &db, &bare_ring, &schemes, &koa);
+        let mut results = HashMap::new();
+        let order = plan.postorder();
+        let (join, rest) = order.split_last().unwrap();
+        for &id in rest {
+            let t = execute_step(&plan, id, &mut results, &holder).unwrap();
+            results.insert(id, t);
+        }
+        assert!(matches!(
+            execute_step(&plan, *join, &mut results, &stranger),
+            Err(ExecError::MixedForm { key_id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_form_join_under_random_scheme_is_refused() {
+        let (cat, db) = setup();
+        let s = cat.attr("S").unwrap();
+        let keys = KeyRing::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        keys.insert(mpq_crypto::ClusterKey::generate(&mut rng, 0, 256));
+        // Random ciphertexts support no comparisons at all: even with
+        // the key in hand the join must refuse, not match zero rows.
+        let schemes = SchemePlan::default();
+        let mut koa = HashMap::new();
+        koa.insert(s, 0u32);
+        let ctx = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
+        assert!(matches!(
+            execute(&mixed_form_plan(&cat), &ctx),
+            Err(ExecError::MixedForm { key_id: 0, .. })
         ));
     }
 }

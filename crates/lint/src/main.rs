@@ -14,6 +14,10 @@
 //!   in engine code (everything but the bench harness): the
 //!   differential suites rely on runs being bit-reproducible from the
 //!   seed alone.
+//! * **net-confinement** — `std::net` (sockets, listeners) appears in
+//!   exactly one file, `dist/src/transport.rs`: everything above the
+//!   `Transport` seam must be wire-agnostic, so the in-proc and TCP
+//!   backends stay behaviorally interchangeable by construction.
 //!
 //! The scan strips comments and string literals and skips
 //! `#[cfg(test)]` modules, so documentation and tests may freely
@@ -28,11 +32,17 @@ const UNWRAP_SCOPE: [&str; 2] = ["crates/exec/src", "crates/dist/src"];
 
 /// Thread spawning in engine code is banned everywhere except here.
 /// (The bench harness is out of scope: it drives load threads and reads
-/// the clock by design.)
-const SPAWN_ALLOWED: [&str; 2] = ["crates/exec/src/pool.rs", "crates/dist/src/runtime.rs"];
+/// the clock by design.) `transport.rs` earns its slot with the
+/// `TcpHub` accept loop and its per-connection pumps, both owned by the
+/// hub's lifecycle (joined/detached on drop, never free-floating).
+const SPAWN_ALLOWED: [&str; 3] = [
+    "crates/exec/src/pool.rs",
+    "crates/dist/src/runtime.rs",
+    "crates/dist/src/transport.rs",
+];
 
 /// Engine code: thread-discipline and determinism rules apply here.
-const ENGINE_SCOPE: [&str; 8] = [
+const ENGINE_SCOPE: [&str; 9] = [
     "crates/algebra/src",
     "crates/core/src",
     "crates/crypto/src",
@@ -40,11 +50,18 @@ const ENGINE_SCOPE: [&str; 8] = [
     "crates/dist/src",
     "crates/planner/src",
     "crates/tpch/src",
+    "crates/server/src",
     "src",
 ];
 
 /// Tokens that create threads.
 const SPAWN_TOKENS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// Sockets live in exactly one file: the transport seam.
+const NET_ALLOWED: &str = "crates/dist/src/transport.rs";
+
+/// Tokens that touch the network.
+const NET_TOKENS: [&str; 3] = ["std::net", "TcpListener", "TcpStream"];
 
 /// Tokens that break run-to-run determinism.
 const DETERMINISM_TOKENS: [&str; 5] = [
@@ -303,6 +320,20 @@ fn lint_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
                         "determinism",
                         format!(
                             "`{t}` in engine code — runs must be reproducible from the seed alone"
+                        ),
+                    );
+                }
+            }
+        }
+        if engine_scoped && rel != Path::new(NET_ALLOWED) {
+            for t in NET_TOKENS {
+                if line.contains(t) {
+                    record(
+                        findings,
+                        "net-confinement",
+                        format!(
+                            "`{t}` outside transport.rs — sockets are confined to the \
+                             Transport seam so backends stay interchangeable"
                         ),
                     );
                 }

@@ -1,0 +1,164 @@
+//! Process-level federation tests: real `mpq-server` OS processes on
+//! loopback TCP, driven by an in-test [`Coordinator`].
+//!
+//! The interesting property is the *failure* path: when one party's
+//! process dies mid-session, the coordinator must abort the query with
+//! a **typed** [`SimError::Transport`] within the configured timeout —
+//! not hang, not panic, not return partial rows.
+
+use mpq_dist::{Coordinator, SessionConfig, SimError};
+use mpq_server::Fixture;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Reserve `n` distinct loopback ports by binding then dropping
+/// listeners. Racy in principle, fine for a test.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+/// Child processes that are killed even if the test panics.
+struct Federation {
+    children: Vec<(String, Child)>,
+}
+
+impl Federation {
+    /// Spawn one `mpq-server` per name and wait for each readiness
+    /// line ("… listening on …") before returning.
+    fn spawn(names: &[&str], ports: &[u16], peers: &str, seed: u64) -> Federation {
+        let mut children = Vec::new();
+        for (name, port) in names.iter().zip(ports) {
+            let child = Command::new(env!("CARGO_BIN_EXE_mpq-server"))
+                .args([
+                    "--subject",
+                    name,
+                    "--listen",
+                    &format!("127.0.0.1:{port}"),
+                    "--peers",
+                    peers,
+                    "--seed",
+                    &seed.to_string(),
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("spawn mpq-server");
+            children.push((name.to_string(), child));
+        }
+        for (name, child) in &mut children {
+            let stdout = child.stdout.take().expect("piped stdout");
+            let mut lines = BufReader::new(stdout).lines();
+            let ready = lines
+                .next()
+                .unwrap_or_else(|| panic!("server {name} exited before readiness"))
+                .expect("read readiness line");
+            assert!(
+                ready.contains("listening on"),
+                "unexpected readiness line from {name}: {ready}"
+            );
+        }
+        Federation { children }
+    }
+
+    fn kill(&mut self, name: &str) {
+        let (_, child) = self
+            .children
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .expect("known subject");
+        child.kill().expect("kill server process");
+        child.wait().expect("reap server process");
+    }
+}
+
+impl Drop for Federation {
+    fn drop(&mut self) {
+        for (_, child) in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn killed_party_aborts_with_typed_transport_error() {
+    const SEED: u64 = 42;
+    let names = ["H", "I", "X", "Y", "Z"];
+    let ports = free_ports(names.len() + 1);
+    let client_port = ports[names.len()];
+    let peers = names
+        .iter()
+        .zip(&ports)
+        .map(|(n, p)| format!("{n}=127.0.0.1:{p}"))
+        .chain([format!("U=127.0.0.1:{client_port}")])
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut federation = Federation::spawn(&names, &ports, &peers, SEED);
+
+    let world = Fixture::RunningExample.build(SEED);
+    let opt = world
+        .plan(
+            "select T, avg(P) from Hosp join Ins on S=C \
+             where D='stroke' group by T having avg(P)>100",
+        )
+        .expect("query plans");
+    let servers: HashMap<_, _> = names
+        .iter()
+        .zip(&ports)
+        .map(|(n, p)| {
+            (
+                world.env.subjects.id(n).expect("fixture subject"),
+                format!("127.0.0.1:{p}"),
+            )
+        })
+        .collect();
+
+    let mut coordinator = Coordinator::connect(
+        &world.catalog,
+        &world.env.subjects,
+        &world.env.policy,
+        &world.db,
+        world.env.user,
+        &format!("127.0.0.1:{client_port}"),
+        &servers,
+        SessionConfig::new(SEED).timeout(Duration::from_secs(2)),
+    )
+    .expect("coordinator connects to all five servers");
+
+    // Sanity: with every party alive, the query succeeds end to end
+    // across real processes and returns the paper's answer.
+    let report = coordinator
+        .execute(&opt.extended, &opt.keys)
+        .expect("query succeeds while all parties are alive");
+    assert_eq!(report.result.len(), 1, "one group survives the having");
+    assert_eq!(report.result.rows[0][0], mpq_algebra::Value::str("tPA"));
+
+    // Kill the hospital's process, then re-run the same query: the
+    // coordinator must surface a typed transport failure, bounded by
+    // the 2 s receive timeout (plus protocol slack), not hang.
+    federation.kill("H");
+    let started = Instant::now();
+    let err = coordinator
+        .execute(&opt.extended, &opt.keys)
+        .expect_err("query must abort once a party is gone");
+    assert!(
+        matches!(err, SimError::Transport(_)),
+        "expected SimError::Transport, got: {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "abort took {:?}, should be bounded by the timeout",
+        started.elapsed()
+    );
+
+    coordinator.shutdown();
+}

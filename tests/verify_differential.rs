@@ -3,8 +3,11 @@
 //! key ring, and wire audit): the two must agree.
 //!
 //! * **Clean direction** — any assignment drawn from Λ and minimally
-//!   extended verifies clean *and* executes clean: the verifier has no
-//!   false positives over the space of plans the planner can produce.
+//!   extended verifies clean *and* executes clean, and its decrypted
+//!   result equals a plaintext reference execution of the same query:
+//!   the verifier has no false positives over the space of plans the
+//!   planner can produce, and no plan in that space silently corrupts
+//!   the answer (the ROADMAP item 6 mixed-form hazard).
 //! * **Dirty direction** — a tampered plan is refused *statically* with
 //!   the expected diagnostic code, and (with pre-flight disabled where
 //!   the static check would mask it) the *runtime* refuses the same
@@ -20,9 +23,10 @@ use mpq::core::keys::{plan_keys, KeyPlan};
 use mpq::core::verify::Code;
 use mpq::core::verify_with_policy;
 use mpq::dist::{SimError, Simulator};
-use mpq::exec::Database;
+use mpq::exec::{execute, Database, ExecCtx, SchemePlan};
+use mpq_crypto::keyring::KeyRing;
 use proptest::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// Load `Hosp`/`Ins` with patients drawn from `picks` (one byte of
 /// entropy per patient), as in the runtime differential tests.
@@ -98,6 +102,28 @@ fn verify(ex: &RunningExample, ext: &ExtendedPlan, keys: &KeyPlan) -> mpq::core:
     )
 }
 
+/// Execute the *unextended* plan over plaintext data — the ground
+/// truth every authorized execution must reproduce.
+fn plaintext_reference(ex: &RunningExample, db: &Database) -> Vec<Vec<Value>> {
+    let ring = KeyRing::new();
+    let schemes = SchemePlan::default();
+    let koa = HashMap::new();
+    let ctx = ExecCtx::new(&ex.catalog, db, &ring, &schemes, &koa);
+    sorted(
+        execute(&ex.plan, &ctx)
+            .expect("plaintext reference executes")
+            .rows,
+    )
+}
+
+/// Order-insensitive row comparison: group emission order may differ
+/// between a plan that groups on ciphertext and the plaintext
+/// reference.
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
 /// The first Encrypt node with a non-empty attribute list, if any.
 fn some_encrypt(ext: &ExtendedPlan) -> Option<mpq::algebra::NodeId> {
     ext.plan.postorder().into_iter().find(
@@ -130,6 +156,15 @@ proptest! {
         let mut sim = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, seed);
         let run = sim.run(&ext, &keys, ex.subject("U"));
         prop_assert!(run.is_ok(), "clean plan refused at runtime: {:?}", run.err());
+
+        // Strict correctness, not just absence of errors: the decrypted
+        // result must equal the plaintext reference. This is the check
+        // that catches silently-empty mixed-form joins.
+        prop_assert_eq!(
+            sorted(run.unwrap().result.rows),
+            plaintext_reference(&ex, &db),
+            "clean plan's result diverges from the plaintext reference"
+        );
     }
 
     /// No false negatives on the mutation set: each tampering applied
@@ -213,9 +248,11 @@ proptest! {
         // the actual cells (pre-flight off) — *when cells actually
         // flow*: a physically empty intermediate (e.g. a join that
         // matched nothing) gives the cell-level audit nothing to see,
-        // in which case the run must be observationally identical to
-        // the clean plan's. The static verifier is strictly stronger
-        // there, which is its purpose.
+        // in which case the run must still produce the *correct*
+        // answer — equality against the plaintext reference, not
+        // against another (possibly equally wrong) extended run. The
+        // static verifier is strictly stronger there, which is its
+        // purpose.
         if let Some(enc) = some_encrypt(&ext) {
             let mut bad = ext.clone();
             bad.plan.node_mut(enc).op = Operator::Encrypt { attrs: vec![] };
@@ -231,16 +268,10 @@ proptest! {
             match sim.run(&bad, &keys, user) {
                 Err(_) => {}
                 Ok(run) => {
-                    let mut clean_sim =
-                        Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, seed)
-                            .without_preflight();
-                    let clean = clean_sim
-                        .run(&ext, &keys, user)
-                        .expect("Λ-drawn plan executes");
                     prop_assert_eq!(
-                        &run.result.rows,
-                        &clean.result.rows,
-                        "audit-silent mutant diverged observably"
+                        sorted(run.result.rows),
+                        plaintext_reference(&ex, &db),
+                        "audit-silent mutant diverged from the plaintext reference"
                     );
                 }
             }
