@@ -20,6 +20,9 @@
 //!   --sessions N        concurrent client sessions    [default 8]
 //!   --iters N           workload repetitions/session  [default 3]
 //!   --sf F              TPC-H scale factor            [default 0.002]
+//!                       (without --iters, also derives the iteration
+//!                       count — one pass at SF ≥ 0.05; warmup passes
+//!                       are likewise SF-derived, not hardcoded)
 //!   --queries a,b,c     TPC-H query mix               [default 1,3,5,6,10,12]
 //!   --seed N            base RNG seed                 [default 2026]
 //!   --out PATH          report path                   [default BENCH_dist.json]
@@ -42,6 +45,11 @@ fn main() {
         ThroughputConfig::full()
     };
     let mut out = String::from("BENCH_dist.json");
+    // `--sf` rescales the default iteration count (one pass is plenty
+    // of work at SF ≥ 0.05) unless the user pinned `--iters` herself;
+    // tracked outside the loop so flag order never matters.
+    let mut iters_explicit = false;
+    let mut sf_explicit = false;
     let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| -> String {
@@ -57,8 +65,14 @@ fn main() {
                 other => panic!("unknown transport `{other}` (expected tcp or inproc)"),
             },
             "--sessions" => cfg.sessions = value("--sessions").parse().expect("--sessions N"),
-            "--iters" => cfg.iters = value("--iters").parse().expect("--iters N"),
-            "--sf" => cfg.tpch_sf = value("--sf").parse().expect("--sf F"),
+            "--iters" => {
+                cfg.iters = value("--iters").parse().expect("--iters N");
+                iters_explicit = true;
+            }
+            "--sf" => {
+                cfg.tpch_sf = value("--sf").parse().expect("--sf F");
+                sf_explicit = true;
+            }
             "--queries" => {
                 cfg.tpch_queries = value("--queries")
                     .split(',')
@@ -76,6 +90,9 @@ fn main() {
             }
             other => panic!("unknown flag {other} (see the crate docs for usage)"),
         }
+    }
+    if sf_explicit && !iters_explicit {
+        cfg.iters = ThroughputConfig::iters_for_sf(cfg.tpch_sf);
     }
 
     eprintln!(

@@ -1,19 +1,19 @@
 //! Pins the current Figure 10 calibration.
 //!
-//! With the statistics-driven cost model (sampled TPC-H statistics,
-//! measured price-book constants, per-edge network pricing — see
-//! `mpq_planner::pricing` and the README's calibration section) the
-//! reproduction reports **52.4% (UAPenc)** and **86.9% (UAPmix)**
-//! cumulative savings versus UA, against the paper's 54.2% and 71.3%
-//! (moved from 53.0%/88.0% when `effective_encrypt_rows` stopped
-//! crediting encryption below same-subject selections with the
-//! post-selection cardinality: crypto-bearing plans got honestly more
-//! expensive, nudging UAPmix toward the paper). UAPenc matches the
-//! paper to within ~2 points; UAPmix overshoots because our
-//! reconstructed half-plaintext attribute split keeps every join key
-//! in the providers' plaintext half (the paper's split is
-//! unpublished) — the residual gap is discussed in
-//! `mpq_planner::pricing`.
+//! With the statistics-driven cost model (statistics measured
+//! directly from the full SF 1 database, measured price-book
+//! constants, per-edge network pricing — see `mpq_planner::pricing`
+//! and the README's calibration section) the reproduction reports
+//! **53.0% (UAPenc)** and **88.5% (UAPmix)** cumulative savings
+//! versus UA, against the paper's 54.2% and 71.3% (moved from
+//! 52.4%/86.9% when the statistics switched from SF 0.02
+//! sample-and-extrapolate to direct SF 1 measurement: exact
+//! population counts and full-data histograms shift a handful of
+//! assignment decisions). UAPenc matches the paper to within ~1
+//! point; UAPmix overshoots because our reconstructed half-plaintext
+//! attribute split keeps every join key in the providers' plaintext
+//! half (the paper's split is unpublished) — the residual gap is
+//! discussed in `mpq_planner::pricing`.
 //!
 //! These tests exist so that any change to the cost model, the price
 //! book, or the cardinality path moves these numbers *deliberately*:
@@ -40,25 +40,27 @@ fn savings() -> (f64, f64) {
 }
 
 #[test]
+#[ignore = "generates the full SF 1 database; run in release via the CI figure10 job             (cargo test -p mpq-bench --test figure10_pin --release -- --include-ignored)"]
 fn figure10_savings_are_pinned() {
     let (enc, mix) = savings();
     // Half-a-point tolerance: loose enough for float noise, tight
     // enough that any real cost-model change trips it.
     assert!(
-        (enc - 0.524).abs() < 0.005,
-        "UAPenc saving drifted: {:.1}% (pinned at 52.4%) — if this is a deliberate \
+        (enc - 0.530).abs() < 0.005,
+        "UAPenc saving drifted: {:.1}% (pinned at 53.0%) — if this is a deliberate \
          calibration change, update the pin and the pricing docs together",
         enc * 100.0
     );
     assert!(
-        (mix - 0.869).abs() < 0.005,
-        "UAPmix saving drifted: {:.1}% (pinned at 86.9%) — if this is a deliberate \
+        (mix - 0.885).abs() < 0.005,
+        "UAPmix saving drifted: {:.1}% (pinned at 88.5%) — if this is a deliberate \
          calibration change, update the pin and the pricing docs together",
         mix * 100.0
     );
 }
 
 #[test]
+#[ignore = "generates the full SF 1 database; run in release via the CI figure10 job"]
 fn figure10_savings_meet_reproduction_targets() {
     let (enc, mix) = savings();
     // The acceptance floor for the §7 reproduction: the calibrated

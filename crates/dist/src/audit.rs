@@ -2,7 +2,7 @@
 //!
 //! The static checks of `mpq_core` reason over *profiles*; this module
 //! is the belt-and-braces runtime counterpart operating on the actual
-//! rows: before a table is handed to a subject, every cell is checked
+//! data: before a table is handed to a subject, every cell is checked
 //! against the recipient's overall view `[P_S, E_S]`:
 //!
 //! * an attribute in `P_S` may arrive in any form (plaintext authority
@@ -16,17 +16,16 @@
 //! encryption layer (`mpq_crypto::schemes` passes NULL through).
 
 use crate::error::SimError;
-use mpq_algebra::Value;
 use mpq_core::authz::SubjectView;
-use mpq_exec::{Table, WorkerPool};
+use mpq_exec::{ColumnVec, Table, WorkerPool};
 
 /// Minimum rows per chunk before the cell scan splits across workers.
 const MIN_CHUNK_ROWS: usize = 512;
 
 /// Check that every cell of `table` is in a form `recipient` is
-/// authorized to see, scanning row chunks on the shared global worker
-/// pool. Called on every table that crosses a subject-to-subject edge
-/// (including the final result handed to the querying user).
+/// authorized to see, scanning column chunks on the shared global
+/// worker pool. Called on every table that crosses a subject-to-subject
+/// edge (including the final result handed to the querying user).
 pub fn audit_transfer(table: &Table, recipient: &SubjectView) -> Result<(), SimError> {
     audit_transfer_with(table, recipient, &WorkerPool::global())
 }
@@ -38,9 +37,10 @@ pub fn audit_transfer(table: &Table, recipient: &SubjectView) -> Result<(), SimE
 /// Column-major fast path: each column's *required form* is resolved
 /// once against the view — plaintext-visible columns are skipped
 /// entirely, invisible columns are refused before any row is read —
-/// and only the encrypted-only column indices are scanned, in parallel
-/// chunks of rows. The reported violation is the first one in row
-/// order, identical to a sequential scan.
+/// and only the encrypted-only columns are scanned directly (a typed
+/// numeric column can hold no ciphertext, so it is refused at its
+/// first row without reading cells). The reported violation is the
+/// first one in row order, identical to a sequential row scan.
 pub fn audit_transfer_with(
     table: &Table,
     recipient: &SubjectView,
@@ -48,7 +48,7 @@ pub fn audit_transfer_with(
 ) -> Result<(), SimError> {
     // Column-level visibility first: a column the recipient cannot see
     // in any form is refused outright, rows notwithstanding.
-    for &attr in &table.cols {
+    for &attr in table.attrs() {
         if !recipient.plain.contains(attr) && !recipient.enc.contains(attr) {
             return Err(SimError::InvisibleAttribute {
                 attr,
@@ -58,39 +58,61 @@ pub fn audit_transfer_with(
     }
     // Cell-level form check for encrypted-only columns.
     let enc_only: Vec<usize> = table
-        .cols
+        .attrs()
         .iter()
         .enumerate()
         .filter(|(_, a)| !recipient.plain.contains(**a))
         .map(|(i, _)| i)
         .collect();
-    if enc_only.is_empty() {
+    if enc_only.is_empty() || table.is_empty() {
         return Ok(());
     }
-    let rows = &table.rows;
-    pool.for_each_chunk(rows.len(), MIN_CHUNK_ROWS, |range| {
-        for row in &rows[range] {
-            for &i in &enc_only {
-                match &row[i] {
-                    Value::Enc(_) | Value::Null => {}
-                    _plaintext => {
-                        return Err(SimError::LeakedPlaintext {
-                            attr: table.cols[i],
-                            subject: recipient.subject,
-                        })
-                    }
+    pool.for_each_chunk(table.len(), MIN_CHUNK_ROWS, |range| {
+        // The earliest violation in (row, column) order within this
+        // chunk — the same cell a sequential row-major scan reports.
+        let mut first: Option<(usize, usize)> = None;
+        for (k, &i) in enc_only.iter().enumerate() {
+            if let Some(r) = first_plaintext_cell(table.column(i), range.clone()) {
+                if first.is_none_or(|best| (r, k) < best) {
+                    first = Some((r, k));
                 }
             }
         }
-        Ok(())
+        match first {
+            Some((_, k)) => Err(SimError::LeakedPlaintext {
+                attr: table.attrs()[enc_only[k]],
+                subject: recipient.subject,
+            }),
+            None => Ok(()),
+        }
     })
+}
+
+/// Row index of the first plaintext non-NULL cell of `col` within
+/// `range`, if any.
+fn first_plaintext_cell(col: &ColumnVec, range: std::ops::Range<usize>) -> Option<usize> {
+    match col {
+        // Typed numeric columns hold only plaintext non-NULLs: every
+        // row violates an encrypted-only view.
+        ColumnVec::Int(_) | ColumnVec::Num(_) => {
+            if range.is_empty() {
+                None
+            } else {
+                Some(range.start)
+            }
+        }
+        ColumnVec::Val(vals) => vals[range.clone()]
+            .iter()
+            .position(|v| !matches!(v, mpq_algebra::Value::Enc(_) | mpq_algebra::Value::Null))
+            .map(|off| range.start + off),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mpq_algebra::value::{EncScheme, EncValue};
-    use mpq_algebra::{AttrId, SubjectId};
+    use mpq_algebra::{AttrId, SubjectId, Value};
     use mpq_core::authz::SubjectView;
     use std::sync::Arc;
 
@@ -112,38 +134,44 @@ mod tests {
 
     #[test]
     fn plaintext_ok_for_plain_view() {
-        let t = Table {
-            cols: vec![AttrId(0)],
-            rows: vec![vec![Value::Int(1)]],
-        };
+        let t = Table::from_rows(vec![AttrId(0)], vec![vec![Value::Int(1)]]);
         assert!(audit_transfer(&t, &view(&[0], &[])).is_ok());
     }
 
     #[test]
     fn ciphertext_ok_for_enc_only_view() {
-        let t = Table {
-            cols: vec![AttrId(0)],
-            rows: vec![vec![cipher()]],
-        };
+        let t = Table::from_rows(vec![AttrId(0)], vec![vec![cipher()]]);
         assert!(audit_transfer(&t, &view(&[], &[0])).is_ok());
     }
 
     #[test]
     fn ciphertext_ok_for_plain_view_too() {
         // Plaintext authority implies encrypted visibility.
-        let t = Table {
-            cols: vec![AttrId(0)],
-            rows: vec![vec![cipher()]],
-        };
+        let t = Table::from_rows(vec![AttrId(0)], vec![vec![cipher()]]);
         assert!(audit_transfer(&t, &view(&[0], &[])).is_ok());
     }
 
     #[test]
     fn plaintext_leak_to_enc_only_view_refused() {
-        let t = Table {
-            cols: vec![AttrId(0)],
-            rows: vec![vec![Value::Int(7)]],
-        };
+        let t = Table::from_rows(vec![AttrId(0)], vec![vec![Value::Int(7)]]);
+        assert_eq!(
+            audit_transfer(&t, &view(&[], &[0])),
+            Err(SimError::LeakedPlaintext {
+                attr: AttrId(0),
+                subject: SubjectId(9)
+            })
+        );
+    }
+
+    #[test]
+    fn leak_in_typed_column_is_caught() {
+        // A densified numeric column (no Value wrappers at all) still
+        // violates an encrypted-only view.
+        let t = Table::from_rows(
+            vec![AttrId(0)],
+            vec![vec![Value::Num(1.0)], vec![Value::Num(2.0)]],
+        );
+        assert!(t.column(0).as_nums().is_some(), "column densified");
         assert_eq!(
             audit_transfer(&t, &view(&[], &[0])),
             Err(SimError::LeakedPlaintext {
@@ -155,10 +183,7 @@ mod tests {
 
     #[test]
     fn invisible_column_refused_even_when_empty() {
-        let t = Table {
-            cols: vec![AttrId(3)],
-            rows: vec![],
-        };
+        let t = Table::new(vec![AttrId(3)]);
         assert_eq!(
             audit_transfer(&t, &view(&[0, 1], &[2])),
             Err(SimError::InvisibleAttribute {
@@ -170,10 +195,7 @@ mod tests {
 
     #[test]
     fn nulls_pass_in_any_form() {
-        let t = Table {
-            cols: vec![AttrId(0)],
-            rows: vec![vec![Value::Null]],
-        };
+        let t = Table::from_rows(vec![AttrId(0)], vec![vec![Value::Null]]);
         assert!(audit_transfer(&t, &view(&[], &[0])).is_ok());
     }
 }

@@ -27,7 +27,7 @@ use mpq_algebra::value::EncScheme;
 use mpq_algebra::{AttrId, NodeId, RelId, SubjectId, Value};
 use mpq_crypto::bignum::BigUint;
 use mpq_crypto::rsa::{RsaPublic, SignedEnvelope};
-use mpq_exec::{SchemePlan, Table};
+use mpq_exec::{Batch, ColumnVec, SchemePlan, Table, TableSchema};
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------------------
@@ -122,35 +122,39 @@ fn get_value(r: &mut Reader) -> Option<Value> {
     Value::from_canonical_bytes(r.bytes()?)
 }
 
+/// Tables travel column-major (all of column 0, then column 1, …),
+/// matching the columnar in-memory layout so neither end transposes.
+/// Every cell is still individually length-prefixed, so the frame size
+/// is byte-identical to the old row-major encoding.
 fn put_table(b: &mut Vec<u8>, t: &Table) {
-    put_u32(b, t.cols.len() as u32);
-    for a in &t.cols {
+    put_u32(b, t.attrs().len() as u32);
+    for a in t.attrs() {
         put_u32(b, a.0);
     }
-    put_u32(b, t.rows.len() as u32);
-    for row in &t.rows {
-        for cell in row {
-            put_value(b, cell);
+    put_u32(b, t.len() as u32);
+    for col in t.columns() {
+        for i in 0..col.len() {
+            put_value(b, &col.get(i));
         }
     }
 }
 
 fn get_table(r: &mut Reader) -> Option<Table> {
     let ncols = r.u32()? as usize;
-    let mut cols = Vec::with_capacity(ncols);
+    let mut attrs = Vec::with_capacity(ncols);
     for _ in 0..ncols {
-        cols.push(AttrId(r.u32()?));
+        attrs.push(AttrId(r.u32()?));
     }
     let nrows = r.u32()? as usize;
-    let mut table = Table::new(cols);
-    for _ in 0..nrows {
-        let mut row = Vec::with_capacity(ncols);
-        for _ in 0..ncols {
-            row.push(get_value(r)?);
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let mut col = ColumnVec::with_capacity(nrows);
+        for _ in 0..nrows {
+            col.push(get_value(r)?);
         }
-        table.rows.push(row);
+        cols.push(col);
     }
-    Some(table)
+    Some(Table::from_batch(Batch::new(TableSchema::new(attrs), cols)))
 }
 
 // ---------------------------------------------------------------------------
@@ -1098,12 +1102,16 @@ mod tests {
 
     #[test]
     fn values_and_tables_roundtrip() {
-        let mut table = Table::new(vec![AttrId(3), AttrId(7)]);
-        table.rows.push(vec![
-            Value::str("alice"),
-            Value::Date(Date::parse("1970-01-01").expect("valid date")),
-        ]);
-        table.rows.push(vec![Value::Null, Value::Num(1.5)]);
+        let table = Table::from_rows(
+            vec![AttrId(3), AttrId(7)],
+            vec![
+                vec![
+                    Value::str("alice"),
+                    Value::Date(Date::parse("1970-01-01").expect("valid date")),
+                ],
+                vec![Value::Null, Value::Num(1.5)],
+            ],
+        );
         let f = roundtrip(&Frame::Data {
             epoch: 42,
             msg: Msg::Table {
@@ -1124,8 +1132,8 @@ mod tests {
             } => {
                 assert_eq!(node, NodeId(5));
                 assert_eq!(from, SubjectId(2));
-                assert_eq!(t.cols, table.cols);
-                assert_eq!(t.rows, table.rows);
+                assert_eq!(t.attrs(), table.attrs());
+                assert_eq!(t.to_rows(), table.to_rows());
                 assert_eq!(t.byte_size(), table.byte_size());
             }
             _ => panic!("wrong frame"),

@@ -187,7 +187,7 @@ pub(crate) struct Party {
 ///
 /// let mut sim = Simulator::new(&ex.catalog, &ex.subjects, &ex.policy, &db, 2026);
 /// let report = sim.run(&ext, &keys, ex.subject("U")).unwrap();
-/// assert!(!report.result.rows.is_empty());
+/// assert!(!report.result.is_empty());
 /// assert!(report.total_bytes() > 0);
 /// ```
 pub struct Simulator<'a> {

@@ -494,15 +494,16 @@ pub(crate) fn run_query(
                 // Fresh per-node context, exactly as the sequential
                 // interpreter builds one per step: ciphertexts come out
                 // bit-identical no matter the interleaving.
-                let mut exec_ctx = ExecCtx::new(
+                let exec_ctx = ExecCtx::builder(
                     &st.catalog,
                     &party.store,
                     &party.ring,
                     &job.prepared.schemes,
                     &job.prepared.key_of_attr,
                 )
-                .with_pool(job.pool.clone());
-                exec_ctx.seed = job.prepared.exec_seed;
+                .pool(job.pool.clone())
+                .seed(job.prepared.exec_seed)
+                .build();
                 let table = match execute_step(plan, id, &mut results, &exec_ctx) {
                     Ok(t) => t,
                     Err(e) => {

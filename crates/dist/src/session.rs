@@ -214,7 +214,7 @@ pub struct SessionStats {
 /// let mut session = Session::open(&ex.catalog, &ex.subjects, &ex.policy, &db, 7);
 /// let first = session.execute(&ext, &keys, ex.subject("U")).unwrap();
 /// let second = session.execute(&ext, &keys, ex.subject("U")).unwrap();
-/// assert_eq!(first.result.rows, second.result.rows);
+/// assert_eq!(first.result.to_rows(), second.result.to_rows());
 /// // The second query re-used every cluster the first one provisioned.
 /// assert_eq!(session.stats().clusters_provisioned, keys.keys.len());
 /// assert_eq!(session.stats().clusters_reused, keys.keys.len());
@@ -632,15 +632,16 @@ impl Session {
                 }
             }
             let party = &self.parties[executor.index()];
-            let mut ctx = ExecCtx::new(
+            let ctx = ExecCtx::builder(
                 &self.catalog,
                 &party.store,
                 &party.ring,
                 &prepared.schemes,
                 &prepared.key_of_attr,
             )
-            .with_pool(self.pool.clone());
-            ctx.seed = prepared.exec_seed;
+            .pool(self.pool.clone())
+            .seed(prepared.exec_seed)
+            .build();
             let table = execute_step(&prepared.exec_plan, id, &mut results, &ctx)?;
             results.insert(id, table);
         }

@@ -481,8 +481,10 @@ mod tests {
             .into_iter()
             .collect();
         let wire = TcpTransport::new(me, peers, Duration::from_secs(2));
-        let mut table = Table::new(vec![mpq_algebra::AttrId(0)]);
-        table.rows.push(vec![mpq_algebra::Value::Int(7)]);
+        let table = Table::from_rows(
+            vec![mpq_algebra::AttrId(0)],
+            vec![vec![mpq_algebra::Value::Int(7)]],
+        );
         wire.send(
             SubjectId(0),
             3,
@@ -498,7 +500,7 @@ mod tests {
                 msg: Msg::Result { from, table: t },
             } => {
                 assert_eq!(from, me);
-                assert_eq!(t.rows, table.rows);
+                assert_eq!(t.to_rows(), table.to_rows());
             }
             _ => panic!("wrong delivery"),
         }

@@ -1,0 +1,520 @@
+//! The columnar batch data plane.
+//!
+//! A [`Batch`] is the unit of data flowing between operators: a shared
+//! [`TableSchema`] plus one [`ColumnVec`] per output column. Operators
+//! stream batches of at most [`ExecCtx::batch_rows`] rows instead of
+//! materializing whole tables, so memory for the pipelined stages
+//! (scan, select, project, encrypt, decrypt) is bounded by the batch
+//! size, not the relation size.
+//!
+//! Columns are typed where the data allows: uniform integer and
+//! numeric columns are stored as dense `Vec<i64>` / `Vec<f64>` (8
+//! bytes per cell instead of a tagged [`Value`]), and silently degrade
+//! to a general `Vec<Value>` representation the moment a NULL, string,
+//! date, or ciphertext is pushed. Degradation never loses data and all
+//! accessors present the column as logical [`Value`]s, so the two
+//! representations are observationally identical — `PartialEq`
+//! compares logical values, not representations.
+//!
+//! [`ExecCtx::batch_rows`]: crate::engine::ExecCtx::batch_rows
+
+use mpq_algebra::{AttrId, Value};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Default rows per batch when `MPQ_BATCH_ROWS` is unset.
+pub const DEFAULT_BATCH_ROWS: usize = 4096;
+
+/// Ordered output columns of a relation or operator, cheap to clone
+/// and share across every batch of a stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSchema(Arc<[AttrId]>);
+
+impl TableSchema {
+    /// Schema over the given attribute order (attributes may repeat
+    /// for multi-aggregate outputs).
+    pub fn new(attrs: Vec<AttrId>) -> TableSchema {
+        TableSchema(attrs.into())
+    }
+
+    /// The column attributes in order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.0
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Index of the first column carrying `attr`.
+    pub fn col_index(&self, attr: AttrId) -> Option<usize> {
+        self.0.iter().position(|c| *c == attr)
+    }
+}
+
+impl From<Vec<AttrId>> for TableSchema {
+    fn from(attrs: Vec<AttrId>) -> Self {
+        TableSchema::new(attrs)
+    }
+}
+
+/// One column of cell values, densely typed when uniform.
+#[derive(Clone, Debug)]
+pub enum ColumnVec {
+    /// Uniform non-null integers.
+    Int(Vec<i64>),
+    /// Uniform non-null numerics.
+    Num(Vec<f64>),
+    /// General representation: any mix of values, NULLs included.
+    Val(Vec<Value>),
+}
+
+impl Default for ColumnVec {
+    fn default() -> Self {
+        ColumnVec::Val(Vec::new())
+    }
+}
+
+impl ColumnVec {
+    /// Empty column (typed on first push).
+    pub fn new() -> ColumnVec {
+        ColumnVec::default()
+    }
+
+    /// Empty column with room for `n` cells.
+    pub fn with_capacity(n: usize) -> ColumnVec {
+        ColumnVec::Val(Vec::with_capacity(n))
+    }
+
+    /// Dense integer column.
+    pub fn from_ints(v: Vec<i64>) -> ColumnVec {
+        ColumnVec::Int(v)
+    }
+
+    /// Dense numeric column.
+    pub fn from_nums(v: Vec<f64>) -> ColumnVec {
+        ColumnVec::Num(v)
+    }
+
+    /// Column from logical values, densifying when uniform.
+    pub fn from_values(vals: Vec<Value>) -> ColumnVec {
+        if !vals.is_empty() && vals.iter().all(|v| matches!(v, Value::Int(_))) {
+            ColumnVec::Int(
+                vals.iter()
+                    .map(|v| match v {
+                        Value::Int(i) => *i,
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )
+        } else if !vals.is_empty() && vals.iter().all(|v| matches!(v, Value::Num(_))) {
+            ColumnVec::Num(
+                vals.iter()
+                    .map(|v| match v {
+                        Value::Num(f) => *f,
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )
+        } else {
+            ColumnVec::Val(vals)
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int(v) => v.len(),
+            ColumnVec::Num(v) => v.len(),
+            ColumnVec::Val(v) => v.len(),
+        }
+    }
+
+    /// `true` when the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell `i` as a logical value. Cheap: dense cells copy eight
+    /// bytes, strings and ciphertexts bump an `Arc`.
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Int(v) => Value::Int(v[i]),
+            ColumnVec::Num(v) => Value::Num(v[i]),
+            ColumnVec::Val(v) => v[i].clone(),
+        }
+    }
+
+    /// Dense integer view, when uniform.
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match self {
+            ColumnVec::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Dense numeric view, when uniform.
+    pub fn as_nums(&self) -> Option<&[f64]> {
+        match self {
+            ColumnVec::Num(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// General value view, when in the general representation.
+    pub fn as_values(&self) -> Option<&[Value]> {
+        match self {
+            ColumnVec::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Iterate the cells as logical values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Append one cell, upgrading an empty column to a dense
+    /// representation and degrading a dense column on mismatch.
+    pub fn push(&mut self, v: Value) {
+        match (&mut *self, v) {
+            (ColumnVec::Int(col), Value::Int(i)) => col.push(i),
+            (ColumnVec::Num(col), Value::Num(f)) => col.push(f),
+            (ColumnVec::Val(col), Value::Int(i)) if col.is_empty() => {
+                *self = ColumnVec::Int(vec![i]);
+            }
+            (ColumnVec::Val(col), Value::Num(f)) if col.is_empty() => {
+                *self = ColumnVec::Num(vec![f]);
+            }
+            (ColumnVec::Val(col), v) => col.push(v),
+            (_, v) => {
+                self.degrade();
+                match self {
+                    ColumnVec::Val(col) => col.push(v),
+                    _ => unreachable!("degraded above"),
+                }
+            }
+        }
+    }
+
+    /// Rewrite in the general representation (needed before in-place
+    /// cell mutation, e.g. encryption writing ciphertexts).
+    pub fn degrade(&mut self) {
+        let vals = match std::mem::take(self) {
+            ColumnVec::Int(v) => v.into_iter().map(Value::Int).collect(),
+            ColumnVec::Num(v) => v.into_iter().map(Value::Num).collect(),
+            ColumnVec::Val(v) => v,
+        };
+        *self = ColumnVec::Val(vals);
+    }
+
+    /// Consume into logical values.
+    pub fn into_values(self) -> Vec<Value> {
+        match self {
+            ColumnVec::Int(v) => v.into_iter().map(Value::Int).collect(),
+            ColumnVec::Num(v) => v.into_iter().map(Value::Num).collect(),
+            ColumnVec::Val(v) => v,
+        }
+    }
+
+    /// Copy of the cells in `range`.
+    pub fn slice(&self, range: Range<usize>) -> ColumnVec {
+        match self {
+            ColumnVec::Int(v) => ColumnVec::Int(v[range].to_vec()),
+            ColumnVec::Num(v) => ColumnVec::Num(v[range].to_vec()),
+            ColumnVec::Val(v) => ColumnVec::Val(v[range].to_vec()),
+        }
+    }
+
+    /// Cells where `mask` is `true`, in order. `mask.len()` must equal
+    /// the column length.
+    pub fn filter(&self, mask: &[bool]) -> ColumnVec {
+        debug_assert_eq!(mask.len(), self.len());
+        match self {
+            ColumnVec::Int(v) => ColumnVec::Int(
+                v.iter()
+                    .zip(mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(x, _)| *x)
+                    .collect(),
+            ),
+            ColumnVec::Num(v) => ColumnVec::Num(
+                v.iter()
+                    .zip(mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(x, _)| *x)
+                    .collect(),
+            ),
+            ColumnVec::Val(v) => ColumnVec::Val(
+                v.iter()
+                    .zip(mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(x, _)| x.clone())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Cells at `idx`, in `idx` order (sort/permutation gather).
+    pub fn gather(&self, idx: &[usize]) -> ColumnVec {
+        match self {
+            ColumnVec::Int(v) => ColumnVec::Int(idx.iter().map(|&i| v[i]).collect()),
+            ColumnVec::Num(v) => ColumnVec::Num(idx.iter().map(|&i| v[i]).collect()),
+            ColumnVec::Val(v) => ColumnVec::Val(idx.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Append all cells of `other`, degrading on representation
+    /// mismatch.
+    pub fn append(&mut self, other: ColumnVec) {
+        match (&mut *self, other) {
+            (ColumnVec::Int(a), ColumnVec::Int(b)) => a.extend(b),
+            (ColumnVec::Num(a), ColumnVec::Num(b)) => a.extend(b),
+            (ColumnVec::Val(a), other) if a.is_empty() => *self = other,
+            (_, other) => {
+                self.degrade();
+                match self {
+                    ColumnVec::Val(a) => a.extend(other.into_values()),
+                    _ => unreachable!("degraded above"),
+                }
+            }
+        }
+    }
+
+    /// Keep only the first `n` cells.
+    pub fn truncate(&mut self, n: usize) {
+        match self {
+            ColumnVec::Int(v) => v.truncate(n),
+            ColumnVec::Num(v) => v.truncate(n),
+            ColumnVec::Val(v) => v.truncate(n),
+        }
+    }
+
+    /// Total payload bytes, matching the sum of [`Value::width`] over
+    /// the cells (drives the distributed network-cost accounting).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ColumnVec::Int(v) => v.len() * 8,
+            ColumnVec::Num(v) => v.len() * 8,
+            ColumnVec::Val(v) => v.iter().map(Value::width).sum(),
+        }
+    }
+}
+
+impl PartialEq for ColumnVec {
+    /// Logical equality: dense and general representations of the
+    /// same cells compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.get(i) == other.get(i))
+    }
+}
+
+impl FromIterator<Value> for ColumnVec {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        let mut col = ColumnVec::new();
+        for v in iter {
+            col.push(v);
+        }
+        col
+    }
+}
+
+/// A horizontal slice of a relation: the schema plus one column vector
+/// per output column, all of equal length.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Batch {
+    schema: TableSchema,
+    cols: Vec<ColumnVec>,
+}
+
+impl Default for TableSchema {
+    fn default() -> Self {
+        TableSchema::new(Vec::new())
+    }
+}
+
+impl Batch {
+    /// Batch from a schema and matching columns.
+    ///
+    /// # Panics
+    /// When the column count does not match the schema or the columns
+    /// have unequal lengths.
+    pub fn new(schema: TableSchema, cols: Vec<ColumnVec>) -> Batch {
+        assert_eq!(schema.len(), cols.len(), "batch column count mismatch");
+        if let Some(first) = cols.first() {
+            assert!(
+                cols.iter().all(|c| c.len() == first.len()),
+                "batch column length mismatch"
+            );
+        }
+        Batch { schema, cols }
+    }
+
+    /// Empty batch over `schema`.
+    pub fn empty(schema: TableSchema) -> Batch {
+        let cols = (0..schema.len()).map(|_| ColumnVec::new()).collect();
+        Batch { schema, cols }
+    }
+
+    /// Batch from value rows (tests and compat paths).
+    pub fn from_rows(schema: TableSchema, rows: Vec<Vec<Value>>) -> Batch {
+        let mut cols: Vec<ColumnVec> = (0..schema.len())
+            .map(|_| ColumnVec::with_capacity(rows.len()))
+            .collect();
+        for row in rows {
+            assert_eq!(row.len(), schema.len(), "row arity mismatch");
+            for (c, v) in cols.iter_mut().zip(row) {
+                c.push(v);
+            }
+        }
+        Batch { schema, cols }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Column attributes in order.
+    pub fn attrs(&self) -> &[AttrId] {
+        self.schema.attrs()
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.cols
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &ColumnVec {
+        &self.cols[i]
+    }
+
+    /// Consume into the raw columns.
+    pub fn into_columns(self) -> Vec<ColumnVec> {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.cols.first().map_or(0, ColumnVec::len)
+    }
+
+    /// `true` when no rows (a zero-column batch is also empty).
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// Cell at (`col`, `row`) as a logical value.
+    pub fn value(&self, col: usize, row: usize) -> Value {
+        self.cols[col].get(row)
+    }
+
+    /// Row `i` as logical values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Total payload bytes.
+    pub fn byte_size(&self) -> usize {
+        self.cols.iter().map(ColumnVec::byte_size).sum()
+    }
+
+    /// Copy of the rows in `range`.
+    pub fn slice(&self, range: Range<usize>) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            cols: self.cols.iter().map(|c| c.slice(range.clone())).collect(),
+        }
+    }
+}
+
+/// Rows per streamed batch: `MPQ_BATCH_ROWS` when set, otherwise
+/// [`DEFAULT_BATCH_ROWS`].
+pub fn default_batch_rows() -> usize {
+    std::env::var("MPQ_BATCH_ROWS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_BATCH_ROWS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_columns_degrade_on_mixed_push() {
+        let mut c = ColumnVec::new();
+        c.push(Value::Int(1));
+        c.push(Value::Int(2));
+        assert!(c.as_ints().is_some(), "uniform ints stay dense");
+        c.push(Value::Null);
+        assert!(c.as_ints().is_none());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert!(c.get(2).is_null());
+    }
+
+    #[test]
+    fn logical_equality_ignores_representation() {
+        let dense = ColumnVec::from_ints(vec![1, 2, 3]);
+        let general = ColumnVec::Val(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(dense, general);
+        assert_eq!(dense.byte_size(), general.byte_size());
+    }
+
+    #[test]
+    fn from_values_densifies_uniform_data() {
+        let c = ColumnVec::from_values(vec![Value::Num(1.5), Value::Num(2.5)]);
+        assert_eq!(c.as_nums(), Some(&[1.5, 2.5][..]));
+        let mixed = ColumnVec::from_values(vec![Value::Num(1.5), Value::Null]);
+        assert!(mixed.as_nums().is_none());
+    }
+
+    #[test]
+    fn filter_gather_slice_append() {
+        let c = ColumnVec::from_ints(vec![10, 20, 30, 40]);
+        assert_eq!(
+            c.filter(&[true, false, true, false]),
+            ColumnVec::from_ints(vec![10, 30])
+        );
+        assert_eq!(c.gather(&[3, 0]), ColumnVec::from_ints(vec![40, 10]));
+        assert_eq!(c.slice(1..3), ColumnVec::from_ints(vec![20, 30]));
+        let mut a = ColumnVec::from_ints(vec![1]);
+        a.append(ColumnVec::Val(vec![Value::str("x")]));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(1), Value::str("x"));
+    }
+
+    #[test]
+    fn batch_rows_round_trip() {
+        let schema = TableSchema::new(vec![AttrId(0), AttrId(1)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+        ];
+        let b = Batch::from_rows(schema.clone(), rows.clone());
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.row(1), rows[1]);
+        assert_eq!(b.value(0, 0), Value::Int(1));
+        let sliced = b.slice(1..2);
+        assert_eq!(sliced.num_rows(), 1);
+        assert_eq!(sliced.row(0), rows[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch column length mismatch")]
+    fn unequal_columns_panic() {
+        Batch::new(
+            TableSchema::new(vec![AttrId(0), AttrId(1)]),
+            vec![ColumnVec::from_ints(vec![1]), ColumnVec::new()],
+        );
+    }
+}

@@ -1,18 +1,28 @@
-//! Plan execution.
+//! Plan execution over streaming column batches.
 //!
-//! [`execute`] interprets a plan bottom-up, materializing one
-//! [`Table`] per node. The engine is deliberately simple (row-at-a-time
-//! over in-memory vectors) but complete: hash joins on equality
-//! conditions (which work unchanged on deterministic ciphertexts),
-//! nested-loop fallback for theta-joins, hash aggregation with
-//! homomorphic SUM/AVG accumulation over Paillier cells, OPE-aware
-//! MIN/MAX and sorting, and the `Encrypt`/`Decrypt` operators spliced
-//! in by `mpq_core::extend`.
+//! [`execute`] compiles a plan into a pull-model pipeline of
+//! [`Batch`] streams (one stream per operator) and drains the root.
+//! Pipelined operators — scan, select, project, encrypt, decrypt,
+//! having, udf, limit — transform one bounded batch at a time, so
+//! their memory is `O(batch_rows)`, not `O(relation)`. Pipeline
+//! breakers materialize exactly what they must: hash joins collect the
+//! build side and probe batch-wise, group-by holds one accumulator row
+//! per group, sort collects its input before permuting it. Nothing is
+//! spilled or sampled silently.
+//!
+//! **Determinism contract.** Every `Encrypt` cell draws from an RNG
+//! seeded by `(seed, node, column, row)`, where `row` is the global
+//! row index in the operator's input stream (the running sum of batch
+//! lengths). Batch size, chunking, and worker count therefore cannot
+//! change a single ciphertext byte — the `parallel_differential`
+//! proptests pin this against the serial row-at-a-time reference
+//! engine in [`crate::rowref`].
 //!
 //! Key enforcement: `Encrypt`/`Decrypt` nodes require the executing
 //! context to *hold* the cluster key ([`ExecError::MissingKey`]
 //! otherwise); homomorphic aggregation only needs the public half.
 
+use crate::batch::{default_batch_rows, Batch, ColumnVec, TableSchema};
 use crate::eval::{cmp_values, eval, eval_pred, EvalError, RowCtx};
 use crate::pool::WorkerPool;
 use crate::scheme::SchemePlan;
@@ -95,7 +105,7 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Default base seed for encryption randomness (`"mpq"`).
-const DEFAULT_SEED: u64 = 0x006d_7071;
+pub(crate) const DEFAULT_SEED: u64 = 0x006d_7071;
 
 /// Minimum rows per chunk before a parallel region splits: cheap
 /// row-at-a-time work (predicates, projections, probes).
@@ -106,8 +116,8 @@ const MIN_CHUNK_SYM: usize = 64;
 
 /// splitmix64-style seed mixing: derive an independent stream for `v`
 /// under stream-id `h`. Used to give every (node, column, row) its own
-/// RNG so ciphertexts are identical no matter how rows are chunked
-/// across workers.
+/// RNG so ciphertexts are identical no matter how rows are batched and
+/// chunked across workers.
 pub(crate) fn mix_seed(h: u64, v: u64) -> u64 {
     let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -117,6 +127,10 @@ pub(crate) fn mix_seed(h: u64, v: u64) -> u64 {
 }
 
 /// Execution context.
+///
+/// Construct through [`ExecCtx::builder`], which folds the formerly
+/// positional knobs (seed, pool, batch size) into one place — the
+/// exec-side mirror of `mpq-dist`'s `SessionConfig`.
 pub struct ExecCtx<'a> {
     /// Catalog (names for diagnostics).
     pub catalog: &'a mpq_algebra::Catalog,
@@ -130,23 +144,77 @@ pub struct ExecCtx<'a> {
     pub key_of_attr: &'a HashMap<AttrId, u32>,
     /// Base seed for encryption randomness. Every `Encrypt` cell draws
     /// from an RNG seeded by `(seed, node, column, row)`, so execution
-    /// order, chunking, and worker count cannot change ciphertexts.
+    /// order, batching, chunking, and worker count cannot change
+    /// ciphertexts.
     pub seed: u64,
     /// Worker pool for intra-operator data parallelism.
     pub pool: WorkerPool,
+    /// Rows per streamed batch (pipelined operators hold at most this
+    /// many rows at a time).
+    pub batch_rows: usize,
+}
+
+/// Builder for [`ExecCtx`]: the five shared references are positional
+/// (they have no defaults), everything tunable is a named knob.
+pub struct ExecCtxBuilder<'a> {
+    catalog: &'a mpq_algebra::Catalog,
+    db: &'a Database,
+    keys: &'a KeyRing,
+    schemes: &'a SchemePlan,
+    key_of_attr: &'a HashMap<AttrId, u32>,
+    seed: u64,
+    pool: WorkerPool,
+    batch_rows: usize,
+}
+
+impl<'a> ExecCtxBuilder<'a> {
+    /// Override the encryption-randomness base seed (default: a fixed
+    /// deterministic seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the worker pool (party loops share their simulator's;
+    /// default: the process-global pool).
+    pub fn pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Override the stream batch size (default: `MPQ_BATCH_ROWS` or
+    /// [`crate::batch::DEFAULT_BATCH_ROWS`]). Values below 1 are
+    /// clamped to 1.
+    pub fn batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows.max(1);
+        self
+    }
+
+    /// Finish the context.
+    pub fn build(self) -> ExecCtx<'a> {
+        ExecCtx {
+            catalog: self.catalog,
+            db: self.db,
+            keys: self.keys,
+            schemes: self.schemes,
+            key_of_attr: self.key_of_attr,
+            seed: self.seed,
+            pool: self.pool,
+            batch_rows: self.batch_rows,
+        }
+    }
 }
 
 impl<'a> ExecCtx<'a> {
-    /// Context with a fixed seed (deterministic tests) and the shared
-    /// global worker pool.
-    pub fn new(
+    /// Start a builder over the shared execution state.
+    pub fn builder(
         catalog: &'a mpq_algebra::Catalog,
         db: &'a Database,
         keys: &'a KeyRing,
         schemes: &'a SchemePlan,
         key_of_attr: &'a HashMap<AttrId, u32>,
-    ) -> ExecCtx<'a> {
-        ExecCtx {
+    ) -> ExecCtxBuilder<'a> {
+        ExecCtxBuilder {
             catalog,
             db,
             keys,
@@ -154,24 +222,122 @@ impl<'a> ExecCtx<'a> {
             key_of_attr,
             seed: DEFAULT_SEED,
             pool: WorkerPool::global(),
+            batch_rows: default_batch_rows(),
         }
     }
 
-    /// Replace the worker pool (party loops share their simulator's).
-    pub fn with_pool(mut self, pool: WorkerPool) -> ExecCtx<'a> {
-        self.pool = pool;
-        self
+    /// Context with every knob at its default (deterministic seed, the
+    /// shared global worker pool, default batch size).
+    pub fn new(
+        catalog: &'a mpq_algebra::Catalog,
+        db: &'a Database,
+        keys: &'a KeyRing,
+        schemes: &'a SchemePlan,
+        key_of_attr: &'a HashMap<AttrId, u32>,
+    ) -> ExecCtx<'a> {
+        ExecCtx::builder(catalog, db, keys, schemes, key_of_attr).build()
     }
 }
 
-/// Execute a whole plan, returning the root table.
-pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<Table, ExecError> {
-    let mut results: HashMap<NodeId, Table> = HashMap::new();
-    for id in plan.postorder() {
-        let table = execute_node(plan, id, &mut results, ctx)?;
-        results.insert(id, table);
+// ---------------------------------------------------------------------------
+// Batch streams
+// ---------------------------------------------------------------------------
+
+/// A pull-model stream of [`Batch`]es sharing one schema. `pull`
+/// returns `Ok(None)` when exhausted; empty batches are never emitted.
+struct BatchStream<'p> {
+    schema: TableSchema,
+    next: Box<dyn FnMut() -> Result<Option<Batch>, ExecError> + 'p>,
+}
+
+impl BatchStream<'_> {
+    fn pull(&mut self) -> Result<Option<Batch>, ExecError> {
+        (self.next)()
     }
-    Ok(results.remove(&plan.root()).expect("root executed"))
+
+    /// Drain into a materialized table, appending column-wise.
+    fn collect(mut self) -> Result<Table, ExecError> {
+        let schema = self.schema.clone();
+        let mut cols: Vec<ColumnVec> = (0..schema.len()).map(|_| ColumnVec::new()).collect();
+        while let Some(b) = self.pull()? {
+            for (acc, col) in cols.iter_mut().zip(b.into_columns()) {
+                acc.append(col);
+            }
+        }
+        Ok(Table::from_batch(Batch::new(schema, cols)))
+    }
+}
+
+/// Stream an owned table in `batch_rows` slices.
+fn scan_owned(table: Table, batch_rows: usize) -> BatchStream<'static> {
+    let schema = table.schema().clone();
+    let step = batch_rows.max(1);
+    let mut start = 0usize;
+    BatchStream {
+        schema,
+        next: Box::new(move || {
+            let n = table.len();
+            if start >= n {
+                return Ok(None);
+            }
+            let end = (start + step).min(n);
+            let b = table.slice(start..end);
+            start = end;
+            Ok(Some(b))
+        }),
+    }
+}
+
+/// Stream a transformation of `child`: `f` maps each input batch to an
+/// output batch (or `None` to drop it, e.g. fully filtered away).
+fn map_stream<'p, F>(mut child: BatchStream<'p>, schema: TableSchema, mut f: F) -> BatchStream<'p>
+where
+    F: FnMut(Batch) -> Result<Option<Batch>, ExecError> + 'p,
+{
+    BatchStream {
+        schema,
+        next: Box::new(move || {
+            while let Some(batch) = child.pull()? {
+                if let Some(out) = f(batch)? {
+                    if !out.is_empty() {
+                        return Ok(Some(out));
+                    }
+                }
+            }
+            Ok(None)
+        }),
+    }
+}
+
+/// Stream whose table is computed in one blocking step on first pull
+/// (group-by, sort: inherently materializing operators).
+fn blocking_stream<'p, F>(schema: TableSchema, batch_rows: usize, init: F) -> BatchStream<'p>
+where
+    F: FnOnce() -> Result<Table, ExecError> + 'p,
+{
+    let mut init = Some(init);
+    let mut inner: Option<BatchStream<'static>> = None;
+    BatchStream {
+        schema,
+        next: Box::new(move || {
+            if inner.is_none() {
+                let table = (init.take().expect("initialized once"))()?;
+                inner = Some(scan_owned(table, batch_rows));
+            }
+            inner.as_mut().expect("initialized above").pull()
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Execute a whole plan as one streaming pipeline, returning the root
+/// table.
+pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<Table, ExecError> {
+    let mut inputs = HashMap::new();
+    compile_node(plan, plan.root(), &mut inputs, true, ctx)?.collect()
 }
 
 /// Execute a single node against already-materialized child results.
@@ -181,14 +347,16 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<Table, ExecError> 
 /// ring, base-relation store — of the *subject assigned to it* rather
 /// than one global context. Children of `id` are consumed from
 /// `results`; the caller inserts the returned table under `id` before
-/// stepping any parent.
+/// stepping any parent. Within the step, child tables are re-streamed
+/// in `ctx.batch_rows` slices, so the step's working set beyond its
+/// inputs stays batch-bounded.
 pub fn execute_step(
     plan: &QueryPlan,
     id: NodeId,
     results: &mut HashMap<NodeId, Table>,
     ctx: &ExecCtx<'_>,
 ) -> Result<Table, ExecError> {
-    execute_node(plan, id, results, ctx)
+    compile_node(plan, id, results, false, ctx)?.collect()
 }
 
 /// `true` when every operand of `id` has a materialized table in
@@ -202,16 +370,32 @@ pub fn node_ready(plan: &QueryPlan, id: NodeId, results: &HashMap<NodeId, Table>
         .all(|c| results.contains_key(c))
 }
 
-fn take_child(results: &mut HashMap<NodeId, Table>, id: NodeId) -> Table {
-    results.remove(&id).expect("child executed before parent")
+/// Resolve child `k` of `id` as a stream: a materialized result when
+/// one exists (stepping mode), otherwise — in pipeline mode — the
+/// recursively compiled child operator.
+fn child_stream<'p>(
+    plan: &'p QueryPlan,
+    id: NodeId,
+    k: usize,
+    inputs: &mut HashMap<NodeId, Table>,
+    recurse: bool,
+    ctx: &'p ExecCtx<'p>,
+) -> Result<BatchStream<'p>, ExecError> {
+    let cid = plan.node(id).children[k];
+    if let Some(t) = inputs.remove(&cid) {
+        return Ok(scan_owned(t, ctx.batch_rows));
+    }
+    assert!(recurse, "child executed before parent");
+    compile_node(plan, cid, inputs, recurse, ctx)
 }
 
-fn execute_node(
-    plan: &QueryPlan,
+fn compile_node<'p>(
+    plan: &'p QueryPlan,
     id: NodeId,
-    results: &mut HashMap<NodeId, Table>,
-    ctx: &ExecCtx<'_>,
-) -> Result<Table, ExecError> {
+    inputs: &mut HashMap<NodeId, Table>,
+    recurse: bool,
+    ctx: &'p ExecCtx<'p>,
+) -> Result<BatchStream<'p>, ExecError> {
     let node = plan.node(id);
     match &node.op {
         Operator::Base { rel, attrs } => {
@@ -227,76 +411,69 @@ fn execute_node(
                         .ok_or_else(|| ExecError::Unsupported(format!("column {a} missing")))
                 })
                 .collect::<Result<_, _>>()?;
-            let rows = table
-                .rows
-                .iter()
-                .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
-                .collect();
-            Ok(Table {
-                cols: attrs.clone(),
-                rows,
+            let schema = TableSchema::new(attrs.clone());
+            let step = ctx.batch_rows.max(1);
+            let mut start = 0usize;
+            Ok(BatchStream {
+                schema: schema.clone(),
+                next: Box::new(move || {
+                    let n = table.len();
+                    if start >= n {
+                        return Ok(None);
+                    }
+                    let end = (start + step).min(n);
+                    let cols = indices
+                        .iter()
+                        .map(|&i| table.column(i).slice(start..end))
+                        .collect();
+                    start = end;
+                    Ok(Some(Batch::new(schema.clone(), cols)))
+                }),
             })
         }
         Operator::Project { attrs } => {
-            let child = take_child(results, node.children[0]);
+            let child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
             let indices: Vec<usize> = attrs
                 .iter()
                 .map(|a| {
                     child
+                        .schema
                         .col_index(*a)
                         .ok_or_else(|| ExecError::Unsupported(format!("column {a} missing")))
                 })
                 .collect::<Result<_, _>>()?;
-            // The child is consumed: when no source column is emitted
-            // twice, values move out of the old rows instead of being
-            // cloned (strings and ciphertexts are the wide cells).
+            // When no source column is emitted twice, columns move out
+            // of the consumed batch instead of being cloned.
             let unique = {
                 let mut seen = indices.clone();
                 seen.sort_unstable();
                 seen.windows(2).all(|w| w[0] != w[1])
             };
-            let rows = ctx
-                .pool
-                .map_chunks(child.rows, MIN_CHUNK_ROWS, |_, chunk| {
-                    Ok::<_, ExecError>(
-                        chunk
-                            .into_iter()
-                            .map(|mut row| {
-                                if unique {
-                                    indices
-                                        .iter()
-                                        .map(|&i| std::mem::replace(&mut row[i], Value::Null))
-                                        .collect()
-                                } else {
-                                    indices.iter().map(|&i| row[i].clone()).collect()
-                                }
-                            })
-                            .collect(),
-                    )
-                })?;
-            Ok(Table {
-                cols: attrs.clone(),
-                rows,
-            })
+            let schema = TableSchema::new(attrs.clone());
+            Ok(map_stream(child, schema.clone(), move |batch| {
+                let cols = if unique {
+                    let mut src: Vec<Option<ColumnVec>> =
+                        batch.into_columns().into_iter().map(Some).collect();
+                    indices
+                        .iter()
+                        .map(|&i| src[i].take().expect("unique indices"))
+                        .collect()
+                } else {
+                    let src = batch.into_columns();
+                    indices.iter().map(|&i| src[i].clone()).collect()
+                };
+                Ok(Some(Batch::new(schema.clone(), cols)))
+            }))
         }
         Operator::Select { pred } => {
-            let mut child = take_child(results, node.children[0]);
-            let cols = std::mem::take(&mut child.cols);
-            let rows = std::mem::take(&mut child.rows);
-            child.rows = ctx.pool.map_chunks(rows, MIN_CHUNK_ROWS, |_, chunk| {
-                let mut kept = Vec::with_capacity(chunk.len());
-                for row in chunk {
-                    if eval_pred(pred, &RowCtx::plain(&cols, &row))? == Some(true) {
-                        kept.push(row);
-                    }
-                }
-                Ok::<_, ExecError>(kept)
-            })?;
-            child.cols = cols;
-            Ok(child)
+            let child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
+            let schema = child.schema.clone();
+            Ok(map_stream(child, schema.clone(), move |batch| {
+                filter_batch(pred, &schema, batch, None, ctx)
+            }))
         }
         Operator::Having { pred } => {
-            let mut child = take_child(results, node.children[0]);
+            let child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
             // Extended plans may splice Decrypt/Encrypt between the
             // HAVING and its GROUP BY; both preserve the row layout.
             let agg_base = match &plan.node(plan.through_crypto(node.children[0])).op {
@@ -307,151 +484,304 @@ fn execute_node(
                     ))
                 }
             };
-            let cols = child.cols.clone();
-            let mut kept = Vec::with_capacity(child.rows.len());
-            for row in child.rows.drain(..) {
-                let ctx_row = RowCtx {
-                    cols: &cols,
-                    row: &row,
-                    agg_base: Some(agg_base),
-                };
-                if eval_pred(pred, &ctx_row)? == Some(true) {
-                    kept.push(row);
-                }
-            }
-            child.rows = kept;
-            Ok(child)
+            let schema = child.schema.clone();
+            Ok(map_stream(child, schema.clone(), move |batch| {
+                filter_batch(pred, &schema, batch, Some(agg_base), ctx)
+            }))
         }
         Operator::Product => {
-            let left = take_child(results, node.children[0]);
-            let right = take_child(results, node.children[1]);
-            let mut cols = left.cols.clone();
-            cols.extend(right.cols.iter().copied());
-            let mut rows = Vec::with_capacity(left.len() * right.len());
-            for l in &left.rows {
-                for r in &right.rows {
-                    let mut row = l.clone();
-                    row.extend(r.iter().cloned());
-                    rows.push(row);
-                }
-            }
-            Ok(Table { cols, rows })
+            let mut left = child_stream(plan, id, 0, inputs, recurse, ctx)?;
+            let right = child_stream(plan, id, 1, inputs, recurse, ctx)?;
+            let mut attrs = left.schema.attrs().to_vec();
+            attrs.extend(right.schema.attrs().iter().copied());
+            let schema = TableSchema::new(attrs);
+            let out_schema = schema.clone();
+            let mut right = Some(right);
+            let mut right_tab: Option<Table> = None;
+            Ok(BatchStream {
+                schema: out_schema,
+                next: Box::new(move || {
+                    if right_tab.is_none() {
+                        right_tab = Some(right.take().expect("collected once").collect()?);
+                    }
+                    let rt = right_tab.as_ref().expect("materialized above");
+                    loop {
+                        let Some(lbatch) = left.pull()? else {
+                            return Ok(None);
+                        };
+                        if rt.is_empty() {
+                            continue;
+                        }
+                        let mut rows = Vec::with_capacity(lbatch.num_rows() * rt.len());
+                        for li in 0..lbatch.num_rows() {
+                            let lrow = lbatch.row(li);
+                            for ri in 0..rt.len() {
+                                let mut row = lrow.clone();
+                                row.extend(rt.row(ri));
+                                rows.push(row);
+                            }
+                        }
+                        return Ok(Some(Batch::from_rows(schema.clone(), rows)));
+                    }
+                }),
+            })
         }
         Operator::Join { kind, on, residual } => {
-            let left = take_child(results, node.children[0]);
-            let right = take_child(results, node.children[1]);
-            join(*kind, on, residual.as_ref(), left, right, ctx)
+            let left = child_stream(plan, id, 0, inputs, recurse, ctx)?;
+            let right = child_stream(plan, id, 1, inputs, recurse, ctx)?;
+            join_stream(*kind, on, residual.as_ref(), left, right, ctx)
         }
         Operator::GroupBy { keys, aggs } => {
-            let child = take_child(results, node.children[0]);
-            group_by(keys, aggs, child, ctx)
+            let child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
+            let mut attrs: Vec<AttrId> = keys.to_vec();
+            attrs.extend(aggs.iter().map(|a| a.output));
+            let schema = TableSchema::new(attrs);
+            let keys = keys.to_vec();
+            let aggs = aggs.to_vec();
+            Ok(blocking_stream(schema.clone(), ctx.batch_rows, move || {
+                group_by_stream(&keys, &aggs, child, schema, ctx)
+            }))
         }
         Operator::Udf {
-            inputs,
+            inputs: udf_inputs,
             output,
             body,
             ..
         } => {
-            let child = take_child(results, node.children[0]);
+            let child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
             let body = body
                 .as_ref()
                 .ok_or_else(|| ExecError::Unsupported("opaque udf cannot be executed".into()))?;
-            udf(inputs, *output, body, child)
+            let (out_idx, drop_idx, kept) = udf_layout(udf_inputs, *output, child.schema.attrs())?;
+            Ok(udf_stream(
+                child,
+                out_idx,
+                drop_idx,
+                body,
+                TableSchema::new(kept),
+            ))
         }
         Operator::Encrypt { attrs } => {
-            let mut child = take_child(results, node.children[0]);
-            for attr in attrs {
-                let key_id = *ctx
-                    .key_of_attr
-                    .get(attr)
-                    .ok_or(ExecError::NoKeyForAttr(*attr))?;
-                let key = ctx.keys.get(key_id).ok_or(ExecError::MissingKey {
-                    attr: *attr,
-                    key_id,
-                })?;
-                let scheme = ctx.schemes.scheme_of(*attr);
-                // Every column carrying this attribute is encrypted.
-                let col_idxs: Vec<usize> = child
-                    .cols
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| **c == *attr)
-                    .map(|(i, _)| i)
-                    .collect();
-                // Key setup once per column (schedules, sub-keys,
-                // Paillier context), then chunked rows. Each row's RNG
-                // is derived from (seed, node, attr, row index), so the
-                // ciphertext stream is independent of chunking.
-                let cipher = ColumnCipher::new(scheme, &key);
-                let attr_seed = mix_seed(mix_seed(ctx.seed, id.index() as u64), attr.0 as u64);
-                let min_chunk = if scheme == EncScheme::Paillier {
-                    1
-                } else {
-                    MIN_CHUNK_SYM
-                };
-                ctx.pool
-                    .for_each_chunk_mut(&mut child.rows, min_chunk, |start, chunk| {
-                        for (off, row) in chunk.iter_mut().enumerate() {
-                            let mut rng =
-                                StdRng::seed_from_u64(mix_seed(attr_seed, (start + off) as u64));
-                            for &i in &col_idxs {
-                                row[i] = cipher
-                                    .encrypt(&mut rng, &row[i])
-                                    .map_err(|e| ExecError::Crypto(e.to_string()))?;
-                            }
-                        }
-                        Ok::<(), ExecError>(())
-                    })?;
-            }
-            Ok(child)
+            let child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
+            let plans = crypto_plans(attrs, &child.schema, id, ctx)?;
+            Ok(crypto_stream(child, plans, true, ctx))
         }
         Operator::Decrypt { attrs } => {
-            let mut child = take_child(results, node.children[0]);
-            for attr in attrs {
-                let key_id = *ctx
-                    .key_of_attr
-                    .get(attr)
-                    .ok_or(ExecError::NoKeyForAttr(*attr))?;
-                let key = ctx.keys.get(key_id).ok_or(ExecError::MissingKey {
-                    attr: *attr,
-                    key_id,
-                })?;
-                let col_idxs: Vec<usize> = child
-                    .cols
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| **c == *attr)
-                    .map(|(i, _)| i)
-                    .collect();
-                let scheme = ctx.schemes.scheme_of(*attr);
-                let cipher = ColumnCipher::new(scheme, &key);
-                let min_chunk = if scheme == EncScheme::Paillier {
+            let child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
+            let plans = crypto_plans(attrs, &child.schema, id, ctx)?;
+            Ok(crypto_stream(child, plans, false, ctx))
+        }
+        Operator::Sort { keys } => {
+            let agg_base = sort_agg_base(plan, id);
+            let child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
+            let schema = child.schema.clone();
+            let keys = keys.to_vec();
+            Ok(blocking_stream(schema, ctx.batch_rows, move || {
+                sort_stream(&keys, agg_base, child)
+            }))
+        }
+        Operator::Limit { n } => {
+            let mut child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
+            let schema = child.schema.clone();
+            let mut remaining = *n as usize;
+            Ok(BatchStream {
+                schema,
+                next: Box::new(move || {
+                    if remaining == 0 {
+                        return Ok(None);
+                    }
+                    match child.pull()? {
+                        None => Ok(None),
+                        Some(mut batch) => {
+                            if batch.num_rows() > remaining {
+                                batch = batch.slice(0..remaining);
+                            }
+                            remaining -= batch.num_rows();
+                            Ok(Some(batch))
+                        }
+                    }
+                }),
+            })
+        }
+    }
+}
+
+/// Evaluate `pred` over every row of `batch` in parallel chunks and
+/// keep the passing rows (`None` when nothing passes).
+fn filter_batch(
+    pred: &Expr,
+    schema: &TableSchema,
+    batch: Batch,
+    agg_base: Option<usize>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Option<Batch>, ExecError> {
+    let mut mask = vec![false; batch.num_rows()];
+    {
+        let attrs = schema.attrs();
+        let cols = batch.columns();
+        ctx.pool
+            .for_each_chunk_mut(&mut mask, MIN_CHUNK_ROWS, |start, chunk| {
+                for (off, keep) in chunk.iter_mut().enumerate() {
+                    let rc = RowCtx::batch(attrs, cols, start + off).with_agg_base(agg_base);
+                    *keep = eval_pred(pred, &rc)? == Some(true);
+                }
+                Ok::<(), ExecError>(())
+            })?;
+    }
+    if mask.iter().all(|&m| !m) {
+        return Ok(None);
+    }
+    if mask.iter().all(|&m| m) {
+        return Ok(Some(batch));
+    }
+    let cols = batch.columns().iter().map(|c| c.filter(&mask)).collect();
+    Ok(Some(Batch::new(schema.clone(), cols)))
+}
+
+// ---------------------------------------------------------------------------
+// Encrypt / Decrypt
+// ---------------------------------------------------------------------------
+
+/// Per-attribute crypto work resolved once at compile time: the column
+/// cipher (key schedules, Paillier context), the columns carrying the
+/// attribute, and the attribute's seed stream.
+struct CryptoPlan {
+    cipher: ColumnCipher,
+    col_idxs: Vec<usize>,
+    attr_seed: u64,
+    min_chunk: usize,
+}
+
+/// Resolve keys/schemes for an `Encrypt`/`Decrypt` node. Key presence
+/// is checked here — before any data flows — so an unprovisioned
+/// executor is refused even on empty inputs.
+fn crypto_plans(
+    attrs: &[AttrId],
+    schema: &TableSchema,
+    id: NodeId,
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<CryptoPlan>, ExecError> {
+    attrs
+        .iter()
+        .map(|attr| {
+            let key_id = *ctx
+                .key_of_attr
+                .get(attr)
+                .ok_or(ExecError::NoKeyForAttr(*attr))?;
+            let key = ctx.keys.get(key_id).ok_or(ExecError::MissingKey {
+                attr: *attr,
+                key_id,
+            })?;
+            let scheme = ctx.schemes.scheme_of(*attr);
+            // Every column carrying this attribute is processed.
+            let col_idxs: Vec<usize> = schema
+                .attrs()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c == *attr)
+                .map(|(i, _)| i)
+                .collect();
+            Ok(CryptoPlan {
+                cipher: ColumnCipher::new(scheme, &key),
+                col_idxs,
+                attr_seed: mix_seed(mix_seed(ctx.seed, id.index() as u64), attr.0 as u64),
+                min_chunk: if scheme == EncScheme::Paillier {
                     1
                 } else {
                     MIN_CHUNK_SYM
-                };
-                ctx.pool
-                    .for_each_chunk_mut(&mut child.rows, min_chunk, |_, chunk| {
-                        for row in chunk.iter_mut() {
-                            for &i in &col_idxs {
-                                row[i] = cipher
-                                    .decrypt(&row[i])
-                                    .map_err(|e| ExecError::Crypto(e.to_string()))?;
-                            }
-                        }
-                        Ok::<(), ExecError>(())
-                    })?;
+                },
+            })
+        })
+        .collect()
+}
+
+/// Stream Encrypt/Decrypt: each batch is transformed in place, with
+/// every cell's RNG seeded from its *global* row index (`row_off` +
+/// in-batch offset), so ciphertexts are independent of batch layout.
+fn crypto_stream<'p>(
+    child: BatchStream<'p>,
+    plans: Vec<CryptoPlan>,
+    encrypt: bool,
+    ctx: &'p ExecCtx<'p>,
+) -> BatchStream<'p> {
+    let schema = child.schema.clone();
+    let mut row_off = 0usize;
+    map_stream(child, schema.clone(), move |batch| {
+        let n = batch.num_rows();
+        let mut cols = batch.into_columns();
+        for plan in &plans {
+            apply_crypto_plan(&mut cols, plan, encrypt, row_off, &ctx.pool)?;
+        }
+        row_off += n;
+        Ok(Some(Batch::new(schema.clone(), cols)))
+    })
+}
+
+/// Apply one attribute's cipher to its column(s) within a batch.
+///
+/// The single-column case (the overwhelmingly common one) chunks the
+/// column directly. When an attribute occurs in several columns the
+/// row engine's semantics are preserved exactly: the columns share one
+/// per-row RNG, consumed in column-index order.
+fn apply_crypto_plan(
+    cols: &mut [ColumnVec],
+    plan: &CryptoPlan,
+    encrypt: bool,
+    row_off: usize,
+    pool: &WorkerPool,
+) -> Result<(), ExecError> {
+    let crypt = |cell: &Value, rng: &mut StdRng| -> Result<Value, ExecError> {
+        if encrypt {
+            plan.cipher
+                .encrypt(rng, cell)
+                .map_err(|e| ExecError::Crypto(e.to_string()))
+        } else {
+            plan.cipher
+                .decrypt(cell)
+                .map_err(|e| ExecError::Crypto(e.to_string()))
+        }
+    };
+    match plan.col_idxs.as_slice() {
+        [] => Ok(()),
+        [i] => {
+            let mut vals = std::mem::take(&mut cols[*i]).into_values();
+            pool.for_each_chunk_mut(&mut vals, plan.min_chunk, |start, chunk| {
+                for (off, cell) in chunk.iter_mut().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(mix_seed(
+                        plan.attr_seed,
+                        (row_off + start + off) as u64,
+                    ));
+                    *cell = crypt(cell, &mut rng)?;
+                }
+                Ok::<(), ExecError>(())
+            })?;
+            cols[*i] = ColumnVec::Val(vals);
+            Ok(())
+        }
+        idxs => {
+            // Rare path: transpose the attribute's columns into row
+            // tuples so one RNG serves all of a row's cells, as the
+            // row-at-a-time engine did.
+            let n = cols[idxs[0]].len();
+            let mut tuples: Vec<Vec<Value>> = (0..n)
+                .map(|r| idxs.iter().map(|&i| cols[i].get(r)).collect())
+                .collect();
+            pool.for_each_chunk_mut(&mut tuples, plan.min_chunk, |start, chunk| {
+                for (off, tuple) in chunk.iter_mut().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(mix_seed(
+                        plan.attr_seed,
+                        (row_off + start + off) as u64,
+                    ));
+                    for cell in tuple.iter_mut() {
+                        *cell = crypt(cell, &mut rng)?;
+                    }
+                }
+                Ok::<(), ExecError>(())
+            })?;
+            for (k, &i) in idxs.iter().enumerate() {
+                cols[i] = tuples.iter().map(|t| t[k].clone()).collect();
             }
-            Ok(child)
-        }
-        Operator::Sort { keys } => {
-            let child = take_child(results, node.children[0]);
-            sort(plan, id, keys, child)
-        }
-        Operator::Limit { n } => {
-            let mut child = take_child(results, node.children[0]);
-            child.rows.truncate(*n as usize);
-            Ok(child)
+            Ok(())
         }
     }
 }
@@ -462,52 +792,53 @@ fn execute_node(
 
 /// The cipher pair reconciling one mixed-form join condition: at most
 /// one side carries a cipher, which re-encrypts that side's plaintext
-/// cells *at comparison time* (the materialized rows are left in the
-/// form the plan prescribes).
-type FormFix = (Option<ColumnCipher>, Option<ColumnCipher>);
+/// cells *at comparison time* (the materialized output keeps the form
+/// the plan prescribes).
+pub(crate) type FormFix = (Option<ColumnCipher>, Option<ColumnCipher>);
 
-/// The dominant form of a join-key column: its first non-NULL cell.
-/// Columns are form-uniform (the engine encrypts and decrypts whole
-/// columns), so one sample decides.
-fn column_form(rows: &[Vec<Value>], col: usize) -> Option<EncValue> {
-    match rows.iter().map(|r| &r[col]).find(|v| !v.is_null()) {
-        Some(Value::Enc(e)) => Some(e.clone()),
-        _ => None,
+/// The dominant form of a column: `None` while the column holds no
+/// non-NULL cell (undecidable), otherwise `Some(form)` where `form` is
+/// the first non-NULL cell's ciphertext header (or `None` for
+/// plaintext). Columns are form-uniform (the engine encrypts and
+/// decrypts whole columns), so one sample decides.
+fn column_form_of(col: &ColumnVec) -> Option<Option<EncValue>> {
+    for i in 0..col.len() {
+        let v = col.get(i);
+        if !v.is_null() {
+            return Some(match v {
+                Value::Enc(e) => Some(e),
+                _ => None,
+            });
+        }
     }
+    None
 }
 
-/// Mixed-form reconciliation for one join condition (ROADMAP item 6 /
-/// MPQ009): minimal extension may encrypt a join attribute *above* the
-/// join while the other side arrives encrypted from below, so the
-/// executor would compare ciphertext against plaintext — silently
-/// matching zero rows under hash equality. When the executing subject
-/// holds the Def. 6.1 cluster key (provisioning counts it as a holder
-/// exactly for this), the plaintext side is encrypted on the fly:
-/// Deterministic and OPE draw no randomness, so the comparison-time
-/// ciphertexts are byte-identical to what an Encrypt operator produces.
-/// A non-comparable scheme or a missing key is a typed refusal, never a
+/// Mixed-form reconciliation for one join condition (MPQ009): minimal
+/// extension may encrypt a join attribute *above* the join while the
+/// other side arrives encrypted from below, so the executor would
+/// compare ciphertext against plaintext — silently matching zero rows
+/// under hash equality. When the executing subject holds the Def. 6.1
+/// cluster key (provisioning counts it as a holder exactly for this),
+/// the plaintext side is encrypted on the fly: Deterministic and OPE
+/// draw no randomness, so the comparison-time ciphertexts are
+/// byte-identical to what an Encrypt operator produces. A
+/// non-comparable scheme or a missing key is a typed refusal, never a
 /// silent empty result.
-fn mixed_form_fix(
-    left: &Table,
-    lc: usize,
-    right: &Table,
-    rc: usize,
+pub(crate) fn decide_form_fix(
+    lform: Option<EncValue>,
+    l_attr: AttrId,
+    rform: Option<EncValue>,
+    r_attr: AttrId,
     needs_order: bool,
     ctx: &ExecCtx<'_>,
 ) -> Result<FormFix, ExecError> {
-    let (enc, fix_left) = match (column_form(&left.rows, lc), column_form(&right.rows, rc)) {
-        (Some(e), None) if right.rows.iter().any(|r| !r[rc].is_null()) => (e, false),
-        (None, Some(e)) if left.rows.iter().any(|r| !r[lc].is_null()) => (e, true),
+    let (enc, fix_left) = match (lform, rform) {
+        (Some(e), None) => (e, false),
+        (None, Some(e)) => (e, true),
         _ => return Ok((None, None)),
     };
-    let (attr, key_id) = (
-        if fix_left {
-            left.cols[lc]
-        } else {
-            right.cols[rc]
-        },
-        enc.key_id,
-    );
+    let (attr, key_id) = (if fix_left { l_attr } else { r_attr }, enc.key_id);
     let comparable = if needs_order {
         enc.scheme.supports_order()
     } else {
@@ -532,97 +863,183 @@ fn mixed_form_fix(
 /// encrypted for the comparison, everything else passes through
 /// untouched. The RNG is a formality — the fix only ever carries
 /// RNG-free schemes (Deterministic, OPE).
-fn fixed_cell<'v>(
-    cell: &'v Value,
-    fix: &Option<ColumnCipher>,
+pub(crate) fn fixed_cell(
+    cell: Value,
+    fix: Option<&ColumnCipher>,
     rng: &mut StdRng,
-) -> Result<std::borrow::Cow<'v, Value>, ExecError> {
-    use std::borrow::Cow;
+) -> Result<Value, ExecError> {
     match fix {
-        Some(cipher) if !cell.is_null() && !matches!(cell, Value::Enc(_)) => Ok(Cow::Owned(
-            cipher
-                .encrypt(rng, cell)
-                .map_err(|e| ExecError::Crypto(e.to_string()))?,
-        )),
-        _ => Ok(Cow::Borrowed(cell)),
+        Some(cipher) if !cell.is_null() && !matches!(cell, Value::Enc(_)) => cipher
+            .encrypt(rng, &cell)
+            .map_err(|e| ExecError::Crypto(e.to_string())),
+        _ => Ok(cell),
     }
 }
 
-fn join(
+/// One join condition's runtime state: column indices plus the lazily
+/// decided mixed-form fix. A fix stays undecided while the probe side
+/// has produced no non-NULL cell in its key column — rows with NULL
+/// keys never match, so an undecided fix is never *needed*.
+struct JoinCond {
+    lc: usize,
+    op: CmpOp,
+    rc: usize,
+    fix: Option<FormFix>,
+}
+
+impl JoinCond {
+    fn lfix(&self) -> Option<&ColumnCipher> {
+        self.fix.as_ref().and_then(|f| f.0.as_ref())
+    }
+
+    fn rfix(&self) -> Option<&ColumnCipher> {
+        self.fix.as_ref().and_then(|f| f.1.as_ref())
+    }
+}
+
+fn join_stream<'p>(
     kind: JoinKind,
     on: &[(AttrId, CmpOp, AttrId)],
-    residual: Option<&Expr>,
-    left: Table,
-    right: Table,
-    ctx: &ExecCtx<'_>,
-) -> Result<Table, ExecError> {
-    let pool = &ctx.pool;
-    let eq_conds: Vec<(usize, usize)> = on
+    residual: Option<&'p Expr>,
+    mut left: BatchStream<'p>,
+    right: BatchStream<'p>,
+    ctx: &'p ExecCtx<'p>,
+) -> Result<BatchStream<'p>, ExecError> {
+    let lschema = left.schema.clone();
+    let rschema = right.schema.clone();
+    let mut conds: Vec<JoinCond> = on
         .iter()
-        .filter(|(_, op, _)| op.is_equality())
-        .map(|(l, _, r)| {
-            Ok((
-                left.col_index(*l)
-                    .ok_or_else(|| ExecError::Unsupported(format!("join key {l} missing")))?,
-                right
-                    .col_index(*r)
-                    .ok_or_else(|| ExecError::Unsupported(format!("join key {r} missing")))?,
-            ))
-        })
-        .collect::<Result<_, ExecError>>()?;
-    let other_conds: Vec<(usize, CmpOp, usize)> = on
-        .iter()
-        .filter(|(_, op, _)| !op.is_equality())
         .map(|(l, op, r)| {
-            Ok((
-                left.col_index(*l)
+            Ok(JoinCond {
+                lc: lschema
+                    .col_index(*l)
                     .ok_or_else(|| ExecError::Unsupported(format!("join key {l} missing")))?,
-                *op,
-                right
+                op: *op,
+                rc: rschema
                     .col_index(*r)
                     .ok_or_else(|| ExecError::Unsupported(format!("join key {r} missing")))?,
-            ))
+                fix: None,
+            })
         })
         .collect::<Result<_, ExecError>>()?;
-    let eq_fix: Vec<FormFix> = eq_conds
-        .iter()
-        .map(|&(lc, rc)| mixed_form_fix(&left, lc, &right, rc, false, ctx))
-        .collect::<Result<_, ExecError>>()?;
-    let other_fix: Vec<FormFix> = other_conds
-        .iter()
-        .map(|&(lc, op, rc)| mixed_form_fix(&left, lc, &right, rc, op != CmpOp::Ne, ctx))
-        .collect::<Result<_, ExecError>>()?;
 
-    let mut out_cols = left.cols.clone();
+    let mut out_attrs = lschema.attrs().to_vec();
     if kind.keeps_right() {
-        out_cols.extend(right.cols.iter().copied());
+        out_attrs.extend(rschema.attrs().iter().copied());
     }
-    let combined_cols: Vec<AttrId> = left.cols.iter().chain(right.cols.iter()).copied().collect();
+    let out_schema = TableSchema::new(out_attrs);
+    let combined_attrs: Vec<AttrId> = lschema
+        .attrs()
+        .iter()
+        .chain(rschema.attrs().iter())
+        .copied()
+        .collect();
 
-    // Build phase: extract the right side's equality keys in parallel
-    // chunks (cloning cells into `GroupKey`s is the expensive part),
-    // then insert sequentially — chunk outputs concatenate in row
-    // order, so every key's candidate list stays sorted by row index
-    // exactly as a sequential build produces it. Hashing works for
-    // deterministic ciphertexts: equality is byte-wise.
-    let mut hash: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-    if !eq_conds.is_empty() {
-        let eq_fix = &eq_fix;
-        let keys: Vec<Option<Vec<GroupKey>>> = pool.map_chunks(
-            (0..right.rows.len()).collect(),
-            MIN_CHUNK_ROWS,
-            |_, chunk| {
+    let schema = out_schema.clone();
+    let mut right = Some(right);
+    let mut right_tab: Option<Table> = None;
+    let mut hash: Option<HashMap<Vec<GroupKey>, Vec<usize>>> = None;
+    Ok(BatchStream {
+        schema: out_schema,
+        next: Box::new(move || {
+            // Build side: materialize the right child once.
+            if right_tab.is_none() {
+                right_tab = Some(right.take().expect("collected once").collect()?);
+            }
+            let rt = right_tab.as_ref().expect("materialized above");
+            loop {
+                let Some(lbatch) = left.pull()? else {
+                    return Ok(None);
+                };
+                // Decide mixed-form fixes lazily: a condition's fix is
+                // determined by the first probe batch carrying a
+                // non-NULL cell in its key column (columns are
+                // form-uniform, so one sample decides; earlier batches
+                // held only NULL keys, which never match).
+                for cond in conds.iter_mut() {
+                    if cond.fix.is_some() {
+                        continue;
+                    }
+                    let Some(lform) = column_form_of(lbatch.column(cond.lc)) else {
+                        continue;
+                    };
+                    let rform = column_form_of(rt.column(cond.rc));
+                    // Match the row engine: a side with no non-NULL
+                    // cells contributes no form and triggers no fix.
+                    let fix = match rform {
+                        None => (None, None),
+                        Some(rform) => decide_form_fix(
+                            lform,
+                            lschema.attrs()[cond.lc],
+                            rform,
+                            rschema.attrs()[cond.rc],
+                            !cond.op.is_equality() && cond.op != CmpOp::Ne,
+                            ctx,
+                        )?,
+                    };
+                    cond.fix = Some(fix);
+                }
+                let eq_conds: Vec<&JoinCond> =
+                    conds.iter().filter(|c| c.op.is_equality()).collect();
+                let other_conds: Vec<&JoinCond> =
+                    conds.iter().filter(|c| !c.op.is_equality()).collect();
+                // Hash build: deferred until some probe row actually
+                // has all its equality keys non-NULL (at which point
+                // every equality fix is decided — those very cells
+                // decided them).
+                if hash.is_none() && !eq_conds.is_empty() {
+                    let needed = (0..lbatch.num_rows())
+                        .any(|r| eq_conds.iter().all(|c| !lbatch.value(c.lc, r).is_null()));
+                    if needed {
+                        hash = Some(build_hash(rt, &eq_conds, ctx)?);
+                    }
+                }
+                let out_rows = probe_batch(
+                    kind,
+                    &lbatch,
+                    rt,
+                    hash.as_ref(),
+                    &eq_conds,
+                    &other_conds,
+                    residual,
+                    &combined_attrs,
+                    ctx,
+                )?;
+                if out_rows.is_empty() {
+                    continue;
+                }
+                return Ok(Some(Batch::from_rows(schema.clone(), out_rows)));
+            }
+        }),
+    })
+}
+
+/// Build the hash table over the right side's equality keys in
+/// parallel chunks (cloning cells into `GroupKey`s is the expensive
+/// part), inserting sequentially — chunk outputs concatenate in row
+/// order, so every key's candidate list stays sorted by row index
+/// exactly as a sequential build produces it. Hashing works for
+/// deterministic ciphertexts: equality is byte-wise.
+fn build_hash(
+    rt: &Table,
+    eq_conds: &[&JoinCond],
+    ctx: &ExecCtx<'_>,
+) -> Result<HashMap<Vec<GroupKey>, Vec<usize>>, ExecError> {
+    let keys: Vec<Option<Vec<GroupKey>>> =
+        ctx.pool
+            .map_chunks((0..rt.len()).collect(), MIN_CHUNK_ROWS, |_, chunk| {
                 let mut rng = StdRng::seed_from_u64(0);
                 chunk
                     .into_iter()
                     .map(|ri| {
                         let key: Vec<GroupKey> = eq_conds
                             .iter()
-                            .zip(eq_fix)
-                            .map(|(&(_, rc), (_, rfix))| {
-                                Ok(GroupKey(
-                                    fixed_cell(&right.rows[ri][rc], rfix, &mut rng)?.into_owned(),
-                                ))
+                            .map(|c| {
+                                Ok(GroupKey(fixed_cell(
+                                    rt.value(c.rc, ri),
+                                    c.rfix(),
+                                    &mut rng,
+                                )?))
                             })
                             .collect::<Result<_, ExecError>>()?;
                         // SQL semantics: NULL join keys never match.
@@ -633,112 +1050,118 @@ fn join(
                         })
                     })
                     .collect::<Result<_, ExecError>>()
-            },
-        )?;
-        for (ri, key) in keys.into_iter().enumerate() {
-            if let Some(key) = key {
-                hash.entry(key).or_default().push(ri);
-            }
+            })?;
+    let mut hash: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    for (ri, key) in keys.into_iter().enumerate() {
+        if let Some(key) = key {
+            hash.entry(key).or_default().push(ri);
         }
     }
+    Ok(hash)
+}
 
-    // Probe phase: left rows in parallel chunks; per-chunk outputs
-    // concatenate in chunk order, so the result row order is identical
-    // to the sequential left-to-right probe.
-    let right_rows = &right.rows;
-    let hash = &hash;
-    let eq_conds = &eq_conds;
-    let eq_fix = &eq_fix;
-    let other_conds = &other_conds;
-    let other_fix = &other_fix;
-    let combined_cols = &combined_cols;
-    let right_width = right.cols.len();
-    let out_rows = pool.map_chunks(left.rows, MIN_CHUNK_ROWS, |_, chunk| {
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut out: Vec<Vec<Value>> = Vec::with_capacity(chunk.len());
-        for lrow in &chunk {
-            let mut matched = false;
-            let candidates: Box<dyn Iterator<Item = usize>> = if eq_conds.is_empty() {
-                Box::new(0..right_rows.len())
-            } else {
-                let key: Vec<GroupKey> = eq_conds
-                    .iter()
-                    .zip(eq_fix)
-                    .map(|(&(lc, _), (lfix, _))| {
-                        Ok(GroupKey(
-                            fixed_cell(&lrow[lc], lfix, &mut rng)?.into_owned(),
-                        ))
-                    })
-                    .collect::<Result<_, ExecError>>()?;
-                if key.iter().any(|k| k.0.is_null()) {
-                    Box::new(std::iter::empty())
+/// Probe one left batch against the materialized right side. Per-chunk
+/// outputs concatenate in chunk order, so the result row order is
+/// identical to a sequential left-to-right probe.
+#[allow(clippy::too_many_arguments)]
+fn probe_batch(
+    kind: JoinKind,
+    lbatch: &Batch,
+    rt: &Table,
+    hash: Option<&HashMap<Vec<GroupKey>, Vec<usize>>>,
+    eq_conds: &[&JoinCond],
+    other_conds: &[&JoinCond],
+    residual: Option<&Expr>,
+    combined_attrs: &[AttrId],
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<Vec<Value>>, ExecError> {
+    let right_width = rt.schema().len();
+    ctx.pool.map_chunks(
+        (0..lbatch.num_rows()).collect(),
+        MIN_CHUNK_ROWS,
+        |_, chunk| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut out: Vec<Vec<Value>> = Vec::with_capacity(chunk.len());
+            for li in chunk {
+                let mut matched = false;
+                let candidates: Box<dyn Iterator<Item = usize>> = if eq_conds.is_empty() {
+                    Box::new(0..rt.len())
                 } else {
-                    match hash.get(&key) {
-                        Some(v) => Box::new(v.iter().copied()),
-                        None => Box::new(std::iter::empty()),
+                    let key: Vec<GroupKey> = eq_conds
+                        .iter()
+                        .map(|c| {
+                            Ok(GroupKey(fixed_cell(
+                                lbatch.value(c.lc, li),
+                                c.lfix(),
+                                &mut rng,
+                            )?))
+                        })
+                        .collect::<Result<_, ExecError>>()?;
+                    if key.iter().any(|k| k.0.is_null()) {
+                        Box::new(std::iter::empty())
+                    } else {
+                        match hash.and_then(|h| h.get(&key)) {
+                            Some(v) => Box::new(v.iter().copied()),
+                            None => Box::new(std::iter::empty()),
+                        }
+                    }
+                };
+                for ri in candidates {
+                    // Non-equality join conditions.
+                    let mut ok = true;
+                    for c in other_conds {
+                        let lv = fixed_cell(lbatch.value(c.lc, li), c.lfix(), &mut rng)?;
+                        let rv = fixed_cell(rt.value(c.rc, ri), c.rfix(), &mut rng)?;
+                        if cmp_values(&lv, c.op, &rv)? != Some(true) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        if let Some(resid) = residual {
+                            let mut combined = lbatch.row(li);
+                            combined.extend(rt.row(ri));
+                            ok = eval_pred(resid, &RowCtx::plain(combined_attrs, &combined))?
+                                == Some(true);
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    matched = true;
+                    match kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => {
+                            let mut row = lbatch.row(li);
+                            row.extend(rt.row(ri));
+                            out.push(row);
+                        }
+                        JoinKind::Semi => {
+                            out.push(lbatch.row(li));
+                            break;
+                        }
+                        JoinKind::Anti => break,
                     }
                 }
-            };
-            for ri in candidates {
-                let rrow = &right_rows[ri];
-                // Non-equality join conditions.
-                let mut ok = true;
-                for (&(lc, op, rc), (lfix, rfix)) in other_conds.iter().zip(other_fix) {
-                    let lv = fixed_cell(&lrow[lc], lfix, &mut rng)?;
-                    let rv = fixed_cell(&rrow[rc], rfix, &mut rng)?;
-                    if cmp_values(&lv, op, &rv)? != Some(true) {
-                        ok = false;
-                        break;
-                    }
-                }
-                if ok {
-                    if let Some(resid) = residual {
-                        let mut combined = lrow.clone();
-                        combined.extend(rrow.iter().cloned());
-                        ok = eval_pred(resid, &RowCtx::plain(combined_cols, &combined))?
-                            == Some(true);
-                    }
-                }
-                if !ok {
-                    continue;
-                }
-                matched = true;
                 match kind {
-                    JoinKind::Inner | JoinKind::LeftOuter => {
-                        let mut row = lrow.clone();
-                        row.extend(rrow.iter().cloned());
+                    JoinKind::LeftOuter if !matched => {
+                        let mut row = lbatch.row(li);
+                        row.extend(std::iter::repeat_n(Value::Null, right_width));
                         out.push(row);
                     }
-                    JoinKind::Semi => {
-                        out.push(lrow.clone());
-                        break;
-                    }
-                    JoinKind::Anti => break,
+                    JoinKind::Anti if !matched => out.push(lbatch.row(li)),
+                    _ => {}
                 }
             }
-            match kind {
-                JoinKind::LeftOuter if !matched => {
-                    let mut row = lrow.clone();
-                    row.extend(std::iter::repeat_n(Value::Null, right_width));
-                    out.push(row);
-                }
-                JoinKind::Anti if !matched => out.push(lrow.clone()),
-                _ => {}
-            }
-        }
-        Ok::<_, ExecError>(out)
-    })?;
-    Ok(Table {
-        cols: out_cols,
-        rows: out_rows,
-    })
+            Ok::<_, ExecError>(out)
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------------
 
-enum AggAcc {
+pub(crate) enum AggAcc {
     Count(i64),
     CountDistinct(std::collections::HashSet<GroupKey>),
     /// Plaintext sum: integer and float accumulators, plus whether any
@@ -764,7 +1187,7 @@ enum AggAcc {
 }
 
 impl AggAcc {
-    fn new(func: AggFunc, encrypted: bool) -> AggAcc {
+    pub(crate) fn new(func: AggFunc, encrypted: bool) -> AggAcc {
         match func {
             AggFunc::Count => AggAcc::Count(0),
             AggFunc::CountDistinct => AggAcc::CountDistinct(Default::default()),
@@ -795,7 +1218,7 @@ impl AggAcc {
         }
     }
 
-    fn update(&mut self, v: Value, ctx: &ExecCtx<'_>) -> Result<(), ExecError> {
+    pub(crate) fn update(&mut self, v: Value, keys: &KeyRing) -> Result<(), ExecError> {
         if v.is_null() {
             return Ok(());
         }
@@ -833,12 +1256,10 @@ impl AggAcc {
             AggAcc::SumEnc { acc, count, pk } => match v {
                 Value::Enc(cell) if cell.scheme == EncScheme::Paillier => {
                     if pk.is_none() {
-                        *pk = Some(ctx.keys.get_public(cell.key_id).ok_or(
-                            ExecError::MissingKey {
-                                attr: AttrId(u32::MAX),
-                                key_id: cell.key_id,
-                            },
-                        )?);
+                        *pk = Some(keys.get_public(cell.key_id).ok_or(ExecError::MissingKey {
+                            attr: AttrId(u32::MAX),
+                            key_id: cell.key_id,
+                        })?);
                     }
                     let pk = pk.as_ref().expect("resolved above");
                     *acc = Some(match acc.take() {
@@ -875,7 +1296,7 @@ impl AggAcc {
         Ok(())
     }
 
-    fn finish(self, func: AggFunc) -> Result<Value, ExecError> {
+    pub(crate) fn finish(self, func: AggFunc) -> Result<Value, ExecError> {
         Ok(match self {
             AggAcc::Count(c) => Value::Int(c),
             AggAcc::CountDistinct(set) => Value::Int(set.len() as i64),
@@ -921,52 +1342,64 @@ impl AggAcc {
     }
 }
 
-fn group_by(
+/// Hash aggregation over the child stream: one accumulator row per
+/// group — memory is bounded by the number of groups, never the input
+/// size. Group ordering is first-seen order, identical to a sequential
+/// row-at-a-time scan.
+fn group_by_stream(
     keys: &[AttrId],
     aggs: &[AggExpr],
-    child: Table,
+    mut child: BatchStream<'_>,
+    out_schema: TableSchema,
     ctx: &ExecCtx<'_>,
 ) -> Result<Table, ExecError> {
     let key_idx: Vec<usize> = keys
         .iter()
         .map(|k| {
             child
+                .schema
                 .col_index(*k)
                 .ok_or_else(|| ExecError::Unsupported(format!("group key {k} missing")))
         })
         .collect::<Result<_, _>>()?;
 
+    let attrs = child.schema.attrs().to_vec();
     // Stable group ordering: remember first-seen order.
     let mut order: Vec<Vec<GroupKey>> = Vec::new();
     let mut groups: HashMap<Vec<GroupKey>, Vec<AggAcc>> = HashMap::new();
-    let cols = child.cols.clone();
+    let mut saw_rows = false;
 
-    for row in &child.rows {
-        let gk: Vec<GroupKey> = key_idx.iter().map(|&i| GroupKey(row[i].clone())).collect();
-        let accs = match groups.get_mut(&gk) {
-            Some(a) => a,
-            None => {
-                order.push(gk.clone());
-                let accs = aggs
-                    .iter()
-                    .map(|ag| {
-                        // Peek the first input value to pick the
-                        // plaintext vs homomorphic accumulator.
-                        let v = eval(&ag.input, &RowCtx::plain(&cols, row))?;
-                        Ok(AggAcc::new(ag.func, matches!(v, Value::Enc(_))))
-                    })
-                    .collect::<Result<Vec<_>, ExecError>>()?;
-                groups.entry(gk.clone()).or_insert(accs)
+    while let Some(batch) = child.pull()? {
+        let cols = batch.columns();
+        for r in 0..batch.num_rows() {
+            saw_rows = true;
+            let gk: Vec<GroupKey> = key_idx.iter().map(|&i| GroupKey(cols[i].get(r))).collect();
+            let rc = RowCtx::batch(&attrs, cols, r);
+            let accs = match groups.get_mut(&gk) {
+                Some(a) => a,
+                None => {
+                    order.push(gk.clone());
+                    let accs = aggs
+                        .iter()
+                        .map(|ag| {
+                            // Peek the first input value to pick the
+                            // plaintext vs homomorphic accumulator.
+                            let v = eval(&ag.input, &rc)?;
+                            Ok(AggAcc::new(ag.func, matches!(v, Value::Enc(_))))
+                        })
+                        .collect::<Result<Vec<_>, ExecError>>()?;
+                    groups.entry(gk.clone()).or_insert(accs)
+                }
+            };
+            for (ag, acc) in aggs.iter().zip(accs.iter_mut()) {
+                let v = eval(&ag.input, &rc)?;
+                acc.update(v, ctx.keys)?;
             }
-        };
-        for (ag, acc) in aggs.iter().zip(accs.iter_mut()) {
-            let v = eval(&ag.input, &RowCtx::plain(&cols, row))?;
-            acc.update(v, ctx)?;
         }
     }
 
     // Scalar aggregation over an empty input: one row of defaults.
-    if keys.is_empty() && child.rows.is_empty() {
+    if keys.is_empty() && !saw_rows {
         let gk: Vec<GroupKey> = Vec::new();
         order.push(gk.clone());
         groups.insert(
@@ -975,8 +1408,6 @@ fn group_by(
         );
     }
 
-    let mut out_cols: Vec<AttrId> = keys.to_vec();
-    out_cols.extend(aggs.iter().map(|a| a.output));
     let mut rows = Vec::with_capacity(order.len());
     for gk in order {
         let accs = groups.remove(&gk).expect("group recorded");
@@ -986,58 +1417,74 @@ fn group_by(
         }
         rows.push(row);
     }
-    Ok(Table {
-        cols: out_cols,
-        rows,
-    })
+    Ok(Table::from_rows(out_schema.attrs().to_vec(), rows))
 }
 
 // ---------------------------------------------------------------------------
 // Udf / sort
 // ---------------------------------------------------------------------------
 
-fn udf(inputs: &[AttrId], output: AttrId, body: &Expr, child: Table) -> Result<Table, ExecError> {
-    let out_idx = child
-        .col_index(output)
+/// Compute the UDF's output/drop layout against the child schema:
+/// (output column index, consumed column indices, surviving attrs).
+pub(crate) fn udf_layout(
+    inputs: &[AttrId],
+    output: AttrId,
+    attrs: &[AttrId],
+) -> Result<(usize, Vec<usize>, Vec<AttrId>), ExecError> {
+    let out_idx = attrs
+        .iter()
+        .position(|c| *c == output)
         .ok_or_else(|| ExecError::Unsupported(format!("udf output {output} missing")))?;
-    let drop_idx: Vec<usize> = child
-        .cols
+    let drop_idx: Vec<usize> = attrs
         .iter()
         .enumerate()
         .filter(|(_, c)| inputs.contains(c) && **c != output)
         .map(|(i, _)| i)
         .collect();
-    let cols: Vec<AttrId> = child
-        .cols
+    let kept: Vec<AttrId> = attrs
         .iter()
         .enumerate()
         .filter(|(i, _)| !drop_idx.contains(i))
         .map(|(_, c)| *c)
         .collect();
-    let src_cols = child.cols.clone();
-    let mut rows = Vec::with_capacity(child.rows.len());
-    for mut row in child.rows {
-        let v = eval(body, &RowCtx::plain(&src_cols, &row))?;
-        row[out_idx] = v;
-        let row: Vec<Value> = row
+    Ok((out_idx, drop_idx, kept))
+}
+
+fn udf_stream<'p>(
+    child: BatchStream<'p>,
+    out_idx: usize,
+    drop_idx: Vec<usize>,
+    body: &'p Expr,
+    schema: TableSchema,
+) -> BatchStream<'p> {
+    let src_attrs = child.schema.attrs().to_vec();
+    map_stream(child, schema.clone(), move |batch| {
+        let n = batch.num_rows();
+        let mut out_col = ColumnVec::with_capacity(n);
+        {
+            let cols = batch.columns();
+            for r in 0..n {
+                out_col.push(eval(body, &RowCtx::batch(&src_attrs, cols, r))?);
+            }
+        }
+        let mut cols = batch.into_columns();
+        cols[out_idx] = out_col;
+        let cols: Vec<ColumnVec> = cols
             .into_iter()
             .enumerate()
             .filter(|(i, _)| !drop_idx.contains(i))
-            .map(|(_, v)| v)
+            .map(|(_, c)| c)
             .collect();
-        rows.push(row);
-    }
-    Ok(Table { cols, rows })
+        Ok(Some(Batch::new(schema.clone(), cols)))
+    })
 }
 
-fn sort(
-    plan: &QueryPlan,
-    id: NodeId,
-    keys: &[(Expr, bool)],
-    child: Table,
-) -> Result<Table, ExecError> {
+/// The aggregate-output base index visible to a Sort's key
+/// expressions, when the sort sits (through spliced crypto operators)
+/// above a GroupBy or a Having-over-GroupBy.
+pub(crate) fn sort_agg_base(plan: &QueryPlan, id: NodeId) -> Option<usize> {
     let below = plan.through_crypto(plan.node(id).children[0]);
-    let agg_base = match &plan.node(below).op {
+    match &plan.node(below).op {
         Operator::GroupBy { keys, .. } => Some(keys.len()),
         Operator::Having { .. } => {
             // Having (and any spliced crypto ops) preserve the
@@ -1049,25 +1496,35 @@ fn sort(
             }
         }
         _ => None,
-    };
-    let cols = child.cols.clone();
-    // Precompute sort keys (errors surface before sorting).
-    let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(child.rows.len());
-    for row in child.rows {
-        let ctx_row = RowCtx {
-            cols: &cols,
-            row: &row,
-            agg_base,
-        };
-        let kvals = keys
-            .iter()
-            .map(|(e, _)| eval(e, &ctx_row))
-            .collect::<Result<Vec<_>, _>>()?;
-        keyed.push((kvals, row));
     }
-    // Validate comparability (OPE vs deterministic ciphertexts) on the
-    // first row pair, then sort with a total order (NULLs last,
-    // incomparables equal).
+}
+
+/// Materialize and sort the child stream: key values are computed per
+/// row, the row *permutation* is sorted (stable, so ties keep stream
+/// order), and the columns are gathered once — rows are never
+/// transposed out of columnar form.
+fn sort_stream(
+    keys: &[(Expr, bool)],
+    agg_base: Option<usize>,
+    child: BatchStream<'_>,
+) -> Result<Table, ExecError> {
+    let attrs = child.schema.attrs().to_vec();
+    let table = child.collect()?;
+    // Precompute sort keys (errors surface before sorting).
+    let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(table.len());
+    {
+        let cols = table.columns();
+        for r in 0..table.len() {
+            let rc = RowCtx::batch(&attrs, cols, r).with_agg_base(agg_base);
+            let kvals = keys
+                .iter()
+                .map(|(e, _)| eval(e, &rc))
+                .collect::<Result<Vec<_>, _>>()?;
+            keyed.push((kvals, r));
+        }
+    }
+    // Sort with a total order (NULLs last, incomparables equal); the
+    // stable sort keeps input order on ties, matching the row engine.
     keyed.sort_by(|(ka, _), (kb, _)| {
         for ((va, vb), (_, asc)) in ka.iter().zip(kb).zip(keys) {
             let ord = match (va.is_null(), vb.is_null()) {
@@ -1083,10 +1540,12 @@ fn sort(
         }
         std::cmp::Ordering::Equal
     });
-    Ok(Table {
-        cols,
-        rows: keyed.into_iter().map(|(_, r)| r).collect(),
-    })
+    let perm: Vec<usize> = keyed.into_iter().map(|(_, r)| r).collect();
+    let sorted: Vec<ColumnVec> = table.columns().iter().map(|c| c.gather(&perm)).collect();
+    Ok(Table::from_batch(Batch::new(
+        table.schema().clone(),
+        sorted,
+    )))
 }
 
 #[cfg(test)]
@@ -1156,7 +1615,7 @@ mod tests {
         let (cat, db) = setup();
         let t = run(&cat, &db, "select S, T from Hosp where D='stroke'");
         assert_eq!(t.len(), 3);
-        assert_eq!(t.cols.len(), 2);
+        assert_eq!(t.attrs().len(), 2);
     }
 
     #[test]
@@ -1170,8 +1629,8 @@ mod tests {
         );
         // t1: avg(120, 220) = 170 > 100 ✓; t2: avg(90) = 90 ✗.
         assert_eq!(t.len(), 1);
-        assert!(t.rows[0][0].sql_eq(&Value::str("t1")));
-        assert!(t.rows[0][1].sql_eq(&Value::Num(170.0)));
+        assert!(t.value(0, 0).sql_eq(&Value::str("t1")));
+        assert!(t.value(1, 0).sql_eq(&Value::Num(170.0)));
     }
 
     #[test]
@@ -1183,8 +1642,8 @@ mod tests {
             "select D, count(*) from Hosp group by D order by count(*) desc limit 1",
         );
         assert_eq!(t.len(), 1);
-        assert!(t.rows[0][0].sql_eq(&Value::str("stroke")));
-        assert!(t.rows[0][1].sql_eq(&Value::Int(3)));
+        assert!(t.value(0, 0).sql_eq(&Value::str("stroke")));
+        assert!(t.value(1, 0).sql_eq(&Value::Int(3)));
     }
 
     #[test]
@@ -1200,6 +1659,27 @@ mod tests {
         // Inner join matches all 4 (every S has a C).
         let t = run(&cat, &db, "select T, P from Hosp join Ins on S=C");
         assert_eq!(t.len(), 4);
+    }
+
+    /// Batch size must be invisible in results: the running example
+    /// under 1-row batches matches the default batch size.
+    #[test]
+    fn tiny_batches_match_default() {
+        let (cat, db) = setup();
+        let sql = "select T, avg(P) from Hosp join Ins on S=C \
+                   where D='stroke' group by T having avg(P)>100 order by T";
+        let plan = plan_sql(&cat, sql).unwrap();
+        let keys = KeyRing::new();
+        let schemes = SchemePlan::default();
+        let koa = HashMap::new();
+        let base = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
+        let tiny = ExecCtx::builder(&cat, &db, &keys, &schemes, &koa)
+            .batch_rows(1)
+            .build();
+        assert_eq!(
+            execute(&plan, &base).unwrap(),
+            execute(&plan, &tiny).unwrap()
+        );
     }
 
     #[test]
@@ -1227,7 +1707,7 @@ mod tests {
         let ctx = ExecCtx::new(&cat2, &db, &keys, &schemes, &koa);
         let t = execute(&plan, &ctx).unwrap();
         assert_eq!(t.len(), 4, "all patients are insured");
-        assert_eq!(t.cols.len(), 1, "semi join keeps only the left schema");
+        assert_eq!(t.attrs().len(), 1, "semi join keeps only the left schema");
     }
 
     #[test]
@@ -1266,7 +1746,7 @@ mod tests {
         let t = execute(&plan, &ctx).unwrap();
         assert_eq!(t.len(), 4);
         let unmatched = t
-            .rows
+            .to_rows()
             .iter()
             .filter(|r| r[1].is_null() && r[2].is_null())
             .count();
@@ -1293,17 +1773,17 @@ mod tests {
             "select count(P), sum(P) from Ins where P > 100000",
         );
         assert_eq!(t.len(), 1);
-        assert!(t.rows[0][0].sql_eq(&Value::Int(0)));
-        assert!(t.rows[0][1].is_null());
+        assert!(t.value(0, 0).sql_eq(&Value::Int(0)));
+        assert!(t.value(1, 0).is_null());
     }
 
     #[test]
     fn min_max_and_avg() {
         let (cat, db) = setup();
         let t = run(&cat, &db, "select min(P), max(P), avg(P) from Ins");
-        assert!(t.rows[0][0].sql_eq(&Value::Num(60.0)));
-        assert!(t.rows[0][1].sql_eq(&Value::Num(220.0)));
-        assert!(t.rows[0][2].sql_eq(&Value::Num(122.5)));
+        assert!(t.value(0, 0).sql_eq(&Value::Num(60.0)));
+        assert!(t.value(1, 0).sql_eq(&Value::Num(220.0)));
+        assert!(t.value(2, 0).sql_eq(&Value::Num(122.5)));
     }
 
     #[test]
@@ -1331,8 +1811,8 @@ mod tests {
         let koa = HashMap::new();
         let ctx = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
         let t = execute(&plan, &ctx).unwrap();
-        assert_eq!(t.cols.len(), 2);
-        assert!(t.rows[0][1].sql_eq(&Value::Int(1970)));
+        assert_eq!(t.attrs().len(), 2);
+        assert!(t.value(1, 0).sql_eq(&Value::Int(1970)));
     }
 
     #[test]
@@ -1396,7 +1876,7 @@ mod tests {
         assert_eq!(t.len(), 4);
         // Compare-time only: the output S column is still ciphertext,
         // the C column still plaintext — no materialized re-forming.
-        for row in &t.rows {
+        for row in &t.to_rows() {
             assert!(matches!(row[0], Value::Enc(_)), "S stays encrypted");
             assert!(matches!(row[3], Value::Str(_)), "C stays plaintext");
         }

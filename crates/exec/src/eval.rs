@@ -10,6 +10,7 @@
 //! support raises [`EvalError::EncryptedOperation`] instead of
 //! silently returning false.
 
+use crate::batch::ColumnVec;
 use mpq_algebra::expr::DateField;
 use mpq_algebra::{ArithOp, AttrId, CmpOp, Expr, Value};
 
@@ -44,33 +45,67 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// Evaluation context: the row, its column layout, and (above a
-/// group-by) the base index of aggregate outputs.
+/// The storage a [`RowCtx`] reads from: a contiguous value slice
+/// (materialized row) or one row position inside a columnar batch.
+enum RowData<'a> {
+    Slice(&'a [Value]),
+    Batch { cols: &'a [ColumnVec], row: usize },
+}
+
+/// Evaluation context: one row, its column layout, and (above a
+/// group-by) the base index of aggregate outputs. Rows are read either
+/// from a materialized value slice or directly out of a batch's
+/// columns — evaluation itself is storage-agnostic.
 pub struct RowCtx<'a> {
     /// Column attribute per position.
-    pub cols: &'a [AttrId],
-    /// The row being evaluated.
-    pub row: &'a [Value],
+    pub attrs: &'a [AttrId],
+    data: RowData<'a>,
     /// Index of the first aggregate output column (group-by results:
     /// keys first, aggregates after), if applicable.
     pub agg_base: Option<usize>,
 }
 
 impl<'a> RowCtx<'a> {
-    /// Context without aggregate outputs.
-    pub fn plain(cols: &'a [AttrId], row: &'a [Value]) -> RowCtx<'a> {
+    /// Context over a materialized row, without aggregate outputs.
+    pub fn plain(attrs: &'a [AttrId], row: &'a [Value]) -> RowCtx<'a> {
         RowCtx {
-            cols,
-            row,
+            attrs,
+            data: RowData::Slice(row),
             agg_base: None,
         }
     }
 
-    fn col(&self, a: AttrId) -> Result<&Value, EvalError> {
-        self.cols
+    /// Context over row `row` of a batch's columns, without aggregate
+    /// outputs.
+    pub fn batch(attrs: &'a [AttrId], cols: &'a [ColumnVec], row: usize) -> RowCtx<'a> {
+        RowCtx {
+            attrs,
+            data: RowData::Batch { cols, row },
+            agg_base: None,
+        }
+    }
+
+    /// Same context with the aggregate output base set.
+    pub fn with_agg_base(mut self, agg_base: Option<usize>) -> RowCtx<'a> {
+        self.agg_base = agg_base;
+        self
+    }
+
+    /// The cell at column position `i`, if in range. Returns an owned
+    /// value: dense batch cells copy eight bytes, strings and
+    /// ciphertexts bump an `Arc`.
+    pub fn value_at(&self, i: usize) -> Option<Value> {
+        match &self.data {
+            RowData::Slice(row) => row.get(i).cloned(),
+            RowData::Batch { cols, row } => cols.get(i).map(|c| c.get(*row)),
+        }
+    }
+
+    fn col(&self, a: AttrId) -> Result<Value, EvalError> {
+        self.attrs
             .iter()
             .position(|c| *c == a)
-            .map(|i| &self.row[i])
+            .and_then(|i| self.value_at(i))
             .ok_or(EvalError::UnknownColumn(a))
     }
 }
@@ -78,12 +113,10 @@ impl<'a> RowCtx<'a> {
 /// Evaluate an expression to a value.
 pub fn eval(e: &Expr, ctx: &RowCtx<'_>) -> Result<Value, EvalError> {
     match e {
-        Expr::Col(a) => ctx.col(*a).cloned(),
+        Expr::Col(a) => ctx.col(*a),
         Expr::AggRef(i) => {
             let base = ctx.agg_base.ok_or(EvalError::AggRefOutsideGroup(*i))?;
-            ctx.row
-                .get(base + i)
-                .cloned()
+            ctx.value_at(base + i)
                 .ok_or(EvalError::AggRefOutsideGroup(*i))
         }
         Expr::Lit(v) => Ok(v.clone()),

@@ -1,8 +1,17 @@
 //! # mpq-exec
 //!
-//! A row-oriented, in-memory execution engine for `mpq-algebra` query
+//! A columnar, in-memory execution engine for `mpq-algebra` query
 //! plans — including the extended plans produced by `mpq-core` with
 //! on-the-fly encryption and decryption operators.
+//!
+//! Data flows through operators as bounded [`batch::Batch`]es of typed
+//! [`batch::ColumnVec`]s sharing a [`batch::TableSchema`]; pipelined
+//! operators (scan, select, project, encrypt/decrypt, udf, limit) hold
+//! one batch at a time, while pipeline breakers (join build sides,
+//! group-by, sort) materialize a [`table::Table`] — itself just one
+//! fully collected batch. Ciphertext bytes are a pure function of
+//! `(seed, node, column, row)`, so batch size, chunking, and worker
+//! count never change results.
 //!
 //! The engine evaluates expressions over both plaintext and encrypted
 //! cells: equality works on deterministic ciphertexts (hash joins,
@@ -16,26 +25,34 @@
 //!
 //! Modules:
 //!
-//! * [`table`] — tables, rows, and the in-memory database;
-//! * [`eval`] — expression evaluation over rows;
+//! * [`batch`] — the columnar data plane: schemas, typed column
+//!   vectors, bounded batches;
+//! * [`table`] — materialized relations and the in-memory database;
+//! * [`eval`] — expression evaluation over batch rows;
 //! * [`scheme`] — per-attribute encryption scheme assignment ("the
 //!   scheme providing highest protection, while supporting the
 //!   operations to be executed", §6) and encrypted-literal rewriting of
 //!   dispatched predicates;
-//! * [`engine`] — the operator implementations;
+//! * [`engine`] — the streaming operator implementations;
+//! * [`rowref`] — a deliberately naive serial row-at-a-time reference
+//!   engine, kept solely as the differential-testing oracle for the
+//!   streaming engine;
 //! * [`pool`] — intra-operator data parallelism: a shared-budget
 //!   worker pool whose handles outlive any single query, so the
 //!   long-lived party loops of an `mpq-dist` session draw from one
 //!   thread budget for their whole lifetime (chunked work stays
 //!   bit-deterministic for every worker count).
 
+pub mod batch;
 pub mod engine;
 pub mod eval;
 pub mod pool;
+pub mod rowref;
 pub mod scheme;
 pub mod table;
 
-pub use engine::{execute, execute_step, node_ready, ExecCtx, ExecError};
+pub use batch::{default_batch_rows, Batch, ColumnVec, TableSchema, DEFAULT_BATCH_ROWS};
+pub use engine::{execute, execute_step, node_ready, ExecCtx, ExecCtxBuilder, ExecError};
 pub use pool::WorkerPool;
 pub use scheme::{assign_schemes, rewrite_literals, SchemePlan};
 pub use table::{Database, Table};

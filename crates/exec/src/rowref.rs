@@ -1,0 +1,498 @@
+//! Serial row-at-a-time reference engine (differential oracle).
+//!
+//! [`execute_ref`] evaluates a plan the simplest defensible way: every
+//! operator materializes `Vec<Vec<Value>>` rows, joins are nested
+//! loops, nothing is batched, chunked, or parallel. It exists solely
+//! so the streaming columnar engine in [`crate::engine`] has an
+//! independent implementation to be diffed against — the
+//! `parallel_differential` proptests assert that decrypted rows *and
+//! ciphertext bytes* agree bit-for-bit across random plans, worker
+//! counts, and batch sizes.
+//!
+//! To make ciphertexts comparable the two engines deliberately share
+//! the per-cell RNG discipline (`mix_seed(seed, node, column, row)`
+//! via [`crate::engine::mix_seed`]) and the crypto-bearing kernels
+//! ([`crate::engine::AggAcc`], [`crate::engine::decide_form_fix`],
+//! [`crate::engine::fixed_cell`]); everything *around* those kernels —
+//! operator scheduling, batching, hashing, parallel chunking — is
+//! implemented independently, which is exactly the surface the
+//! differential tests exercise.
+
+use crate::engine::{
+    decide_form_fix, fixed_cell, mix_seed, sort_agg_base, udf_layout, AggAcc, ExecCtx, ExecError,
+};
+use crate::eval::{cmp_values, eval, eval_pred, RowCtx};
+use crate::table::Table;
+use mpq_algebra::value::{EncValue, GroupKey};
+use mpq_algebra::{AttrId, CmpOp, JoinKind, NodeId, Operator, QueryPlan, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A materialized intermediate in the reference engine: attribute ids
+/// plus value rows.
+struct Rel {
+    attrs: Vec<AttrId>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Execute `plan` serially, row at a time. Results (including every
+/// ciphertext byte) must equal [`crate::engine::execute`] on the same
+/// context whenever both succeed; when either fails, both must fail
+/// (the error variants may surface in a different order).
+pub fn execute_ref(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<Table, ExecError> {
+    let rel = eval_node(plan, plan.root(), ctx)?;
+    Ok(Table::from_rows(rel.attrs, rel.rows))
+}
+
+fn eval_node(plan: &QueryPlan, id: NodeId, ctx: &ExecCtx<'_>) -> Result<Rel, ExecError> {
+    let node = plan.node(id);
+    match &node.op {
+        Operator::Base { rel, attrs } => {
+            let table = ctx
+                .db
+                .table(*rel)
+                .ok_or_else(|| ExecError::MissingTable(ctx.catalog.rel(*rel).name.clone()))?;
+            let idx: Vec<usize> = attrs
+                .iter()
+                .map(|a| {
+                    table
+                        .col_index(*a)
+                        .ok_or_else(|| ExecError::Unsupported(format!("column {a} missing")))
+                })
+                .collect::<Result<_, _>>()?;
+            let rows = (0..table.len())
+                .map(|r| idx.iter().map(|&i| table.value(i, r)).collect())
+                .collect();
+            Ok(Rel {
+                attrs: attrs.clone(),
+                rows,
+            })
+        }
+        Operator::Project { attrs } => {
+            let child = eval_node(plan, node.children[0], ctx)?;
+            let idx: Vec<usize> = attrs
+                .iter()
+                .map(|a| {
+                    child
+                        .attrs
+                        .iter()
+                        .position(|c| c == a)
+                        .ok_or_else(|| ExecError::Unsupported(format!("column {a} missing")))
+                })
+                .collect::<Result<_, _>>()?;
+            let rows = child
+                .rows
+                .iter()
+                .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            Ok(Rel {
+                attrs: attrs.clone(),
+                rows,
+            })
+        }
+        Operator::Select { pred } => {
+            let mut child = eval_node(plan, node.children[0], ctx)?;
+            let attrs = child.attrs.clone();
+            let mut rows = Vec::new();
+            for row in child.rows.drain(..) {
+                if eval_pred(pred, &RowCtx::plain(&attrs, &row))? == Some(true) {
+                    rows.push(row);
+                }
+            }
+            Ok(Rel { attrs, rows })
+        }
+        Operator::Having { pred } => {
+            let mut child = eval_node(plan, node.children[0], ctx)?;
+            let agg_base = match &plan.node(plan.through_crypto(node.children[0])).op {
+                Operator::GroupBy { keys, .. } => keys.len(),
+                _ => {
+                    return Err(ExecError::Unsupported(
+                        "HAVING over a non-GroupBy child".into(),
+                    ))
+                }
+            };
+            let attrs = child.attrs.clone();
+            let mut rows = Vec::new();
+            for row in child.rows.drain(..) {
+                let rc = RowCtx::plain(&attrs, &row).with_agg_base(Some(agg_base));
+                if eval_pred(pred, &rc)? == Some(true) {
+                    rows.push(row);
+                }
+            }
+            Ok(Rel { attrs, rows })
+        }
+        Operator::Product => {
+            let left = eval_node(plan, node.children[0], ctx)?;
+            let right = eval_node(plan, node.children[1], ctx)?;
+            let mut attrs = left.attrs;
+            attrs.extend(right.attrs);
+            let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
+            for l in &left.rows {
+                for r in &right.rows {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    rows.push(row);
+                }
+            }
+            Ok(Rel { attrs, rows })
+        }
+        Operator::Join { kind, on, residual } => {
+            let left = eval_node(plan, node.children[0], ctx)?;
+            let right = eval_node(plan, node.children[1], ctx)?;
+            nl_join(*kind, on, residual.as_ref(), left, right, ctx)
+        }
+        Operator::GroupBy { keys, aggs } => {
+            let child = eval_node(plan, node.children[0], ctx)?;
+            let key_idx: Vec<usize> = keys
+                .iter()
+                .map(|k| {
+                    child
+                        .attrs
+                        .iter()
+                        .position(|c| c == k)
+                        .ok_or_else(|| ExecError::Unsupported(format!("group key {k} missing")))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut order: Vec<Vec<GroupKey>> = Vec::new();
+            let mut groups: HashMap<Vec<GroupKey>, Vec<AggAcc>> = HashMap::new();
+            for row in &child.rows {
+                let gk: Vec<GroupKey> = key_idx.iter().map(|&i| GroupKey(row[i].clone())).collect();
+                let rc = RowCtx::plain(&child.attrs, row);
+                let accs = match groups.get_mut(&gk) {
+                    Some(a) => a,
+                    None => {
+                        order.push(gk.clone());
+                        let accs = aggs
+                            .iter()
+                            .map(|ag| {
+                                let v = eval(&ag.input, &rc)?;
+                                Ok(AggAcc::new(ag.func, matches!(v, Value::Enc(_))))
+                            })
+                            .collect::<Result<Vec<_>, ExecError>>()?;
+                        groups.entry(gk.clone()).or_insert(accs)
+                    }
+                };
+                for (ag, acc) in aggs.iter().zip(accs.iter_mut()) {
+                    acc.update(eval(&ag.input, &rc)?, ctx.keys)?;
+                }
+            }
+            if keys.is_empty() && child.rows.is_empty() {
+                let gk: Vec<GroupKey> = Vec::new();
+                order.push(gk.clone());
+                groups.insert(
+                    gk,
+                    aggs.iter().map(|ag| AggAcc::new(ag.func, false)).collect(),
+                );
+            }
+            let mut attrs = keys.to_vec();
+            attrs.extend(aggs.iter().map(|a| a.output));
+            let mut rows = Vec::with_capacity(order.len());
+            for gk in order {
+                let accs = groups.remove(&gk).expect("group recorded");
+                let mut row: Vec<Value> = gk.into_iter().map(|k| k.0).collect();
+                for (ag, acc) in aggs.iter().zip(accs) {
+                    row.push(acc.finish(ag.func)?);
+                }
+                rows.push(row);
+            }
+            Ok(Rel { attrs, rows })
+        }
+        Operator::Udf {
+            inputs: udf_inputs,
+            output,
+            body,
+            ..
+        } => {
+            let child = eval_node(plan, node.children[0], ctx)?;
+            let body = body
+                .as_ref()
+                .ok_or_else(|| ExecError::Unsupported("opaque udf cannot be executed".into()))?;
+            let (out_idx, drop_idx, kept) = udf_layout(udf_inputs, *output, &child.attrs)?;
+            let mut rows = Vec::with_capacity(child.rows.len());
+            for mut row in child.rows {
+                row[out_idx] = eval(body, &RowCtx::plain(&child.attrs, &row))?;
+                let row = row
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| !drop_idx.contains(i))
+                    .map(|(_, v)| v)
+                    .collect();
+                rows.push(row);
+            }
+            Ok(Rel { attrs: kept, rows })
+        }
+        Operator::Encrypt { attrs } => {
+            let child = eval_node(plan, node.children[0], ctx)?;
+            apply_crypto(child, attrs, id, true, ctx)
+        }
+        Operator::Decrypt { attrs } => {
+            let child = eval_node(plan, node.children[0], ctx)?;
+            apply_crypto(child, attrs, id, false, ctx)
+        }
+        Operator::Sort { keys } => {
+            let child = eval_node(plan, node.children[0], ctx)?;
+            let agg_base = sort_agg_base(plan, id);
+            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(child.rows.len());
+            for row in child.rows {
+                let rc = RowCtx::plain(&child.attrs, &row).with_agg_base(agg_base);
+                let kvals = keys
+                    .iter()
+                    .map(|(e, _)| eval(e, &rc))
+                    .collect::<Result<Vec<_>, _>>()?;
+                keyed.push((kvals, row));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for ((va, vb), (_, asc)) in ka.iter().zip(kb).zip(keys) {
+                    let ord = match (va.is_null(), vb.is_null()) {
+                        (true, true) => std::cmp::Ordering::Equal,
+                        (true, false) => std::cmp::Ordering::Greater,
+                        (false, true) => std::cmp::Ordering::Less,
+                        (false, false) => va.sql_cmp(vb).unwrap_or(std::cmp::Ordering::Equal),
+                    };
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(Rel {
+                attrs: child.attrs,
+                rows: keyed.into_iter().map(|(_, r)| r).collect(),
+            })
+        }
+        Operator::Limit { n } => {
+            let mut child = eval_node(plan, node.children[0], ctx)?;
+            child.rows.truncate(*n as usize);
+            Ok(child)
+        }
+    }
+}
+
+/// Encrypt/decrypt `attrs` in place, row at a time. One RNG per
+/// (attribute, row), consumed across that attribute's columns in
+/// column-index order — the discipline both engines share.
+fn apply_crypto(
+    mut child: Rel,
+    attrs: &[AttrId],
+    id: NodeId,
+    encrypt: bool,
+    ctx: &ExecCtx<'_>,
+) -> Result<Rel, ExecError> {
+    for attr in attrs {
+        let key_id = *ctx
+            .key_of_attr
+            .get(attr)
+            .ok_or(ExecError::NoKeyForAttr(*attr))?;
+        let key = ctx.keys.get(key_id).ok_or(ExecError::MissingKey {
+            attr: *attr,
+            key_id,
+        })?;
+        let scheme = ctx.schemes.scheme_of(*attr);
+        let cipher = mpq_crypto::schemes::ColumnCipher::new(scheme, &key);
+        let col_idxs: Vec<usize> = child
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == *attr)
+            .map(|(i, _)| i)
+            .collect();
+        let attr_seed = mix_seed(mix_seed(ctx.seed, id.index() as u64), attr.0 as u64);
+        for (r, row) in child.rows.iter_mut().enumerate() {
+            let mut rng = StdRng::seed_from_u64(mix_seed(attr_seed, r as u64));
+            for &i in &col_idxs {
+                row[i] = if encrypt {
+                    cipher
+                        .encrypt(&mut rng, &row[i])
+                        .map_err(|e| ExecError::Crypto(e.to_string()))?
+                } else {
+                    cipher
+                        .decrypt(&row[i])
+                        .map_err(|e| ExecError::Crypto(e.to_string()))?
+                };
+            }
+        }
+    }
+    Ok(child)
+}
+
+/// Dominant form of column `c` over `rows`: `None` while every cell is
+/// NULL, else `Some(form)` from the first non-NULL cell.
+fn rows_col_form(rows: &[Vec<Value>], c: usize) -> Option<Option<EncValue>> {
+    rows.iter().find(|r| !r[c].is_null()).map(|r| match &r[c] {
+        Value::Enc(e) => Some(e.clone()),
+        _ => None,
+    })
+}
+
+/// Nested-loop join: no hashing, no chunking — just left order × right
+/// order with every condition checked by [`cmp_values`] (NULL operands
+/// compare to unknown, so NULL keys never match).
+fn nl_join(
+    kind: JoinKind,
+    on: &[(AttrId, CmpOp, AttrId)],
+    residual: Option<&mpq_algebra::Expr>,
+    left: Rel,
+    right: Rel,
+    ctx: &ExecCtx<'_>,
+) -> Result<Rel, ExecError> {
+    struct Cond {
+        lc: usize,
+        op: CmpOp,
+        rc: usize,
+        lfix: Option<mpq_crypto::schemes::ColumnCipher>,
+        rfix: Option<mpq_crypto::schemes::ColumnCipher>,
+    }
+    let mut conds = Vec::with_capacity(on.len());
+    for (l, op, r) in on {
+        let lc = left
+            .attrs
+            .iter()
+            .position(|c| c == l)
+            .ok_or_else(|| ExecError::Unsupported(format!("join key {l} missing")))?;
+        let rc = right
+            .attrs
+            .iter()
+            .position(|c| c == r)
+            .ok_or_else(|| ExecError::Unsupported(format!("join key {r} missing")))?;
+        // Eager whole-column form reconciliation (the streaming engine
+        // decides the same fix lazily from its first decisive batch).
+        let fix = match (
+            rows_col_form(&left.rows, lc),
+            rows_col_form(&right.rows, rc),
+        ) {
+            (Some(lf), Some(rf)) => {
+                decide_form_fix(lf, *l, rf, *r, !op.is_equality() && *op != CmpOp::Ne, ctx)?
+            }
+            _ => (None, None),
+        };
+        conds.push(Cond {
+            lc,
+            op: *op,
+            rc,
+            lfix: fix.0,
+            rfix: fix.1,
+        });
+    }
+
+    let mut out_attrs = left.attrs.clone();
+    if kind.keeps_right() {
+        out_attrs.extend(right.attrs.iter().copied());
+    }
+    let combined_attrs: Vec<AttrId> = left
+        .attrs
+        .iter()
+        .chain(right.attrs.iter())
+        .copied()
+        .collect();
+    let right_width = right.attrs.len();
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut rows = Vec::new();
+    for l in &left.rows {
+        let mut matched = false;
+        for r in &right.rows {
+            let mut ok = true;
+            for c in &conds {
+                let lv = fixed_cell(l[c.lc].clone(), c.lfix.as_ref(), &mut rng)?;
+                let rv = fixed_cell(r[c.rc].clone(), c.rfix.as_ref(), &mut rng)?;
+                if cmp_values(&lv, c.op, &rv)? != Some(true) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                if let Some(resid) = residual {
+                    let mut combined = l.clone();
+                    combined.extend(r.iter().cloned());
+                    ok =
+                        eval_pred(resid, &RowCtx::plain(&combined_attrs, &combined))? == Some(true);
+                }
+            }
+            if !ok {
+                continue;
+            }
+            matched = true;
+            match kind {
+                JoinKind::Inner | JoinKind::LeftOuter => {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    rows.push(row);
+                }
+                JoinKind::Semi => {
+                    rows.push(l.clone());
+                    break;
+                }
+                JoinKind::Anti => break,
+            }
+        }
+        match kind {
+            JoinKind::LeftOuter if !matched => {
+                let mut row = l.clone();
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                rows.push(row);
+            }
+            JoinKind::Anti if !matched => rows.push(l.clone()),
+            _ => {}
+        }
+    }
+    Ok(Rel {
+        attrs: out_attrs,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SchemePlan;
+    use crate::table::Database;
+    use mpq_algebra::builder::plan_sql;
+    use mpq_algebra::Catalog;
+    use mpq_crypto::keyring::KeyRing;
+
+    /// The oracle agrees with the streaming engine on the running
+    /// example (the differential proptests widen this to random plans).
+    #[test]
+    fn oracle_matches_engine_on_running_example() {
+        let cat = Catalog::paper_running_example();
+        let mut db = Database::new();
+        db.load(
+            &cat,
+            "Hosp",
+            vec![
+                vec![
+                    Value::str("s1"),
+                    Value::Date(mpq_algebra::Date::parse("1970-01-01").unwrap()),
+                    Value::str("stroke"),
+                    Value::str("t1"),
+                ],
+                vec![
+                    Value::str("s2"),
+                    Value::Date(mpq_algebra::Date::parse("1980-02-02").unwrap()),
+                    Value::str("flu"),
+                    Value::str("t2"),
+                ],
+            ],
+        );
+        db.load(
+            &cat,
+            "Ins",
+            vec![
+                vec![Value::str("s1"), Value::Num(120.0)],
+                vec![Value::str("s2"), Value::Num(220.0)],
+            ],
+        );
+        let keys = KeyRing::new();
+        let schemes = SchemePlan::default();
+        let koa = HashMap::new();
+        let ctx = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
+        let sql = "select T, avg(P) from Hosp join Ins on S=C group by T order by T";
+        let plan = plan_sql(&cat, sql).unwrap();
+        assert_eq!(
+            execute_ref(&plan, &ctx).unwrap(),
+            crate::engine::execute(&plan, &ctx).unwrap()
+        );
+    }
+}

@@ -1,63 +1,165 @@
-//! Tables and the in-memory database.
+//! Materialized relations and the in-memory database.
+//!
+//! Since the columnar data plane landed, a [`Table`] is a single fully
+//! materialized [`Batch`]: a [`TableSchema`] plus one [`ColumnVec`]
+//! per column. Streaming operators exchange bounded batches; a table
+//! is what the stream collects into at pipeline breakers (joins'
+//! build sides, group-by, sort) and at the edges of the distributed
+//! runtime, where whole intermediate relations cross subject
+//! boundaries. Row-oriented access survives only as an explicit compat
+//! layer ([`Table::from_rows`] / [`Table::to_rows`]) for loaders and
+//! tests.
 
+use crate::batch::{Batch, ColumnVec, TableSchema};
 use mpq_algebra::{AttrId, Catalog, RelId, Value};
 use std::collections::HashMap;
 
 /// A materialized relation: ordered columns (attribute ids, possibly
-/// repeated for multi-aggregate outputs) and rows of values.
-#[derive(Clone, Debug, Default)]
+/// repeated for multi-aggregate outputs) and one column vector per
+/// column.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table {
-    /// Output columns in order.
-    pub cols: Vec<AttrId>,
-    /// Row data; every row has `cols.len()` values.
-    pub rows: Vec<Vec<Value>>,
+    schema: TableSchema,
+    cols: Vec<ColumnVec>,
 }
 
 impl Table {
     /// Empty table with the given columns.
-    pub fn new(cols: Vec<AttrId>) -> Table {
-        Table {
-            cols,
-            rows: Vec::new(),
+    pub fn new(attrs: Vec<AttrId>) -> Table {
+        let schema = TableSchema::new(attrs);
+        let cols = (0..schema.len()).map(|_| ColumnVec::new()).collect();
+        Table { schema, cols }
+    }
+
+    /// Table from value rows (compat layer; loaders and tests).
+    pub fn from_rows(attrs: Vec<AttrId>, rows: Vec<Vec<Value>>) -> Table {
+        Batch::from_rows(TableSchema::new(attrs), rows).into()
+    }
+
+    /// Table from one materialized batch.
+    pub fn from_batch(batch: Batch) -> Table {
+        batch.into()
+    }
+
+    /// Concatenate a stream's batches into one table. Every batch must
+    /// carry `schema`.
+    pub fn from_batches(schema: TableSchema, batches: impl IntoIterator<Item = Batch>) -> Table {
+        let mut cols: Vec<ColumnVec> = (0..schema.len()).map(|_| ColumnVec::new()).collect();
+        for batch in batches {
+            debug_assert_eq!(batch.schema(), &schema, "batch schema mismatch");
+            for (acc, col) in cols.iter_mut().zip(batch.into_columns()) {
+                acc.append(col);
+            }
         }
+        Table { schema, cols }
+    }
+
+    /// The whole table as one batch (columns are cloned).
+    pub fn to_batch(&self) -> Batch {
+        Batch::new(self.schema.clone(), self.cols.clone())
+    }
+
+    /// Consume into one batch.
+    pub fn into_batch(self) -> Batch {
+        Batch::new(self.schema, self.cols)
+    }
+
+    /// Materialize as value rows (compat layer; prefer the columnar
+    /// accessors on hot paths).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len()).map(|i| self.row(i)).collect()
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Output column attributes in order.
+    pub fn attrs(&self) -> &[AttrId] {
+        self.schema.attrs()
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.cols
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &ColumnVec {
+        &self.cols[i]
     }
 
     /// Index of the first column carrying `attr`.
     pub fn col_index(&self, attr: AttrId) -> Option<usize> {
-        self.cols.iter().position(|c| *c == attr)
+        self.schema.col_index(attr)
+    }
+
+    /// Cell at (`col`, `row`) as a logical value.
+    pub fn value(&self, col: usize, row: usize) -> Value {
+        self.cols[col].get(row)
+    }
+
+    /// Row `i` as logical values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Append one row (compat layer; loaders, codecs, tests).
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
+        for (c, v) in self.cols.iter_mut().zip(row) {
+            c.push(v);
+        }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.cols.first().map_or(0, ColumnVec::len)
     }
 
     /// `true` when no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// Stream the table as batches of at most `batch_rows` rows. An
+    /// empty table yields no batches (streams carry the schema
+    /// separately).
+    pub fn batches(&self, batch_rows: usize) -> impl Iterator<Item = Batch> + '_ {
+        let n = self.len();
+        let step = batch_rows.max(1);
+        (0..n.div_ceil(step)).map(move |k| {
+            let s = k * step;
+            self.slice(s..(s + step).min(n))
+        })
+    }
+
+    /// Copy `range` out as a batch (the unit the streaming engine
+    /// pulls when re-scanning a materialized table).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Batch {
+        Batch::new(
+            self.schema.clone(),
+            self.cols.iter().map(|c| c.slice(range.clone())).collect(),
+        )
     }
 
     /// Total payload bytes (drives the network-cost accounting in the
     /// distributed simulator).
     pub fn byte_size(&self) -> usize {
-        self.rows
-            .iter()
-            .map(|r| r.iter().map(Value::width).sum::<usize>())
-            .sum()
+        self.cols.iter().map(ColumnVec::byte_size).sum()
     }
 
     /// Render as an aligned text table (examples and debugging).
     pub fn display(&self, catalog: &Catalog) -> String {
         let headers: Vec<String> = self
-            .cols
+            .attrs()
             .iter()
             .map(|a| catalog.attr_name(*a).to_string())
             .collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
+        let rendered: Vec<Vec<String>> = (0..self.len())
+            .map(|i| self.row(i).iter().map(|v| v.to_string()).collect())
             .collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
@@ -82,6 +184,14 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+}
+
+impl From<Batch> for Table {
+    fn from(batch: Batch) -> Table {
+        let schema = batch.schema().clone();
+        let cols = batch.into_columns();
+        Table { schema, cols }
     }
 }
 
@@ -116,7 +226,7 @@ impl Database {
         for r in &rows {
             assert_eq!(r.len(), cols.len(), "row arity mismatch for {rel_name}");
         }
-        self.insert(rel.rel, Table { cols, rows });
+        self.insert(rel.rel, Table::from_rows(cols, rows));
     }
 }
 
@@ -142,6 +252,8 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.col_index(cat.attr("P").unwrap()), Some(1));
         assert!(t.byte_size() > 0);
+        // The numeric column densified on load.
+        assert!(t.column(1).as_nums().is_some());
     }
 
     #[test]
@@ -165,5 +277,33 @@ mod tests {
         let text = db.table(rel).unwrap().display(&cat);
         assert!(text.contains('C') && text.contains('P'));
         assert!(text.contains("alice"));
+    }
+
+    #[test]
+    fn batches_cover_all_rows_and_round_trip() {
+        let attrs = vec![AttrId(0), AttrId(1)];
+        let rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Int(i), Value::str(&format!("r{i}"))])
+            .collect();
+        let t = Table::from_rows(attrs.clone(), rows.clone());
+        for batch_rows in [1, 3, 10, 100] {
+            let batches: Vec<Batch> = t.batches(batch_rows).collect();
+            assert!(batches.iter().all(|b| b.num_rows() <= batch_rows.max(1)));
+            let rebuilt = Table::from_batches(t.schema().clone(), batches);
+            assert_eq!(rebuilt, t, "batch_rows = {batch_rows}");
+        }
+        assert_eq!(t.to_rows(), rows);
+        // byte_size matches the row-wise accounting.
+        let row_bytes: usize = rows
+            .iter()
+            .map(|r| r.iter().map(Value::width).sum::<usize>())
+            .sum();
+        assert_eq!(t.byte_size(), row_bytes);
+    }
+
+    #[test]
+    fn empty_table_streams_no_batches() {
+        let t = Table::new(vec![AttrId(0)]);
+        assert_eq!(t.batches(4).count(), 0);
     }
 }

@@ -1,17 +1,24 @@
-//! Parallel execution ≡ sequential execution, bit for bit.
+//! Streaming batch execution ≡ serial row execution, bit for bit.
 //!
-//! The worker pool splits operator input into contiguous chunks; these
-//! properties pin down that the chunking is unobservable: for random
-//! data, seeds, and worker counts, the produced tables — **ciphertext
-//! bytes included** (structural `Value` equality compares the encrypted
-//! cell bytes) — are identical to a serial run. This is the guarantee
-//! that lets `mpq-dist` keep its "concurrent ≡ sequential, same bytes
-//! on every edge" contract while operators run data-parallel.
+//! Two axes are pinned here. **Chunking:** the worker pool splits
+//! operator input into contiguous chunks; for random data, seeds, and
+//! worker counts the produced tables must match a serial run.
+//! **Batching:** the streaming engine processes column batches of a
+//! configurable size; for random batch sizes the results must match
+//! the deliberately naive row-at-a-time oracle in `mpq_exec::rowref`,
+//! which shares only the per-cell RNG discipline and implements every
+//! operator independently (nested-loop joins, no batches, no
+//! parallelism). All comparisons are structural — **ciphertext bytes
+//! included** (`Value` equality compares the encrypted cell bytes) —
+//! which is the guarantee that lets `mpq-dist` keep its "concurrent ≡
+//! sequential, same bytes on every edge" contract while operators run
+//! data-parallel over batches.
 
 use mpq_algebra::value::EncScheme;
-use mpq_algebra::{Catalog, CmpOp, Date, Expr, JoinKind, Operator, QueryPlan, Value};
+use mpq_algebra::{AttrId, Catalog, CmpOp, Date, Expr, JoinKind, Operator, QueryPlan, Value};
 use mpq_crypto::keyring::{ClusterKey, KeyRing};
 use mpq_exec::pool::WorkerPool;
+use mpq_exec::rowref::execute_ref;
 use mpq_exec::{execute, Database, ExecCtx, SchemePlan, Table};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -45,7 +52,7 @@ fn load(cat: &Catalog, n: usize, seed: u64) -> Database {
 
 /// Join → select → project → encrypt (all four schemes) → partial
 /// decrypt, leaving two columns as ciphertext in the output.
-fn crypto_plan(cat: &Catalog) -> (QueryPlan, SchemePlan, HashMap<mpq_algebra::AttrId, u32>) {
+fn crypto_plan(cat: &Catalog) -> (QueryPlan, SchemePlan, HashMap<AttrId, u32>) {
     let s = cat.attr("S").unwrap();
     let b = cat.attr("B").unwrap();
     let d = cat.attr("D").unwrap();
@@ -100,22 +107,138 @@ fn crypto_plan(cat: &Catalog) -> (QueryPlan, SchemePlan, HashMap<mpq_algebra::At
     (plan, schemes, koa)
 }
 
-#[allow(
-    clippy::too_many_arguments,
-    reason = "test helper mirroring ExecCtx fields"
-)]
+/// Plain row-parallel operators: join → select → project.
+fn row_ops_plan(cat: &Catalog) -> (QueryPlan, SchemePlan, HashMap<AttrId, u32>) {
+    let s = cat.attr("S").unwrap();
+    let d = cat.attr("D").unwrap();
+    let c = cat.attr("C").unwrap();
+    let p = cat.attr("P").unwrap();
+    let hosp = cat.relation("Hosp").unwrap().rel;
+    let ins = cat.relation("Ins").unwrap().rel;
+    let mut plan = QueryPlan::new();
+    let h = plan.add_base(hosp, vec![s, d]);
+    let i = plan.add_base(ins, vec![c, p]);
+    let j = plan.add(
+        Operator::Join {
+            kind: JoinKind::Inner,
+            on: vec![(s, CmpOp::Eq, c)],
+            residual: None,
+        },
+        vec![h, i],
+    );
+    let sel = plan.add(
+        Operator::Select {
+            pred: Expr::Cmp(
+                Box::new(Expr::Col(p)),
+                CmpOp::Lt,
+                Box::new(Expr::Lit(Value::Num(200.0))),
+            ),
+        },
+        vec![j],
+    );
+    plan.add(Operator::Project { attrs: vec![d, p] }, vec![sel]);
+    (plan, SchemePlan::default(), HashMap::new())
+}
+
+/// Group-by → having → sort → limit (pipeline breakers and agg refs).
+fn agg_sort_plan(cat: &Catalog) -> (QueryPlan, SchemePlan, HashMap<AttrId, u32>) {
+    let plan = mpq_algebra::builder::plan_sql(
+        cat,
+        "select D, count(*), avg(P) from Hosp join Ins on S=C \
+         group by D having count(*) >= 1 order by count(*) desc, D limit 2",
+    )
+    .expect("sql plans");
+    (plan, SchemePlan::default(), HashMap::new())
+}
+
+/// Mixed-form join: Encrypt(S) below one side only, so the join must
+/// encrypt the plaintext side at comparison time.
+fn mixed_form_plan(cat: &Catalog) -> (QueryPlan, SchemePlan, HashMap<AttrId, u32>) {
+    let s = cat.attr("S").unwrap();
+    let d = cat.attr("D").unwrap();
+    let c = cat.attr("C").unwrap();
+    let p = cat.attr("P").unwrap();
+    let hosp = cat.relation("Hosp").unwrap().rel;
+    let ins = cat.relation("Ins").unwrap().rel;
+    let mut plan = QueryPlan::new();
+    let h = plan.add_base(hosp, vec![s, d]);
+    let enc = plan.add(Operator::Encrypt { attrs: vec![s] }, vec![h]);
+    let i = plan.add_base(ins, vec![c, p]);
+    plan.add(
+        Operator::Join {
+            kind: JoinKind::Inner,
+            on: vec![(s, CmpOp::Eq, c)],
+            residual: None,
+        },
+        vec![enc, i],
+    );
+    let mut schemes = SchemePlan::default();
+    schemes.set(s, EncScheme::Deterministic);
+    let mut koa = HashMap::new();
+    koa.insert(s, 1u32);
+    (plan, schemes, koa)
+}
+
+/// Left-outer join with a residual predicate (NULL padding + per-pair
+/// residual evaluation).
+fn outer_residual_plan(cat: &Catalog) -> (QueryPlan, SchemePlan, HashMap<AttrId, u32>) {
+    let s = cat.attr("S").unwrap();
+    let d = cat.attr("D").unwrap();
+    let c = cat.attr("C").unwrap();
+    let p = cat.attr("P").unwrap();
+    let hosp = cat.relation("Hosp").unwrap().rel;
+    let ins = cat.relation("Ins").unwrap().rel;
+    let mut plan = QueryPlan::new();
+    let h = plan.add_base(hosp, vec![s, d]);
+    let i = plan.add_base(ins, vec![c, p]);
+    plan.add(
+        Operator::Join {
+            kind: JoinKind::LeftOuter,
+            on: vec![(s, CmpOp::Eq, c)],
+            residual: Some(Expr::Cmp(
+                Box::new(Expr::Col(p)),
+                CmpOp::Lt,
+                Box::new(Expr::Lit(Value::Num(150.0))),
+            )),
+        },
+        vec![h, i],
+    );
+    (plan, SchemePlan::default(), HashMap::new())
+}
+
+fn pick_plan(cat: &Catalog, ix: usize) -> (QueryPlan, SchemePlan, HashMap<AttrId, u32>) {
+    match ix {
+        0 => crypto_plan(cat),
+        1 => row_ops_plan(cat),
+        2 => agg_sort_plan(cat),
+        3 => mixed_form_plan(cat),
+        _ => outer_residual_plan(cat),
+    }
+}
+
+fn ring() -> KeyRing {
+    let ring = KeyRing::new();
+    ring.insert(ClusterKey::generate(&mut StdRng::seed_from_u64(99), 1, 256));
+    ring
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run(
     cat: &Catalog,
     db: &Database,
     plan: &QueryPlan,
     schemes: &SchemePlan,
-    koa: &HashMap<mpq_algebra::AttrId, u32>,
+    koa: &HashMap<AttrId, u32>,
     ring: &KeyRing,
     seed: u64,
     pool: WorkerPool,
+    batch_rows: usize,
 ) -> Table {
-    let mut ctx = ExecCtx::new(cat, db, ring, schemes, koa).with_pool(pool);
-    ctx.seed = seed;
+    let ctx = ExecCtx::builder(cat, db, ring, schemes, koa)
+        .seed(seed)
+        .pool(pool)
+        .batch_rows(batch_rows)
+        .build();
     execute(plan, &ctx).expect("plan executes")
 }
 
@@ -123,26 +246,28 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
     /// Ciphertext-producing operators: chunked parallel execution must
-    /// emit byte-identical tables for every worker count.
+    /// emit byte-identical tables for every worker count and batch
+    /// size.
     #[test]
     fn parallel_crypto_is_bit_identical(
         rows in 65usize..200,
         data_seed in any::<u64>(),
         enc_seed in any::<u64>(),
         workers in 2usize..6,
+        batch_rows in 1usize..300,
     ) {
         let cat = Catalog::paper_running_example();
         let db = load(&cat, rows, data_seed);
         let (plan, schemes, koa) = crypto_plan(&cat);
-        let ring = KeyRing::new();
-        ring.insert(ClusterKey::generate(&mut StdRng::seed_from_u64(99), 1, 256));
+        let ring = ring();
 
-        let serial = run(&cat, &db, &plan, &schemes, &koa, &ring, enc_seed, WorkerPool::serial());
-        let parallel = run(&cat, &db, &plan, &schemes, &koa, &ring, enc_seed, WorkerPool::new(workers));
-        prop_assert_eq!(serial.cols.clone(), parallel.cols.clone());
+        let serial = run(&cat, &db, &plan, &schemes, &koa, &ring, enc_seed,
+                         WorkerPool::serial(), usize::MAX);
+        let parallel = run(&cat, &db, &plan, &schemes, &koa, &ring, enc_seed,
+                           WorkerPool::new(workers), batch_rows);
         // Structural equality: encrypted cells compare by their exact
         // ciphertext bytes.
-        prop_assert_eq!(&serial.rows, &parallel.rows);
+        prop_assert_eq!(&serial, &parallel);
     }
 
     /// Plain row-parallel operators (select/project/join) over inputs
@@ -152,44 +277,42 @@ proptest! {
         rows in 600usize..900,
         data_seed in any::<u64>(),
         workers in 2usize..6,
+        batch_rows in 1usize..1000,
     ) {
         let cat = Catalog::paper_running_example();
         let db = load(&cat, rows, data_seed);
-        let s = cat.attr("S").unwrap();
-        let d = cat.attr("D").unwrap();
-        let c = cat.attr("C").unwrap();
-        let p = cat.attr("P").unwrap();
-        let hosp = cat.relation("Hosp").unwrap().rel;
-        let ins = cat.relation("Ins").unwrap().rel;
-        let mut plan = QueryPlan::new();
-        let h = plan.add_base(hosp, vec![s, d]);
-        let i = plan.add_base(ins, vec![c, p]);
-        let j = plan.add(
-            Operator::Join {
-                kind: JoinKind::Inner,
-                on: vec![(s, CmpOp::Eq, c)],
-                residual: None,
-            },
-            vec![h, i],
-        );
-        let sel = plan.add(
-            Operator::Select {
-                pred: Expr::Cmp(
-                    Box::new(Expr::Col(p)),
-                    CmpOp::Lt,
-                    Box::new(Expr::Lit(Value::Num(200.0))),
-                ),
-            },
-            vec![j],
-        );
-        plan.add(Operator::Project { attrs: vec![d, p] }, vec![sel]);
-
-        let schemes = SchemePlan::default();
-        let koa = HashMap::new();
+        let (plan, schemes, koa) = row_ops_plan(&cat);
         let ring = KeyRing::new();
-        let serial = run(&cat, &db, &plan, &schemes, &koa, &ring, 7, WorkerPool::serial());
-        let parallel = run(&cat, &db, &plan, &schemes, &koa, &ring, 7, WorkerPool::new(workers));
-        prop_assert_eq!(serial.cols.clone(), parallel.cols.clone());
-        prop_assert_eq!(&serial.rows, &parallel.rows);
+        let serial = run(&cat, &db, &plan, &schemes, &koa, &ring, 7,
+                         WorkerPool::serial(), usize::MAX);
+        let parallel = run(&cat, &db, &plan, &schemes, &koa, &ring, 7,
+                           WorkerPool::new(workers), batch_rows);
+        prop_assert_eq!(&serial, &parallel);
+    }
+
+    /// Batch ≡ row: the streaming engine against the independent
+    /// row-at-a-time oracle, over random plan shapes, worker counts,
+    /// and batch sizes — rows *and* ciphertext bytes identical.
+    #[test]
+    fn streaming_matches_row_oracle(
+        rows in 30usize..120,
+        data_seed in any::<u64>(),
+        enc_seed in any::<u64>(),
+        workers in 1usize..6,
+        batch_rows in 1usize..97,
+        plan_ix in 0usize..5,
+    ) {
+        let cat = Catalog::paper_running_example();
+        let db = load(&cat, rows, data_seed);
+        let (plan, schemes, koa) = pick_plan(&cat, plan_ix);
+        let ring = ring();
+        let ctx = ExecCtx::builder(&cat, &db, &ring, &schemes, &koa)
+            .seed(enc_seed)
+            .pool(WorkerPool::new(workers))
+            .batch_rows(batch_rows)
+            .build();
+        let streamed = execute(&plan, &ctx).expect("streaming run");
+        let oracle = execute_ref(&plan, &ctx).expect("oracle run");
+        prop_assert_eq!(&streamed, &oracle);
     }
 }

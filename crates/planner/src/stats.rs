@@ -100,16 +100,14 @@ pub fn collect_stats(catalog: &Catalog, db: &Database, cfg: &SampleConfig) -> St
         } else {
             cfg.max_sample_rows as f64 / rows as f64
         };
-        let sample: Vec<&Vec<Value>> = table
-            .rows
-            .iter()
+        let sample_idx: Vec<usize> = (0..rows)
             .filter(|_| keep_prob >= 1.0 || rng.gen::<f64>() < keep_prob)
             .collect();
         let mut columns = HashMap::new();
         for (i, col) in rel.columns.iter().enumerate() {
             columns.insert(
                 col.attr,
-                column_stats(col.ty, rows, &sample, i, cfg.buckets),
+                column_stats(col.ty, rows, table.column(i), &sample_idx, cfg.buckets),
             );
         }
         out.set_table(
@@ -123,21 +121,22 @@ pub fn collect_stats(catalog: &Catalog, db: &Database, cfg: &SampleConfig) -> St
     out
 }
 
-/// Statistics for one sampled column.
+/// Statistics for one sampled column, scanned directly from its
+/// [`mpq_exec::ColumnVec`] at the sampled row indices.
 fn column_stats(
     ty: DataType,
     table_rows: usize,
-    sample: &[&Vec<Value>],
-    col: usize,
+    col: &mpq_exec::ColumnVec,
+    sample_idx: &[usize],
     buckets: usize,
 ) -> ColumnStats {
     let mut nulls = 0usize;
     let mut width_sum = 0usize;
     let mut numeric: Vec<f64> = Vec::new();
-    let mut strings: HashMap<&str, usize> = HashMap::new();
+    let mut strings: HashMap<String, usize> = HashMap::new();
     let mut non_null = 0usize;
-    for row in sample {
-        let v = &row[col];
+    for &r in sample_idx {
+        let v = col.get(r);
         if v.is_null() {
             nulls += 1;
             continue;
@@ -145,17 +144,17 @@ fn column_stats(
         non_null += 1;
         width_sum += v.width();
         match v {
-            Value::Int(i) => numeric.push(*i as f64),
-            Value::Num(f) => numeric.push(*f),
+            Value::Int(i) => numeric.push(i as f64),
+            Value::Num(f) => numeric.push(f),
             Value::Date(d) => numeric.push(d.0 as f64),
-            Value::Bool(b) => numeric.push(*b as u8 as f64),
+            Value::Bool(b) => numeric.push(b as u8 as f64),
             Value::Str(s) => {
-                *strings.entry(s.as_ref()).or_insert(0) += 1;
+                *strings.entry(s.as_ref().to_owned()).or_insert(0) += 1;
             }
             Value::Null | Value::Enc(_) => {}
         }
     }
-    let sampled = sample.len().max(1);
+    let sampled = sample_idx.len().max(1);
     let mut s = ColumnStats::default_for(ty, table_rows as f64);
     s.null_frac = nulls as f64 / sampled as f64;
     if non_null > 0 {

@@ -261,8 +261,8 @@ mod tests {
         let ins = w1.catalog.relation("Ins").unwrap().rel;
         // Same seed, same bytes.
         assert_eq!(
-            w1.db.table(hosp).unwrap().rows,
-            w2.db.table(hosp).unwrap().rows
+            w1.db.table(hosp).unwrap().to_rows(),
+            w2.db.table(hosp).unwrap().to_rows()
         );
         // H holds Hosp and only Hosp; U holds nothing.
         let ph = w1.partition(h);

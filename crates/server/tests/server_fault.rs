@@ -140,7 +140,7 @@ fn killed_party_aborts_with_typed_transport_error() {
         .execute(&opt.extended, &opt.keys)
         .expect("query succeeds while all parties are alive");
     assert_eq!(report.result.len(), 1, "one group survives the having");
-    assert_eq!(report.result.rows[0][0], mpq_algebra::Value::str("tPA"));
+    assert_eq!(report.result.value(0, 0), mpq_algebra::Value::str("tPA"));
 
     // Kill the hospital's process, then re-run the same query: the
     // coordinator must surface a typed transport failure, bounded by

@@ -162,7 +162,7 @@ pub fn generate(scale: f64, seed: u64) -> (Catalog, Database) {
             ]
         })
         .collect();
-    db.load(&catalog, "region", region_rows.clone());
+    db.load(&catalog, "region", region_rows);
 
     // nation
     let nation_rows: Vec<Vec<Value>> = NATIONS
@@ -177,7 +177,7 @@ pub fn generate(scale: f64, seed: u64) -> (Catalog, Database) {
             ]
         })
         .collect();
-    db.load(&catalog, "nation", nation_rows.clone());
+    db.load(&catalog, "nation", nation_rows);
 
     // supplier
     let supplier_rows: Vec<Vec<Value>> = (1..=n_supp)
@@ -200,7 +200,7 @@ pub fn generate(scale: f64, seed: u64) -> (Catalog, Database) {
             ]
         })
         .collect();
-    db.load(&catalog, "supplier", supplier_rows.clone());
+    db.load(&catalog, "supplier", supplier_rows);
 
     // part
     let part_rows: Vec<Vec<Value>> = (1..=n_part)
@@ -230,7 +230,7 @@ pub fn generate(scale: f64, seed: u64) -> (Catalog, Database) {
             ]
         })
         .collect();
-    db.load(&catalog, "part", part_rows.clone());
+    db.load(&catalog, "part", part_rows);
 
     // partsupp: 4 suppliers per part.
     let mut partsupp_rows: Vec<Vec<Value>> = Vec::with_capacity((n_part * 4) as usize);
@@ -246,7 +246,7 @@ pub fn generate(scale: f64, seed: u64) -> (Catalog, Database) {
             ]);
         }
     }
-    db.load(&catalog, "partsupp", partsupp_rows.clone());
+    db.load(&catalog, "partsupp", partsupp_rows);
 
     // customer
     let customer_rows: Vec<Vec<Value>> = (1..=n_cust)
@@ -264,23 +264,39 @@ pub fn generate(scale: f64, seed: u64) -> (Catalog, Database) {
             ]
         })
         .collect();
-    db.load(&catalog, "customer", customer_rows.clone());
+    db.load(&catalog, "customer", customer_rows);
 
-    // orders + lineitem
+    // orders + lineitem. The constant-domain string cells (flags,
+    // instructions, ship modes, comments) are interned once and
+    // cloned per row — an `Arc` refcount bump instead of a fresh
+    // allocation, which at SF 1 saves tens of millions of allocations
+    // on the two big tables.
+    let v_r = Value::str("R");
+    let v_a = Value::str("A");
+    let v_n = Value::str("N");
+    let v_f = Value::str("F");
+    let v_o = Value::str("O");
+    let v_p = Value::str("P");
+    let v_li_comment = Value::str("lineitem comment");
+    let v_instructions: Vec<Value> = INSTRUCTIONS.iter().map(|s| Value::str(s)).collect();
+    let v_shipmodes: Vec<Value> = SHIPMODES.iter().map(|s| Value::str(s)).collect();
+    let v_priorities: Vec<Value> = PRIORITIES.iter().map(|s| Value::str(s)).collect();
+    let v_special = Value::str("blithely special packages requests");
+    let v_pending = Value::str("furiously pending accounts");
     let date_span = end_order_date().0 - start_date().0;
-    let mut orders_rows: Vec<Vec<Value>> = Vec::with_capacity(n_orders as usize);
-    let mut lineitem_rows: Vec<Vec<Value>> = Vec::with_capacity((n_orders * 4) as usize);
+    let attrs_of = |name: &str| -> Vec<mpq_algebra::AttrId> {
+        let rel = catalog.relation(name).expect("known relation");
+        rel.columns.iter().map(|c| c.attr).collect()
+    };
+    let mut orders_t = Table::new(attrs_of("orders"));
+    let mut lineitem_t = Table::new(attrs_of("lineitem"));
     for k in 1..=n_orders {
         // dbgen uses sparse order keys; keep them dense for simplicity.
         let custkey = rng.gen_range(1..=n_cust);
         let odate = start_date().add_days(rng.gen_range(0..=date_span));
         let n_lines = rng.gen_range(1..=7);
         let special = rng.gen_bool(0.01);
-        let comment = if special {
-            "blithely special packages requests".to_string()
-        } else {
-            "furiously pending accounts".to_string()
-        };
+        let comment = if special { &v_special } else { &v_pending };
         let mut total = 0.0;
         let mut all_f = true;
         let mut any_f = false;
@@ -300,21 +316,22 @@ pub fn generate(scale: f64, seed: u64) -> (Catalog, Database) {
             let shipped = shipdate <= current;
             let returnflag = if shipped {
                 if rng.gen_bool(0.5) {
-                    "R"
+                    &v_r
                 } else {
-                    "A"
+                    &v_a
                 }
             } else {
-                "N"
+                &v_n
             };
-            let linestatus = if shipped { "F" } else { "O" };
-            if linestatus == "F" {
+            let finished = shipped;
+            let linestatus = if finished { &v_f } else { &v_o };
+            if finished {
                 any_f = true;
             } else {
                 all_f = false;
             }
             total += extended * (1.0 + tax) * (1.0 - discount);
-            lineitem_rows.push(vec![
+            lineitem_t.push_row(vec![
                 Value::Int(k),
                 Value::Int(partkey),
                 Value::Int(suppkey),
@@ -323,50 +340,46 @@ pub fn generate(scale: f64, seed: u64) -> (Catalog, Database) {
                 Value::Num(extended),
                 Value::Num(discount),
                 Value::Num(tax),
-                Value::str(returnflag),
-                Value::str(linestatus),
+                returnflag.clone(),
+                linestatus.clone(),
                 Value::Date(shipdate),
                 Value::Date(commitdate),
                 Value::Date(receiptdate),
-                Value::str(INSTRUCTIONS[rng.gen_range(0..4)]),
-                Value::str(SHIPMODES[rng.gen_range(0..7)]),
-                Value::str("lineitem comment"),
+                v_instructions[rng.gen_range(0..4)].clone(),
+                v_shipmodes[rng.gen_range(0..7)].clone(),
+                v_li_comment.clone(),
             ]);
         }
         let status = if all_f {
-            "F"
+            &v_f
         } else if any_f {
-            "P"
+            &v_p
         } else {
-            "O"
+            &v_o
         };
-        orders_rows.push(vec![
+        orders_t.push_row(vec![
             Value::Int(k),
             Value::Int(custkey),
-            Value::str(status),
+            status.clone(),
             Value::Num((total * 100.0).round() / 100.0),
             Value::Date(odate),
-            Value::str(PRIORITIES[rng.gen_range(0..5)]),
+            v_priorities[rng.gen_range(0..5)].clone(),
             Value::str(&format!("Clerk#{:09}", rng.gen_range(1..1000))),
             Value::Int(0),
-            Value::str(&comment),
+            comment.clone(),
         ]);
     }
-    db.load(&catalog, "orders", orders_rows.clone());
-    db.load(&catalog, "lineitem", lineitem_rows.clone());
+    let rel_of = |name: &str| catalog.relation(name).expect("known relation").rel;
+    db.insert(rel_of("orders"), orders_t);
+    db.insert(rel_of("lineitem"), lineitem_t);
 
-    // Alias tables share the base tables' rows.
+    // Alias tables copy the base tables' *columnar* data: dense
+    // Int/Num columns memcpy and Val columns bump `Arc` refcounts, so
+    // aliasing never re-materializes row-major copies (at SF 1 the old
+    // per-alias row clones dominated generation time and peak memory).
     for (alias, _, base) in ALIASES {
-        let rows = match *base {
-            "region" => region_rows.clone(),
-            "nation" => nation_rows.clone(),
-            "supplier" => supplier_rows.clone(),
-            "partsupp" => partsupp_rows.clone(),
-            "customer" => customer_rows.clone(),
-            "lineitem" => lineitem_rows.clone(),
-            other => panic!("alias base {other} not materialized"),
-        };
-        db.load(&catalog, alias, rows);
+        let table = db.table(rel_of(base)).expect("alias base loaded").clone();
+        db.insert(rel_of(alias), table);
     }
 
     (catalog, db)
@@ -390,7 +403,7 @@ mod tests {
         let a = d1.table(l).unwrap();
         let b = d2.table(l).unwrap();
         assert_eq!(a.len(), b.len());
-        assert!(a.rows[0][5].sql_eq(&b.rows[0][5]));
+        assert!(a.value(5, 0).sql_eq(&b.value(5, 0)));
     }
 
     #[test]
@@ -422,14 +435,14 @@ mod tests {
         let (c, db) = generate(0.001, 3);
         let orders = db.table(c.relation("orders").unwrap().rel).unwrap();
         let n_cust = table_len(&c, &db, "customer") as i64;
-        for row in &orders.rows {
+        for row in &orders.to_rows() {
             let ck = row[1].as_int().unwrap();
             assert!(ck >= 1 && ck <= n_cust, "dangling o_custkey {ck}");
         }
         let lineitem = db.table(c.relation("lineitem").unwrap().rel).unwrap();
         let n_orders = orders.len() as i64;
         let n_supp = table_len(&c, &db, "supplier") as i64;
-        for row in &lineitem.rows {
+        for row in &lineitem.to_rows() {
             let ok = row[0].as_int().unwrap();
             assert!(ok >= 1 && ok <= n_orders);
             let sk = row[2].as_int().unwrap();
@@ -441,7 +454,7 @@ mod tests {
     fn date_ranges_respected() {
         let (c, db) = generate(0.001, 5);
         let orders = db.table(c.relation("orders").unwrap().rel).unwrap();
-        for row in &orders.rows {
+        for row in &orders.to_rows() {
             if let Value::Date(d) = row[4] {
                 assert!(d >= start_date() && d <= end_order_date());
             } else {
@@ -456,14 +469,17 @@ mod tests {
         let (c, db) = generate(0.005, 11);
         let cust = db.table(c.relation("customer").unwrap().rel).unwrap();
         assert!(cust
-            .rows
+            .to_rows()
             .iter()
             .any(|r| r[6].sql_eq(&Value::str("BUILDING"))));
         let li = db.table(c.relation("lineitem").unwrap().rel).unwrap();
-        assert!(li.rows.iter().any(|r| r[14].sql_eq(&Value::str("MAIL"))));
+        assert!(li
+            .to_rows()
+            .iter()
+            .any(|r| r[14].sql_eq(&Value::str("MAIL"))));
         let part = db.table(c.relation("part").unwrap().rel).unwrap();
         assert!(part
-            .rows
+            .to_rows()
             .iter()
             .any(|r| { matches!(&r[4], Value::Str(s) if s.ends_with("BRASS")) }));
     }

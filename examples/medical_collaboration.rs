@@ -99,7 +99,7 @@ fn main() {
     }
 
     assert_eq!(reference.len(), report.result.len());
-    for (a, b) in reference.rows.iter().zip(&report.result.rows) {
+    for (a, b) in reference.to_rows().iter().zip(&report.result.to_rows()) {
         for (x, y) in a.iter().zip(b) {
             let close = match (x.as_num(), y.as_num()) {
                 (Some(p), Some(q)) => (p - q).abs() < 1e-6,

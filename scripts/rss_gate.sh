@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Peak-RSS gate: run a command and fail if its peak resident set
+# exceeds the budget. Used by the bench-smoke CI job to enforce the
+# streaming engine's memory bound on the SF 1 throughput smoke —
+# operators must hold O(batch) live data (plus the declared pipeline
+# breakers), so peak RSS must stay within a fixed multiple of the
+# generated database, never a whole-pipeline re-materialization.
+#
+# Usage: scripts/rss_gate.sh MAX_MB command [args...]
+#
+# The command must be the measured process itself (run the built
+# binary, not `cargo run`, which would measure cargo). Peak is read
+# from /proc/<pid>/status VmHWM (the kernel's high-water mark), polled
+# until exit; the last observation of a monotone counter is the peak.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 MAX_MB command [args...]" >&2
+    exit 2
+fi
+max_mb=$1
+shift
+
+"$@" &
+pid=$!
+peak_kb=0
+while kill -0 "$pid" 2>/dev/null; do
+    hwm=$(awk '/^VmHWM:/ {print $2}' "/proc/$pid/status" 2>/dev/null || true)
+    if [ -n "${hwm:-}" ] && [ "$hwm" -gt "$peak_kb" ]; then
+        peak_kb=$hwm
+    fi
+    sleep 0.2
+done
+status=0
+wait "$pid" || status=$?
+
+peak_mb=$((peak_kb / 1024))
+echo "# rss_gate: peak RSS ${peak_mb} MiB (budget ${max_mb} MiB)"
+if [ "$status" -ne 0 ]; then
+    echo "# rss_gate: command failed with status $status" >&2
+    exit "$status"
+fi
+if [ "$peak_mb" -gt "$max_mb" ]; then
+    echo "# rss_gate: peak RSS ${peak_mb} MiB exceeds the ${max_mb} MiB budget" >&2
+    exit 1
+fi

@@ -114,13 +114,13 @@ proptest! {
         // Result equivalence: bit-identical tables (both paths build
         // the same per-node contexts, so even ciphertext-derived floats
         // agree exactly).
-        prop_assert_eq!(concurrent.result.cols.clone(), sequential.result.cols.clone());
+        prop_assert_eq!(concurrent.result.attrs().to_vec(), sequential.result.attrs().to_vec());
         prop_assert_eq!(
-            concurrent.result.rows.len(),
-            sequential.result.rows.len(),
+            concurrent.result.len(),
+            sequential.result.len(),
             "row count diverged"
         );
-        for (a, b) in concurrent.result.rows.iter().zip(&sequential.result.rows) {
+        for (a, b) in concurrent.result.to_rows().iter().zip(&sequential.result.to_rows()) {
             for (x, y) in a.iter().zip(b) {
                 prop_assert!(x.sql_eq(y), "cell diverged: {:?} vs {:?}", x, y);
             }

@@ -111,7 +111,7 @@ fn centralized_reference(ex: &RunningExample, db: &Database) -> mpq::exec::Table
 
 fn assert_tables_match(a: &mpq::exec::Table, b: &mpq::exec::Table) {
     assert_eq!(a.len(), b.len(), "row count differs");
-    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+    for (ra, rb) in a.to_rows().iter().zip(&b.to_rows()) {
         for (x, y) in ra.iter().zip(rb) {
             let close = match (x.as_num(), y.as_num()) {
                 (Some(p), Some(q)) => (p - q).abs() < 1e-6,

@@ -94,13 +94,13 @@ fn extend_choice(
 }
 
 fn assert_rows_match(a: &Report, b: &Report, what: &str) {
-    assert_eq!(a.result.cols, b.result.cols, "{what}: column mismatch");
     assert_eq!(
-        a.result.rows.len(),
-        b.result.rows.len(),
-        "{what}: row count"
+        a.result.attrs(),
+        b.result.attrs(),
+        "{what}: column mismatch"
     );
-    for (ra, rb) in a.result.rows.iter().zip(&b.result.rows) {
+    assert_eq!(a.result.len(), b.result.len(), "{what}: row count");
+    for (ra, rb) in a.result.to_rows().iter().zip(&b.result.to_rows()) {
         for (x, y) in ra.iter().zip(rb) {
             assert!(x.sql_eq(y), "{what}: cell {x:?} vs {y:?}");
         }
@@ -236,7 +236,7 @@ fn revoke_forces_reprovisioning() {
     let report = session
         .execute(&ext, &keys, user)
         .expect("post-revoke query");
-    assert!(!report.result.rows.is_empty());
+    assert!(!report.result.is_empty());
     assert_eq!(session.stats().clusters_provisioned, 3);
     assert!(!session.holds_key(y, k_p), "old id must not be re-used");
     assert!(session.holds_key(y, 2), "fresh material under a new id");
@@ -281,5 +281,5 @@ fn errors_abort_the_query_not_the_session() {
     let report = weak_session
         .execute(&ext, &keys, user)
         .expect("session survives a failed query");
-    assert!(!report.result.rows.is_empty());
+    assert!(!report.result.is_empty());
 }

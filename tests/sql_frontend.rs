@@ -79,8 +79,8 @@ fn paper_query_returns_expected_row() {
          where D='stroke' group by T having avg(P)>100",
     );
     assert_eq!(t.len(), 1);
-    assert!(t.rows[0][0].sql_eq(&Value::str("t1")));
-    assert!(t.rows[0][1].sql_eq(&Value::Num(170.0)));
+    assert!(t.value(0, 0).sql_eq(&Value::str("t1")));
+    assert!(t.value(1, 0).sql_eq(&Value::Num(170.0)));
 }
 
 #[test]
@@ -92,8 +92,8 @@ fn filters_and_projection() {
         "select S from Hosp where D <> 'stroke' order by S",
     );
     assert_eq!(t.len(), 2);
-    assert!(t.rows[0][0].sql_eq(&Value::str("s3")));
-    assert!(t.rows[1][0].sql_eq(&Value::str("s5")));
+    assert!(t.value(0, 0).sql_eq(&Value::str("s3")));
+    assert!(t.value(0, 1).sql_eq(&Value::str("s5")));
 }
 
 #[test]
@@ -105,7 +105,7 @@ fn between_in_and_like() {
         "select C, P from Ins where P between 80 and 130 and C in ('s1','s4') order by P desc",
     );
     assert_eq!(t.len(), 2);
-    assert!(t.rows[0][1].sql_eq(&Value::Num(120.0)));
+    assert!(t.value(1, 0).sql_eq(&Value::Num(120.0)));
     let t = run(&cat, &db, "select S from Hosp where D like 'str%'");
     assert_eq!(t.len(), 3);
 }
@@ -125,7 +125,7 @@ fn date_arithmetic_and_extract() {
         "select extract(year from B) as y, count(*) from Hosp group by y order by y",
     );
     assert_eq!(t.len(), 5);
-    assert!(t.rows[0][0].sql_eq(&Value::Int(1955)));
+    assert!(t.value(0, 0).sql_eq(&Value::Int(1955)));
 }
 
 #[test]
@@ -137,8 +137,8 @@ fn aggregate_aliases_in_having_and_order() {
         "select D, count(*) as n from Hosp group by D having n >= 1 order by n desc, D limit 2",
     );
     assert_eq!(t.len(), 2);
-    assert!(t.rows[0][0].sql_eq(&Value::str("stroke")));
-    assert!(t.rows[0][1].sql_eq(&Value::Int(3)));
+    assert!(t.value(0, 0).sql_eq(&Value::str("stroke")));
+    assert!(t.value(1, 0).sql_eq(&Value::Int(3)));
 }
 
 #[test]

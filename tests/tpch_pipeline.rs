@@ -176,7 +176,12 @@ fn optimized_plans_execute_correctly_under_uapenc() {
             reference.len(),
             result.len()
         );
-        for (i, (a, b)) in reference.rows.iter().zip(&result.rows).enumerate() {
+        for (i, (a, b)) in reference
+            .to_rows()
+            .iter()
+            .zip(&result.to_rows())
+            .enumerate()
+        {
             for (x, y) in a.iter().zip(b) {
                 let ok = match (x.as_num(), y.as_num()) {
                     (Some(p), Some(q)) => (p - q).abs() <= 1e-6 * p.abs().max(1.0),

@@ -63,7 +63,11 @@ fn run_both(
 
 /// The three observables the transport contract fixes.
 fn assert_identical(a: &Report, b: &Report, what: &str) {
-    assert_eq!(a.result.rows, b.result.rows, "{what}: decrypted rows");
+    assert_eq!(
+        a.result.to_rows(),
+        b.result.to_rows(),
+        "{what}: decrypted rows"
+    );
     assert_eq!(
         a.data_bytes(),
         b.data_bytes(),
@@ -136,7 +140,7 @@ fn tcp_matches_inproc_on_fig7_plans() {
             17,
         );
         assert_identical(&a, &b, name);
-        assert!(!a.result.rows.is_empty(), "{name} returns rows");
+        assert!(!a.result.is_empty(), "{name} returns rows");
     }
 }
 
@@ -177,8 +181,8 @@ fn tcp_matches_inproc_and_reference_on_tpch() {
     let ctx = ExecCtx::new(&catalog, &db, &ring, &schemes, &koa);
     let reference = execute(&plan, &ctx).expect("plaintext Q6");
     assert_eq!(
-        sorted(a.result.rows),
-        sorted(reference.rows),
+        sorted(a.result.to_rows()),
+        sorted(reference.to_rows()),
         "decrypted TCP result equals the plaintext reference"
     );
 }

@@ -112,7 +112,7 @@ fn plaintext_reference(ex: &RunningExample, db: &Database) -> Vec<Vec<Value>> {
     sorted(
         execute(&ex.plan, &ctx)
             .expect("plaintext reference executes")
-            .rows,
+            .to_rows(),
     )
 }
 
@@ -161,7 +161,7 @@ proptest! {
         // result must equal the plaintext reference. This is the check
         // that catches silently-empty mixed-form joins.
         prop_assert_eq!(
-            sorted(run.unwrap().result.rows),
+            sorted(run.unwrap().result.to_rows()),
             plaintext_reference(&ex, &db),
             "clean plan's result diverges from the plaintext reference"
         );
@@ -269,7 +269,7 @@ proptest! {
                 Err(_) => {}
                 Ok(run) => {
                     prop_assert_eq!(
-                        sorted(run.result.rows),
+                        sorted(run.result.to_rows()),
                         plaintext_reference(&ex, &db),
                         "audit-silent mutant diverged from the plaintext reference"
                     );
