@@ -28,6 +28,12 @@
 //!   --out PATH          report path                   [default BENCH_dist.json]
 //!   --workers N         intra-operator worker threads [default: MPQ_WORKERS
 //!                       env, else available parallelism]
+//!   --faults SPEC       inject a seeded fault schedule into the
+//!                       persistent-session phases (requires --session
+//!                       or --transport tcp), e.g.
+//!                       seed=7,drop=100,reset=50 — per-mille rates;
+//!                       typed transport aborts are counted, wrong
+//!                       answers still fail the run
 //! ```
 //!
 //! Exit status is non-zero when any distributed result diverges from
@@ -81,6 +87,13 @@ fn main() {
                     .collect();
             }
             "--seed" => cfg.seed = value("--seed").parse().expect("--seed N"),
+            "--faults" => {
+                let spec = value("--faults");
+                cfg.faults = Some(
+                    mpq_dist::FaultPlan::parse(&spec)
+                        .unwrap_or_else(|e| panic!("bad --faults: {e}")),
+                );
+            }
             "--out" => out = value("--out"),
             "--workers" => {
                 let n: usize = value("--workers").parse().expect("--workers N");
@@ -93,6 +106,11 @@ fn main() {
     }
     if sf_explicit && !iters_explicit {
         cfg.iters = ThroughputConfig::iters_for_sf(cfg.tpch_sf);
+    }
+    if cfg.faults.is_some() && !(cfg.session_mode || cfg.tcp_mode) {
+        panic!(
+            "--faults only affects the persistent-session phases; add --session or --transport tcp"
+        );
     }
 
     eprintln!(

@@ -29,7 +29,7 @@ use mpq_core::fixtures::RunningExample;
 use mpq_core::keys::{plan_keys, KeyPlan};
 use mpq_core::subjects::Subjects;
 use mpq_crypto::keyring::KeyRing;
-use mpq_dist::{Session, SessionConfig, Simulator, TransportKind};
+use mpq_dist::{FaultPlan, Session, SessionConfig, SimError, Simulator, TransportKind};
 use mpq_exec::{Database, SchemePlan, Table};
 use mpq_planner::stats::{collect_stats, SampleConfig};
 use mpq_planner::{build_scenario, optimize, Scenario, Strategy};
@@ -65,6 +65,12 @@ pub struct ThroughputConfig {
     /// the `tcp` field next to the in-process modes — a measurement of
     /// the wire tax, never ratcheted.
     pub tcp_mode: bool,
+    /// Inject a seeded fault schedule (`--faults SPEC`) into the
+    /// persistent-session phases (`--session`, `--transport tcp`) to
+    /// measure throughput under recovery. Queries that abort with a
+    /// typed transport error are counted and reported, not treated as
+    /// mismatches; the fresh-simulator phases always run clean.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ThroughputConfig {
@@ -83,6 +89,7 @@ impl ThroughputConfig {
             smoke: true,
             session_mode: false,
             tcp_mode: false,
+            faults: None,
         }
     }
 
@@ -130,6 +137,7 @@ impl ThroughputConfig {
             smoke: false,
             session_mode: false,
             tcp_mode: false,
+            faults: None,
         }
     }
 }
@@ -401,6 +409,7 @@ struct SessionOut {
     bytes: usize,
     requests: usize,
     queries: usize,
+    aborts: usize,
     mismatches: Vec<String>,
 }
 
@@ -465,10 +474,13 @@ fn run_phase(wl: &Workload, cfg: &ThroughputConfig, phase: Phase) -> (ModeStats,
                     let mut out = SessionOut::default();
                     let seed = cfg.seed ^ (session as u64).wrapping_mul(0x9E37_79B9);
                     let mut driver = if matches!(phase, Phase::Session | Phase::Tcp) {
-                        let config = match phase {
+                        let mut config = match phase {
                             Phase::Tcp => SessionConfig::new(seed).transport(TransportKind::Tcp),
                             _ => SessionConfig::new(seed),
                         };
+                        if let Some(plan) = &cfg.faults {
+                            config = config.faults(plan.clone());
+                        }
                         Driver::Sessions(
                             wl.envs
                                 .iter()
@@ -511,6 +523,12 @@ fn run_phase(wl: &Workload, cfg: &ThroughputConfig, phase: Phase) -> (ModeStats,
                                         out.mismatches.push(m);
                                     }
                                 }
+                                // Under an injected fault schedule a
+                                // typed transport abort is an allowed
+                                // outcome — a wrong answer never is.
+                                Err(SimError::Transport(_)) if cfg.faults.is_some() => {
+                                    out.aborts += 1;
+                                }
                                 Err(e) => out
                                     .mismatches
                                     .push(format!("{}: runtime error: {e}", item.name)),
@@ -539,7 +557,15 @@ fn run_phase(wl: &Workload, cfg: &ThroughputConfig, phase: Phase) -> (ModeStats,
         merged.bytes += o.bytes;
         merged.requests += o.requests;
         merged.queries += o.queries;
+        merged.aborts += o.aborts;
         merged.mismatches.extend(o.mismatches);
+    }
+    if merged.aborts > 0 {
+        eprintln!(
+            "# {} queries aborted with typed transport errors under the \
+             injected fault schedule (allowed outcome; not a mismatch)",
+            merged.aborts
+        );
     }
     let mut sorted = merged.latencies_ms.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));

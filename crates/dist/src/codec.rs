@@ -859,11 +859,12 @@ fn get_remote_job(r: &mut Reader) -> Option<RemoteJob> {
 /// exchange, one tag byte each. `Peer`/`Data` are the data plane
 /// (party ↔ party); the rest is the coordinator's control plane.
 //
-// Variant sizes are deliberately lopsided: frames are built once,
-// serialized, and dropped — never stored in collections — so boxing
-// the big control-plane payloads would buy nothing.
+// Variant sizes are deliberately lopsided: frames are built,
+// serialized, and dropped — the only retained copies are the handful
+// of recovery frames (pending `Execute`s, cached outcomes) — so
+// boxing the big control-plane payloads would buy nothing.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum Frame {
     /// First frame on a data connection: who is talking.
     Peer {
@@ -945,15 +946,22 @@ pub(crate) fn encode_frame(f: &Frame) -> Vec<u8> {
             put_u8(&mut b, 1);
             put_u64(&mut b, *epoch);
             match msg {
-                Msg::Table { node, from, table } => {
+                Msg::Table {
+                    node,
+                    from,
+                    seq,
+                    table,
+                } => {
                     put_u8(&mut b, 0);
                     put_u32(&mut b, node.0);
                     put_u32(&mut b, from.0);
+                    put_u64(&mut b, *seq);
                     put_table(&mut b, table);
                 }
-                Msg::Result { from, table } => {
+                Msg::Result { from, seq, table } => {
                     put_u8(&mut b, 1);
                     put_u32(&mut b, from.0);
+                    put_u64(&mut b, *seq);
                     put_table(&mut b, table);
                 }
                 Msg::Abort => put_u8(&mut b, 2),
@@ -1028,10 +1036,12 @@ pub(crate) fn decode_frame(bytes: &[u8]) -> Option<Frame> {
                 0 => Msg::Table {
                     node: NodeId(r.u32()?),
                     from: SubjectId(r.u32()?),
+                    seq: r.u64()?,
                     table: get_table(&mut r)?,
                 },
                 1 => Msg::Result {
                     from: SubjectId(r.u32()?),
+                    seq: r.u64()?,
                     table: get_table(&mut r)?,
                 },
                 2 => Msg::Abort,
@@ -1117,6 +1127,7 @@ mod tests {
             msg: Msg::Table {
                 node: NodeId(5),
                 from: SubjectId(2),
+                seq: 77,
                 table: table.clone(),
             },
         });
@@ -1127,11 +1138,13 @@ mod tests {
                     Msg::Table {
                         node,
                         from,
+                        seq,
                         table: t,
                     },
             } => {
                 assert_eq!(node, NodeId(5));
                 assert_eq!(from, SubjectId(2));
+                assert_eq!(seq, 77);
                 assert_eq!(t.attrs(), table.attrs());
                 assert_eq!(t.to_rows(), table.to_rows());
                 assert_eq!(t.byte_size(), table.byte_size());
@@ -1201,6 +1214,7 @@ mod tests {
             epoch: 1,
             msg: Msg::Result {
                 from: SubjectId(0),
+                seq: 0,
                 table: Table::new(vec![AttrId(0)]),
             },
         });

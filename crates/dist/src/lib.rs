@@ -59,6 +59,7 @@
 pub mod audit;
 pub(crate) mod codec;
 pub mod error;
+pub mod fault;
 pub mod remote;
 pub mod runtime;
 pub mod session;
@@ -66,9 +67,10 @@ pub mod transport;
 
 pub use audit::audit_transfer;
 pub use error::SimError;
+pub use fault::{FaultAction, FaultPlan, RetryPolicy};
 pub use remote::{Coordinator, Server, ServerConfig};
 pub use session::{Session, SessionConfig, SessionStats};
-pub use transport::{TransportError, TransportKind};
+pub use transport::{EdgeRecovery, TransportError, TransportKind};
 
 use mpq_algebra::{Catalog, RelId, SubjectId};
 use mpq_core::authz::Policy;

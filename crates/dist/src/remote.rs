@@ -34,6 +34,15 @@
 //!    `Frame::Done`/`Frame::Failed` on its control connection and
 //!    the coordinator assembles the [`Report`].
 //!
+//! The whole exchange is built to survive flaky links: control sends
+//! run under the same bounded-retry/backoff discipline as the data
+//! plane, a dead control connection is re-dialed and the pending
+//! `Execute` re-delivered, and servers cache per-epoch outcomes so
+//! re-delivery replays the recorded answer instead of executing twice
+//! (after re-verifying the signed envelope — recovery never relaxes
+//! authorization). A fault that outlives the budget aborts *the epoch*
+//! with a typed error; the fleet keeps serving the next query.
+//!
 //! The executing machinery is byte-for-byte the session runtime:
 //! `run_query` — the same function the in-process party threads run
 //! — executes each server's share, so every guarantee (receive audit,
@@ -45,9 +54,13 @@
 
 use crate::codec::{Frame, RemoteJob};
 use crate::error::SimError;
+use crate::fault::{splitmix64, FaultAction, FaultPlan, RetryPolicy};
 use crate::runtime::{broadcast_abort, run_query, Msg, Outcome, PartyMsg, PartyStatic, QueryJob};
 use crate::session::{Prepared, SessionConfig};
-use crate::transport::{Control, TcpHub, TcpTransport, Transport, TransportError};
+use crate::transport::{
+    Control, EdgeRecovery, FaultState, TcpHub, TcpTransport, Transport, TransportError, Wire,
+    WireStats,
+};
 use crate::{Party, Report, PAILLIER_BITS, RSA_BITS};
 use mpq_algebra::{Catalog, NodeId, Operator, SubjectId};
 use mpq_core::authz::{Policy, SubjectView};
@@ -65,7 +78,7 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How long control-plane connects wait before failing typed.
@@ -76,6 +89,15 @@ const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
 /// server that hits its own timeout still needs a moment to report
 /// `Failed`.
 const DONE_SLACK: Duration = Duration::from_secs(5);
+
+/// How many completed epochs a server keeps outcome frames for, so a
+/// coordinator re-sending `Execute` after an ambiguous failure gets the
+/// recorded `Done`/`Failed` replayed instead of a second execution.
+const OUTCOME_CACHE: u64 = 8;
+
+/// Salt separating control-plane backoff jitter from the data plane's
+/// (both derive from the session seed).
+const CTL_SALT: u64 = 0x6374_6c5f_7365_6564; // "ctl_seed"
 
 /// Everything one `mpq-server` process needs to host a subject.
 ///
@@ -100,6 +122,11 @@ pub struct ServerConfig {
     pub view: SubjectView,
     /// This subject's partition of the base relations.
     pub store: Database,
+    /// Fault schedule for this server's *sending* data plane (falls
+    /// back to `MPQ_FAULTS` when `None`).
+    pub faults: Option<FaultPlan>,
+    /// Retry budget and backoff shape for data-plane sends.
+    pub retry: RetryPolicy,
 }
 
 /// A bound subject process: one listener serving both the data plane
@@ -110,6 +137,12 @@ pub struct Server {
     rx: Receiver<PartyMsg>,
     ctl_rx: Receiver<Control>,
     hub: TcpHub,
+    seed: u64,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
+    /// Outcome frames of recent epochs, replayed when a recovering
+    /// coordinator re-delivers an `Execute` this server already ran.
+    outcomes: HashMap<u64, Frame>,
 }
 
 impl Server {
@@ -137,6 +170,10 @@ impl Server {
             rx,
             ctl_rx,
             hub,
+            seed: config.seed,
+            faults: config.faults,
+            retry: config.retry,
+            outcomes: HashMap::new(),
         })
     }
 
@@ -151,22 +188,37 @@ impl Server {
     }
 
     /// Serve coordinators until one sends `Frame::Shutdown`. A
-    /// coordinator dropping its connection returns the server to
-    /// accepting the next one; provisioned keys persist across
-    /// coordinator connections (they are this subject's material).
+    /// coordinator dropping its connection — or damaging it mid-epoch —
+    /// returns the server to accepting the next one; provisioned keys
+    /// and cached epoch outcomes persist across coordinator
+    /// connections (they are this subject's material).
     pub fn run(mut self) -> Result<(), TransportError> {
-        let wire: Arc<dyn Transport> = Arc::new(TcpTransport::new(
+        let backend: Arc<dyn Transport> = Arc::new(TcpTransport::new(
             self.st.me,
             self.peers.clone(),
             CONNECT_TIMEOUT,
         ));
+        let plan = self.faults.clone().or_else(FaultPlan::from_env);
+        let wire = Wire::new(
+            self.st.me,
+            self.seed,
+            backend,
+            Arc::new(Mutex::new(FaultState::new(plan))),
+            self.retry,
+            Arc::new(WireStats::default()),
+        );
         let mut stash: Vec<(u64, Msg)> = Vec::new();
         loop {
             let Ok(mut ctl) = self.ctl_rx.recv() else {
                 return Ok(());
             };
-            if self.serve_conn(&mut ctl, wire.as_ref(), &mut stash)? {
-                return Ok(());
+            match self.serve_conn(&mut ctl, &wire, &mut stash) {
+                Ok(true) => return Ok(()),
+                // The coordinator went away or its connection died
+                // mid-conversation: either way this server keeps its
+                // material and serves the next connection. A fleet
+                // survives any one flaky link.
+                Ok(false) | Err(_) => continue,
             }
         }
     }
@@ -176,7 +228,7 @@ impl Server {
     fn serve_conn(
         &mut self,
         ctl: &mut Control,
-        wire: &dyn Transport,
+        wire: &Wire,
         stash: &mut Vec<(u64, Msg)>,
     ) -> Result<bool, TransportError> {
         // The handshake fixes who we are talking *for*: every envelope
@@ -228,8 +280,29 @@ impl Server {
                         })?;
                         continue;
                     };
+                    // A re-delivered Execute (the coordinator re-sent
+                    // after an ambiguous failure) replays the recorded
+                    // outcome instead of executing twice — but the
+                    // authorization is never relaxed: the envelope must
+                    // still open and verify against the session's user
+                    // key before anything is replayed.
+                    if self.outcomes.contains_key(&epoch) {
+                        let authorized = envelope
+                            .as_ref()
+                            .is_some_and(|env| env.open(&self.st.party.rsa, &pk).is_some());
+                        let reply = if authorized {
+                            self.outcomes[&epoch].clone()
+                        } else {
+                            Frame::Failed {
+                                epoch,
+                                message: SimError::Envelope { to: self.st.me }.to_string(),
+                            }
+                        };
+                        ctl.send(&reply)?;
+                        continue;
+                    }
                     let outcome = self.execute(epoch, job, envelope, &pk, wire, stash);
-                    match outcome {
+                    let reply = match outcome {
                         Outcome::Done(out) => {
                             let mut transfers: Vec<(SubjectId, SubjectId, u64)> = out
                                 .transfers
@@ -237,21 +310,28 @@ impl Server {
                                 .map(|((f, t), b)| (f, t, b as u64))
                                 .collect();
                             transfers.sort_by_key(|(f, t, _)| (f.index(), t.index()));
-                            ctl.send(&Frame::Done { epoch, transfers })?;
+                            Frame::Done { epoch, transfers }
                         }
-                        Outcome::Failed(e) => ctl.send(&Frame::Failed {
+                        Outcome::Failed(e) => Frame::Failed {
                             epoch,
                             message: e.to_string(),
-                        })?,
-                        Outcome::Aborted => ctl.send(&Frame::Failed {
+                        },
+                        Outcome::Aborted => Frame::Failed {
                             epoch,
                             message: ABORTED_MARK.to_string(),
-                        })?,
-                        Outcome::Panicked(m) => ctl.send(&Frame::Failed {
+                        },
+                        Outcome::Panicked(m) => Frame::Failed {
                             epoch,
                             message: format!("party panicked: {m}"),
-                        })?,
-                    }
+                        },
+                    };
+                    // Record the outcome *before* reporting it: if the
+                    // send fails because the coordinator's connection
+                    // died, the recovery path re-delivers Execute and
+                    // finds the answer here.
+                    self.outcomes.insert(epoch, reply.clone());
+                    self.outcomes.retain(|&e, _| e + OUTCOME_CACHE > epoch);
+                    ctl.send(&reply)?;
                 }
                 Frame::Shutdown => return Ok(true),
                 // Data-plane or coordinator-bound frames on a control
@@ -269,7 +349,7 @@ impl Server {
         job: RemoteJob,
         envelope: Option<SignedEnvelope>,
         user_public: &RsaPublic,
-        wire: &dyn Transport,
+        wire: &Wire,
         stash: &mut Vec<(u64, Msg)>,
     ) -> Outcome {
         // The signed request is the authorization to compute: it must
@@ -344,7 +424,21 @@ pub struct Coordinator {
     st: PartyStatic,
     controls: HashMap<SubjectId, Control>,
     server_publics: HashMap<SubjectId, RsaPublic>,
-    wire: Arc<TcpTransport>,
+    /// Control addresses, kept for re-dialing a lost connection.
+    server_addrs: HashMap<SubjectId, String>,
+    wire: Wire,
+    wire_stats: Arc<WireStats>,
+    /// Control-plane fault schedule, with its *own* per-edge counters:
+    /// the data-plane trace stays a function of data-plane attempts
+    /// alone, comparable across transport backends.
+    ctl_faults: FaultState,
+    retry: RetryPolicy,
+    seed: u64,
+    /// The Execute frame sent to each participant this epoch, kept so a
+    /// reconnected control channel can re-deliver it.
+    pending_execute: HashMap<SubjectId, Frame>,
+    /// Control-plane re-sends and reconnects performed so far.
+    ctl_recovered: u64,
     rx: Receiver<PartyMsg>,
     stash: Vec<(u64, Msg)>,
     _hub: TcpHub,
@@ -395,36 +489,6 @@ impl Coordinator {
         let (tx, rx) = channel();
         let hub = TcpHub::bind(listen, tx, None).map_err(SimError::Transport)?;
 
-        let mut controls = HashMap::new();
-        let mut server_publics = HashMap::new();
-        for (&s, addr) in servers {
-            let mut ctl = Control::connect(addr, CONNECT_TIMEOUT).map_err(SimError::Transport)?;
-            ctl.send(&Frame::Hello {
-                user,
-                public: rsa.public.clone(),
-            })
-            .map_err(SimError::Transport)?;
-            match ctl
-                .recv(Some(CONNECT_TIMEOUT))
-                .map_err(SimError::Transport)?
-            {
-                Frame::HelloAck { me, public } if me == s => {
-                    server_publics.insert(s, public);
-                }
-                Frame::HelloAck { me, .. } => {
-                    return Err(SimError::Transport(TransportError::Frame {
-                        detail: format!("server at {addr} hosts {me}, expected {s}"),
-                    }))
-                }
-                _ => {
-                    return Err(SimError::Transport(TransportError::Frame {
-                        detail: "expected HelloAck".to_string(),
-                    }))
-                }
-            }
-            controls.insert(s, ctl);
-        }
-
         let st = PartyStatic {
             me: user,
             catalog: Arc::clone(&catalog),
@@ -435,15 +499,34 @@ impl Coordinator {
                 store,
             }),
         };
-        Ok(Coordinator {
+        let plan = config.faults.clone().or_else(FaultPlan::from_env);
+        let faults = Arc::new(Mutex::new(FaultState::new(plan.clone())));
+        let wire_stats = Arc::new(WireStats::default());
+        let backend: Arc<dyn Transport> =
+            Arc::new(TcpTransport::new(user, servers.clone(), CONNECT_TIMEOUT));
+        let mut coordinator = Coordinator {
             user,
             catalog,
             subjects,
             views,
             st,
-            controls,
-            server_publics,
-            wire: Arc::new(TcpTransport::new(user, servers.clone(), CONNECT_TIMEOUT)),
+            controls: HashMap::new(),
+            server_publics: HashMap::new(),
+            server_addrs: servers.clone(),
+            wire: Wire::new(
+                user,
+                config.seed,
+                backend,
+                faults,
+                config.retry,
+                Arc::clone(&wire_stats),
+            ),
+            wire_stats,
+            ctl_faults: FaultState::new(plan),
+            retry: config.retry,
+            seed: config.seed,
+            pending_execute: HashMap::new(),
+            ctl_recovered: 0,
             rx,
             stash: Vec::new(),
             _hub: hub,
@@ -458,7 +541,13 @@ impl Coordinator {
             timeout: config
                 .effective_timeout()
                 .unwrap_or(Duration::from_secs(10)),
-        })
+        };
+        let mut order: Vec<SubjectId> = servers.keys().copied().collect();
+        order.sort_by_key(|s| s.index());
+        for s in order {
+            coordinator.redial_control(s)?;
+        }
+        Ok(coordinator)
     }
 
     /// Run one query across the server processes: re-verify the
@@ -553,9 +642,7 @@ impl Coordinator {
                             .get(&holder)
                             .ok_or(SimError::Envelope { to: holder })?,
                     );
-                    self.control(holder)?
-                        .send(&Frame::Provision { envelope })
-                        .map_err(SimError::Transport)?;
+                    self.ctl_send(holder, &Frame::Provision { envelope })?;
                 }
             }
             let public_n = material.paillier_public().n.to_bytes_be();
@@ -570,12 +657,13 @@ impl Coordinator {
                         .ring
                         .insert_public(material.id, material.paillier_public());
                 } else {
-                    self.control(s)?
-                        .send(&Frame::ProvisionPublic {
+                    self.ctl_send(
+                        s,
+                        &Frame::ProvisionPublic {
                             id: material.id,
                             n: public_n.clone(),
-                        })
-                        .map_err(SimError::Transport)?;
+                        },
+                    )?;
                 }
             }
             if !plan_key.holders.is_empty() {
@@ -649,6 +737,7 @@ impl Coordinator {
             exec_seed: self.exec_seed,
             timeout_ms: self.timeout.as_millis() as u64,
         };
+        self.pending_execute.clear();
         for &s in &participants {
             if s == self.user {
                 continue;
@@ -658,7 +747,20 @@ impl Coordinator {
                 job: job.clone(),
                 envelope: Some(envelopes.remove(&s).ok_or(SimError::Envelope { to: s })?),
             };
-            self.control(s)?.send(&frame).map_err(SimError::Transport)?;
+            // Keep the frame: a reconnected control channel re-delivers
+            // it, and the server-side outcome cache makes re-delivery
+            // idempotent.
+            self.pending_execute.insert(s, frame.clone());
+            if let Err(e) = self.ctl_send(s, &frame) {
+                // Graceful degradation: a server whose control channel
+                // is beyond the retry budget fails *this epoch*, not
+                // the session. Abort the epoch on the data plane so the
+                // participants that did receive Execute stop waiting
+                // and report, leaving every channel clean for the next
+                // query.
+                broadcast_abort(&self.wire, epoch, &participants, self.user);
+                return Err(e);
+            }
         }
 
         // The user's own share runs inline: the coordinator process
@@ -684,14 +786,7 @@ impl Coordinator {
             pool: self.pool.clone(),
             timeout: Some(self.timeout),
         };
-        let own = run_query(
-            &self.st,
-            &qj,
-            epoch,
-            &self.rx,
-            self.wire.as_ref(),
-            &mut self.stash,
-        );
+        let own = run_query(&self.st, &qj, epoch, &self.rx, &self.wire, &mut self.stash);
 
         // ---- 5. collect outcomes, assemble the report --------------
         let mut transfers = request_bytes.clone();
@@ -713,38 +808,26 @@ impl Coordinator {
             if s == self.user {
                 continue;
             }
-            loop {
-                let frame = self
-                    .controls
-                    .get_mut(&s)
-                    .expect("control per participant")
-                    .recv(Some(wait))
-                    .map_err(SimError::Transport)?;
-                match frame {
-                    Frame::Done {
-                        epoch: e,
-                        transfers: t,
-                    } if e == epoch => {
-                        for (f, to, bytes) in t {
-                            *transfers.entry((f, to)).or_default() += bytes as usize;
-                        }
-                        break;
-                    }
-                    Frame::Failed { epoch: e, message } if e == epoch => {
-                        failures.push((s, message));
-                        break;
-                    }
-                    // Residue of an earlier epoch: drain and keep
-                    // waiting for this one.
-                    Frame::Done { .. } | Frame::Failed { .. } => continue,
-                    _ => {
-                        return Err(SimError::Transport(TransportError::Frame {
-                            detail: "expected Done/Failed".to_string(),
-                        }))
+            match self.recv_outcome(s, epoch, wait) {
+                Ok(Frame::Done { transfers: t, .. }) => {
+                    for (f, to, bytes) in t {
+                        *transfers.entry((f, to)).or_default() += bytes as usize;
                     }
                 }
+                Ok(Frame::Failed { message, .. }) => failures.push((s, message)),
+                Ok(_) => {
+                    return Err(SimError::Transport(TransportError::Frame {
+                        detail: "expected Done/Failed".to_string(),
+                    }))
+                }
+                // A control channel dead beyond the retry budget fails
+                // this epoch for this participant; the remaining
+                // participants are still drained so the next query
+                // starts on clean channels.
+                Err(e) => failures.push((s, e.to_string())),
             }
         }
+        self.pending_execute.clear();
         if !failures.is_empty() {
             // Prefer the actual failure over "a peer failed" echoes,
             // then lowest subject id, mirroring the session's
@@ -763,6 +846,21 @@ impl Coordinator {
         })
     }
 
+    /// Per-edge recovery counters of this coordinator's *data-plane*
+    /// sends — the user's share of the peer-to-peer traffic. The
+    /// counters are a pure function of the fault schedule, so the same
+    /// schedule yields the same map a [`crate::Session`] reports.
+    pub fn recovery_stats(&self) -> HashMap<(SubjectId, SubjectId), EdgeRecovery> {
+        self.wire_stats.snapshot()
+    }
+
+    /// Total recovered deliveries so far: data-plane re-sends plus
+    /// control-plane re-sends and reconnects. Non-zero means the
+    /// session survived at least one injected or real fault.
+    pub fn recovered_sends(&self) -> u64 {
+        self.wire_stats.total_retries() + self.ctl_recovered
+    }
+
     /// Ask every server to exit, then drop the connections.
     pub fn shutdown(mut self) {
         for (_, ctl) in self.controls.iter_mut() {
@@ -770,9 +868,195 @@ impl Coordinator {
         }
     }
 
-    fn control(&mut self, s: SubjectId) -> Result<&mut Control, SimError> {
-        self.controls
-            .get_mut(&s)
-            .ok_or(SimError::Transport(TransportError::Closed))
+    /// Send one control frame under the same bounded-retry discipline
+    /// as the data plane: every attempt consults the (control-plane)
+    /// fault schedule, every failure burns one unit of the
+    /// `max_attempts` budget and backs off with seeded jitter, and a
+    /// connection damaged by the fault is re-dialed before the next
+    /// attempt.
+    fn ctl_send(&mut self, s: SubjectId, frame: &Frame) -> Result<(), SimError> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let edge_seed = splitmix64(
+            self.seed ^ CTL_SALT ^ ((self.user.index() as u64) << 32) ^ s.index() as u64,
+        );
+        let mut prev_ms = self.retry.base_ms;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let failed: Option<SimError> = if self.controls.contains_key(&s) {
+                let action = self.ctl_faults.next_action(self.user, s);
+                if let FaultAction::Delay(d) | FaultAction::Stall(d) = action {
+                    std::thread::sleep(d);
+                }
+                let ctl = self.controls.get_mut(&s).expect("checked above");
+                match action {
+                    FaultAction::Deliver | FaultAction::Delay(_) | FaultAction::Stall(_) => {
+                        match ctl.send(frame) {
+                            Ok(()) => None,
+                            Err(e) => {
+                                // A dead control connection never comes
+                                // back; re-dial on the next attempt.
+                                self.controls.remove(&s);
+                                Some(SimError::Transport(e))
+                            }
+                        }
+                    }
+                    // The frame vanishes in flight; the connection is
+                    // fine and the retry re-sends on it.
+                    FaultAction::Drop => Some(injected(s, "frame dropped")),
+                    // The frame is damaged mid-record and the
+                    // connection poisoned; nothing usable arrives.
+                    FaultAction::Truncate => {
+                        ctl.shutdown();
+                        self.controls.remove(&s);
+                        Some(injected(s, "frame truncated"))
+                    }
+                    // The frame arrives, then the connection dies — the
+                    // ambiguous case. The retry re-delivers, and the
+                    // receiver's idempotency (key-ring inserts, the
+                    // epoch outcome cache) absorbs the duplicate.
+                    FaultAction::Reset => {
+                        let _ = ctl.send(frame);
+                        ctl.shutdown();
+                        self.controls.remove(&s);
+                        Some(injected(s, "connection reset"))
+                    }
+                }
+            } else {
+                self.redial_control(s).err()
+            };
+            let Some(err) = failed else {
+                return Ok(());
+            };
+            if attempt >= max_attempts {
+                return Err(err);
+            }
+            self.ctl_recovered += 1;
+            let ms = self.retry.backoff_ms(edge_seed, attempt, prev_ms);
+            prev_ms = ms;
+            std::thread::sleep(Duration::from_millis(ms));
+        }
     }
+
+    /// Wait for `s`'s `Done`/`Failed` of `epoch`. A dead control
+    /// connection is re-dialed and the pending `Execute` re-delivered —
+    /// the server either replays its cached outcome or runs the epoch
+    /// it never received — up to the retry budget. A *quiet* but
+    /// healthy connection (timeout) is not recoverable by reconnecting
+    /// and surfaces as the typed timeout abort immediately.
+    fn recv_outcome(
+        &mut self,
+        s: SubjectId,
+        epoch: u64,
+        wait: Duration,
+    ) -> Result<Frame, SimError> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let edge_seed = splitmix64(
+            self.seed ^ CTL_SALT ^ ((self.user.index() as u64) << 32) ^ s.index() as u64,
+        );
+        let mut prev_ms = self.retry.base_ms;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let r = match self.controls.get_mut(&s) {
+                Some(ctl) => ctl.recv(Some(wait)),
+                None => Err(TransportError::Closed),
+            };
+            match r {
+                Ok(Frame::Done {
+                    epoch: e,
+                    transfers,
+                }) => {
+                    if e == epoch {
+                        return Ok(Frame::Done {
+                            epoch: e,
+                            transfers,
+                        });
+                    }
+                    // Residue of an earlier epoch: drain it without
+                    // consuming recovery budget.
+                    attempt -= 1;
+                }
+                Ok(Frame::Failed { epoch: e, message }) => {
+                    if e == epoch {
+                        return Ok(Frame::Failed { epoch: e, message });
+                    }
+                    attempt -= 1;
+                }
+                Ok(_) => {
+                    return Err(SimError::Transport(TransportError::Frame {
+                        detail: "expected Done/Failed".to_string(),
+                    }))
+                }
+                Err(e @ TransportError::Timeout { .. }) => return Err(SimError::Transport(e)),
+                Err(err) => {
+                    self.controls.remove(&s);
+                    if attempt >= max_attempts {
+                        return Err(SimError::Transport(err));
+                    }
+                    self.ctl_recovered += 1;
+                    let ms = self.retry.backoff_ms(edge_seed, attempt, prev_ms);
+                    prev_ms = ms;
+                    std::thread::sleep(Duration::from_millis(ms));
+                    if self.redial_control(s).is_ok() {
+                        if let Some(frame) = self.pending_execute.get(&s).cloned() {
+                            if let Some(ctl) = self.controls.get_mut(&s) {
+                                if ctl.send(&frame).is_err() {
+                                    self.controls.remove(&s);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dial (or re-dial) one server's control port and redo the hello
+    /// handshake. One attempt, never a loop of its own — every caller
+    /// sits inside a bounded retry budget. The `HelloAck` wait grants
+    /// `DONE_SLACK` past the query timeout because a mid-epoch server
+    /// only answers once its current serve loop observes the dead
+    /// predecessor connection.
+    fn redial_control(&mut self, s: SubjectId) -> Result<(), SimError> {
+        let addr = self
+            .server_addrs
+            .get(&s)
+            .cloned()
+            .ok_or(SimError::Transport(TransportError::Closed))?;
+        let mut ctl = Control::connect(&addr, CONNECT_TIMEOUT).map_err(SimError::Transport)?;
+        ctl.send(&Frame::Hello {
+            user: self.user,
+            public: self.st.party.rsa.public.clone(),
+        })
+        .map_err(SimError::Transport)?;
+        let wait = self.timeout + DONE_SLACK;
+        match ctl.recv(Some(wait)).map_err(SimError::Transport)? {
+            Frame::HelloAck { me, public } if me == s => {
+                self.server_publics.insert(s, public);
+            }
+            Frame::HelloAck { me, .. } => {
+                return Err(SimError::Transport(TransportError::Frame {
+                    detail: format!("server at {addr} hosts {me}, expected {s}"),
+                }))
+            }
+            _ => {
+                return Err(SimError::Transport(TransportError::Frame {
+                    detail: "expected HelloAck".to_string(),
+                }))
+            }
+        }
+        self.controls.insert(s, ctl);
+        Ok(())
+    }
+}
+
+/// The uniform sender-visible error for an injected control-plane
+/// fault — the same wording the data-plane [`Wire`] synthesizes, so a
+/// recovery trace reads identically whichever plane the schedule hit.
+fn injected(to: SubjectId, what: &str) -> SimError {
+    SimError::Transport(TransportError::Send {
+        to,
+        detail: format!("injected fault: {what}"),
+    })
 }

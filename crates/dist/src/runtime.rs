@@ -44,25 +44,39 @@
 //! its recipient has been woken for that epoch is stashed and replayed
 //! once the matching wake-up arrives. Epochs are what make an aborted
 //! query leave no residue for the next one.
+//!
+//! Messages additionally carry a per-edge *sequence number* assigned
+//! by the sending [`Wire`]. The sender may re-send a message whose
+//! delivery failed ambiguously (a connection reset cannot tell the
+//! sender whether the frame landed first); the receiver drops
+//! duplicates by `(from, seq)` before accounting, so recovery never
+//! double-counts bytes, double-applies a table, or double-decrements
+//! the pending-input counter.
 
 use crate::audit::audit_transfer_with;
 use crate::error::SimError;
+use crate::fault::RetryPolicy;
 use crate::session::Prepared;
-use crate::transport::{InProcTransport, TcpHub, TcpTransport, Transport, TransportError};
+use crate::transport::{
+    FaultState, InProcTransport, TcpHub, TcpTransport, Transport, TransportError, Wire, WireStats,
+};
 use crate::{Party, Report, TransportKind};
 use mpq_algebra::{Catalog, NodeId, SubjectId};
 use mpq_core::authz::SubjectView;
 use mpq_crypto::rsa::RsaPublic;
 use mpq_exec::{execute_step, node_ready, ExecCtx, Table, WorkerPool};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// One data message exchanged between parties while a query runs.
-#[derive(Debug)]
+/// `Clone` because a delivery *attempt* may damage or duplicate the
+/// message without consuming the sender's copy (see
+/// [`crate::transport`]).
+#[derive(Clone, Debug)]
 pub(crate) enum Msg {
     /// The materialized table of `node`, produced by `from` and
     /// consumed by a node assigned to the receiving subject.
@@ -71,6 +85,8 @@ pub(crate) enum Msg {
         node: NodeId,
         /// Producing subject.
         from: SubjectId,
+        /// Per-edge sequence number (receiver-side dedup).
+        seq: u64,
         /// The result rows.
         table: Table,
     },
@@ -78,11 +94,24 @@ pub(crate) enum Msg {
     Result {
         /// Producing subject (the root's assignee).
         from: SubjectId,
+        /// Per-edge sequence number (receiver-side dedup).
+        seq: u64,
         /// The final table.
         table: Table,
     },
-    /// A peer failed; stop without producing more traffic.
+    /// A peer failed; stop without producing more traffic. Carries no
+    /// sequence number: aborting twice is already idempotent.
     Abort,
+}
+
+impl Msg {
+    /// Stamp the wire-assigned sequence number (no-op for `Abort`).
+    pub(crate) fn set_seq(&mut self, n: u64) {
+        match self {
+            Msg::Table { seq, .. } | Msg::Result { seq, .. } => *seq = n,
+            Msg::Abort => {}
+        }
+    }
 }
 
 /// Everything on a party's persistent mailbox.
@@ -192,11 +221,16 @@ pub(crate) struct PartyThreads {
 impl PartyThreads {
     /// Spawn one party loop per subject. Threads idle on their
     /// mailboxes until [`PartyThreads::run`] wakes them with a query.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn(
         catalog: &Arc<Catalog>,
         views: &Arc<Vec<SubjectView>>,
         parties: &[Arc<Party>],
         transport: TransportKind,
+        seed: u64,
+        faults: Arc<Mutex<FaultState>>,
+        retry: RetryPolicy,
+        stats: Arc<WireStats>,
     ) -> PartyThreads {
         let n = parties.len();
         let mut txs = Vec::with_capacity(n);
@@ -208,9 +242,11 @@ impl PartyThreads {
         }
         // One wire per party. In-proc: clones of everyone's mailbox
         // sender. TCP: every party binds a loopback hub feeding its own
-        // mailbox, and sends connect to the peers' hubs.
+        // mailbox, and sends connect to the peers' hubs. All wires
+        // share one fault-injection state and one recovery-stats sink,
+        // so a session-level schedule swap reaches every party.
         let mut hubs = Vec::new();
-        let wires: Vec<Arc<dyn Transport>> = match transport {
+        let backends: Vec<Arc<dyn Transport>> = match transport {
             TransportKind::InProc => (0..n)
                 .map(|_| Arc::new(InProcTransport::new(txs.clone())) as Arc<dyn Transport>)
                 .collect(),
@@ -241,13 +277,22 @@ impl PartyThreads {
         };
         let (done_tx, done_rx) = channel();
         let mut handles = Vec::with_capacity(n);
-        for ((i, rx), wire) in rxs.into_iter().enumerate().zip(wires) {
+        for ((i, rx), backend) in rxs.into_iter().enumerate().zip(backends) {
+            let me = SubjectId::from_index(i);
             let st = PartyStatic {
-                me: SubjectId::from_index(i),
+                me,
                 catalog: Arc::clone(catalog),
                 view: views[i].clone(),
                 party: Arc::clone(&parties[i]),
             };
+            let wire = Wire::new(
+                me,
+                seed,
+                backend,
+                Arc::clone(&faults),
+                retry,
+                Arc::clone(&stats),
+            );
             let done = done_tx.clone();
             handles.push(std::thread::spawn(move || party_main(st, rx, wire, done)));
         }
@@ -348,16 +393,12 @@ impl Drop for PartyThreads {
 
 /// Broadcast `Abort` for `epoch` to every other participant of the
 /// query (ignoring peers that already exited or are unreachable — the
-/// abort is best-effort; unreachable peers time out on their own).
-pub(crate) fn broadcast_abort(
-    wire: &dyn Transport,
-    epoch: u64,
-    participants: &[SubjectId],
-    me: SubjectId,
-) {
+/// abort is best-effort and fault-exempt; unreachable peers time out
+/// on their own).
+pub(crate) fn broadcast_abort(wire: &Wire, epoch: u64, participants: &[SubjectId], me: SubjectId) {
     for &p in participants {
         if p != me {
-            let _ = wire.send(p, epoch, Msg::Abort);
+            wire.send_abort(p, epoch);
         }
     }
 }
@@ -378,7 +419,7 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 fn party_main(
     st: PartyStatic,
     rx: Receiver<PartyMsg>,
-    wire: Arc<dyn Transport>,
+    wire: Wire,
     done: Sender<(SubjectId, u64, Outcome)>,
 ) {
     // Data that arrived while idle: either residue of an aborted query
@@ -390,10 +431,10 @@ fn party_main(
             Ok(PartyMsg::Run { epoch, job }) => {
                 stash.retain(|(e, _)| *e >= epoch);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_query(&st, &job, epoch, &rx, wire.as_ref(), &mut stash)
+                    run_query(&st, &job, epoch, &rx, &wire, &mut stash)
                 }))
                 .unwrap_or_else(|payload| {
-                    broadcast_abort(wire.as_ref(), epoch, &job.participants, st.me);
+                    broadcast_abort(&wire, epoch, &job.participants, st.me);
                     Outcome::Panicked(panic_text(payload))
                 });
                 if done.send((st.me, epoch, outcome)).is_err() {
@@ -420,7 +461,7 @@ pub(crate) fn run_query(
     job: &QueryJob,
     epoch: u64,
     rx: &Receiver<PartyMsg>,
-    wire: &dyn Transport,
+    wire: &Wire,
     stash: &mut Vec<(u64, Msg)>,
 ) -> Outcome {
     let me = st.me;
@@ -469,6 +510,11 @@ pub(crate) fn run_query(
     let mut results: HashMap<NodeId, Table> = HashMap::new();
     let mut executed: Vec<bool> = vec![false; my_nodes.len()];
     let mut result_table: Option<Table> = None;
+    // Sequence numbers already consumed, per producing subject: a
+    // sender recovering from an ambiguous delivery failure re-sends
+    // the same `(from, seq)`, and the duplicate must not re-account
+    // bytes or re-decrement `pending`.
+    let mut seen: HashSet<(SubjectId, u64)> = HashSet::new();
 
     // Data messages for this epoch that arrived before our wake-up.
     let mut inbox: Vec<Msg> = Vec::new();
@@ -522,9 +568,15 @@ pub(crate) fn run_query(
                             return Outcome::Failed(e);
                         }
                         result_table = Some(table);
-                    } else if let Err(e) =
-                        wire.send(job.user, epoch, Msg::Result { from: me, table })
-                    {
+                    } else if let Err(e) = wire.send(
+                        job.user,
+                        epoch,
+                        Msg::Result {
+                            from: me,
+                            seq: 0,
+                            table,
+                        },
+                    ) {
                         broadcast_abort(wire, epoch, &job.participants, me);
                         return Outcome::Failed(SimError::Transport(e));
                     }
@@ -539,6 +591,7 @@ pub(crate) fn run_query(
                         Msg::Table {
                             node: id,
                             from: me,
+                            seq: 0,
                             table,
                         },
                     ) {
@@ -599,7 +652,18 @@ pub(crate) fn run_query(
             }
         };
         match msg {
-            Msg::Table { node, from, table } => {
+            Msg::Table {
+                node,
+                from,
+                seq,
+                table,
+            } => {
+                // A re-sent duplicate (recovery after an ambiguous
+                // delivery failure): the identical bytes were already
+                // audited and accounted — drop it.
+                if !seen.insert((from, seq)) {
+                    continue;
+                }
                 // Audit on receive: the cell-level check runs at the
                 // receiving party, before the table is usable.
                 if let Err(e) = audit_transfer_with(&table, my_view, &job.pool) {
@@ -610,7 +674,10 @@ pub(crate) fn run_query(
                 results.insert(node, table);
                 pending -= 1;
             }
-            Msg::Result { from, table } => {
+            Msg::Result { from, seq, table } => {
+                if !seen.insert((from, seq)) {
+                    continue;
+                }
                 if let Err(e) = audit_transfer_with(&table, my_view, &job.pool) {
                     broadcast_abort(wire, epoch, &job.participants, me);
                     return Outcome::Failed(e);

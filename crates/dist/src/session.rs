@@ -29,8 +29,9 @@
 //!   query that needs the cluster provisions fresh material.
 
 use crate::error::SimError;
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::runtime::{PartyThreads, QueryJob};
-use crate::transport::TransportKind;
+use crate::transport::{EdgeRecovery, FaultState, TransportKind, WireStats};
 use crate::{audit, Party, Report, PAILLIER_BITS, RSA_BITS};
 use mpq_algebra::{AttrId, Catalog, NodeId, Operator, QueryPlan, RelId, SubjectId};
 use mpq_core::authz::{Policy, SubjectView};
@@ -47,7 +48,7 @@ use mpq_exec::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Every runtime knob of a [`Session`] (and, through
@@ -87,6 +88,13 @@ pub struct SessionConfig {
     /// (peers share our fate), 10 s over TCP (a dead peer must abort
     /// the query, not hang it).
     pub timeout: Option<Duration>,
+    /// Deterministic transport-fault schedule (chaos testing). `None`
+    /// falls back to the `MPQ_FAULTS` environment variable, then to no
+    /// injection.
+    pub faults: Option<FaultPlan>,
+    /// Bounded per-message retry with seeded backoff, applied to every
+    /// data-plane send (real failures and injected ones alike).
+    pub retry: RetryPolicy,
 }
 
 impl SessionConfig {
@@ -99,6 +107,8 @@ impl SessionConfig {
             preflight: true,
             transport: TransportKind::InProc,
             timeout: None,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -124,6 +134,18 @@ impl SessionConfig {
     /// Bound the wait for any expected data message.
     pub fn timeout(mut self, timeout: Duration) -> SessionConfig {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Inject transport faults per the given deterministic schedule.
+    pub fn faults(mut self, plan: FaultPlan) -> SessionConfig {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the per-message retry budget and backoff.
+    pub fn retry(mut self, retry: RetryPolicy) -> SessionConfig {
+        self.retry = retry;
         self
     }
 
@@ -252,6 +274,11 @@ pub struct Session {
     /// Receive timeout handed to every query's job (see
     /// [`SessionConfig::effective_timeout`]).
     timeout: Option<Duration>,
+    /// Fault-injection state shared by every party's wire; swapping
+    /// the plan (see [`Session::set_faults`]) reaches all of them.
+    faults: Arc<Mutex<FaultState>>,
+    /// Per-edge recovery counters shared by every party's wire.
+    wire_stats: Arc<WireStats>,
 }
 
 impl Session {
@@ -306,7 +333,19 @@ impl Session {
         let subjects = Arc::new(subjects.clone());
         let views = Arc::new(policy.all_views(&catalog, &subjects));
         let parties: Vec<Arc<Party>> = parties.into_iter().map(Arc::new).collect();
-        let threads = PartyThreads::spawn(&catalog, &views, &parties, config.transport);
+        let plan = config.faults.clone().or_else(FaultPlan::from_env);
+        let faults = Arc::new(Mutex::new(FaultState::new(plan)));
+        let wire_stats = Arc::new(WireStats::default());
+        let threads = PartyThreads::spawn(
+            &catalog,
+            &views,
+            &parties,
+            config.transport,
+            config.seed,
+            Arc::clone(&faults),
+            config.retry,
+            Arc::clone(&wire_stats),
+        );
         Session {
             catalog,
             subjects,
@@ -324,6 +363,8 @@ impl Session {
             stats: SessionStats::default(),
             preflight: config.preflight,
             timeout: config.effective_timeout(),
+            faults,
+            wire_stats,
         }
     }
 
@@ -667,6 +708,31 @@ impl Session {
     /// halves delivered, queries served.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// Swap the transport fault schedule for the session's *next*
+    /// queries (chaos tests sweep many schedules over one long-lived
+    /// session, amortizing party setup). Resets the per-edge fault
+    /// counters — each schedule starts from `frame_index = 0` — and
+    /// the recovery counters, so [`Session::recovery_stats`] reads as
+    /// "since the last schedule swap". Safe between queries only;
+    /// [`Session::execute`] drains every participant before returning,
+    /// so there is no in-flight send to race with.
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults
+            .lock()
+            .expect("fault lock poisoned")
+            .set_plan(plan);
+        self.wire_stats.reset();
+    }
+
+    /// Per-edge delivery/retry/injection counters accumulated since
+    /// the session opened or the last [`Session::set_faults`]. A
+    /// successful query with a nonzero retry count is a *recovered*
+    /// run — the chaos soak counts these; the retry-determinism
+    /// proptest asserts they are identical across transport backends.
+    pub fn recovery_stats(&self) -> HashMap<(SubjectId, SubjectId), EdgeRecovery> {
+        self.wire_stats.snapshot()
     }
 
     /// Number of cluster keys currently cached (provisioned and not

@@ -3,8 +3,8 @@
 //! The paper's §2/Fig. 8 architecture is a set of *autonomous
 //! providers* exchanging signed sub-queries and audited result tables
 //! over a network. This module abstracts that wire behind the
-//! `Transport` trait — sending one `Msg` to one subject for one
-//! query epoch — with two implementations:
+//! `Transport` trait — one *delivery attempt* of one `Msg` to one
+//! subject for one query epoch — with two implementations:
 //!
 //! * `InProcTransport` — the original in-process mailboxes: a
 //!   `send` is an `mpsc` enqueue onto the destination party's
@@ -22,6 +22,19 @@
 //! boundary), so the two transports report bit-identical transfer
 //! maps — the property the TCP differential test pins.
 //!
+//! Parties do not use a `Transport` directly: they hold a [`Wire`],
+//! which assigns every logical message a per-edge sequence number,
+//! consults the session's [`FaultPlan`](crate::fault::FaultPlan)
+//! before each attempt, and retries failed attempts under a bounded
+//! [`RetryPolicy`](crate::fault::RetryPolicy) with seeded
+//! decorrelated-jitter backoff. Injected failures are *synthesized by
+//! the wire* (not the backend), so the in-proc and TCP transports
+//! surface byte-identical errors and recovery traces for the same
+//! schedule. The receiver dedups on `(from, seq)` (see
+//! [`crate::runtime`]), which makes re-sends idempotent: a
+//! [`FaultAction::Reset`](crate::fault::FaultAction) delivers *and*
+//! fails the sender, forcing the duplicate the dedup exists for.
+//!
 //! The `Control` type carries the `mpq-server` *control plane*
 //! (hello/provision/execute/done frames between a coordinator and a
 //! server process) over the same framed codec; see
@@ -33,6 +46,7 @@
 //! hang.
 
 use crate::codec::{decode_frame, encode_frame, Frame};
+use crate::fault::{splitmix64, FaultAction, FaultPlan, RetryPolicy};
 use crate::runtime::{Msg, PartyMsg};
 use mpq_algebra::SubjectId;
 use std::collections::HashMap;
@@ -136,14 +150,42 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
-/// Sending half of the wire, as seen by one party's loop: deliver one
-/// data-plane message to one subject for one query epoch. Receiving
-/// stays the party's mailbox (`Receiver<PartyMsg>`) regardless of
-/// transport — TCP hubs feed the same mailbox the in-proc transport
-/// enqueues to.
+/// How the [`Wire`] asks a backend to treat one delivery attempt.
+/// `Deliver` is the honest path; the rest damage the attempt in the
+/// backend's *native* failure mode (a TCP truncate really poisons the
+/// socket) while the wire synthesizes the uniform sender-visible
+/// error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WireOp {
+    /// Deliver the frame normally.
+    Deliver,
+    /// Deliver nothing; the frame vanishes in flight.
+    Drop,
+    /// Deliver a damaged partial frame and kill the connection.
+    Truncate,
+    /// Deliver the frame, then kill the connection — the sender cannot
+    /// tell delivery succeeded and will re-send (a duplicate).
+    Reset,
+}
+
+/// Sending half of the wire, as seen by one party's loop: **one
+/// attempt** to deliver one data-plane message to one subject for one
+/// query epoch. Retries, fault injection, and sequence numbering live
+/// in [`Wire`], which is what parties actually hold. Receiving stays
+/// the party's mailbox (`Receiver<PartyMsg>`) regardless of transport
+/// — TCP hubs feed the same mailbox the in-proc transport enqueues
+/// to.
 pub(crate) trait Transport: Send + Sync {
-    /// Deliver `msg` to `to` for query `epoch`.
-    fn send(&self, to: SubjectId, epoch: u64, msg: Msg) -> Result<(), TransportError>;
+    /// Make one delivery attempt of `msg` to `to` for query `epoch`,
+    /// applying `op`. Backends return their own errors only for *real*
+    /// failures; injected ones are reported by the wire.
+    fn attempt(
+        &self,
+        to: SubjectId,
+        epoch: u64,
+        msg: &Msg,
+        op: WireOp,
+    ) -> Result<(), TransportError>;
 }
 
 /// The in-process wire: a clone of every party's mailbox sender.
@@ -155,15 +197,33 @@ impl InProcTransport {
     pub(crate) fn new(txs: Vec<Sender<PartyMsg>>) -> InProcTransport {
         InProcTransport { txs }
     }
-}
 
-impl Transport for InProcTransport {
-    fn send(&self, to: SubjectId, epoch: u64, msg: Msg) -> Result<(), TransportError> {
+    fn enqueue(&self, to: SubjectId, epoch: u64, msg: Msg) -> Result<(), TransportError> {
         self.txs
             .get(to.index())
             .ok_or(TransportError::Closed)?
             .send(PartyMsg::Data { epoch, msg })
             .map_err(|_| TransportError::Closed)
+    }
+}
+
+impl Transport for InProcTransport {
+    fn attempt(
+        &self,
+        to: SubjectId,
+        epoch: u64,
+        msg: &Msg,
+        op: WireOp,
+    ) -> Result<(), TransportError> {
+        match op {
+            // Reset delivers first (the duplicate-maker); mailboxes
+            // have no connection state left to damage afterwards.
+            WireOp::Deliver | WireOp::Reset => self.enqueue(to, epoch, msg.clone()),
+            // Dropped or truncated frames simply never reach the
+            // mailbox — exactly what the receiver of a vanished or
+            // undecodable TCP frame observes.
+            WireOp::Drop | WireOp::Truncate => Ok(()),
+        }
     }
 }
 
@@ -276,26 +336,316 @@ impl TcpTransport {
         })?;
         Ok(stream)
     }
-}
 
-impl Transport for TcpTransport {
-    fn send(&self, to: SubjectId, epoch: u64, msg: Msg) -> Result<(), TransportError> {
+    /// Write one data frame on the cached connection to `to`,
+    /// (re-)establishing it if needed. `kill_after` severs the
+    /// connection *after* a successful write — the `Reset` injection.
+    fn write_data(
+        &self,
+        to: SubjectId,
+        epoch: u64,
+        msg: &Msg,
+        kill_after: bool,
+    ) -> Result<(), TransportError> {
         let mut conns = self.conns.lock().expect("transport lock poisoned");
         if let std::collections::hash_map::Entry::Vacant(slot) = conns.entry(to) {
             slot.insert(self.connect(to)?);
         }
         let stream = conns.get_mut(&to).expect("just inserted");
-        let r = write_frame(stream, &Frame::Data { epoch, msg });
+        let r = write_frame(
+            stream,
+            &Frame::Data {
+                epoch,
+                msg: msg.clone(),
+            },
+        );
         if let Err(e) = r {
             // A dead connection never comes back; drop it so a later
-            // send (e.g. the next query) can re-establish.
+            // attempt (the retry, or the next query) can re-establish.
             conns.remove(&to);
             return Err(TransportError::Send {
                 to,
                 detail: e.to_string(),
             });
         }
+        if kill_after {
+            if let Some(s) = conns.remove(&to) {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
         Ok(())
+    }
+
+    /// Write a deliberately short frame (a valid length prefix, half a
+    /// body) and sever the connection — the receiving pump hits EOF
+    /// mid-body, discards the garbage, and the edge needs a fresh
+    /// connection. Real-failure errors during the damage are ignored:
+    /// the wire reports the injected error either way.
+    fn write_truncated(&self, to: SubjectId, epoch: u64, msg: &Msg) {
+        let mut conns = self.conns.lock().expect("transport lock poisoned");
+        if let std::collections::hash_map::Entry::Vacant(slot) = conns.entry(to) {
+            match self.connect(to) {
+                Ok(conn) => {
+                    slot.insert(conn);
+                }
+                Err(_) => return,
+            }
+        }
+        if let Some(mut stream) = conns.remove(&to) {
+            let body = encode_frame(&Frame::Data {
+                epoch,
+                msg: msg.clone(),
+            });
+            let _ = stream.write_all(&(body.len() as u32).to_be_bytes());
+            let _ = stream.write_all(&body[..body.len() / 2]);
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn attempt(
+        &self,
+        to: SubjectId,
+        epoch: u64,
+        msg: &Msg,
+        op: WireOp,
+    ) -> Result<(), TransportError> {
+        match op {
+            WireOp::Deliver => self.write_data(to, epoch, msg, false),
+            WireOp::Reset => self.write_data(to, epoch, msg, true),
+            WireOp::Truncate => {
+                self.write_truncated(to, epoch, msg);
+                Ok(())
+            }
+            WireOp::Drop => Ok(()),
+        }
+    }
+}
+
+/// Per-edge recovery counters, exposed through
+/// [`Session::recovery_stats`](crate::Session::recovery_stats) (and
+/// the coordinator's equivalent). `attempts` counts every delivery
+/// attempt, `retries` the re-sends after a failed attempt, `injected`
+/// the attempts the fault plan damaged. The counts are a function of
+/// the fault schedule alone — identical across transport backends —
+/// which is what the retry-determinism proptest pins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeRecovery {
+    /// Delivery attempts (logical sends + retries).
+    pub attempts: u64,
+    /// Re-sends after a failed attempt.
+    pub retries: u64,
+    /// Attempts damaged by the fault plan.
+    pub injected: u64,
+}
+
+/// Shared recovery counters for all wires of one session or server.
+#[derive(Default)]
+pub(crate) struct WireStats {
+    edges: Mutex<HashMap<(SubjectId, SubjectId), EdgeRecovery>>,
+}
+
+impl WireStats {
+    fn bump(&self, from: SubjectId, to: SubjectId, f: impl FnOnce(&mut EdgeRecovery)) {
+        let mut edges = self.edges.lock().expect("stats lock poisoned");
+        f(edges.entry((from, to)).or_default());
+    }
+
+    pub(crate) fn snapshot(&self) -> HashMap<(SubjectId, SubjectId), EdgeRecovery> {
+        self.edges.lock().expect("stats lock poisoned").clone()
+    }
+
+    pub(crate) fn reset(&self) {
+        self.edges.lock().expect("stats lock poisoned").clear();
+    }
+
+    pub(crate) fn total_retries(&self) -> u64 {
+        self.edges
+            .lock()
+            .expect("stats lock poisoned")
+            .values()
+            .map(|e| e.retries)
+            .sum()
+    }
+}
+
+/// The mutable fault-injection state shared by every wire of a
+/// session: the active plan plus per-edge attempt/injection counters.
+/// Swapping the plan (chaos tests sweep schedules over one long-lived
+/// session) resets the counters so each schedule starts from
+/// `frame_index = 0`.
+pub(crate) struct FaultState {
+    plan: Option<FaultPlan>,
+    /// Per directed edge: (next attempt index, faults injected).
+    counters: HashMap<(SubjectId, SubjectId), (u64, u32)>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: Option<FaultPlan>) -> FaultState {
+        FaultState {
+            plan,
+            counters: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn set_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+        self.counters.clear();
+    }
+
+    /// The action for the next attempt on `from → to`, consuming one
+    /// attempt index and enforcing the plan's per-edge injection cap.
+    pub(crate) fn next_action(&mut self, from: SubjectId, to: SubjectId) -> FaultAction {
+        let Some(plan) = &self.plan else {
+            return FaultAction::Deliver;
+        };
+        let (idx, injected) = self.counters.entry((from, to)).or_default();
+        let index = *idx;
+        *idx += 1;
+        if plan.max_per_edge.is_some_and(|cap| *injected >= cap) {
+            return FaultAction::Deliver;
+        }
+        let action = plan.decide(from, to, index);
+        if action != FaultAction::Deliver {
+            *injected += 1;
+        }
+        action
+    }
+}
+
+/// What a party actually sends through: sequence numbering, fault
+/// consultation, and the bounded retry loop over a [`Transport`]
+/// backend.
+///
+/// Every logical message gets a per-edge monotone `seq` assigned
+/// exactly once — retries re-send the *same* sequence number, and the
+/// receiver drops duplicates (see [`crate::runtime`]), which is what
+/// makes re-sending after an ambiguous failure (`Reset`) safe. A
+/// failed attempt backs off with seeded decorrelated jitter and tries
+/// again until the [`RetryPolicy`] budget is spent; the last typed
+/// error then surfaces through the existing abort path.
+pub(crate) struct Wire {
+    me: SubjectId,
+    /// Session seed share for deterministic backoff jitter.
+    seed: u64,
+    inner: Arc<dyn Transport>,
+    faults: Arc<Mutex<FaultState>>,
+    retry: RetryPolicy,
+    stats: Arc<WireStats>,
+    /// Next sequence number per destination.
+    seqs: Mutex<HashMap<SubjectId, u64>>,
+}
+
+impl Wire {
+    pub(crate) fn new(
+        me: SubjectId,
+        seed: u64,
+        inner: Arc<dyn Transport>,
+        faults: Arc<Mutex<FaultState>>,
+        retry: RetryPolicy,
+        stats: Arc<WireStats>,
+    ) -> Wire {
+        Wire {
+            me,
+            seed,
+            inner,
+            faults,
+            retry,
+            stats,
+            seqs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Send one logical data-plane message: assign its sequence
+    /// number, then drive delivery attempts until one succeeds or the
+    /// retry budget is spent.
+    pub(crate) fn send(
+        &self,
+        to: SubjectId,
+        epoch: u64,
+        mut msg: Msg,
+    ) -> Result<(), TransportError> {
+        {
+            let mut seqs = self.seqs.lock().expect("seq lock poisoned");
+            let next = seqs.entry(to).or_insert(0);
+            msg.set_seq(*next);
+            *next += 1;
+        }
+        self.send_with_retry(to, epoch, &msg)
+    }
+
+    /// Best-effort abort broadcast: a single fault-exempt attempt.
+    /// Abort *is* the recovery path — damaging it would only delay
+    /// epoch teardown (receive timeouts already cover a genuinely lost
+    /// abort over TCP), and exempting it keeps in-proc sessions
+    /// hang-free even without a configured timeout.
+    pub(crate) fn send_abort(&self, to: SubjectId, epoch: u64) {
+        let _ = self.inner.attempt(to, epoch, &Msg::Abort, WireOp::Deliver);
+    }
+
+    /// The bounded retry loop: every attempt consults the fault plan,
+    /// every failure consumes one unit of the `max_attempts` budget,
+    /// and the sleeps between attempts are decorrelated jitter seeded
+    /// from `(seed, edge, attempt)` — fully reproducible.
+    fn send_with_retry(&self, to: SubjectId, epoch: u64, msg: &Msg) -> Result<(), TransportError> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let edge_seed =
+            splitmix64(self.seed ^ ((self.me.index() as u64) << 32) ^ to.index() as u64);
+        let mut prev_ms = self.retry.base_ms;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let action = {
+                let mut faults = self.faults.lock().expect("fault lock poisoned");
+                faults.next_action(self.me, to)
+            };
+            self.stats.bump(self.me, to, |e| e.attempts += 1);
+            if action != FaultAction::Deliver {
+                self.stats.bump(self.me, to, |e| e.injected += 1);
+            }
+            if let FaultAction::Delay(d) | FaultAction::Stall(d) = action {
+                std::thread::sleep(d);
+            }
+            let op = match action {
+                FaultAction::Deliver | FaultAction::Delay(_) | FaultAction::Stall(_) => {
+                    WireOp::Deliver
+                }
+                FaultAction::Drop => WireOp::Drop,
+                FaultAction::Truncate => WireOp::Truncate,
+                FaultAction::Reset => WireOp::Reset,
+            };
+            let outcome = self.inner.attempt(to, epoch, msg, op);
+            // Injected failures are synthesized here, not by the
+            // backend, so both transports report the identical error
+            // for the same scheduled fault.
+            let failed = match op {
+                WireOp::Deliver => outcome.err(),
+                WireOp::Drop => Some(TransportError::Send {
+                    to,
+                    detail: "injected fault: frame dropped".to_string(),
+                }),
+                WireOp::Truncate => Some(TransportError::Send {
+                    to,
+                    detail: "injected fault: frame truncated".to_string(),
+                }),
+                WireOp::Reset => Some(TransportError::Send {
+                    to,
+                    detail: "injected fault: connection reset".to_string(),
+                }),
+            };
+            let Some(err) = failed else {
+                return Ok(());
+            };
+            if attempt >= max_attempts {
+                return Err(err);
+            }
+            self.stats.bump(self.me, to, |e| e.retries += 1);
+            let ms = self.retry.backoff_ms(edge_seed, attempt, prev_ms);
+            prev_ms = ms;
+            std::thread::sleep(Duration::from_millis(ms));
+        }
     }
 }
 
@@ -396,6 +746,7 @@ fn pump(mut stream: TcpStream, inbox: Sender<PartyMsg>, control: Option<Sender<C
                 let _ = control.send(Control {
                     stream,
                     pending: Some(hello),
+                    read_timeout: None,
                 });
             }
         }
@@ -411,6 +762,10 @@ pub(crate) struct Control {
     /// A frame already consumed by the hub's dispatcher (the `Hello`),
     /// replayed on the first `recv`.
     pending: Option<Frame>,
+    /// The read timeout currently configured on `stream`, tracked so
+    /// `recv` can restore the *previous* value after a bounded read
+    /// instead of clobbering it to `None`.
+    read_timeout: Option<Duration>,
 }
 
 impl Control {
@@ -435,6 +790,7 @@ impl Control {
         Ok(Control {
             stream,
             pending: None,
+            read_timeout: None,
         })
     }
 
@@ -445,16 +801,43 @@ impl Control {
         })
     }
 
+    /// Sever the connection — the coordinator's control-plane `Reset`
+    /// injection, and a cheap way for tests to simulate a dying peer.
+    pub(crate) fn shutdown(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Reconfigure the socket's read timeout. A failure here is a real
+    /// socket failure and surfaces as a typed error instead of being
+    /// silently swallowed (which would turn the next `recv` into an
+    /// unbounded wait, or a spuriously bounded one).
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        if self.read_timeout == timeout {
+            return Ok(());
+        }
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| TransportError::Recv {
+                detail: format!("set_read_timeout: {e}"),
+            })?;
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
     /// Receive one control frame, waiting at most `timeout` (or
     /// indefinitely when `None`). EOF surfaces as
-    /// [`TransportError::Closed`].
+    /// [`TransportError::Closed`]. The stream's previous read timeout
+    /// is restored afterwards, so a bounded `recv` nested in an
+    /// otherwise-bounded protocol phase does not leak an unbounded
+    /// socket.
     pub(crate) fn recv(&mut self, timeout: Option<Duration>) -> Result<Frame, TransportError> {
         if let Some(f) = self.pending.take() {
             return Ok(f);
         }
-        self.stream.set_read_timeout(timeout).ok();
+        let prev = self.read_timeout;
+        self.set_read_timeout(timeout)?;
         let r = read_frame(&mut self.stream);
-        self.stream.set_read_timeout(None).ok();
+        self.set_read_timeout(prev)?;
         match r {
             Ok(Some(f)) => Ok(f),
             Ok(None) => Err(TransportError::Closed),
@@ -485,19 +868,21 @@ mod tests {
             vec![mpq_algebra::AttrId(0)],
             vec![vec![mpq_algebra::Value::Int(7)]],
         );
-        wire.send(
+        wire.attempt(
             SubjectId(0),
             3,
-            Msg::Result {
+            &Msg::Result {
                 from: me,
+                seq: 0,
                 table: table.clone(),
             },
+            WireOp::Deliver,
         )
         .expect("loopback send");
         match rx.recv_timeout(Duration::from_secs(5)).expect("delivered") {
             PartyMsg::Data {
                 epoch: 3,
-                msg: Msg::Result { from, table: t },
+                msg: Msg::Result { from, table: t, .. },
             } => {
                 assert_eq!(from, me);
                 assert_eq!(t.to_rows(), table.to_rows());
@@ -516,9 +901,95 @@ mod tests {
         let peers: HashMap<SubjectId, String> = [(SubjectId(0), dead)].into_iter().collect();
         let wire = TcpTransport::new(SubjectId(1), peers, Duration::from_millis(500));
         let err = wire
-            .send(SubjectId(0), 1, Msg::Abort)
+            .attempt(SubjectId(0), 1, &Msg::Abort, WireOp::Deliver)
             .expect_err("no listener");
         assert!(matches!(err, TransportError::Connect { .. }), "got {err:?}");
+    }
+
+    fn probe_msg() -> Msg {
+        Msg::Result {
+            from: SubjectId(1),
+            seq: 0,
+            table: Table::from_rows(
+                vec![mpq_algebra::AttrId(0)],
+                vec![vec![mpq_algebra::Value::Int(1)]],
+            ),
+        }
+    }
+
+    fn test_wire(
+        plan: Option<FaultPlan>,
+        retry: RetryPolicy,
+    ) -> (Wire, std::sync::mpsc::Receiver<PartyMsg>) {
+        let (tx, rx) = channel();
+        let inner = Arc::new(InProcTransport::new(vec![tx]));
+        let wire = Wire::new(
+            SubjectId(1),
+            7,
+            inner,
+            Arc::new(Mutex::new(FaultState::new(plan))),
+            retry,
+            Arc::new(WireStats::default()),
+        );
+        (wire, rx)
+    }
+
+    #[test]
+    fn wire_retries_recover_from_scheduled_drops() {
+        // max=retry budget−1 guarantees every message eventually
+        // delivers: the worst case spends all injections on one seq.
+        let plan = FaultPlan::parse("seed=3,drop=400,max=3").expect("valid");
+        let (wire, rx) = test_wire(Some(plan), RetryPolicy::default());
+        for _ in 0..20 {
+            wire.send(SubjectId(0), 1, probe_msg())
+                .expect("within budget");
+        }
+        let mut seqs = Vec::new();
+        while let Ok(PartyMsg::Data { msg, .. }) = rx.try_recv() {
+            if let Msg::Result { seq, .. } = msg {
+                seqs.push(seq);
+            }
+        }
+        assert_eq!(seqs, (0..20).collect::<Vec<u64>>(), "in order, no loss");
+    }
+
+    #[test]
+    fn exhausted_budget_is_the_scheduled_typed_error() {
+        // 100% drop rate, no cap: every attempt fails, budget spends.
+        let plan = FaultPlan::parse("seed=3,drop=1000").expect("valid");
+        let (wire, _rx) = test_wire(
+            Some(plan),
+            RetryPolicy {
+                max_attempts: 3,
+                base_ms: 1,
+                cap_ms: 2,
+            },
+        );
+        let err = wire
+            .send(SubjectId(0), 1, probe_msg())
+            .expect_err("all attempts dropped");
+        assert_eq!(
+            err,
+            TransportError::Send {
+                to: SubjectId(0),
+                detail: "injected fault: frame dropped".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn reset_injection_delivers_a_duplicate_with_the_same_seq() {
+        let plan = FaultPlan::parse("seed=5,reset=1000,max=1").expect("valid");
+        let (wire, rx) = test_wire(Some(plan), RetryPolicy::default());
+        wire.send(SubjectId(0), 9, probe_msg())
+            .expect("retry after reset succeeds");
+        let mut seqs = Vec::new();
+        while let Ok(PartyMsg::Data { msg, .. }) = rx.try_recv() {
+            if let Msg::Result { seq, .. } = msg {
+                seqs.push(seq);
+            }
+        }
+        assert_eq!(seqs, vec![0, 0], "delivered twice, same sequence number");
     }
 
     #[test]

@@ -270,6 +270,81 @@ fn visit(dir: &Path, files: &mut Vec<PathBuf>) {
     }
 }
 
+/// The function name a declaration line introduces, if any.
+fn fn_name(line: &str) -> Option<&str> {
+    let idx = line.find("fn ")?;
+    // Word boundary: reject `catch_fn ` and the like.
+    if idx > 0 {
+        let prev = line.as_bytes()[idx - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return None;
+        }
+    }
+    let rest = &line[idx + 3..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then_some(&rest[..end])
+}
+
+/// no-unbounded-retry: a function that names itself a retry or
+/// reconnect path and contains a loop must consume an attempt budget —
+/// an unbounded retry loop spins forever on a dead peer, which is
+/// exactly the hang the recovery machinery exists to prevent. The
+/// heuristic: the brace-balanced body must mention `attempt` (the
+/// budget counters are all named `attempt`/`max_attempts`). Loop-free
+/// retry functions (builders, policy setters) are exempt.
+fn lint_retry_budgets(rel: &Path, cleaned: &str, skip: &[bool], findings: &mut Vec<Finding>) {
+    let lines: Vec<&str> = cleaned.lines().collect();
+    let mut n = 0;
+    while n < lines.len() {
+        if skip.get(n).copied().unwrap_or(false) {
+            n += 1;
+            continue;
+        }
+        let Some(name) = fn_name(lines[n]) else {
+            n += 1;
+            continue;
+        };
+        if !(name.contains("retry") || name.contains("reconnect")) {
+            n += 1;
+            continue;
+        }
+        let (decl, name) = (n, name.to_string());
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut has_budget = false;
+        let mut has_loop = false;
+        while n < lines.len() {
+            if lines[n].contains("attempt") {
+                has_budget = true;
+            }
+            if lines[n].contains("loop") || lines[n].contains("while ") {
+                has_loop = true;
+            }
+            depth += brace_delta(lines[n]);
+            opened |= lines[n].contains('{');
+            if opened && depth <= 0 {
+                break;
+            }
+            n += 1;
+        }
+        if has_loop && !has_budget {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: decl + 1,
+                rule: "no-unbounded-retry",
+                message: format!(
+                    "`fn {name}` never consumes an attempt budget — every \
+                     retry/reconnect loop must be bounded (count attempts \
+                     against RetryPolicy::max_attempts)"
+                ),
+            });
+        }
+        n += 1;
+    }
+}
+
 fn lint_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
     let rel = path.strip_prefix(root).unwrap_or(path);
     let Ok(src) = std::fs::read_to_string(path) else {
@@ -280,6 +355,9 @@ fn lint_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
     let unwrap_scoped = in_scope(rel, &UNWRAP_SCOPE);
     let engine_scoped = in_scope(rel, &ENGINE_SCOPE);
     let spawn_allowed = SPAWN_ALLOWED.iter().any(|a| rel == Path::new(a));
+    if engine_scoped {
+        lint_retry_budgets(rel, &cleaned, &skip, findings);
+    }
     for (n, line) in cleaned.lines().enumerate() {
         if skip.get(n).copied().unwrap_or(false) {
             continue;
@@ -438,6 +516,52 @@ fn lib2() { z.unwrap(); }
         let src = "let c = '\"'; let d = '\\n'; let e: &'static str = x; y.unwrap();";
         let cleaned = clean_source(src);
         assert!(cleaned.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn unbounded_retry_loops_are_flagged_and_budgeted_ones_pass() {
+        let src = "
+fn retry_forever(x: u32) {
+    loop {
+        if send(x) {
+            return;
+        }
+    }
+}
+fn send_with_retry(x: u32) -> bool {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        if send(x) || attempt >= max_attempts {
+            return attempt < max_attempts;
+        }
+    }
+}
+fn reconnect_unbudgeted() {
+    while !dial() {}
+}
+fn retry(mut self, retry: RetryPolicy) -> Self {
+    self.retry = retry;
+    self
+}
+#[cfg(test)]
+mod tests {
+    fn retry_in_tests_is_fine() { loop {} }
+}
+";
+        let cleaned = clean_source(src);
+        let skip = test_lines(&cleaned);
+        let mut findings = Vec::new();
+        lint_retry_budgets(
+            Path::new("crates/dist/src/x.rs"),
+            &cleaned,
+            &skip,
+            &mut findings,
+        );
+        let flagged: Vec<String> = findings.iter().map(|f| f.message.clone()).collect();
+        assert_eq!(flagged.len(), 2, "{flagged:?}");
+        assert!(flagged[0].contains("retry_forever"));
+        assert!(flagged[1].contains("reconnect_unbudgeted"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! per-edge byte accounting.
 
 use mpq_dist::{Coordinator, SessionConfig};
-use mpq_server::{parse_peers, Fixture, Flags};
+use mpq_server::{parse_peers, parse_recovery, Fixture, Flags};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -19,6 +19,7 @@ USAGE:
     mpq-client --listen HOST:PORT --servers NAME=HOST:PORT,... \"SQL\"
                [--fixture running-example|tpch] [--scale SF] [--seed N]
                [--timeout-ms N] [--no-preflight] [--shutdown]
+               [--faults SPEC] [--retries N]
 
 OPTIONS:
     --listen ADDR    this client's own data-plane address (the user is a
@@ -31,6 +32,10 @@ OPTIONS:
     --timeout-ms N   data-plane receive timeout (default 10000)
     --no-preflight   skip the static verifier before execution
     --shutdown       ask the servers to exit after the query
+    --faults SPEC    inject faults into this client's control and data
+                     planes, e.g. seed=7,drop=100,reset=50,max=3 (per-mille
+                     rates; also readable from MPQ_FAULTS)
+    --retries N      delivery attempts per message (default 4)
     --help           this text
 ";
 
@@ -77,8 +82,13 @@ fn run() -> Result<(), String> {
     }
 
     // ---- execute across the federation -----------------------------
+    let (faults, retry) = parse_recovery(&flags)?;
     let mut config = SessionConfig::new(seed)
-        .timeout(Duration::from_millis(flags.num("timeout-ms", 10_000u64)?));
+        .timeout(Duration::from_millis(flags.num("timeout-ms", 10_000u64)?))
+        .retry(retry);
+    if let Some(plan) = faults {
+        config = config.faults(plan);
+    }
     if flags.has("no-preflight") {
         config = config.without_preflight();
     }
@@ -96,6 +106,7 @@ fn run() -> Result<(), String> {
     let outcome = coordinator
         .execute(&opt.extended, &opt.keys)
         .map_err(|e| format!("query failed: {e}"));
+    let recovered = coordinator.recovered_sends();
     if flags.has("shutdown") {
         coordinator.shutdown();
     }
@@ -109,6 +120,9 @@ fn run() -> Result<(), String> {
         report.requests,
         report.total_bytes()
     );
+    // The chaos smoke gates on this line: a faulted run that succeeded
+    // must show it actually *recovered* rather than got lucky.
+    println!("recovery: {recovered} recovered deliveries");
     println!("per-edge transfers:");
     print!("{}", report.render_transfers(&world.env.subjects));
     Ok(())

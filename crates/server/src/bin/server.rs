@@ -8,7 +8,7 @@
 //! serves coordinators until one sends a shutdown frame.
 
 use mpq_dist::{Server, ServerConfig};
-use mpq_server::{parse_peers, subject_seed, Fixture, Flags};
+use mpq_server::{parse_peers, parse_recovery, subject_seed, Fixture, Flags};
 use std::io::Write;
 
 const USAGE: &str = "\
@@ -17,6 +17,7 @@ mpq-server — host one subject of a federated multi-provider query deployment
 USAGE:
     mpq-server --subject NAME --listen HOST:PORT --peers NAME=HOST:PORT,...
                [--fixture running-example|tpch] [--scale SF] [--seed N]
+               [--faults SPEC] [--retries N]
 
 OPTIONS:
     --subject NAME   subject this process hosts (e.g. H, I, X; A1, A2 for tpch)
@@ -27,6 +28,10 @@ OPTIONS:
                      or tpch
     --scale SF       tpch scale factor (default 0.01)
     --seed N         shared fixture seed (default 42); must match the client
+    --faults SPEC    inject faults into this server's data-plane sends, e.g.
+                     seed=7,drop=100,reset=50,max=3 (per-mille rates; also
+                     readable from MPQ_FAULTS)
+    --retries N      delivery attempts per message (default 4)
     --help           this text
 ";
 
@@ -64,6 +69,7 @@ fn run() -> Result<(), String> {
         .policy
         .all_views(&world.catalog, &world.env.subjects);
     let store = world.partition(me);
+    let (faults, retry) = parse_recovery(&flags)?;
     let server = Server::bind(ServerConfig {
         me,
         listen: flags.require("listen")?.to_string(),
@@ -72,6 +78,8 @@ fn run() -> Result<(), String> {
         catalog: world.catalog,
         view: views[me.index()].clone(),
         store,
+        faults,
+        retry,
     })
     .map_err(|e| e.to_string())?;
 

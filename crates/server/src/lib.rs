@@ -233,6 +233,23 @@ pub fn subject_seed(seed: u64, me: SubjectId) -> u64 {
     seed ^ (0x7365_7276 + me.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Parse the shared fault/retry knobs of both binaries: an optional
+/// `--faults SPEC` schedule (see [`mpq_dist::FaultPlan::parse`]) and an
+/// optional `--retries N` delivery-attempt budget.
+pub fn parse_recovery(
+    flags: &Flags,
+) -> Result<(Option<mpq_dist::FaultPlan>, mpq_dist::RetryPolicy), String> {
+    let faults = match flags.get("faults") {
+        None => None,
+        Some(spec) => {
+            Some(mpq_dist::FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?)
+        }
+    };
+    let mut retry = mpq_dist::RetryPolicy::default();
+    retry.max_attempts = flags.num("retries", retry.max_attempts)?;
+    Ok((faults, retry))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +329,27 @@ mod tests {
         assert!(f.require("listen").is_err());
         assert!(f.num::<u64>("seed", 0).is_ok());
         assert!(Flags::parse(["--listen"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn recovery_flags_parse_and_reject_garbage() {
+        let f = Flags::parse(
+            ["--faults", "seed=7,drop=100", "--retries", "6"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let (plan, retry) = parse_recovery(&f).unwrap();
+        assert_eq!(plan.unwrap().seed, 7);
+        assert_eq!(retry.max_attempts, 6);
+
+        let none = Flags::parse(std::iter::empty()).unwrap();
+        let (plan, retry) = parse_recovery(&none).unwrap();
+        assert!(plan.is_none());
+        assert_eq!(retry, mpq_dist::RetryPolicy::default());
+
+        let bad = Flags::parse(["--faults", "drop=nope"].iter().map(|s| s.to_string())).unwrap();
+        assert!(parse_recovery(&bad).is_err());
     }
 
     #[test]

@@ -142,6 +142,24 @@ fn killed_party_aborts_with_typed_transport_error() {
     assert_eq!(report.result.len(), 1, "one group survives the having");
     assert_eq!(report.result.value(0, 0), mpq_algebra::Value::str("tPA"));
 
+    // A follow-up query that does not involve the hospital at all —
+    // the insurer's relation only. Planned and run once while the
+    // whole fleet is alive, so the post-kill re-run below has a known
+    // expected answer.
+    let survivor_query = world
+        .plan("select C, avg(P) from Ins group by C")
+        .expect("Ins-only query plans");
+    let h = world.env.subjects.id("H").expect("fixture subject");
+    assert!(
+        !survivor_query.extended.assignment.values().any(|&s| s == h),
+        "the survivor query must not be assigned to the party we kill"
+    );
+    let expected = coordinator
+        .execute(&survivor_query.extended, &survivor_query.keys)
+        .expect("Ins-only query succeeds pre-kill")
+        .result
+        .to_rows();
+
     // Kill the hospital's process, then re-run the same query: the
     // coordinator must surface a typed transport failure, bounded by
     // the 2 s receive timeout (plus protocol slack), not hang.
@@ -158,6 +176,19 @@ fn killed_party_aborts_with_typed_transport_error() {
         started.elapsed() < Duration::from_secs(20),
         "abort took {:?}, should be bounded by the timeout",
         started.elapsed()
+    );
+
+    // Graceful degradation: the abort poisoned neither the coordinator
+    // nor the four surviving servers. A query whose participants are
+    // all alive completes on the same session, with the same rows as
+    // before the kill.
+    let after = coordinator
+        .execute(&survivor_query.extended, &survivor_query.keys)
+        .expect("the surviving fleet still answers Ins-only queries");
+    assert_eq!(
+        after.result.to_rows(),
+        expected,
+        "post-abort rows equal the pre-kill run"
     );
 
     coordinator.shutdown();

@@ -4,10 +4,20 @@
 # driven by mpq-client with SQL text. Passes when the client prints the
 # paper's answer (the tPA group) and every process exits cleanly.
 #
-# Usage: scripts/server_smoke.sh [profile]   (profile: release|debug, default release)
+# Usage: scripts/server_smoke.sh [profile] [--faults SPEC]
+#   profile: release|debug (default release)
+#   --faults SPEC: chaos variant — inject the seeded fault schedule into
+#   every process (servers and client) and additionally require the
+#   client to report at least one recovered delivery, proving the query
+#   succeeded *through* the retry/reconnect machinery rather than by
+#   never being hit.
 set -euo pipefail
 
 PROFILE=${1:-release}
+FAULTS=""
+if [[ "${2:-}" == "--faults" ]]; then
+  FAULTS="${3:?--faults needs a SPEC like seed=7,drop=200,max=2}"
+fi
 BIN="target/$PROFILE"
 BASE=${MPQ_SMOKE_BASE_PORT:-7100}
 SEED=42
@@ -40,11 +50,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
+fault_flags=()
+[[ -n "$FAULTS" ]] && fault_flags=(--faults "$FAULTS")
+
 port=$BASE
 for name in "${SUBJECTS[@]}"; do
   port=$((port + 1))
   "$BIN/mpq-server" --subject "$name" --listen "127.0.0.1:$port" \
-    --peers "$PEERS" --seed "$SEED" > "$LOGDIR/$name.log" 2>&1 &
+    --peers "$PEERS" --seed "$SEED" "${fault_flags[@]}" > "$LOGDIR/$name.log" 2>&1 &
   pids+=($!)
 done
 
@@ -62,7 +75,7 @@ for name in "${SUBJECTS[@]}"; do
 done
 
 out=$("$BIN/mpq-client" --listen "$CLIENT_ADDR" --servers "$SERVERS" \
-  --seed "$SEED" --shutdown "$SQL")
+  --seed "$SEED" --shutdown "${fault_flags[@]}" "$SQL")
 echo "$out"
 
 # The paper's running example: exactly the tPA group survives HAVING.
@@ -73,6 +86,16 @@ fi
 if ! grep -q "result (1 rows)" <<< "$out"; then
   echo "server_smoke: expected exactly one result row" >&2
   exit 1
+fi
+
+# Chaos variant: the run must have *recovered* — at least one delivery
+# succeeded only after a retry or a control-plane redial. Zero means the
+# schedule never touched a used edge and the smoke proved nothing.
+if [[ -n "$FAULTS" ]]; then
+  if ! grep -qE "recovery: [1-9][0-9]* recovered deliveries" <<< "$out"; then
+    echo "server_smoke: chaos run reported no recovered deliveries" >&2
+    exit 1
+  fi
 fi
 
 # --shutdown must actually take every server down.

@@ -1,0 +1,266 @@
+//! Chaos soak: sweep seeded fault schedules over the paper's Fig. 7
+//! plans and two TPC-H queries, on both transport backends, and hold
+//! the session to the only two acceptable outcomes — the **exact
+//! plaintext-reference result** or a **typed transport abort**. Never a
+//! wrong answer, never a silent loss, never a hang.
+//!
+//! Each schedule is a deterministic function of its index, so a
+//! failure names the exact `(query, transport, schedule)` triple to
+//! replay. The sweep also gates on *recovery actually happening*: at
+//! least a quarter of the schedules must succeed only after retries
+//! (`recovery_stats` shows re-sends), otherwise the soak is testing
+//! the happy path with extra steps.
+
+use mpq::algebra::{Catalog, QueryPlan, SubjectId, Value};
+use mpq::core::authz::Policy;
+use mpq::core::candidates::{candidates, Candidates};
+use mpq::core::capability::CapabilityPolicy;
+use mpq::core::extend::{minimally_extend, Assignment, ExtendedPlan};
+use mpq::core::fixtures::RunningExample;
+use mpq::core::keys::{plan_keys, KeyPlan};
+use mpq::core::subjects::Subjects;
+use mpq::dist::{FaultPlan, Session, SessionConfig, SimError, TransportKind};
+use mpq::exec::{execute, Database, ExecCtx, SchemePlan};
+use mpq::planner::stats::{collect_stats, SampleConfig};
+use mpq::planner::{build_scenario, optimize, Scenario, Strategy};
+use mpq_crypto::keyring::KeyRing;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Schedules per (query, transport) cell. 4 queries × 2 transports ×
+/// 25 = 200 schedules over the full soak.
+const SCHEDULES: u64 = 25;
+
+/// Minimum fraction of schedules that must succeed *through* recovery
+/// (at least one re-send observed) rather than by never being hit.
+const MIN_RECOVERED: usize = 50; // 25% of 200
+
+/// The deterministic schedule family, indexed by `(salt, i)`. Five
+/// shapes rotate: light drops, drops with latency, the
+/// duplicate-makers (reset + truncate), a heavy mix, and a rare peer
+/// stall that outlives the in-proc receive timeout. No per-edge cap:
+/// schedules *may* exhaust the retry budget, which must surface as a
+/// typed abort, not a wrong answer.
+fn schedule(salt: u64, i: u64) -> FaultPlan {
+    let mut p = FaultPlan::new(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i);
+    match i % 5 {
+        0 => p.drop_pm = 250,
+        1 => {
+            p.drop_pm = 150;
+            p.delay_pm = 200;
+            p.delay_ms = 3;
+        }
+        2 => {
+            p.reset_pm = 150;
+            p.truncate_pm = 100;
+        }
+        3 => {
+            p.drop_pm = 200;
+            p.reset_pm = 120;
+            p.truncate_pm = 80;
+            p.delay_pm = 100;
+            p.delay_ms = 2;
+        }
+        _ => {
+            p.drop_pm = 120;
+            p.stall_pm = 4;
+            p.stall_ms = 3000;
+        }
+    }
+    p
+}
+
+/// Sorted-row canonical form: the transports and the plaintext
+/// reference may emit rows in different orders.
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+/// Plaintext reference execution of a logical plan: no keys, no
+/// encryption, no distribution.
+fn reference_rows(plan: &QueryPlan, catalog: &Catalog, db: &Database) -> Vec<Vec<Value>> {
+    let ring = KeyRing::new();
+    let schemes = SchemePlan::default();
+    let koa = HashMap::new();
+    let ctx = ExecCtx::new(catalog, db, &ring, &schemes, &koa);
+    sorted(execute(plan, &ctx).expect("plaintext reference").to_rows())
+}
+
+/// One soak cell: sweep `SCHEDULES` seeded fault schedules over one
+/// query on one long-lived session, asserting the exact-result-or-
+/// typed-abort contract per run. Returns `(recovered, aborted)`.
+#[allow(clippy::too_many_arguments)]
+fn soak(
+    session: &mut Session,
+    ext: &ExtendedPlan,
+    keys: &KeyPlan,
+    user: SubjectId,
+    reference: &[Vec<Value>],
+    salt: u64,
+    what: &str,
+) -> (usize, usize) {
+    let mut recovered = 0;
+    let mut aborted = 0;
+    for i in 0..SCHEDULES {
+        session.set_faults(Some(schedule(salt, i)));
+        match session.execute(ext, keys, user) {
+            Ok(report) => {
+                assert_eq!(
+                    sorted(report.result.to_rows()),
+                    reference,
+                    "{what} schedule {i}: a faulted run that completes must \
+                     return the exact plaintext-reference rows"
+                );
+                let retries: u64 = session.recovery_stats().values().map(|e| e.retries).sum();
+                if retries > 0 {
+                    recovered += 1;
+                }
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, SimError::Transport(_)),
+                    "{what} schedule {i}: a faulted run may only fail with a \
+                     typed transport abort, got: {e}"
+                );
+                aborted += 1;
+            }
+        }
+    }
+    // Leave the session clean for the next query sharing it.
+    session.set_faults(None);
+    (recovered, aborted)
+}
+
+fn session_for(
+    catalog: &Catalog,
+    subjects: &Subjects,
+    policy: &Policy,
+    db: &Database,
+    transport: TransportKind,
+) -> Session {
+    let timeout = match transport {
+        // Shorter than the 3 s stall: a stalled peer must become a
+        // typed timeout abort, not a hang.
+        TransportKind::InProc => Duration::from_secs(2),
+        TransportKind::Tcp => Duration::from_secs(2),
+    };
+    Session::open_with(
+        catalog,
+        subjects,
+        policy,
+        db,
+        SessionConfig::new(42).transport(transport).timeout(timeout),
+    )
+}
+
+/// Fig. 7(b)'s assignment (σ→H, ⋈→Z, γ→Z, σᵧ→Y), minimally extended.
+fn fig7b(ex: &RunningExample, cands: &Candidates) -> ExtendedPlan {
+    let mut a = Assignment::new();
+    for (node, s) in [
+        ("select_d", "H"),
+        ("join", "Z"),
+        ("group", "Z"),
+        ("having", "Y"),
+    ] {
+        a.set(ex.node(node), ex.subject(s));
+    }
+    minimally_extend(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        cands,
+        &a,
+        Some(ex.subject("U")),
+    )
+    .expect("fig7b assignment is drawn from Λ")
+}
+
+#[test]
+fn chaos_soak_never_returns_a_wrong_answer() {
+    let mut total_recovered = 0;
+    let mut total_aborted = 0;
+
+    // ---- running example: Fig. 7(a) and Fig. 7(b) ------------------
+    let ex = RunningExample::new();
+    let mut db = Database::new();
+    db.load(&ex.catalog, "Hosp", RunningExample::sample_hosp_rows());
+    db.load(&ex.catalog, "Ins", RunningExample::sample_ins_rows());
+    let cands = candidates(
+        &ex.plan,
+        &ex.catalog,
+        &ex.policy,
+        &ex.subjects,
+        &CapabilityPolicy::default(),
+        true,
+    );
+    let fig7a = ex.fig7a_extended();
+    let fig7b = fig7b(&ex, &cands);
+    let reference = reference_rows(&ex.plan, &ex.catalog, &db);
+    assert!(!reference.is_empty(), "the reference query returns rows");
+
+    for transport in [TransportKind::InProc, TransportKind::Tcp] {
+        let mut session = session_for(&ex.catalog, &ex.subjects, &ex.policy, &db, transport);
+        for (name, ext) in [("fig7a", &fig7a), ("fig7b", &fig7b)] {
+            let keys = plan_keys(ext);
+            let salt = (name.len() as u64) << 8 | transport as u64;
+            let (r, a) = soak(
+                &mut session,
+                ext,
+                &keys,
+                ex.subject("U"),
+                &reference,
+                salt,
+                &format!("{name}/{transport:?}"),
+            );
+            total_recovered += r;
+            total_aborted += a;
+        }
+    }
+
+    // ---- TPC-H Q6 and Q12 under §7 UAPenc --------------------------
+    let (catalog, db) = mpq::tpch::generate(0.005, 42);
+    let env = build_scenario(&catalog, Scenario::UAPenc);
+    let stats = collect_stats(&catalog, &db, &SampleConfig::default());
+    for transport in [TransportKind::InProc, TransportKind::Tcp] {
+        let mut session = session_for(&catalog, &env.subjects, &env.policy, &db, transport);
+        for q in [6usize, 12] {
+            let plan = mpq::tpch::query_plan(&catalog, q);
+            let opt = optimize(
+                &plan,
+                &catalog,
+                &stats,
+                &env,
+                &CapabilityPolicy::tpch_evaluation(),
+                Strategy::CostDp,
+            )
+            .expect("TPC-H query optimizes");
+            let reference = reference_rows(&plan, &catalog, &db);
+            let salt = 0x7470_6368 ^ ((q as u64) << 8 | transport as u64);
+            let (r, a) = soak(
+                &mut session,
+                &opt.extended,
+                &opt.keys,
+                env.user,
+                &reference,
+                salt,
+                &format!("tpch-q{q}/{transport:?}"),
+            );
+            total_recovered += r;
+            total_aborted += a;
+        }
+    }
+
+    let total = (SCHEDULES as usize) * 8;
+    println!(
+        "chaos soak: {total} schedules, {total_recovered} recovered \
+         successes, {total_aborted} typed aborts, {} untouched successes",
+        total - total_recovered - total_aborted
+    );
+    assert!(
+        total_recovered >= MIN_RECOVERED,
+        "only {total_recovered}/{total} schedules exercised successful \
+         recovery (need ≥ {MIN_RECOVERED}); the schedule family is too tame"
+    );
+}

@@ -21,7 +21,7 @@ use mpq::core::capability::CapabilityPolicy;
 use mpq::core::extend::{minimally_extend, Assignment, ExtendedPlan};
 use mpq::core::fixtures::RunningExample;
 use mpq::core::keys::{plan_keys, KeyPlan};
-use mpq::dist::{Report, Session, SessionConfig, TransportKind};
+use mpq::dist::{FaultPlan, Report, RetryPolicy, Session, SessionConfig, TransportKind};
 use mpq::exec::{execute, Database, ExecCtx, SchemePlan};
 use mpq::planner::stats::{collect_stats, SampleConfig};
 use mpq::planner::{build_scenario, optimize, Scenario, Strategy};
@@ -227,5 +227,62 @@ proptest! {
             seed,
         );
         assert_identical(&a, &b, "Λ draw");
+    }
+
+    /// Retry determinism: the same `(seed, FaultPlan)` produces the
+    /// identical recovery trace — per-edge attempt/retry/injection
+    /// counters, decrypted rows, per-edge data bytes — on the
+    /// in-process and loopback-TCP backends. The schedule's per-edge
+    /// injection cap stays one below the retry budget, so every drawn
+    /// schedule is provably recoverable and both runs must *succeed*
+    /// (a typed abort here would be a backend divergence, not luck).
+    #[test]
+    fn same_fault_schedule_gives_identical_recovery_traces(
+        fault_seed in any::<u64>(),
+        drop_pm in 0u32..300,
+        reset_pm in 0u32..200,
+        truncate_pm in 0u32..150,
+    ) {
+        let ex = RunningExample::new();
+        let db = sample_db(&ex);
+        let ext = ex.fig7a_extended();
+        let keys = plan_keys(&ext);
+        let retry = RetryPolicy::default();
+        let mut plan = FaultPlan::new(fault_seed);
+        plan.drop_pm = drop_pm;
+        plan.reset_pm = reset_pm;
+        plan.truncate_pm = truncate_pm;
+        plan.max_per_edge = Some(retry.max_attempts - 1);
+
+        let mut inproc = Session::open_with(
+            &ex.catalog,
+            &ex.subjects,
+            &ex.policy,
+            &db,
+            SessionConfig::new(17).faults(plan.clone()).retry(retry),
+        );
+        let a = inproc
+            .execute(&ext, &keys, ex.subject("U"))
+            .expect("capped schedule recovers in-proc");
+        let trace_a = inproc.recovery_stats();
+
+        let mut tcp = Session::open_with(
+            &ex.catalog,
+            &ex.subjects,
+            &ex.policy,
+            &db,
+            SessionConfig::new(17)
+                .transport(TransportKind::Tcp)
+                .timeout(Duration::from_secs(30))
+                .faults(plan)
+                .retry(retry),
+        );
+        let b = tcp
+            .execute(&ext, &keys, ex.subject("U"))
+            .expect("capped schedule recovers over TCP");
+        let trace_b = tcp.recovery_stats();
+
+        assert_identical(&a, &b, "faulted run");
+        prop_assert_eq!(trace_a, trace_b, "per-edge recovery counters diverge");
     }
 }
