@@ -1,12 +1,29 @@
 //! Figure 10: cumulative cost of the 22 queries per scenario, with the
 //! headline savings the paper reports (UAPenc 54.2%, UAPmix 71.3%).
+//!
+//! `--sample` switches to the SF 0.02 sampled statistics used by the
+//! fast tier-1 pin (`figure10_sample_mode_savings_are_pinned`); the
+//! default runs the full SF 1 statistics of the CI `figure10` job.
 
-use mpq_bench::all_costs;
+use mpq_bench::{all_costs_with, evaluation_stats, sample_stats};
 use mpq_planner::Strategy;
 
 fn main() {
-    let rows = all_costs(Strategy::CostDp);
-    println!("# Figure 10 — cumulative normalized cost");
+    let sample = std::env::args().any(|a| a == "--sample");
+    let stats = if sample {
+        sample_stats()
+    } else {
+        evaluation_stats()
+    };
+    let rows = all_costs_with(stats, Strategy::CostDp);
+    println!(
+        "# Figure 10 — cumulative normalized cost ({})",
+        if sample {
+            "SF 0.02 sample"
+        } else {
+            "SF 1 exact"
+        }
+    );
     println!("{:>5} {:>9} {:>9} {:>9}", "query", "UA", "UAPenc", "UAPmix");
     let mut acc = [0.0f64; 3];
     let unit = rows.iter().map(|r| r[0]).sum::<f64>() / rows.len() as f64;

@@ -3,32 +3,40 @@
 //! With the statistics-driven cost model (statistics measured
 //! directly from the full SF 1 database, measured price-book
 //! constants, per-edge network pricing — see `mpq_planner::pricing`
-//! and the README's calibration section) the reproduction reports
-//! **53.0% (UAPenc)** and **88.5% (UAPmix)** cumulative savings
-//! versus UA, against the paper's 54.2% and 71.3% (moved from
-//! 52.4%/86.9% when the statistics switched from SF 0.02
-//! sample-and-extrapolate to direct SF 1 measurement: exact
-//! population counts and full-data histograms shift a handful of
-//! assignment decisions). UAPenc matches the paper to within ~1
-//! point; UAPmix overshoots because our reconstructed half-plaintext
-//! attribute split keeps every join key in the providers' plaintext
-//! half (the paper's split is unpublished) — the residual gap is
-//! discussed in `mpq_planner::pricing`.
+//! and the README's calibration section) and the *searched* UAPmix
+//! attribute split (`mpq_planner::scenario::UAPMIX_HEAD_FILL`: key
+//! columns always encrypted, plaintext half filled head-first for
+//! `part`/`supplier` and tail-first elsewhere — the output of
+//! `cargo run -p mpq-fuzz --bin search_split --release`), the
+//! reproduction reports **53.6% (UAPenc)** and **75.0% (UAPmix)**
+//! cumulative savings versus UA, against the paper's 54.2% and 71.3%.
+//! Earlier calibrations read 53.0%/88.5%: the overshoot came from a
+//! split that kept every join key in the providers' plaintext half,
+//! letting provider-side joins skip encryption entirely; the searched
+//! split closes most of that gap (the paper's own split is
+//! unpublished, so the residual 3.7 points are irreducible without
+//! it — see `mpq_planner::pricing`).
+//!
+//! Two tiers:
+//!
+//! * **sample mode** (default `cargo test`): SF 0.02 statistics via
+//!   [`mpq_bench::sample_stats`] — fast enough for tier 1, pinned at
+//!   its own measured numbers;
+//! * **exact mode** (`#[ignore]`, the CI `figure10` job): full SF 1
+//!   statistics, pinning the headline numbers above.
 //!
 //! These tests exist so that any change to the cost model, the price
 //! book, or the cardinality path moves these numbers *deliberately*:
 //! recalibrate (`cargo run -p mpq-bench --bin calibrate --release`)
 //! and update the pins in the same PR that improves (or regresses)
-//! the savings, with the why in the commit. CI's `figure10` job runs
-//! this test on every push.
+//! the savings, with the why in the commit.
 
-use mpq_bench::all_costs;
+use mpq_bench::{all_costs, all_costs_with, sample_stats};
 use mpq_planner::Strategy;
 
-fn savings() -> (f64, f64) {
-    let rows = all_costs(Strategy::CostDp);
+fn totals_to_savings(rows: &[[f64; 3]]) -> (f64, f64) {
     let mut totals = [0.0f64; 3];
-    for row in &rows {
+    for row in rows {
         for k in 0..3 {
             totals[k] += row[k];
         }
@@ -39,6 +47,39 @@ fn savings() -> (f64, f64) {
     )
 }
 
+fn savings() -> (f64, f64) {
+    totals_to_savings(&all_costs(Strategy::CostDp))
+}
+
+/// The fast tier-1 pin: SF 0.02 sampled statistics. The absolute
+/// numbers differ from the SF 1 run (sampled histograms and scaled
+/// population counts shift assignment decisions on a few queries), so
+/// this pins its own measured values — what it guards is the *model*:
+/// any cost-model or scenario change that moves Figure 10 trips this
+/// test in the default suite, not just in nightly CI.
+#[test]
+fn figure10_sample_mode_savings_are_pinned() {
+    let (enc, mix) = totals_to_savings(&all_costs_with(sample_stats(), Strategy::CostDp));
+    assert!(
+        (enc - SAMPLE_ENC).abs() < 0.005,
+        "sample-mode UAPenc saving drifted: {:.1}% (pinned at {:.1}%) — if this is a \
+         deliberate cost-model change, update the pin here and the SF 1 pins in the same PR",
+        enc * 100.0,
+        SAMPLE_ENC * 100.0
+    );
+    assert!(
+        (mix - SAMPLE_MIX).abs() < 0.005,
+        "sample-mode UAPmix saving drifted: {:.1}% (pinned at {:.1}%) — if this is a \
+         deliberate cost-model change, update the pin here and the SF 1 pins in the same PR",
+        mix * 100.0,
+        SAMPLE_MIX * 100.0
+    );
+}
+
+/// Sample-mode (SF 0.02) pinned savings.
+const SAMPLE_ENC: f64 = 0.540;
+const SAMPLE_MIX: f64 = 0.755;
+
 #[test]
 #[ignore = "generates the full SF 1 database; run in release via the CI figure10 job             (cargo test -p mpq-bench --test figure10_pin --release -- --include-ignored)"]
 fn figure10_savings_are_pinned() {
@@ -46,14 +87,14 @@ fn figure10_savings_are_pinned() {
     // Half-a-point tolerance: loose enough for float noise, tight
     // enough that any real cost-model change trips it.
     assert!(
-        (enc - 0.530).abs() < 0.005,
-        "UAPenc saving drifted: {:.1}% (pinned at 53.0%) — if this is a deliberate \
+        (enc - 0.536).abs() < 0.005,
+        "UAPenc saving drifted: {:.1}% (pinned at 53.6%) — if this is a deliberate \
          calibration change, update the pin and the pricing docs together",
         enc * 100.0
     );
     assert!(
-        (mix - 0.885).abs() < 0.005,
-        "UAPmix saving drifted: {:.1}% (pinned at 88.5%) — if this is a deliberate \
+        (mix - 0.750).abs() < 0.005,
+        "UAPmix saving drifted: {:.1}% (pinned at 75.0%) — if this is a deliberate \
          calibration change, update the pin and the pricing docs together",
         mix * 100.0
     );
@@ -64,7 +105,9 @@ fn figure10_savings_are_pinned() {
 fn figure10_savings_meet_reproduction_targets() {
     let (enc, mix) = savings();
     // The acceptance floor for the §7 reproduction: the calibrated
-    // model must keep the headline savings in the paper's regime.
+    // model must keep the headline savings in the paper's regime —
+    // including the issue's ceiling on the UAPmix overshoot (≤ 80%).
     assert!(enc >= 0.40, "UAPenc saving {:.1}% below 40%", enc * 100.0);
     assert!(mix >= 0.60, "UAPmix saving {:.1}% below 60%", mix * 100.0);
+    assert!(mix <= 0.80, "UAPmix saving {:.1}% above 80%", mix * 100.0);
 }

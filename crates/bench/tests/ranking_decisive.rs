@@ -7,11 +7,13 @@
 //! UAPmix CostDp plans for q3/q6/q12 carried real crypto operators
 //! (measured up to 6.5× slower than the all-at-user plan) yet priced
 //! *identically* to it — `"decisive": false` pairs whose tie hid a
-//! genuine modeling error. With the credit removed the optimizer stops
-//! under-pricing those plans and no longer picks them, so the
-//! CostDp-vs-all-at-user pairs become *honest* ties: equal model cost
-//! only when the two plans are crypto-equivalent (and measurement
-//! agrees they tie). These tests pin the invariant behind that — a
+//! genuine modeling error. The credit is now gated on the engine's
+//! actual footnote-2 fusion (`mpq_exec::fused_encrypt_child` + same
+//! assignee), so the lower price only applies to plans the engine
+//! really reorders, and the CostDp-vs-all-at-user pairs stay *honest*
+//! ties: equal model cost only when the two plans are
+//! crypto-equivalent (and measurement agrees they tie). These tests
+//! pin the invariant behind that — a
 //! model tie must never hide crypto content — and the gap that must
 //! remain: a genuinely crypto-bearing plan (providers-pinned under
 //! UAPenc) prices decisively above the crypto-free all-at-user plan.

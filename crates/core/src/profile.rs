@@ -17,7 +17,7 @@
 //! never leave a profile going up the plan; equivalence classes only
 //! grow) is exercised by the property tests in `tests/properties.rs`.
 
-use mpq_algebra::expr::AggExpr;
+use mpq_algebra::expr::{AggExpr, AggFunc};
 use mpq_algebra::{AttrSet, Expr, Operator, QueryPlan};
 
 /// Disjoint equivalence classes over attributes (the `R^≃` component).
@@ -337,6 +337,19 @@ pub fn propagate(op: &Operator, children: &[&Profile], having_aggs: Option<&[Agg
                     let mut class = ins.clone();
                     class.insert(ag.output);
                     out.eq.insert_class(&class);
+                }
+            }
+            // COUNT reads no cell values: its output is a plaintext
+            // integer whatever form the counted attribute arrives in,
+            // so the output attribute moves to the visible-plaintext
+            // set (unless it doubles as a group key, which keeps the
+            // operand's form).
+            for ag in aggs {
+                if matches!(ag.func, AggFunc::Count | AggFunc::CountDistinct)
+                    && !key_set.contains(ag.output)
+                    && out.ve.remove(ag.output)
+                {
+                    out.vp.insert(ag.output);
                 }
             }
             out

@@ -544,6 +544,18 @@ fn shadow_plan(plan: &QueryPlan) -> Vec<Shadow> {
                         }
                     }
                 }
+                // COUNT outputs are plaintext integers whatever form
+                // the counted attribute arrives in (the same rule as
+                // `mpq_core::profile::propagate` — this shadow is the
+                // independent N-version of it).
+                for ag in aggs {
+                    if matches!(ag.func, AggFunc::Count | AggFunc::CountDistinct)
+                        && !keys.iter().any(|k| k.0 == ag.output.0)
+                        && s.cipher.remove(&ag.output.0)
+                    {
+                        s.plain.insert(ag.output.0);
+                    }
+                }
                 s
             }
             Operator::Udf { inputs, output, .. } => {
@@ -1063,18 +1075,14 @@ struct NeededCaps {
     cmp_at: Option<NodeId>,
 }
 
-/// MPQ004: re-derive, independently of `assign_schemes`, the ciphertext
-/// capabilities each encrypted attribute must support, and flag
-/// attributes demanding both homomorphic addition and comparison — no
-/// single scheme in the §7 suite supports that combination.
-fn pass_schemes(
+/// Collect, independently of `assign_schemes`, the ciphertext
+/// capabilities each encrypted attribute must support (shared by
+/// [`pass_schemes`] and the fuzzing [`coverage`] hook).
+fn collect_cap_demands(
     ext: &ExtendedPlan,
     shadow: &[Shadow],
     order: &[NodeId],
-    parents: &[Option<NodeId>],
-    catalog: &Catalog,
-    report: &mut VerifyReport,
-) {
+) -> HashMap<AttrId, NeededCaps> {
     let plan = &ext.plan;
     let mut caps: HashMap<AttrId, NeededCaps> = HashMap::new();
     let need = |caps: &mut HashMap<AttrId, NeededCaps>, a: AttrId, id: NodeId, what: u8| {
@@ -1165,6 +1173,22 @@ fn pass_schemes(
             _ => {}
         }
     }
+    caps
+}
+
+/// MPQ004: flag attributes demanding both homomorphic addition and
+/// comparison — no single scheme in the §7 suite supports that
+/// combination.
+fn pass_schemes(
+    ext: &ExtendedPlan,
+    shadow: &[Shadow],
+    order: &[NodeId],
+    parents: &[Option<NodeId>],
+    catalog: &Catalog,
+    report: &mut VerifyReport,
+) {
+    let plan = &ext.plan;
+    let caps = collect_cap_demands(ext, shadow, order);
     let mut conflicted: Vec<(AttrId, NeededCaps)> = caps
         .into_iter()
         .filter(|(_, c)| c.add && (c.eq || c.ord))
@@ -1417,6 +1441,228 @@ fn pass_mixed_form(
 }
 
 // ---------------------------------------------------------------------
+// fuzzing coverage
+// ---------------------------------------------------------------------
+
+/// The scheme family an encrypted attribute's capability demands
+/// resolve to — the verifier-side mirror of `mpq_exec::assign_schemes`
+/// ("the scheme providing highest protection, while supporting the
+/// operations to be executed", §6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SchemeChoice {
+    /// No operation touches the ciphertext: randomized encryption.
+    Random,
+    /// Equality only: deterministic encryption.
+    Deterministic,
+    /// Order comparisons: OPE.
+    Ope,
+    /// Homomorphic accumulation: Paillier.
+    Paillier,
+    /// Irreconcilable demands (the MPQ004 case).
+    Conflict,
+}
+
+impl SchemeChoice {
+    /// All choices, for coverage reports.
+    pub const ALL: [SchemeChoice; 5] = [
+        SchemeChoice::Random,
+        SchemeChoice::Deterministic,
+        SchemeChoice::Ope,
+        SchemeChoice::Paillier,
+        SchemeChoice::Conflict,
+    ];
+
+    /// Short display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchemeChoice::Random => "random",
+            SchemeChoice::Deterministic => "det",
+            SchemeChoice::Ope => "ope",
+            SchemeChoice::Paillier => "paillier",
+            SchemeChoice::Conflict => "conflict",
+        }
+    }
+}
+
+/// Mixed-form join cases a scenario can exercise (the MPQ009 axis).
+pub const MIXED_FORM_CASES: [&str; 3] = ["uniform", "reconcilable", "unreconcilable"];
+
+/// What one verified scenario exercised: the coverage vector the
+/// `mpq-fuzz` differential harness accumulates across runs. Every axis
+/// is a set of observed outcomes; [`VerifyCoverage::merge`] unions
+/// scenarios, and the fuzzer's floor check demands each axis reach its
+/// known outcome space.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerifyCoverage {
+    /// Def. 4.1 condition `i+1` observed *satisfied* for some
+    /// (assignee, profile) check.
+    pub def41_pass: [bool; 3],
+    /// Def. 4.1 condition `i+1` observed *violated*.
+    pub def41_fail: [bool; 3],
+    /// Def. 6.1 cluster shapes seen: `(attrs, holders)`, both counts
+    /// saturating at 3 so the space stays finite.
+    pub cluster_shapes: BTreeSet<(u8, u8)>,
+    /// Scheme families demanded by the plan's encrypted attributes.
+    pub schemes: BTreeSet<SchemeChoice>,
+    /// Join-form cases seen, indexed like [`MIXED_FORM_CASES`]:
+    /// uniform-form join, reconcilable mixed-form, unreconcilable
+    /// mixed-form.
+    pub mixed_form: [bool; 3],
+    /// Diagnostic codes that fired.
+    pub codes: BTreeSet<Code>,
+}
+
+impl VerifyCoverage {
+    /// Union another scenario's coverage into this accumulator.
+    pub fn merge(&mut self, other: &VerifyCoverage) {
+        for i in 0..3 {
+            self.def41_pass[i] |= other.def41_pass[i];
+            self.def41_fail[i] |= other.def41_fail[i];
+            self.mixed_form[i] |= other.mixed_form[i];
+        }
+        self.cluster_shapes
+            .extend(other.cluster_shapes.iter().copied());
+        self.schemes.extend(other.schemes.iter().copied());
+        self.codes.extend(other.codes.iter().copied());
+    }
+
+    /// `true` when every Def. 4.1 condition has been seen both
+    /// satisfied and violated — the fuzzer's hard floor.
+    pub fn def41_complete(&self) -> bool {
+        self.def41_pass.iter().all(|&b| b) && self.def41_fail.iter().all(|&b| b)
+    }
+
+    /// Multi-line textual report (the CI coverage artifact).
+    pub fn report(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for i in 0..3 {
+            let _ = writeln!(
+                out,
+                "def41.cond{}: pass={} fail={}",
+                i + 1,
+                self.def41_pass[i],
+                self.def41_fail[i]
+            );
+        }
+        let shapes: Vec<String> = self
+            .cluster_shapes
+            .iter()
+            .map(|(a, h)| format!("{a}x{h}"))
+            .collect();
+        let _ = writeln!(out, "def61.cluster_shapes: {}", shapes.join(" "));
+        let schemes: Vec<&str> = self.schemes.iter().map(|s| s.as_str()).collect();
+        let _ = writeln!(out, "schemes: {}", schemes.join(" "));
+        for (i, name) in MIXED_FORM_CASES.iter().enumerate() {
+            let _ = writeln!(out, "mixed_form.{name}: {}", self.mixed_form[i]);
+        }
+        let codes: Vec<String> = self.codes.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(out, "codes: {}", codes.join(" "));
+        out
+    }
+}
+
+/// Compute the coverage vector of one verified scenario: which
+/// Def. 4.1 condition outcomes, Def. 6.1 cluster shapes, scheme
+/// demands, and mixed-form join cases the plan exercised, plus the
+/// diagnostic codes of `report` (the [`verify_extended`] result for
+/// the same inputs).
+pub fn coverage(
+    ext: &ExtendedPlan,
+    keys: &KeyPlan,
+    views: &[SubjectView],
+    report: &VerifyReport,
+) -> VerifyCoverage {
+    let plan = &ext.plan;
+    let order = plan.postorder();
+    let fresh = profile_plan(plan);
+    let shadow = shadow_plan(plan);
+    let mut cov = VerifyCoverage::default();
+
+    // Def. 4.1 outcomes, over the same checks pass_authorization runs.
+    for &id in &order {
+        let node = plan.node(id);
+        if node.children.is_empty() {
+            continue;
+        }
+        let Some(&s) = ext.assignment.get(&id) else {
+            continue;
+        };
+        let Some(view) = views.get(s.index()) else {
+            continue;
+        };
+        let mut touched: Vec<NodeId> = node.children.clone();
+        touched.push(id);
+        for t in touched {
+            let mut failed = [false; 3];
+            for v in view.explain_failure(&fresh[t.index()]) {
+                use crate::authz::AuthzViolation;
+                let i = match v {
+                    AuthzViolation::Plaintext(_) => 0,
+                    AuthzViolation::Encrypted(_) => 1,
+                    AuthzViolation::NonUniform(_) => 2,
+                };
+                failed[i] = true;
+            }
+            for (i, f) in failed.iter().enumerate() {
+                if *f {
+                    cov.def41_fail[i] = true;
+                } else {
+                    cov.def41_pass[i] = true;
+                }
+            }
+        }
+    }
+
+    // Def. 6.1 cluster shapes.
+    for k in &keys.keys {
+        cov.cluster_shapes
+            .insert(((k.attrs.len().min(3)) as u8, (k.holders.len().min(3)) as u8));
+    }
+
+    // Scheme demands per encrypted attribute.
+    let caps = collect_cap_demands(ext, &shadow, &order);
+    for a in ext.encrypted_attrs.iter() {
+        let choice = match caps.get(&a) {
+            Some(c) if c.add && (c.eq || c.ord) => SchemeChoice::Conflict,
+            Some(c) if c.add => SchemeChoice::Paillier,
+            Some(c) if c.ord => SchemeChoice::Ope,
+            Some(c) if c.eq => SchemeChoice::Deterministic,
+            _ => SchemeChoice::Random,
+        };
+        cov.schemes.insert(choice);
+    }
+
+    // Mixed-form join cases, over the same walk as pass_mixed_form.
+    for &id in &order {
+        let node = plan.node(id);
+        let Operator::Join { on, .. } = &node.op else {
+            continue;
+        };
+        let ls = &shadow[node.children[0].index()];
+        let rs = &shadow[node.children[1].index()];
+        for &(l, _, r) in on {
+            let enc_attr = match (ls.cipher.contains(&l.0), rs.cipher.contains(&r.0)) {
+                (true, false) if rs.plain.contains(&r.0) => l,
+                (false, true) if ls.plain.contains(&l.0) => r,
+                _ => {
+                    cov.mixed_form[0] = true;
+                    continue;
+                }
+            };
+            let assignee = ext.assignment.get(&id).copied();
+            let fixable = keys
+                .key_for(enc_attr)
+                .is_some_and(|k| assignee.is_some_and(|s| k.holders.contains(&s)));
+            cov.mixed_form[if fixable { 1 } else { 2 }] = true;
+        }
+    }
+
+    cov.codes.extend(report.codes());
+    cov
+}
+
+// ---------------------------------------------------------------------
 // tests
 // ---------------------------------------------------------------------
 
@@ -1508,6 +1754,39 @@ mod tests {
         ext.profiles[root.index()].vp = AttrSet::new();
         let r = verify(&ex, &ext);
         assert!(r.has(Code::FlowDivergence), "{r}");
+    }
+
+    #[test]
+    fn coverage_tracks_def41_outcomes_schemes_and_codes() {
+        let ex = RunningExample::new();
+        let views = ex.policy.all_views(&ex.catalog, &ex.subjects);
+
+        // Fig. 7(a), clean: every Def. 4.1 condition observed passing,
+        // at least one key cluster and one scheme family, a uniform
+        // join form, no codes.
+        let ext = ex.fig7a_extended();
+        let keys = plan_keys(&ext);
+        let clean = verify(&ex, &ext);
+        assert!(clean.is_clean());
+        let mut cov = coverage(&ext, &keys, &views, &clean);
+        assert!(cov.def41_pass.iter().all(|b| *b), "{}", cov.report());
+        assert!(cov.def41_fail.iter().all(|b| !*b), "{}", cov.report());
+        assert!(!cov.cluster_shapes.is_empty());
+        assert!(!cov.schemes.is_empty());
+        assert!(cov.mixed_form[0], "fig7a joins in uniform form");
+        assert!(cov.codes.is_empty());
+        assert!(!cov.def41_complete(), "no violation observed yet");
+
+        // The MPQ001/MPQ002 mutation: merging its coverage records the
+        // failing condition outcomes and the fired codes.
+        let mut bad = ex.fig7a_extended();
+        bad.assignment.insert(ex.node("having"), ex.subject("X"));
+        let bad_keys = plan_keys(&bad);
+        let report = verify(&ex, &bad);
+        cov.merge(&coverage(&bad, &bad_keys, &views, &report));
+        assert!(cov.def41_fail.iter().any(|b| *b), "{}", cov.report());
+        assert!(cov.codes.contains(&Code::UnauthorizedAssignee));
+        assert!(cov.codes.contains(&Code::PlaintextLeak));
     }
 
     #[test]

@@ -372,6 +372,10 @@ impl Server {
         }
         let order = job.plan.postorder();
         let parents = job.plan.parents();
+        // Recomputed, not shipped: fusion sites are deterministic in
+        // (plan, assignment), so every server and the coordinator
+        // agree on which Encrypts fold into their parent Selects.
+        let fused = crate::session::fusion_sites(&job.plan, &job.assignment);
         let qj = QueryJob {
             prepared: Prepared {
                 exec_plan: job.plan,
@@ -384,6 +388,7 @@ impl Server {
                 envelopes: Vec::new(),
                 requests: 0,
                 exec_seed: job.exec_seed,
+                fused,
             },
             assignment: job.assignment,
             parents,
@@ -767,6 +772,7 @@ impl Coordinator {
         // *is* the user's party (Fig. 8 — the user participates in the
         // data plane like any provider).
         let parents = job.plan.parents();
+        let fused = crate::session::fusion_sites(&job.plan, &job.assignment);
         let qj = QueryJob {
             prepared: Prepared {
                 exec_plan: job.plan,
@@ -777,6 +783,7 @@ impl Coordinator {
                 envelopes: Vec::new(),
                 requests: 0,
                 exec_seed: self.exec_seed,
+                fused,
             },
             assignment: job.assignment,
             parents,

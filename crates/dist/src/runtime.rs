@@ -46,7 +46,8 @@
 //! query leave no residue for the next one.
 //!
 //! Messages additionally carry a per-edge *sequence number* assigned
-//! by the sending [`Wire`]. The sender may re-send a message whose
+//! by the sending `Wire` (crate-private, see `transport`). The sender
+//! may re-send a message whose
 //! delivery failed ambiguously (a connection reset cannot tell the
 //! sender whether the frame landed first); the receiver drops
 //! duplicates by `(from, seq)` before accounting, so recovery never
@@ -64,7 +65,7 @@ use crate::{Party, Report, TransportKind};
 use mpq_algebra::{Catalog, NodeId, SubjectId};
 use mpq_core::authz::SubjectView;
 use mpq_crypto::rsa::RsaPublic;
-use mpq_exec::{execute_step, node_ready, ExecCtx, Table, WorkerPool};
+use mpq_exec::{effective_children, execute_step, node_ready_fused, ExecCtx, Table, WorkerPool};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -486,20 +487,25 @@ pub(crate) fn run_query(
         }
     }
 
-    // My assigned nodes, in global postorder.
+    // My assigned nodes, in global postorder. Footnote-2 fused
+    // Encrypts never execute as standalone steps: their parent Select
+    // (same assignee by construction) filters on the plaintext input
+    // and encrypts only the survivors.
+    let fused = &job.prepared.fused;
     let my_nodes: Vec<NodeId> = job
         .prepared
         .order
         .iter()
         .copied()
-        .filter(|id| job.assignment[id] == me)
+        .filter(|id| job.assignment[id] == me && !fused.contains(id))
         .collect();
     // External tables this party waits for: operands of its nodes
-    // produced elsewhere, plus the root delivery when it is the user
-    // and somebody else computes the root.
+    // produced elsewhere (looking through fused Encrypts to the
+    // plaintext inputs actually consumed), plus the root delivery when
+    // it is the user and somebody else computes the root.
     let mut pending = my_nodes
         .iter()
-        .flat_map(|&id| plan.node(id).children.iter())
+        .flat_map(|&id| effective_children(plan, id, fused))
         .filter(|c| job.assignment[c] != me)
         .count();
     if me == job.user && job.assignment[&root] != me {
@@ -534,7 +540,7 @@ pub(crate) fn run_query(
         while progress {
             progress = false;
             for (done, &id) in executed.iter_mut().zip(&my_nodes) {
-                if *done || !node_ready(plan, id, &results) {
+                if *done || !node_ready_fused(plan, id, &results, fused) {
                     continue;
                 }
                 // Fresh per-node context, exactly as the sequential

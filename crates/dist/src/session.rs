@@ -42,8 +42,8 @@ use mpq_core::subjects::Subjects;
 use mpq_crypto::keyring::{ClusterKey, KeyRing};
 use mpq_crypto::rsa::{RsaKeypair, RsaPublic, SignedEnvelope};
 use mpq_exec::{
-    assign_schemes, execute_step, rewrite_literals, Database, ExecCtx, SchemePlan, Table,
-    WorkerPool,
+    assign_schemes, effective_children, execute_step, fused_encrypt_child, rewrite_literals,
+    Database, ExecCtx, SchemePlan, Table, WorkerPool,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,6 +95,12 @@ pub struct SessionConfig {
     /// Bounded per-message retry with seeded backoff, applied to every
     /// data-plane send (real failures and injected ones alike).
     pub retry: RetryPolicy,
+    /// Footnote-2 filter-before-encrypt fusion: a `Select` directly
+    /// above an `Encrypt` assigned to the *same* subject evaluates the
+    /// condition on the plaintext input and encrypts only the
+    /// surviving tuples (on by default; results and per-edge bytes are
+    /// bit-identical either way).
+    pub fuse: bool,
 }
 
 impl SessionConfig {
@@ -109,6 +115,7 @@ impl SessionConfig {
             timeout: None,
             faults: None,
             retry: RetryPolicy::default(),
+            fuse: true,
         }
     }
 
@@ -149,6 +156,13 @@ impl SessionConfig {
         self
     }
 
+    /// Enable or disable footnote-2 filter-before-encrypt fusion
+    /// (the fusion-differential tests compare both settings).
+    pub fn fuse(mut self, on: bool) -> SessionConfig {
+        self.fuse = on;
+        self
+    }
+
     /// The effective receive timeout: the explicit setting, or the
     /// transport default (`None` in-proc, 10 s over TCP).
     pub fn effective_timeout(&self) -> Option<Duration> {
@@ -182,6 +196,32 @@ pub(crate) struct Prepared {
     /// derived from the session seed; identical for both execution
     /// paths and for every query of the session.
     pub(crate) exec_seed: u64,
+    /// Footnote-2 fusion sites: Encrypt nodes folded into their parent
+    /// Select (same assignee, fusible predicate). These never execute
+    /// as standalone steps in either runtime.
+    pub(crate) fused: HashSet<NodeId>,
+}
+
+/// Footnote-2 fusion sites of an assigned plan: every Encrypt folded
+/// into its parent Select (fusible predicate, same assignee — a
+/// different assignee must never see the Encrypt's plaintext input).
+/// Deterministic in `(plan, assignment)`, so the federated coordinator
+/// and its servers compute identical sets without shipping them.
+pub(crate) fn fusion_sites(
+    plan: &QueryPlan,
+    assignment: &HashMap<NodeId, SubjectId>,
+) -> HashSet<NodeId> {
+    let mut fused = HashSet::new();
+    for id in plan.postorder() {
+        if let Some(enc_id) = fused_encrypt_child(plan, id) {
+            if let (Some(a), Some(b)) = (assignment.get(&id), assignment.get(&enc_id)) {
+                if a == b {
+                    fused.insert(enc_id);
+                }
+            }
+        }
+    }
+    fused
 }
 
 /// One cached Def. 6.1 cluster: the generated material (already in the
@@ -274,6 +314,8 @@ pub struct Session {
     /// Receive timeout handed to every query's job (see
     /// [`SessionConfig::effective_timeout`]).
     timeout: Option<Duration>,
+    /// Footnote-2 fusion enabled for this session's queries.
+    fuse: bool,
     /// Fault-injection state shared by every party's wire; swapping
     /// the plan (see [`Session::set_faults`]) reaches all of them.
     faults: Arc<Mutex<FaultState>>,
@@ -363,6 +405,7 @@ impl Session {
             stats: SessionStats::default(),
             preflight: config.preflight,
             timeout: config.effective_timeout(),
+            fuse: config.fuse,
             faults,
             wire_stats,
         }
@@ -572,6 +615,18 @@ impl Session {
             envelopes.push((to, envelope, payload));
         }
 
+        // ---- 3b. footnote-2 fusion sites -----------------------------
+        // Fold an Encrypt into its parent Select when the rewritten
+        // predicate is fusible *and* both nodes run under the same
+        // subject: the executor already sees the Encrypt's plaintext
+        // input (it was about to encrypt it), so evaluating the
+        // condition first reveals nothing.
+        let fused = if self.fuse {
+            fusion_sites(&exec_plan, &ext.assignment)
+        } else {
+            HashSet::new()
+        };
+
         Ok(Prepared {
             exec_plan,
             schemes,
@@ -581,6 +636,7 @@ impl Session {
             envelopes,
             requests: d.requests.len(),
             exec_seed: self.exec_seed,
+            fused,
         })
     }
 
@@ -659,12 +715,18 @@ impl Session {
         let mut transfers = prepared.transfers.clone();
         let mut results: HashMap<NodeId, Table> = HashMap::new();
         for &id in &prepared.order {
+            // Footnote-2 fused Encrypts never execute as standalone
+            // steps: their parent Select filters the plaintext input
+            // and encrypts only the survivors.
+            if prepared.fused.contains(&id) {
+                continue;
+            }
             let executor = ext.assignment[&id];
-            let node = prepared.exec_plan.node(id);
             // Tables produced by another subject cross the wire here:
             // account the bytes and audit every cell against the
-            // receiving subject's view.
-            for &child in &node.children {
+            // receiving subject's view. Fused Encrypts are looked
+            // through to the plaintext operands actually consumed.
+            for child in effective_children(&prepared.exec_plan, id, &prepared.fused) {
                 let producer = ext.assignment[&child];
                 if producer != executor {
                     let table = results.get(&child).expect("child executed before parent");

@@ -22,11 +22,11 @@
 //! boundary), so the two transports report bit-identical transfer
 //! maps — the property the TCP differential test pins.
 //!
-//! Parties do not use a `Transport` directly: they hold a [`Wire`],
-//! which assigns every logical message a per-edge sequence number,
-//! consults the session's [`FaultPlan`](crate::fault::FaultPlan)
-//! before each attempt, and retries failed attempts under a bounded
-//! [`RetryPolicy`](crate::fault::RetryPolicy) with seeded
+//! Parties do not use a `Transport` directly: they hold a `Wire`
+//! (crate-private), which assigns every logical message a per-edge
+//! sequence number, consults the session's [`FaultPlan`] before each
+//! attempt, and retries failed attempts under a bounded
+//! [`RetryPolicy`] with seeded
 //! decorrelated-jitter backoff. Injected failures are *synthesized by
 //! the wire* (not the backend), so the in-proc and TCP transports
 //! surface byte-identical errors and recovery traces for the same

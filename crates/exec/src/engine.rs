@@ -29,13 +29,15 @@ use crate::scheme::SchemePlan;
 use crate::table::{Database, Table};
 use mpq_algebra::expr::{AggExpr, AggFunc};
 use mpq_algebra::value::{EncScheme, EncValue, GroupKey};
-use mpq_algebra::{AttrId, CmpOp, Expr, JoinKind, NodeId, Operator, QueryPlan, Value};
+use mpq_algebra::{AttrId, AttrSet, CmpOp, Expr, JoinKind, NodeId, Operator, QueryPlan, Value};
 use mpq_crypto::keyring::KeyRing;
 use mpq_crypto::paillier::PaillierPublic;
-use mpq_crypto::schemes::{paillier_add_cells, paillier_finish, AggKind, ColumnCipher};
+use mpq_crypto::schemes::{
+    decrypt_value, paillier_add_cells, paillier_finish, AggKind, ColumnCipher,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Execution errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -152,6 +154,12 @@ pub struct ExecCtx<'a> {
     /// Rows per streamed batch (pipelined operators hold at most this
     /// many rows at a time).
     pub batch_rows: usize,
+    /// Footnote-2 reordering: when a `Select` sits directly on an
+    /// `Encrypt` and the predicate is [`fusible`](fused_encrypt_child),
+    /// evaluate the condition on the plaintext input and encrypt only
+    /// the surviving tuples — at their *original* row offsets, so the
+    /// ciphertexts are bit-identical to filter-after-encrypt.
+    pub fuse_filter_encrypt: bool,
 }
 
 /// Builder for [`ExecCtx`]: the five shared references are positional
@@ -165,6 +173,7 @@ pub struct ExecCtxBuilder<'a> {
     seed: u64,
     pool: WorkerPool,
     batch_rows: usize,
+    fuse_filter_encrypt: bool,
 }
 
 impl<'a> ExecCtxBuilder<'a> {
@@ -190,6 +199,15 @@ impl<'a> ExecCtxBuilder<'a> {
         self
     }
 
+    /// Enable or disable footnote-2 filter-before-encrypt fusion
+    /// (default: enabled). Disabling reproduces the literal
+    /// encrypt-then-filter plan order; results and ciphertexts are
+    /// identical either way.
+    pub fn fuse_filter_encrypt(mut self, on: bool) -> Self {
+        self.fuse_filter_encrypt = on;
+        self
+    }
+
     /// Finish the context.
     pub fn build(self) -> ExecCtx<'a> {
         ExecCtx {
@@ -201,6 +219,7 @@ impl<'a> ExecCtxBuilder<'a> {
             seed: self.seed,
             pool: self.pool,
             batch_rows: self.batch_rows,
+            fuse_filter_encrypt: self.fuse_filter_encrypt,
         }
     }
 }
@@ -223,6 +242,7 @@ impl<'a> ExecCtx<'a> {
             seed: DEFAULT_SEED,
             pool: WorkerPool::global(),
             batch_rows: default_batch_rows(),
+            fuse_filter_encrypt: true,
         }
     }
 
@@ -370,6 +390,36 @@ pub fn node_ready(plan: &QueryPlan, id: NodeId, results: &HashMap<NodeId, Table>
         .all(|c| results.contains_key(c))
 }
 
+/// The operands `id` actually consumes when the Encrypt nodes in
+/// `fused` are folded into their parent Selects (footnote 2): a fused
+/// child contributes its *own* children — the plaintext inputs the
+/// combined filter-then-encrypt step reads — instead of itself.
+pub fn effective_children(plan: &QueryPlan, id: NodeId, fused: &HashSet<NodeId>) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for &c in &plan.node(id).children {
+        if fused.contains(&c) {
+            out.extend(plan.node(c).children.iter().copied());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// [`node_ready`] under footnote-2 fusion: a Select whose Encrypt
+/// child is fused is ready once the Encrypt's own operands are — the
+/// Encrypt itself never materializes.
+pub fn node_ready_fused(
+    plan: &QueryPlan,
+    id: NodeId,
+    results: &HashMap<NodeId, Table>,
+    fused: &HashSet<NodeId>,
+) -> bool {
+    effective_children(plan, id, fused)
+        .iter()
+        .all(|c| results.contains_key(c))
+}
+
 /// Resolve child `k` of `id` as a stream: a materialized result when
 /// one exists (stepping mode), otherwise — in pipeline mode — the
 /// recursively compiled child operator.
@@ -466,6 +516,26 @@ fn compile_node<'p>(
             }))
         }
         Operator::Select { pred } => {
+            // Footnote-2 fusion: when the child Encrypt has not been
+            // materialized (pipeline mode, or a stepping caller that
+            // deliberately skipped it), evaluate the condition on the
+            // plaintext input and encrypt only the survivors.
+            if ctx.fuse_filter_encrypt && !inputs.contains_key(&node.children[0]) {
+                if let Some(enc_id) = fused_encrypt_child(plan, id) {
+                    let Operator::Encrypt { attrs } = &plan.node(enc_id).op else {
+                        unreachable!("fused_encrypt_child returns Encrypt nodes");
+                    };
+                    // Grandchild stream: the Encrypt's plaintext input.
+                    let child = child_stream(plan, enc_id, 0, inputs, recurse, ctx)?;
+                    // Crypto plans keyed to the *Encrypt* node id, so
+                    // every ciphertext draws from the same seed stream
+                    // as the unfused plan order.
+                    let plans = crypto_plans(attrs, &child.schema, enc_id, ctx)?;
+                    let enc_set: AttrSet = attrs.iter().copied().collect();
+                    let pred = decrypt_pred_literals(pred, &enc_set, ctx)?;
+                    return Ok(fused_filter_encrypt_stream(child, pred, plans, ctx));
+                }
+            }
             let child = child_stream(plan, id, 0, inputs, recurse, ctx)?;
             let schema = child.schema.clone();
             Ok(map_stream(child, schema.clone(), move |batch| {
@@ -606,6 +676,29 @@ fn compile_node<'p>(
     }
 }
 
+/// Evaluate `pred` over every row of `batch` in parallel chunks,
+/// producing the keep-mask.
+fn selection_mask(
+    pred: &Expr,
+    schema: &TableSchema,
+    batch: &Batch,
+    agg_base: Option<usize>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<bool>, ExecError> {
+    let mut mask = vec![false; batch.num_rows()];
+    let attrs = schema.attrs();
+    let cols = batch.columns();
+    ctx.pool
+        .for_each_chunk_mut(&mut mask, MIN_CHUNK_ROWS, |start, chunk| {
+            for (off, keep) in chunk.iter_mut().enumerate() {
+                let rc = RowCtx::batch(attrs, cols, start + off).with_agg_base(agg_base);
+                *keep = eval_pred(pred, &rc)? == Some(true);
+            }
+            Ok::<(), ExecError>(())
+        })?;
+    Ok(mask)
+}
+
 /// Evaluate `pred` over every row of `batch` in parallel chunks and
 /// keep the passing rows (`None` when nothing passes).
 fn filter_batch(
@@ -615,19 +708,7 @@ fn filter_batch(
     agg_base: Option<usize>,
     ctx: &ExecCtx<'_>,
 ) -> Result<Option<Batch>, ExecError> {
-    let mut mask = vec![false; batch.num_rows()];
-    {
-        let attrs = schema.attrs();
-        let cols = batch.columns();
-        ctx.pool
-            .for_each_chunk_mut(&mut mask, MIN_CHUNK_ROWS, |start, chunk| {
-                for (off, keep) in chunk.iter_mut().enumerate() {
-                    let rc = RowCtx::batch(attrs, cols, start + off).with_agg_base(agg_base);
-                    *keep = eval_pred(pred, &rc)? == Some(true);
-                }
-                Ok::<(), ExecError>(())
-            })?;
-    }
+    let mask = selection_mask(pred, schema, &batch, agg_base, ctx)?;
     if mask.iter().all(|&m| !m) {
         return Ok(None);
     }
@@ -636,6 +717,191 @@ fn filter_batch(
     }
     let cols = batch.columns().iter().map(|c| c.filter(&mask)).collect();
     Ok(Some(Batch::new(schema.clone(), cols)))
+}
+
+// ---------------------------------------------------------------------------
+// Footnote-2 fusion: filter before encrypt
+// ---------------------------------------------------------------------------
+
+/// `true` when every reference `pred` makes to an attribute in `enc`
+/// is a direct column-vs-literal comparison — the shapes whose
+/// rewritten literals a key holder can decrypt back and evaluate on
+/// the plaintext input with a result provably identical to evaluating
+/// the rewritten predicate on ciphertext (Deterministic equality is
+/// injective, OPE is order-preserving, and `align_int_cmp` already
+/// normalized the operator at rewrite time). Anything else touching an
+/// encrypted attribute (LIKE, IS NULL, EXTRACT, arithmetic,
+/// column-vs-column) disqualifies the fusion.
+fn pred_fusible(e: &Expr, enc: &AttrSet) -> bool {
+    let clear_of_enc = |x: &Expr| !x.attrs().intersects(enc);
+    match e {
+        Expr::And(parts) | Expr::Or(parts) => parts.iter().all(|p| pred_fusible(p, enc)),
+        Expr::Not(inner) => pred_fusible(inner, enc),
+        Expr::Cmp(l, _, r) => {
+            matches!(
+                (&**l, &**r),
+                (Expr::Col(_), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(_))
+            ) || clear_of_enc(e)
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            (matches!(&**expr, Expr::Col(_))
+                && matches!(&**lo, Expr::Lit(_))
+                && matches!(&**hi, Expr::Lit(_)))
+                || clear_of_enc(e)
+        }
+        Expr::InList { expr, .. } => matches!(&**expr, Expr::Col(_)) || clear_of_enc(e),
+        other => clear_of_enc(other),
+    }
+}
+
+/// Footnote-2 eligibility, decided on plan shape alone: when `id` is a
+/// `Select` sitting directly on an `Encrypt` and the predicate is
+/// fusible w.r.t. the encrypted attributes, returns the Encrypt's
+/// `NodeId`. The same test drives the engine's fused stream, the
+/// distributed runtimes' node-skipping, and the cost model's
+/// post-selection pricing credit — one definition, three users.
+pub fn fused_encrypt_child(plan: &QueryPlan, id: NodeId) -> Option<NodeId> {
+    let Operator::Select { pred } = &plan.node(id).op else {
+        return None;
+    };
+    let cid = *plan.node(id).children.first()?;
+    let Operator::Encrypt { attrs } = &plan.node(cid).op else {
+        return None;
+    };
+    let enc: AttrSet = attrs.iter().copied().collect();
+    pred_fusible(pred, &enc).then_some(cid)
+}
+
+/// Decrypt the literal a rewritten predicate compares against an
+/// attribute of the fused Encrypt: the dispatcher encrypted it for
+/// evaluation *above* the Encrypt, but the fused step evaluates on the
+/// plaintext input below it. Literals for attributes outside `enc`
+/// (encrypted lower in the plan) stay ciphertext — they still compare
+/// against ciphertext columns.
+fn decrypt_lit(
+    v: &Value,
+    attr: AttrId,
+    enc: &AttrSet,
+    ctx: &ExecCtx<'_>,
+) -> Result<Value, ExecError> {
+    let Value::Enc(ev) = v else {
+        return Ok(v.clone());
+    };
+    if !enc.contains(attr) {
+        return Ok(v.clone());
+    }
+    let key = ctx.keys.get(ev.key_id).ok_or(ExecError::MissingKey {
+        attr,
+        key_id: ev.key_id,
+    })?;
+    decrypt_value(v, &key).map_err(|e| ExecError::Crypto(e.to_string()))
+}
+
+/// Rewrite `pred` for plaintext evaluation under a fused Encrypt:
+/// every literal compared against an attribute in `enc` is decrypted
+/// back with the executor's cluster key. Precondition:
+/// [`pred_fusible`] holds.
+fn decrypt_pred_literals(pred: &Expr, enc: &AttrSet, ctx: &ExecCtx<'_>) -> Result<Expr, ExecError> {
+    Ok(match pred {
+        Expr::And(parts) => Expr::And(
+            parts
+                .iter()
+                .map(|p| decrypt_pred_literals(p, enc, ctx))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Or(parts) => Expr::Or(
+            parts
+                .iter()
+                .map(|p| decrypt_pred_literals(p, enc, ctx))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Not(inner) => Expr::Not(Box::new(decrypt_pred_literals(inner, enc, ctx)?)),
+        Expr::Cmp(l, op, r) => match (&**l, &**r) {
+            (Expr::Col(a), Expr::Lit(v)) => Expr::Cmp(
+                l.clone(),
+                *op,
+                Box::new(Expr::Lit(decrypt_lit(v, *a, enc, ctx)?)),
+            ),
+            (Expr::Lit(v), Expr::Col(a)) => Expr::Cmp(
+                Box::new(Expr::Lit(decrypt_lit(v, *a, enc, ctx)?)),
+                *op,
+                r.clone(),
+            ),
+            _ => pred.clone(),
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => match (&**expr, &**lo, &**hi) {
+            (Expr::Col(a), Expr::Lit(vl), Expr::Lit(vh)) => Expr::Between {
+                expr: expr.clone(),
+                lo: Box::new(Expr::Lit(decrypt_lit(vl, *a, enc, ctx)?)),
+                hi: Box::new(Expr::Lit(decrypt_lit(vh, *a, enc, ctx)?)),
+                negated: *negated,
+            },
+            _ => pred.clone(),
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => match &**expr {
+            Expr::Col(a) => Expr::InList {
+                expr: expr.clone(),
+                list: list
+                    .iter()
+                    .map(|v| decrypt_lit(v, *a, enc, ctx))
+                    .collect::<Result<_, _>>()?,
+                negated: *negated,
+            },
+            _ => pred.clone(),
+        },
+        other => other.clone(),
+    })
+}
+
+/// The fused Select-over-Encrypt stream: per input batch, evaluate the
+/// (literal-decrypted) predicate on plaintext, drop failing rows, then
+/// encrypt only the survivors — seeding every cell's RNG with its
+/// *original* global row offset, so the surviving ciphertexts are
+/// byte-identical to what encrypt-then-filter produces.
+fn fused_filter_encrypt_stream<'p>(
+    child: BatchStream<'p>,
+    pred: Expr,
+    plans: Vec<CryptoPlan>,
+    ctx: &'p ExecCtx<'p>,
+) -> BatchStream<'p> {
+    let schema = child.schema.clone();
+    let mut row_off = 0usize;
+    map_stream(child, schema.clone(), move |batch| {
+        let n = batch.num_rows();
+        let mask = selection_mask(&pred, &schema, &batch, None, ctx)?;
+        let out = if mask.iter().all(|&m| !m) {
+            None
+        } else if mask.iter().all(|&m| m) {
+            let mut cols = batch.into_columns();
+            for plan in &plans {
+                apply_crypto_plan(&mut cols, plan, true, &Offsets::Dense(row_off), &ctx.pool)?;
+            }
+            Some(Batch::new(schema.clone(), cols))
+        } else {
+            let offs: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &m)| m.then_some(row_off + i))
+                .collect();
+            let mut cols: Vec<ColumnVec> =
+                batch.columns().iter().map(|c| c.filter(&mask)).collect();
+            for plan in &plans {
+                apply_crypto_plan(&mut cols, plan, true, &Offsets::Sparse(&offs), &ctx.pool)?;
+            }
+            Some(Batch::new(schema.clone(), cols))
+        };
+        row_off += n;
+        Ok(out)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -710,11 +976,36 @@ fn crypto_stream<'p>(
         let n = batch.num_rows();
         let mut cols = batch.into_columns();
         for plan in &plans {
-            apply_crypto_plan(&mut cols, plan, encrypt, row_off, &ctx.pool)?;
+            apply_crypto_plan(
+                &mut cols,
+                plan,
+                encrypt,
+                &Offsets::Dense(row_off),
+                &ctx.pool,
+            )?;
         }
         row_off += n;
         Ok(Some(Batch::new(schema.clone(), cols)))
     })
+}
+
+/// Global row offsets for a batch's cells: `Dense` when the batch is a
+/// contiguous slice of the operator's input stream, `Sparse` when a
+/// fused selection already dropped rows and the survivors must keep
+/// their pre-selection offsets (the determinism contract's `row`).
+enum Offsets<'a> {
+    Dense(usize),
+    Sparse(&'a [usize]),
+}
+
+impl Offsets<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> u64 {
+        match self {
+            Offsets::Dense(base) => (base + i) as u64,
+            Offsets::Sparse(offs) => offs[i] as u64,
+        }
+    }
 }
 
 /// Apply one attribute's cipher to its column(s) within a batch.
@@ -727,7 +1018,7 @@ fn apply_crypto_plan(
     cols: &mut [ColumnVec],
     plan: &CryptoPlan,
     encrypt: bool,
-    row_off: usize,
+    offsets: &Offsets<'_>,
     pool: &WorkerPool,
 ) -> Result<(), ExecError> {
     let crypt = |cell: &Value, rng: &mut StdRng| -> Result<Value, ExecError> {
@@ -747,10 +1038,8 @@ fn apply_crypto_plan(
             let mut vals = std::mem::take(&mut cols[*i]).into_values();
             pool.for_each_chunk_mut(&mut vals, plan.min_chunk, |start, chunk| {
                 for (off, cell) in chunk.iter_mut().enumerate() {
-                    let mut rng = StdRng::seed_from_u64(mix_seed(
-                        plan.attr_seed,
-                        (row_off + start + off) as u64,
-                    ));
+                    let mut rng =
+                        StdRng::seed_from_u64(mix_seed(plan.attr_seed, offsets.at(start + off)));
                     *cell = crypt(cell, &mut rng)?;
                 }
                 Ok::<(), ExecError>(())
@@ -768,10 +1057,8 @@ fn apply_crypto_plan(
                 .collect();
             pool.for_each_chunk_mut(&mut tuples, plan.min_chunk, |start, chunk| {
                 for (off, tuple) in chunk.iter_mut().enumerate() {
-                    let mut rng = StdRng::seed_from_u64(mix_seed(
-                        plan.attr_seed,
-                        (row_off + start + off) as u64,
-                    ));
+                    let mut rng =
+                        StdRng::seed_from_u64(mix_seed(plan.attr_seed, offsets.at(start + off)));
                     for cell in tuple.iter_mut() {
                         *cell = crypt(cell, &mut rng)?;
                     }
@@ -1911,6 +2198,111 @@ mod tests {
             execute_step(&plan, *join, &mut results, &stranger),
             Err(ExecError::MixedForm { key_id: 0, .. })
         ));
+    }
+
+    /// Footnote 2: `Select` over `Encrypt` with a rewritten
+    /// (ciphertext) literal — the fused filter-before-encrypt order
+    /// must produce byte-identical tables to the literal plan order,
+    /// for every batch size.
+    #[test]
+    fn fused_filter_encrypt_is_bit_identical() {
+        let (cat, db) = setup();
+        let s = cat.attr("S").unwrap();
+        let d = cat.attr("D").unwrap();
+        let t_attr = cat.attr("T").unwrap();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let keys = KeyRing::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let key = mpq_crypto::ClusterKey::generate(&mut rng, 0, 256);
+        keys.insert(key.clone());
+        let mut schemes = SchemePlan::default();
+        schemes.set(d, EncScheme::Deterministic);
+        schemes.set(s, EncScheme::Random);
+        let mut koa = HashMap::new();
+        koa.insert(d, 0u32);
+        koa.insert(s, 0u32);
+
+        // The dispatched predicate carries the *encrypted* literal, as
+        // rewrite_literals produces for a Select above an Encrypt.
+        let enc_lit = mpq_crypto::schemes::encrypt_value(
+            &mut rng,
+            &Value::str("stroke"),
+            EncScheme::Deterministic,
+            &key,
+        )
+        .unwrap();
+        let mut plan = QueryPlan::new();
+        let base = plan.add_base(hosp, vec![s, d, t_attr]);
+        let enc = plan.add(Operator::Encrypt { attrs: vec![s, d] }, vec![base]);
+        plan.add(
+            Operator::Select {
+                pred: Expr::Cmp(
+                    Box::new(Expr::Col(d)),
+                    CmpOp::Eq,
+                    Box::new(Expr::Lit(enc_lit)),
+                ),
+            },
+            vec![enc],
+        );
+        assert!(fused_encrypt_child(&plan, plan.root()).is_some());
+
+        let fused_ctx = ExecCtx::new(&cat, &db, &keys, &schemes, &koa);
+        let unfused_ctx = ExecCtx::builder(&cat, &db, &keys, &schemes, &koa)
+            .fuse_filter_encrypt(false)
+            .build();
+        let fused = execute(&plan, &fused_ctx).unwrap();
+        let unfused = execute(&plan, &unfused_ctx).unwrap();
+        assert_eq!(fused.len(), 3, "three stroke rows survive");
+        // Byte-identical: surviving ciphertexts keep their original
+        // row offsets, so even the Random-scheme S cells match.
+        assert_eq!(fused, unfused);
+
+        // And under a batch size that splits the selection mid-table.
+        let tiny = ExecCtx::builder(&cat, &db, &keys, &schemes, &koa)
+            .batch_rows(2)
+            .build();
+        assert_eq!(execute(&plan, &tiny).unwrap(), unfused);
+    }
+
+    /// Predicate shapes the fusion must refuse: anything touching an
+    /// encrypted attribute that is not a plain column-vs-literal
+    /// comparison.
+    #[test]
+    fn fusion_eligibility_is_conservative() {
+        let cat = Catalog::paper_running_example();
+        let s = cat.attr("S").unwrap();
+        let d = cat.attr("D").unwrap();
+        let hosp = cat.relation("Hosp").unwrap().rel;
+        let build = |pred: Expr, enc_attrs: Vec<AttrId>| {
+            let mut plan = QueryPlan::new();
+            let base = plan.add_base(hosp, vec![s, d]);
+            let enc = plan.add(Operator::Encrypt { attrs: enc_attrs }, vec![base]);
+            plan.add(Operator::Select { pred }, vec![enc]);
+            plan
+        };
+        let fusible = |pred: Expr, enc_attrs: Vec<AttrId>| {
+            let plan = build(pred, enc_attrs);
+            fused_encrypt_child(&plan, plan.root()).is_some()
+        };
+        // LIKE over an encrypted attribute: not fusible.
+        let like = Expr::Like {
+            expr: Box::new(Expr::Col(d)),
+            pattern: "st%".into(),
+            negated: false,
+        };
+        assert!(!fusible(like.clone(), vec![d]));
+        // Same LIKE over a *non*-encrypted attribute: fusible.
+        assert!(fusible(like, vec![s]));
+        // Column-vs-column comparison on an encrypted attribute: no.
+        let colcol = Expr::Cmp(Box::new(Expr::Col(d)), CmpOp::Eq, Box::new(Expr::Col(s)));
+        assert!(!fusible(colcol, vec![d]));
+        // IN-list over an encrypted column: yes.
+        let inlist = Expr::InList {
+            expr: Box::new(Expr::Col(d)),
+            list: vec![Value::str("flu")],
+            negated: false,
+        };
+        assert!(fusible(inlist, vec![d]));
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub mod scheme;
 pub mod table;
 
 pub use batch::{default_batch_rows, Batch, ColumnVec, TableSchema, DEFAULT_BATCH_ROWS};
-pub use engine::{execute, execute_step, node_ready, ExecCtx, ExecCtxBuilder, ExecError};
+pub use engine::{
+    effective_children, execute, execute_step, fused_encrypt_child, node_ready, node_ready_fused,
+    ExecCtx, ExecCtxBuilder, ExecError,
+};
 pub use pool::WorkerPool;
 pub use scheme::{assign_schemes, rewrite_literals, SchemePlan};
 pub use table::{Database, Table};

@@ -11,9 +11,9 @@
 //!
 //! To make ciphertexts comparable the two engines deliberately share
 //! the per-cell RNG discipline (`mix_seed(seed, node, column, row)`
-//! via [`crate::engine::mix_seed`]) and the crypto-bearing kernels
-//! ([`crate::engine::AggAcc`], [`crate::engine::decide_form_fix`],
-//! [`crate::engine::fixed_cell`]); everything *around* those kernels —
+//! via `engine::mix_seed`) and the crypto-bearing crate-private
+//! kernels (`engine::AggAcc`, `engine::decide_form_fix`,
+//! `engine::fixed_cell`); everything *around* those kernels —
 //! operator scheduling, batching, hashing, parallel chunking — is
 //! implemented independently, which is exactly the surface the
 //! differential tests exercise.

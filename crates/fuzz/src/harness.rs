@@ -1,0 +1,345 @@
+//! Four-way differential harness.
+//!
+//! Every generated world runs through four independent
+//! implementations of the same semantics:
+//!
+//! 1. the **static verifier** (`mpq_core::verify`) — pure analysis,
+//!    produces an accept/reject verdict with MPQ001–MPQ009 codes;
+//! 2. the **concurrent runtime** (`Simulator::run`) — party threads,
+//!    mailboxes, signed envelopes, dynamic defenses;
+//! 3. the **sequential runtime** (`Simulator::run_sequential`) — the
+//!    reference interpreter over the same session state;
+//! 4. a **plaintext reference** (`mpq_exec::execute` on the *original*
+//!    plan, no crypto) — ground truth for result rows.
+//!
+//! Agreement means: a statically accepted plan executes successfully
+//! on both runtimes with identical rows, per-edge bytes, and request
+//! counts, and its rows match the plaintext reference as a multiset; a
+//! statically rejected plan fails on both runtimes (run without
+//! pre-flight, so the *dynamic* defenses produce the verdict) with an
+//! error whose diagnostic class appears in the static report. Anything
+//! else is a [`Outcome::Divergence`] — a fuzzer finding.
+
+use crate::gen::{Mutation, World, WorldConfig};
+use mpq_core::extend::minimally_extend;
+use mpq_core::keys::{plan_keys, KeyPlan};
+use mpq_core::verify::{coverage, verify_with_policy, Code, VerifyCoverage};
+use mpq_core::ExtendedPlan;
+use mpq_crypto::KeyRing;
+use mpq_dist::{Report, SessionConfig, SimError, Simulator};
+use mpq_exec::{execute, ExecCtx, ExecError, SchemePlan, Table};
+use std::collections::HashMap;
+
+/// What a scenario did, after all four ways agreed (or did not).
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Static accept; both runtimes and the plaintext reference agree.
+    Accepted {
+        /// Result cardinality (for corpus statistics).
+        rows: usize,
+    },
+    /// Static reject; both runtimes fail with a matching class.
+    Rejected {
+        /// The distinct static codes.
+        codes: Vec<Code>,
+    },
+    /// Disagreement between any two of the four ways. The payload is a
+    /// human-readable description precise enough to file.
+    Divergence(String),
+}
+
+/// Outcome plus the coverage this scenario contributed.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// The scenario's seed (replay handle).
+    pub seed: u64,
+    /// Agreement verdict.
+    pub outcome: Outcome,
+    /// Def. 4.1 / Def. 6.1 / scheme / mixed-form / code coverage.
+    pub coverage: VerifyCoverage,
+}
+
+/// Codes whose violation is *statically* decidable but has no runtime
+/// error twin (a type-mismatched comparison executes fine and returns
+/// no rows): a reject carrying only these codes may still execute.
+const DYNAMIC_TWINLESS: [Code; 1] = [Code::TypeMismatch];
+
+/// The MPQ diagnostic classes a dynamic failure corresponds to.
+fn error_codes(e: &SimError) -> Vec<Code> {
+    match e {
+        SimError::Unauthorized { .. } => {
+            vec![Code::UnauthorizedAssignee, Code::PlaintextLeak]
+        }
+        SimError::LeakedPlaintext { .. } | SimError::InvisibleAttribute { .. } => {
+            vec![Code::PlaintextLeak]
+        }
+        SimError::Unassigned(_) | SimError::NoAuthority(_) | SimError::NotTheAuthority { .. } => {
+            vec![Code::BadAssignment]
+        }
+        SimError::Scheme(_) => vec![Code::SchemeConflict],
+        SimError::Rewrite(_) => vec![Code::KeyUnavailable],
+        SimError::Exec(ExecError::MissingKey { .. })
+        | SimError::Exec(ExecError::NoKeyForAttr(_)) => {
+            vec![Code::KeyUnavailable]
+        }
+        SimError::Exec(ExecError::MixedForm { .. }) => vec![Code::MixedForm, Code::KeyUnavailable],
+        SimError::Exec(_) => vec![Code::Malformed],
+        SimError::Verify(r) => r.codes(),
+        SimError::Envelope { .. } | SimError::Transport(_) => vec![],
+    }
+}
+
+/// Apply the world's mutation to the extended plan / key plan.
+fn apply_mutation(w: &World, ext: &mut ExtendedPlan, keys: &mut KeyPlan) {
+    let Some(m) = w.mutation else { return };
+    let order = ext.plan.postorder();
+    let non_leaves: Vec<_> = order
+        .iter()
+        .copied()
+        .filter(|&id| !ext.plan.node(id).children.is_empty())
+        .collect();
+    let leaves: Vec<_> = order
+        .iter()
+        .copied()
+        .filter(|&id| ext.plan.node(id).children.is_empty())
+        .collect();
+    let all_subjects: Vec<_> = w.subjects.iter().collect();
+    match m {
+        // A plan can be a bare leaf (no operator drawn): node-targeted
+        // mutations are then no-ops, like StripHolders on a keyless
+        // plan.
+        Mutation::Reassign {
+            node_pick,
+            subject_pick,
+        } => {
+            if !non_leaves.is_empty() {
+                let node = non_leaves[node_pick % non_leaves.len()];
+                let s = all_subjects[subject_pick % all_subjects.len()];
+                ext.assignment.insert(node, s);
+            }
+        }
+        Mutation::Unassign { node_pick } => {
+            if !non_leaves.is_empty() {
+                let node = non_leaves[node_pick % non_leaves.len()];
+                ext.assignment.remove(&node);
+            }
+        }
+        Mutation::MisassignLeaf {
+            leaf_pick,
+            subject_pick,
+        } => {
+            let leaf = leaves[leaf_pick % leaves.len()];
+            let current = ext.assignment.get(&leaf).copied();
+            // Pick the first subject (cyclically) that is not the
+            // authority currently holding the leaf.
+            for i in 0..all_subjects.len() {
+                let s = all_subjects[(subject_pick + i) % all_subjects.len()];
+                if Some(s) != current {
+                    ext.assignment.insert(leaf, s);
+                    break;
+                }
+            }
+        }
+        Mutation::StripHolders { key_pick } => {
+            if !keys.keys.is_empty() {
+                let i = key_pick % keys.keys.len();
+                keys.keys[i].holders.clear();
+            }
+        }
+    }
+}
+
+/// Compare two result tables as multisets of rows (SQL equality per
+/// cell; ciphertext never reaches here — the user decrypts at the
+/// root).
+fn rows_match(a: &Table, b: &Table) -> bool {
+    if a.attrs() != b.attrs() || a.len() != b.len() {
+        return false;
+    }
+    let canon = |t: &Table| {
+        let mut rows: Vec<String> = t
+            .to_rows()
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| match v {
+                        // Int/Num coercion mirror of Value::sql_eq.
+                        mpq_algebra::Value::Int(i) => format!("n:{}", *i as f64),
+                        mpq_algebra::Value::Num(n) => format!("n:{n}"),
+                        other => format!("{other:?}"),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\u{1f}")
+            })
+            .collect();
+        rows.sort_unstable();
+        rows
+    };
+    canon(a) == canon(b)
+}
+
+/// Per-edge byte accounting must agree between the runtimes.
+fn reports_match(conc: &Report, seq: &Report) -> Result<(), String> {
+    if !rows_match(&conc.result, &seq.result) {
+        return Err("concurrent vs sequential result rows differ".into());
+    }
+    if conc.transfers != seq.transfers {
+        return Err("per-edge transfer accounting differs".into());
+    }
+    if conc.requests != seq.requests {
+        return Err("request counts differ".into());
+    }
+    Ok(())
+}
+
+/// Run one scenario end to end. Never panics on a divergence — the
+/// caller decides what to do with [`Outcome::Divergence`].
+pub fn run_scenario(cfg: &WorldConfig) -> ScenarioResult {
+    let w = World::generate(cfg);
+
+    let result = |outcome: Outcome, cov: VerifyCoverage| ScenarioResult {
+        seed: cfg.seed,
+        outcome,
+        coverage: cov,
+    };
+
+    // ---- minimal extension (Theorem 5.2: must succeed) --------------
+    let mut ext = match minimally_extend(
+        &w.plan,
+        &w.catalog,
+        &w.policy,
+        &w.subjects,
+        &w.cands,
+        &w.assignment,
+        Some(w.user),
+    ) {
+        Ok(e) => e,
+        Err(e) => {
+            return result(
+                Outcome::Divergence(format!(
+                    "assignment drawn from Λ failed to extend (Theorem 5.2): {e:?}"
+                )),
+                VerifyCoverage::default(),
+            )
+        }
+    };
+    let mut keys = plan_keys(&ext);
+    apply_mutation(&w, &mut ext, &mut keys);
+
+    // ---- way 1: static verifier -------------------------------------
+    let report = verify_with_policy(
+        &ext,
+        &keys,
+        &w.catalog,
+        &w.subjects,
+        &w.policy,
+        Some(w.user),
+    );
+    let views = w.policy.all_views(&w.catalog, &w.subjects);
+    let cov = coverage(&ext, &keys, &views, &report);
+
+    let run = |preflight: bool, sequential: bool| -> Result<Report, SimError> {
+        let mut config = SessionConfig::new(cfg.seed);
+        if !preflight {
+            config = config.without_preflight();
+        }
+        let mut sim = Simulator::with_config(&w.catalog, &w.subjects, &w.policy, &w.db, config);
+        if sequential {
+            sim.run_sequential(&ext, &keys, w.user)
+        } else {
+            sim.run(&ext, &keys, w.user)
+        }
+    };
+
+    if report.is_clean() {
+        // ---- ways 2+3: both runtimes must accept and agree ----------
+        let conc = match run(true, false) {
+            Ok(r) => r,
+            Err(e) => {
+                return result(
+                    Outcome::Divergence(format!(
+                        "static accept but concurrent runtime failed: {e}"
+                    )),
+                    cov,
+                )
+            }
+        };
+        let seq = match run(true, true) {
+            Ok(r) => r,
+            Err(e) => {
+                return result(
+                    Outcome::Divergence(format!(
+                        "static accept but sequential runtime failed: {e}"
+                    )),
+                    cov,
+                )
+            }
+        };
+        if let Err(why) = reports_match(&conc, &seq) {
+            return result(Outcome::Divergence(why), cov);
+        }
+
+        // ---- way 4: plaintext reference over the original plan ------
+        let keyring = KeyRing::new();
+        let schemes = SchemePlan::default();
+        let key_of_attr: HashMap<mpq_algebra::AttrId, u32> = HashMap::new();
+        let ctx = ExecCtx::new(&w.catalog, &w.db, &keyring, &schemes, &key_of_attr);
+        let reference = match execute(&w.plan, &ctx) {
+            Ok(t) => t,
+            Err(e) => {
+                return result(
+                    Outcome::Divergence(format!("plaintext reference failed: {e}")),
+                    cov,
+                )
+            }
+        };
+        if !rows_match(&conc.result, &reference) {
+            return result(
+                Outcome::Divergence("extended-plan result differs from plaintext reference".into()),
+                cov,
+            );
+        }
+        result(
+            Outcome::Accepted {
+                rows: reference.len(),
+            },
+            cov,
+        )
+    } else {
+        // ---- ways 2+3: dynamic defenses must independently reject ---
+        let codes = report.codes();
+        let twinless_only = codes.iter().all(|c| DYNAMIC_TWINLESS.contains(c));
+        for sequential in [false, true] {
+            let which = if sequential {
+                "sequential"
+            } else {
+                "concurrent"
+            };
+            match run(false, sequential) {
+                Ok(_) if twinless_only => {}
+                Ok(_) => {
+                    return result(
+                        Outcome::Divergence(format!(
+                            "static reject {codes:?} but {which} runtime succeeded \
+                             without pre-flight"
+                        )),
+                        cov,
+                    )
+                }
+                Err(e) => {
+                    let dyn_codes = error_codes(&e);
+                    if !dyn_codes.is_empty() && !dyn_codes.iter().any(|c| codes.contains(c)) {
+                        return result(
+                            Outcome::Divergence(format!(
+                                "{which} runtime failed with {e} (classes {dyn_codes:?}) \
+                                 but the static report only has {codes:?}"
+                            )),
+                            cov,
+                        );
+                    }
+                }
+            }
+        }
+        result(Outcome::Rejected { codes }, cov)
+    }
+}

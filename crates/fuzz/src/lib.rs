@@ -1,0 +1,17 @@
+//! # mpq-fuzz
+//!
+//! Seeded policy/workload fuzzer for the authorization pipeline: a
+//! generator of random worlds (catalog, subjects, authorization
+//! policy, data, query plan, Λ assignment) plus a four-way
+//! differential harness running every generated scenario through the
+//! static verifier, the concurrent runtime, the sequential runtime,
+//! and a plaintext reference — asserting agreement and accumulating a
+//! [`mpq_core::verify::VerifyCoverage`] vector over Def. 4.1 condition
+//! outcomes, Def. 6.1 cluster shapes, scheme choices, and mixed-form
+//! join cases.
+
+pub mod gen;
+pub mod harness;
+
+pub use gen::{World, WorldConfig};
+pub use harness::{run_scenario, Outcome, ScenarioResult};

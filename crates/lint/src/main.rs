@@ -345,6 +345,48 @@ fn lint_retry_budgets(rel: &Path, cleaned: &str, skip: &[bool], findings: &mut V
     }
 }
 
+/// Every seed file under `tests/fuzz_corpus/` must be referenced by
+/// name from some test under `tests/` — a corpus entry nobody replays
+/// is a regression test that silently stopped existing. The scan runs
+/// over *raw* sources (not [`clean_source`]d ones): the references
+/// live inside `include_str!("fuzz_corpus/…")` string literals, which
+/// cleaning would strip.
+fn lint_fuzz_corpus(root: &Path, findings: &mut Vec<Finding>) {
+    let corpus = root.join("tests/fuzz_corpus");
+    let Ok(entries) = std::fs::read_dir(&corpus) else {
+        return;
+    };
+    let mut seeds: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    seeds.sort();
+    let mut test_sources = String::new();
+    if let Ok(tests) = std::fs::read_dir(root.join("tests")) {
+        for t in tests.flatten() {
+            let p = t.path();
+            if p.extension().is_some_and(|e| e == "rs") {
+                if let Ok(src) = std::fs::read_to_string(&p) {
+                    test_sources.push_str(&src);
+                }
+            }
+        }
+    }
+    for seed in seeds {
+        let Some(name) = seed.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !test_sources.contains(name) {
+            findings.push(Finding {
+                file: seed.strip_prefix(root).unwrap_or(&seed).to_path_buf(),
+                line: 1,
+                rule: "no-orphaned-seeds",
+                message: format!(
+                    "corpus seed `{name}` is not referenced by any test under tests/ — \
+                     add a replay to tests/fuzz_regression.rs or delete the seed"
+                ),
+            });
+        }
+    }
+}
+
 fn lint_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
     let rel = path.strip_prefix(root).unwrap_or(path);
     let Ok(src) = std::fs::read_to_string(path) else {
@@ -456,6 +498,7 @@ fn main() {
         }
         lint_file(&root, f, &mut findings);
     }
+    lint_fuzz_corpus(&root, &mut findings);
 
     for f in &findings {
         println!("{f}");
@@ -565,6 +608,28 @@ mod tests {
     }
 
     #[test]
+    fn orphaned_corpus_seeds_are_flagged() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("target")
+            .join("lint-corpus-fixture");
+        let corpus = root.join("tests/fuzz_corpus");
+        std::fs::create_dir_all(&corpus).expect("fixture dir");
+        std::fs::write(corpus.join("referenced.seed"), "# pin\n1\n").unwrap();
+        std::fs::write(corpus.join("orphan.seed"), "# pin\n2\n").unwrap();
+        std::fs::write(
+            root.join("tests/replay.rs"),
+            "const _: &str = include_str!(\"fuzz_corpus/referenced.seed\");\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_fuzz_corpus(&root, &mut findings);
+        let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(messages.len(), 1, "{messages:?}");
+        assert!(messages[0].contains("orphan.seed"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn the_repo_passes_its_own_lint() {
         // The gate CI enforces, as a unit test: zero findings over the
         // whole workspace.
@@ -591,6 +656,7 @@ mod tests {
             }
             lint_file(&root, f, &mut findings);
         }
+        lint_fuzz_corpus(&root, &mut findings);
         assert!(
             findings.is_empty(),
             "repo invariants violated:\n{}",

@@ -123,31 +123,46 @@ fn tuple_work(plan: &QueryPlan, id: NodeId, est: &[Estimate], book: &PriceBook) 
     }
 }
 
-/// Rows an `Encrypt` node actually has to encrypt: every row of its
-/// input, exactly as the engine executes it.
+/// Rows an `Encrypt` node actually has to encrypt, exactly as the
+/// engine executes it.
 ///
-/// This used to credit an `Encrypt` sitting below same-subject
-/// selections with the *post*-selection cardinality, invoking the
-/// paper's footnote 2 ("a subject that knows the key can operate on
-/// plaintext values and encrypt D afterwards"). But `mpq-exec`
-/// evaluates the extended plan bottom-up and performs no such
-/// reordering — the `Encrypt` runs first, over every input row, and
-/// the selection then filters ciphertexts. Charging the hypothetical
-/// filtered cardinality made every crypto-bearing provider-side plan
-/// look exactly as cheap as the all-at-user plan that avoids the
-/// encrypted selection, collapsing the q3/q6/q12 CostDp-vs-all-at-user
-/// pairs into model ties (`"decisive": false` in `CALIBRATION.json`)
-/// while measurement separated them by up to 3×. The model now prices
-/// the plan the engine runs; footnote 2 would be an *engine*
-/// optimization first, and only then a pricing rule.
-fn effective_encrypt_rows(plan: &QueryPlan, id: NodeId, est: &[Estimate]) -> f64 {
+/// Default: every row of its input. Exception: the paper's footnote 2
+/// ("a subject that knows the key can operate on plaintext values and
+/// encrypt D afterwards"), which `mpq-exec` implements as *fusion* —
+/// when a `Select` sits directly on the `Encrypt`, its predicate only
+/// compares encrypted attributes against literals, and both nodes run
+/// at the same subject, the assignee filters the plaintext first and
+/// encrypts only the surviving rows (at their original offsets, so the
+/// ciphertexts are bit-identical). The credit here is gated on the
+/// *same* predicate the engine uses ([`mpq_exec::fused_encrypt_child`]
+/// plus the same-assignee check mirrored from
+/// `mpq_dist::session::fusion_sites`), so the model prices precisely
+/// the plan the engine runs — an earlier version of this credit
+/// applied it to every same-subject selection whether or not the
+/// engine reordered, collapsing the q3/q6/q12 CostDp-vs-all-at-user
+/// pairs into dishonest model ties.
+fn effective_encrypt_rows(
+    plan: &QueryPlan,
+    id: NodeId,
+    est: &[Estimate],
+    assignment: &HashMap<NodeId, SubjectId>,
+) -> f64 {
+    for p in plan.postorder() {
+        if mpq_exec::fused_encrypt_child(plan, p) == Some(id)
+            && assignment.get(&p) == assignment.get(&id)
+        {
+            return est[p.index()].rows;
+        }
+    }
     est[plan.node(id).children[0].index()].rows
 }
 
 /// Extra CPU seconds for cryptographic work at a node.
+#[allow(clippy::too_many_arguments)]
 fn crypto_secs(
     plan: &QueryPlan,
     id: NodeId,
+    assignment: &HashMap<NodeId, SubjectId>,
     est: &[Estimate],
     profiles: &[Profile],
     schemes: &SchemePlan,
@@ -156,7 +171,7 @@ fn crypto_secs(
     let node = plan.node(id);
     match &node.op {
         Operator::Encrypt { attrs } => {
-            let rows = effective_encrypt_rows(plan, id, est);
+            let rows = effective_encrypt_rows(plan, id, est, assignment);
             let noop = noop_reencrypt_attrs(plan, id);
             attrs
                 .iter()
@@ -168,7 +183,8 @@ fn crypto_secs(
             // Audited against the engine: `Decrypt` walks every input
             // row once per listed attribute — input cardinality, not
             // output (they coincide: decryption is row-preserving) and
-            // no filtering credit, mirroring `effective_encrypt_rows`.
+            // no filtering credit — the engine has no decrypt-side
+            // counterpart of the footnote-2 fusion.
             let rows = est[node.children[0].index()].rows;
             attrs
                 .iter()
@@ -274,7 +290,8 @@ pub fn cost_extended_plan(
 
         // CPU.
         let work = tuple_work(plan, id, est, book);
-        let secs = work * book.tuple_op_secs + crypto_secs(plan, id, est, profiles, schemes, book);
+        let secs = work * book.tuple_op_secs
+            + crypto_secs(plan, id, assignment, est, profiles, schemes, book);
         out.cpu += secs * prices.cpu_per_sec;
         out.time_secs += secs;
         out.cpu_secs += secs;
@@ -478,14 +495,14 @@ mod tests {
         );
     }
 
-    /// An `Encrypt` below a selection is priced at its *input*
-    /// cardinality — the rows the engine actually encrypts — whether or
-    /// not the selection above it runs at the same subject (regression:
-    /// same-subject selections used to credit the encryption with the
-    /// post-selection cardinality, underpricing every crypto-bearing
-    /// provider-side plan).
+    /// The footnote-2 credit is exactly as wide as the engine's fusion:
+    /// an `Encrypt` under a fusible same-assignee `Select` is priced at
+    /// the *post*-selection cardinality (the rows the fused stream
+    /// actually encrypts); move the selection to another subject and
+    /// the credit vanishes — that subject must receive ciphertexts, so
+    /// the `Encrypt` runs over every input row.
     #[test]
-    fn encrypt_priced_at_pre_selection_rows() {
+    fn encrypt_credit_tracks_engine_fusion() {
         use mpq_algebra::QueryPlan;
         use mpq_core::fixtures::RunningExample;
 
@@ -535,23 +552,67 @@ mod tests {
                 user,
             )
         };
-        // Crypto seconds must not depend on who runs the selection.
+        // The predicate (d = 'stroke') only touches a plaintext
+        // attribute, so the engine fuses when Select and Encrypt share
+        // an assignee: priced at the filtered cardinality. A
+        // cross-subject selection cannot fuse: full input priced.
+        assert!(mpq_exec::fused_encrypt_child(&plan, sel).is_some());
         let same_subject = cost_with_select_at(h);
         let cross_subject = cost_with_select_at(user);
+        let scheme = schemes.scheme_of(s);
+        let tuple_secs = plan_tuple_ops(&plan, &est, &book) * book.tuple_op_secs;
+        let fused_secs = tuple_secs + kept_rows * book.encrypt_secs(scheme);
+        let unfused_secs = tuple_secs + base_rows * book.encrypt_secs(scheme);
         assert!(
-            (same_subject.cpu_secs - cross_subject.cpu_secs).abs() < 1e-12,
-            "same-subject selection changed modeled compute: {} vs {}",
-            same_subject.cpu_secs,
+            (same_subject.cpu_secs - fused_secs).abs() < 1e-9,
+            "fused: expected {fused_secs}, got {}",
+            same_subject.cpu_secs
+        );
+        assert!(
+            (cross_subject.cpu_secs - unfused_secs).abs() < 1e-9,
+            "unfused: expected {unfused_secs}, got {}",
             cross_subject.cpu_secs
         );
-        // And the encryption itself is priced at the full base input.
-        let scheme = schemes.scheme_of(s);
-        let encrypt_secs = base_rows * book.encrypt_secs(scheme);
-        let tuple_secs = plan_tuple_ops(&plan, &est, &book) * book.tuple_op_secs;
+        assert!(same_subject.cpu_secs < cross_subject.cpu_secs);
+
+        // A predicate the engine refuses to fuse (comparing the
+        // encrypted attribute against another column) gets no credit
+        // even at the same subject.
+        let mut plan2 = QueryPlan::new();
+        let b2 = plan2.add_base(hosp, vec![s, d]);
+        let e2 = plan2.add(Operator::Encrypt { attrs: vec![s] }, vec![b2]);
+        let sel2 = plan2.add(
+            Operator::Select {
+                pred: Expr::cmp(Expr::Col(s), mpq_algebra::CmpOp::Eq, Expr::Col(d)),
+            },
+            vec![e2],
+        );
+        plan2.add(Operator::Project { attrs: vec![s, d] }, vec![sel2]);
+        assert!(mpq_exec::fused_encrypt_child(&plan2, sel2).is_none());
+        let est2 = crate::stats::estimates_for(&plan2, &ex.catalog, &stats);
+        let profiles2 = mpq_core::profile::profile_plan(&plan2);
+        let schemes2 = mpq_exec::assign_schemes(&plan2).unwrap();
+        let assignment2: HashMap<NodeId, SubjectId> =
+            plan2.postorder().into_iter().map(|id| (id, h)).collect();
+        let cost2 = cost_extended_plan(
+            &plan2,
+            &assignment2,
+            &ex.catalog,
+            &stats,
+            &est2,
+            &profiles2,
+            &schemes2,
+            &book,
+            user,
+        );
+        let base2 = est2[b2.index()].rows;
+        let expect2 = plan_tuple_ops(&plan2, &est2, &book) * book.tuple_op_secs
+            + base2 * book.encrypt_secs(schemes2.scheme_of(s));
         assert!(
-            (same_subject.cpu_secs - (tuple_secs + encrypt_secs)).abs() < 1e-9,
-            "expected {tuple_secs} + {encrypt_secs}, got {}",
-            same_subject.cpu_secs
+            (cost2.cpu_secs - expect2).abs() < 1e-9,
+            "unfusible same-subject selection must not earn the credit: \
+             expected {expect2}, got {}",
+            cost2.cpu_secs
         );
     }
 

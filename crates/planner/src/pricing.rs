@@ -29,18 +29,22 @@
 //! single largest source of the Figure 10 gap.)
 //!
 //! With the calibrated book the reproduction's Figure 10 reports
-//! cumulative savings versus UA of **≈52% (UAPenc)** and **≈87%
-//! (UAPmix)**, against the paper's 54.2% and 71.3% (exact pinned
-//! values in `mpq-bench`'s `figure10_pin` test). Residual gap: UAPenc
-//! is within ~2 points of the paper; UAPmix *overshoots* because our
-//! reconstructed mix scenario puts every join key in the providers'
-//! plaintext half (required for Def. 4.1 uniform visibility under our
-//! per-relation split, see `scenario.rs`), so providers execute almost
-//! the whole workload crypto-free, while the paper's attribute split —
-//! not published — evidently left more work encrypted. The pin exists
-//! so any further drift is deliberate: recalibrate with
-//! `cargo run -p mpq-bench --bin calibrate --release` and update the
-//! pin in the same change.
+//! cumulative savings versus UA of **53.6% (UAPenc)** and **75.0%
+//! (UAPmix)** at SF 1, against the paper's 54.2% and 71.3% (exact
+//! pinned values in `mpq-bench`'s `figure10_pin` test). UAPenc is
+//! within a point of the paper. UAPmix used to *overshoot* at 88.5%
+//! because the first reconstructed mix scenario put every join key in
+//! the providers' plaintext half, letting providers execute almost the
+//! whole workload crypto-free. The split was then **searched** rather
+//! than guessed (`mpq-fuzz --bin search_split`): join keys always stay
+//! encrypted, and each relation fills its plaintext half from either
+//! the head or the tail of its column order — the measured-minimum
+//! assignment (head-fill `part` and `supplier`) is committed as
+//! `scenario::UAPMIX_HEAD_FILL`. The residual ~3.7-point gap is
+//! attributed to the paper's attribute split, which was never
+//! published. The pin exists so any further drift is deliberate:
+//! recalibrate with `cargo run -p mpq-bench --bin calibrate --release`
+//! and update the pin in the same change.
 
 use mpq_algebra::value::EncScheme;
 use mpq_algebra::SubjectId;
